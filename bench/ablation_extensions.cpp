@@ -1,0 +1,111 @@
+// Ablation bench — design-choice knobs of the dynamic-granularity
+// detector beyond the paper's Table 5:
+//
+//   * neighbor window size for first-epoch sharing,
+//   * span pre-marking window for the same-epoch bitmap,
+//   * the §VII future-work extensions (resplit_shared, guide_read_sharing).
+//
+// Prints slowdown, detector memory, race counts and sharing degree for
+// each configuration over a representative workload subset, quantifying
+// the trade each knob buys.
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "common/table_printer.hpp"
+#include "detect/dyngran.hpp"
+#include "sim/sim.hpp"
+
+using namespace dg;
+using namespace dg::bench;
+
+namespace {
+
+struct Config {
+  const char* label;
+  DynGranConfig cfg;
+};
+
+RunMetrics run_cfg(const std::string& workload, wl::WlParams p,
+                   const DynGranConfig& cfg, std::uint64_t seed,
+                   double base) {
+  RunMetrics m;
+  m.workload = workload;
+  auto prog = wl::make_workload(workload, p);
+  DynGranDetector det(cfg);
+  sim::SimScheduler sched(*prog, det, seed);
+  const auto res = sched.run();
+  m.base_seconds = base;
+  m.tool_seconds = res.wall_seconds;
+  m.slowdown = base > 0 ? res.wall_seconds / base : 0;
+  m.peak_total = det.accountant().peak_total();
+  m.races = det.sink().unique_races();
+  m.stats = det.stats();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions o = parse_options(argc, argv);
+  const std::vector<std::string> workloads = {"facesim", "x264",
+                                              "streamcluster", "pbzip2"};
+
+  std::vector<Config> configs;
+  configs.push_back({"paper-default", {}});
+  {
+    DynGranConfig c;
+    c.neighbor_window = 16;
+    configs.push_back({"window=16", c});
+  }
+  {
+    DynGranConfig c;
+    c.neighbor_window = 1024;
+    configs.push_back({"window=1024", c});
+  }
+  {
+    DynGranConfig c;
+    c.bitmap_span_window = 0;
+    configs.push_back({"no-span-premark", c});
+  }
+  {
+    DynGranConfig c;
+    c.bitmap_span_window = 64 * 1024;
+    configs.push_back({"span-premark=64K", c});
+  }
+  {
+    DynGranConfig c;
+    c.resplit_shared = true;
+    configs.push_back({"resplit-shared", c});
+  }
+  {
+    DynGranConfig c;
+    c.guide_read_sharing = true;
+    configs.push_back({"guided-reads", c});
+  }
+
+  std::cout << "Ablation: dynamic-granularity design knobs\n\n";
+  for (const auto& wname : workloads) {
+    const double base = measure_base_seconds(wname, o.params, o.sched_seed);
+    TablePrinter t({wname, "slowdown", "detector mem", "races",
+                    "same-epoch", "maxVC", "avg sharing"});
+    for (const auto& c : configs) {
+      auto m = run_cfg(wname, o.params, c.cfg, o.sched_seed, base);
+      t.add_row({c.label, TablePrinter::fmt(m.slowdown),
+                 TablePrinter::fmt_bytes(m.peak_total),
+                 std::to_string(m.races),
+                 TablePrinter::fmt(m.stats.same_epoch_pct(), 0) + "%",
+                 TablePrinter::fmt_count(m.stats.max_live_vcs),
+                 TablePrinter::fmt(m.stats.avg_sharing_at_peak, 1)});
+    }
+    if (o.csv) t.print_csv(std::cout); else t.print(std::cout);
+    std::cout << "\n";
+    std::cerr << "  done: " << wname << "\n";
+  }
+  std::cout
+      << "Reading guide: resplit-shared removes the streamcluster false "
+         "alarms and x264's sharer over-reporting at modest cost; "
+         "no-span-premark shows how much of the speedup the §III-B "
+         "same-epoch effect carries; the window knobs bound the "
+         "first-epoch sharing reach.\n";
+  return 0;
+}

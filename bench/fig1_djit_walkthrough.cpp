@@ -1,0 +1,82 @@
+// Figure 1 — the paper's worked DJIT+ example, executed step by step with
+// the real HbEngine, printing every vector clock the figure shows:
+//
+//   T0: lock(s); write(x); unlock(s);            (W_x learns 1@0)
+//   T1: lock(s); ... write(x)                     (ordered via s: no race)
+//   T0: write(x)                                  (W_x[1] >= T_0[1]: RACE)
+#include <iostream>
+
+#include "detect/djit.hpp"
+#include "sync/hb_engine.hpp"
+
+using namespace dg;
+
+namespace {
+
+struct Tracer {
+  MemoryAccountant acct;
+  HbEngine hb{acct};
+  VectorClock wx;  // W_x of the paper
+
+  void show(const char* step) const {
+    std::cout << "  after " << step << ":\n"
+              << "    T0 = " << hb.clock(0).str()
+              << "   T1 = " << hb.clock(1).str() << "   W_x = " << wx.str()
+              << "\n";
+  }
+
+  bool write_x(ThreadId t) {
+    const bool race = wx.first_exceeding(hb.clock(t)) != kInvalidThread;
+    wx.set(t, hb.clock(t).get(t));
+    return race;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 1: DJIT+ vector-clock walkthrough\n\n";
+  Tracer tr;
+  constexpr SyncId s = 1;
+
+  tr.hb.on_thread_start(0, kInvalidThread);
+  tr.hb.on_thread_start(1, 0);
+  tr.show("thread start (fork edge conveys T0's clock to T1)");
+
+  tr.hb.on_acquire(0, s);
+  bool race = tr.write_x(0);
+  std::cout << "  T0 write(x): " << (race ? "RACE" : "ok") << "\n";
+  tr.hb.on_release(0, s);
+  tr.show("T0: lock(s); write(x); unlock(s)");
+
+  tr.hb.on_acquire(1, s);
+  tr.show("T1: lock(s)  (acquire joins L_s into T1)");
+  race = tr.write_x(1);
+  std::cout << "  T1 write(x): " << (race ? "RACE" : "ok")
+            << "  (W_x[0] <= T1[0]: the happens-before edge through s "
+               "orders the writes)\n";
+  tr.hb.on_release(1, s);
+  tr.show("T1: write(x); unlock(s)");
+
+  race = tr.write_x(0);
+  std::cout << "  T0 write(x): " << (race ? "RACE" : "ok")
+            << "  (W_x[1] >= T0[1]: T0 never observed T1's epoch — this is "
+               "the race Figure 1 detects)\n\n";
+
+  // Cross-check with the full DJIT+ detector.
+  DjitDetector det;
+  det.on_thread_start(0, kInvalidThread);
+  det.on_thread_start(1, 0);
+  det.on_acquire(0, s);
+  det.on_write(0, 0x1000, 4);
+  det.on_release(0, s);
+  det.on_acquire(1, s);
+  det.on_write(1, 0x1000, 4);
+  det.on_release(1, s);
+  det.on_write(0, 0x1000, 4);
+  std::cout << "DjitDetector on the same event stream reports "
+            << det.sink().unique_races() << " race(s):\n";
+  for (const auto& r : det.sink().reports())
+    std::cout << "  " << r.str() << "\n";
+  return det.sink().unique_races() == 1 ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+#include "bench/harness.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "detect/djit.hpp"
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "detect/hybrid.hpp"
+#include "detect/inspector_like.hpp"
+#include "detect/lockset.hpp"
+#include "detect/segment.hpp"
+#include "sim/sim.hpp"
+
+namespace dg::bench {
+
+DetectorFactory detector_factory(const std::string& config) {
+  if (config == "none")
+    return [] { return std::make_unique<NullDetector>(); };
+  if (config == "byte")
+    return [] { return std::make_unique<FastTrackDetector>(Granularity::kByte); };
+  if (config == "word")
+    return [] { return std::make_unique<FastTrackDetector>(Granularity::kWord); };
+  if (config == "dynamic")
+    return [] { return std::make_unique<DynGranDetector>(); };
+  if (config == "dynamic-noshare1") {
+    return [] {
+      DynGranConfig cfg;
+      cfg.share_first_epoch = false;
+      return std::make_unique<DynGranDetector>(cfg);
+    };
+  }
+  if (config == "dynamic-noinit") {
+    return [] {
+      DynGranConfig cfg;
+      cfg.init_state = false;
+      return std::make_unique<DynGranDetector>(cfg);
+    };
+  }
+  if (config == "djit")
+    return [] { return std::make_unique<DjitDetector>(); };
+  if (config == "lockset")
+    return [] { return std::make_unique<LockSetDetector>(); };
+  if (config == "drd")
+    return [] { return std::make_unique<SegmentDetector>(); };
+  if (config == "inspector")
+    return [] { return std::make_unique<InspectorLikeDetector>(); };
+  if (config == "tsan-hybrid")
+    return [] { return std::make_unique<HybridDetector>(HybridMode::kHybrid); };
+  if (config == "tsan-pure")
+    return [] { return std::make_unique<HybridDetector>(HybridMode::kPure); };
+  DG_CHECK_MSG(false, "unknown detector config");
+  return {};
+}
+
+double measure_base_seconds(const std::string& workload, wl::WlParams p,
+                            std::uint64_t sched_seed, int repeats) {
+  double best = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    auto prog = wl::make_workload(workload, p);
+    DG_CHECK_MSG(prog != nullptr, "unknown workload");
+    NullDetector null;
+    sim::SimScheduler sched(*prog, null, sched_seed);
+    const auto res = sched.run();
+    DG_CHECK_MSG(!res.deadlocked, "workload deadlocked");
+    best = std::min(best, res.wall_seconds);
+  }
+  return best;
+}
+
+RunMetrics run_one(const std::string& workload, wl::WlParams p,
+                   const std::string& detector_config,
+                   std::uint64_t sched_seed, double base_seconds) {
+  RunMetrics m;
+  m.workload = workload;
+  m.detector = detector_config;
+
+  if (base_seconds <= 0)
+    base_seconds = measure_base_seconds(workload, p, sched_seed);
+  m.base_seconds = base_seconds;
+
+  auto prog = wl::make_workload(workload, p);
+  DG_CHECK_MSG(prog != nullptr, "unknown workload");
+  m.base_memory = prog->base_memory_bytes();
+
+  auto det = detector_factory(detector_config)();
+  sim::SimScheduler sched(*prog, *det, sched_seed);
+  const auto res = sched.run();
+  DG_CHECK_MSG(!res.deadlocked, "workload deadlocked");
+
+  m.memory_events = res.memory_events;
+  m.sync_events = res.sync_events;
+  m.tool_seconds = res.wall_seconds;
+  m.slowdown = base_seconds > 0 ? res.wall_seconds / base_seconds : 0;
+
+  const MemoryAccountant& acct = det->accountant();
+  m.peak_hash = acct.peak(MemCategory::kHash);
+  m.peak_vc = acct.peak(MemCategory::kVectorClock);
+  m.peak_bitmap = acct.peak(MemCategory::kBitmap);
+  m.peak_total = acct.peak_total();
+  m.memory_overhead =
+      m.base_memory > 0
+          ? static_cast<double>(m.base_memory + m.peak_total) /
+                static_cast<double>(m.base_memory)
+          : 0;
+
+  m.races = det->sink().unique_races();
+  m.raw_reports = det->sink().raw_reports();
+  m.stats = det->stats();
+  return m;
+}
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> std::uint64_t {
+      DG_CHECK_MSG(i + 1 < argc, flag);
+      return std::strtoull(argv[++i], nullptr, 10);
+    };
+    if (std::strcmp(argv[i], "--threads") == 0)
+      o.params.threads = static_cast<std::uint32_t>(next("--threads"));
+    else if (std::strcmp(argv[i], "--scale") == 0)
+      o.params.scale = static_cast<std::uint32_t>(next("--scale"));
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      o.params.seed = next("--seed");
+    else if (std::strcmp(argv[i], "--sched-seed") == 0)
+      o.sched_seed = next("--sched-seed");
+    else if (std::strcmp(argv[i], "--quick") == 0)
+      o.quick = true;
+    else if (std::strcmp(argv[i], "--csv") == 0)
+      o.csv = true;
+  }
+  if (o.quick) {  // CI-sized runs
+    o.params.threads = std::min(o.params.threads, 2u);
+    o.params.scale = 1;
+  }
+  return o;
+}
+
+}  // namespace dg::bench

@@ -1,0 +1,78 @@
+// Shared harness for the table benches: run a workload under a detector
+// configuration, collect the paper's metrics (slowdown vs. the
+// NullDetector base run, memory-overhead decomposition, race counts,
+// same-epoch percentages, VC population).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "detect/detector.hpp"
+#include "report/stats.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dg::bench {
+
+using DetectorFactory = std::function<std::unique_ptr<Detector>()>;
+
+/// Named detector configurations used across the tables.
+///   byte / word      — FastTrack at fixed granularity (Table 1)
+///   dynamic          — FastTrack + dynamic granularity (the paper's tool)
+///   djit             — DJIT+ full vector clocks
+///   lockset          — Eraser
+///   drd              — segment-based (Valgrind DRD stand-in, Table 6)
+///   inspector        — Inspector XE stand-in (Table 6)
+///   dynamic-noshare1 — dynamic without first-epoch sharing (Table 5)
+///   dynamic-noinit   — dynamic without the Init state (Table 5)
+DetectorFactory detector_factory(const std::string& config);
+
+struct RunMetrics {
+  std::string workload;
+  std::string detector;
+
+  // Event-stream shape
+  std::uint64_t memory_events = 0;
+  std::uint64_t sync_events = 0;
+
+  // Time
+  double base_seconds = 0;
+  double tool_seconds = 0;
+  double slowdown = 0;
+
+  // Memory (bytes)
+  std::uint64_t base_memory = 0;
+  std::uint64_t peak_hash = 0;
+  std::uint64_t peak_vc = 0;
+  std::uint64_t peak_bitmap = 0;
+  std::uint64_t peak_total = 0;  // peak of the sum (Table 2 "Overhead total")
+  double memory_overhead = 0;    // (base + peak_total) / base
+
+  // Detection
+  std::uint64_t races = 0;        // distinct racy locations (first-race)
+  std::uint64_t raw_reports = 0;  // pre-dedup reports
+  DetectorStats stats;
+};
+
+/// Wall time of the workload under NullDetector (the paper's "Base time").
+/// Runs the workload `repeats` times and keeps the minimum.
+double measure_base_seconds(const std::string& workload, wl::WlParams p,
+                            std::uint64_t sched_seed, int repeats = 3);
+
+/// One full measured run. `base_seconds` <= 0 means "measure it here".
+RunMetrics run_one(const std::string& workload, wl::WlParams p,
+                   const std::string& detector_config,
+                   std::uint64_t sched_seed, double base_seconds = -1.0);
+
+/// Default parameters used by every table bench (override via argv).
+struct BenchOptions {
+  wl::WlParams params{};           // threads=4, scale=1, seed=42
+  std::uint64_t sched_seed = 7;
+  bool quick = false;  // scale the workloads down for CI
+  bool csv = false;    // machine-readable table output
+};
+
+/// Parse common flags: --threads N --scale N --seed N --quick --csv.
+BenchOptions parse_options(int argc, char** argv);
+
+}  // namespace dg::bench

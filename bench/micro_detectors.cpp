@@ -1,0 +1,117 @@
+// Micro-benchmarks: end-to-end per-event cost of every detector on
+// canonical access patterns. This is the per-access constant behind the
+// Table 1/6 slowdowns.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "detect/djit.hpp"
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "detect/inspector_like.hpp"
+#include "detect/lockset.hpp"
+#include "detect/segment.hpp"
+
+namespace {
+
+using namespace dg;
+
+std::unique_ptr<Detector> make(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<NullDetector>();
+    case 1: return std::make_unique<FastTrackDetector>(Granularity::kByte);
+    case 2: return std::make_unique<FastTrackDetector>(Granularity::kWord);
+    case 3: return std::make_unique<DynGranDetector>();
+    case 4: return std::make_unique<DjitDetector>();
+    case 5: return std::make_unique<LockSetDetector>();
+    case 6: return std::make_unique<SegmentDetector>();
+    default: return std::make_unique<InspectorLikeDetector>();
+  }
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "null";
+    case 1: return "ft-byte";
+    case 2: return "ft-word";
+    case 3: return "ft-dynamic";
+    case 4: return "djit";
+    case 5: return "eraser";
+    case 6: return "segment";
+    default: return "inspector";
+  }
+}
+
+// Two threads ping-ponging locked accesses over a 64KB working set: the
+// bread-and-butter pattern (every access analysed, no races).
+void BM_LockedSweep(benchmark::State& state) {
+  auto det = make(static_cast<int>(state.range(0)));
+  det->on_thread_start(0, kInvalidThread);
+  det->on_thread_start(1, 0);
+  Addr a = 0x100000;
+  ThreadId t = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    det->on_acquire(t, 1);
+    det->on_write(t, a, 8);
+    det->on_read(t, a + 8, 8);
+    det->on_release(t, 1);
+    a = 0x100000 + ((a + 16) & 0xffff);
+    t ^= 1;
+    events += 2;
+  }
+  state.SetLabel(kind_name(static_cast<int>(state.range(0))));
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_LockedSweep)->DenseRange(0, 7);
+
+// Single-thread sequential fill: the initialization pattern dynamic
+// granularity coalesces (one clock per run instead of one per word).
+void BM_SequentialFill(benchmark::State& state) {
+  auto det = make(static_cast<int>(state.range(0)));
+  det->on_thread_start(0, kInvalidThread);
+  Addr a = 0x200000;
+  for (auto _ : state) {
+    det->on_write(0, a, 64);
+    a += 64;
+    if ((a & 0xfffff) == 0) {
+      det->on_free(0, 0x200000, 0x100000);
+      a = 0x200000;
+      det->on_release(0, 2);  // fresh epoch so fills don't same-epoch-hit
+    }
+  }
+  state.SetLabel(kind_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SequentialFill)->DenseRange(0, 7);
+
+// Same-epoch re-access: the fast path the per-thread bitmap serves.
+void BM_SameEpochHit(benchmark::State& state) {
+  auto det = make(static_cast<int>(state.range(0)));
+  det->on_thread_start(0, kInvalidThread);
+  det->on_write(0, 0x300000, 64);
+  for (auto _ : state) {
+    det->on_write(0, 0x300000, 8);
+  }
+  state.SetLabel(kind_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SameEpochHit)->DenseRange(0, 7);
+
+// Read-shared traffic: many threads re-reading the same words.
+void BM_ReadShared(benchmark::State& state) {
+  auto det = make(static_cast<int>(state.range(0)));
+  det->on_thread_start(0, kInvalidThread);
+  for (ThreadId t = 1; t < 4; ++t) det->on_thread_start(t, 0);
+  ThreadId t = 0;
+  Addr a = 0x400000;
+  for (auto _ : state) {
+    det->on_read(t, a, 8);
+    t = (t + 1) & 3;
+    a = 0x400000 + ((a + 8) & 0x3ff);
+  }
+  state.SetLabel(kind_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_ReadShared)->DenseRange(0, 7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

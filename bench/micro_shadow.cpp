@@ -1,0 +1,140 @@
+// Micro-benchmarks: the Fig. 4 shadow table and the same-epoch bitmap —
+// the two structures on every analysed access's critical path.
+#include <benchmark/benchmark.h>
+
+#include "common/memtrack.hpp"
+#include "common/prng.hpp"
+#include "shadow/epoch_bitmap.hpp"
+#include "shadow/shadow_table.hpp"
+
+namespace {
+
+using namespace dg;
+
+void BM_ShadowLookupHit(benchmark::State& state) {
+  MemoryAccountant acct;
+  ShadowTable<int*> table(acct);
+  static int sentinel;
+  const std::size_t n = 4096;
+  for (Addr a = 0; a < n; ++a) {
+    table.slot(a * 4, 4) = &sentinel;
+    table.note_fill(a * 4);
+  }
+  Prng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(rng.below(n) * 4));
+  }
+}
+BENCHMARK(BM_ShadowLookupHit);
+
+void BM_ShadowLookupMiss(benchmark::State& state) {
+  MemoryAccountant acct;
+  ShadowTable<int*> table(acct);
+  Prng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(0x900000 + rng.below(1 << 20)));
+  }
+}
+BENCHMARK(BM_ShadowLookupMiss);
+
+void BM_ShadowInsertWordMode(benchmark::State& state) {
+  MemoryAccountant acct;
+  static int sentinel;
+  Addr a = 0;
+  ShadowTable<int*> table(acct);
+  for (auto _ : state) {
+    table.slot(a, 4) = &sentinel;
+    table.note_fill(a);
+    a += 4;
+  }
+}
+BENCHMARK(BM_ShadowInsertWordMode);
+
+void BM_ShadowInsertByteMode(benchmark::State& state) {
+  MemoryAccountant acct;
+  static int sentinel;
+  Addr a = 1;  // unaligned: byte-mode blocks (4x the index array)
+  ShadowTable<int*> table(acct);
+  for (auto _ : state) {
+    table.slot(a, 1) = &sentinel;
+    table.note_fill(a);
+    a += 4;
+  }
+}
+BENCHMARK(BM_ShadowInsertByteMode);
+
+void BM_ShadowExpansion(benchmark::State& state) {
+  // Cost of flipping a fully-occupied block from m/4 word cells to m byte
+  // cells (the Fig. 4 growth path).
+  static int sentinel;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemoryAccountant acct;
+    ShadowTable<int*> table(acct);
+    for (Addr a = 0; a < kBlockBytes; a += 4) {
+      table.slot(a, 4) = &sentinel;
+      table.note_fill(a);
+    }
+    state.ResumeTiming();
+    table.slot(1, 1) = &sentinel;  // triggers the expansion
+  }
+}
+BENCHMARK(BM_ShadowExpansion);
+
+void BM_ShadowForRange64(benchmark::State& state) {
+  MemoryAccountant acct;
+  ShadowTable<int*> table(acct);
+  static int sentinel;
+  for (Addr a = 0; a < 65536; a += 4) {
+    table.slot(a, 4) = &sentinel;
+    table.note_fill(a);
+  }
+  Prng rng(1);
+  for (auto _ : state) {
+    const Addr base = (rng.below(1000)) * 64;
+    int sum = 0;
+    table.for_range(base, 64, [&](Addr, std::uint32_t, int*& c) {
+      sum += c != nullptr;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ShadowForRange64);
+
+void BM_BitmapHit(benchmark::State& state) {
+  MemoryAccountant acct;
+  EpochBitmap bm(acct);
+  bm.test_and_set(0x1000, 64, AccessType::kWrite, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bm.test_and_set(0x1000, 8, AccessType::kWrite, 1));
+  }
+}
+BENCHMARK(BM_BitmapHit);
+
+void BM_BitmapMissThenReset(benchmark::State& state) {
+  MemoryAccountant acct;
+  EpochBitmap bm(acct);
+  std::uint64_t serial = 1;
+  for (auto _ : state) {
+    // New epoch every iteration: worst case for the lazy-reset scheme.
+    benchmark::DoNotOptimize(
+        bm.test_and_set(0x1000, 8, AccessType::kWrite, ++serial));
+  }
+}
+BENCHMARK(BM_BitmapMissThenReset);
+
+void BM_BitmapSpanMark(benchmark::State& state) {
+  MemoryAccountant acct;
+  EpochBitmap bm(acct);
+  std::uint64_t serial = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bm.test_and_set(0x1000, 1024, AccessType::kWrite, ++serial));
+  }
+}
+BENCHMARK(BM_BitmapSpanMark);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Micro-benchmarks: vector clock and epoch primitives. Quantifies the
+// O(n) -> O(1) gap FastTrack's epochs close (§II-C) — the epoch compare
+// should be a few ns regardless of thread count, while full VC joins and
+// comparisons scale with n.
+#include <benchmark/benchmark.h>
+
+#include "common/memtrack.hpp"
+#include "vc/epoch.hpp"
+#include "vc/read_history.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace {
+
+using namespace dg;
+
+void BM_EpochCompare(benchmark::State& state) {
+  VectorClock vc;
+  for (ThreadId t = 0; t < static_cast<ThreadId>(state.range(0)); ++t)
+    vc.set(t, t + 1);
+  Epoch e(3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vc.contains(e));
+  }
+}
+BENCHMARK(BM_EpochCompare)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_VcLeq(benchmark::State& state) {
+  const auto n = static_cast<ThreadId>(state.range(0));
+  VectorClock a, b;
+  for (ThreadId t = 0; t < n; ++t) {
+    a.set(t, t + 1);
+    b.set(t, t + 2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.leq(b));
+  }
+}
+BENCHMARK(BM_VcLeq)->Arg(2)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_VcJoin(benchmark::State& state) {
+  const auto n = static_cast<ThreadId>(state.range(0));
+  VectorClock a, b;
+  for (ThreadId t = 0; t < n; ++t) b.set(t, t + 2);
+  for (auto _ : state) {
+    a.join(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VcJoin)->Arg(2)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_VcCopy(benchmark::State& state) {
+  const auto n = static_cast<ThreadId>(state.range(0));
+  VectorClock b;
+  for (ThreadId t = 0; t < n; ++t) b.set(t, t + 2);
+  for (auto _ : state) {
+    VectorClock a = b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VcCopy)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_ReadHistoryExclusiveUpdate(benchmark::State& state) {
+  MemoryAccountant acct;
+  ReadHistory rh;
+  VectorClock now;
+  now.set(0, 5);
+  ClockVal c = 1;
+  for (auto _ : state) {
+    rh.set_exclusive(Epoch(c++, 0), acct);
+    benchmark::DoNotOptimize(rh.all_before(now));
+  }
+}
+BENCHMARK(BM_ReadHistoryExclusiveUpdate);
+
+void BM_ReadHistorySharedUpdate(benchmark::State& state) {
+  MemoryAccountant acct;
+  ReadHistory rh;
+  rh.set_exclusive(Epoch(1, 0), acct);
+  rh.promote(rh.epoch(), Epoch(1, 1), acct);
+  VectorClock now;
+  now.set(0, 1u << 30);
+  now.set(1, 1u << 30);
+  ClockVal c = 2;
+  for (auto _ : state) {
+    rh.add_shared(Epoch(c++, 1), acct);
+    benchmark::DoNotOptimize(rh.all_before(now));
+  }
+  rh.reset(acct);
+}
+BENCHMARK(BM_ReadHistorySharedUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

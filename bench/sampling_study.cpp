@@ -1,0 +1,95 @@
+// Sampling study — the §VI trade-off the paper contrasts itself against:
+// LiteRace/PACER "offer reasonable detection rate with minimal overhead,
+// but may miss critical data races", while dynamic granularity keeps full
+// detection.
+//
+// Sweeps PACER sampling rates and the LiteRace adaptive sampler over the
+// racy benchmarks, printing detection rate (fraction of the byte-
+// granularity ground-truth races found) against slowdown, with the
+// dynamic-granularity detector as the full-detection reference point.
+#include <iostream>
+#include <memory>
+
+#include "bench/harness.hpp"
+#include "common/table_printer.hpp"
+#include "detect/fasttrack.hpp"
+#include "detect/sampling.hpp"
+#include "sim/sim.hpp"
+
+using namespace dg;
+using namespace dg::bench;
+
+namespace {
+
+struct Row {
+  std::string label;
+  double slowdown;
+  std::uint64_t races;
+  double eff_rate;
+};
+
+Row run_sampler(const std::string& workload, wl::WlParams p,
+                std::uint64_t seed, double base, SamplingConfig cfg,
+                const std::string& label) {
+  auto det = std::make_unique<SamplingDetector>(
+      std::make_unique<FastTrackDetector>(Granularity::kByte), cfg);
+  auto prog = wl::make_workload(workload, p);
+  sim::SimScheduler sched(*prog, *det, seed);
+  const auto res = sched.run();
+  return {label, base > 0 ? res.wall_seconds / base : 0,
+          det->sink().unique_races(), det->effective_rate()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions o = parse_options(argc, argv);
+  const std::vector<std::string> workloads = {"x264", "ferret", "dedup",
+                                              "hmmsearch"};
+
+  for (const auto& wname : workloads) {
+    const double base = measure_base_seconds(wname, o.params, o.sched_seed);
+    auto full = run_one(wname, o.params, "byte", o.sched_seed, base);
+    auto dyn = run_one(wname, o.params, "dynamic", o.sched_seed, base);
+
+    TablePrinter t({wname, "slowdown", "races found", "detection rate",
+                    "accesses analysed"});
+    auto add = [&](const Row& r) {
+      t.add_row({r.label, TablePrinter::fmt(r.slowdown),
+                 std::to_string(r.races),
+                 TablePrinter::fmt(full.races > 0
+                                       ? 100.0 * static_cast<double>(r.races) /
+                                             static_cast<double>(full.races)
+                                       : 100.0,
+                                   0) +
+                     "%",
+                 TablePrinter::fmt(100.0 * r.eff_rate, 0) + "%"});
+    };
+    t.add_row({"ft-byte (full)", TablePrinter::fmt(full.slowdown),
+               std::to_string(full.races), "100%", "100%"});
+    t.add_row({"ft-dynamic (full)", TablePrinter::fmt(dyn.slowdown),
+               std::to_string(dyn.races), "-", "100%"});
+    for (double rate : {0.5, 0.1, 0.02}) {
+      SamplingConfig cfg;
+      cfg.policy = SamplingPolicy::kPacer;
+      cfg.pacer_rate = rate;
+      add(run_sampler(wname, o.params, o.sched_seed, base, cfg,
+                      "pacer " + TablePrinter::fmt(100 * rate, 0) + "%"));
+    }
+    {
+      SamplingConfig cfg;
+      cfg.policy = SamplingPolicy::kLiteRace;
+      add(run_sampler(wname, o.params, o.sched_seed, base, cfg, "literace"));
+    }
+    if (o.csv) t.print_csv(std::cout); else t.print(std::cout);
+    std::cout << "\n";
+    std::cerr << "  done: " << wname << "\n";
+  }
+  std::cout
+      << "Reading guide: PACER's detection rate tracks its sampling rate "
+         "(missing races at low rates — the §VI caveat); LiteRace keeps the "
+         "one-off races (cold regions) while cooling hot loops; the dynamic "
+         "detector keeps 100% detection and beats the samplers' slowdown "
+         "whenever sharing is plentiful.\n";
+  return 0;
+}

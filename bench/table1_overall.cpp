@@ -1,0 +1,66 @@
+// Table 1 — overall experimental results.
+//
+// For every benchmark and each FastTrack granularity (byte, word,
+// dynamic): total shared accesses, base time/memory, slowdown, memory
+// overhead, and the number of detected races. Reproduces the paper's
+// headline: dynamic granularity is ~1.4x faster than byte and uses well
+// under half the detector memory, with near-identical race counts (x264
+// gains a few sharer reports; word masks some unaligned races).
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "common/table_printer.hpp"
+
+using namespace dg;
+using namespace dg::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions o = parse_options(argc, argv);
+  const std::vector<std::string> grans = {"byte", "word", "dynamic"};
+
+  std::cout << "Table 1: FastTrack with byte / word / dynamic granularity\n"
+            << "(threads=" << o.params.threads << " scale=" << o.params.scale
+            << ")\n\n";
+
+  TablePrinter t({"program", "accesses", "base(s)", "base mem",
+                  "slow byte", "slow word", "slow dyn",
+                  "mem byte", "mem word", "mem dyn",
+                  "races byte", "races word", "races dyn"});
+
+  double sl[3] = {0, 0, 0}, mo[3] = {0, 0, 0};
+  int n = 0;
+  for (const auto& w : wl::all_workloads()) {
+    const double base = measure_base_seconds(w.name, o.params, o.sched_seed);
+    RunMetrics m[3];
+    for (int g = 0; g < 3; ++g)
+      m[g] = run_one(w.name, o.params, grans[g], o.sched_seed, base);
+    t.add_row({w.name, TablePrinter::fmt_count(m[0].memory_events),
+               TablePrinter::fmt(base, 3),
+               TablePrinter::fmt_bytes(m[0].base_memory),
+               TablePrinter::fmt(m[0].slowdown), TablePrinter::fmt(m[1].slowdown),
+               TablePrinter::fmt(m[2].slowdown),
+               TablePrinter::fmt(m[0].memory_overhead),
+               TablePrinter::fmt(m[1].memory_overhead),
+               TablePrinter::fmt(m[2].memory_overhead),
+               std::to_string(m[0].races), std::to_string(m[1].races),
+               std::to_string(m[2].races)});
+    for (int g = 0; g < 3; ++g) {
+      sl[g] += m[g].slowdown;
+      mo[g] += m[g].memory_overhead;
+    }
+    ++n;
+    std::cerr << "  done: " << w.name << "\n";
+  }
+  t.add_row({"Average", "", "", "", TablePrinter::fmt(sl[0] / n),
+             TablePrinter::fmt(sl[1] / n), TablePrinter::fmt(sl[2] / n),
+             TablePrinter::fmt(mo[0] / n), TablePrinter::fmt(mo[1] / n),
+             TablePrinter::fmt(mo[2] / n), "", "", ""});
+  if (o.csv) t.print_csv(std::cout); else t.print(std::cout);
+
+  std::cout << "\nPaper comparison: dynamic should be ~1.43x faster than "
+               "byte and ~1.25x faster than word on average, with ~60% less "
+               "detector memory than byte (Table 1 of the paper).\n"
+            << "speedup byte/dyn: " << TablePrinter::fmt(sl[0] / sl[2])
+            << "  word/dyn: " << TablePrinter::fmt(sl[1] / sl[2]) << "\n";
+  return 0;
+}

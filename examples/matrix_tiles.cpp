@@ -1,0 +1,117 @@
+// Example: instrumented containers catching an off-by-one in a tiled
+// parallel matrix computation.
+//
+// Workers each own a tile of rows of an output matrix held in
+// dg::rt::Vector — every element access is instrumented automatically by
+// the container proxies, no manual touch_read/touch_write calls. One
+// worker's tile bound is computed with an off-by-one, so it also writes
+// the first row of its neighbour's tile: a textbook boundary race the
+// detector pins to the exact element addresses.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "detect/dyngran.hpp"
+#include "rt/containers.hpp"
+#include "rt/runtime.hpp"
+
+namespace {
+
+constexpr int kN = 64;        // matrix is kN x kN
+constexpr int kWorkers = 4;
+
+int row_of(dg::Addr addr, const dg::rt::Vector<double>& m) {
+  const auto base = reinterpret_cast<dg::Addr>(m.data());
+  return static_cast<int>((addr - base) / sizeof(double)) / kN;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dg;
+
+  // resplit_shared (the paper's §VII extension) keeps firm-shared clocks
+  // from smearing the race across all their sharers: reports pin the
+  // exact stolen elements.
+  DynGranConfig cfg;
+  cfg.resplit_shared = true;
+  DynGranDetector detector(cfg);
+  rt::Runtime runtime(detector);
+  runtime.register_current_thread(kInvalidThread);
+
+  rt::Vector<double> in(runtime, kN * kN);
+  rt::Vector<double> out(runtime, kN * kN);
+  in.fill(1.0);
+  out.fill(0.0);
+
+  auto tile_body = [&](int w, bool buggy) {
+    return [&, w, buggy](rt::ThreadCtx& ctx) {
+      ctx.site(buggy ? "matrix/tile-BUGGY" : "matrix/tile");
+      const int rows = kN / kWorkers;
+      const int lo = w * rows;
+      // BUG (worker 1 only): "<=" instead of "<" — writes one row of the
+      // next worker's tile.
+      const int hi = lo + rows + ((buggy && w == 1) ? 1 : 0);
+      for (int r = lo; r < hi && r < kN; ++r) {
+        for (int c = 0; c < kN; ++c) {
+          double acc = 0;
+          for (int k = 0; k < 4; ++k)
+            acc += in[static_cast<std::size_t>(r * kN + (c + k) % kN)];
+          out[static_cast<std::size_t>(r * kN + c)] = acc;
+        }
+      }
+    };
+  };
+
+  std::puts("Pass 1: tiled update with an off-by-one tile bound (buggy)");
+  {
+    std::vector<std::unique_ptr<rt::Thread>> workers;
+    for (int w = 0; w < kWorkers; ++w)
+      workers.push_back(
+          std::make_unique<rt::Thread>(runtime, tile_body(w, true)));
+    for (auto& t : workers) t->join();
+  }
+  const auto buggy_races = detector.sink().unique_races();
+  std::printf("  racy locations: %llu\n",
+              static_cast<unsigned long long>(buggy_races));
+  if (!detector.sink().reports().empty()) {
+    const auto& r = detector.sink().reports().front();
+    std::printf("  first report: %s\n", r.str().c_str());
+    std::printf("  -> that's row %d of `out`: exactly the stolen boundary "
+                "row\n",
+                row_of(r.addr, out));
+  }
+
+  std::puts("\nPass 2: correct tile bounds (fresh output matrix)");
+  rt::Vector<double> out2(runtime, kN * kN);
+  out2.fill(0.0);
+  {
+    auto fixed_body = [&](int w) {
+      return [&, w](rt::ThreadCtx& ctx) {
+        ctx.site("matrix/tile-fixed");
+        const int rows = kN / kWorkers;
+        for (int r = w * rows; r < (w + 1) * rows; ++r)
+          for (int c = 0; c < kN; ++c)
+            out2[static_cast<std::size_t>(r * kN + c)] =
+                in[static_cast<std::size_t>(r * kN + c)] * 2;
+      };
+    };
+    std::vector<std::unique_ptr<rt::Thread>> workers;
+    for (int w = 0; w < kWorkers; ++w)
+      workers.push_back(
+          std::make_unique<rt::Thread>(runtime, fixed_body(w)));
+    for (auto& t : workers) t->join();
+  }
+  runtime.finish();
+  const auto total = detector.sink().unique_races();
+  std::printf("  new racy locations after the fix: %llu (expected 0)\n",
+              static_cast<unsigned long long>(total - buggy_races));
+  std::printf(
+      "\nStats: %llu accesses analysed, %.0f%% same-epoch, %llu clocks at "
+      "peak (avg sharing %.0f)\n",
+      static_cast<unsigned long long>(detector.stats().shared_accesses),
+      detector.stats().same_epoch_pct(),
+      static_cast<unsigned long long>(detector.stats().max_live_vcs),
+      detector.stats().avg_sharing_at_peak);
+  return buggy_races > 0 && total == buggy_races ? 0 : 1;
+}

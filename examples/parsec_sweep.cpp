@@ -1,0 +1,52 @@
+// Example: run any of the 11 benchmark analogues under any detector from
+// the command line — a minimal driver over the workload registry.
+//
+//   ./build/examples/parsec_sweep                    # list workloads
+//   ./build/examples/parsec_sweep pbzip2 dynamic     # one combination
+//   ./build/examples/parsec_sweep all byte           # whole suite
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dg;
+  if (argc < 3) {
+    std::puts("usage: parsec_sweep <workload|all> <detector> [threads] [scale]");
+    std::puts("detectors: none byte word dynamic dynamic-noshare1 "
+              "dynamic-noinit djit lockset drd inspector");
+    std::puts("workloads:");
+    for (const auto& w : wl::all_workloads())
+      std::printf("  %s\n", w.name.c_str());
+    return 0;
+  }
+  const std::string workload = argv[1];
+  const std::string detector = argv[2];
+  wl::WlParams p;
+  if (argc > 3) p.threads = static_cast<std::uint32_t>(std::atoi(argv[3]));
+  if (argc > 4) p.scale = static_cast<std::uint32_t>(std::atoi(argv[4]));
+
+  auto run = [&](const std::string& name) {
+    auto m = bench::run_one(name, p, detector, /*sched_seed=*/7);
+    std::printf(
+        "%-14s %-10s accesses=%-10llu slowdown=%6.2fx mem-overhead=%6.2fx "
+        "races=%llu same-epoch=%5.1f%% maxVC=%llu\n",
+        name.c_str(), detector.c_str(),
+        static_cast<unsigned long long>(m.memory_events), m.slowdown,
+        m.memory_overhead, static_cast<unsigned long long>(m.races),
+        m.stats.same_epoch_pct(),
+        static_cast<unsigned long long>(m.stats.max_live_vcs));
+  };
+
+  if (workload == "all") {
+    for (const auto& w : wl::all_workloads()) run(w.name);
+  } else {
+    if (wl::make_workload(workload, p) == nullptr) {
+      std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+      return 1;
+    }
+    run(workload);
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Example: write your own simulated workload and compare detectors on it.
+//
+// Defines a small producer/worker pipeline as a sim::SimProgram (the same
+// interface the 11 built-in PARSEC analogues implement), embeds one bug,
+// and runs it under all four happens-before detectors plus Eraser,
+// printing a per-detector summary. Shows how to use the deterministic
+// simulator as a reproducible detector test-bench for your own access
+// patterns.
+#include <cstdio>
+#include <memory>
+
+#include "detect/djit.hpp"
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "detect/lockset.hpp"
+#include "detect/segment.hpp"
+#include "sim/sim.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace dg;
+using sim::Op;
+
+// A 1-producer / 2-worker pipeline over a ring of buffers. The producer
+// fills a slot and signals; a worker checksums it and bumps a SHARED
+// counter — once under the lock (fine) and once without (the bug).
+class MiniPipeline final : public sim::SimProgram {
+ public:
+  const char* name() const override { return "mini-pipeline"; }
+  ThreadId num_threads() const override { return 3; }
+  std::uint64_t base_memory_bytes() const override { return kSlots * kBuf; }
+  std::uint64_t expected_races() const override { return 1; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? producer() : worker(tid - 1);
+  }
+
+ private:
+  static constexpr std::uint64_t kItems = 400, kSlots = 8, kBuf = 2048;
+  static constexpr SyncId kCounterLock = 1;
+  static Addr slot(std::uint64_t i) {
+    return wl::region(0) + (i % kSlots) * kBuf;
+  }
+  static Addr counter() { return wl::region(1); }        // locked: fine
+  static Addr racy_counter() { return wl::region(1) + 64; }  // BUG
+
+  sim::OpGen producer() {
+    co_yield Op::site("pipeline/produce");
+    co_yield Op::write(counter(), 4);
+    co_yield Op::write(racy_counter(), 4);
+    co_yield Op::fork(1);
+    co_yield Op::fork(2);
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      if (i >= kSlots) co_yield Op::await(wl::sync_id(1, 1000 + i - kSlots), 1);
+      for (Addr a = slot(i); a < slot(i) + kBuf; a += 64)
+        co_yield Op::write(a, 64);
+      co_yield Op::signal(wl::sync_id(1, 100 + i));
+    }
+    co_yield Op::join(1);
+    co_yield Op::join(2);
+  }
+
+  sim::OpGen worker(std::uint32_t w) {
+    co_yield Op::site("pipeline/checksum");
+    for (std::uint64_t i = w; i < kItems; i += 2) {
+      co_yield Op::await(wl::sync_id(1, 100 + i), 1);
+      for (Addr a = slot(i); a < slot(i) + kBuf; a += 64)
+        co_yield Op::read(a, 64);
+      co_yield Op::compute(16);
+      co_yield Op::acquire(kCounterLock);
+      co_yield Op::read(counter(), 4);
+      co_yield Op::write(counter(), 4);
+      co_yield Op::release(kCounterLock);
+      // BUG: "fast path" statistics without the lock.
+      co_yield Op::site("pipeline/racy-stats");
+      co_yield Op::read(racy_counter(), 4);
+      co_yield Op::write(racy_counter(), 4);
+      co_yield Op::site("pipeline/checksum");
+      co_yield Op::signal(wl::sync_id(1, 1000 + i));
+    }
+  }
+};
+
+void run_under(const char* label, Detector& det) {
+  MiniPipeline prog;
+  sim::SimScheduler sched(prog, det, /*seed=*/2024);
+  const auto r = sched.run();
+  std::printf(
+      "  %-12s races=%llu  accesses=%llu  same-epoch=%5.1f%%  maxVC=%llu  "
+      "wall=%.0fms%s\n",
+      label, static_cast<unsigned long long>(det.sink().unique_races()),
+      static_cast<unsigned long long>(det.stats().shared_accesses),
+      det.stats().same_epoch_pct(),
+      static_cast<unsigned long long>(det.stats().max_live_vcs),
+      r.wall_seconds * 1e3, r.deadlocked ? "  DEADLOCK?!" : "");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("mini-pipeline under every detector (1 embedded race):");
+  std::puts("(watch Eraser drown the one real race in producer/consumer\n"
+            " hand-off false positives -- the paper's motivation, in vivo)");
+  {
+    FastTrackDetector d(Granularity::kByte);
+    run_under("ft-byte", d);
+  }
+  {
+    FastTrackDetector d(Granularity::kWord);
+    run_under("ft-word", d);
+  }
+  {
+    DynGranDetector d;
+    run_under("ft-dynamic", d);
+  }
+  {
+    DjitDetector d;
+    run_under("djit+", d);
+  }
+  {
+    SegmentDetector d;
+    run_under("segment", d);
+  }
+  {
+    LockSetDetector d;
+    run_under("eraser", d);
+  }
+
+  std::puts("\nFirst race report from the dynamic detector:");
+  DynGranDetector d;
+  MiniPipeline prog;
+  sim::SimScheduler sched(prog, d, 2024);
+  sched.run();
+  if (!d.sink().reports().empty())
+    std::printf("  %s\n", d.sink().reports()[0].str().c_str());
+  return d.sink().unique_races() == prog.expected_races() ? 0 : 1;
+}

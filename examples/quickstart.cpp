@@ -1,0 +1,77 @@
+// Quickstart: find a data race in a real multithreaded program.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Two worker threads bump a shared counter — first without a lock (the
+// dynamic-granularity detector reports the race live), then with one
+// (silence). This is the smallest end-to-end use of the library: create a
+// detector, wrap it in a Runtime, and route accesses/synchronization
+// through the dg::rt wrappers.
+#include <cstdio>
+
+#include "detect/dyngran.hpp"
+#include "rt/runtime.hpp"
+
+int main() {
+  using namespace dg;
+
+  DynGranDetector detector;
+  detector.sink().set_on_report([](const RaceReport& r) {
+    std::printf("  >> %s\n", r.str().c_str());
+  });
+
+  rt::Runtime runtime(detector);
+  runtime.register_current_thread(kInvalidThread);
+
+  int counter = 0;
+
+  std::puts("Phase 1: unsynchronized counter (racy)");
+  {
+    auto racy_body = [&](rt::ThreadCtx& ctx) {
+      ctx.site("quickstart/racy-increment");
+      for (int i = 0; i < 1000; ++i) {
+        // touch_* reports the access shape to the detector; the value
+        // update itself is kept single-threaded here so the demo binary
+        // has no real undefined behaviour.
+        ctx.touch_read(&counter, sizeof counter);
+        ctx.touch_write(&counter, sizeof counter);
+      }
+    };
+    rt::Thread a(runtime, racy_body);
+    rt::Thread b(runtime, racy_body);
+    a.join();
+    b.join();
+  }
+  std::printf("Races so far: %llu (expected: 1 racy location)\n\n",
+              static_cast<unsigned long long>(detector.sink().unique_races()));
+
+  std::puts("Phase 2: mutex-protected counter (clean)");
+  int safe_counter = 0;
+  rt::Mutex mu(runtime);
+  {
+    auto safe_body = [&](rt::ThreadCtx& ctx) {
+      ctx.site("quickstart/locked-increment");
+      for (int i = 0; i < 1000; ++i) {
+        std::scoped_lock lk(mu);
+        ctx.write(&safe_counter, ctx.read(&safe_counter) + 1);
+      }
+    };
+    rt::Thread a(runtime, safe_body);
+    rt::Thread b(runtime, safe_body);
+    a.join();
+    b.join();
+  }
+  runtime.finish();
+
+  std::printf("safe_counter = %d (the mutex really protected it)\n",
+              safe_counter);
+  std::printf(
+      "Final: %llu racy location(s), %llu accesses analysed, %.0f%% "
+      "filtered as same-epoch\n",
+      static_cast<unsigned long long>(detector.sink().unique_races()),
+      static_cast<unsigned long long>(detector.stats().shared_accesses),
+      detector.stats().same_epoch_pct());
+  return detector.sink().unique_races() == 1 ? 0 : 1;
+}

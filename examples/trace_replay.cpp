@@ -1,0 +1,80 @@
+// Example: record/replay debugging (the RecPlay-style workflow).
+//
+// Records one deterministic execution of the x264 analogue to a trace
+// file, then replays the *identical interleaving* under several detector
+// configurations — the way you would analyse one hard-to-reproduce run of
+// a flaky program under different tools without re-running it.
+#include <cstdio>
+#include <string>
+
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "rt/trace.hpp"
+#include "sim/sim.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dg;
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/dyngran_x264_trace.bin";
+
+  // ---- record ----------------------------------------------------------
+  std::puts("Recording one execution of the x264 analogue...");
+  rt::TraceRecorder recorder;
+  {
+    auto prog = wl::make_workload("x264", {.threads = 4, .scale = 1});
+    sim::SimScheduler sched(*prog, recorder, /*seed=*/99);
+    const auto r = sched.run();
+    std::printf("  %llu events recorded (%llu memory, %llu sync)\n",
+                static_cast<unsigned long long>(recorder.events().size()),
+                static_cast<unsigned long long>(r.memory_events),
+                static_cast<unsigned long long>(r.sync_events));
+  }
+  if (!recorder.save(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("  saved to %s\n\n", path.c_str());
+
+  // ---- replay ----------------------------------------------------------
+  std::vector<rt::TraceEvent> trace;
+  if (!rt::load_trace(path, trace)) {
+    std::fprintf(stderr, "cannot load %s\n", path.c_str());
+    return 1;
+  }
+
+  std::puts("Replaying the identical interleaving under 3 configurations:");
+  struct Row {
+    const char* label;
+    std::uint64_t races;
+  };
+  std::vector<Row> rows;
+  {
+    FastTrackDetector det(Granularity::kByte);
+    rt::replay_trace(trace, det);
+    rows.push_back({"fasttrack-byte", det.sink().unique_races()});
+  }
+  {
+    FastTrackDetector det(Granularity::kWord);
+    rt::replay_trace(trace, det);
+    rows.push_back({"fasttrack-word", det.sink().unique_races()});
+  }
+  {
+    DynGranDetector det;
+    rt::replay_trace(trace, det);
+    rows.push_back({"fasttrack-dynamic", det.sink().unique_races()});
+  }
+  for (const auto& row : rows)
+    std::printf("  %-18s -> %llu racy locations\n", row.label,
+                static_cast<unsigned long long>(row.races));
+
+  std::puts(
+      "\nThe byte/word/dynamic counts differ exactly as the paper's Table 1"
+      "\ndescribes for x264: word masks non-word-aligned races together;"
+      "\ndynamic additionally reports the locations that shared a clock"
+      "\nwith a racy byte.");
+  // byte 993, word 989, dynamic 997 on this engineered workload.
+  return rows[0].races == 993 && rows[1].races == 989 && rows[2].races == 997
+             ? 0
+             : 1;
+}

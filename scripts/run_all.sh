@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, full test suite, every table/figure bench,
+# the study benches, the micro benches, and the examples. Outputs land in
+# ./results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+OUT=${OUT:-results}
+ARGS=${ARGS:-}
+
+mkdir -p "$OUT"
+
+echo "== configure + build"
+cmake -B "$BUILD" -G Ninja >/dev/null
+cmake --build "$BUILD"
+
+echo "== tests"
+ctest --test-dir "$BUILD" 2>&1 | tee "$OUT/test_output.txt" | tail -3
+
+echo "== paper tables & figures"
+for b in table1_overall table2_memory table3_vcs table4_same_epoch \
+         table5_init_ablation table6_tools fig1_djit_walkthrough; do
+  echo "  -> $b"
+  "$BUILD/bench/$b" $ARGS > "$OUT/$b.txt" 2>/dev/null
+done
+
+echo "== studies"
+for b in ablation_extensions sampling_study scaling_study; do
+  echo "  -> $b"
+  "$BUILD/bench/$b" $ARGS > "$OUT/$b.txt" 2>/dev/null
+done
+
+echo "== micro benches"
+for b in micro_vc micro_shadow micro_detectors; do
+  echo "  -> $b"
+  "$BUILD/bench/$b" --benchmark_min_time=0.05 > "$OUT/$b.txt" 2>/dev/null
+done
+
+echo "== examples"
+for e in quickstart bank_transfer pipeline trace_replay; do
+  echo "  -> $e"
+  "$BUILD/examples/$e" > "$OUT/example_$e.txt"
+done
+
+echo "done; outputs in $OUT/"

@@ -1,0 +1,33 @@
+// Lightweight always-on assertion macro for invariants that must hold even
+// in optimized builds. Hot-path checks use DG_DCHECK which compiles away in
+// NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dg::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "dyngran: assertion failed: %s (%s:%d)%s%s\n", expr,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+}  // namespace dg::detail
+
+#define DG_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) ::dg::detail::assert_fail(#expr, __FILE__, __LINE__, \
+                                           nullptr);                  \
+  } while (0)
+
+#define DG_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) ::dg::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DG_DCHECK(expr) ((void)0)
+#else
+#define DG_DCHECK(expr) DG_CHECK(expr)
+#endif

@@ -1,0 +1,164 @@
+// InlineVec<T, N>: a vector with inline storage for the first N elements.
+//
+// Vector clocks for typical runs (2-16 threads) fit entirely in the inline
+// buffer, so the common case allocates nothing — the same optimization real
+// race detectors use for clock storage. Only trivially-copyable T is
+// supported, which is all the detector needs (clock scalars).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include "common/assert.hpp"
+
+namespace dg {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec supports trivially copyable types only");
+  static_assert(N > 0);
+
+ public:
+  InlineVec() noexcept = default;
+
+  InlineVec(std::size_t count, const T& value) { assign(count, value); }
+
+  InlineVec(const InlineVec& o) { copy_from(o); }
+
+  InlineVec& operator=(const InlineVec& o) {
+    if (this != &o) {
+      release();
+      copy_from(o);
+    }
+    return *this;
+  }
+
+  InlineVec(InlineVec&& o) noexcept { move_from(std::move(o)); }
+
+  InlineVec& operator=(InlineVec&& o) noexcept {
+    if (this != &o) {
+      release();
+      move_from(std::move(o));
+    }
+    return *this;
+  }
+
+  ~InlineVec() { release(); }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return cap_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool uses_heap() const noexcept { return heap_ != nullptr; }
+
+  T* data() noexcept { return heap_ != nullptr ? heap_ : inline_data(); }
+  const T* data() const noexcept {
+    return heap_ != nullptr ? heap_ : inline_data();
+  }
+
+  T& operator[](std::size_t i) noexcept {
+    DG_DCHECK(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    DG_DCHECK(i < size_);
+    return data()[i];
+  }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data()[size_++] = v;
+  }
+
+  void pop_back() noexcept {
+    DG_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  /// Resize, value-filling any newly exposed elements.
+  void resize(std::size_t n, const T& fill = T{}) {
+    if (n > cap_) grow(std::max(n, cap_ * 2));
+    for (std::size_t i = size_; i < n; ++i) data()[i] = fill;
+    size_ = n;
+  }
+
+  void assign(std::size_t count, const T& value) {
+    clear();
+    resize(count, value);
+  }
+
+  /// Bytes of heap memory owned (0 when inline) — used for accounting.
+  std::size_t heap_bytes() const noexcept {
+    return heap_ != nullptr ? cap_ * sizeof(T) : 0;
+  }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) noexcept {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.data(), b.data(), a.size_ * sizeof(T)) == 0;
+  }
+
+ private:
+  T* inline_data() noexcept { return reinterpret_cast<T*>(storage_); }
+  const T* inline_data() const noexcept {
+    return reinterpret_cast<const T*>(storage_);
+  }
+
+  void grow(std::size_t new_cap) {
+    DG_DCHECK(new_cap > cap_);
+    T* nh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    std::memcpy(nh, data(), size_ * sizeof(T));
+    if (heap_ != nullptr) ::operator delete(heap_);
+    heap_ = nh;
+    cap_ = new_cap;
+  }
+
+  void release() noexcept {
+    if (heap_ != nullptr) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+    }
+    cap_ = N;
+    size_ = 0;
+  }
+
+  void copy_from(const InlineVec& o) {
+    if (o.size_ > N) {
+      heap_ = static_cast<T*>(::operator new(o.size_ * sizeof(T)));
+      cap_ = o.size_;
+    }
+    size_ = o.size_;
+    std::memcpy(data(), o.data(), size_ * sizeof(T));
+  }
+
+  void move_from(InlineVec&& o) noexcept {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      size_ = o.size_;
+      std::memcpy(inline_data(), o.inline_data(), size_ * sizeof(T));
+      o.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace dg

@@ -1,0 +1,114 @@
+// Per-category byte accounting of detector-owned memory.
+//
+// The paper's Table 2 decomposes tool memory into three buckets — hash
+// indexing structures, vector clocks, and same-epoch bitmaps — and reports
+// the *peak* of each during the run. Every allocation a detector makes is
+// routed through a MemoryAccountant so the benchmark harness can reproduce
+// that decomposition exactly (more precisely than the paper's RSS-based
+// estimate, which it notes is "slightly underestimated").
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace dg {
+
+enum class MemCategory : std::uint8_t {
+  kHash = 0,         // shadow-table blocks, index arrays, chain nodes
+  kVectorClock = 1,  // vector clocks, epochs, shared VC nodes
+  kBitmap = 2,       // per-thread same-epoch bitmaps
+  kOther = 3,        // thread states, sync-object shadows, report buffers
+};
+inline constexpr std::size_t kNumMemCategories = 4;
+
+inline const char* to_string(MemCategory c) noexcept {
+  switch (c) {
+    case MemCategory::kHash: return "hash";
+    case MemCategory::kVectorClock: return "vector_clock";
+    case MemCategory::kBitmap: return "bitmap";
+    case MemCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+/// Tracks current and peak bytes per category. Not internally synchronized:
+/// all detector state is mutated under the runtime's analysis serialization
+/// (see DESIGN.md §5.1), and the accountant is part of that state.
+class MemoryAccountant {
+ public:
+  void add(MemCategory c, std::size_t bytes) noexcept {
+    auto i = static_cast<std::size_t>(c);
+    current_[i] += bytes;
+    if (current_[i] > peak_[i]) peak_[i] = current_[i];
+    std::size_t total = current_total();
+    if (total > peak_total_) peak_total_ = total;
+  }
+
+  void sub(MemCategory c, std::size_t bytes) noexcept {
+    auto i = static_cast<std::size_t>(c);
+#ifndef NDEBUG
+    if (current_[i] < bytes)
+      std::fprintf(stderr, "memtrack underflow: cat=%s current=%zu sub=%zu\n",
+                   to_string(c), current_[i], bytes);
+#endif
+    DG_DCHECK(current_[i] >= bytes);
+    current_[i] -= bytes;
+  }
+
+  std::size_t current(MemCategory c) const noexcept {
+    return current_[static_cast<std::size_t>(c)];
+  }
+  std::size_t peak(MemCategory c) const noexcept {
+    return peak_[static_cast<std::size_t>(c)];
+  }
+  std::size_t current_total() const noexcept {
+    std::size_t t = 0;
+    for (auto v : current_) t += v;
+    return t;
+  }
+  /// Peak of the *sum* across categories (the paper's "Overhead total").
+  /// Note this is the max of the sum, not the sum of per-category maxima.
+  std::size_t peak_total() const noexcept { return peak_total_; }
+
+  void reset() noexcept {
+    current_.fill(0);
+    peak_.fill(0);
+    peak_total_ = 0;
+  }
+
+ private:
+  std::array<std::size_t, kNumMemCategories> current_{};
+  std::array<std::size_t, kNumMemCategories> peak_{};
+  std::size_t peak_total_ = 0;
+};
+
+/// RAII registration of a fixed-size allocation against an accountant.
+/// Useful for objects whose footprint is known at construction.
+class ScopedMemCharge {
+ public:
+  ScopedMemCharge(MemoryAccountant& acct, MemCategory cat, std::size_t bytes)
+      : acct_(&acct), cat_(cat), bytes_(bytes) {
+    acct_->add(cat_, bytes_);
+  }
+  ~ScopedMemCharge() {
+    if (acct_ != nullptr) acct_->sub(cat_, bytes_);
+  }
+  ScopedMemCharge(const ScopedMemCharge&) = delete;
+  ScopedMemCharge& operator=(const ScopedMemCharge&) = delete;
+  ScopedMemCharge(ScopedMemCharge&& o) noexcept
+      : acct_(o.acct_), cat_(o.cat_), bytes_(o.bytes_) {
+    o.acct_ = nullptr;
+  }
+  ScopedMemCharge& operator=(ScopedMemCharge&&) = delete;
+
+ private:
+  MemoryAccountant* acct_;
+  MemCategory cat_;
+  std::size_t bytes_;
+};
+
+}  // namespace dg

@@ -1,0 +1,116 @@
+// Aligned plain-text table output for the benchmark harnesses.
+//
+// Every bench/table*_ binary reproduces one table of the paper; this helper
+// keeps their output uniform: a header row, aligned columns, and an optional
+// trailing average row, matching the layout of the paper's tables.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dg {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append one row; each cell is already formatted.
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  static std::string fmt(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string fmt_bytes(std::size_t bytes) {
+    static const char* units[] = {"B", "KB", "MB", "GB"};
+    double v = static_cast<double>(bytes);
+    int u = 0;
+    while (v >= 1024.0 && u < 3) {
+      v /= 1024.0;
+      ++u;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(u == 0 ? 0 : (v < 10 ? 2 : 1)) << v
+       << units[u];
+    return os.str();
+  }
+
+  static std::string fmt_count(std::uint64_t v) {
+    // Thousands separators for readability of big access counts.
+    std::string s = std::to_string(v);
+    std::string out;
+    int c = 0;
+    for (auto it = s.rbegin(); it != s.rend(); ++it) {
+      if (c != 0 && c % 3 == 0) out.push_back(',');
+      out.push_back(*it);
+      ++c;
+    }
+    return std::string(out.rbegin(), out.rend());
+  }
+
+  /// Machine-readable output (for plotting pipelines): RFC-4180-ish CSV,
+  /// quoting cells that contain commas or quotes.
+  void print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) os << ',';
+        const std::string& c = cells[i];
+        if (c.find_first_of(",\"") != std::string::npos) {
+          os << '"';
+          for (char ch : c) {
+            if (ch == '"') os << '"';
+            os << ch;
+          }
+          os << '"';
+        } else {
+          os << c;
+        }
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      widths[i] = headers_[i].size();
+    for (const auto& row : rows_)
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], row[i].size());
+
+    auto print_sep = [&] {
+      for (auto w : widths) os << '+' << std::string(w + 2, '-');
+      os << "+\n";
+    };
+    auto print_cells = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string{};
+        os << "| " << c << std::string(widths[i] - c.size() + 1, ' ');
+      }
+      os << "|\n";
+    };
+
+    print_sep();
+    print_cells(headers_);
+    print_sep();
+    for (const auto& row : rows_) print_cells(row);
+    print_sep();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dg

@@ -1,0 +1,38 @@
+// Fundamental identifier and scalar types shared by every dyngran module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace dg {
+
+/// A (possibly synthetic) application address. The detectors never
+/// dereference these; they are pure shadow-table keys, so simulated
+/// workloads may use address ranges that are not backed by real memory.
+using Addr = std::uint64_t;
+
+/// Dense thread identifier assigned by the runtime/simulator, starting at 0.
+using ThreadId = std::uint32_t;
+
+/// Logical clock value of one thread (DJIT+ "timeframe" counter).
+using ClockVal = std::uint32_t;
+
+/// Identifier of a synchronization object (lock, barrier, condvar).
+using SyncId = std::uint64_t;
+
+inline constexpr ThreadId kInvalidThread = std::numeric_limits<ThreadId>::max();
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/// Kind of a memory access.
+enum class AccessType : std::uint8_t { kRead = 0, kWrite = 1 };
+
+inline const char* to_string(AccessType t) noexcept {
+  return t == AccessType::kRead ? "read" : "write";
+}
+
+/// Word size assumed by the fixed word-granularity detector and by the
+/// shadow table's compact indexing mode (the paper targets 32-bit words).
+inline constexpr std::uint32_t kWordSize = 4;
+
+}  // namespace dg

@@ -1,0 +1,109 @@
+// Detector — the event-consumer interface every race detector implements.
+//
+// The runtime (live instrumentation) and the simulator (deterministic
+// workload replay) both deliver the same serialized event stream; this is
+// the analogue of the PIN analysis callbacks in the paper's tool (Fig. 3).
+// Detector implementations are single-threaded consumers: the caller
+// guarantees events arrive one at a time (the runtime holds its analysis
+// lock; the simulator is single-threaded by construction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/memtrack.hpp"
+#include "common/types.hpp"
+#include "report/report_sink.hpp"
+#include "report/stats.hpp"
+
+namespace dg {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Thread t began; parent is the forking thread (kInvalidThread for the
+  /// initial thread). Must be called before any other event of t.
+  virtual void on_thread_start(ThreadId t, ThreadId parent) = 0;
+  /// `joiner` joined with terminated thread `joined`.
+  virtual void on_thread_join(ThreadId joiner, ThreadId joined) = 0;
+
+  virtual void on_acquire(ThreadId t, SyncId s) = 0;
+  virtual void on_release(ThreadId t, SyncId s) = 0;
+
+  virtual void on_read(ThreadId t, Addr addr, std::uint32_t size) = 0;
+  virtual void on_write(ThreadId t, Addr addr, std::uint32_t size) = 0;
+
+  /// Dynamic memory events: detectors drop shadow state on free so stale
+  /// clocks never leak into a recycled allocation.
+  virtual void on_alloc(ThreadId t, Addr addr, std::uint64_t size) {
+    (void)t; (void)addr; (void)size;
+  }
+  virtual void on_free(ThreadId t, Addr addr, std::uint64_t size) {
+    (void)t; (void)addr; (void)size;
+  }
+
+  /// Set thread t's current symbolic code site (stands in for PIN's
+  /// instruction pointer in race reports).
+  virtual void set_site(ThreadId t, const char* site) {
+    (void)t; (void)site;
+  }
+
+  /// End of run (flush/finalize statistics).
+  virtual void on_finish() {}
+
+  // Virtual so decorators (e.g. SamplingDetector) can expose the wrapped
+  // detector's reports/statistics as their own.
+  virtual ReportSink& sink() noexcept { return sink_; }
+  const ReportSink& sink() const noexcept {
+    return const_cast<Detector*>(this)->sink();
+  }
+  virtual DetectorStats& stats() noexcept { return stats_; }
+  const DetectorStats& stats() const noexcept {
+    return const_cast<Detector*>(this)->stats();
+  }
+  virtual MemoryAccountant& accountant() noexcept { return acct_; }
+  const MemoryAccountant& accountant() const noexcept {
+    return const_cast<Detector*>(this)->accountant();
+  }
+
+ protected:
+  ReportSink sink_;
+  DetectorStats stats_;
+  MemoryAccountant acct_;
+};
+
+/// Shared helper: per-thread current-site labels.
+class SiteTracker {
+ public:
+  void set(ThreadId t, const char* site) {
+    if (t >= sites_.size()) sites_.resize(t + 1, nullptr);
+    sites_[t] = site;
+  }
+  const char* get(ThreadId t) const {
+    return t < sites_.size() && sites_[t] != nullptr ? sites_[t] : "";
+  }
+
+ private:
+  std::vector<const char*> sites_;
+};
+
+/// NullDetector — consumes events and does nothing. Runs under this
+/// detector provide the "base time" denominator for slowdown ratios
+/// (DESIGN.md §2): the cost of producing/consuming the event stream with
+/// zero analysis, the analogue of the un-instrumented program execution.
+class NullDetector final : public Detector {
+ public:
+  const char* name() const override { return "none"; }
+  void on_thread_start(ThreadId, ThreadId) override {}
+  void on_thread_join(ThreadId, ThreadId) override {}
+  void on_acquire(ThreadId, SyncId) override {}
+  void on_release(ThreadId, SyncId) override {}
+  void on_read(ThreadId, Addr, std::uint32_t) override {}
+  void on_write(ThreadId, Addr, std::uint32_t) override {}
+};
+
+}  // namespace dg

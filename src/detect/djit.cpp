@@ -1,0 +1,142 @@
+#include "detect/djit.hpp"
+
+#include <algorithm>
+
+namespace dg {
+
+DjitDetector::DjitDetector() : hb_(acct_), table_(acct_) {
+  table_.set_expander([this](DjCell*& cell, std::uint32_t) {
+    const DjCell* src = cell;
+    DjCell* clone = make_cell();
+    clone->reads = src->reads;
+    clone->writes = src->writes;
+    clone->racy = src->racy;
+    acct_.add(MemCategory::kVectorClock,
+              clone->reads.heap_bytes() + clone->writes.heap_bytes());
+    cell = clone;
+    stats_.location_mapped();
+  });
+}
+
+DjitDetector::~DjitDetector() {
+  table_.for_each([&](Addr, std::uint32_t, DjCell*& cell) {
+    drop_cell(cell);
+    cell = nullptr;
+  });
+  table_.clear_all();
+}
+
+void DjitDetector::on_thread_start(ThreadId t, ThreadId parent) {
+  hb_.on_thread_start(t, parent);
+  if (t >= bitmaps_.size()) bitmaps_.resize(t + 1);
+  bitmaps_[t] = std::make_unique<EpochBitmap>(acct_);
+}
+
+void DjitDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
+  hb_.on_thread_join(joiner, joined);
+}
+
+void DjitDetector::on_acquire(ThreadId t, SyncId s) { hb_.on_acquire(t, s); }
+void DjitDetector::on_release(ThreadId t, SyncId s) { hb_.on_release(t, s); }
+
+void DjitDetector::on_read(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kRead);
+}
+void DjitDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kWrite);
+}
+
+void DjitDetector::access(ThreadId t, Addr addr, std::uint32_t size,
+                          AccessType type) {
+  ++stats_.shared_accesses;
+  DG_DCHECK(t < bitmaps_.size() && bitmaps_[t] != nullptr);
+  if (bitmaps_[t]->test_and_set(addr, size, type, hb_.epoch_serial(t))) {
+    ++stats_.same_epoch_hits;
+    return;
+  }
+  const VectorClock& now = hb_.clock(t);
+  const ClockVal own = now.get(t);
+  table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
+                                   DjCell*& cell) {
+    if (cell == nullptr) {
+      cell = make_cell();
+      table_.note_fill(base);
+      stats_.location_mapped();
+    }
+    DjCell& c = *cell;
+    // Write-X checks: a prior write unknown to this thread races with any
+    // access; a prior read unknown to this thread races with a write.
+    if (!c.racy) {
+      ThreadId j = c.writes.first_exceeding(now);
+      if (j != kInvalidThread) {
+        c.racy = true;
+        report(t, base, width, type, AccessType::kWrite, j, c.writes.get(j));
+      } else if (type == AccessType::kWrite) {
+        j = c.reads.first_exceeding(now);
+        if (j != kInvalidThread) {
+          c.racy = true;
+          report(t, base, width, type, AccessType::kRead, j, c.reads.get(j));
+        }
+      }
+    }
+    VectorClock& hist = type == AccessType::kRead ? c.reads : c.writes;
+    const std::size_t before = hist.heap_bytes();
+    hist.set(t, own);
+    if (hist.heap_bytes() > before)
+      acct_.add(MemCategory::kVectorClock, hist.heap_bytes() - before);
+  });
+}
+
+DjitDetector::DjCell* DjitDetector::make_cell() {
+  auto* c = new DjCell();
+  acct_.add(MemCategory::kVectorClock, sizeof(DjCell));
+  stats_.vc_created();
+  stats_.vc_created();  // R_x and W_x are two full vector clocks
+  return c;
+}
+
+void DjitDetector::drop_cell(DjCell* c) {
+  acct_.sub(MemCategory::kVectorClock,
+            sizeof(DjCell) + c->reads.heap_bytes() + c->writes.heap_bytes());
+  stats_.vc_destroyed();
+  stats_.vc_destroyed();
+  stats_.location_unmapped();
+  delete c;
+}
+
+void DjitDetector::report(ThreadId t, Addr base, std::uint32_t width,
+                          AccessType cur, AccessType prev, ThreadId prev_tid,
+                          ClockVal prev_clock) {
+  RaceReport r;
+  r.addr = base;
+  r.size = width;
+  r.current = cur;
+  r.previous = prev;
+  r.current_tid = t;
+  r.previous_tid = prev_tid;
+  r.current_clock = hb_.epoch(t).clock();
+  r.previous_clock = prev_clock;
+  r.current_site = sites_.get(t);
+  sink_.report(r);
+}
+
+void DjitDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {
+  Addr a = addr;
+  const Addr end = size > ~addr ? ~static_cast<Addr>(0) : addr + size;
+  while (a < end) {
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<Addr>(end - a, 1u << 30));
+    bool any = false;
+    table_.for_range_existing(a, chunk,
+                              [&](Addr, std::uint32_t, DjCell*& cell) {
+                                if (cell != nullptr) {
+                                  drop_cell(cell);
+                                  any = true;
+                                }
+                              });
+    if (any) table_.clear_range(a, chunk);
+    a += chunk;
+  }
+}
+
+}  // namespace dg

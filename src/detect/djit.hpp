@@ -1,0 +1,56 @@
+// DjitDetector — DJIT+ (Pozniansky & Schuster, PPoPP'03), §II-B of the
+// paper: full read and write vector clocks per location, first-race-only
+// reporting, same-epoch filtering.
+//
+// FastTrack is DJIT+ with epochs; keeping this detector lets the tests
+// assert the two report identical races (FastTrack's precision claim) and
+// lets the benches quantify the O(n) → O(1) win FastTrack brings before
+// dynamic granularity is added on top.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "shadow/epoch_bitmap.hpp"
+#include "shadow/shadow_table.hpp"
+#include "sync/hb_engine.hpp"
+
+namespace dg {
+
+class DjitDetector final : public Detector {
+ public:
+  DjitDetector();
+  ~DjitDetector() override;
+
+  const char* name() const override { return "djit+"; }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override;
+  void on_thread_join(ThreadId joiner, ThreadId joined) override;
+  void on_acquire(ThreadId t, SyncId s) override;
+  void on_release(ThreadId t, SyncId s) override;
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
+  void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
+
+ private:
+  struct DjCell {
+    VectorClock reads;   // R_x: per-thread clock of last read
+    VectorClock writes;  // W_x: per-thread clock of last write
+    bool racy = false;
+  };
+
+  void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  DjCell* make_cell();
+  void drop_cell(DjCell* c);
+  void report(ThreadId t, Addr base, std::uint32_t width, AccessType cur,
+              AccessType prev, ThreadId prev_tid, ClockVal prev_clock);
+
+  HbEngine hb_;
+  ShadowTable<DjCell*> table_;
+  std::vector<std::unique_ptr<EpochBitmap>> bitmaps_;
+  SiteTracker sites_;
+};
+
+}  // namespace dg

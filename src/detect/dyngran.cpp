@@ -1,0 +1,601 @@
+#include "detect/dyngran.hpp"
+
+#include <algorithm>
+
+namespace dg {
+
+namespace {
+constexpr AccessType opposite(AccessType t) {
+  return t == AccessType::kRead ? AccessType::kWrite : AccessType::kRead;
+}
+}  // namespace
+
+DynGranDetector::DynGranDetector(DynGranConfig cfg)
+    : cfg_(cfg), hb_(acct_), table_(acct_) {
+  segs_.reserve(16);
+  other_segs_.reserve(16);
+}
+
+DynGranDetector::~DynGranDetector() {
+  table_.for_each([&](Addr, std::uint32_t width, DgCell& cell) {
+    if (cell.read != nullptr) detach(cell.read, width);
+    if (cell.write != nullptr) detach(cell.write, width);
+    cell = DgCell{};
+  });
+  table_.clear_all();
+}
+
+void DynGranDetector::on_thread_start(ThreadId t, ThreadId parent) {
+  hb_.on_thread_start(t, parent);
+  if (t >= bitmaps_.size()) bitmaps_.resize(t + 1);
+  bitmaps_[t] = std::make_unique<EpochBitmap>(acct_);
+}
+
+void DynGranDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
+  hb_.on_thread_join(joiner, joined);
+}
+
+void DynGranDetector::on_acquire(ThreadId t, SyncId s) { hb_.on_acquire(t, s); }
+void DynGranDetector::on_release(ThreadId t, SyncId s) { hb_.on_release(t, s); }
+
+EpochBitmap& DynGranDetector::bitmap(ThreadId t) {
+  DG_DCHECK(t < bitmaps_.size() && bitmaps_[t] != nullptr);
+  return *bitmaps_[t];
+}
+
+void DynGranDetector::on_read(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kRead);
+}
+
+void DynGranDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kWrite);
+}
+
+// The structure below is the paper's Fig. 3 memoryRead/memoryWrite routine:
+// same-epoch filter; find-or-insert with temporary first-epoch sharing;
+// split + firm sharing decision at the second epoch access; race check; and
+// span-wide same-epoch marking.
+void DynGranDetector::access(ThreadId t, Addr addr, std::uint32_t size,
+                             AccessType type) {
+  if (size == 0) return;
+  ++stats_.shared_accesses;
+  if (bitmap(t).test_and_set(addr, size, type, hb_.epoch_serial(t))) {
+    ++stats_.same_epoch_hits;
+    return;
+  }
+  const Epoch cur = hb_.epoch(t);
+  const VectorClock& now = hb_.clock(t);
+  const std::uint64_t access_id = ++access_counter_;
+
+  // ---- Pass 1: walk the covered cells; give fresh cells a node (one per
+  // contiguous empty run, so the contiguity invariant holds); collect the
+  // distinct nodes of both shadow planes.
+  segs_.clear();
+  other_segs_.clear();
+  VCNode* fresh = nullptr;
+  table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
+                                   DgCell& cell) {
+    VCNode* other = plane(cell, opposite(type));
+    if (other != nullptr) {
+      if (!other_segs_.empty() && other_segs_.back().node == other)
+        other_segs_.back().hi = base + width;
+      else
+        other_segs_.push_back({other, base, base + width});
+    }
+    VCNode*& slot = plane(cell, type);
+    if (slot == nullptr) {
+      const bool was_empty = cell.read == nullptr && cell.write == nullptr;
+      if (fresh != nullptr && fresh->span_hi == base) {
+        fresh->span_hi = base + width;
+      } else {
+        // Starting a new run: adopt the immediately-adjacent Init node if
+        // it was minted in this very epoch with this access's clock. This
+        // is how sequential fills (memset/fread-style) share one clock per
+        // buffer *without* a create-then-merge round trip per store — the
+        // source of the paper's "33x less vector clock creation and
+        // deletion operations" on pbzip2/dedup.
+        VCNode* adopt = nullptr;
+        if (cfg_.init_state && cfg_.share_first_epoch && base > 0) {
+          const DgCell prev_cell = table_.lookup(base - 1);
+          VCNode* p = plane(prev_cell, type);
+          const bool writes_agree =
+              !cfg_.guide_read_sharing || type != AccessType::kRead ||
+              prev_cell.write == cell.write;
+          if (p != nullptr && p->state == NodeState::kInit &&
+              p->span_hi == base && p->creation == cur && writes_agree &&
+              (type == AccessType::kWrite
+                   ? p->write == cur
+                   : !p->read.is_shared() && p->read.epoch() == cur)) {
+            adopt = p;
+            adopt->first_epoch_shared = true;
+          }
+        }
+        fresh = adopt != nullptr ? adopt : new_node(type, cur, base, base + width);
+        fresh->span_hi = base + width;
+      }
+      slot = fresh;
+      attach(fresh, width);
+      if (was_empty) table_.note_fill(base);
+    }
+    if (!segs_.empty() && segs_.back().node == slot)
+      segs_.back().hi = base + width;
+    else
+      segs_.push_back({slot, base, base + width});
+  });
+
+  // ---- Pass 2: race check against the opposite plane. A read races with
+  // an unordered prior write; a write races with an unordered prior read.
+  bool race_found = false;
+  AccessType race_prev = AccessType::kWrite;
+  ThreadId race_tid = kInvalidThread;
+  ClockVal race_clock = 0;
+  const char* race_site = nullptr;
+  for (const Seg& seg : other_segs_) {
+    VCNode* n = seg.node;
+    if (n->stamp == access_id) continue;
+    n->stamp = access_id;
+    if (type == AccessType::kRead) {
+      if (!now.contains(n->write)) {
+        race_found = true;
+        race_prev = AccessType::kWrite;
+        race_tid = n->write.tid();
+        race_clock = n->write.clock();
+        race_site = n->last_site;
+      }
+    } else {
+      if (!n->read.all_before(now)) {
+        race_found = true;
+        race_prev = AccessType::kRead;
+        race_tid = n->read.concurrent_reader(now);
+        race_clock = n->read.clock_of(race_tid);
+        race_site = n->last_site;
+      }
+    }
+    if (race_found) break;
+  }
+
+  // ---- Pass 3: dedup own-plane segments by node. Free() holes refilled
+  // within this very access can make one node appear in two runs; fold
+  // them into one work item spanning both (span over-approximation).
+  std::size_t work = 0;
+  for (std::size_t i = 0; i < segs_.size(); ++i) {
+    VCNode* n = segs_[i].node;
+    bool dup = false;
+    for (std::size_t j = 0; j < work; ++j) {
+      if (segs_[j].node == n) {
+        segs_[j].lo = std::min(segs_[j].lo, segs_[i].lo);
+        segs_[j].hi = std::max(segs_[j].hi, segs_[i].hi);
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) segs_[work++] = segs_[i];
+  }
+  segs_.resize(work);
+
+  // ---- Pass 4: per-node state machine + FastTrack history update.
+  for (const Seg& seg : segs_) {
+    VCNode* n = seg.node;
+    // Own-plane write-write conflict (checked against the pre-update
+    // history, hence before update_payload).
+    bool node_race = race_found;
+    AccessType prev = race_prev;
+    ThreadId ptid = race_tid;
+    ClockVal pclock = race_clock;
+    const char* psite = race_site;
+    if (type == AccessType::kWrite && !now.contains(n->write)) {
+      node_race = true;
+      prev = AccessType::kWrite;
+      ptid = n->write.tid();
+      pclock = n->write.clock();
+      psite = n->last_site;
+    }
+
+    if (n->state == NodeState::kRace) {
+      update_payload(*n, cur, now);
+      n->last_site = sites_.get(t);
+      continue;
+    }
+
+    if (node_race) {
+      update_payload(*n, cur, now);
+      n->last_site = sites_.get(t);
+      dissolve_race(t, n, type, prev, ptid, pclock, psite, seg.lo, seg.hi);
+      continue;
+    }
+
+    switch (n->state) {
+      case NodeState::kInit: {
+        if (cur == n->creation) {
+          // Still the first epoch of this location.
+          update_payload(*n, cur, now);
+          n->last_site = sites_.get(t);
+          if (!cfg_.init_state) {
+            // Ablation: the one and only sharing decision happens now.
+            VCNode* owner = try_merge(n, type, /*init_neighbors_only=*/false);
+            if (owner == nullptr) {
+              n->state = n->refs > table_.slot_width(n->span_lo)
+                             ? NodeState::kShared
+                             : NodeState::kPrivate;
+            }
+          } else if (cfg_.share_first_epoch) {
+            // Temporary sharing with Init neighbours of equal clock
+            // (1st-Epoch-Shared). Re-attempted whenever new neighbours
+            // appear during the first epoch.
+            VCNode* owner = try_merge(n, type, /*init_neighbors_only=*/true);
+            if (owner != nullptr) owner->first_epoch_shared = true;
+          }
+        } else {
+          // SECOND EPOCH ACCESS: split off the accessed range, then make
+          // the firm sharing decision for the rest of its lifetime.
+          VCNode* mid = split_out(n, seg.lo, seg.hi);
+          update_payload(*mid, cur, now);
+          mid->last_site = sites_.get(t);
+          VCNode* owner = try_merge(mid, type, /*init_neighbors_only=*/false);
+          if (owner == nullptr) {
+            mid->state = mid->refs > table_.slot_width(mid->span_lo)
+                             ? NodeState::kShared
+                             : NodeState::kPrivate;
+            mark_span_same_epoch(t, *mid, addr, size, type);
+          } else {
+            mark_span_same_epoch(t, *owner, addr, size, type);
+          }
+        }
+        break;
+      }
+      case NodeState::kShared:
+      case NodeState::kPrivate: {
+        // §VII extension: a partial new-epoch access to a Shared node can
+        // shrink the granularity again instead of polluting the shared
+        // clock with an update the other sharers never performed.
+        const bool partial = seg.lo > n->span_lo || seg.hi < n->span_hi;
+        if (cfg_.resplit_shared && n->state == NodeState::kShared && partial &&
+            !payload_current(*n, cur, now)) {
+          VCNode* mid = split_out(n, seg.lo, seg.hi);
+          update_payload(*mid, cur, now);
+          mid->last_site = sites_.get(t);
+          mid->last_site = sites_.get(t);
+          VCNode* owner = try_merge(mid, type, /*init_neighbors_only=*/false);
+          if (owner == nullptr) {
+            mid->state = mid->refs > table_.slot_width(mid->span_lo)
+                             ? NodeState::kShared
+                             : NodeState::kPrivate;
+            mark_span_same_epoch(t, *mid, addr, size, type);
+          } else {
+            mark_span_same_epoch(t, *owner, addr, size, type);
+          }
+          break;
+        }
+        update_payload(*n, cur, now);
+        n->last_site = sites_.get(t);
+        mark_span_same_epoch(t, *n, addr, size, type);
+        break;
+      }
+      case NodeState::kRace:
+        break;  // handled above
+    }
+  }
+}
+
+bool DynGranDetector::update_payload(VCNode& n, Epoch cur,
+                                     const VectorClock& now) {
+  if (n.type == AccessType::kWrite) {
+    n.write = cur;
+    return false;
+  }
+  if (n.read.is_shared()) {
+    n.read.add_shared(cur, acct_);
+    return true;  // read-shared: read-read conflict for sharing decisions
+  }
+  if (now.contains(n.read.epoch())) {
+    n.read.set_exclusive(cur, acct_);
+    return false;
+  }
+  n.read.promote(n.read.epoch(), cur, acct_);
+  stats_.vc_created();
+  return true;
+}
+
+bool DynGranDetector::payload_current(const VCNode& n, Epoch cur,
+                                      const VectorClock& now) {
+  (void)now;
+  if (n.type == AccessType::kWrite) return n.write == cur;
+  return !n.read.is_shared() && n.read.epoch() == cur;
+}
+
+bool DynGranDetector::payload_equal(const VCNode& a, const VCNode& b) {
+  DG_DCHECK(a.type == b.type);
+  if (a.type == AccessType::kWrite) return a.write == b.write;
+  // Read histories share only when structurally identical — both epochs
+  // and equal, or both read-shared VCs and equal. This is our reading of
+  // the paper's "no read-read conflict" proviso: neighbouring locations
+  // with *conflicting* (unequal) reader sets never fuse, while locations
+  // read by the same set of concurrent readers (streamcluster's pattern)
+  // do, which is what produces the paper's big same-epoch gains there.
+  return a.read == b.read;
+}
+
+DynGranDetector::VCNode* DynGranDetector::new_node(AccessType type,
+                                                   Epoch creation, Addr lo,
+                                                   Addr hi) {
+  auto* n = new VCNode();
+  n->type = type;
+  n->creation = creation;
+  n->span_lo = lo;
+  n->span_hi = hi;
+  acct_.add(MemCategory::kVectorClock, sizeof(VCNode));
+  stats_.vc_created();
+  return n;
+}
+
+void DynGranDetector::destroy_node(VCNode* n) {
+  if (n->read.is_shared()) stats_.vc_destroyed();
+  n->read.release(acct_);
+  acct_.sub(MemCategory::kVectorClock, sizeof(VCNode));
+  stats_.vc_destroyed();
+  delete n;
+}
+
+void DynGranDetector::attach(VCNode* n, std::uint32_t width) {
+  n->refs += width;
+  stats_.location_mapped(width);
+}
+
+void DynGranDetector::detach(VCNode* n, std::uint32_t width) {
+  DG_DCHECK(n->refs >= width);
+  n->refs -= width;
+  stats_.location_unmapped(width);
+  if (n->refs == 0) destroy_node(n);
+}
+
+void DynGranDetector::repoint(VCNode* from, Addr lo, Addr hi, VCNode* to) {
+  DG_DCHECK(from != to);
+  table_.for_range_existing(
+      lo, static_cast<std::uint32_t>(hi - lo),
+      [&](Addr, std::uint32_t width, DgCell& cell) {
+        VCNode*& slot = plane(cell, from->type);
+        if (slot == from) {
+          slot = to;
+          DG_DCHECK(from->refs >= width);
+          from->refs -= width;
+          to->refs += width;
+        }
+      });
+}
+
+DynGranDetector::VCNode* DynGranDetector::split_out(VCNode* n, Addr lo,
+                                                    Addr hi) {
+  lo = std::max(lo, n->span_lo);
+  hi = std::min(hi, n->span_hi);
+  if (lo <= n->span_lo && hi >= n->span_hi) return n;  // covers whole node
+
+  VCNode* mid = new_node(n->type, n->creation, lo, hi);
+  mid->write = n->write;
+  mid->read.copy_from(n->read, acct_);
+  if (mid->read.is_shared()) stats_.vc_created();
+  mid->last_site = n->last_site;
+  mid->stamp = n->stamp;
+  repoint(n, lo, hi, mid);
+
+  // Only the accessed range is repointed (O(access size)); as in the
+  // paper's split, the remaining sharers keep the old clock. A mid-span
+  // carve leaves a hole, making n's span an over-approximation.
+  if (lo == n->span_lo) {
+    n->span_lo = hi;
+  } else if (hi == n->span_hi) {
+    n->span_hi = lo;
+  } else {
+    n->carved = true;
+  }
+  if (n->refs == 0) destroy_node(n);
+  // The segment came from cells that pointed at n within [lo, hi), and
+  // repoint moved exactly those, so the carved node is never empty.
+  DG_CHECK(mid->refs > 0);
+  return mid;
+}
+
+DynGranDetector::VCNode* DynGranDetector::try_merge(VCNode* n, AccessType type,
+                                                    bool init_neighbors_only) {
+  auto state_ok = [&](const VCNode* p) {
+    if (init_neighbors_only) return p->state == NodeState::kInit;
+    return p->state == NodeState::kShared || p->state == NodeState::kPrivate;
+  };
+  // §VII extension: reads fuse only where the write plane already agrees
+  // (same node, or absent on both sides) — a structural pre-filter that
+  // guides read sharing by the status of the write clocks.
+  auto write_planes_agree = [&](Addr ours, Addr theirs) {
+    if (!cfg_.guide_read_sharing || type != AccessType::kRead) return true;
+    return plane(table_.lookup(ours), AccessType::kWrite) ==
+           plane(table_.lookup(theirs), AccessType::kWrite);
+  };
+  auto consider = [&](VCNode* p) -> VCNode* {
+    if (p == nullptr || p == n || p->type != type) return nullptr;
+    if (!state_ok(p) || !payload_equal(*p, *n)) return nullptr;
+    return p;
+  };
+
+  // Predecessor: during the first epoch the nearest valid neighbour within
+  // the window qualifies (gaps allowed); for the firm decision the paper's
+  // L-size neighbour is the immediately adjacent cell.
+  VCNode* pred = nullptr;
+  if (n->span_lo > 0) {
+    if (init_neighbors_only) {
+      const Addr low_limit =
+          n->span_lo > cfg_.neighbor_window ? n->span_lo - cfg_.neighbor_window
+                                            : 0;
+      Addr base = 0;
+      DgCell c = table_.prev_occupied(n->span_lo, low_limit, &base);
+      pred = consider(plane(c, type));
+      if (pred != nullptr && !write_planes_agree(n->span_lo, base))
+        pred = nullptr;
+    } else {
+      // The paper's firm-decision neighbour: the cell immediately left of
+      // the accessed range. Cell-level adjacency is physical adjacency.
+      DgCell c = table_.lookup(n->span_lo - 1);
+      pred = consider(plane(c, type));
+      if (pred != nullptr && !write_planes_agree(n->span_lo, n->span_lo - 1))
+        pred = nullptr;
+    }
+  }
+  if (pred != nullptr) {
+    repoint(n, n->span_lo, n->span_hi, pred);
+    if (pred->span_hi != n->span_lo || pred->carved || n->carved)
+      pred->carved = true;  // gap or pre-existing holes: span over-approx
+    pred->span_hi = std::max(pred->span_hi, n->span_hi);
+    pred->span_lo = std::min(pred->span_lo, n->span_lo);
+    if (n->refs == 0) destroy_node(n);
+    if (!init_neighbors_only) pred->state = NodeState::kShared;
+    return pred;
+  }
+
+  VCNode* succ = nullptr;
+  if (init_neighbors_only) {
+    Addr base = 0;
+    DgCell c =
+        table_.next_occupied(n->span_hi, n->span_hi + cfg_.neighbor_window,
+                             &base);
+    succ = consider(plane(c, type));
+    if (succ != nullptr && !write_planes_agree(n->span_hi - 1, base))
+      succ = nullptr;
+  } else {
+    DgCell c = table_.lookup(n->span_hi);
+    succ = consider(plane(c, type));
+    if (succ != nullptr && !write_planes_agree(n->span_hi - 1, n->span_hi))
+      succ = nullptr;
+  }
+  if (succ != nullptr) {
+    repoint(n, n->span_lo, n->span_hi, succ);
+    if (succ->span_lo != n->span_hi || succ->carved || n->carved)
+      succ->carved = true;
+    succ->span_lo = std::min(succ->span_lo, n->span_lo);
+    succ->span_hi = std::max(succ->span_hi, n->span_hi);
+    if (n->refs == 0) destroy_node(n);
+    if (!init_neighbors_only) succ->state = NodeState::kShared;
+    return succ;
+  }
+  return nullptr;
+}
+
+void DynGranDetector::dissolve_race(ThreadId t, VCNode* n, AccessType type,
+                                    AccessType prev, ThreadId prev_tid,
+                                    ClockVal prev_clock, const char* prev_site,
+                                    Addr access_lo, Addr access_hi) {
+  // Sharing is terminated: every covered location gets a private clock
+  // (§III-A "Race"). Which sharers are *reported* depends on the sharing
+  // phase, matching the paper's two claims:
+  //   * firm (Shared/Private) sharing: every sharer is reported — "4 write
+  //     locations which were sharing a vector clock with one location
+  //     having a data race" inflate the x264 count (Table 1);
+  //   * temporary Init sharing: only the accessed locations are reported —
+  //     "there is no possibility of false alarms by the temporary sharing
+  //     at the Init state" (§V-B). Untouched sharers go Private with their
+  //     (legitimate) shared history, so real races on them still surface.
+  // In resplit mode (§VII), sharers' histories are never polluted by
+  // partial accesses, so reporting them adds nothing: only the accessed
+  // locations are racy, exactly as at byte granularity.
+  const bool report_sharers =
+      n->state != NodeState::kInit && !cfg_.resplit_shared;
+  const Addr lo = n->span_lo;
+  const Addr hi = n->span_hi;
+  table_.for_range_existing(
+      lo, static_cast<std::uint32_t>(hi - lo),
+      [&](Addr base, std::uint32_t width, DgCell& cell) {
+        VCNode*& slot = plane(cell, n->type);
+        if (slot != n) return;
+        const bool accessed = base < access_hi && base + width > access_lo;
+        VCNode* r = new_node(n->type, n->creation, base, base + width);
+        r->write = n->write;
+        r->read.copy_from(n->read, acct_);
+        if (r->read.is_shared()) stats_.vc_created();
+        r->last_site = n->last_site;
+        r->refs = width;
+        if (accessed || report_sharers) {
+          report(t, base, width, type, prev, prev_tid, prev_clock, prev_site);
+          r->state = NodeState::kRace;
+        } else {
+          r->state = NodeState::kPrivate;
+        }
+        slot = r;
+        DG_DCHECK(n->refs >= width);
+        n->refs -= width;
+      });
+  if (n->refs == 0) destroy_node(n);
+  // else: free() holes left stale refs; the node stays, harmless, until
+  // its remaining cells are freed. (Defensive — should not happen.)
+}
+
+void DynGranDetector::mark_span_same_epoch(ThreadId t, const VCNode& n,
+                                           Addr addr, std::uint32_t size,
+                                           AccessType type) {
+  if (n.span_lo >= addr && n.span_hi <= addr + size)
+    return;  // node does not extend beyond the access: nothing to pre-mark
+  // A carved node's span covers cells with other (live) histories;
+  // pre-marking those would skip accesses whose clocks were NOT updated
+  // here, so only exactly-covered spans are marked.
+  if (n.carved) return;
+  const Addr back = cfg_.bitmap_span_window / 4;
+  const Addr lo = std::max(n.span_lo, addr > back ? addr - back : 0);
+  const Addr hi =
+      std::min<Addr>(n.span_hi, addr + size + cfg_.bitmap_span_window);
+  if (hi <= lo) return;
+  bitmap(t).test_and_set(lo, static_cast<std::uint32_t>(hi - lo), type,
+                         hb_.epoch_serial(t));
+}
+
+void DynGranDetector::report(ThreadId t, Addr base, std::uint32_t width,
+                             AccessType cur, AccessType prev,
+                             ThreadId prev_tid, ClockVal prev_clock,
+                             const char* prev_site) {
+  RaceReport r;
+  r.addr = base;
+  r.size = width;
+  r.current = cur;
+  r.previous = prev;
+  r.current_tid = t;
+  r.previous_tid = prev_tid;
+  r.current_clock = hb_.epoch(t).clock();
+  r.previous_clock = prev_clock;
+  r.current_site = sites_.get(t);
+  if (prev_site != nullptr) r.previous_site = prev_site;
+  sink_.report(r);
+}
+
+void DynGranDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {
+  Addr a = addr;
+  const Addr end = size > ~addr ? ~static_cast<Addr>(0) : addr + size;
+  while (a < end) {
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<Addr>(end - a, 1u << 30));
+    bool any = false;
+    table_.for_range_existing(a, chunk,
+                              [&](Addr, std::uint32_t width, DgCell& cell) {
+                                if (cell.read != nullptr) {
+                                  detach(cell.read, width);
+                                  any = true;
+                                }
+                                if (cell.write != nullptr) {
+                                  detach(cell.write, width);
+                                  any = true;
+                                }
+                              });
+    if (any) table_.clear_range(a, chunk);
+    a += chunk;
+  }
+}
+
+DynGranDetector::NodeView DynGranDetector::inspect(Addr addr,
+                                                   AccessType pl) const {
+  NodeView v;
+  DgCell c = table_.lookup(addr);
+  const VCNode* n = plane(c, pl);
+  if (n == nullptr) return v;
+  v.exists = true;
+  v.state = n->state;
+  v.first_epoch_shared = n->first_epoch_shared;
+  v.ref_bytes = n->refs;
+  v.span_lo = n->span_lo;
+  v.span_hi = n->span_hi;
+  return v;
+}
+
+}  // namespace dg

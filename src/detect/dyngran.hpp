@@ -1,0 +1,198 @@
+// DynGranDetector — the paper's contribution (§III): FastTrack with
+// dynamic detection granularity.
+//
+// Detection starts at byte/word granularity and grows by letting
+// neighbouring locations share one access-history node ("vector clock")
+// whenever their clocks are equal. Each node carries the Fig. 2 state
+// machine:
+//
+//   Init (1st-Epoch-Shared / 1st-Epoch-Private)  — first epoch of the
+//       location; clocks may be shared *temporarily* with Init neighbours
+//       that have the same clock (approximates initialization).
+//   Shared / Private — the firm decision, made at the location's second
+//       epoch access: share with an adjacent Shared/Private neighbour that
+//       has the same clock, else go private. A Private node later becomes
+//       Shared when a deciding neighbour merges into it.
+//   Race — terminal; sharing is dissolved and every formerly-sharing
+//       location is reported and given a private clock (this is why the
+//       dynamic detector reported 4 extra races on x264 in Table 1).
+//
+// At most two sharing decisions are made per location lifetime, so the
+// steady-state per-access cost is FastTrack's O(1) plus a pointer chase.
+//
+// Config flags reproduce the Table 5 ablations:
+//   * share_first_epoch=false : no temporary sharing while in Init
+//   * init_state=false        : no Init state at all — the one and only
+//     sharing decision happens at the first access, which the paper shows
+//     causes false alarms (improper sharing locked in at initialization).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "shadow/epoch_bitmap.hpp"
+#include "shadow/shadow_table.hpp"
+#include "sync/hb_engine.hpp"
+#include "vc/read_history.hpp"
+
+namespace dg {
+
+struct DynGranConfig {
+  /// Keep the Init state: temporary first-epoch sharing, firm decision at
+  /// the second epoch access. When false the firm decision is made at the
+  /// first access (Table 5 "No Init state" column).
+  bool init_state = true;
+  /// Allow temporary sharing while in Init (Table 5 "Sharing at Init").
+  bool share_first_epoch = true;
+  /// How far (bytes) to scan for the nearest valid neighbour during the
+  /// first epoch. The paper scans within the indexing structure; one
+  /// 128-byte block either side is the practical equivalent.
+  std::uint32_t neighbor_window = kBlockBytes;
+  /// When a shared node is accessed, up to this many bytes of its span are
+  /// pre-marked in the same-epoch bitmap (the source of the "multiple
+  /// accesses treated as same-epoch accesses" speedup, §III-B), bounded to
+  /// keep bitmap growth in check on very large shared spans.
+  std::uint32_t bitmap_span_window = 1024;
+
+  // ---- §VII future-work extensions (off by default: the paper's tool) --
+
+  /// "Enhance the vector clock state machine to accommodate access
+  /// behavior after the second epoch so that the detection granularity can
+  /// be changed more dynamically": a *partial* access to a Shared node in
+  /// a new epoch splits the accessed range back out and re-decides,
+  /// instead of updating the whole shared clock. Eliminates the
+  /// large-granularity false alarms (streamcluster) and the extra sharer
+  /// reports (x264) at the cost of extra splits.
+  bool resplit_shared = false;
+
+  /// "The decision of sharing read vector clocks can be guided by the
+  /// status of write vector clocks": read-plane locations fuse only where
+  /// their write-plane shadow already shares one node (or is absent on
+  /// both sides) — a cheap structural filter applied before the clock
+  /// comparison.
+  bool guide_read_sharing = false;
+};
+
+class DynGranDetector final : public Detector {
+ public:
+  explicit DynGranDetector(DynGranConfig cfg = {});
+  ~DynGranDetector() override;
+
+  const char* name() const override { return "fasttrack-dyngran"; }
+  const DynGranConfig& config() const noexcept { return cfg_; }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override;
+  void on_thread_join(ThreadId joiner, ThreadId joined) override;
+  void on_acquire(ThreadId t, SyncId s) override;
+  void on_release(ThreadId t, SyncId s) override;
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
+  void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
+
+  /// Introspection for tests: state of the node covering (addr, plane).
+  enum class NodeState : std::uint8_t { kInit, kShared, kPrivate, kRace };
+  struct NodeView {
+    bool exists = false;
+    NodeState state = NodeState::kInit;
+    bool first_epoch_shared = false;  // Init sub-state
+    std::uint32_t ref_bytes = 0;      // bytes sharing this node
+    Addr span_lo = 0, span_hi = 0;
+  };
+  NodeView inspect(Addr addr, AccessType plane) const;
+
+ private:
+  struct VCNode {
+    NodeState state = NodeState::kInit;
+    AccessType type = AccessType::kRead;
+    bool first_epoch_shared = false;
+    std::uint32_t refs = 0;  // bytes (cells weighted by width) sharing this
+    Addr span_lo = 0;
+    Addr span_hi = 0;   // covering range; over-approximate when carved
+    bool carved = false;  // a split/free left holes inside [span_lo, span_hi)
+    Epoch creation;    // epoch of the first access (second-epoch trigger)
+    std::uint64_t stamp = 0;  // last access id that processed this node
+    Epoch write;       // payload for write-plane nodes
+    ReadHistory read;  // payload for read-plane nodes
+    const char* last_site = nullptr;  // previous access's code location
+  };
+
+  struct DgCell {
+    VCNode* read = nullptr;
+    VCNode* write = nullptr;
+    friend bool operator==(const DgCell&, const DgCell&) = default;
+  };
+
+  struct Seg {  // run of consecutive cells mapping to the same node
+    VCNode* node;
+    Addr lo;
+    Addr hi;
+  };
+
+  static VCNode*& plane(DgCell& c, AccessType t) {
+    return t == AccessType::kRead ? c.read : c.write;
+  }
+  static VCNode* plane(const DgCell& c, AccessType t) {
+    return t == AccessType::kRead ? c.read : c.write;
+  }
+
+  void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  VCNode* new_node(AccessType type, Epoch creation, Addr lo, Addr hi);
+  void destroy_node(VCNode* n);
+  void attach(VCNode* n, std::uint32_t width);
+  void detach(VCNode* n, std::uint32_t width);
+
+  /// Equal-clock test for sharing decisions (payload equality by type).
+  static bool payload_equal(const VCNode& a, const VCNode& b);
+
+  /// Does the node's clock already reflect the current access (same epoch,
+  /// exclusive)? Used to skip pointless resplits of in-progress sweeps.
+  static bool payload_current(const VCNode& n, Epoch cur,
+                              const VectorClock& now);
+
+  /// FastTrack history update on a node. Returns true when a read had to
+  /// promote to (or stay in) the read-shared VC representation — the
+  /// "read-read conflict" that vetoes a sharing decision.
+  bool update_payload(VCNode& n, Epoch cur, const VectorClock& now);
+
+  /// Repoint all cells of `from` lying in [lo, hi) to `to`; moves refs.
+  void repoint(VCNode* from, Addr lo, Addr hi, VCNode* to);
+
+  /// Second-epoch split: carve the accessed sub-range [lo,hi) out of Init
+  /// node `n`; left/right remainders (if any) stay Init with n's history.
+  /// Returns the node now exclusively covering [lo, hi).
+  VCNode* split_out(VCNode* n, Addr lo, Addr hi);
+
+  /// Try to merge `n` (covering [n->span_lo, n->span_hi)) into an adjacent
+  /// neighbour with an equal clock. `states` restricts acceptable neighbour
+  /// states. Returns the surviving node (the neighbour) or nullptr.
+  VCNode* try_merge(VCNode* n, AccessType type, bool init_neighbors_only);
+
+  /// Dissolve a racing node: every covered cell is reported as a racy
+  /// location and gets a private Race node (§III-A "Race").
+  void dissolve_race(ThreadId t, VCNode* n, AccessType type, AccessType prev,
+                     ThreadId prev_tid, ClockVal prev_clock,
+                     const char* prev_site, Addr access_lo, Addr access_hi);
+
+  void mark_span_same_epoch(ThreadId t, const VCNode& n, Addr addr,
+                            std::uint32_t size, AccessType type);
+
+  void report(ThreadId t, Addr base, std::uint32_t width, AccessType cur,
+              AccessType prev, ThreadId prev_tid, ClockVal prev_clock,
+              const char* prev_site);
+
+  EpochBitmap& bitmap(ThreadId t);
+
+  DynGranConfig cfg_;
+  HbEngine hb_;
+  ShadowTable<DgCell> table_;
+  std::vector<std::unique_ptr<EpochBitmap>> bitmaps_;
+  SiteTracker sites_;
+  std::uint64_t access_counter_ = 0;
+  std::vector<Seg> segs_;        // scratch: own-plane segments
+  std::vector<Seg> other_segs_;  // scratch: opposite-plane segments
+};
+
+}  // namespace dg

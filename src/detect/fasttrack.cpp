@@ -1,0 +1,211 @@
+#include "detect/fasttrack.hpp"
+
+#include <algorithm>
+
+namespace dg {
+
+FastTrackDetector::FastTrackDetector(Granularity g)
+    : gran_(g), hb_(acct_), table_(acct_) {
+  // When a word-mode shadow block expands to byte mode, every replica of
+  // an occupied cell must own its own FtCell (cells never alias).
+  table_.set_expander([this](FtCell*& cell, std::uint32_t) {
+    const FtCell* src = cell;
+    FtCell* clone = make_cell();
+    clone->write = src->write;
+    clone->read.copy_from(src->read, acct_);
+    if (clone->read.is_shared()) stats_.vc_created();
+    clone->last_site = src->last_site;
+    clone->racy = src->racy;
+    cell = clone;
+    stats_.location_mapped();
+  });
+}
+
+FastTrackDetector::~FastTrackDetector() {
+  // Release all remaining cells against the accountant so leak checks in
+  // tests can assert current() == 0 after destruction.
+  table_.for_each([&](Addr, std::uint32_t, FtCell*& cell) {
+    drop_cell(cell);
+    cell = nullptr;
+  });
+  table_.clear_all();
+}
+
+void FastTrackDetector::on_thread_start(ThreadId t, ThreadId parent) {
+  hb_.on_thread_start(t, parent);
+  if (t >= bitmaps_.size()) bitmaps_.resize(t + 1);
+  bitmaps_[t] = std::make_unique<EpochBitmap>(acct_);
+}
+
+void FastTrackDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
+  hb_.on_thread_join(joiner, joined);
+}
+
+void FastTrackDetector::on_acquire(ThreadId t, SyncId s) {
+  hb_.on_acquire(t, s);
+}
+
+void FastTrackDetector::on_release(ThreadId t, SyncId s) {
+  hb_.on_release(t, s);
+}
+
+EpochBitmap& FastTrackDetector::bitmap(ThreadId t) {
+  DG_DCHECK(t < bitmaps_.size() && bitmaps_[t] != nullptr);
+  return *bitmaps_[t];
+}
+
+void FastTrackDetector::on_read(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kRead);
+}
+
+void FastTrackDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kWrite);
+}
+
+void FastTrackDetector::access(ThreadId t, Addr addr, std::uint32_t size,
+                               AccessType type) {
+  ++stats_.shared_accesses;
+  if (gran_ == Granularity::kWord) {
+    // Mask the access to word boundaries: the detection unit is the word.
+    const Addr lo = addr & ~static_cast<Addr>(kWordSize - 1);
+    const Addr hi =
+        (addr + size + kWordSize - 1) & ~static_cast<Addr>(kWordSize - 1);
+    addr = lo;
+    size = static_cast<std::uint32_t>(hi - lo);
+  }
+  // Same-epoch filter: DJIT+ property — only the first read and the first
+  // write of a location per epoch need processing.
+  if (bitmap(t).test_and_set(addr, size, type, hb_.epoch_serial(t))) {
+    ++stats_.same_epoch_hits;
+    return;
+  }
+  table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
+                                   FtCell*& cell) {
+    if (cell == nullptr) {
+      cell = make_cell();
+      table_.note_fill(base);
+      stats_.location_mapped();
+    }
+    if (type == AccessType::kRead)
+      check_read(t, base, width, *cell);
+    else
+      check_write(t, base, width, *cell);
+  });
+}
+
+void FastTrackDetector::check_read(ThreadId t, Addr base, std::uint32_t width,
+                                   FtCell& c) {
+  const VectorClock& now = hb_.clock(t);
+  const Epoch cur = hb_.epoch(t);
+  // Write-read race: the last write is not ordered before this read.
+  if (!now.contains(c.write) && !c.racy) {
+    c.racy = true;
+    report(t, base, width, AccessType::kRead, AccessType::kWrite,
+           c.write.tid(), c.write.clock(), c.last_site);
+  }
+  c.last_site = sites_.get(t);
+  // Update the read history (FastTrack's adaptive representation).
+  if (c.read.is_shared()) {
+    c.read.add_shared(cur, acct_);
+  } else if (now.contains(c.read.epoch())) {
+    c.read.set_exclusive(cur, acct_);  // reads remain totally ordered
+  } else {
+    c.read.promote(c.read.epoch(), cur, acct_);  // concurrent reads
+    stats_.vc_created();  // the promotion materializes a full VC
+  }
+}
+
+void FastTrackDetector::check_write(ThreadId t, Addr base, std::uint32_t width,
+                                    FtCell& c) {
+  const VectorClock& now = hb_.clock(t);
+  // Write-write race.
+  if (!now.contains(c.write) && !c.racy) {
+    c.racy = true;
+    report(t, base, width, AccessType::kWrite, AccessType::kWrite,
+           c.write.tid(), c.write.clock(), c.last_site);
+  }
+  // Read-write race.
+  if (!c.read.all_before(now) && !c.racy) {
+    c.racy = true;
+    const ThreadId rt = c.read.concurrent_reader(now);
+    report(t, base, width, AccessType::kWrite, AccessType::kRead, rt,
+           c.read.clock_of(rt), c.last_site);
+  }
+  c.last_site = sites_.get(t);
+  if (c.read.is_shared()) {
+    // FastTrack WRITE SHARED: after the write, the read history is
+    // discarded and the representation drops back to epochs.
+    stats_.vc_destroyed();
+    c.read.reset(acct_);
+  }
+  c.write = hb_.epoch(t);
+}
+
+void FastTrackDetector::report(ThreadId t, Addr base, std::uint32_t width,
+                               AccessType cur, AccessType prev,
+                               ThreadId prev_tid, ClockVal prev_clock,
+                               const char* prev_site) {
+  RaceReport r;
+  r.addr = base;
+  r.size = width;
+  r.current = cur;
+  r.previous = prev;
+  r.current_tid = t;
+  r.previous_tid = prev_tid;
+  r.current_clock = hb_.epoch(t).clock();
+  r.previous_clock = prev_clock;
+  r.current_site = sites_.get(t);
+  if (prev_site != nullptr) r.previous_site = prev_site;
+  sink_.report(r);
+}
+
+FastTrackDetector::FtCell* FastTrackDetector::make_cell() {
+  auto* c = new FtCell();
+  acct_.add(MemCategory::kVectorClock, sizeof(FtCell));
+  stats_.vc_created();
+  return c;
+}
+
+void FastTrackDetector::drop_cell(FtCell* c) {
+  if (c->read.is_shared()) stats_.vc_destroyed();
+  c->read.release(acct_);
+  acct_.sub(MemCategory::kVectorClock, sizeof(FtCell));
+  stats_.vc_destroyed();
+  stats_.location_unmapped();
+  delete c;
+}
+
+void FastTrackDetector::on_alloc(ThreadId, Addr addr, std::uint64_t size) {
+  // Shadow state is dropped at free() (as in the paper's tool), so a
+  // recycled allocation never observes stale clocks and nothing remains to
+  // clear here.
+  (void)addr;
+  (void)size;
+}
+
+void FastTrackDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {
+  release_range(addr, size);
+}
+
+void FastTrackDetector::release_range(Addr addr, std::uint64_t size) {
+  Addr a = addr;
+  const Addr end = size > ~addr ? ~static_cast<Addr>(0) : addr + size;
+  while (a < end) {
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<Addr>(end - a, 1u << 30));
+    bool any = false;
+    // Drop the payloads but leave the pointers for clear_range, which
+    // zeroes them while maintaining per-block occupancy counts.
+    table_.for_range_existing(a, chunk,
+                              [&](Addr, std::uint32_t, FtCell*& cell) {
+                                if (cell != nullptr) {
+                                  drop_cell(cell);
+                                  any = true;
+                                }
+                              });
+    if (any) table_.clear_range(a, chunk);
+    a += chunk;
+  }
+}
+
+}  // namespace dg

@@ -1,0 +1,81 @@
+// FastTrackDetector — the FastTrack algorithm (Flanagan & Freund, PLDI'09)
+// at a fixed detection granularity: byte or word.
+//
+// This is the baseline the paper's dynamic-granularity algorithm is built
+// on and compared against (Table 1 "Byte"/"Word" columns). Per location it
+// keeps the last write as an epoch and the read history in FastTrack's
+// adaptive epoch-or-VC representation. Same-epoch accesses are filtered by
+// the per-thread bitmap of §IV-A before any shadow lookup.
+//
+// Word granularity masks every access to 4-byte boundaries, reproducing
+// the paper's observed artefacts: races at distinct non-word-aligned bytes
+// collapse into one report (x264) and false alarms appear from clock
+// updates attributed to untouched neighbouring bytes (ffmpeg).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "shadow/epoch_bitmap.hpp"
+#include "shadow/shadow_table.hpp"
+#include "sync/hb_engine.hpp"
+#include "vc/read_history.hpp"
+
+namespace dg {
+
+enum class Granularity { kByte, kWord };
+
+inline const char* to_string(Granularity g) noexcept {
+  return g == Granularity::kByte ? "byte" : "word";
+}
+
+class FastTrackDetector final : public Detector {
+ public:
+  explicit FastTrackDetector(Granularity g);
+  ~FastTrackDetector() override;
+
+  const char* name() const override {
+    return gran_ == Granularity::kByte ? "fasttrack-byte" : "fasttrack-word";
+  }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override;
+  void on_thread_join(ThreadId joiner, ThreadId joined) override;
+  void on_acquire(ThreadId t, SyncId s) override;
+  void on_release(ThreadId t, SyncId s) override;
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_alloc(ThreadId t, Addr addr, std::uint64_t size) override;
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
+  void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
+
+ private:
+  // Per-location FastTrack shadow state. `racy` latches after the first
+  // reported race so the location is not re-reported (DJIT+ reports only
+  // the first race per location).
+  struct FtCell {
+    Epoch write;
+    ReadHistory read;
+    const char* last_site = nullptr;  // previous access's code location
+    bool racy = false;
+  };
+
+  void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  void check_read(ThreadId t, Addr base, std::uint32_t width, FtCell& c);
+  void check_write(ThreadId t, Addr base, std::uint32_t width, FtCell& c);
+  void report(ThreadId t, Addr base, std::uint32_t width, AccessType cur,
+              AccessType prev, ThreadId prev_tid, ClockVal prev_clock,
+              const char* prev_site);
+  FtCell* make_cell();
+  void drop_cell(FtCell* c);
+  void release_range(Addr addr, std::uint64_t size);
+  EpochBitmap& bitmap(ThreadId t);
+
+  Granularity gran_;
+  HbEngine hb_;
+  ShadowTable<FtCell*> table_;
+  std::vector<std::unique_ptr<EpochBitmap>> bitmaps_;
+  SiteTracker sites_;
+};
+
+}  // namespace dg

@@ -1,0 +1,203 @@
+#include "detect/hybrid.hpp"
+
+#include <algorithm>
+
+namespace dg {
+
+HybridDetector::HybridDetector(HybridMode mode)
+    : mode_(mode), hb_(acct_), pool_(acct_), table_(acct_) {
+  table_.set_expander([this](HyCell*& cell, std::uint32_t) {
+    const HyCell* src = cell;
+    HyCell* clone = make_cell();
+    clone->write = src->write;
+    clone->read.copy_from(src->read, acct_);
+    if (clone->read.is_shared()) stats_.vc_created();
+    clone->lockset = src->lockset;
+    clone->first_writer = src->first_writer;
+    clone->multi_writer = src->multi_writer;
+    clone->racy = src->racy;
+    cell = clone;
+    stats_.location_mapped();
+  });
+}
+
+HybridDetector::~HybridDetector() {
+  table_.for_each([&](Addr, std::uint32_t, HyCell*& cell) {
+    drop_cell(cell);
+    cell = nullptr;
+  });
+  table_.clear_all();
+}
+
+void HybridDetector::on_thread_start(ThreadId t, ThreadId parent) {
+  hb_.on_thread_start(t, parent);
+  if (t >= held_.size()) held_.resize(t + 1);
+  if (t >= bitmaps_.size()) bitmaps_.resize(t + 1);
+  bitmaps_[t] = std::make_unique<EpochBitmap>(acct_);
+}
+
+void HybridDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
+  hb_.on_thread_join(joiner, joined);
+}
+
+void HybridDetector::on_acquire(ThreadId t, SyncId s) {
+  hb_.on_acquire(t, s);
+  held_[t].acquire(s);
+}
+
+void HybridDetector::on_release(ThreadId t, SyncId s) {
+  hb_.on_release(t, s);
+  held_[t].release(s);
+}
+
+void HybridDetector::on_read(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kRead);
+}
+
+void HybridDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kWrite);
+}
+
+void HybridDetector::access(ThreadId t, Addr addr, std::uint32_t size,
+                            AccessType type) {
+  ++stats_.shared_accesses;
+  // Note: the same-epoch filter is sound for the happens-before side but
+  // could starve the lockset side of intersections; like TSan, the filter
+  // is applied after the lockset update, per cell.
+  const bool hb_skippable =
+      bitmaps_[t]->test_and_set(addr, size, type, hb_.epoch_serial(t));
+  if (hb_skippable) ++stats_.same_epoch_hits;
+
+  const VectorClock& now = hb_.clock(t);
+  const Epoch cur = hb_.epoch(t);
+  const LocksetId held = held_[t].id(pool_);
+
+  table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
+                                   HyCell*& cell) {
+    if (cell == nullptr) {
+      cell = make_cell();
+      cell->lockset = held;
+      table_.note_fill(base);
+      stats_.location_mapped();
+    }
+    HyCell& c = *cell;
+
+    // ---- lockset side (potential races) --------------------------------
+    if (type == AccessType::kWrite) {
+      if (c.multi_writer) {
+        c.lockset = pool_.intersect(c.lockset, held);
+      } else if (c.first_writer == kInvalidThread) {
+        c.first_writer = t;
+      } else if (c.first_writer != t) {
+        // First cross-thread write: the candidate set restarts at this
+        // access (Eraser's Exclusive-era exemption tolerates unlocked
+        // initialization); every later access refines by intersection.
+        c.multi_writer = true;
+        c.lockset = held;
+      }
+    } else if (c.multi_writer) {
+      c.lockset = pool_.intersect(c.lockset, held);
+    }
+
+    if (hb_skippable) return;  // happens-before side already up to date
+
+    // ---- happens-before side (FastTrack) -------------------------------
+    bool hb_race = false;
+    if (!c.racy) {
+      if (!now.contains(c.write)) {
+        hb_race = true;
+        c.racy = true;
+        report(t, base, width, type, AccessType::kWrite, c.write.tid(),
+               c.write.clock(), /*potential=*/false);
+      } else if (type == AccessType::kWrite && !c.read.all_before(now)) {
+        hb_race = true;
+        c.racy = true;
+        const ThreadId rt = c.read.concurrent_reader(now);
+        report(t, base, width, type, AccessType::kRead, rt,
+               c.read.clock_of(rt), /*potential=*/false);
+      }
+    }
+
+    // ---- hybrid verdict: lockset empty but execution ordered -----------
+    if (mode_ == HybridMode::kHybrid && !hb_race && !c.racy &&
+        c.multi_writer && pool_.is_empty(c.lockset)) {
+      c.racy = true;
+      ++potential_;
+      report(t, base, width, type, AccessType::kWrite, c.first_writer, 0,
+             /*potential=*/true);
+    }
+
+    // History update.
+    if (type == AccessType::kRead) {
+      if (c.read.is_shared()) {
+        c.read.add_shared(cur, acct_);
+      } else if (now.contains(c.read.epoch())) {
+        c.read.set_exclusive(cur, acct_);
+      } else {
+        c.read.promote(c.read.epoch(), cur, acct_);
+        stats_.vc_created();
+      }
+    } else {
+      if (c.read.is_shared()) {
+        stats_.vc_destroyed();
+        c.read.reset(acct_);
+      }
+      c.write = cur;
+    }
+  });
+}
+
+HybridDetector::HyCell* HybridDetector::make_cell() {
+  auto* c = new HyCell();
+  acct_.add(MemCategory::kVectorClock, sizeof(HyCell));
+  stats_.vc_created();
+  return c;
+}
+
+void HybridDetector::drop_cell(HyCell* c) {
+  if (c->read.is_shared()) stats_.vc_destroyed();
+  c->read.release(acct_);
+  acct_.sub(MemCategory::kVectorClock, sizeof(HyCell));
+  stats_.vc_destroyed();
+  stats_.location_unmapped();
+  delete c;
+}
+
+void HybridDetector::report(ThreadId t, Addr base, std::uint32_t width,
+                            AccessType cur, AccessType prev,
+                            ThreadId prev_tid, ClockVal prev_clock,
+                            bool potential) {
+  RaceReport r;
+  r.addr = base;
+  r.size = width;
+  r.current = cur;
+  r.previous = prev;
+  r.current_tid = t;
+  r.previous_tid = prev_tid;
+  r.current_clock = hb_.epoch(t).clock();
+  r.previous_clock = prev_clock;
+  r.current_site = sites_.get(t);
+  if (potential) r.previous_site = "(potential: empty lockset)";
+  sink_.report(r);
+}
+
+void HybridDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {
+  Addr a = addr;
+  const Addr end = size > ~addr ? ~static_cast<Addr>(0) : addr + size;
+  while (a < end) {
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<Addr>(end - a, 1u << 30));
+    bool any = false;
+    table_.for_range_existing(a, chunk,
+                              [&](Addr, std::uint32_t, HyCell*& cell) {
+                                if (cell != nullptr) {
+                                  drop_cell(cell);
+                                  any = true;
+                                }
+                              });
+    if (any) table_.clear_range(a, chunk);
+    a += chunk;
+  }
+}
+
+}  // namespace dg

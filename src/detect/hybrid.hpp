@@ -1,0 +1,86 @@
+// HybridDetector — a ThreadSanitizer-v1-style hybrid (§VI: "a hybrid race
+// detector for C++ programs that offers tunable options to users"),
+// following O'Callahan & Choi's recipe of adding happens-before edges to a
+// LockSet detector.
+//
+// Per location it keeps BOTH FastTrack-style clocks and an Eraser-style
+// candidate lock set. Two modes:
+//   * kPure   — report only happens-before races (precise; equivalent to
+//     FastTrack byte granularity),
+//   * kHybrid — additionally report *potential* races: the location's
+//     candidate lock set went empty while writes came from multiple
+//     threads, even though this execution happened to order them (e.g. by
+//     accidental timing through an unrelated lock). Better coverage of
+//     unexercised interleavings, at the price of false alarms on
+//     fork/join- or signal-ordered data — the §VI trade-off in one knob.
+//
+// Like TSan's dynamic annotations, user-defined synchronization can be
+// taught to the detector through the ordinary sync events (the runtime's
+// sync_signal / sync_acquire_edge), which suppresses those false alarms.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/lockset_pool.hpp"
+#include "shadow/epoch_bitmap.hpp"
+#include "shadow/shadow_table.hpp"
+#include "sync/hb_engine.hpp"
+#include "vc/read_history.hpp"
+
+namespace dg {
+
+enum class HybridMode { kPure, kHybrid };
+
+class HybridDetector final : public Detector {
+ public:
+  explicit HybridDetector(HybridMode mode = HybridMode::kHybrid);
+  ~HybridDetector() override;
+
+  const char* name() const override {
+    return mode_ == HybridMode::kPure ? "tsan-pure-hb" : "tsan-hybrid";
+  }
+  HybridMode mode() const noexcept { return mode_; }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override;
+  void on_thread_join(ThreadId joiner, ThreadId joined) override;
+  void on_acquire(ThreadId t, SyncId s) override;
+  void on_release(ThreadId t, SyncId s) override;
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
+  void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
+
+  /// Races reported only by the lockset side (potential races on other
+  /// interleavings) — the hybrid mode's added coverage.
+  std::uint64_t potential_races() const noexcept { return potential_; }
+
+ private:
+  struct HyCell {
+    Epoch write;
+    ReadHistory read;
+    LocksetId lockset = kEmptyLockset;
+    ThreadId first_writer = kInvalidThread;
+    bool multi_writer = false;
+    bool racy = false;
+  };
+
+  void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  HyCell* make_cell();
+  void drop_cell(HyCell* c);
+  void report(ThreadId t, Addr base, std::uint32_t width, AccessType cur,
+              AccessType prev, ThreadId prev_tid, ClockVal prev_clock,
+              bool potential);
+
+  HybridMode mode_;
+  HbEngine hb_;
+  LocksetPool pool_;
+  ShadowTable<HyCell*> table_;
+  std::vector<HeldLocks> held_;
+  std::vector<std::unique_ptr<EpochBitmap>> bitmaps_;
+  SiteTracker sites_;
+  std::uint64_t potential_ = 0;
+};
+
+}  // namespace dg

@@ -1,0 +1,158 @@
+#include "detect/inspector_like.hpp"
+
+#include <algorithm>
+
+namespace dg {
+
+InspectorLikeDetector::InspectorLikeDetector()
+    : hb_(acct_), pool_(acct_), table_(acct_) {
+  table_.set_expander([this](InCell*& cell, std::uint32_t) {
+    const InCell* src = cell;
+    InCell* clone = make_cell();
+    *clone = *src;
+    acct_.add(MemCategory::kVectorClock,
+              clone->reads.heap_bytes() + clone->writes.heap_bytes());
+    cell = clone;
+    stats_.location_mapped();
+  });
+}
+
+InspectorLikeDetector::~InspectorLikeDetector() {
+  table_.for_each([&](Addr, std::uint32_t, InCell*& cell) {
+    drop_cell(cell);
+    cell = nullptr;
+  });
+  table_.clear_all();
+}
+
+void InspectorLikeDetector::on_thread_start(ThreadId t, ThreadId parent) {
+  hb_.on_thread_start(t, parent);
+  if (t >= held_.size()) held_.resize(t + 1);
+  if (t >= bitmaps_.size()) bitmaps_.resize(t + 1);
+  bitmaps_[t] = std::make_unique<EpochBitmap>(acct_);
+}
+
+void InspectorLikeDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
+  hb_.on_thread_join(joiner, joined);
+}
+
+void InspectorLikeDetector::on_acquire(ThreadId t, SyncId s) {
+  hb_.on_acquire(t, s);
+  held_[t].acquire(s);
+}
+
+void InspectorLikeDetector::on_release(ThreadId t, SyncId s) {
+  hb_.on_release(t, s);
+  held_[t].release(s);
+}
+
+void InspectorLikeDetector::on_read(ThreadId t, Addr addr,
+                                    std::uint32_t size) {
+  access(t, addr, size, AccessType::kRead);
+}
+
+void InspectorLikeDetector::on_write(ThreadId t, Addr addr,
+                                     std::uint32_t size) {
+  access(t, addr, size, AccessType::kWrite);
+}
+
+void InspectorLikeDetector::access(ThreadId t, Addr addr, std::uint32_t size,
+                                   AccessType type) {
+  ++stats_.shared_accesses;
+  ++timeline_;
+  if (bitmaps_[t]->test_and_set(addr, size, type, hb_.epoch_serial(t))) {
+    ++stats_.same_epoch_hits;
+    return;
+  }
+  const VectorClock& now = hb_.clock(t);
+  const ClockVal own = now.get(t);
+  const LocksetId held = held_[t].id(pool_);
+  table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
+                                   InCell*& cell) {
+    if (cell == nullptr) {
+      cell = make_cell();
+      cell->lockset = held;
+      table_.note_fill(base);
+      stats_.location_mapped();
+    }
+    InCell& c = *cell;
+    ThreadId j = c.writes.first_exceeding(now);
+    AccessType prev = AccessType::kWrite;
+    if (j == kInvalidThread && type == AccessType::kWrite) {
+      j = c.reads.first_exceeding(now);
+      prev = AccessType::kRead;
+    }
+    if (j != kInvalidThread) {
+      // Dedup by (site, timeline bucket) rather than by location: the same
+      // racy location reappears when hit from a new instruction/timeline.
+      const char* site = sites_.get(t);
+      const std::uint64_t key =
+          (std::hash<const char*>{}(site) * 0x9e3779b97f4a7c15ULL) ^
+          (timeline_ >> 16) ^ (base << 1);
+      if (reported_keys_.insert(key).second) {
+        ++timeline_reports_;
+        RaceReport r;
+        r.addr = base;
+        r.size = width;
+        r.current = type;
+        r.previous = prev;
+        r.current_tid = t;
+        r.previous_tid = j;
+        r.current_clock = own;
+        r.previous_clock =
+            prev == AccessType::kWrite ? c.writes.get(j) : c.reads.get(j);
+        r.current_site = site;
+        if (c.last_site != nullptr) r.previous_site = c.last_site;
+        sink_.report(r);
+      }
+    }
+    // Context + lockset bookkeeping on every analysed access — the cost
+    // profile that makes this detector the heaviest of the suite.
+    c.lockset = pool_.intersect(c.lockset, held);
+    c.last_site = sites_.get(t);
+    c.last_timeline = timeline_;
+    VectorClock& hist = type == AccessType::kRead ? c.reads : c.writes;
+    const std::size_t before = hist.heap_bytes();
+    hist.set(t, own);
+    if (hist.heap_bytes() > before)
+      acct_.add(MemCategory::kVectorClock, hist.heap_bytes() - before);
+  });
+}
+
+InspectorLikeDetector::InCell* InspectorLikeDetector::make_cell() {
+  auto* c = new InCell();
+  acct_.add(MemCategory::kVectorClock, sizeof(InCell));
+  stats_.vc_created();
+  stats_.vc_created();  // two full clocks per location
+  return c;
+}
+
+void InspectorLikeDetector::drop_cell(InCell* c) {
+  acct_.sub(MemCategory::kVectorClock,
+            sizeof(InCell) + c->reads.heap_bytes() + c->writes.heap_bytes());
+  stats_.vc_destroyed();
+  stats_.vc_destroyed();
+  stats_.location_unmapped();
+  delete c;
+}
+
+void InspectorLikeDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {
+  Addr a = addr;
+  const Addr end = size > ~addr ? ~static_cast<Addr>(0) : addr + size;
+  while (a < end) {
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<Addr>(end - a, 1u << 30));
+    bool any = false;
+    table_.for_range_existing(a, chunk,
+                              [&](Addr, std::uint32_t, InCell*& cell) {
+                                if (cell != nullptr) {
+                                  drop_cell(cell);
+                                  any = true;
+                                }
+                              });
+    if (any) table_.clear_range(a, chunk);
+    a += chunk;
+  }
+}
+
+}  // namespace dg

@@ -1,0 +1,76 @@
+// InspectorLikeDetector — an open substitute for Intel Inspector XE in the
+// Table 6 case study (Inspector itself is closed source; see DESIGN.md §2).
+//
+// Modelled on what the paper observes about the tool: precise happens-
+// before detection at byte granularity, noticeably higher memory (≈2.8×
+// the dynamic detector) and time (≈1.4×), and richer per-race context
+// (calling stacks, timelines). We realize that profile with
+//   * always-full DJIT+ vector clocks per location (no epoch optimization),
+//   * an Eraser-style candidate lock set per location, maintained on every
+//     access (used to annotate reports, as hybrid commercial tools do),
+//   * per-location capture of the last access's site and timeline, and
+//   * timeline-distinguished reporting: the same location can be reported
+//     more than once if raced from a different instruction/timeline pair,
+//     matching "Inspector XE may report the same accesses on a specific
+//     memory location as multiple races" (§V-C).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/lockset_pool.hpp"
+#include "shadow/epoch_bitmap.hpp"
+#include "shadow/shadow_table.hpp"
+#include "sync/hb_engine.hpp"
+
+namespace dg {
+
+class InspectorLikeDetector final : public Detector {
+ public:
+  InspectorLikeDetector();
+  ~InspectorLikeDetector() override;
+
+  const char* name() const override { return "inspector-like"; }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override;
+  void on_thread_join(ThreadId joiner, ThreadId joined) override;
+  void on_acquire(ThreadId t, SyncId s) override;
+  void on_release(ThreadId t, SyncId s) override;
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
+  void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
+
+  /// Raw reports including timeline duplicates (Table 6 lists these).
+  std::uint64_t timeline_reports() const noexcept { return timeline_reports_; }
+
+ private:
+  struct InCell {
+    VectorClock reads;
+    VectorClock writes;
+    LocksetId lockset = kEmptyLockset;
+    const char* last_site = nullptr;   // context capture
+    std::uint64_t last_timeline = 0;   // event index of the last access
+  };
+
+  void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  InCell* make_cell();
+  void drop_cell(InCell* c);
+
+  HbEngine hb_;
+  LocksetPool pool_;
+  ShadowTable<InCell*> table_;
+  std::vector<HeldLocks> held_;
+  std::vector<std::unique_ptr<EpochBitmap>> bitmaps_;
+  SiteTracker sites_;
+  std::uint64_t timeline_ = 0;
+  std::uint64_t timeline_reports_ = 0;
+  // (site, timeline-bucket) pairs already reported, for the
+  // instruction+timeline dedup Inspector applies.
+  std::unordered_set<std::uint64_t> reported_keys_;
+};
+
+}  // namespace dg

@@ -1,0 +1,155 @@
+#include "detect/lockset.hpp"
+
+#include <algorithm>
+
+namespace dg {
+
+LockSetDetector::LockSetDetector() : pool_(acct_), table_(acct_) {
+  table_.set_expander([this](LsCell*& cell, std::uint32_t) {
+    LsCell* clone = new LsCell(*cell);
+    acct_.add(MemCategory::kVectorClock, sizeof(LsCell));
+    stats_.vc_created();
+    stats_.location_mapped();
+    cell = clone;
+  });
+}
+
+LockSetDetector::~LockSetDetector() {
+  table_.for_each([&](Addr, std::uint32_t, LsCell*& cell) {
+    acct_.sub(MemCategory::kVectorClock, sizeof(LsCell));
+    delete cell;
+    cell = nullptr;
+  });
+  table_.clear_all();
+}
+
+void LockSetDetector::on_thread_start(ThreadId t, ThreadId /*parent*/) {
+  if (t >= held_.size()) held_.resize(t + 1);
+}
+
+void LockSetDetector::on_thread_join(ThreadId, ThreadId) {
+  // Eraser has no notion of happens-before; join edges are invisible —
+  // one source of its false alarms.
+}
+
+void LockSetDetector::on_acquire(ThreadId t, SyncId s) {
+  DG_DCHECK(t < held_.size());
+  held_[t].acquire(s);
+}
+
+void LockSetDetector::on_release(ThreadId t, SyncId s) {
+  DG_DCHECK(t < held_.size());
+  held_[t].release(s);
+}
+
+void LockSetDetector::on_read(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kRead);
+}
+
+void LockSetDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kWrite);
+}
+
+void LockSetDetector::access(ThreadId t, Addr addr, std::uint32_t size,
+                             AccessType type) {
+  ++stats_.shared_accesses;
+  const LocksetId held = held_[t].id(pool_);
+  table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
+                                   LsCell*& cell) {
+    if (cell == nullptr) {
+      cell = new LsCell();
+      acct_.add(MemCategory::kVectorClock, sizeof(LsCell));
+      stats_.vc_created();
+      stats_.location_mapped();
+      table_.note_fill(base);
+    }
+    LsCell& c = *cell;
+    switch (c.state) {
+      case VarState::kVirgin:
+        c.state = VarState::kExclusive;
+        c.owner = t;
+        c.lockset = held;
+        break;
+      case VarState::kExclusive:
+        if (c.owner == t) break;  // still single-threaded: no checking
+        // Second thread: the candidate set starts as THIS access's held
+        // locks (Eraser initializes C(v) to the universe and refines from
+        // the first shared access on — the Exclusive era is exempt, which
+        // is exactly how Eraser tolerates unlocked initialization).
+        c.lockset = held;
+        c.state = type == AccessType::kWrite ? VarState::kSharedModified
+                                             : VarState::kShared;
+        if (c.state == VarState::kSharedModified && pool_.is_empty(c.lockset)) {
+          report(t, base, width, type);
+          c.state = VarState::kReported;
+        }
+        break;
+      case VarState::kShared:
+        c.lockset = pool_.intersect(c.lockset, held);
+        if (type == AccessType::kWrite) {
+          c.state = VarState::kSharedModified;
+          if (pool_.is_empty(c.lockset)) {
+            report(t, base, width, type);
+            c.state = VarState::kReported;
+          }
+        }
+        break;
+      case VarState::kSharedModified:
+        c.lockset = pool_.intersect(c.lockset, held);
+        if (pool_.is_empty(c.lockset)) {
+          report(t, base, width, type);
+          c.state = VarState::kReported;
+        }
+        break;
+      case VarState::kReported:
+        break;  // first report per location only
+    }
+  });
+}
+
+void LockSetDetector::report(ThreadId t, Addr base, std::uint32_t width,
+                             AccessType type) {
+  RaceReport r;
+  r.addr = base;
+  r.size = width;
+  r.current = type;
+  r.previous = AccessType::kWrite;  // Eraser does not retain the prior access
+  r.current_tid = t;
+  r.current_site = sites_.get(t);
+  sink_.report(r);
+}
+
+void LockSetDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {
+  Addr a = addr;
+  const Addr end = size > ~addr ? ~static_cast<Addr>(0) : addr + size;
+  while (a < end) {
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<Addr>(end - a, 1u << 30));
+    bool any = false;
+    table_.for_range_existing(a, chunk,
+                              [&](Addr, std::uint32_t, LsCell*& cell) {
+                                if (cell != nullptr) {
+                                  acct_.sub(MemCategory::kVectorClock,
+                                            sizeof(LsCell));
+                                  stats_.vc_destroyed();
+                                  stats_.location_unmapped();
+                                  delete cell;
+                                  any = true;
+                                }
+                              });
+    if (any) table_.clear_range(a, chunk);
+    a += chunk;
+  }
+}
+
+LockSetDetector::CellView LockSetDetector::inspect(Addr addr) const {
+  CellView v;
+  const LsCell* c = table_.lookup(addr);
+  if (c == nullptr) return v;
+  v.exists = true;
+  v.state = c->state;
+  v.lockset = c->lockset;
+  return v;
+}
+
+}  // namespace dg

@@ -1,0 +1,70 @@
+// LockSetDetector — Eraser (Savage et al., TOCS'97), §I of the paper.
+//
+// Reports a potential race when a shared location's candidate lock set
+// becomes empty while in the Shared-Modified state. Unlike the
+// happens-before detectors, Eraser flags violations of a locking
+// discipline, so it detects potential races on unexercised interleavings —
+// and produces the false alarms (e.g. fork/join- or init-protected data)
+// that motivated the paper's choice of a vector-clock base.
+//
+// Granularity is the shadow table's native unit (word cells, byte cells on
+// unaligned access), as in the original Eraser.
+#pragma once
+
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/lockset_pool.hpp"
+#include "shadow/shadow_table.hpp"
+
+namespace dg {
+
+class LockSetDetector final : public Detector {
+ public:
+  LockSetDetector();
+  ~LockSetDetector() override;
+
+  const char* name() const override { return "eraser-lockset"; }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override;
+  void on_thread_join(ThreadId joiner, ThreadId joined) override;
+  void on_acquire(ThreadId t, SyncId s) override;
+  void on_release(ThreadId t, SyncId s) override;
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
+  void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
+
+  enum class VarState : std::uint8_t {
+    kVirgin,          // never accessed
+    kExclusive,       // accessed by one thread only — no checking yet
+    kShared,          // read-shared across threads
+    kSharedModified,  // written by multiple threads: lockset enforced
+    kReported,        // race already reported
+  };
+
+  /// Test hook: state + candidate set of the cell covering addr.
+  struct CellView {
+    bool exists = false;
+    VarState state = VarState::kVirgin;
+    LocksetId lockset = kEmptyLockset;
+  };
+  CellView inspect(Addr addr) const;
+
+ private:
+  struct LsCell {  // packed per-location Eraser state
+    VarState state = VarState::kVirgin;
+    ThreadId owner = kInvalidThread;  // Exclusive-state owner
+    LocksetId lockset = kEmptyLockset;
+  };
+
+  void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  void report(ThreadId t, Addr base, std::uint32_t width, AccessType type);
+
+  LocksetPool pool_;
+  ShadowTable<LsCell*> table_;
+  std::vector<HeldLocks> held_;
+  SiteTracker sites_;
+};
+
+}  // namespace dg

@@ -1,0 +1,134 @@
+// LocksetPool — interned, immutable lock sets.
+//
+// Eraser-style detectors attach a candidate lock set to every monitored
+// location; interning makes each distinct set exist once and turns the
+// per-access set operations into table lookups on (set, lock) pairs, the
+// standard implementation trick from the Eraser paper.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/memtrack.hpp"
+#include "common/types.hpp"
+
+namespace dg {
+
+/// Identifier of an interned lock set. Set 0 is the empty set.
+using LocksetId = std::uint32_t;
+inline constexpr LocksetId kEmptyLockset = 0;
+
+class LocksetPool {
+ public:
+  explicit LocksetPool(MemoryAccountant& acct) : acct_(&acct) {
+    sets_.push_back({});  // id 0: empty set
+  }
+
+  ~LocksetPool() {
+    for (const auto& s : sets_)
+      acct_->sub(MemCategory::kOther, s.capacity() * sizeof(SyncId));
+  }
+
+  LocksetPool(const LocksetPool&) = delete;
+  LocksetPool& operator=(const LocksetPool&) = delete;
+
+  /// Intern a sorted, duplicate-free vector of lock ids.
+  LocksetId intern(std::vector<SyncId> locks) {
+    DG_DCHECK(std::is_sorted(locks.begin(), locks.end()));
+    if (locks.empty()) return kEmptyLockset;
+    const std::uint64_t h = hash(locks);
+    auto [it, inserted] = index_.try_emplace(h, 0);
+    if (!inserted && sets_[it->second] == locks) return it->second;
+    if (!inserted) {
+      // Hash collision with different content: linear-scan fallback.
+      for (LocksetId id = 0; id < sets_.size(); ++id)
+        if (sets_[id] == locks) return id;
+    }
+    const auto id = static_cast<LocksetId>(sets_.size());
+    acct_->add(MemCategory::kOther, locks.capacity() * sizeof(SyncId));
+    sets_.push_back(std::move(locks));
+    it->second = id;
+    return id;
+  }
+
+  const std::vector<SyncId>& get(LocksetId id) const {
+    DG_DCHECK(id < sets_.size());
+    return sets_[id];
+  }
+
+  bool is_empty(LocksetId id) const { return get(id).empty(); }
+
+  /// Intersection, memoized on (a, b) pairs.
+  LocksetId intersect(LocksetId a, LocksetId b) {
+    if (a == b) return a;
+    if (a == kEmptyLockset || b == kEmptyLockset) return kEmptyLockset;
+    if (a > b) std::swap(a, b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    auto it = intersect_cache_.find(key);
+    if (it != intersect_cache_.end()) return it->second;
+    std::vector<SyncId> out;
+    std::set_intersection(get(a).begin(), get(a).end(), get(b).begin(),
+                          get(b).end(), std::back_inserter(out));
+    const LocksetId r = intern(std::move(out));
+    intersect_cache_.emplace(key, r);
+    return r;
+  }
+
+  std::size_t num_sets() const noexcept { return sets_.size(); }
+
+ private:
+  static std::uint64_t hash(const std::vector<SyncId>& locks) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL + locks.size();
+    for (SyncId s : locks) {
+      h ^= s + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xff51afd7ed558ccdULL;
+    }
+    return h;
+  }
+
+  MemoryAccountant* acct_;
+  std::vector<std::vector<SyncId>> sets_;
+  std::unordered_map<std::uint64_t, LocksetId> index_;
+  std::unordered_map<std::uint64_t, LocksetId> intersect_cache_;
+};
+
+/// Per-thread currently-held locks, maintained sorted for cheap interning.
+class HeldLocks {
+ public:
+  void acquire(SyncId s) {
+    auto it = std::lower_bound(locks_.begin(), locks_.end(), s);
+    if (it == locks_.end() || *it != s) {
+      locks_.insert(it, s);
+      dirty_ = true;
+    }
+  }
+
+  void release(SyncId s) {
+    auto it = std::lower_bound(locks_.begin(), locks_.end(), s);
+    if (it != locks_.end() && *it == s) {
+      locks_.erase(it);
+      dirty_ = true;
+    }
+  }
+
+  /// Interned id of the current set (cached until the set changes).
+  LocksetId id(LocksetPool& pool) {
+    if (dirty_) {
+      cached_ = pool.intern(locks_);
+      dirty_ = false;
+    }
+    return cached_;
+  }
+
+  const std::vector<SyncId>& locks() const noexcept { return locks_; }
+
+ private:
+  std::vector<SyncId> locks_;
+  LocksetId cached_ = kEmptyLockset;
+  bool dirty_ = false;
+};
+
+}  // namespace dg

@@ -1,0 +1,82 @@
+#include "detect/sampling.hpp"
+
+#include <algorithm>
+
+namespace dg {
+
+SamplingDetector::SamplingDetector(std::unique_ptr<Detector> inner,
+                                   SamplingConfig cfg)
+    : cfg_(cfg), inner_(std::move(inner)), rng_(cfg.seed) {
+  DG_CHECK(inner_ != nullptr);
+}
+
+void SamplingDetector::on_thread_start(ThreadId t, ThreadId parent) {
+  if (t >= current_site_.size()) current_site_.resize(t + 1, nullptr);
+  inner_->on_thread_start(t, parent);
+}
+
+void SamplingDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
+  inner_->on_thread_join(joiner, joined);
+}
+
+// Synchronization is never sampled away: "all synchronization operations
+// are collected" (LiteRace), and a missing release/acquire edge would turn
+// sampling's misses into false alarms.
+void SamplingDetector::on_acquire(ThreadId t, SyncId s) {
+  inner_->on_acquire(t, s);
+}
+void SamplingDetector::on_release(ThreadId t, SyncId s) {
+  inner_->on_release(t, s);
+}
+void SamplingDetector::on_alloc(ThreadId t, Addr a, std::uint64_t n) {
+  inner_->on_alloc(t, a, n);
+}
+void SamplingDetector::on_free(ThreadId t, Addr a, std::uint64_t n) {
+  inner_->on_free(t, a, n);
+}
+void SamplingDetector::on_finish() { inner_->on_finish(); }
+
+void SamplingDetector::set_site(ThreadId t, const char* site) {
+  if (t >= current_site_.size()) current_site_.resize(t + 1, nullptr);
+  current_site_[t] = site;
+  inner_->set_site(t, site);
+}
+
+bool SamplingDetector::should_sample(ThreadId t) {
+  ++total_;
+  if (cfg_.policy == SamplingPolicy::kPacer) {
+    if (window_pos_++ >= cfg_.window_length) {
+      window_pos_ = 0;
+      window_sampled_ = rng_.uniform01() < cfg_.pacer_rate;
+    }
+    return window_sampled_;
+  }
+  // LiteRace: per-site bursts with adaptive decay.
+  const char* site = t < current_site_.size() ? current_site_[t] : nullptr;
+  SiteState& st = sites_[site];
+  if (st.burst_left > 0) {
+    --st.burst_left;
+    return true;
+  }
+  if (rng_.uniform01() < st.rate) {
+    // Start a sampled burst and cool the site down for next time.
+    st.burst_left = cfg_.burst_length - 1;
+    st.rate = std::max(cfg_.floor, st.rate * cfg_.decay);
+    return true;
+  }
+  return false;
+}
+
+void SamplingDetector::on_read(ThreadId t, Addr addr, std::uint32_t size) {
+  if (!should_sample(t)) return;
+  ++sampled_;
+  inner_->on_read(t, addr, size);
+}
+
+void SamplingDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
+  if (!should_sample(t)) return;
+  ++sampled_;
+  inner_->on_write(t, addr, size);
+}
+
+}  // namespace dg

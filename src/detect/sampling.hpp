@@ -1,0 +1,109 @@
+// SamplingDetector — sampling-based overhead reduction, the alternative
+// strategy the paper surveys in §VI:
+//
+//   * LiteRace (Marino et al., PLDI'09): per-code-region adaptive burst
+//     sampling grounded in the cold-region hypothesis — "infrequently
+//     accessed areas are more likely to have data races than frequently
+//     accessed areas. ... The sampler starts at a 100% sampling rate and
+//     the sampling rate is adaptively decreased until it reaches a lower
+//     bound."
+//   * PACER (Bond et al., PLDI'10): global proportional sampling —
+//     "periodically samples all threads and offers a detection rate
+//     proportional to the sampling rate."
+//
+// Implemented as a decorator over any inner Detector: synchronization
+// events are ALWAYS forwarded (skipping them would corrupt the
+// happens-before relation and cause false alarms), memory accesses are
+// forwarded according to the sampling policy. Skipping accesses of a
+// vector-clock detector can only *miss* races, never invent them, so the
+// combination stays precise — the paper's objection is purely the missed
+// "critical data races", which bench/sampling_study quantifies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/prng.hpp"
+#include "detect/detector.hpp"
+
+namespace dg {
+
+enum class SamplingPolicy {
+  kLiteRace,  // per-site adaptive burst sampling
+  kPacer,     // global proportional sampling windows
+};
+
+struct SamplingConfig {
+  SamplingPolicy policy = SamplingPolicy::kLiteRace;
+  // LiteRace: initial rate 100%; after every sampled burst from a site the
+  // site's rate is multiplied by `decay` until `floor` is reached.
+  double decay = 0.9;
+  double floor = 0.02;
+  std::uint32_t burst_length = 64;  // accesses per sampled burst
+  // PACER: fraction of windows that are sampled.
+  double pacer_rate = 0.03;
+  std::uint32_t window_length = 4096;  // accesses per window
+  std::uint64_t seed = 0x5a17;
+};
+
+class SamplingDetector final : public Detector {
+ public:
+  SamplingDetector(std::unique_ptr<Detector> inner, SamplingConfig cfg = {});
+
+  const char* name() const override {
+    return cfg_.policy == SamplingPolicy::kLiteRace ? "literace-sampling"
+                                                    : "pacer-sampling";
+  }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override;
+  void on_thread_join(ThreadId joiner, ThreadId joined) override;
+  void on_acquire(ThreadId t, SyncId s) override;
+  void on_release(ThreadId t, SyncId s) override;
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_alloc(ThreadId t, Addr addr, std::uint64_t size) override;
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
+  void set_site(ThreadId t, const char* site) override;
+  void on_finish() override;
+
+  Detector& inner() noexcept { return *inner_; }
+  const Detector& inner() const noexcept { return *inner_; }
+
+  // Reports, statistics and memory accounting are the wrapped detector's.
+  ReportSink& sink() noexcept override { return inner_->sink(); }
+  DetectorStats& stats() noexcept override { return inner_->stats(); }
+  MemoryAccountant& accountant() noexcept override {
+    return inner_->accountant();
+  }
+
+  std::uint64_t total_accesses() const noexcept { return total_; }
+  std::uint64_t sampled_accesses() const noexcept { return sampled_; }
+  double effective_rate() const noexcept {
+    return total_ == 0 ? 1.0
+                       : static_cast<double>(sampled_) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  struct SiteState {
+    double rate = 1.0;          // cold-start: sample everything
+    std::uint32_t burst_left = 0;
+    bool decided = false;       // a burst decision is pending?
+  };
+
+  bool should_sample(ThreadId t);
+
+  SamplingConfig cfg_;
+  std::unique_ptr<Detector> inner_;
+  Prng rng_;
+  std::unordered_map<const char*, SiteState> sites_;  // keyed by site ptr
+  std::vector<const char*> current_site_;             // per thread
+  std::uint64_t total_ = 0;
+  std::uint64_t sampled_ = 0;
+  // PACER window state.
+  std::uint64_t window_pos_ = 0;
+  bool window_sampled_ = true;
+};
+
+}  // namespace dg

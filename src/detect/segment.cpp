@@ -1,0 +1,243 @@
+#include "detect/segment.hpp"
+
+#include <algorithm>
+
+namespace dg {
+
+namespace {
+// Approximate heap cost of one unordered_map entry (node + bucket share):
+// the access-map analogue of DRD's per-segment bitmap footprint.
+constexpr std::size_t kMapEntryBytes =
+    sizeof(Addr) + sizeof(std::uint8_t) + 3 * sizeof(void*);
+constexpr Addr kFreeBlockMask = ~static_cast<Addr>(63);
+// Approximate footprint of one std::map node in the free-time index.
+constexpr std::size_t kFreeNodeBytes = sizeof(Addr) + sizeof(std::uint64_t) + 4 * sizeof(void*);
+}  // namespace
+
+SegmentDetector::SegmentDetector() : hb_(acct_) {}
+
+SegmentDetector::~SegmentDetector() {
+  for (auto& s : current_)
+    if (s) drop_segment_memory(*s);
+  for (auto& list : history_)
+    for (auto& s : list) drop_segment_memory(*s);
+  acct_.sub(MemCategory::kOther, free_time_.size() * kFreeNodeBytes);
+}
+
+void SegmentDetector::drop_segment_memory(const Segment& s) {
+  acct_.sub(MemCategory::kBitmap, s.charged_bytes + sizeof(Segment));
+}
+
+std::size_t SegmentDetector::live_segments() const {
+  std::size_t n = 0;
+  for (const auto& list : history_) n += list.size();
+  return n;
+}
+
+void SegmentDetector::open_segment(ThreadId t) {
+  auto seg = std::make_unique<Segment>();
+  seg->tid = t;
+  seg->open_seq = ++event_seq_;
+  acct_.add(MemCategory::kBitmap, sizeof(Segment));
+  current_[t] = std::move(seg);
+}
+
+void SegmentDetector::on_thread_start(ThreadId t, ThreadId parent) {
+  if (parent != kInvalidThread) close_segment(parent);
+  hb_.on_thread_start(t, parent);
+  if (t >= current_.size()) {
+    current_.resize(t + 1);
+    history_.resize(t + 1);
+    thread_alive_.resize(t + 1, false);
+  }
+  thread_alive_[t] = true;
+  open_segment(t);
+  if (parent != kInvalidThread && current_[parent] == nullptr)
+    open_segment(parent);
+}
+
+void SegmentDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
+  close_segment(joined);
+  thread_alive_[joined] = false;
+  close_segment(joiner);
+  hb_.on_thread_join(joiner, joined);
+  open_segment(joiner);
+}
+
+void SegmentDetector::on_acquire(ThreadId t, SyncId s) {
+  close_segment(t);
+  hb_.on_acquire(t, s);
+  open_segment(t);
+}
+
+void SegmentDetector::on_release(ThreadId t, SyncId s) {
+  close_segment(t);
+  hb_.on_release(t, s);
+  open_segment(t);
+  if (++releases_since_retire_ >= 256) {
+    retire_ordered_segments();
+    releases_since_retire_ = 0;
+  }
+}
+
+void SegmentDetector::close_segment(ThreadId t) {
+  if (t >= current_.size() || current_[t] == nullptr) return;
+  std::unique_ptr<Segment> seg = std::move(current_[t]);
+  if (seg->accesses.words.empty()) {
+    drop_segment_memory(*seg);
+    return;  // nothing recorded: drop
+  }
+  seg->own_clock = hb_.clock(t).get(t);
+  history_[t].push_back(std::move(seg));
+}
+
+void SegmentDetector::retire_ordered_segments() {
+  // A closed segment of thread u can never race again once every other
+  // alive thread has observed its epoch. A thread parked in join (often
+  // main) pins the history until the join lands — that costs memory, not
+  // time: the per-owner suffix indexing keeps the racy-candidate scan
+  // bounded by how far threads actually lag, independent of history size.
+  for (ThreadId u = 0; u < history_.size(); ++u) {
+    auto& list = history_[u];
+    if (list.empty()) continue;
+    ClockVal min_seen = std::numeric_limits<ClockVal>::max();
+    bool any = false;
+    for (ThreadId w = 0; w < current_.size(); ++w) {
+      if (!thread_alive_[w] || w == u) continue;
+      min_seen = std::min(min_seen, hb_.clock(w).get(u));
+      any = true;
+    }
+    if (!any) min_seen = std::numeric_limits<ClockVal>::max();
+    std::size_t keep_from = 0;
+    while (keep_from < list.size() &&
+           list[keep_from]->own_clock <= min_seen) {
+      drop_segment_memory(*list[keep_from]);
+      ++keep_from;
+    }
+    if (keep_from > 0)
+      list.erase(list.begin(), list.begin() + static_cast<long>(keep_from));
+  }
+}
+
+bool SegmentDetector::freed_since(Addr word, std::uint64_t seq) const {
+  auto it = free_time_.find(word & kFreeBlockMask);
+  return it != free_time_.end() && it->second > seq;
+}
+
+void SegmentDetector::on_read(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kRead);
+}
+
+void SegmentDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kWrite);
+}
+
+void SegmentDetector::access(ThreadId t, Addr addr, std::uint32_t size,
+                             AccessType type) {
+  ++stats_.shared_accesses;
+  ++event_seq_;
+  DG_DCHECK(t < current_.size() && current_[t] != nullptr);
+  Segment& mine = *current_[t];
+  const VectorClock& now = hb_.clock(t);
+  const std::uint8_t bits =
+      type == AccessType::kRead ? AccessMap::kR : AccessMap::kW;
+
+  const Addr lo = addr & ~static_cast<Addr>(kWordSize - 1);
+  const Addr hi =
+      (addr + size + kWordSize - 1) & ~static_cast<Addr>(kWordSize - 1);
+  for (Addr w = lo; w < hi; w += kWordSize) {
+    const std::uint8_t before = mine.accesses.add(w, bits);
+    if (before == 0) {
+      mine.charged_bytes += kMapEntryBytes;
+      acct_.add(MemCategory::kBitmap, kMapEntryBytes);
+    }
+    // Same-segment filter: this word was already checked in this segment
+    // for an access at least as strong as the current one.
+    const bool covered = type == AccessType::kRead
+                             ? before != 0
+                             : (before & AccessMap::kW) != 0;
+    if (covered) {
+      ++stats_.same_epoch_hits;
+      continue;
+    }
+    if (sink_.known_location(w)) continue;
+
+    auto check = [&](const Segment& s) -> bool {
+      const std::uint8_t other = s.accesses.get(w);
+      if (other == 0) return false;
+      if (type == AccessType::kRead && (other & AccessMap::kW) == 0)
+        return false;  // read vs read
+      if (freed_since(w, s.open_seq)) return false;  // recycled memory
+      report(t, w, type,
+             (other & AccessMap::kW) != 0 ? AccessType::kWrite
+                                          : AccessType::kRead,
+             s.tid, s.own_clock);
+      return true;
+    };
+
+    bool raced = false;
+    for (ThreadId u = 0; u < history_.size() && !raced; ++u) {
+      if (u == t) continue;  // own segments are program-ordered
+      auto& list = history_[u];
+      // Concurrent segments of u: own_clock > now[u] — a suffix.
+      const ClockVal seen = now.get(u);
+      auto it = std::upper_bound(
+          list.begin(), list.end(), seen,
+          [](ClockVal c, const std::unique_ptr<Segment>& s) {
+            return c < s->own_clock;
+          });
+      for (; it != list.end(); ++it) {
+        if (check(**it)) {
+          raced = true;
+          break;
+        }
+      }
+    }
+    if (!raced) {
+      // Other threads' open segments: concurrent iff their current epoch
+      // is unknown to the accessor.
+      for (ThreadId u = 0; u < current_.size(); ++u) {
+        if (u == t || current_[u] == nullptr) continue;
+        Segment& open = *current_[u];
+        open.own_clock = hb_.clock(u).get(u);
+        if (open.own_clock <= now.get(u)) continue;
+        if (check(open)) break;
+      }
+    }
+  }
+}
+
+void SegmentDetector::report(ThreadId t, Addr word, AccessType cur,
+                             AccessType prev, ThreadId prev_tid,
+                             ClockVal prev_clock) {
+  RaceReport r;
+  r.addr = word;
+  r.size = kWordSize;
+  r.current = cur;
+  r.previous = prev;
+  r.current_tid = t;
+  r.previous_tid = prev_tid;
+  r.current_clock = hb_.epoch(t).clock();
+  r.previous_clock = prev_clock;
+  r.current_site = sites_.get(t);
+  sink_.report(r);
+}
+
+void SegmentDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {
+  // Stamp the covered blocks: candidate races against segments that
+  // closed before this free are stale (the memory was recycled).
+  ++event_seq_;
+  const Addr lo = addr & kFreeBlockMask;
+  const Addr end = size > ~addr ? ~static_cast<Addr>(0) : addr + size;
+  for (Addr b = lo; b < end; b += 64) {
+    auto [it, inserted] = free_time_.insert_or_assign(b, event_seq_);
+    (void)it;
+    if (inserted) acct_.add(MemCategory::kOther, kFreeNodeBytes);
+  }
+}
+
+void SegmentDetector::on_finish() {
+  for (ThreadId t = 0; t < current_.size(); ++t) close_segment(t);
+}
+
+}  // namespace dg

@@ -1,0 +1,102 @@
+// SegmentDetector — a RecPlay/DRD-style happens-before detector (§II, the
+// "first method"; §V-C Valgrind DRD case study).
+//
+// Instead of per-location vector clocks, each thread collects the shared
+// accesses of its current *segment* (the code between two successive
+// synchronization operations) into an access map. A segment is published
+// with the thread's vector clock when it closes; an access is checked
+// against the access maps of concurrent segments. Memory stays low (no
+// per-location clocks) but every access pays a segment scan — exactly the
+// time/space trade the paper observes for DRD ("DRD uses less memory but
+// is slower than FastTrack").
+//
+// Two classic engineering tricks keep the scan from exploding (the paper
+// cites RecPlay's "clock snooping and merging segments"):
+//   * segments are kept in per-owner lists ordered by the owner's own
+//     clock, so the segments concurrent with an accessor are exactly a
+//     suffix of each list (found by binary search), and
+//   * fully-observed prefixes are retired periodically.
+// free() bumps a per-block free-time; candidate races on memory recycled
+// since the segment closed are suppressed (stale shadow, as DRD drops
+// state on free).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "sync/hb_engine.hpp"
+
+namespace dg {
+
+class SegmentDetector final : public Detector {
+ public:
+  SegmentDetector();
+  ~SegmentDetector() override;
+
+  const char* name() const override { return "segment-drd"; }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override;
+  void on_thread_join(ThreadId joiner, ThreadId joined) override;
+  void on_acquire(ThreadId t, SyncId s) override;
+  void on_release(ThreadId t, SyncId s) override;
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
+  void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
+  void on_finish() override;
+
+  std::size_t live_segments() const;
+
+ private:
+  // Access map of one segment: word address -> 2-bit read/write mask.
+  struct AccessMap {
+    std::unordered_map<Addr, std::uint8_t> words;
+
+    static constexpr std::uint8_t kR = 1, kW = 2;
+
+    /// Returns the pre-existing mask bits for the word (for dedup).
+    std::uint8_t add(Addr word, std::uint8_t bits) {
+      auto [it, inserted] = words.try_emplace(word, 0);
+      const std::uint8_t before = it->second;
+      it->second |= bits;
+      return before;
+    }
+    std::uint8_t get(Addr word) const {
+      auto it = words.find(word);
+      return it == words.end() ? 0 : it->second;
+    }
+  };
+
+  struct Segment {
+    ThreadId tid = kInvalidThread;
+    ClockVal own_clock = 0;      // owner's clock when the segment closed
+    std::uint64_t open_seq = 0;  // event sequence when the segment opened
+    AccessMap accesses;
+    std::size_t charged_bytes = 0;
+  };
+
+  void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  void open_segment(ThreadId t);
+  void close_segment(ThreadId t);
+  void retire_ordered_segments();
+  bool freed_since(Addr word, std::uint64_t seq) const;
+  void drop_segment_memory(const Segment& s);
+  void report(ThreadId t, Addr word, AccessType cur, AccessType prev,
+              ThreadId prev_tid, ClockVal prev_clock);
+
+  HbEngine hb_;
+  std::vector<std::unique_ptr<Segment>> current_;  // per-thread open segment
+  // Closed segments per owner, ascending own_clock: the concurrent ones
+  // for an accessor are a suffix.
+  std::vector<std::vector<std::unique_ptr<Segment>>> history_;
+  std::vector<bool> thread_alive_;
+  std::map<Addr, std::uint64_t> free_time_;  // 64B block -> last free seq
+  SiteTracker sites_;
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t releases_since_retire_ = 0;
+};
+
+}  // namespace dg

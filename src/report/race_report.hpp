@@ -1,0 +1,47 @@
+// RaceReport — one detected data race, in the style of the paper's tool:
+// "we provide the location of a race along with the previous access
+// location, thread ids, and the race memory address" (§V-C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "vc/epoch.hpp"
+
+namespace dg {
+
+struct RaceReport {
+  Addr addr = 0;               // first racing byte (cell base)
+  std::uint32_t size = 0;      // width of the racing location/cell
+  AccessType current = AccessType::kWrite;  // the access that trips the race
+  AccessType previous = AccessType::kWrite; // the conflicting recorded access
+  ThreadId current_tid = kInvalidThread;
+  ThreadId previous_tid = kInvalidThread;
+  ClockVal current_clock = 0;
+  ClockVal previous_clock = 0;
+  // Symbolic site labels (the runtime substitutes these for PIN's
+  // instruction pointers; workloads tag their logical program points).
+  std::string current_site;
+  std::string previous_site;
+
+  std::string str() const {
+    std::string s = "data race on 0x";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(addr));
+    s += buf;
+    s += " (" + std::to_string(size) + "B): ";
+    s += to_string(current);
+    s += " by T" + std::to_string(current_tid) + "@" +
+         std::to_string(current_clock);
+    if (!current_site.empty()) s += " [" + current_site + "]";
+    s += " vs prior ";
+    s += to_string(previous);
+    s += " by T" + std::to_string(previous_tid) + "@" +
+         std::to_string(previous_clock);
+    if (!previous_site.empty()) s += " [" + previous_site + "]";
+    return s;
+  }
+};
+
+}  // namespace dg

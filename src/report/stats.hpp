@@ -1,0 +1,73 @@
+// DetectorStats — run counters behind the paper's evaluation columns:
+// total shared accesses, same-epoch percentage (Table 4), live/max vector
+// clock counts and average sharing degree (Table 3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace dg {
+
+struct DetectorStats {
+  // -- access counters -------------------------------------------------
+  std::uint64_t shared_accesses = 0;   // instrumented reads+writes analysed
+  std::uint64_t same_epoch_hits = 0;   // filtered by the per-thread bitmap
+
+  // -- vector clock population ------------------------------------------
+  // A "vector clock" here is one access-history object (epoch or full VC),
+  // matching the paper's usage ("both a vector clock and an epoch
+  // representation are referred to as a vector clock").
+  std::uint64_t live_vcs = 0;
+  std::uint64_t max_live_vcs = 0;
+  std::uint64_t vc_allocs = 0;
+  std::uint64_t vc_frees = 0;
+
+  // -- dynamic-granularity sharing --------------------------------------
+  // Locations (shadow cells) currently mapped vs distinct VC nodes; their
+  // ratio at the VC-population peak is the paper's "Avg. sharing count".
+  std::uint64_t live_locations = 0;
+  std::uint64_t sharing_count_at_peak = 1;  // live_locations at max_live_vcs
+  double avg_sharing_at_peak = 1.0;
+
+  void vc_created() {
+    ++vc_allocs;
+    ++live_vcs;
+    note_population();
+  }
+  void vc_destroyed() {
+    DG_DCHECK(live_vcs > 0);
+    ++vc_frees;
+    --live_vcs;
+  }
+  void location_mapped(std::uint64_t n = 1) {
+    live_locations += n;
+    note_population();
+  }
+  void location_unmapped(std::uint64_t n = 1) {
+    DG_DCHECK(live_locations >= n);
+    live_locations -= n;
+  }
+
+  double same_epoch_pct() const {
+    return shared_accesses == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(same_epoch_hits) /
+                     static_cast<double>(shared_accesses);
+  }
+
+ private:
+  void note_population() {
+    if (live_vcs > max_live_vcs ||
+        (live_vcs == max_live_vcs && live_locations > sharing_count_at_peak)) {
+      max_live_vcs = live_vcs;
+      sharing_count_at_peak = live_locations;
+      avg_sharing_at_peak =
+          live_vcs == 0 ? 1.0
+                        : static_cast<double>(live_locations) /
+                              static_cast<double>(live_vcs);
+    }
+  }
+};
+
+}  // namespace dg

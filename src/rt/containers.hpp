@@ -1,0 +1,140 @@
+// Instrumented containers: drop-in array/vector façades whose element
+// accesses are reported to the detector automatically.
+//
+// The proxy returned by operator[] reports a read when converted to T and
+// a write when assigned — so natural-looking code is fully instrumented:
+//
+//   dg::rt::Vector<int> v(rt, 1024);
+//   v[i] = v[i] + 1;        // one instrumented read + one write
+//
+// Whole-range operations (fill, copy_from, iteration snapshots) report a
+// single wide access, which is exactly the shape the dynamic-granularity
+// detector coalesces into one clock.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "rt/runtime.hpp"
+
+namespace dg::rt {
+
+namespace detail {
+
+/// Element proxy: converts as a read, assigns as a write.
+template <typename T>
+class ElemProxy {
+ public:
+  ElemProxy(Runtime& rt, T* slot) : rt_(&rt), slot_(slot) {}
+
+  operator T() const {  // NOLINT(google-explicit-constructor): proxy by design
+    rt_->read(slot_, sizeof(T));
+    return *slot_;
+  }
+
+  ElemProxy& operator=(const T& v) {
+    rt_->write(slot_, sizeof(T));
+    *slot_ = v;
+    return *this;
+  }
+
+  ElemProxy& operator=(const ElemProxy& o) {  // elementwise copy through proxies
+    return *this = static_cast<T>(o);
+  }
+
+  ElemProxy& operator+=(const T& v) { return *this = static_cast<T>(*this) + v; }
+  ElemProxy& operator-=(const T& v) { return *this = static_cast<T>(*this) - v; }
+
+  /// Unreported raw access (for data the caller knows is thread-private).
+  T& raw() { return *slot_; }
+
+ private:
+  Runtime* rt_;
+  T* slot_;
+};
+
+}  // namespace detail
+
+/// Instrumented dynamic array. Structural operations (resize etc.) are
+/// intentionally absent: changing the footprint of shared data while
+/// other threads hold references is exactly the bug class a race detector
+/// exists to catch, so the capacity is fixed at construction.
+template <typename T>
+class Vector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "instrumented containers hold trivially copyable elements");
+
+ public:
+  Vector(Runtime& rt, std::size_t n, const T& init = T{})
+      : rt_(&rt), data_(n, init) {
+    if (n != 0) rt_->allocated(data_.data(), n * sizeof(T));
+  }
+
+  ~Vector() {
+    if (!data_.empty()) rt_->freed(data_.data(), data_.size() * sizeof(T));
+  }
+
+  Vector(const Vector&) = delete;
+  Vector& operator=(const Vector&) = delete;
+
+  std::size_t size() const noexcept { return data_.size(); }
+
+  detail::ElemProxy<T> operator[](std::size_t i) {
+    DG_DCHECK(i < data_.size());
+    return {*rt_, &data_[i]};
+  }
+
+  /// Instrumented bulk read of the whole payload (one wide access).
+  void read_all() const {
+    if (!data_.empty()) rt_->read(data_.data(), data_.size() * sizeof(T));
+  }
+
+  /// Instrumented fill (one wide write — the init pattern the paper's
+  /// Init state is built around).
+  void fill(const T& v) {
+    if (data_.empty()) return;
+    rt_->write(data_.data(), data_.size() * sizeof(T));
+    std::fill(data_.begin(), data_.end(), v);
+  }
+
+  /// Instrumented range copy from another instrumented vector.
+  void copy_from(const Vector& o) {
+    DG_CHECK(o.size() == size());
+    if (data_.empty()) return;
+    rt_->read(o.data_.data(), o.data_.size() * sizeof(T));
+    rt_->write(data_.data(), data_.size() * sizeof(T));
+    data_ = o.data_;
+  }
+
+  const T* data() const noexcept { return data_.data(); }
+
+ private:
+  Runtime* rt_;
+  std::vector<T> data_;
+};
+
+/// Instrumented fixed-size array on top of caller-owned storage.
+template <typename T, std::size_t N>
+class Array {
+ public:
+  explicit Array(Runtime& rt) : rt_(&rt) {}
+
+  static constexpr std::size_t size() noexcept { return N; }
+
+  detail::ElemProxy<T> operator[](std::size_t i) {
+    DG_DCHECK(i < N);
+    return {*rt_, &data_[i]};
+  }
+
+  void fill(const T& v) {
+    rt_->write(data_, sizeof(data_));
+    for (auto& e : data_) e = v;
+  }
+
+ private:
+  Runtime* rt_;
+  T data_[N] = {};
+};
+
+}  // namespace dg::rt

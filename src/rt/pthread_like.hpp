@@ -1,0 +1,213 @@
+// pthread-style porting shim: C-style signatures matching the POSIX
+// thread API, routed through the instrumentation runtime. Porting an
+// existing pthreads program is a mechanical rename:
+//
+//   pthread_mutex_t m;                    dgp::mutex_t m;
+//   pthread_mutex_init(&m, NULL);         dgp::mutex_init(&m);
+//   pthread_mutex_lock(&m);               dgp::mutex_lock(&m);
+//   pthread_create(&t, 0, fn, arg);       dgp::create(&t, fn, arg);
+//   pthread_join(t, NULL);                dgp::join(t);
+//   pthread_barrier_wait(&b);             dgp::barrier_wait(&b);
+//   pthread_cond_signal/wait              dgp::cond_signal / cond_wait
+//
+// plus explicit access hooks (`dgp::load/store`) where the program touches
+// shared memory — the piece binary instrumentation would automate
+// (docs/PORTING.md). A process-wide runtime is bound with dgp::attach().
+#pragma once
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "rt/runtime.hpp"
+
+namespace dg::dgp {
+
+namespace detail {
+inline rt::Runtime*& bound_runtime() {
+  static rt::Runtime* rt = nullptr;
+  return rt;
+}
+inline rt::Runtime& rt() {
+  DG_CHECK_MSG(detail::bound_runtime() != nullptr,
+               "call dgp::attach(runtime) first");
+  return *detail::bound_runtime();
+}
+}  // namespace detail
+
+/// Bind the process-wide runtime and register the calling thread as main.
+inline void attach(rt::Runtime& runtime) {
+  detail::bound_runtime() = &runtime;
+  runtime.register_current_thread(kInvalidThread);
+}
+
+inline void detach_runtime() { detail::bound_runtime() = nullptr; }
+
+// ---------------------------------------------------------------- mutex
+
+struct mutex_t {
+  std::unique_ptr<rt::Mutex> impl;
+};
+
+inline int mutex_init(mutex_t* m) {
+  m->impl = std::make_unique<rt::Mutex>(detail::rt());
+  return 0;
+}
+inline int mutex_destroy(mutex_t* m) {
+  m->impl.reset();
+  return 0;
+}
+inline int mutex_lock(mutex_t* m) {
+  m->impl->lock();
+  return 0;
+}
+inline int mutex_trylock(mutex_t* m) {
+  return m->impl->try_lock() ? 0 : 16 /*EBUSY*/;
+}
+inline int mutex_unlock(mutex_t* m) {
+  m->impl->unlock();
+  return 0;
+}
+
+// --------------------------------------------------------------- rwlock
+
+struct rwlock_t {
+  std::unique_ptr<rt::SharedMutex> impl;
+};
+
+inline int rwlock_init(rwlock_t* l) {
+  l->impl = std::make_unique<rt::SharedMutex>(detail::rt());
+  return 0;
+}
+inline int rwlock_destroy(rwlock_t* l) {
+  l->impl.reset();
+  return 0;
+}
+inline int rwlock_rdlock(rwlock_t* l) {
+  l->impl->lock_shared();
+  return 0;
+}
+inline int rwlock_wrlock(rwlock_t* l) {
+  l->impl->lock();
+  return 0;
+}
+inline int rwlock_rdunlock(rwlock_t* l) {
+  l->impl->unlock_shared();
+  return 0;
+}
+inline int rwlock_wrunlock(rwlock_t* l) {
+  l->impl->unlock();
+  return 0;
+}
+
+// -------------------------------------------------------------- threads
+
+using thread_t = std::shared_ptr<rt::Thread>;
+using start_routine = void* (*)(void*);
+
+/// pthread_create analogue. The start routine runs on an instrumented
+/// thread; its return value is discarded (use shared state + join edges,
+/// as the detectors model them).
+inline int create(thread_t* out, start_routine fn, void* arg) {
+  *out = std::make_shared<rt::Thread>(
+      detail::rt(), [fn, arg](rt::ThreadCtx&) { (void)fn(arg); });
+  return 0;
+}
+
+inline int join(thread_t& t) {
+  DG_CHECK(t != nullptr);
+  t->join();
+  t.reset();
+  return 0;
+}
+
+// -------------------------------------------------------------- barrier
+
+struct barrier_t {
+  std::unique_ptr<rt::Barrier> impl;
+};
+
+inline int barrier_init(barrier_t* b, unsigned count) {
+  b->impl = std::make_unique<rt::Barrier>(detail::rt(), count);
+  return 0;
+}
+inline int barrier_destroy(barrier_t* b) {
+  b->impl.reset();
+  return 0;
+}
+inline int barrier_wait(barrier_t* b) {
+  b->impl->arrive_and_wait();
+  return 0;
+}
+
+// ----------------------------------------------------- condition variable
+
+/// Condvar modelled on the standard monitor pattern: cond_wait(c, m)
+/// unlocks m, blocks, relocks m and observes the signaller's clock;
+/// cond_signal/broadcast publish the signaller's clock. Spurious wakeups
+/// are absorbed by the caller's predicate loop, exactly as with pthreads.
+struct cond_t {
+  std::mutex os_mu;
+  std::condition_variable cv;
+  std::uint64_t generation = 0;
+};
+
+inline int cond_init(cond_t*) { return 0; }
+inline int cond_destroy(cond_t*) { return 0; }
+
+inline int cond_signal(cond_t* c) {
+  detail::rt().sync_signal(c);
+  {
+    std::scoped_lock lk(c->os_mu);
+    ++c->generation;
+  }
+  c->cv.notify_one();
+  return 0;
+}
+
+inline int cond_broadcast(cond_t* c) {
+  detail::rt().sync_signal(c);
+  {
+    std::scoped_lock lk(c->os_mu);
+    ++c->generation;
+  }
+  c->cv.notify_all();
+  return 0;
+}
+
+inline int cond_wait(cond_t* c, mutex_t* m) {
+  // The generation is sampled BEFORE the user mutex is released (while
+  // holding the condvar's internal lock), so a signal issued between the
+  // release and the wait cannot be lost — the atomic-release guarantee of
+  // pthread_cond_wait.
+  std::unique_lock lk(c->os_mu);
+  const std::uint64_t gen = c->generation;
+  mutex_unlock(m);
+  c->cv.wait(lk, [&] { return c->generation != gen; });
+  lk.unlock();
+  detail::rt().sync_acquire_edge(c);
+  mutex_lock(m);
+  return 0;
+}
+
+// ------------------------------------------------------- memory hooks
+
+template <typename T>
+inline T load(const T* p) {
+  detail::rt().read(p, sizeof(T));
+  return *p;
+}
+
+template <typename T>
+inline void store(T* p, const T& v) {
+  detail::rt().write(p, sizeof(T));
+  *p = v;
+}
+
+inline void touch_read(const void* p, std::size_t n) {
+  detail::rt().read(p, n);
+}
+inline void touch_write(void* p, std::size_t n) {
+  detail::rt().write(p, n);
+}
+
+}  // namespace dg::dgp

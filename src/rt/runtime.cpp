@@ -1,0 +1,144 @@
+#include "rt/runtime.hpp"
+
+#include <condition_variable>
+
+#include "common/assert.hpp"
+
+namespace dg::rt {
+
+namespace {
+// One live runtime per thread at a time; the slot maps the OS thread to its
+// logical id within that runtime (the PIN TID analogue).
+thread_local ThreadId tls_tid = kInvalidThread;
+
+Addr to_addr(const void* p) {
+  return reinterpret_cast<Addr>(p);
+}
+}  // namespace
+
+ThreadId Runtime::register_current_thread(ThreadId parent) {
+  std::scoped_lock lk(mu_);
+  const ThreadId tid = next_tid_++;
+  tls_tid = tid;
+  det_->on_thread_start(tid, parent);
+  return tid;
+}
+
+ThreadId Runtime::current() const {
+  DG_CHECK_MSG(tls_tid != kInvalidThread,
+               "thread not registered with the runtime");
+  return tls_tid;
+}
+
+void Runtime::ignore_range(Addr lo, Addr hi) {
+  std::scoped_lock lk(mu_);
+  ignored_.emplace_back(lo, hi);
+}
+
+bool Runtime::is_ignored(Addr a) const {
+  for (const auto& [lo, hi] : ignored_)
+    if (a >= lo && a < hi) return true;
+  return false;
+}
+
+void Runtime::read(const void* p, std::size_t n) {
+  const Addr a = to_addr(p);
+  std::scoped_lock lk(mu_);
+  if (is_ignored(a)) return;
+  det_->on_read(current(), a, static_cast<std::uint32_t>(n));
+}
+
+void Runtime::write(const void* p, std::size_t n) {
+  const Addr a = to_addr(p);
+  std::scoped_lock lk(mu_);
+  if (is_ignored(a)) return;
+  det_->on_write(current(), a, static_cast<std::uint32_t>(n));
+}
+
+void Runtime::acquire(const void* sync_obj) {
+  std::scoped_lock lk(mu_);
+  det_->on_acquire(current(), to_addr(sync_obj));
+}
+
+void Runtime::release(const void* sync_obj) {
+  std::scoped_lock lk(mu_);
+  det_->on_release(current(), to_addr(sync_obj));
+}
+
+void Runtime::sync_signal(const void* sync_obj) {
+  std::scoped_lock lk(mu_);
+  det_->on_release(current(), to_addr(sync_obj));
+}
+
+void Runtime::sync_acquire_edge(const void* sync_obj) {
+  std::scoped_lock lk(mu_);
+  det_->on_acquire(current(), to_addr(sync_obj));
+}
+
+void Runtime::allocated(const void* p, std::size_t n) {
+  std::scoped_lock lk(mu_);
+  det_->on_alloc(current(), to_addr(p), n);
+}
+
+void Runtime::freed(const void* p, std::size_t n) {
+  std::scoped_lock lk(mu_);
+  det_->on_free(current(), to_addr(p), n);
+}
+
+void Runtime::joined(ThreadId child) {
+  std::scoped_lock lk(mu_);
+  det_->on_thread_join(current(), child);
+}
+
+void Runtime::set_site(const char* site) {
+  std::scoped_lock lk(mu_);
+  det_->set_site(current(), site);
+}
+
+void Runtime::finish() {
+  std::scoped_lock lk(mu_);
+  det_->on_finish();
+}
+
+Thread::Thread(Runtime& rt, std::function<void(ThreadCtx&)> body)
+    : rt_(&rt) {
+  // The fork edge must be observed by the child before its first event;
+  // the parent id is captured here (parent thread), the child registers
+  // itself as its first action.
+  const ThreadId parent = rt.current();
+  std::mutex started_mu;
+  std::condition_variable started_cv;
+  bool started = false;
+  ThreadId child_tid = kInvalidThread;
+  thread_ = std::thread([&rt, parent, body = std::move(body), &started_mu,
+                         &started_cv, &started, &child_tid] {
+    const ThreadId tid = rt.register_current_thread(parent);
+    {
+      std::scoped_lock lk(started_mu);
+      child_tid = tid;
+      started = true;
+    }
+    started_cv.notify_one();
+    ThreadCtx ctx(rt);
+    body(ctx);
+  });
+  std::unique_lock lk(started_mu);
+  started_cv.wait(lk, [&] { return started; });
+  tid_ = child_tid;
+}
+
+Thread::~Thread() {
+  // CP.25/26: a thread is joined, never detached. Joining in the
+  // destructor keeps exception paths safe; the join edge is only reported
+  // when join() was called explicitly by an instrumented thread.
+  if (thread_.joinable()) thread_.join();
+}
+
+void Thread::join() {
+  DG_CHECK(!joined_);
+  thread_.join();
+  joined_ = true;
+  rt_->joined(tid_);
+}
+
+}  // namespace dg::rt

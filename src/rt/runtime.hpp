@@ -1,0 +1,277 @@
+// Runtime — live instrumentation for real multithreaded C++ programs.
+//
+// This is the repo's substitute for Intel PIN (DESIGN.md §2): instead of
+// rewriting binaries, programs link against dyngran and route their shared
+// accesses and synchronization through the wrappers below. Events are
+// serialized into the detector under one analysis mutex — the same
+// discipline a PIN tool's analysis lock imposes.
+//
+//   dg::rt::Runtime rt(detector);
+//   dg::rt::Mutex m(rt);
+//   dg::rt::Thread worker(rt, [&](dg::rt::ThreadCtx& ctx) {
+//     std::scoped_lock lk(m);     // instrumented acquire/release
+//     ctx.write(&counter);        // instrumented store
+//     ++counter;
+//   });
+//   worker.join();
+//
+// Accesses to addresses inside registered ignore-ranges (e.g. per-thread
+// stacks) return immediately — the paper's nonSharedRead/Write filter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "detect/detector.hpp"
+
+namespace dg::rt {
+
+class Runtime {
+ public:
+  explicit Runtime(Detector& det) : det_(&det) {}
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Register the calling thread; parent is the forking thread's id.
+  /// The initial thread passes kInvalidThread. Returns the new thread id.
+  ThreadId register_current_thread(ThreadId parent);
+
+  /// Thread id of the calling thread (must be registered).
+  ThreadId current() const;
+
+  /// Mark [lo, hi) as non-shared (stack, thread-private arena): accesses
+  /// in it are filtered before reaching the detector.
+  void ignore_range(Addr lo, Addr hi);
+
+  // --- instrumentation entry points (Fig. 3's memoryRead/memoryWrite) ---
+  void read(const void* p, std::size_t n);
+  void write(const void* p, std::size_t n);
+  void acquire(const void* sync_obj);
+  void release(const void* sync_obj);
+  void sync_signal(const void* sync_obj);   // condvar signal / sem post
+  void sync_acquire_edge(const void* sync_obj);  // condvar wake / sem wait
+  void allocated(const void* p, std::size_t n);
+  void freed(const void* p, std::size_t n);
+  void joined(ThreadId child);
+  void set_site(const char* site);
+
+  void finish();
+
+  Detector& detector() noexcept { return *det_; }
+
+ private:
+  bool is_ignored(Addr a) const;
+
+  mutable std::mutex mu_;  // the analysis lock
+  Detector* det_;
+  ThreadId next_tid_ = 0;
+  std::vector<std::pair<Addr, Addr>> ignored_;
+};
+
+/// Handle passed to instrumented thread bodies for convenience accessors.
+class ThreadCtx {
+ public:
+  explicit ThreadCtx(Runtime& rt) : rt_(&rt) {}
+
+  template <typename T>
+  T read(const T* p) {
+    rt_->read(p, sizeof(T));
+    return *p;
+  }
+  template <typename T>
+  void write(T* p, const T& v) {
+    rt_->write(p, sizeof(T));
+    *p = v;
+  }
+  /// Announce an access without performing it (for raw buffers).
+  void touch_read(const void* p, std::size_t n) { rt_->read(p, n); }
+  void touch_write(void* p, std::size_t n) { rt_->write(p, n); }
+  void site(const char* s) { rt_->set_site(s); }
+
+  Runtime& runtime() noexcept { return *rt_; }
+
+ private:
+  Runtime* rt_;
+};
+
+/// Instrumented mutex. Satisfies Lockable; use with std::scoped_lock.
+class Mutex {
+ public:
+  explicit Mutex(Runtime& rt) : rt_(&rt) {}
+  void lock() {
+    mu_.lock();
+    rt_->acquire(this);
+  }
+  void unlock() {
+    rt_->release(this);
+    mu_.unlock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    rt_->acquire(this);
+    return true;
+  }
+
+ private:
+  Runtime* rt_;
+  std::mutex mu_;
+};
+
+/// Instrumented thread: registers itself with the runtime, reports the
+/// fork edge from the creating thread and the join edge back.
+class Thread {
+ public:
+  Thread(Runtime& rt, std::function<void(ThreadCtx&)> body);
+  ~Thread();
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  void join();
+  ThreadId id() const noexcept { return tid_; }
+
+ private:
+  Runtime* rt_;
+  ThreadId tid_ = kInvalidThread;
+  std::thread thread_;
+  bool joined_ = false;
+};
+
+/// Instrumented reader-writer lock.
+///
+/// Happens-before modelling uses two sync objects: the write gate `wg`
+/// orders writers among themselves and publishes writes to readers; the
+/// read gate `rg` collects reader clocks so the next writer is ordered
+/// after every preceding reader. Concurrent readers stay unordered with
+/// each other — exactly the semantics a race detector needs so that
+/// read-read concurrency is not mistaken for synchronization.
+class SharedMutex {
+ public:
+  explicit SharedMutex(Runtime& rt) : rt_(&rt) {}
+
+  void lock() {  // writer
+    mu_.lock();
+    rt_->sync_acquire_edge(write_gate());
+    rt_->sync_acquire_edge(read_gate());
+  }
+  void unlock() {
+    rt_->sync_signal(write_gate());
+    mu_.unlock();
+  }
+  void lock_shared() {  // reader
+    mu_.lock_shared();
+    rt_->sync_acquire_edge(write_gate());
+  }
+  void unlock_shared() {
+    rt_->sync_signal(read_gate());
+    mu_.unlock_shared();
+  }
+
+ private:
+  const void* write_gate() const { return &gates_[0]; }
+  const void* read_gate() const { return &gates_[1]; }
+
+  Runtime* rt_;
+  std::shared_mutex mu_;
+  char gates_[2] = {};
+};
+
+/// Instrumented counting semaphore: release() publishes the releaser's
+/// clock; acquire() observes it (the hand-off edge of a semaphore used as
+/// a signal — the synchronization idiom the paper notes Eraser cannot
+/// recognise but happens-before detectors handle naturally).
+class Semaphore {
+ public:
+  Semaphore(Runtime& rt, unsigned initial) : rt_(&rt), count_(initial) {}
+
+  void release() {
+    rt_->sync_signal(this);
+    {
+      std::scoped_lock lk(mu_);
+      ++count_;
+    }
+    cv_.notify_one();
+  }
+
+  void acquire() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return count_ > 0; });
+    --count_;
+    lk.unlock();
+    rt_->sync_acquire_edge(this);
+  }
+
+ private:
+  Runtime* rt_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned count_;
+};
+
+/// Instrumented barrier. Arrival is reported as a release into the
+/// barrier's sync object and departure as an acquire from it, giving the
+/// all-arrivals-happen-before-all-departures ordering of a real barrier.
+class Barrier {
+ public:
+  Barrier(Runtime& rt, unsigned count) : rt_(&rt), count_(count) {}
+
+  void arrive_and_wait() {
+    rt_->release(this);
+    std::unique_lock lk(mu_);
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == count_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return generation_ != gen; });
+    }
+    lk.unlock();
+    rt_->sync_acquire_edge(this);
+  }
+
+ private:
+  Runtime* rt_;
+  unsigned count_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Instrumented shared value: every load/store is reported.
+template <typename T>
+class Shared {
+ public:
+  Shared(Runtime& rt, T init = T{}) : rt_(&rt), value_(init) {}
+
+  T load() const {
+    rt_->read(&value_, sizeof(T));
+    return value_;
+  }
+  void store(const T& v) {
+    rt_->write(&value_, sizeof(T));
+    value_ = v;
+  }
+  /// Unsynchronized read-modify-write (two instrumented accesses).
+  template <typename Fn>
+  void update(Fn&& fn) {
+    T v = load();
+    store(fn(v));
+  }
+
+  const T* address() const noexcept { return &value_; }
+
+ private:
+  Runtime* rt_;
+  T value_;
+};
+
+}  // namespace dg::rt

@@ -1,0 +1,139 @@
+// Instrumented task pool: a fixed set of worker threads executing
+// submitted tasks, with the happens-before edges a real executor gives
+// you reported to the detector:
+//
+//   * submit happens-before the task body (the task sees everything the
+//     submitter did),
+//   * task completion happens-before wait() returning for that task.
+//
+// Tasks run on instrumented rt::Threads, so anything they touch through
+// ThreadCtx / containers is analysed. Two tasks are mutually unordered
+// unless the program orders them — which is precisely what the detector
+// checks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "rt/runtime.hpp"
+
+namespace dg::rt {
+
+class TaskPool {
+ public:
+  using TaskId = std::uint64_t;
+  using TaskFn = std::function<void(ThreadCtx&)>;
+
+  TaskPool(Runtime& rt, unsigned workers) : rt_(&rt) {
+    DG_CHECK(workers >= 1);
+    for (unsigned w = 0; w < workers; ++w) {
+      threads_.push_back(std::make_unique<Thread>(rt, [this](ThreadCtx& ctx) {
+        worker_loop(ctx);
+      }));
+    }
+  }
+
+  ~TaskPool() { shutdown(); }
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueue a task. The submitter's clock is published to the task.
+  TaskId submit(TaskFn fn) {
+    std::unique_lock lk(mu_);
+    DG_CHECK_MSG(!stopping_, "submit after shutdown");
+    const TaskId id = next_id_++;
+    // Release edge: the task body will acquire from this sync object.
+    rt_->sync_signal(submit_token(id));
+    queue_.push_back({id, std::move(fn)});
+    lk.unlock();
+    cv_.notify_one();
+    return id;
+  }
+
+  /// Block until task `id` completed; its effects are ordered before the
+  /// caller's subsequent operations.
+  void wait(TaskId id) {
+    {
+      std::unique_lock lk(mu_);
+      done_cv_.wait(lk, [&] { return done_set_count(id); });
+    }
+    rt_->sync_acquire_edge(done_token(id));
+  }
+
+  /// Wait for every submitted task, then stop the workers and join them.
+  void shutdown() {
+    {
+      std::scoped_lock lk(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t->join();
+    threads_.clear();
+  }
+
+ private:
+  struct Item {
+    TaskId id;
+    TaskFn fn;
+  };
+
+  // Distinct sync identities per task for the submit and completion
+  // edges. The top bits are inverted so the fabricated identities live in
+  // a range no real user-space object address occupies — no accidental
+  // aliasing with genuine sync objects.
+  const void* submit_token(TaskId id) const {
+    return reinterpret_cast<const void*>(
+        ~(reinterpret_cast<std::uintptr_t>(this) + id * 2 + 1));
+  }
+  const void* done_token(TaskId id) const {
+    return reinterpret_cast<const void*>(
+        ~(reinterpret_cast<std::uintptr_t>(this) + id * 2 + 2));
+  }
+
+  bool done_set_count(TaskId id) const {  // requires mu_
+    return completed_.size() > id && completed_[id];
+  }
+
+  void worker_loop(ThreadCtx& ctx) {
+    while (true) {
+      Item item;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping and drained
+        item = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      // Acquire the submit edge, run, release the completion edge.
+      rt_->sync_acquire_edge(submit_token(item.id));
+      item.fn(ctx);
+      rt_->sync_signal(done_token(item.id));
+      {
+        std::scoped_lock lk(mu_);
+        if (completed_.size() <= item.id) completed_.resize(item.id + 1, false);
+        completed_[item.id] = true;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  Runtime* rt_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::deque<Item> queue_;
+  std::vector<bool> completed_;
+  TaskId next_id_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace dg::rt

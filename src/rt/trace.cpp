@@ -1,0 +1,85 @@
+#include "rt/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace dg::rt {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool TraceRecorder::save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return false;
+  const std::uint64_t magic = kTraceMagic;
+  const std::uint64_t count = events_.size();
+  if (std::fwrite(&magic, sizeof(magic), 1, f.get()) != 1) return false;
+  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
+  if (count != 0 &&
+      std::fwrite(events_.data(), sizeof(TraceEvent), count, f.get()) != count)
+    return false;
+  return true;
+}
+
+bool load_trace(const std::string& path, std::vector<TraceEvent>& out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return false;
+  std::uint64_t magic = 0;
+  std::uint64_t count = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1) return false;
+  if (magic != kTraceMagic) return false;
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
+  out.resize(count);
+  if (count != 0 &&
+      std::fread(out.data(), sizeof(TraceEvent), count, f.get()) != count) {
+    out.clear();
+    return false;
+  }
+  return true;
+}
+
+std::size_t replay_trace(const std::vector<TraceEvent>& events,
+                         Detector& det) {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kThreadStart:
+        det.on_thread_start(e.tid, static_cast<ThreadId>(e.aux));
+        break;
+      case EventKind::kThreadJoin:
+        det.on_thread_join(e.tid, static_cast<ThreadId>(e.aux));
+        break;
+      case EventKind::kAcquire:
+        det.on_acquire(e.tid, e.addr);
+        break;
+      case EventKind::kRelease:
+        det.on_release(e.tid, e.addr);
+        break;
+      case EventKind::kRead:
+        det.on_read(e.tid, e.addr, e.size);
+        break;
+      case EventKind::kWrite:
+        det.on_write(e.tid, e.addr, e.size);
+        break;
+      case EventKind::kAlloc:
+        det.on_alloc(e.tid, e.addr, e.aux);
+        break;
+      case EventKind::kFree:
+        det.on_free(e.tid, e.addr, e.aux);
+        break;
+      case EventKind::kFinish:
+        det.on_finish();
+        break;
+    }
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace dg::rt

@@ -1,0 +1,117 @@
+// Trace record / replay — the execution-replay substrate.
+//
+// TraceRecorder is a Detector that appends every event to an in-memory or
+// on-disk trace (optionally forwarding to an inner detector), and
+// TraceReader replays a trace into any detector. This enables the classic
+// record/replay debugging loop (RecPlay-style): capture one execution of a
+// flaky program, then analyse the *same* interleaving under different
+// detectors or configurations.
+//
+// Binary format: 8-byte magic/version header, then fixed 24-byte records.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "detect/detector.hpp"
+
+namespace dg::rt {
+
+enum class EventKind : std::uint8_t {
+  kThreadStart = 1,
+  kThreadJoin = 2,
+  kAcquire = 3,
+  kRelease = 4,
+  kRead = 5,
+  kWrite = 6,
+  kAlloc = 7,
+  kFree = 8,
+  kFinish = 9,
+};
+
+struct TraceEvent {
+  EventKind kind;
+  std::uint8_t pad = 0;
+  std::uint16_t size = 0;  // access size
+  ThreadId tid = 0;
+  std::uint64_t addr = 0;  // address / sync id
+  std::uint64_t aux = 0;   // parent / joined tid / alloc size
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+static_assert(sizeof(TraceEvent) == 24);
+
+inline constexpr std::uint64_t kTraceMagic = 0x44474e5452433031ULL;  // DGNTRC01
+
+/// Detector adaptor that records the event stream.
+class TraceRecorder final : public Detector {
+ public:
+  /// Record only; events are kept in memory.
+  TraceRecorder() = default;
+  /// Record and forward each event to `inner` (tee).
+  explicit TraceRecorder(Detector& inner) : inner_(&inner) {}
+
+  const char* name() const override { return "trace-recorder"; }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override {
+    push({EventKind::kThreadStart, 0, 0, t, 0, parent});
+    if (inner_ != nullptr) inner_->on_thread_start(t, parent);
+  }
+  void on_thread_join(ThreadId joiner, ThreadId joined) override {
+    push({EventKind::kThreadJoin, 0, 0, joiner, 0, joined});
+    if (inner_ != nullptr) inner_->on_thread_join(joiner, joined);
+  }
+  void on_acquire(ThreadId t, SyncId s) override {
+    push({EventKind::kAcquire, 0, 0, t, s, 0});
+    if (inner_ != nullptr) inner_->on_acquire(t, s);
+  }
+  void on_release(ThreadId t, SyncId s) override {
+    push({EventKind::kRelease, 0, 0, t, s, 0});
+    if (inner_ != nullptr) inner_->on_release(t, s);
+  }
+  void on_read(ThreadId t, Addr a, std::uint32_t n) override {
+    push({EventKind::kRead, 0, static_cast<std::uint16_t>(n), t, a, 0});
+    if (inner_ != nullptr) inner_->on_read(t, a, n);
+  }
+  void on_write(ThreadId t, Addr a, std::uint32_t n) override {
+    push({EventKind::kWrite, 0, static_cast<std::uint16_t>(n), t, a, 0});
+    if (inner_ != nullptr) inner_->on_write(t, a, n);
+  }
+  void on_alloc(ThreadId t, Addr a, std::uint64_t n) override {
+    push({EventKind::kAlloc, 0, 0, t, a, n});
+    if (inner_ != nullptr) inner_->on_alloc(t, a, n);
+  }
+  void on_free(ThreadId t, Addr a, std::uint64_t n) override {
+    push({EventKind::kFree, 0, 0, t, a, n});
+    if (inner_ != nullptr) inner_->on_free(t, a, n);
+  }
+  void on_finish() override {
+    push({EventKind::kFinish, 0, 0, 0, 0, 0});
+    if (inner_ != nullptr) inner_->on_finish();
+  }
+  void set_site(ThreadId t, const char* site) override {
+    if (inner_ != nullptr) inner_->set_site(t, site);
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  /// Serialize the recorded trace to a file. Returns false on I/O error.
+  bool save(const std::string& path) const;
+
+ private:
+  void push(TraceEvent e) { events_.push_back(e); }
+
+  Detector* inner_ = nullptr;
+  std::vector<TraceEvent> events_;
+};
+
+/// Load a trace from file. Returns false on I/O or format error.
+bool load_trace(const std::string& path, std::vector<TraceEvent>& out);
+
+/// Feed a trace into a detector. Returns the number of events replayed.
+std::size_t replay_trace(const std::vector<TraceEvent>& events, Detector& det);
+
+}  // namespace dg::rt

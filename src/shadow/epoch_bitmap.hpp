@@ -1,0 +1,175 @@
+// EpochBitmap — the paper's per-thread same-epoch access filter.
+//
+// "When the first access is made in an epoch, the access is set in the
+// bitmap and the bitmap is reset for every lock release operation. Because
+// the bitmap is a thread local data structure, checking the same epoch is
+// more efficient than looking up a global data structure." (§IV-A)
+//
+// Implementation: an open-addressing hash map from 64-byte block address to
+// a pair of 64-bit masks (one read bit and one write bit per byte). Instead
+// of eagerly flushing at every release, each entry is stamped with the
+// thread's epoch serial; entries from older epochs are treated as empty and
+// recycled in place, which gives O(1) resets.
+//
+// Filter soundness (DESIGN.md §5.6): a read may be skipped when every byte
+// already has a read *or* write bit this epoch (a same-epoch write by the
+// same thread subsumes the read's happens-before obligations); a write may
+// be skipped only when every byte has a write bit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/memtrack.hpp"
+#include "common/types.hpp"
+
+namespace dg {
+
+class EpochBitmap {
+ public:
+  explicit EpochBitmap(MemoryAccountant& acct) : acct_(&acct) {
+    grow(kInitialSlots);
+  }
+
+  ~EpochBitmap() {
+    ::operator delete(slots_);
+    acct_->sub(MemCategory::kBitmap, capacity_ * sizeof(Slot));
+  }
+
+  EpochBitmap(const EpochBitmap&) = delete;
+  EpochBitmap& operator=(const EpochBitmap&) = delete;
+
+  /// Returns true iff [addr, addr+size) was already covered this epoch for
+  /// the given access type (the access can be skipped), then records the
+  /// access. `epoch_serial` identifies the thread's current epoch.
+  bool test_and_set(Addr addr, std::uint32_t size, AccessType type,
+                    std::uint64_t epoch_serial) {
+    bool covered = true;
+    Addr a = addr;
+    const Addr end = addr + size;
+    while (a < end) {
+      const Addr block = a >> kBlockShift;
+      const std::uint32_t lo = static_cast<std::uint32_t>(a & kBlockMask);
+      const std::uint32_t hi = static_cast<std::uint32_t>(
+          end - (block << kBlockShift) > kBlockSize
+              ? kBlockSize
+              : end - (block << kBlockShift));
+      const std::uint64_t bits = mask(lo, hi);
+      Slot& s = find(block, epoch_serial);
+      if (type == AccessType::kRead) {
+        if (((s.read | s.write) & bits) != bits) covered = false;
+        s.read |= bits;
+      } else {
+        if ((s.write & bits) != bits) covered = false;
+        s.write |= bits;
+      }
+      a = (block + 1) << kBlockShift;
+    }
+    return covered;
+  }
+
+  std::size_t capacity_bytes() const noexcept {
+    return capacity_ * sizeof(Slot);
+  }
+
+ private:
+  static constexpr std::uint32_t kBlockShift = 6;  // 64-byte blocks
+  static constexpr std::uint32_t kBlockSize = 1u << kBlockShift;
+  static constexpr Addr kBlockMask = kBlockSize - 1;
+  static constexpr std::size_t kInitialSlots = 256;
+
+  struct Slot {
+    Addr block = kInvalidAddr;
+    std::uint64_t serial = 0;
+    std::uint64_t read = 0;
+    std::uint64_t write = 0;
+  };
+
+  /// Bit i set for lo <= i < hi.
+  static std::uint64_t mask(std::uint32_t lo, std::uint32_t hi) {
+    DG_DCHECK(lo < hi && hi <= 64);
+    const std::uint64_t upper = hi == 64 ? ~0ULL : (1ULL << hi) - 1;
+    return upper & ~((1ULL << lo) - 1);
+  }
+
+  static std::size_t hash_block(Addr block) {
+    std::uint64_t k = block;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
+
+  Slot& find(Addr block, std::uint64_t serial) {
+    while (true) {
+      if (live_ * 2 >= capacity_) grow(capacity_ * 2);
+      std::size_t idx = hash_block(block) & (capacity_ - 1);
+      Slot* recycle = nullptr;
+      for (std::size_t probes = 0; probes < kMaxProbes; ++probes) {
+        Slot& s = slots_[idx];
+        if (s.block == block) {
+          if (s.serial != serial) {  // stale entry for this block: reuse
+            s.serial = serial;
+            s.read = 0;
+            s.write = 0;
+          }
+          return s;
+        }
+        if (s.block == kInvalidAddr) {
+          // Prefer recycling a stale slot seen earlier in the chain; it
+          // keeps chains short. Claiming this empty slot is also fine:
+          // chains terminate only at empty slots, and we never create one.
+          Slot& t = recycle != nullptr ? *recycle : s;
+          if (&t == &s) ++live_;
+          t.block = block;
+          t.serial = serial;
+          t.read = 0;
+          t.write = 0;
+          return t;
+        }
+        if (recycle == nullptr && s.serial != serial) recycle = &s;
+        idx = (idx + 1) & (capacity_ - 1);
+      }
+      if (recycle != nullptr) {
+        recycle->block = block;
+        recycle->serial = serial;
+        recycle->read = 0;
+        recycle->write = 0;
+        return *recycle;
+      }
+      grow(capacity_ * 2);
+    }
+  }
+
+  void grow(std::size_t new_cap) {
+    auto* ns = static_cast<Slot*>(::operator new(new_cap * sizeof(Slot)));
+    for (std::size_t i = 0; i < new_cap; ++i) ns[i] = Slot{};
+    std::size_t live = 0;
+    if (slots_ != nullptr) {
+      // Re-insert only current entries; stale epochs are dropped.
+      for (std::size_t i = 0; i < capacity_; ++i) {
+        const Slot& s = slots_[i];
+        if (s.block == kInvalidAddr) continue;
+        std::size_t idx = hash_block(s.block) & (new_cap - 1);
+        while (ns[idx].block != kInvalidAddr) idx = (idx + 1) & (new_cap - 1);
+        ns[idx] = s;
+        ++live;
+      }
+      ::operator delete(slots_);
+      acct_->sub(MemCategory::kBitmap, capacity_ * sizeof(Slot));
+    }
+    slots_ = ns;
+    capacity_ = new_cap;
+    live_ = live;
+    acct_->add(MemCategory::kBitmap, new_cap * sizeof(Slot));
+  }
+
+  static constexpr std::size_t kMaxProbes = 32;
+
+  MemoryAccountant* acct_;
+  Slot* slots_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace dg

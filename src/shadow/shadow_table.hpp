@@ -1,0 +1,413 @@
+// ShadowTable — the paper's Fig. 4 indexing structure.
+//
+// A separate-chaining hash table keyed by the upper bits of the address.
+// Each chain entry ("block") covers kBlockBytes = 128 bytes of application
+// memory and holds an index array of shadow cells. A block starts in *word
+// mode* with m/4 = 32 cells (one per 4-byte word — "the most common access
+// pattern is word access") and is expanded to *byte mode* with m = 128
+// cells the first time a non-word-shaped access touches it. On expansion,
+// each word cell's value is replicated to its four byte cells.
+//
+// `Cell` is a small trivially-copyable value (a pointer or a pair of
+// pointers); a value-initialized Cell{} means "no shadow state". Cell
+// payloads are owned by the detector; the table only stores and indexes
+// them. All table memory is charged to MemCategory::kHash, reproducing the
+// paper's Table-2 "Hash" column.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/memtrack.hpp"
+#include "common/types.hpp"
+
+namespace dg {
+
+inline constexpr std::uint32_t kBlockBytes = 128;   // m in the paper
+inline constexpr std::uint32_t kWordCells = kBlockBytes / kWordSize;  // m/4
+
+template <typename Cell>
+class ShadowTable {
+  static_assert(std::is_trivially_copyable_v<Cell>);
+
+ public:
+  explicit ShadowTable(MemoryAccountant& acct,
+                       MemCategory cat = MemCategory::kHash)
+      : acct_(&acct), cat_(cat) {
+    rehash(kInitialBuckets);
+  }
+
+  ~ShadowTable() {
+    for (std::size_t b = 0; b < num_buckets_; ++b) {
+      Block* blk = buckets_[b];
+      while (blk != nullptr) {
+        Block* next = blk->next;
+        destroy_block(blk);
+        blk = next;
+      }
+    }
+    ::operator delete(buckets_);
+    acct_->sub(cat_, num_buckets_ * sizeof(Block*));
+  }
+
+  ShadowTable(const ShadowTable&) = delete;
+  ShadowTable& operator=(const ShadowTable&) = delete;
+
+  /// Hook invoked when a word-mode block expands to byte mode, once for
+  /// each replica (k = 1..3) of an occupied word cell: the replica starts
+  /// as a copy of the word cell's value and the hook may replace it (e.g.
+  /// clone a heap payload so cells never alias). Replica k = 0 keeps the
+  /// original value untouched. Without a hook the value is replicated
+  /// as-is, which is only safe for value-like or reference-counted cells.
+  void set_expander(std::function<void(Cell&, std::uint32_t)> fn) {
+    expander_ = std::move(fn);
+  }
+
+  /// Width in bytes of the cell covering `addr` (4 in word mode, 1 in byte
+  /// mode, 4 if the block does not exist yet — the mode it would start in).
+  std::uint32_t slot_width(Addr addr) const {
+    const Block* blk = find_block(addr >> kBlockShift);
+    return (blk != nullptr && blk->byte_mode) ? 1 : kWordSize;
+  }
+
+  /// Look up the cell covering addr. Returns Cell{} if absent.
+  Cell lookup(Addr addr) const {
+    const Block* blk = find_block(addr >> kBlockShift);
+    if (blk == nullptr) return Cell{};
+    return blk->cells[cell_index(*blk, addr)];
+  }
+
+  /// Mutable reference to the cell covering addr, creating the block if
+  /// needed. If the access shape (addr, size) is not word-aligned, the
+  /// block is first expanded to byte mode.
+  Cell& slot(Addr addr, std::uint32_t size) {
+    Block* blk = get_or_create_block(addr >> kBlockShift);
+    if (!blk->byte_mode && needs_byte_mode(addr, size)) expand(blk);
+    return blk->cells[cell_index(*blk, addr)];
+  }
+
+  /// Invoke fn(cell_base_addr, cell_width, Cell&) for every cell
+  /// overlapping [addr, addr+len), creating blocks (and expanding modes)
+  /// as required. Visits each cell exactly once.
+  template <typename Fn>
+  void for_range(Addr addr, std::uint32_t len, Fn&& fn) {
+    const Addr end = addr + len;
+    Addr a = addr;
+    while (a < end) {
+      Block* blk = get_or_create_block(a >> kBlockShift);
+      if (!blk->byte_mode && needs_byte_mode(a, static_cast<std::uint32_t>(
+                                                    std::min<Addr>(end, block_end(a)) - a)))
+        expand(blk);
+      const Addr blk_end = std::min<Addr>(end, block_end(a));
+      const std::uint32_t w = blk->byte_mode ? 1 : kWordSize;
+      // Align to the covering cell's base so partially-overlapped word
+      // cells are still visited once.
+      Addr cell_base = a - (a % w);
+      while (cell_base < blk_end) {
+        fn(cell_base, w, blk->cells[cell_index(*blk, cell_base)]);
+        cell_base += w;
+      }
+      a = blk_end;
+    }
+  }
+
+  /// Like for_range but only visits cells in blocks that already exist and
+  /// never changes modes. fn(cell_base_addr, cell_width, Cell&).
+  template <typename Fn>
+  void for_range_existing(Addr addr, std::uint32_t len, Fn&& fn) {
+    const Addr end = addr + len;
+    Addr a = addr;
+    while (a < end) {
+      const Addr blk_end = std::min<Addr>(end, block_end(a));
+      Block* blk = find_block(a >> kBlockShift);
+      if (blk != nullptr) {
+        const std::uint32_t w = blk->byte_mode ? 1 : kWordSize;
+        Addr cell_base = a - (a % w);
+        while (cell_base < blk_end) {
+          fn(cell_base, w, blk->cells[cell_index(*blk, cell_base)]);
+          cell_base += w;
+        }
+      }
+      a = blk_end;
+    }
+  }
+
+  /// Zero all cells in [addr, addr+len) and free blocks that become fully
+  /// empty. The caller must already have released the payloads (via
+  /// for_range_existing).
+  void clear_range(Addr addr, std::uint32_t len) {
+    const Addr end = addr + len;
+    Addr a = addr;
+    while (a < end) {
+      const Addr blk_end = std::min<Addr>(end, block_end(a));
+      const std::uint64_t key = a >> kBlockShift;
+      Block** link = bucket_link(key);
+      Block* blk = *link;
+      while (blk != nullptr && blk->key != key) {
+        link = &blk->next;
+        blk = blk->next;
+      }
+      if (blk != nullptr) {
+        const std::uint32_t w = blk->byte_mode ? 1 : kWordSize;
+        for (Addr cb = a - (a % w); cb < blk_end; cb += w) {
+          Cell& c = blk->cells[cell_index(*blk, cb)];
+          if (!(c == Cell{})) {
+            c = Cell{};
+            DG_DCHECK(blk->occupied > 0);
+            --blk->occupied;
+          }
+        }
+        if (blk->occupied == 0) {
+          *link = blk->next;
+          destroy_block(blk);
+          --num_blocks_;
+        }
+      }
+      a = blk_end;
+    }
+  }
+
+  /// Nearest occupied cell strictly before `addr`, scanning no further back
+  /// than `low_limit`. On success stores the cell's base address.
+  Cell prev_occupied(Addr addr, Addr low_limit, Addr* found_base) const {
+    if (addr == 0) return Cell{};
+    Addr a = addr - 1;
+    while (true) {
+      const Block* blk = find_block(a >> kBlockShift);
+      const Addr blk_begin = (a >> kBlockShift) << kBlockShift;
+      if (blk != nullptr) {
+        const std::uint32_t w = blk->byte_mode ? 1 : kWordSize;
+        Addr cell_base = a - (a % w);
+        while (true) {
+          const Cell& c = blk->cells[cell_index(*blk, cell_base)];
+          if (!(c == Cell{})) {
+            if (cell_base + w <= low_limit) return Cell{};
+            *found_base = cell_base;
+            return c;
+          }
+          if (cell_base == blk_begin) break;
+          cell_base -= w;
+        }
+      }
+      if (blk_begin == 0 || blk_begin <= low_limit) return Cell{};
+      a = blk_begin - 1;
+    }
+  }
+
+  /// Nearest occupied cell at or after `addr`, scanning below `high_limit`.
+  Cell next_occupied(Addr addr, Addr high_limit, Addr* found_base) const {
+    Addr a = addr;
+    while (a < high_limit) {
+      const Block* blk = find_block(a >> kBlockShift);
+      const Addr blk_end = block_end(a);
+      if (blk != nullptr) {
+        const std::uint32_t w = blk->byte_mode ? 1 : kWordSize;
+        for (Addr cell_base = a - (a % w); cell_base < blk_end; cell_base += w) {
+          if (cell_base >= high_limit) return Cell{};
+          const Cell& c = blk->cells[cell_index(*blk, cell_base)];
+          if (!(c == Cell{}) && cell_base + w > addr) {
+            *found_base = cell_base;
+            return c;
+          }
+        }
+      }
+      a = blk_end;
+    }
+    return Cell{};
+  }
+
+  /// Invoke fn(cell_base_addr, cell_width, Cell&) for every non-empty cell
+  /// in the table, in unspecified order. Intended for teardown and
+  /// whole-table statistics; fn must not add or remove blocks.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t b = 0; b < num_buckets_; ++b) {
+      for (Block* blk = buckets_[b]; blk != nullptr; blk = blk->next) {
+        const std::uint32_t w = blk->byte_mode ? 1 : kWordSize;
+        const std::uint32_t n = blk->byte_mode ? kBlockBytes : kWordCells;
+        const Addr base = blk->key << kBlockShift;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (!(blk->cells[i] == Cell{}))
+            fn(base + static_cast<Addr>(i) * w, w, blk->cells[i]);
+        }
+      }
+    }
+  }
+
+  /// Drop every block. Payloads must already have been released.
+  void clear_all() {
+    for (std::size_t b = 0; b < num_buckets_; ++b) {
+      Block* blk = buckets_[b];
+      while (blk != nullptr) {
+        Block* next = blk->next;
+        destroy_block(blk);
+        blk = next;
+      }
+      buckets_[b] = nullptr;
+    }
+    num_blocks_ = 0;
+  }
+
+  /// Track occupancy transitions. Callers that write a non-empty value into
+  /// a previously-empty slot (or vice versa) must inform the table so empty
+  /// blocks can be reclaimed by clear_range and stats stay exact.
+  void note_fill(Addr addr) {
+    Block* blk = find_block(addr >> kBlockShift);
+    DG_DCHECK(blk != nullptr);
+    ++blk->occupied;
+  }
+  void note_clear(Addr addr) {
+    Block* blk = find_block(addr >> kBlockShift);
+    DG_DCHECK(blk != nullptr && blk->occupied > 0);
+    --blk->occupied;
+  }
+
+  std::size_t num_blocks() const noexcept { return num_blocks_; }
+  std::size_t bytes() const noexcept { return bytes_; }
+
+ private:
+  static constexpr std::uint32_t kBlockShift = 7;  // log2(kBlockBytes)
+  static constexpr std::size_t kInitialBuckets = 1024;
+
+  struct Block {
+    std::uint64_t key;
+    Block* next;
+    Cell* cells;
+    std::uint32_t occupied;
+    bool byte_mode;
+  };
+
+  static Addr block_end(Addr a) {
+    return ((a >> kBlockShift) + 1) << kBlockShift;
+  }
+
+  static bool needs_byte_mode(Addr addr, std::uint32_t size) {
+    return (addr % kWordSize) != 0 || (size % kWordSize) != 0;
+  }
+
+  static std::uint32_t cell_index(const Block& blk, Addr addr) {
+    const auto off = static_cast<std::uint32_t>(addr & (kBlockBytes - 1));
+    return blk.byte_mode ? off : off / kWordSize;
+  }
+
+  static std::size_t hash_key(std::uint64_t key) {
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return static_cast<std::size_t>(key);
+  }
+
+  Block** bucket_link(std::uint64_t key) {
+    return &buckets_[hash_key(key) & (num_buckets_ - 1)];
+  }
+
+  const Block* find_block(std::uint64_t key) const {
+    const Block* blk = buckets_[hash_key(key) & (num_buckets_ - 1)];
+    while (blk != nullptr && blk->key != key) blk = blk->next;
+    return blk;
+  }
+  Block* find_block(std::uint64_t key) {
+    return const_cast<Block*>(std::as_const(*this).find_block(key));
+  }
+
+  Block* get_or_create_block(std::uint64_t key) {
+    Block* blk = find_block(key);
+    if (blk != nullptr) return blk;
+    if (num_blocks_ + 1 > num_buckets_) rehash(num_buckets_ * 2);
+    blk = new Block{key, nullptr, nullptr, 0, false};
+    blk->cells = alloc_cells(kWordCells);
+    charge(sizeof(Block) + kWordCells * sizeof(Cell));
+    Block** link = bucket_link(key);
+    blk->next = *link;
+    *link = blk;
+    ++num_blocks_;
+    return blk;
+  }
+
+  /// Word mode -> byte mode: replicate each word cell to its 4 byte cells.
+  void expand(Block* blk) {
+    DG_DCHECK(!blk->byte_mode);
+    Cell* byte_cells = alloc_cells(kBlockBytes);
+    std::uint32_t occupied = 0;
+    for (std::uint32_t w = 0; w < kWordCells; ++w) {
+      const bool filled = !(blk->cells[w] == Cell{});
+      for (std::uint32_t b = 0; b < kWordSize; ++b) {
+        Cell& dst = byte_cells[w * kWordSize + b];
+        dst = blk->cells[w];
+        if (filled) {
+          if (b != 0 && expander_) expander_(dst, b);
+          ++occupied;
+        }
+      }
+    }
+    free_cells(blk->cells, kWordCells);
+    charge(kBlockBytes * sizeof(Cell));
+    uncharge(kWordCells * sizeof(Cell));
+    blk->cells = byte_cells;
+    blk->byte_mode = true;
+    blk->occupied = occupied;
+  }
+
+  Cell* alloc_cells(std::uint32_t n) {
+    auto* cells = static_cast<Cell*>(::operator new(n * sizeof(Cell)));
+    std::memset(static_cast<void*>(cells), 0, n * sizeof(Cell));
+    return cells;
+  }
+  void free_cells(Cell* cells, std::uint32_t n) {
+    ::operator delete(cells);
+    (void)n;
+  }
+
+  void destroy_block(Block* blk) {
+    const std::uint32_t n = blk->byte_mode ? kBlockBytes : kWordCells;
+    free_cells(blk->cells, n);
+    uncharge(sizeof(Block) + n * sizeof(Cell));
+    delete blk;
+  }
+
+  void rehash(std::size_t new_buckets) {
+    auto** nb = static_cast<Block**>(::operator new(new_buckets * sizeof(Block*)));
+    std::memset(static_cast<void*>(nb), 0, new_buckets * sizeof(Block*));
+    if (buckets_ != nullptr) {
+      for (std::size_t b = 0; b < num_buckets_; ++b) {
+        Block* blk = buckets_[b];
+        while (blk != nullptr) {
+          Block* next = blk->next;
+          Block** link = &nb[hash_key(blk->key) & (new_buckets - 1)];
+          blk->next = *link;
+          *link = blk;
+          blk = next;
+        }
+      }
+      ::operator delete(buckets_);
+      uncharge(num_buckets_ * sizeof(Block*));
+    }
+    buckets_ = nb;
+    num_buckets_ = new_buckets;
+    charge(new_buckets * sizeof(Block*));
+  }
+
+  void charge(std::size_t b) {
+    bytes_ += b;
+    acct_->add(cat_, b);
+  }
+  void uncharge(std::size_t b) {
+    DG_DCHECK(bytes_ >= b);
+    bytes_ -= b;
+    acct_->sub(cat_, b);
+  }
+
+  MemoryAccountant* acct_;
+  MemCategory cat_;
+  std::function<void(Cell&, std::uint32_t)> expander_;
+  Block** buckets_ = nullptr;
+  std::size_t num_buckets_ = 0;
+  std::size_t num_blocks_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace dg

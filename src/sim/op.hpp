@@ -1,0 +1,75 @@
+// Op — one step of a simulated logical thread.
+//
+// Workload generators (src/workloads/) emit Ops from coroutines; the
+// SimScheduler interleaves them deterministically and turns them into
+// detector events. This is the reproduction's stand-in for running the
+// PARSEC binaries under PIN: the detectors consume exactly the same kind
+// of event stream either way (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dg::sim {
+
+enum class OpKind : std::uint8_t {
+  kRead,     // shared memory read           (addr, size)
+  kWrite,    // shared memory write          (addr, size)
+  kAcquire,  // blocking mutex acquire       (sync)
+  kRelease,  // mutex release                (sync)
+  kAlloc,    // dynamic allocation           (addr, n = bytes)
+  kFree,     // deallocation                 (addr, n = bytes)
+  kFork,     // spawn logical thread         (n = child tid)
+  kJoin,     // join logical thread          (n = child tid)
+  kBarrier,  // barrier wait                 (sync, n = participant count)
+  kSignal,   // condvar/queue signal         (sync): release + counter++
+  kAwait,    // condvar/queue wait           (sync, n): block until count>=n
+  kSite,     // set symbolic code location   (site)
+  kCompute,  // n units of application work (base-time realism)
+};
+
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  std::uint32_t size = 0;
+  Addr addr = 0;
+  SyncId sync = 0;
+  std::uint64_t n = 0;
+  const char* site_name = nullptr;
+
+  static Op read(Addr a, std::uint32_t sz) {
+    return {OpKind::kRead, sz, a, 0, 0, nullptr};
+  }
+  static Op write(Addr a, std::uint32_t sz) {
+    return {OpKind::kWrite, sz, a, 0, 0, nullptr};
+  }
+  static Op acquire(SyncId s) { return {OpKind::kAcquire, 0, 0, s, 0, nullptr}; }
+  static Op release(SyncId s) { return {OpKind::kRelease, 0, 0, s, 0, nullptr}; }
+  static Op alloc(Addr a, std::uint64_t bytes) {
+    return {OpKind::kAlloc, 0, a, 0, bytes, nullptr};
+  }
+  static Op free_(Addr a, std::uint64_t bytes) {
+    return {OpKind::kFree, 0, a, 0, bytes, nullptr};
+  }
+  static Op fork(ThreadId child) {
+    return {OpKind::kFork, 0, 0, 0, child, nullptr};
+  }
+  static Op join(ThreadId child) {
+    return {OpKind::kJoin, 0, 0, 0, child, nullptr};
+  }
+  static Op barrier(SyncId s, std::uint64_t participants) {
+    return {OpKind::kBarrier, 0, 0, s, participants, nullptr};
+  }
+  static Op signal(SyncId s) { return {OpKind::kSignal, 0, 0, s, 0, nullptr}; }
+  static Op await(SyncId s, std::uint64_t count) {
+    return {OpKind::kAwait, 0, 0, s, count, nullptr};
+  }
+  static Op site(const char* label) {
+    return {OpKind::kSite, 0, 0, 0, 0, label};
+  }
+  static Op compute(std::uint64_t units) {
+    return {OpKind::kCompute, 0, 0, 0, units, nullptr};
+  }
+};
+
+}  // namespace dg::sim

@@ -1,0 +1,80 @@
+// OpGen — a minimal C++20 coroutine generator of Ops.
+//
+// Lets workload thread bodies read like the programs they model:
+//
+//   sim::OpGen worker(Workload& w, ThreadId tid) {
+//     for (std::uint64_t i = 0; i < w.iterations; ++i) {
+//       co_yield Op::acquire(w.lock);
+//       co_yield Op::write(w.counter, 4);
+//       co_yield Op::release(w.lock);
+//     }
+//   }
+//
+// The generator is move-only and owns its coroutine frame.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "sim/op.hpp"
+
+namespace dg::sim {
+
+class OpGen {
+ public:
+  struct promise_type {
+    Op current{};
+    std::exception_ptr error;
+
+    OpGen get_return_object() {
+      return OpGen{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    std::suspend_always yield_value(Op op) noexcept {
+      current = op;
+      return {};
+    }
+    void return_void() noexcept {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  OpGen() = default;
+  explicit OpGen(std::coroutine_handle<promise_type> h) : h_(h) {}
+  OpGen(OpGen&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  OpGen& operator=(OpGen&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  OpGen(const OpGen&) = delete;
+  OpGen& operator=(const OpGen&) = delete;
+  ~OpGen() { destroy(); }
+
+  /// Advance to the next op. Returns false when the coroutine completed.
+  bool next(Op& out) {
+    if (!h_ || h_.done()) return false;
+    h_.resume();
+    if (h_.promise().error) std::rethrow_exception(h_.promise().error);
+    if (h_.done()) return false;
+    out = h_.promise().current;
+    return true;
+  }
+
+  bool valid() const noexcept { return static_cast<bool>(h_); }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace dg::sim

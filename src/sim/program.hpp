@@ -1,0 +1,41 @@
+// SimProgram — a simulated multithreaded application.
+//
+// A program declares its logical threads (tid 0 is the initial thread) and
+// produces one Op coroutine per thread. Thread 0's body is responsible for
+// forking/joining the others via Op::fork / Op::join, exactly like a
+// pthread main(). Programs also declare the base footprint their real
+// counterpart would occupy (the denominator of memory-overhead ratios) and
+// the races they embed (used by tests as ground truth).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "sim/opgen.hpp"
+
+namespace dg::sim {
+
+class SimProgram {
+ public:
+  virtual ~SimProgram() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Total logical threads, including the initial thread 0.
+  virtual ThreadId num_threads() const = 0;
+
+  /// The op stream of one thread. Called exactly once per tid per run.
+  virtual OpGen thread_body(ThreadId tid) = 0;
+
+  /// Declared footprint of the simulated application in bytes (data
+  /// regions + stacks); the "Base memory" column of Table 1.
+  virtual std::uint64_t base_memory_bytes() const = 0;
+
+  /// Number of distinct racy locations deliberately embedded, at byte
+  /// granularity. 0 means race-free by construction. Tests treat this as
+  /// ground truth for the happens-before detectors.
+  virtual std::uint64_t expected_races() const { return 0; }
+};
+
+}  // namespace dg::sim

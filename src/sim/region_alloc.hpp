@@ -1,0 +1,83 @@
+// RegionAllocator — deterministic synthetic-address allocator for
+// simulated heaps.
+//
+// Workloads draw their malloc/free addresses from one of these. Addresses
+// are never dereferenced (the detectors treat them as shadow keys), but
+// the allocator recycles freed ranges first-fit so that the
+// alloc-heavy workloads (dedup) exercise the detectors' shadow-release
+// paths on address reuse, like a real allocator would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace dg::sim {
+
+class RegionAllocator {
+ public:
+  RegionAllocator(Addr base, std::uint64_t capacity)
+      : base_(base), capacity_(capacity) {
+    free_[base] = capacity;
+  }
+
+  /// Allocate `bytes` (16-byte aligned), first-fit over the free list.
+  Addr alloc(std::uint64_t bytes) {
+    bytes = (bytes + 15) & ~std::uint64_t{15};
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->second < bytes) continue;
+      const Addr a = it->first;
+      const std::uint64_t rest = it->second - bytes;
+      free_.erase(it);
+      if (rest > 0) free_[a + bytes] = rest;
+      live_ += bytes;
+      if (live_ > peak_) peak_ = live_;
+      allocated_[a] = bytes;
+      return a;
+    }
+    DG_CHECK_MSG(false, "simulated region exhausted");
+    return 0;
+  }
+
+  /// Free a previous allocation; returns its size (for Op::free_).
+  std::uint64_t free(Addr a) {
+    auto it = allocated_.find(a);
+    DG_CHECK_MSG(it != allocated_.end(), "free of unallocated address");
+    std::uint64_t bytes = it->second;
+    allocated_.erase(it);
+    live_ -= bytes;
+    // Coalesce with neighbours.
+    auto [fit, ok] = free_.emplace(a, bytes);
+    DG_CHECK(ok);
+    if (fit != free_.begin()) {
+      auto prev = std::prev(fit);
+      if (prev->first + prev->second == fit->first) {
+        prev->second += fit->second;
+        free_.erase(fit);
+        fit = prev;
+      }
+    }
+    auto next = std::next(fit);
+    if (next != free_.end() && fit->first + fit->second == next->first) {
+      fit->second += next->second;
+      free_.erase(next);
+    }
+    return bytes;
+  }
+
+  Addr base() const noexcept { return base_; }
+  std::uint64_t live_bytes() const noexcept { return live_; }
+  std::uint64_t peak_bytes() const noexcept { return peak_; }
+
+ private:
+  Addr base_;
+  std::uint64_t capacity_;
+  std::map<Addr, std::uint64_t> free_;       // offset -> length
+  std::map<Addr, std::uint64_t> allocated_;  // addr -> length
+  std::uint64_t live_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+}  // namespace dg::sim

@@ -1,0 +1,237 @@
+#include "sim/sim.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dg::sim {
+
+SimScheduler::SimScheduler(SimProgram& prog, Detector& det, std::uint64_t seed,
+                           std::uint32_t max_slice)
+    : prog_(&prog), det_(&det), rng_(seed), max_slice_(max_slice) {
+  threads_.resize(prog.num_threads());
+}
+
+void SimScheduler::start_thread(ThreadId t, ThreadId parent) {
+  DG_CHECK(t < threads_.size());
+  LThread& lt = threads_[t];
+  DG_CHECK_MSG(lt.state == TState::kNotStarted, "thread forked twice");
+  lt.gen = prog_->thread_body(t);
+  lt.state = TState::kRunnable;
+  det_->on_thread_start(t, parent);
+}
+
+void SimScheduler::make_runnable(ThreadId t, Wake wake, SyncId sync,
+                                 ThreadId child) {
+  LThread& lt = threads_[t];
+  lt.state = TState::kRunnable;
+  lt.wake = wake;
+  lt.wake_sync = sync;
+  lt.wake_child = child;
+}
+
+void SimScheduler::finish_thread(ThreadId t) {
+  threads_[t].state = TState::kFinished;
+  // Wake joiners waiting for t.
+  for (auto it = join_waiters_.begin(); it != join_waiters_.end();) {
+    if (threads_[*it].join_target == t) {
+      make_runnable(*it, Wake::kJoin, 0, t);
+      it = join_waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SimScheduler::compute_spin(std::uint64_t units) {
+  std::uint64_t x = spin_sink_;
+  for (std::uint64_t i = 0; i < units; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  spin_sink_ = x;
+}
+
+bool SimScheduler::step(ThreadId t) {
+  LThread& lt = threads_[t];
+  DG_DCHECK(lt.state == TState::kRunnable);
+
+  // Complete any action deferred from a wake-up.
+  if (lt.wake == Wake::kAcquire) {
+    det_->on_acquire(t, lt.wake_sync);
+    ++result_.sync_events;
+    lt.wake = Wake::kNone;
+  } else if (lt.wake == Wake::kJoin) {
+    det_->on_thread_join(t, lt.wake_child);
+    ++result_.sync_events;
+    lt.wake = Wake::kNone;
+  }
+
+  Op op;
+  if (!lt.gen.next(op)) {
+    finish_thread(t);
+    return false;
+  }
+  ++result_.ops;
+  return exec(t, op);
+}
+
+bool SimScheduler::exec(ThreadId t, const Op& op) {
+  LThread& lt = threads_[t];
+  switch (op.kind) {
+    case OpKind::kRead:
+      det_->on_read(t, op.addr, op.size);
+      ++result_.memory_events;
+      return true;
+    case OpKind::kWrite:
+      det_->on_write(t, op.addr, op.size);
+      ++result_.memory_events;
+      return true;
+    case OpKind::kCompute:
+      compute_spin(op.n);
+      return true;
+    case OpKind::kSite:
+      det_->set_site(t, op.site_name);
+      return true;
+    case OpKind::kAlloc:
+      det_->on_alloc(t, op.addr, op.n);
+      return true;
+    case OpKind::kFree:
+      det_->on_free(t, op.addr, op.n);
+      return true;
+    case OpKind::kAcquire: {
+      LockState& ls = locks_[op.sync];
+      if (!ls.held) {
+        ls.held = true;
+        ls.owner = t;
+        det_->on_acquire(t, op.sync);
+        ++result_.sync_events;
+        return true;
+      }
+      DG_CHECK_MSG(ls.owner != t, "recursive lock not supported");
+      ls.waiters.push_back(t);
+      lt.state = TState::kBlockedLock;
+      lt.blocked_sync = op.sync;
+      return false;
+    }
+    case OpKind::kRelease: {
+      LockState& ls = locks_[op.sync];
+      DG_CHECK_MSG(ls.held && ls.owner == t, "release of unowned lock");
+      det_->on_release(t, op.sync);
+      ++result_.sync_events;
+      if (ls.waiters.empty()) {
+        ls.held = false;
+        ls.owner = kInvalidThread;
+      } else {
+        // Direct hand-off to the first waiter; its acquire event is
+        // emitted when it resumes.
+        const ThreadId w = ls.waiters.front();
+        ls.waiters.pop_front();
+        ls.owner = w;
+        make_runnable(w, Wake::kAcquire, op.sync, 0);
+      }
+      return true;
+    }
+    case OpKind::kFork:
+      start_thread(static_cast<ThreadId>(op.n), t);
+      return true;
+    case OpKind::kJoin: {
+      const auto child = static_cast<ThreadId>(op.n);
+      DG_CHECK(child < threads_.size());
+      if (threads_[child].state == TState::kFinished) {
+        det_->on_thread_join(t, child);
+        ++result_.sync_events;
+        return true;
+      }
+      lt.state = TState::kBlockedJoin;
+      lt.join_target = child;
+      join_waiters_.push_back(t);
+      return false;
+    }
+    case OpKind::kBarrier: {
+      BarrierState& bs = barriers_[op.sync];
+      det_->on_release(t, op.sync);
+      ++result_.sync_events;
+      ++bs.arrived;
+      if (bs.arrived >= op.n) {
+        // Last arriver: everyone departs; all acquires happen after all
+        // releases, giving the all-to-all ordering of a real barrier.
+        for (ThreadId w : bs.blocked) make_runnable(w, Wake::kAcquire, op.sync, 0);
+        bs.blocked.clear();
+        bs.arrived = 0;
+        det_->on_acquire(t, op.sync);
+        ++result_.sync_events;
+        return true;
+      }
+      bs.blocked.push_back(t);
+      lt.state = TState::kBlockedBarrier;
+      lt.blocked_sync = op.sync;
+      return false;
+    }
+    case OpKind::kSignal: {
+      det_->on_release(t, op.sync);
+      ++result_.sync_events;
+      const std::uint64_t count = ++signal_counts_[op.sync];
+      // Wake satisfied awaiters.
+      for (ThreadId w = 0; w < threads_.size(); ++w) {
+        LThread& wt = threads_[w];
+        if (wt.state == TState::kBlockedAwait && wt.blocked_sync == op.sync &&
+            wt.await_count <= count) {
+          make_runnable(w, Wake::kAcquire, op.sync, 0);
+        }
+      }
+      return true;
+    }
+    case OpKind::kAwait: {
+      if (signal_counts_[op.sync] >= op.n) {
+        det_->on_acquire(t, op.sync);
+        ++result_.sync_events;
+        return true;
+      }
+      lt.state = TState::kBlockedAwait;
+      lt.blocked_sync = op.sync;
+      lt.await_count = op.n;
+      return false;
+    }
+  }
+  DG_CHECK_MSG(false, "unknown op kind");
+  return false;
+}
+
+SimScheduler::Result SimScheduler::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  start_thread(0, kInvalidThread);
+
+  std::vector<ThreadId> runnable;
+  runnable.reserve(threads_.size());
+  while (true) {
+    runnable.clear();
+    bool any_unfinished = false;
+    for (ThreadId t = 0; t < threads_.size(); ++t) {
+      const TState s = threads_[t].state;
+      if (s == TState::kRunnable) runnable.push_back(t);
+      if (s != TState::kFinished && s != TState::kNotStarted)
+        any_unfinished = true;
+    }
+    if (!any_unfinished) break;
+    if (runnable.empty()) {
+      result_.deadlocked = true;
+      break;
+    }
+    const ThreadId t =
+        runnable[static_cast<std::size_t>(rng_.below(runnable.size()))];
+    const std::uint64_t slice = 1 + rng_.below(max_slice_);
+    for (std::uint64_t i = 0; i < slice; ++i) {
+      if (!step(t)) break;
+      if (threads_[t].state != TState::kRunnable) break;
+    }
+  }
+
+  det_->on_finish();
+  const auto t1 = std::chrono::steady_clock::now();
+  result_.wall_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  return result_;
+}
+
+}  // namespace dg::sim

@@ -1,0 +1,101 @@
+// SimScheduler — deterministic interleaved execution of a SimProgram.
+//
+// Logical threads run in one OS thread; the scheduler picks a runnable
+// thread with a seeded PRNG, runs a short random slice of its ops, and
+// turns each op into a detector event, honouring blocking semantics
+// (mutexes, barriers, signal/await, join). Given the same program and
+// seed, every run — under any detector — produces the identical event
+// stream, which is what makes the paper's cross-detector comparisons
+// (Tables 1–6) apples-to-apples here.
+//
+// Wall-clock time of run() under NullDetector is the "base time"; under a
+// real detector it includes analysis cost; the ratio is the slowdown
+// reported by the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+#include "detect/detector.hpp"
+#include "sim/program.hpp"
+
+namespace dg::sim {
+
+class SimScheduler {
+ public:
+  struct Result {
+    std::uint64_t ops = 0;            // total ops executed
+    std::uint64_t memory_events = 0;  // reads + writes delivered
+    std::uint64_t sync_events = 0;    // acquire/release/barrier/signal edges
+    double wall_seconds = 0.0;
+    bool deadlocked = false;
+  };
+
+  /// `max_slice`: max ops one thread runs before the scheduler may switch.
+  SimScheduler(SimProgram& prog, Detector& det, std::uint64_t seed = 1,
+               std::uint32_t max_slice = 32);
+
+  Result run();
+
+ private:
+  enum class TState : std::uint8_t {
+    kNotStarted,
+    kRunnable,
+    kBlockedLock,
+    kBlockedBarrier,
+    kBlockedAwait,
+    kBlockedJoin,
+    kFinished,
+  };
+
+  // Action to perform when a blocked thread resumes.
+  enum class Wake : std::uint8_t { kNone, kAcquire, kJoin };
+
+  struct LThread {
+    OpGen gen;
+    TState state = TState::kNotStarted;
+    Wake wake = Wake::kNone;
+    SyncId wake_sync = 0;      // lock/barrier/await sync to acquire on wake
+    ThreadId wake_child = 0;   // join target
+    SyncId blocked_sync = 0;   // what we're blocked on
+    std::uint64_t await_count = 0;
+    ThreadId join_target = kInvalidThread;
+  };
+
+  struct LockState {
+    bool held = false;
+    ThreadId owner = kInvalidThread;
+    std::deque<ThreadId> waiters;
+  };
+
+  struct BarrierState {
+    std::uint64_t arrived = 0;
+    std::vector<ThreadId> blocked;
+  };
+
+  void start_thread(ThreadId t, ThreadId parent);
+  /// Execute one op of thread t. Returns false if t blocked or finished.
+  bool step(ThreadId t);
+  bool exec(ThreadId t, const Op& op);
+  void finish_thread(ThreadId t);
+  void make_runnable(ThreadId t, Wake wake, SyncId sync, ThreadId child);
+  void compute_spin(std::uint64_t units);
+
+  SimProgram* prog_;
+  Detector* det_;
+  Prng rng_;
+  std::uint32_t max_slice_;
+  std::vector<LThread> threads_;
+  std::unordered_map<SyncId, LockState> locks_;
+  std::unordered_map<SyncId, BarrierState> barriers_;
+  std::unordered_map<SyncId, std::uint64_t> signal_counts_;
+  std::vector<ThreadId> join_waiters_;  // threads blocked in kBlockedJoin
+  Result result_;
+  std::uint64_t spin_sink_ = 0x243f6a8885a308d3ULL;
+};
+
+}  // namespace dg::sim

@@ -1,0 +1,89 @@
+#include "sync/hb_engine.hpp"
+
+namespace dg {
+
+namespace {
+// Approximate footprint of one unordered_map node plus a VectorClock, used
+// to charge sync-object shadows against the accountant.
+constexpr std::size_t kSyncNodeBytes =
+    sizeof(SyncId) + sizeof(VectorClock) + 3 * sizeof(void*);
+}  // namespace
+
+HbEngine::~HbEngine() {
+  for (auto& [id, vc] : sync_clocks_)
+    acct_->sub(MemCategory::kOther, kSyncNodeBytes + vc.heap_bytes());
+  for (auto& te : threads_)
+    acct_->sub(MemCategory::kOther,
+               sizeof(ThreadEntry) + te.clock.heap_bytes());
+}
+
+void HbEngine::on_thread_start(ThreadId t, ThreadId parent) {
+  if (t >= threads_.size()) threads_.resize(t + 1);
+  ThreadEntry& te = threads_[t];
+  DG_CHECK_MSG(!te.started, "thread id reused");
+  te.started = true;
+  acct_->add(MemCategory::kOther, sizeof(ThreadEntry));
+  if (parent != kInvalidThread) {
+    DG_CHECK(parent < threads_.size() && threads_[parent].started);
+    // Fork edge: everything the parent did so far happens-before the child.
+    std::size_t before = te.clock.heap_bytes();
+    te.clock.join(threads_[parent].clock);
+    charge_clock_growth(te.clock, before);
+    // The parent enters a new epoch so its post-fork work is unordered with
+    // the child (release semantics of fork).
+    new_epoch(parent);
+  }
+  // A thread's own clock starts at 1; clock 0 is reserved for the ⊥ epoch.
+  const std::size_t before = te.clock.heap_bytes();
+  te.clock.set(t, 1);
+  charge_clock_growth(te.clock, before);
+  te.epoch_serial = ++total_epochs_;
+}
+
+void HbEngine::on_thread_join(ThreadId joiner, ThreadId joined) {
+  DG_CHECK(joiner < threads_.size() && threads_[joiner].started);
+  DG_CHECK(joined < threads_.size() && threads_[joined].started);
+  ThreadEntry& je = threads_[joiner];
+  std::size_t before = je.clock.heap_bytes();
+  je.clock.join(threads_[joined].clock);
+  charge_clock_growth(je.clock, before);
+}
+
+void HbEngine::on_acquire(ThreadId t, SyncId s) {
+  DG_CHECK(t < threads_.size() && threads_[t].started);
+  VectorClock& ls = sync_clock(s);
+  ThreadEntry& te = threads_[t];
+  std::size_t before = te.clock.heap_bytes();
+  te.clock.join(ls);
+  charge_clock_growth(te.clock, before);
+}
+
+void HbEngine::on_release(ThreadId t, SyncId s) {
+  DG_CHECK(t < threads_.size() && threads_[t].started);
+  VectorClock& ls = sync_clock(s);
+  std::size_t before = ls.heap_bytes();
+  ls.join(threads_[t].clock);
+  if (ls.heap_bytes() > before)
+    acct_->add(MemCategory::kOther, ls.heap_bytes() - before);
+  new_epoch(t);
+}
+
+VectorClock& HbEngine::sync_clock(SyncId s) {
+  auto [it, inserted] = sync_clocks_.try_emplace(s);
+  if (inserted) acct_->add(MemCategory::kOther, kSyncNodeBytes);
+  return it->second;
+}
+
+void HbEngine::new_epoch(ThreadId t) {
+  ThreadEntry& te = threads_[t];
+  te.clock.set(t, te.clock.get(t) + 1);
+  te.epoch_serial = ++total_epochs_;
+}
+
+void HbEngine::charge_clock_growth(const VectorClock& vc,
+                                   std::size_t heap_before) {
+  if (vc.heap_bytes() > heap_before)
+    acct_->add(MemCategory::kOther, vc.heap_bytes() - heap_before);
+}
+
+}  // namespace dg

@@ -1,0 +1,93 @@
+// HbEngine — the happens-before substrate shared by every vector-clock
+// detector (DJIT+, FastTrack fixed/dynamic granularity, segment-based,
+// Inspector-like).
+//
+// It maintains, per the DJIT+/FastTrack protocol:
+//   * one vector clock C_t per thread; C_t[t] is incremented at every lock
+//     release (each increment opens a new *epoch* / DJIT+ timeframe),
+//   * one vector clock L_s per synchronization object, updated to
+//     L_s ⊔= C_t on release and consumed via C_t ⊔= L_s on acquire,
+//   * fork/join edges (thread creation and join are modelled as a release
+//     into / acquire from the child's clock, per the paper's footnote 1).
+//
+// Condition variables and barriers reduce to the same release/acquire pair
+// on a dedicated sync id, which is how the simulator and live runtime emit
+// them.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memtrack.hpp"
+#include "common/types.hpp"
+#include "vc/epoch.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace dg {
+
+class HbEngine {
+ public:
+  explicit HbEngine(MemoryAccountant& acct) : acct_(&acct) {}
+  ~HbEngine();
+
+  HbEngine(const HbEngine&) = delete;
+  HbEngine& operator=(const HbEngine&) = delete;
+
+  /// Register thread t. `parent` is the forking thread or kInvalidThread
+  /// for the initial thread. Establishes parent-fork ⟶ child-start order.
+  void on_thread_start(ThreadId t, ThreadId parent);
+
+  /// `joiner` observed the termination of `joined` (pthread_join):
+  /// everything `joined` did happens-before the joiner's next operation.
+  void on_thread_join(ThreadId joiner, ThreadId joined);
+
+  /// Lock-acquire edge: C_t ⊔= L_s.
+  void on_acquire(ThreadId t, SyncId s);
+
+  /// Lock-release edge: L_s ⊔= C_t, then C_t[t]++ (new epoch).
+  void on_release(ThreadId t, SyncId s);
+
+  /// Number of threads ever started (clock vector width).
+  std::size_t num_threads() const noexcept { return threads_.size(); }
+
+  const VectorClock& clock(ThreadId t) const {
+    DG_DCHECK(t < threads_.size());
+    return threads_[t].clock;
+  }
+
+  /// The thread's current epoch c@t with c = C_t[t].
+  Epoch epoch(ThreadId t) const {
+    DG_DCHECK(t < threads_.size());
+    return Epoch(threads_[t].clock.get(t), t);
+  }
+
+  /// Monotonic counter bumped whenever thread t enters a new epoch. The
+  /// per-thread same-epoch bitmaps compare this serial to lazily reset
+  /// themselves instead of being flushed eagerly on every release.
+  std::uint64_t epoch_serial(ThreadId t) const {
+    DG_DCHECK(t < threads_.size());
+    return threads_[t].epoch_serial;
+  }
+
+  /// Total epochs started across all threads (diagnostic).
+  std::uint64_t total_epochs() const noexcept { return total_epochs_; }
+
+ private:
+  struct ThreadEntry {
+    VectorClock clock;
+    std::uint64_t epoch_serial = 0;
+    bool started = false;
+  };
+
+  VectorClock& sync_clock(SyncId s);
+  void new_epoch(ThreadId t);
+  void charge_clock_growth(const VectorClock& vc, std::size_t heap_before);
+
+  MemoryAccountant* acct_;
+  std::vector<ThreadEntry> threads_;
+  std::unordered_map<SyncId, VectorClock> sync_clocks_;
+  std::uint64_t total_epochs_ = 0;
+};
+
+}  // namespace dg

@@ -1,0 +1,53 @@
+// Epoch — FastTrack's O(1) access-history representation.
+//
+// An epoch c@t records that the last access to a location was by thread t
+// at its logical clock c. FastTrack (PLDI'09) shows an epoch suffices for
+// the full write history of a location until its first race, and for the
+// read history whenever reads are totally ordered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dg {
+
+class Epoch {
+ public:
+  /// The "empty" epoch ⊥ (clock 0 of the reserved thread id) happens-before
+  /// everything: no thread ever publishes clock 0 (ThreadState starts each
+  /// thread's own clock at 1).
+  constexpr Epoch() noexcept : clock_(0), tid_(0) {}
+  constexpr Epoch(ClockVal clock, ThreadId tid) noexcept
+      : clock_(clock), tid_(tid) {}
+
+  static constexpr Epoch bottom() noexcept { return Epoch{}; }
+
+  constexpr ClockVal clock() const noexcept { return clock_; }
+  constexpr ThreadId tid() const noexcept { return tid_; }
+  constexpr bool is_bottom() const noexcept { return clock_ == 0; }
+
+  friend constexpr bool operator==(Epoch a, Epoch b) noexcept {
+    return a.clock_ == b.clock_ && a.tid_ == b.tid_;
+  }
+
+  /// Packed form used as a hashable / trace-serializable scalar.
+  constexpr std::uint64_t packed() const noexcept {
+    return (static_cast<std::uint64_t>(tid_) << 32) | clock_;
+  }
+  static constexpr Epoch from_packed(std::uint64_t p) noexcept {
+    return Epoch(static_cast<ClockVal>(p & 0xffffffffu),
+                 static_cast<ThreadId>(p >> 32));
+  }
+
+  std::string str() const {
+    return std::to_string(clock_) + "@" + std::to_string(tid_);
+  }
+
+ private:
+  ClockVal clock_;
+  ThreadId tid_;
+};
+
+}  // namespace dg

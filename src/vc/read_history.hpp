@@ -1,0 +1,124 @@
+// ReadHistory — FastTrack's adaptive read representation.
+//
+// Reads of a location are kept as a single epoch while they are totally
+// ordered (the overwhelmingly common case), and promoted to a full vector
+// clock only when a read is concurrent with the previous read history
+// ("read-shared"). FastTrack demotes back to an epoch after a write that
+// happens-after all reads.
+#pragma once
+
+#include <memory>
+
+#include "common/memtrack.hpp"
+#include "vc/epoch.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace dg {
+
+class ReadHistory {
+ public:
+  ReadHistory() = default;
+
+  bool is_shared() const noexcept { return vc_ != nullptr; }
+  Epoch epoch() const noexcept { return epoch_; }
+  const VectorClock& vc() const noexcept {
+    DG_DCHECK(vc_ != nullptr);
+    return *vc_;
+  }
+
+  bool is_empty() const noexcept { return vc_ == nullptr && epoch_.is_bottom(); }
+
+  /// Record an exclusive (totally ordered) read.
+  void set_exclusive(Epoch e, MemoryAccountant& acct) {
+    demote(acct);
+    epoch_ = e;
+  }
+
+  /// Promote to read-shared: keep both the previous epoch and the new one.
+  void promote(Epoch previous, Epoch current, MemoryAccountant& acct) {
+    if (vc_ == nullptr) {
+      vc_ = std::make_unique<VectorClock>();
+      acct.add(MemCategory::kVectorClock, sizeof(VectorClock));
+    }
+    const std::size_t before = vc_->heap_bytes();
+    vc_->join(previous);
+    vc_->join(current);
+    if (vc_->heap_bytes() > before)
+      acct.add(MemCategory::kVectorClock, vc_->heap_bytes() - before);
+    epoch_ = Epoch::bottom();
+  }
+
+  /// Add a reader to an already-shared history.
+  void add_shared(Epoch e, MemoryAccountant& acct) {
+    DG_DCHECK(vc_ != nullptr);
+    std::size_t before = vc_->heap_bytes();
+    vc_->join(e);
+    std::size_t after = vc_->heap_bytes();
+    if (after > before) acct.add(MemCategory::kVectorClock, after - before);
+  }
+
+  /// Reset to the empty history (used after a write that covers all reads),
+  /// releasing any shared clock.
+  void reset(MemoryAccountant& acct) {
+    demote(acct);
+    epoch_ = Epoch::bottom();
+  }
+
+  /// True iff every recorded read happens-before `now` (the accessing
+  /// thread's clock) — i.e. a write now would not race any read.
+  bool all_before(const VectorClock& now) const noexcept {
+    if (vc_ != nullptr) return vc_->leq(now);
+    return now.contains(epoch_);
+  }
+
+  /// For race attribution: a thread whose recorded read is concurrent with
+  /// `now`, or kInvalidThread.
+  ThreadId concurrent_reader(const VectorClock& now) const noexcept {
+    if (vc_ != nullptr) return vc_->first_exceeding(now);
+    return now.contains(epoch_) ? kInvalidThread : epoch_.tid();
+  }
+
+  /// Clock of thread `t` in the history (for reporting).
+  ClockVal clock_of(ThreadId t) const noexcept {
+    if (vc_ != nullptr) return vc_->get(t);
+    return epoch_.tid() == t ? epoch_.clock() : 0;
+  }
+
+  /// Structural equality — the sharing-decision notion of "same VC".
+  friend bool operator==(const ReadHistory& a, const ReadHistory& b) noexcept {
+    if (a.is_shared() != b.is_shared()) return false;
+    if (a.is_shared()) return *a.vc_ == *b.vc_;
+    return a.epoch_ == b.epoch_;
+  }
+
+  /// Deep copy with accounting (used when splitting shared nodes).
+  void copy_from(const ReadHistory& o, MemoryAccountant& acct) {
+    reset(acct);
+    epoch_ = o.epoch_;
+    if (o.vc_ != nullptr) {
+      vc_ = std::make_unique<VectorClock>(*o.vc_);
+      acct.add(MemCategory::kVectorClock,
+               sizeof(VectorClock) + vc_->heap_bytes());
+    }
+  }
+
+  /// Release owned memory against the accountant before destruction.
+  void release(MemoryAccountant& acct) { demote(acct); }
+
+  std::size_t footprint_bytes() const noexcept {
+    return vc_ != nullptr ? sizeof(VectorClock) + vc_->heap_bytes() : 0;
+  }
+
+ private:
+  void demote(MemoryAccountant& acct) {
+    if (vc_ != nullptr) {
+      acct.sub(MemCategory::kVectorClock, sizeof(VectorClock) + vc_->heap_bytes());
+      vc_.reset();
+    }
+  }
+
+  Epoch epoch_ = Epoch::bottom();
+  std::unique_ptr<VectorClock> vc_;
+};
+
+}  // namespace dg

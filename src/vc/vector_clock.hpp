@@ -1,0 +1,113 @@
+// VectorClock — a vector of logical clocks indexed by thread id (Fidge'91),
+// realizing Lamport's happens-before relation for the detectors.
+//
+// Semantics follow DJIT+/FastTrack: a clock absent from the vector (index
+// beyond size) is 0. Inline storage covers the common 2-16 thread case.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+#include "common/inline_vec.hpp"
+#include "common/types.hpp"
+#include "vc/epoch.hpp"
+
+namespace dg {
+
+class VectorClock {
+ public:
+  static constexpr std::size_t kInlineThreads = 8;
+
+  VectorClock() = default;
+
+  /// Clock vector with `n` zero entries.
+  explicit VectorClock(std::size_t n) { clocks_.resize(n, 0); }
+
+  std::size_t size() const noexcept { return clocks_.size(); }
+
+  /// Clock of thread t; threads beyond the stored size are implicitly 0.
+  ClockVal get(ThreadId t) const noexcept {
+    return t < clocks_.size() ? clocks_[t] : 0;
+  }
+
+  void set(ThreadId t, ClockVal c) {
+    if (t >= clocks_.size()) clocks_.resize(t + 1, 0);
+    clocks_[t] = c;
+  }
+
+  /// Element-wise maximum with `o` (the ⊔ join of DJIT+).
+  void join(const VectorClock& o) {
+    if (o.clocks_.size() > clocks_.size()) clocks_.resize(o.clocks_.size(), 0);
+    for (std::size_t i = 0; i < o.clocks_.size(); ++i)
+      clocks_[i] = std::max(clocks_[i], o.clocks_[i]);
+  }
+
+  /// Merge a single epoch into this clock: this[e.tid] ⊔= e.clock.
+  void join(Epoch e) {
+    if (e.is_bottom()) return;
+    set(e.tid(), std::max(get(e.tid()), e.clock()));
+  }
+
+  /// Pointwise ≤: true iff for all t, this[t] <= o[t]. This is the
+  /// happens-before test used on access histories ("VC1 ⊑ VC2").
+  bool leq(const VectorClock& o) const noexcept {
+    for (std::size_t i = 0; i < clocks_.size(); ++i)
+      if (clocks_[i] > o.get(static_cast<ThreadId>(i))) return false;
+    return true;
+  }
+
+  /// Epoch-vs-vector happens-before: e.clock <= this[e.tid].
+  bool contains(Epoch e) const noexcept {
+    return e.clock() <= get(e.tid());
+  }
+
+  /// First thread whose entry exceeds o's entry, or kInvalidThread if none.
+  /// Used to attribute the racing prior access in DJIT+-style checks.
+  ThreadId first_exceeding(const VectorClock& o) const noexcept {
+    for (std::size_t i = 0; i < clocks_.size(); ++i)
+      if (clocks_[i] > o.get(static_cast<ThreadId>(i)))
+        return static_cast<ThreadId>(i);
+    return kInvalidThread;
+  }
+
+  void clear() noexcept { clocks_.clear(); }
+
+  /// Equality as defined by the paper for sharing decisions: "two vector
+  /// clocks are the same when they are the same size and their contents are
+  /// of equal value". We additionally treat trailing zeros as padding so
+  /// logically identical clocks with different storage sizes compare equal.
+  friend bool operator==(const VectorClock& a, const VectorClock& b) noexcept {
+    const std::size_t n = std::max(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      auto t = static_cast<ThreadId>(i);
+      if (a.get(t) != b.get(t)) return false;
+    }
+    return true;
+  }
+
+  /// Bytes of heap memory owned (0 when the clock fits inline).
+  std::size_t heap_bytes() const noexcept { return clocks_.heap_bytes(); }
+
+  /// Logical footprint in bytes of the stored entries, used by memory
+  /// accounting to charge clocks at their size regardless of inlining
+  /// (mirrors the paper's object-size-based measurement).
+  std::size_t footprint_bytes() const noexcept {
+    return clocks_.size() * sizeof(ClockVal);
+  }
+
+  std::string str() const {
+    std::string s = "<";
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+      if (i != 0) s += ", ";
+      s += std::to_string(clocks_[i]);
+    }
+    s += ">";
+    return s;
+  }
+
+ private:
+  InlineVec<ClockVal, kInlineThreads> clocks_;
+};
+
+}  // namespace dg

@@ -1,0 +1,101 @@
+// canneal analogue — simulated annealing with random fine-grained element
+// swaps over a large netlist.
+//
+// Signature: single random elements are read/written all over a large
+// array with essentially no spatial locality, and the same few elements
+// are retried within an epoch (high same-epoch percentage at *every*
+// granularity — paper: 97% across the board). Neighbouring elements almost
+// never carry equal clocks, so dynamic granularity finds nothing to share
+// and, as in the paper, brings no improvement here. Race-free: swaps are
+// guarded by per-partition locks.
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+
+namespace dg::wl {
+namespace {
+
+class Canneal final : public sim::SimProgram {
+ public:
+  explicit Canneal(WlParams p) : p_(p) {
+    DG_CHECK(p_.threads >= 1);
+    elements_ = 64 * 1024;
+    moves_ = 60'000 * p_.scale;
+  }
+
+  const char* name() const override { return "canneal"; }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override {
+    return elements_ * kElemBytes + (p_.threads + 1) * kStackBytes;
+  }
+  std::uint64_t expected_races() const override { return 0; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid - 1);
+  }
+
+ private:
+  static constexpr std::uint64_t kElemBytes = 16;
+  static constexpr std::uint64_t kStackBytes = 64 * 1024;
+  static constexpr std::uint64_t kPartitions = 64;
+
+  Addr netlist() const { return region(0); }
+  Addr elem(std::uint64_t e) const { return netlist() + e * kElemBytes; }
+  static SyncId part_lock(std::uint64_t e) {
+    return sync_id(4, e % kPartitions);
+  }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("canneal/load-netlist");
+    co_yield Op::alloc(netlist(), elements_ * kElemBytes);
+    for (std::uint64_t e = 0; e < elements_; ++e)
+      co_yield Op::write(elem(e), kElemBytes);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::free_(netlist(), elements_ * kElemBytes);
+  }
+
+  sim::OpGen worker_body(std::uint32_t w) {
+    using sim::Op;
+    Prng rng(p_.seed * 31 + w);
+    co_yield Op::site("canneal/anneal");
+    const std::uint64_t my_moves = moves_ / p_.threads;
+    for (std::uint64_t m = 0; m < my_moves; ++m) {
+      const std::uint64_t a = rng.below(elements_);
+      const std::uint64_t b = rng.below(elements_);
+      // Lock ordering by partition id avoids deadlock.
+      const SyncId la = part_lock(a), lb = part_lock(b);
+      const SyncId first = la < lb ? la : lb;
+      const SyncId second = la < lb ? lb : la;
+      co_yield Op::acquire(first);
+      if (second != first) co_yield Op::acquire(second);
+      // Evaluate: re-read both elements a few times (cost function), then
+      // maybe swap. The re-reads are the same-epoch hits.
+      for (int k = 0; k < 3; ++k) {
+        co_yield Op::read(elem(a), 8);
+        co_yield Op::read(elem(b), 8);
+      }
+      if (rng.chance(1, 3)) {
+        co_yield Op::write(elem(a), 8);
+        co_yield Op::write(elem(b), 8);
+      }
+      if (second != first) co_yield Op::release(second);
+      co_yield Op::release(first);
+      if (rng.chance(1, 8)) co_yield Op::compute(4);
+    }
+  }
+
+  WlParams p_;
+  std::uint64_t elements_;
+  std::uint64_t moves_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_canneal(WlParams p) {
+  return std::make_unique<Canneal>(p);
+}
+
+}  // namespace dg::wl

@@ -1,0 +1,161 @@
+// dedup analogue — compression pipeline with enormous dynamic-memory
+// churn.
+//
+// Signature (paper §V-A): "there are an excessive number of dynamic memory
+// locations in dedup ... about 14 GB allocated and de-allocated" while the
+// peak detector overhead is dwarfed by the application's own footprint.
+// Every chunk buffer is written once, handed downstream, read once and
+// freed — i.e. used within one epoch per stage — which is precisely what
+// the Init state's temporary sharing exploits: one clock per buffer
+// instead of one per word, and far fewer clock alloc/free operations
+// (the paper credits dedup's 1.78× dynamic-granularity speedup to this).
+// Three deliberate races on the dedup hash-table statistics words.
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+#include "sim/region_alloc.hpp"
+
+namespace dg::wl {
+namespace {
+
+class Dedup final : public sim::SimProgram {
+ public:
+  explicit Dedup(WlParams p)
+      : p_(p), heap_(region(8), 512ull * 1024 * 1024) {
+    DG_CHECK(p_.threads >= 2);
+    chunks_ = 1500 * p_.scale;
+    chunk_threads_ = (p_.threads + 1) / 2;
+    compress_threads_ = p_.threads - chunk_threads_;
+  }
+
+  const char* name() const override { return "dedup"; }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override {
+    // The real dedup holds a large window of the input resident (the paper
+    // saw ~2.7 GB); we declare the simulated equivalent: the hash table
+    // plus the peak of in-flight chunk buffers (scaled down ~100x along
+    // with everything else).
+    return kHashBytes + 64ull * (kChunkBytes + kOutBytes) +
+           (p_.threads + 1) * kStackBytes;
+  }
+  std::uint64_t expected_races() const override { return 3; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    if (tid == 0) return main_body();
+    const std::uint32_t w = tid - 1;
+    return w < chunk_threads_ ? chunk_body(w) : compress_body(w - chunk_threads_);
+  }
+
+ private:
+  static constexpr std::uint64_t kChunkBytes = 16 * 1024;
+  static constexpr std::uint64_t kOutBytes = 8 * 1024;
+  static constexpr std::uint64_t kHashBytes = 256 * 1024;
+  static constexpr std::uint64_t kStackBytes = 64 * 1024;
+  static constexpr SyncId kHashLock = sync_id(6, 0);
+
+  Addr hash_table() const { return region(0); }
+  Addr stats(std::uint32_t i) const { return region(1) + i * 64; }  // racy
+
+  static SyncId produced(std::uint64_t c) { return sync_id(6, 8 + c * 4); }
+  static SyncId chunked(std::uint64_t c) { return sync_id(6, 9 + c * 4); }
+  static SyncId compressed(std::uint64_t c) { return sync_id(6, 10 + c * 4); }
+
+  // Cross-thread buffer hand-off: the address is published through a
+  // mailbox slot guarded by the item's signal (HB-safe by construction).
+  Addr mailbox_in_[1 << 16];
+  Addr mailbox_out_[1 << 16];
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("dedup/produce");
+    co_yield Op::alloc(hash_table(), kHashBytes);
+    for (Addr a = hash_table(); a < hash_table() + kHashBytes; a += 64)
+      co_yield Op::write(a, 64);
+    for (std::uint32_t i = 0; i < 3; ++i) co_yield Op::write(stats(i), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (std::uint64_t c = 0; c < chunks_; ++c) {
+      // Throttle in-flight chunks so the simulated heap stays bounded.
+      if (c >= 64) co_yield Op::await(compressed(c - 64), 1);
+      const Addr buf = heap_.alloc(kChunkBytes);
+      mailbox_in_[c & 0xffff] = buf;
+      co_yield Op::alloc(buf, kChunkBytes);
+      for (Addr a = buf; a < buf + kChunkBytes; a += 64)
+        co_yield Op::write(a, 64);  // read input into the fresh buffer
+      co_yield Op::signal(produced(c));
+    }
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::free_(hash_table(), kHashBytes);
+  }
+
+  // Stage 1: chunking + dedup lookup. Reads the buffer, consults the hash
+  // table under its lock, updates a racy stats word, forwards the buffer.
+  sim::OpGen chunk_body(std::uint32_t w) {
+    using sim::Op;
+    Prng rng(p_.seed * 17 + w);
+    co_yield Op::site("dedup/chunk");
+    for (std::uint64_t c = w; c < chunks_; c += chunk_threads_) {
+      co_yield Op::await(produced(c), 1);
+      const Addr buf = mailbox_in_[c & 0xffff];
+      for (Addr a = buf; a < buf + kChunkBytes; a += 64)
+        co_yield Op::read(a, 64);
+      co_yield Op::acquire(kHashLock);
+      for (int probe = 0; probe < 4; ++probe) {
+        const Addr slot = hash_table() + rng.below(kHashBytes / 64) * 64;
+        co_yield Op::read(slot, 16);
+        co_yield Op::write(slot, 16);
+      }
+      co_yield Op::release(kHashLock);
+      // BUG (deliberate): per-stage statistics without the lock. The slot
+      // index alternates per chunk so both chunking workers hit both.
+      co_yield Op::site("dedup/stats-race");
+      const std::uint32_t slot = (c / chunk_threads_) % 2;
+      co_yield Op::read(stats(slot), 4);
+      co_yield Op::write(stats(slot), 4);
+      co_yield Op::site("dedup/chunk");
+      co_yield Op::signal(chunked(c));
+    }
+  }
+
+  // Stage 2: compress into a new buffer, free the input, retire.
+  sim::OpGen compress_body(std::uint32_t w) {
+    using sim::Op;
+    co_yield Op::site("dedup/compress");
+    for (std::uint64_t c = w; c < chunks_; c += compress_threads_) {
+      co_yield Op::await(chunked(c), 1);
+      const Addr in = mailbox_in_[c & 0xffff];
+      const Addr out = heap_.alloc(kOutBytes);
+      mailbox_out_[c & 0xffff] = out;
+      co_yield Op::alloc(out, kOutBytes);
+      for (Addr a = in, b = out; a < in + kChunkBytes; a += 128, b += 64) {
+        co_yield Op::read(a, 64);
+        co_yield Op::write(b, 64);
+      }
+      co_yield Op::compute(32);
+      co_yield Op::free_(in, kChunkBytes);
+      heap_.free(in);
+      co_yield Op::free_(out, kOutBytes);
+      heap_.free(out);
+      // BUG (deliberate): shared compressed-bytes counter.
+      co_yield Op::site("dedup/stats-race");
+      co_yield Op::read(stats(2), 4);
+      co_yield Op::write(stats(2), 4);
+      co_yield Op::site("dedup/compress");
+      co_yield Op::signal(compressed(c));
+    }
+  }
+
+  WlParams p_;
+  sim::RegionAllocator heap_;
+  std::uint64_t chunks_;
+  std::uint32_t chunk_threads_;
+  std::uint32_t compress_threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_dedup(WlParams p) {
+  return std::make_unique<Dedup>(p);
+}
+
+}  // namespace dg::wl

@@ -1,0 +1,107 @@
+// facesim analogue — physics solver over large float/double meshes.
+//
+// Signature (paper §V-A): accesses are ≥ word sized and word aligned, so
+// the word detector creates exactly the same shadow population as byte
+// ("no vector clock is created for non-word-aligned locations") and brings
+// no win; the whole mesh is zero-initialized up front and then iterated in
+// barrier-separated phases with per-thread partitions, so dynamic
+// granularity coalesces long runs of equal clocks and wins in both time
+// and memory. Race-free by construction.
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+
+namespace dg::wl {
+namespace {
+
+class Facesim final : public sim::SimProgram {
+ public:
+  explicit Facesim(WlParams p) : p_(p) {
+    DG_CHECK(p_.threads >= 1);
+    array_bytes_ = 1u << 20;  // 1 MB per mesh array
+    iters_ = 6 * p_.scale;    // solver phases
+  }
+
+  const char* name() const override { return "facesim"; }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override {
+    return 3ull * array_bytes_ + (p_.threads + 1) * kStackBytes;
+  }
+  std::uint64_t expected_races() const override { return 0; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid - 1);
+  }
+
+ private:
+  static constexpr std::uint64_t kStackBytes = 64 * 1024;
+  static constexpr SyncId kBarrier = sync_id(1, 0);
+
+  Addr positions() const { return region(0); }
+  Addr velocities() const { return region(1); }
+  Addr forces() const { return region(2); }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("facesim/init");
+    co_yield Op::alloc(positions(), array_bytes_);
+    co_yield Op::alloc(velocities(), array_bytes_);
+    co_yield Op::alloc(forces(), array_bytes_);
+    // Zero-out every array in one epoch: the initialization pattern the
+    // Init state is designed around (observation 2, §III).
+    for (Addr base : {positions(), velocities(), forces()}) {
+      for (Addr a = base; a < base + array_bytes_; a += 64) {
+        co_yield Op::write(a, 64);  // memset-style wide stores
+      }
+      co_yield Op::compute(64);
+    }
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::free_(positions(), array_bytes_);
+    co_yield Op::free_(velocities(), array_bytes_);
+    co_yield Op::free_(forces(), array_bytes_);
+  }
+
+  sim::OpGen worker_body(std::uint32_t w) {
+    using sim::Op;
+    const std::uint64_t part = array_bytes_ / p_.threads;
+    const Addr lo = static_cast<Addr>(w) * part;
+    co_yield Op::site("facesim/solve");
+    for (std::uint32_t it = 0; it < iters_; ++it) {
+      // Update velocities from forces, then positions from velocities —
+      // double-width strided sweeps over this thread's partition. Real
+      // facesim meshes are irregular: ~1/8 of the elements sit on inactive
+      // faces and are skipped. The inactive set is a fixed property of the
+      // mesh (same every timestep), which caps the clock-run lengths the
+      // dynamic detector can fuse without churning them phase to phase.
+      Prng skip_rng(p_.seed * 401 + w);  // re-seeded: same skips per phase
+      for (Addr off = lo; off < lo + part; off += 8) {
+        if (skip_rng.chance(1, 8)) continue;
+        co_yield Op::read(forces() + off, 8);
+        co_yield Op::write(velocities() + off, 8);
+        if ((off & 63) == 0) co_yield Op::compute(4);
+      }
+      co_yield Op::barrier(kBarrier, p_.threads);
+      skip_rng = Prng(p_.seed * 401 + w);
+      for (Addr off = lo; off < lo + part; off += 8) {
+        if (skip_rng.chance(1, 8)) continue;
+        co_yield Op::read(velocities() + off, 8);
+        co_yield Op::write(positions() + off, 8);
+      }
+      co_yield Op::barrier(kBarrier, p_.threads);
+    }
+  }
+
+  WlParams p_;
+  std::uint64_t array_bytes_;
+  std::uint32_t iters_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_facesim(WlParams p) {
+  return std::make_unique<Facesim>(p);
+}
+
+}  // namespace dg::wl

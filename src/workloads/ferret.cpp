@@ -1,0 +1,151 @@
+// ferret analogue — content-based similarity search pipeline.
+//
+// Signature: items flow through a two-stage pipeline (extract → rank) over
+// per-item buffers; feature vectors are written as 2-byte half-words, so
+// byte-granularity shadow blocks expand to byte mode and both the word
+// detector (masking) and the dynamic detector (sharing) reduce the shadow
+// population, dynamic more (paper: "improvements both in word and dynamic,
+// but ... dynamic has more benefits"). Two deliberate races: the global
+// query counter and a cache-statistics word, updated by both stages
+// without a lock.
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+
+namespace dg::wl {
+namespace {
+
+class Ferret final : public sim::SimProgram {
+ public:
+  explicit Ferret(WlParams p) : p_(p) {
+    DG_CHECK(p_.threads >= 2);
+    items_ = 1200 * p_.scale;
+    extract_threads_ = p_.threads / 2;
+    rank_threads_ = p_.threads - extract_threads_;
+  }
+
+  const char* name() const override { return "ferret"; }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override {
+    return items_slots() * (kInputBytes + kFeatureBytes) + kTableBytes +
+           (p_.threads + 1) * kStackBytes;
+  }
+  std::uint64_t expected_races() const override { return 2; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    if (tid == 0) return main_body();
+    const std::uint32_t w = tid - 1;
+    return w < extract_threads_ ? extract_body(w) : rank_body(w - extract_threads_);
+  }
+
+ private:
+  static constexpr std::uint64_t kInputBytes = 1024;
+  static constexpr std::uint64_t kFeatureBytes = 256;
+  static constexpr std::uint64_t kTableBytes = 128 * 1024;
+  static constexpr std::uint64_t kStackBytes = 64 * 1024;
+  static constexpr std::uint64_t kSlots = 64;  // ring of in-flight items
+
+  std::uint64_t items_slots() const { return kSlots; }
+  Addr inputs() const { return region(0); }
+  Addr features() const { return region(1); }
+  Addr table() const { return region(2); }    // similarity table (read-only)
+  Addr queries() const { return region(3); }        // racy counter 1
+  Addr cache_hits() const { return region(3) + 64; }  // racy counter 2
+
+  static SyncId extracted(std::uint64_t item) { return sync_id(5, item * 2); }
+  static SyncId ranked(std::uint64_t item) { return sync_id(5, item * 2 + 1); }
+
+  Addr input_of(std::uint64_t item) const {
+    return inputs() + (item % kSlots) * kInputBytes;
+  }
+  Addr feature_of(std::uint64_t item) const {
+    return features() + (item % kSlots) * kFeatureBytes;
+  }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("ferret/load");
+    co_yield Op::alloc(inputs(), kSlots * kInputBytes);
+    co_yield Op::alloc(features(), kSlots * kFeatureBytes);
+    co_yield Op::alloc(table(), kTableBytes);
+    for (Addr a = table(); a < table() + kTableBytes; a += 64)
+      co_yield Op::write(a, 64);
+    co_yield Op::write(queries(), 4);
+    co_yield Op::write(cache_hits(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    // Produce: fill an input slot, then hand the item to stage 1. Slot
+    // reuse is ordered through the rank stage's completion signal.
+    for (std::uint64_t item = 0; item < items_; ++item) {
+      if (item >= kSlots) co_yield Op::await(ranked(item - kSlots), 1);
+      const Addr in = input_of(item);
+      for (Addr a = in; a < in + kInputBytes; a += 32)
+        co_yield Op::write(a, 32);
+      co_yield Op::signal(extracted(item));  // really "produced"
+    }
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::read(queries(), 4);
+    co_yield Op::free_(inputs(), kSlots * kInputBytes);
+    co_yield Op::free_(features(), kSlots * kFeatureBytes);
+    co_yield Op::free_(table(), kTableBytes);
+  }
+
+  // Stage 1: read the input image, write the feature vector (half-words).
+  sim::OpGen extract_body(std::uint32_t w) {
+    using sim::Op;
+    co_yield Op::site("ferret/extract");
+    for (std::uint64_t item = w; item < items_; item += extract_threads_) {
+      co_yield Op::await(extracted(item), 1);
+      const Addr in = input_of(item);
+      for (Addr a = in; a < in + kInputBytes; a += 16)
+        co_yield Op::read(a, 16);
+      const Addr f = feature_of(item);
+      for (Addr a = f; a < f + kFeatureBytes; a += 2)
+        co_yield Op::write(a, 2);  // half-word feature stores
+      co_yield Op::compute(16);
+      // BUG (deliberate): query counter incremented without a lock.
+      co_yield Op::site("ferret/queries-race");
+      co_yield Op::read(queries(), 4);
+      co_yield Op::write(queries(), 4);
+      co_yield Op::site("ferret/extract");
+      co_yield Op::signal(extracted(item) + (1ull << 24));  // to rank stage
+    }
+  }
+
+  // Stage 2: read the feature vector, probe the table, signal completion.
+  sim::OpGen rank_body(std::uint32_t w) {
+    using sim::Op;
+    Prng rng(p_.seed * 131 + w);
+    co_yield Op::site("ferret/rank");
+    for (std::uint64_t item = w; item < items_; item += rank_threads_) {
+      co_yield Op::await(extracted(item) + (1ull << 24), 1);
+      const Addr f = feature_of(item);
+      for (Addr a = f; a < f + kFeatureBytes; a += 2)
+        co_yield Op::read(a, 2);
+      for (int probe = 0; probe < 8; ++probe) {
+        const Addr slot =
+            table() + (rng.below(kTableBytes / 64)) * 64;
+        co_yield Op::read(slot, 16);
+      }
+      // BUG (deliberate): cache statistics updated without a lock.
+      co_yield Op::site("ferret/cache-race");
+      co_yield Op::read(cache_hits(), 4);
+      co_yield Op::write(cache_hits(), 4);
+      co_yield Op::site("ferret/rank");
+      co_yield Op::signal(ranked(item));
+    }
+  }
+
+  WlParams p_;
+  std::uint64_t items_;
+  std::uint32_t extract_threads_;
+  std::uint32_t rank_threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_ferret(WlParams p) {
+  return std::make_unique<Ferret>(p);
+}
+
+}  // namespace dg::wl

@@ -1,0 +1,133 @@
+// FFmpeg analogue — multimedia transcode with mixed-size accesses and
+// packed sub-word fields.
+//
+// Signature (paper §V-A/§V-C): codec loops touch buffers with 1/2/4/8-byte
+// accesses. A set of *packed* context words each hold two 2-byte fields
+// owned by different threads under different locks: race-free at byte
+// granularity, but the word detector masks both fields to one location and
+// raises false alarms ("more data races from ffmpeg by the word detector
+// ... are found to be false alarms"). One real race: a shared decode
+// counter written by two worker threads without protection (the race DRD
+// missed and the dynamic detector confirmed by inspection).
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+
+namespace dg::wl {
+namespace {
+
+class Ffmpeg final : public sim::SimProgram {
+ public:
+  explicit Ffmpeg(WlParams p) : p_(p) {
+    DG_CHECK(p_.threads >= 2);
+    packets_ = 320 * p_.scale;
+  }
+
+  const char* name() const override { return "ffmpeg"; }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override {
+    return kBufBytes * 2 + kPackedWords * 4 + (p_.threads + 1) * kStackBytes;
+  }
+  std::uint64_t expected_races() const override { return 1; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid - 1);
+  }
+
+ private:
+  static constexpr std::uint64_t kBufBytes = 128 * 1024;
+  static constexpr std::uint64_t kPackedWords = 8;
+  static constexpr std::uint64_t kStackBytes = 64 * 1024;
+  static SyncId field_lock(std::uint64_t word, int half) {
+    return sync_id(10, 2 + word * 2 + half);
+  }
+  static SyncId packet_ready(std::uint64_t pkt) { return sync_id(10, 64 + pkt); }
+
+  Addr inbuf() const { return region(0); }
+  Addr outbuf() const { return region(1); }
+  Addr packed() const { return region(2); }         // packed context words
+  Addr frames_done() const { return region(3); }    // the real racy word
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("ffmpeg/demux");
+    co_yield Op::alloc(inbuf(), kBufBytes);
+    co_yield Op::alloc(outbuf(), kBufBytes);
+    co_yield Op::alloc(packed(), kPackedWords * 4);
+    co_yield Op::write(frames_done(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    // Demux: stream packets into the ring of the input buffer.
+    const std::uint64_t pkt_bytes = 512;
+    const std::uint64_t ring = kBufBytes / pkt_bytes;
+    for (std::uint64_t pkt = 0; pkt < packets_; ++pkt) {
+      // Reuse an input slot only after its previous consumer finished:
+      // the await targets exactly the packet that last used this slot.
+      if (pkt >= ring) co_yield Op::await(packet_ready(pkt - ring), 1);
+      const Addr base = inbuf() + (pkt % ring) * pkt_bytes;
+      for (Addr a = base; a < base + pkt_bytes; a += 32)
+        co_yield Op::write(a, 32);
+      co_yield Op::signal(sync_id(10, 1 << 20) + pkt);  // "packet demuxed"
+    }
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::read(frames_done(), 4);
+    co_yield Op::free_(inbuf(), kBufBytes);
+    co_yield Op::free_(outbuf(), kBufBytes);
+    co_yield Op::free_(packed(), kPackedWords * 4);
+  }
+
+  sim::OpGen worker_body(std::uint32_t w) {
+    using sim::Op;
+    Prng rng(p_.seed * 211 + w);
+    const std::uint64_t pkt_bytes = 512;
+    const std::uint64_t ring = kBufBytes / pkt_bytes;
+    co_yield Op::site("ffmpeg/decode");
+    for (std::uint64_t pkt = w; pkt < packets_; pkt += p_.threads) {
+      co_yield Op::await(sync_id(10, 1 << 20) + pkt, 1);
+      const Addr in = inbuf() + (pkt % ring) * pkt_bytes;
+      // Output slots are worker-private (reuse is program-ordered).
+      const std::uint64_t out_slots = ring / p_.threads;
+      const Addr out = outbuf() +
+                       (w * out_slots + (pkt / p_.threads) % out_slots) *
+                           pkt_bytes;
+      // Decode: mixed-size loads/stores, codec-style.
+      for (Addr a = in, o = out; a < in + pkt_bytes; a += 16, o += 16) {
+        co_yield Op::read(a, 8);
+        co_yield Op::read(a + 8, 2);
+        co_yield Op::write(o, 4);
+        co_yield Op::write(o + 4, 1);
+      }
+      co_yield Op::compute(16);
+      co_yield Op::signal(packet_ready(pkt));
+      // Packed context fields: this worker's half-word, under its own
+      // lock. Race-free at byte granularity; a word-granularity false
+      // alarm by construction (two owners per word).
+      // Decorrelate the word index from the worker id so every packed
+      // word is touched by workers of both halves.
+      const std::uint64_t word = (pkt / p_.threads) % kPackedWords;
+      const int half = static_cast<int>(w % 2);
+      co_yield Op::acquire(field_lock(word, half));
+      co_yield Op::read(packed() + word * 4 + half * 2, 2);
+      co_yield Op::write(packed() + word * 4 + half * 2, 2);
+      co_yield Op::release(field_lock(word, half));
+      // BUG (deliberate): the decode counter, workers 1 and 2 only.
+      if (w < 2) {
+        co_yield Op::site("ffmpeg/frames-race");
+        co_yield Op::read(frames_done(), 4);
+        co_yield Op::write(frames_done(), 4);
+        co_yield Op::site("ffmpeg/decode");
+      }
+    }
+  }
+
+  WlParams p_;
+  std::uint64_t packets_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_ffmpeg(WlParams p) {
+  return std::make_unique<Ffmpeg>(p);
+}
+
+}  // namespace dg::wl

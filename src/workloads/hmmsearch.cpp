@@ -1,0 +1,106 @@
+// hmmsearch analogue — profile-HMM sequence search (HMMER).
+//
+// Signature: compute-dominated workers repeatedly re-read a small shared
+// profile matrix within each work unit's epoch (same-epoch percentage is
+// the highest of the suite — paper: 83–98%), claim work and publish
+// scores under a lock, and keep thread-private DP matrices (invisible to
+// the detector, like stack data under the non-shared filter). One
+// deliberate race — the `n_searched` counter — which all three tools in
+// the paper's case study agreed on.
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+
+namespace dg::wl {
+namespace {
+
+class Hmmsearch final : public sim::SimProgram {
+ public:
+  explicit Hmmsearch(WlParams p) : p_(p) {
+    DG_CHECK(p_.threads >= 1);
+    sequences_ = 600 * p_.scale;
+  }
+
+  const char* name() const override { return "hmmsearch"; }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override {
+    return kProfileBytes + (p_.threads + 1) * (kStackBytes + kDpBytes);
+  }
+  std::uint64_t expected_races() const override { return 1; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid - 1);
+  }
+
+ private:
+  static constexpr std::uint64_t kProfileBytes = 16 * 1024;
+  static constexpr std::uint64_t kDpBytes = 64 * 1024;  // thread-private
+  static constexpr std::uint64_t kStackBytes = 64 * 1024;
+  static constexpr SyncId kWorkLock = sync_id(11, 0);
+  static constexpr SyncId kScoreLock = sync_id(11, 1);
+
+  Addr profile() const { return region(0); }
+  Addr next_seq() const { return region(1); }
+  Addr best_score() const { return region(1) + 64; }
+  Addr n_searched() const { return region(1) + 128; }  // racy
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("hmmsearch/load-profile");
+    co_yield Op::alloc(profile(), kProfileBytes);
+    for (Addr a = profile(); a < profile() + kProfileBytes; a += 64)
+      co_yield Op::write(a, 64);
+    co_yield Op::write(next_seq(), 4);
+    co_yield Op::write(best_score(), 8);
+    co_yield Op::write(n_searched(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::read(n_searched(), 4);
+    co_yield Op::read(best_score(), 8);
+    co_yield Op::free_(profile(), kProfileBytes);
+  }
+
+  sim::OpGen worker_body(std::uint32_t w) {
+    using sim::Op;
+    Prng rng(p_.seed * 379 + w);
+    co_yield Op::site("hmmsearch/search");
+    const std::uint64_t my_seqs = sequences_ / p_.threads;
+    for (std::uint64_t s = 0; s < my_seqs; ++s) {
+      // Claim the next sequence index.
+      co_yield Op::acquire(kWorkLock);
+      co_yield Op::read(next_seq(), 4);
+      co_yield Op::write(next_seq(), 4);
+      co_yield Op::release(kWorkLock);
+      // Viterbi over the profile: heavy re-reading of the same rows
+      // within this sequence's epoch, DP matrix thread-private (not
+      // emitted — the non-shared filter).
+      for (int row = 0; row < 24; ++row) {
+        const Addr r = profile() + rng.below(kProfileBytes / 256) * 256;
+        for (Addr a = r; a < r + 256; a += 16) co_yield Op::read(a, 16);
+        co_yield Op::compute(24);
+      }
+      // Publish the score under the score lock.
+      co_yield Op::acquire(kScoreLock);
+      co_yield Op::read(best_score(), 8);
+      co_yield Op::write(best_score(), 8);
+      co_yield Op::release(kScoreLock);
+      // BUG (deliberate): sequence counter without the lock.
+      co_yield Op::site("hmmsearch/counter-race");
+      co_yield Op::read(n_searched(), 4);
+      co_yield Op::write(n_searched(), 4);
+      co_yield Op::site("hmmsearch/search");
+    }
+  }
+
+  WlParams p_;
+  std::uint64_t sequences_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_hmmsearch(WlParams p) {
+  return std::make_unique<Hmmsearch>(p);
+}
+
+}  // namespace dg::wl

@@ -1,0 +1,108 @@
+// pbzip2 analogue — parallel block compressor.
+//
+// Signature (paper §V-A): the producer fills large contiguous blocks
+// (~100 KB) in a single epoch and queues them; workers read a whole block
+// and write a whole output block, also in single epochs. The same-epoch
+// percentage is already high at byte granularity (97%), so the dynamic
+// detector's 1.6× speedup here comes almost entirely from clock
+// *allocation* savings: whole blocks share one clock (the paper measures
+// an average sharing count of 33), so there are ~33× fewer clock
+// create/delete operations. One deliberate race on the progress counter.
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+#include "sim/region_alloc.hpp"
+
+namespace dg::wl {
+namespace {
+
+class Pbzip2 final : public sim::SimProgram {
+ public:
+  explicit Pbzip2(WlParams p)
+      : p_(p), heap_(region(8), 512ull * 1024 * 1024) {
+    DG_CHECK(p_.threads >= 1);
+    blocks_ = 80 * p_.scale;
+  }
+
+  const char* name() const override { return "pbzip2"; }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override {
+    return 32ull * (kBlockBytes + kOutBytes) + (p_.threads + 1) * kStackBytes;
+  }
+  std::uint64_t expected_races() const override { return 1; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid - 1);
+  }
+
+ private:
+  static constexpr std::uint64_t kBlockBytes = 96 * 1024;
+  static constexpr std::uint64_t kOutBytes = 64 * 1024;
+  static constexpr std::uint64_t kStackBytes = 64 * 1024;
+
+  Addr progress() const { return region(0); }  // racy counter
+
+  static SyncId produced(std::uint64_t b) { return sync_id(7, 2 + b * 2); }
+  static SyncId consumed(std::uint64_t b) { return sync_id(7, 3 + b * 2); }
+
+  Addr mailbox_[1 << 12];
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("pbzip2/read-file");
+    co_yield Op::write(progress(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (std::uint64_t b = 0; b < blocks_; ++b) {
+      if (b >= 32) co_yield Op::await(consumed(b - 32), 1);
+      const Addr buf = heap_.alloc(kBlockBytes);
+      mailbox_[b & 0xfff] = buf;
+      co_yield Op::alloc(buf, kBlockBytes);
+      // Fill the whole block in one epoch: 64-byte fread-style stores.
+      for (Addr a = buf; a < buf + kBlockBytes; a += 64)
+        co_yield Op::write(a, 64);
+      co_yield Op::signal(produced(b));
+    }
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::read(progress(), 4);
+  }
+
+  sim::OpGen worker_body(std::uint32_t w) {
+    using sim::Op;
+    co_yield Op::site("pbzip2/compress");
+    for (std::uint64_t b = w; b < blocks_; b += p_.threads) {
+      co_yield Op::await(produced(b), 1);
+      const Addr in = mailbox_[b & 0xfff];
+      const Addr out = heap_.alloc(kOutBytes);
+      co_yield Op::alloc(out, kOutBytes);
+      // Compress: stream the input once, write the output once — both in
+      // this worker's current epoch.
+      for (Addr a = in, o = out; a < in + kBlockBytes; a += 96, o += 64) {
+        co_yield Op::read(a, 64);
+        co_yield Op::write(o, 64);
+      }
+      co_yield Op::compute(64);
+      co_yield Op::free_(in, kBlockBytes);
+      heap_.free(in);
+      co_yield Op::free_(out, kOutBytes);
+      heap_.free(out);
+      // BUG (deliberate): progress counter updated without a lock.
+      co_yield Op::site("pbzip2/progress-race");
+      co_yield Op::read(progress(), 4);
+      co_yield Op::write(progress(), 4);
+      co_yield Op::site("pbzip2/compress");
+      co_yield Op::signal(consumed(b));
+    }
+  }
+
+  WlParams p_;
+  sim::RegionAllocator heap_;
+  std::uint64_t blocks_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_pbzip2(WlParams p) {
+  return std::make_unique<Pbzip2>(p);
+}
+
+}  // namespace dg::wl

@@ -1,0 +1,114 @@
+// raytrace analogue — small working set, heavy re-reading of shared scene
+// data, tile-based work distribution.
+//
+// Signature: the scene (BVH nodes, triangles) is read over and over within
+// each tile's epoch, so the same-epoch percentage is moderate and nearly
+// identical across granularities — and accordingly none of the larger
+// granularities buys a speedup (paper: "for the cases of canneal and
+// raytrace ... there is no performance enhancement"). One deliberate race:
+// a framebuffer statistics word updated without the tile lock.
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+
+namespace dg::wl {
+namespace {
+
+class Raytrace final : public sim::SimProgram {
+ public:
+  explicit Raytrace(WlParams p) : p_(p) {
+    DG_CHECK(p_.threads >= 1);
+    scene_nodes_ = 4 * 1024;
+    tiles_ = 64 * p_.scale;
+    rays_per_tile_ = 1024;
+  }
+
+  const char* name() const override { return "raytrace"; }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override {
+    return scene_nodes_ * kNodeBytes + kFrameBytes +
+           (p_.threads + 1) * kStackBytes;
+  }
+  std::uint64_t expected_races() const override { return 1; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid - 1);
+  }
+
+ private:
+  static constexpr std::uint64_t kNodeBytes = 32;
+  static constexpr std::uint64_t kFrameBytes = 256 * 1024;
+  static constexpr std::uint64_t kStackBytes = 64 * 1024;
+  static constexpr SyncId kTileLock = sync_id(3, 0);
+
+  Addr scene() const { return region(0); }
+  Addr frame() const { return region(1); }
+  Addr next_tile() const { return region(2); }        // shared work index
+  Addr rays_traced() const { return region(2) + 64; } // the racy counter
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("raytrace/build-bvh");
+    co_yield Op::alloc(scene(), scene_nodes_ * kNodeBytes);
+    co_yield Op::alloc(frame(), kFrameBytes);
+    for (std::uint64_t n = 0; n < scene_nodes_; ++n)
+      co_yield Op::write(scene() + n * kNodeBytes, kNodeBytes);
+    co_yield Op::write(next_tile(), 4);
+    co_yield Op::write(rays_traced(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::read(rays_traced(), 4);
+    co_yield Op::free_(scene(), scene_nodes_ * kNodeBytes);
+    co_yield Op::free_(frame(), kFrameBytes);
+  }
+
+  sim::OpGen worker_body(std::uint32_t w) {
+    using sim::Op;
+    Prng rng(p_.seed * 1009 + w);
+    co_yield Op::site("raytrace/trace");
+    const std::uint64_t tiles_per_worker = tiles_ / p_.threads;
+    for (std::uint64_t i = 0; i < tiles_per_worker; ++i) {
+      // Claim a tile under the work lock (one epoch per tile).
+      co_yield Op::acquire(kTileLock);
+      co_yield Op::read(next_tile(), 4);
+      co_yield Op::write(next_tile(), 4);
+      co_yield Op::release(kTileLock);
+      // Trace: random walks through the BVH — the same hot nodes are
+      // re-read many times within the tile's epoch.
+      for (std::uint64_t r = 0; r < rays_per_tile_; ++r) {
+        std::uint64_t node = rng.below(64);  // hot top of the tree
+        for (int depth = 0; depth < 4; ++depth) {
+          co_yield Op::read(scene() + node * kNodeBytes, 16);
+          node = (node * 2 + 1 + rng.below(2)) % scene_nodes_;
+        }
+        co_yield Op::compute(2);
+      }
+      // Write the tile's pixels into this worker's framebuffer partition
+      // (rotating through its quarters so pixels are revisited across
+      // epochs, as a multi-frame renderer would).
+      const std::uint64_t part = kFrameBytes / p_.threads;
+      const Addr tbase = frame() + w * part + (i % 4) * (part / 4);
+      for (Addr a = tbase; a < tbase + part / 4; a += 16)
+        co_yield Op::write(a, 16);
+      // BUG (deliberate): global ray counter updated without the lock.
+      co_yield Op::site("raytrace/stats-race");
+      co_yield Op::read(rays_traced(), 4);
+      co_yield Op::write(rays_traced(), 4);
+      co_yield Op::site("raytrace/trace");
+    }
+  }
+
+  WlParams p_;
+  std::uint64_t scene_nodes_;
+  std::uint64_t tiles_;
+  std::uint64_t rays_per_tile_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_raytrace(WlParams p) {
+  return std::make_unique<Raytrace>(p);
+}
+
+}  // namespace dg::wl

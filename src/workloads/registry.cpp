@@ -1,0 +1,29 @@
+#include "workloads/workloads.hpp"
+
+namespace dg::wl {
+
+const std::vector<WorkloadInfo>& all_workloads() {
+  static const std::vector<WorkloadInfo> kAll = {
+      {"facesim", make_facesim},
+      {"ferret", make_ferret},
+      {"fluidanimate", make_fluidanimate},
+      {"raytrace", make_raytrace},
+      {"x264", make_x264},
+      {"canneal", make_canneal},
+      {"dedup", make_dedup},
+      {"streamcluster", make_streamcluster},
+      {"ffmpeg", make_ffmpeg},
+      {"pbzip2", make_pbzip2},
+      {"hmmsearch", make_hmmsearch},
+  };
+  return kAll;
+}
+
+std::unique_ptr<sim::SimProgram> make_workload(const std::string& name,
+                                               WlParams p) {
+  for (const auto& w : all_workloads())
+    if (w.name == name) return w.make(p);
+  return nullptr;
+}
+
+}  // namespace dg::wl

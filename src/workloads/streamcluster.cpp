@@ -1,0 +1,121 @@
+// streamcluster analogue — online clustering with read-shared point data.
+//
+// Signature: every worker reads the *entire* point set each phase (the
+// read-shared pattern that forces FastTrack's read history into full
+// vector clocks), phases are barrier-separated, and per-worker centers are
+// written under private locks.
+//
+// It also embeds the paper's streamcluster footnote: "more data races from
+// streamcluster by the dynamic detector are found to be false alarms due
+// to inaccurate updates of vector clocks when large detection granularities
+// are used". The `assign` block below is written wholesale by main in two
+// separate epochs (so the dynamic detector firmly shares one clock across
+// it) and afterwards each element is written by exactly one worker under
+// its own lock — race-free at byte granularity, but the shared clock makes
+// the dynamic detector report false races there.
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+
+namespace dg::wl {
+namespace {
+
+class Streamcluster final : public sim::SimProgram {
+ public:
+  explicit Streamcluster(WlParams p) : p_(p) {
+    DG_CHECK(p_.threads >= 1);
+    points_bytes_ = 192 * 1024;
+    phases_ = 6 * p_.scale;
+  }
+
+  const char* name() const override { return "streamcluster"; }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override {
+    return points_bytes_ + kCentersBytes + kAssignBytes +
+           (p_.threads + 1) * kStackBytes;
+  }
+  std::uint64_t expected_races() const override { return 0; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid - 1);
+  }
+
+ private:
+  static constexpr std::uint64_t kCentersBytes = 16 * 1024;
+  static constexpr std::uint64_t kAssignBytes = 128;  // 16 8-byte entries
+  static constexpr std::uint64_t kStackBytes = 64 * 1024;
+  static constexpr SyncId kBarrier = sync_id(8, 0);
+  static constexpr SyncId kInitLock = sync_id(8, 1);
+
+  Addr points() const { return region(0); }
+  Addr centers() const { return region(1); }
+  Addr assign() const { return region(2); }
+  static SyncId center_lock(std::uint32_t w) { return sync_id(8, 2 + w); }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("streamcluster/load-points");
+    co_yield Op::alloc(points(), points_bytes_);
+    co_yield Op::alloc(centers(), kCentersBytes);
+    co_yield Op::alloc(assign(), kAssignBytes);
+    for (Addr a = points(); a < points() + points_bytes_; a += 64)
+      co_yield Op::write(a, 64);
+    // Write the assignment block twice in two distinct epochs: the second
+    // sweep is its locations' "second epoch access", which firmly shares
+    // one clock across the whole block under the dynamic detector.
+    for (Addr a = assign(); a < assign() + kAssignBytes; a += 8)
+      co_yield Op::write(a, 8);
+    co_yield Op::acquire(kInitLock);
+    co_yield Op::release(kInitLock);  // epoch boundary
+    for (Addr a = assign(); a < assign() + kAssignBytes; a += 8)
+      co_yield Op::write(a, 8);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::free_(points(), points_bytes_);
+    co_yield Op::free_(centers(), kCentersBytes);
+    co_yield Op::free_(assign(), kAssignBytes);
+  }
+
+  sim::OpGen worker_body(std::uint32_t w) {
+    using sim::Op;
+    Prng rng(p_.seed * 53 + w);
+    co_yield Op::site("streamcluster/cluster");
+    const std::uint64_t centers_per_worker = kCentersBytes / 64 / p_.threads;
+    for (std::uint32_t ph = 0; ph < phases_; ++ph) {
+      // Distance evaluation: read the whole shared point set (read-shared
+      // across all workers: no lock needed, reads only).
+      for (Addr a = points(); a < points() + points_bytes_; a += 32)
+        co_yield Op::read(a, 32);
+      co_yield Op::compute(32);
+      // Update own centers under own lock.
+      co_yield Op::acquire(center_lock(w));
+      const Addr cbase = centers() + w * centers_per_worker * 64;
+      for (std::uint64_t c = 0; c < centers_per_worker; ++c) {
+        co_yield Op::read(cbase + c * 64, 32);
+        co_yield Op::write(cbase + c * 64, 32);
+      }
+      co_yield Op::release(center_lock(w));
+      // Per-worker assignment slots: each 8-byte entry is only ever
+      // written by this worker, under this worker's lock — race-free,
+      // but inside the block the dynamic detector fused above.
+      co_yield Op::acquire(center_lock(w));
+      for (std::uint64_t i = w; i < kAssignBytes / 8; i += p_.threads)
+        co_yield Op::write(assign() + i * 8, 8);
+      co_yield Op::release(center_lock(w));
+      co_yield Op::barrier(kBarrier, p_.threads);
+    }
+  }
+
+  WlParams p_;
+  std::uint64_t points_bytes_;
+  std::uint32_t phases_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_streamcluster(WlParams p) {
+  return std::make_unique<Streamcluster>(p);
+}
+
+}  // namespace dg::wl

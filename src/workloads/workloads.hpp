@@ -1,0 +1,64 @@
+// The benchmark-suite analogues (DESIGN.md §6).
+//
+// Each factory builds a SimProgram reproducing the access-pattern
+// signature of one program from the paper's evaluation: 8 PARSEC-2.1
+// benchmarks plus FFmpeg, pbzip2 and hmmsearch. Signatures (sharing
+// degree, access sizes and alignment, epoch structure, malloc churn,
+// embedded races) are documented per workload in the .cpp files and in
+// DESIGN.md; scales are chosen so the full Table-1 sweep runs in minutes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace dg::wl {
+
+struct WlParams {
+  std::uint32_t threads = 4;  // worker threads (thread 0 is main)
+  std::uint32_t scale = 1;    // multiplies iteration counts
+  std::uint64_t seed = 42;    // workload-internal PRNG seed
+};
+
+std::unique_ptr<sim::SimProgram> make_facesim(WlParams p = {});
+std::unique_ptr<sim::SimProgram> make_ferret(WlParams p = {});
+std::unique_ptr<sim::SimProgram> make_fluidanimate(WlParams p = {});
+std::unique_ptr<sim::SimProgram> make_raytrace(WlParams p = {});
+std::unique_ptr<sim::SimProgram> make_x264(WlParams p = {});
+std::unique_ptr<sim::SimProgram> make_canneal(WlParams p = {});
+std::unique_ptr<sim::SimProgram> make_dedup(WlParams p = {});
+std::unique_ptr<sim::SimProgram> make_streamcluster(WlParams p = {});
+std::unique_ptr<sim::SimProgram> make_ffmpeg(WlParams p = {});
+std::unique_ptr<sim::SimProgram> make_pbzip2(WlParams p = {});
+std::unique_ptr<sim::SimProgram> make_hmmsearch(WlParams p = {});
+
+struct WorkloadInfo {
+  std::string name;
+  std::function<std::unique_ptr<sim::SimProgram>(WlParams)> make;
+};
+
+/// All 11 paper benchmarks, in the paper's table order.
+const std::vector<WorkloadInfo>& all_workloads();
+
+/// Factory by name; returns nullptr for unknown names.
+std::unique_ptr<sim::SimProgram> make_workload(const std::string& name,
+                                               WlParams p = {});
+
+// --- shared layout helpers -------------------------------------------
+
+/// Base address of synthetic data region `idx` (64 MB apart, far from 0
+/// so word/byte masking never underflows).
+inline constexpr Addr region(std::uint32_t idx) {
+  return 0x4000'0000ULL + static_cast<Addr>(idx) * 0x0400'0000ULL;
+}
+
+/// Sync-object id `idx` within namespace `ns` (workload-chosen).
+inline constexpr SyncId sync_id(std::uint32_t ns, std::uint64_t idx) {
+  return (static_cast<SyncId>(ns) << 32) | idx;
+}
+
+}  // namespace dg::wl

@@ -1,0 +1,104 @@
+// Test support: drive a Detector directly with a terse event DSL, and
+// build scripted SimPrograms from per-thread op vectors.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "sim/program.hpp"
+#include "sim/sim.hpp"
+
+namespace dg::test {
+
+/// Thin wrapper for hand-written event sequences in unit tests.
+class Driver {
+ public:
+  explicit Driver(Detector& d) : d_(&d) {}
+
+  Driver& start(ThreadId t, ThreadId parent = kInvalidThread) {
+    d_->on_thread_start(t, parent);
+    return *this;
+  }
+  Driver& join(ThreadId joiner, ThreadId joined) {
+    d_->on_thread_join(joiner, joined);
+    return *this;
+  }
+  Driver& acq(ThreadId t, SyncId s) {
+    d_->on_acquire(t, s);
+    return *this;
+  }
+  Driver& rel(ThreadId t, SyncId s) {
+    d_->on_release(t, s);
+    return *this;
+  }
+  Driver& read(ThreadId t, Addr a, std::uint32_t n = 4) {
+    d_->on_read(t, a, n);
+    return *this;
+  }
+  Driver& write(ThreadId t, Addr a, std::uint32_t n = 4) {
+    d_->on_write(t, a, n);
+    return *this;
+  }
+  Driver& alloc(ThreadId t, Addr a, std::uint64_t n) {
+    d_->on_alloc(t, a, n);
+    return *this;
+  }
+  Driver& free_(ThreadId t, Addr a, std::uint64_t n) {
+    d_->on_free(t, a, n);
+    return *this;
+  }
+  Driver& site(ThreadId t, const char* s) {
+    d_->set_site(t, s);
+    return *this;
+  }
+  Driver& finish() {
+    d_->on_finish();
+    return *this;
+  }
+
+  std::uint64_t races() const { return d_->sink().unique_races(); }
+
+ private:
+  Detector* d_;
+};
+
+/// A SimProgram whose threads execute fixed op vectors (for scheduler and
+/// integration tests).
+class ScriptProgram final : public sim::SimProgram {
+ public:
+  explicit ScriptProgram(std::vector<std::vector<sim::Op>> threads,
+                         std::uint64_t base_mem = 1 << 20,
+                         std::uint64_t races = 0)
+      : threads_(std::move(threads)), base_mem_(base_mem), races_(races) {}
+
+  const char* name() const override { return "script"; }
+  ThreadId num_threads() const override {
+    return static_cast<ThreadId>(threads_.size());
+  }
+  std::uint64_t base_memory_bytes() const override { return base_mem_; }
+  std::uint64_t expected_races() const override { return races_; }
+
+  sim::OpGen thread_body(ThreadId tid) override { return body(tid); }
+
+ private:
+  sim::OpGen body(ThreadId tid) {
+    for (const sim::Op& op : threads_[tid]) co_yield op;
+  }
+
+  std::vector<std::vector<sim::Op>> threads_;
+  std::uint64_t base_mem_;
+  std::uint64_t races_;
+};
+
+/// Run a scripted program under a detector; returns the scheduler result.
+inline sim::SimScheduler::Result run_script(
+    std::vector<std::vector<sim::Op>> threads, Detector& det,
+    std::uint64_t seed = 1) {
+  ScriptProgram prog(std::move(threads));
+  sim::SimScheduler sched(prog, det, seed);
+  return sched.run();
+}
+
+}  // namespace dg::test

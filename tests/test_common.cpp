@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/inline_vec.hpp"
+#include "common/memtrack.hpp"
+#include "common/prng.hpp"
+#include "common/table_printer.hpp"
+
+namespace dg {
+namespace {
+
+// ---------------------------------------------------------------- InlineVec
+
+TEST(InlineVec, StaysInlineUpToN) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_FALSE(v.uses_heap());
+  EXPECT_EQ(v.heap_bytes(), 0u);
+  v.push_back(4);
+  EXPECT_TRUE(v.uses_heap());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(InlineVec, ResizeFills) {
+  InlineVec<int, 2> v;
+  v.resize(5, 7);
+  EXPECT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 7);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(InlineVec, CopyAndMove) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  InlineVec<int, 2> c(v);
+  EXPECT_TRUE(c == v);
+  c[0] = 99;
+  EXPECT_EQ(v[0], 0);
+  InlineVec<int, 2> m(std::move(c));
+  EXPECT_EQ(m[0], 99);
+  EXPECT_EQ(c.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+  // Inline move.
+  InlineVec<int, 4> s;
+  s.push_back(1);
+  InlineVec<int, 4> s2(std::move(s));
+  EXPECT_EQ(s2.size(), 1u);
+}
+
+TEST(InlineVec, Equality) {
+  InlineVec<int, 3> a, b;
+  a.push_back(1);
+  b.push_back(1);
+  EXPECT_TRUE(a == b);
+  b.push_back(2);
+  EXPECT_FALSE(a == b);
+}
+
+// ------------------------------------------------------------------- Prng
+
+TEST(Prng, Deterministic) {
+  Prng a(42), b(42), c(43);
+  bool all_equal = true, any_diff_seed_equal = true;
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t x = a.next();
+    all_equal &= (x == b.next());
+    any_diff_seed_equal &= (x == c.next());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_FALSE(any_diff_seed_equal);
+}
+
+TEST(Prng, BelowIsInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Prng, RangeInclusive) {
+  Prng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values hit
+}
+
+TEST(Prng, ChanceRoughlyCalibrated) {
+  Prng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(1, 4);
+  EXPECT_GT(hits, 2000);
+  EXPECT_LT(hits, 3000);
+}
+
+TEST(Prng, Uniform01Bounds) {
+  Prng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.uniform01();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ------------------------------------------------------------- MemTrack
+
+TEST(MemoryAccountant, PeaksPerCategory) {
+  MemoryAccountant a;
+  a.add(MemCategory::kHash, 100);
+  a.add(MemCategory::kVectorClock, 50);
+  a.sub(MemCategory::kHash, 60);
+  a.add(MemCategory::kVectorClock, 25);
+  EXPECT_EQ(a.current(MemCategory::kHash), 40u);
+  EXPECT_EQ(a.peak(MemCategory::kHash), 100u);
+  EXPECT_EQ(a.peak(MemCategory::kVectorClock), 75u);
+  EXPECT_EQ(a.current_total(), 115u);
+}
+
+TEST(MemoryAccountant, PeakTotalIsMaxOfSum) {
+  MemoryAccountant a;
+  a.add(MemCategory::kHash, 100);
+  a.sub(MemCategory::kHash, 100);
+  a.add(MemCategory::kVectorClock, 90);
+  // Sum never exceeded 100 even though per-category peaks total 190.
+  EXPECT_EQ(a.peak_total(), 100u);
+  a.add(MemCategory::kHash, 20);
+  EXPECT_EQ(a.peak_total(), 110u);
+}
+
+TEST(MemoryAccountant, Reset) {
+  MemoryAccountant a;
+  a.add(MemCategory::kBitmap, 10);
+  a.reset();
+  EXPECT_EQ(a.current_total(), 0u);
+  EXPECT_EQ(a.peak_total(), 0u);
+}
+
+TEST(ScopedMemCharge, ReleasesOnDestruction) {
+  MemoryAccountant a;
+  {
+    ScopedMemCharge c(a, MemCategory::kOther, 64);
+    EXPECT_EQ(a.current(MemCategory::kOther), 64u);
+  }
+  EXPECT_EQ(a.current(MemCategory::kOther), 0u);
+  EXPECT_EQ(a.peak(MemCategory::kOther), 64u);
+}
+
+// --------------------------------------------------------- TablePrinter
+
+TEST(TablePrinter, Formatters) {
+  EXPECT_EQ(TablePrinter::fmt(1.234, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(TablePrinter::fmt_count(12), "12");
+  EXPECT_EQ(TablePrinter::fmt_bytes(512), "512B");
+  EXPECT_EQ(TablePrinter::fmt_bytes(2048), "2.00KB");
+  EXPECT_EQ(TablePrinter::fmt_bytes(3ull * 1024 * 1024 * 1024), "3.00GB");
+}
+
+TEST(TablePrinter, CsvEscapesCommasAndQuotes) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "says \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",\"says \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"a", "bbbb"});
+  t.add_row({"xxxxx", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a     | bbbb |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxxx | y    |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dg

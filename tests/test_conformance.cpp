@@ -1,0 +1,212 @@
+// Detector conformance suite: every happens-before detector must agree on
+// a battery of canonical scenarios (all with word-aligned, well-spaced
+// locations so granularity artefacts cannot cause legitimate divergence).
+//
+// This is the cheapest strong statement the repo makes: eight detector
+// configurations x the scenario battery, all pinned to the same expected
+// verdicts. Eraser is excluded (different detection philosophy — its
+// conformance expectations live in test_lockset.cpp).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "detect/djit.hpp"
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "detect/hybrid.hpp"
+#include "detect/inspector_like.hpp"
+#include "detect/segment.hpp"
+#include "support/driver.hpp"
+
+namespace dg {
+namespace {
+
+using test::Driver;
+
+constexpr Addr X = 0x10000;   // all scenario locations are 256B apart
+constexpr Addr Y = 0x10100;
+constexpr SyncId L = 1, M = 2, B = 9;
+
+struct DetectorCase {
+  std::string name;
+  std::function<std::unique_ptr<Detector>()> make;
+};
+
+std::vector<DetectorCase> detector_cases() {
+  return {
+      {"ft_byte",
+       [] { return std::make_unique<FastTrackDetector>(Granularity::kByte); }},
+      {"ft_word",
+       [] { return std::make_unique<FastTrackDetector>(Granularity::kWord); }},
+      {"dynamic", [] { return std::make_unique<DynGranDetector>(); }},
+      {"dynamic_resplit",
+       [] {
+         DynGranConfig cfg;
+         cfg.resplit_shared = true;
+         return std::make_unique<DynGranDetector>(cfg);
+       }},
+      {"dynamic_guided",
+       [] {
+         DynGranConfig cfg;
+         cfg.guide_read_sharing = true;
+         return std::make_unique<DynGranDetector>(cfg);
+       }},
+      {"djit", [] { return std::make_unique<DjitDetector>(); }},
+      {"tsan_pure",
+       [] { return std::make_unique<HybridDetector>(HybridMode::kPure); }},
+      {"segment_drd", [] { return std::make_unique<SegmentDetector>(); }},
+      {"inspector", [] { return std::make_unique<InspectorLikeDetector>(); }},
+  };
+}
+
+struct Scenario {
+  std::string name;
+  std::uint64_t expected_races;
+  std::function<void(Driver&)> run;
+};
+
+std::vector<Scenario> scenarios() {
+  return {
+      {"write_write_race", 1,
+       [](Driver& d) { d.start(0).start(1, 0).write(0, X).write(1, X); }},
+      {"write_read_race", 1,
+       [](Driver& d) { d.start(0).start(1, 0).write(1, X).read(0, X); }},
+      {"read_write_race", 1,
+       [](Driver& d) { d.start(0).start(1, 0).read(1, X).write(0, X); }},
+      {"reads_never_race", 0,
+       [](Driver& d) {
+         d.start(0).start(1, 0).start(2, 0);
+         for (int i = 0; i < 4; ++i) d.read(0, X).read(1, X).read(2, X);
+       }},
+      {"lock_protected", 0,
+       [](Driver& d) {
+         d.start(0).start(1, 0);
+         for (int i = 0; i < 6; ++i) {
+           const ThreadId t = i % 2;
+           d.acq(t, L).read(t, X).write(t, X).rel(t, L);
+         }
+       }},
+      {"disjoint_locks_race", 1,
+       [](Driver& d) {
+         d.start(0).start(1, 0);
+         d.acq(0, L).write(0, X).rel(0, L);
+         d.acq(1, M).write(1, X).rel(1, M);
+       }},
+      {"fork_orders_parent_prefix", 0,
+       [](Driver& d) {
+         d.start(0);
+         d.write(0, X);
+         d.start(1, 0);
+         d.write(1, X);
+       }},
+      {"join_orders_child", 0,
+       [](Driver& d) {
+         d.start(0).start(1, 0);
+         d.write(1, X);
+         d.join(0, 1);
+         d.write(0, X).read(0, X);
+       }},
+      {"post_fork_parent_work_races", 1,
+       [](Driver& d) {
+         d.start(0).start(1, 0);
+         d.write(0, X);  // after the fork: unordered with the child
+         d.write(1, X);
+       }},
+      {"release_acquire_chain", 0,
+       [](Driver& d) {
+         d.start(0).start(1, 0).start(2, 0);
+         d.write(0, X).rel(0, L);
+         d.acq(1, L).write(1, X).rel(1, M);
+         d.acq(2, M).write(2, X);
+       }},
+      {"read_shared_then_unordered_write", 1,
+       [](Driver& d) {
+         d.start(0).start(1, 0).start(2, 0);
+         d.read(0, X).read(1, X).read(2, X);
+         d.write(2, X);
+       }},
+      {"read_shared_then_ordered_write", 0,
+       [](Driver& d) {
+         d.start(0).start(1, 0);
+         d.read(0, X).read(1, X);
+         d.join(0, 1);
+         d.write(0, X);
+       }},
+      {"first_race_only_per_location", 1,
+       [](Driver& d) {
+         d.start(0).start(1, 0);
+         for (int i = 0; i < 5; ++i) {
+           d.write(0, X).write(1, X);
+           d.rel(0, L);
+           d.rel(1, M);
+         }
+       }},
+      {"two_independent_racy_locations", 2,
+       [](Driver& d) {
+         d.start(0).start(1, 0);
+         d.write(0, X).write(0, Y);
+         d.write(1, X).write(1, Y);
+       }},
+      {"barrier_equivalent_phases", 0,
+       [](Driver& d) {
+         // All-to-all ordering through one sync object, barrier-style.
+         d.start(0).start(1, 0);
+         d.write(0, X).write(1, Y);
+         d.rel(0, B);
+         d.rel(1, B);
+         d.acq(0, B);
+         d.acq(1, B);
+         d.write(0, Y).write(1, X);
+       }},
+      {"free_then_fresh_use", 0,
+       [](Driver& d) {
+         d.start(0).start(1, 0);
+         d.write(0, X, 4);
+         d.free_(0, X, 64);
+         d.alloc(1, X, 64);
+         d.write(1, X, 4);
+       }},
+      {"racy_then_freed_then_clean", 1,
+       [](Driver& d) {
+         d.start(0).start(1, 0);
+         d.write(0, Y).write(1, Y);  // one real race at Y
+         d.free_(0, Y, 4);
+         d.acq(0, L).write(0, Y).rel(0, L);
+         d.acq(1, L).write(1, Y).rel(1, L);
+       }},
+  };
+}
+
+struct ConformanceParam {
+  DetectorCase det;
+  Scenario scenario;
+};
+
+class Conformance : public ::testing::TestWithParam<ConformanceParam> {};
+
+TEST_P(Conformance, VerdictMatches) {
+  auto det = GetParam().det.make();
+  Driver d(*det);
+  GetParam().scenario.run(d);
+  det->on_finish();
+  EXPECT_EQ(det->sink().unique_races(), GetParam().scenario.expected_races);
+}
+
+std::vector<ConformanceParam> conformance_matrix() {
+  std::vector<ConformanceParam> v;
+  for (const auto& d : detector_cases())
+    for (const auto& s : scenarios()) v.push_back({d, s});
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, Conformance,
+                         ::testing::ValuesIn(conformance_matrix()),
+                         [](const auto& info) {
+                           return info.param.det.name + "__" +
+                                  info.param.scenario.name;
+                         });
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,172 @@
+// Tests for the §VII future-work extensions implemented behind
+// DynGranConfig flags: post-second-epoch re-splitting of Shared nodes
+// ("the detection granularity can be changed more dynamically") and
+// read-plane sharing guided by the write plane.
+#include <gtest/gtest.h>
+
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "sim/sim.hpp"
+#include "support/driver.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dg {
+namespace {
+
+using test::Driver;
+using NodeState = DynGranDetector::NodeState;
+
+constexpr Addr X = 0x10000;
+constexpr SyncId L = 1;
+
+DynGranConfig resplit_cfg() {
+  DynGranConfig cfg;
+  cfg.resplit_shared = true;
+  return cfg;
+}
+
+TEST(DynGranResplit, PartialAccessShrinksSharedNode) {
+  DynGranDetector det(resplit_cfg());
+  Driver d(det);
+  d.start(0);
+  d.write(0, X, 16);
+  d.rel(0, L);
+  d.write(0, X, 16);  // firm Shared over 4 cells
+  ASSERT_EQ(det.inspect(X, AccessType::kWrite).state, NodeState::kShared);
+  d.rel(0, L);
+  d.write(0, X + 4, 4);  // partial access in a new epoch: resplit
+  const auto mid = det.inspect(X + 4, AccessType::kWrite);
+  EXPECT_EQ(mid.ref_bytes, 4u);
+  // The untouched sharers keep the old clock on the old node.
+  EXPECT_NE(det.inspect(X, AccessType::kWrite).span_lo, mid.span_lo);
+}
+
+TEST(DynGranResplit, EliminatesLargeGranularityFalseAlarm) {
+  // The streamcluster pattern that false-alarms under the default config
+  // (see DynGranDetection.LargeGranularityFalseAlarm) is clean when
+  // Shared nodes can resplit.
+  DynGranDetector det(resplit_cfg());
+  Driver d(det);
+  d.start(0);
+  d.write(0, X, 16);
+  d.rel(0, L);
+  d.write(0, X, 16);
+  d.start(1, 0).start(2, 0);
+  d.acq(1, 10);
+  d.write(1, X, 4);
+  d.rel(1, 10);
+  d.acq(2, 11);
+  d.write(2, X + 8, 4);
+  d.rel(2, 11);
+  EXPECT_EQ(d.races(), 0u);
+}
+
+TEST(DynGranResplit, StreamclusterWorkloadIsCleanAgain) {
+  DynGranDetector det(resplit_cfg());
+  auto prog = wl::make_workload("streamcluster", {.threads = 4, .scale = 1});
+  sim::SimScheduler sched(*prog, det, 7);
+  sched.run();
+  EXPECT_EQ(det.sink().unique_races(), 0u);  // 32 false alarms by default
+}
+
+TEST(DynGranResplit, X264MatchesByteGranularityCounts) {
+  DynGranDetector det(resplit_cfg());
+  auto prog = wl::make_workload("x264", {.threads = 4, .scale = 1});
+  sim::SimScheduler sched(*prog, det, 7);
+  sched.run();
+  // Sharer over-reporting disappears: byte-granularity ground truth.
+  EXPECT_EQ(det.sink().unique_races(), 993u);
+}
+
+TEST(DynGranResplit, StillDetectsRealRaces) {
+  DynGranDetector det(resplit_cfg());
+  Driver d(det);
+  d.start(0).start(1, 0);
+  d.write(0, X, 4).write(1, X, 4);
+  EXPECT_EQ(d.races(), 1u);
+}
+
+TEST(DynGranResplit, SameEpochSweepDoesNotShatter) {
+  // A sequential same-epoch sweep over a Shared node must not resplit at
+  // every store (payload_current guard).
+  DynGranDetector det(resplit_cfg());
+  Driver d(det);
+  d.start(0);
+  d.write(0, X, 64);
+  d.rel(0, L);
+  d.write(0, X, 64);  // Shared, 16 cells
+  d.rel(0, L);
+  d.write(0, X, 4);  // first store of the sweep: one resplit...
+  d.write(0, X + 4, 4);  // ...then re-merges; no further fragmentation
+  d.write(0, X + 8, 4);
+  d.write(0, X + 12, 4);
+  EXPECT_LE(det.stats().live_vcs, 3u);
+}
+
+TEST(DynGranGuidedReads, ReadsFuseOnlyWhereWritesAgree) {
+  DynGranConfig cfg;
+  cfg.guide_read_sharing = true;
+  DynGranDetector det(cfg);
+  Driver d(det);
+  d.start(0);
+  // Write plane: two separate nodes (different epochs).
+  d.write(0, X, 4);
+  d.rel(0, L);
+  d.write(0, X + 4, 4);
+  d.rel(0, L);
+  // Read plane: both reads in one epoch — equal clocks, and without the
+  // guide they would fuse; with it, the disagreeing write plane vetoes.
+  d.read(0, X, 4);
+  d.read(0, X + 4, 4);
+  const auto a = det.inspect(X, AccessType::kRead);
+  const auto b = det.inspect(X + 4, AccessType::kRead);
+  EXPECT_NE(a.span_lo, b.span_lo);  // separate read nodes
+
+  // Where the write plane agrees (one fused write node), reads fuse too.
+  d.rel(0, L);
+  d.write(0, X + 64, 16);
+  d.read(0, X + 64, 4);
+  d.read(0, X + 68, 4);
+  EXPECT_EQ(det.inspect(X + 64, AccessType::kRead).span_lo,
+            det.inspect(X + 68, AccessType::kRead).span_lo);
+}
+
+class ResplitSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ResplitSweep, MatchesByteGroundTruthOnEveryWorkload) {
+  // With resplitting, the detector's precision returns to byte
+  // granularity: neither the false alarms nor the sharer over-reports of
+  // firm sharing survive, across the whole suite.
+  DynGranDetector det(resplit_cfg());
+  auto prog = wl::make_workload(GetParam(), {.threads = 4, .scale = 1});
+  sim::SimScheduler sched(*prog, det, 7);
+  sched.run();
+  EXPECT_EQ(det.sink().unique_races(), prog->expected_races());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, ResplitSweep,
+    ::testing::Values("facesim", "ferret", "fluidanimate", "raytrace", "x264",
+                      "canneal", "dedup", "streamcluster", "ffmpeg", "pbzip2",
+                      "hmmsearch"),
+    [](const auto& info) { return info.param; });
+
+TEST(DynGranGuidedReads, DetectionUnchanged) {
+  for (const char* wl_name : {"hmmsearch", "ffmpeg", "raytrace"}) {
+    DynGranConfig cfg;
+    cfg.guide_read_sharing = true;
+    DynGranDetector guided(cfg);
+    DynGranDetector plain;
+    for (Detector* det : {static_cast<Detector*>(&guided),
+                          static_cast<Detector*>(&plain)}) {
+      auto prog = wl::make_workload(wl_name, {.threads = 4, .scale = 1});
+      sim::SimScheduler sched(*prog, *det, 7);
+      sched.run();
+    }
+    EXPECT_EQ(guided.sink().unique_races(), plain.sink().unique_races())
+        << wl_name;
+  }
+}
+
+}  // namespace
+}  // namespace dg

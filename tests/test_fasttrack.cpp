@@ -1,0 +1,251 @@
+// Scenario tests for the FastTrack detector: the classic racy and
+// race-free access patterns, granularity artefacts, and shadow lifecycle.
+#include <gtest/gtest.h>
+
+#include "detect/fasttrack.hpp"
+#include "support/driver.hpp"
+
+namespace dg {
+namespace {
+
+using test::Driver;
+
+constexpr Addr X = 0x1000;
+constexpr SyncId L = 1, M = 2;
+
+class FastTrackByte : public ::testing::Test {
+ protected:
+  FastTrackDetector det{Granularity::kByte};
+  Driver d{det};
+};
+
+class FastTrackWord : public ::testing::Test {
+ protected:
+  FastTrackDetector det{Granularity::kWord};
+  Driver d{det};
+};
+
+// ------------------------------------------------------------ racy cases
+
+TEST_F(FastTrackByte, WriteWriteRace) {
+  d.start(0).start(1, 0);
+  d.write(0, X).write(1, X);
+  EXPECT_EQ(d.races(), 1u);
+}
+
+TEST_F(FastTrackByte, WriteReadRace) {
+  d.start(0).start(1, 0);
+  // Child's write is unordered with parent's read (no join yet).
+  d.write(1, X).read(0, X);
+  EXPECT_EQ(d.races(), 1u);
+}
+
+TEST_F(FastTrackByte, ReadWriteRace) {
+  d.start(0).start(1, 0);
+  d.read(1, X).write(0, X);
+  EXPECT_EQ(d.races(), 1u);
+}
+
+TEST_F(FastTrackByte, ReadSharedThenUnorderedWrite) {
+  d.start(0).start(1, 0).start(2, 0);
+  d.read(0, X).read(1, X).read(2, X);  // read-shared (full VC)
+  EXPECT_EQ(d.races(), 0u);            // concurrent reads don't race
+  d.write(2, X);                       // races with readers 0 and 1
+  EXPECT_EQ(d.races(), 1u);
+}
+
+TEST_F(FastTrackByte, RaceReportedOncePerLocation) {
+  d.start(0).start(1, 0);
+  d.write(0, X).write(1, X).rel(1, L).write(1, X).rel(1, L).write(0, X);
+  EXPECT_EQ(d.races(), 1u);
+}
+
+TEST_F(FastTrackByte, DistinctLocationsReportSeparately) {
+  d.start(0).start(1, 0);
+  d.write(0, X).write(0, X + 8);
+  d.write(1, X).write(1, X + 8);
+  EXPECT_EQ(d.races(), 2u);
+}
+
+TEST_F(FastTrackByte, LockedButDisjointLocksStillRace) {
+  d.start(0).start(1, 0);
+  d.acq(0, L).write(0, X).rel(0, L);
+  d.acq(1, M).write(1, X).rel(1, M);
+  EXPECT_EQ(d.races(), 1u);
+}
+
+// ------------------------------------------------------- race-free cases
+
+TEST_F(FastTrackByte, LockProtectedNoRace) {
+  d.start(0).start(1, 0);
+  d.acq(0, L).write(0, X).rel(0, L);
+  d.acq(1, L).write(1, X).read(1, X).rel(1, L);
+  d.acq(0, L).read(0, X).rel(0, L);
+  EXPECT_EQ(d.races(), 0u);
+}
+
+TEST_F(FastTrackByte, ForkOrdersParentBeforeChild) {
+  d.start(0);
+  d.write(0, X);
+  d.start(1, 0);
+  d.write(1, X).read(1, X);
+  EXPECT_EQ(d.races(), 0u);
+}
+
+TEST_F(FastTrackByte, JoinOrdersChildBeforeParent) {
+  d.start(0).start(1, 0);
+  d.write(1, X);
+  d.join(0, 1);
+  d.write(0, X);
+  EXPECT_EQ(d.races(), 0u);
+}
+
+TEST_F(FastTrackByte, ConcurrentReadsAreFine) {
+  d.start(0).start(1, 0).start(2, 0);
+  for (int i = 0; i < 3; ++i) d.read(0, X).read(1, X).read(2, X);
+  EXPECT_EQ(d.races(), 0u);
+}
+
+TEST_F(FastTrackByte, ReleaseAcquireChainOrders) {
+  d.start(0).start(1, 0).start(2, 0);
+  d.write(0, X).rel(0, L);
+  d.acq(1, L).write(1, X).rel(1, M);
+  d.acq(2, M).write(2, X);
+  EXPECT_EQ(d.races(), 0u);
+}
+
+TEST_F(FastTrackByte, WriteSharedDemotesReadHistory) {
+  d.start(0).start(1, 0);
+  d.read(0, X).read(1, X);  // shared
+  d.join(0, 1);             // order everything
+  d.write(0, X);            // covers all reads; demote to epochs
+  EXPECT_EQ(d.races(), 0u);
+  EXPECT_GE(det.stats().vc_frees, 1u);  // the read VC was dropped
+}
+
+// ----------------------------------------------------- shadow lifecycle
+
+TEST_F(FastTrackByte, FreeDropsHistory) {
+  d.start(0).start(1, 0);
+  d.write(0, X, 8);
+  d.free_(0, X, 64);
+  d.write(1, X);  // would race without the free
+  EXPECT_EQ(d.races(), 0u);
+}
+
+TEST_F(FastTrackByte, FreeOnlyAffectsRange) {
+  d.start(0).start(1, 0);
+  d.write(0, X).write(0, X + 64);
+  d.free_(0, X, 4);
+  d.write(1, X + 64);
+  EXPECT_EQ(d.races(), 1u);
+}
+
+TEST_F(FastTrackByte, MemoryBalancesAfterFree) {
+  d.start(0);
+  for (Addr a = 0; a < 100; ++a) d.write(0, X + a * 4, 4);
+  const auto vc = det.accountant().current(MemCategory::kVectorClock);
+  EXPECT_GT(vc, 0u);
+  d.free_(0, X, 400);
+  EXPECT_EQ(det.accountant().current(MemCategory::kVectorClock), 0u);
+}
+
+// -------------------------------------------------- same-epoch filtering
+
+TEST_F(FastTrackByte, SameEpochAccessesAreFiltered) {
+  d.start(0);
+  d.write(0, X).write(0, X).read(0, X).read(0, X);
+  EXPECT_EQ(det.stats().shared_accesses, 4u);
+  EXPECT_EQ(det.stats().same_epoch_hits, 3u);
+  d.rel(0, L);  // new epoch
+  d.write(0, X);
+  EXPECT_EQ(det.stats().same_epoch_hits, 3u);
+}
+
+TEST_F(FastTrackByte, ReadAfterWriteSameEpochFiltered) {
+  d.start(0).start(1, 0);
+  d.write(0, X).read(0, X);
+  EXPECT_EQ(det.stats().same_epoch_hits, 1u);
+  // But a write after only a read is not skippable.
+  d.read(1, X + 64).write(1, X + 64);
+  EXPECT_EQ(det.stats().same_epoch_hits, 1u);
+}
+
+// --------------------------------------------------- granularity artefacts
+
+TEST_F(FastTrackWord, MasksDistinctBytesToOneLocation) {
+  d.start(0).start(1, 0);
+  // Two different bytes of the same word, different threads, no locks:
+  // no race at byte granularity, a false alarm at word granularity.
+  d.write(0, X + 1, 1).write(1, X + 2, 1);
+  EXPECT_EQ(d.races(), 1u);
+}
+
+TEST_F(FastTrackByte, DistinctBytesOfAWordDoNotRace) {
+  d.start(0).start(1, 0);
+  d.write(0, X + 1, 1).write(1, X + 2, 1);
+  EXPECT_EQ(d.races(), 0u);
+}
+
+TEST_F(FastTrackWord, MergesAdjacentByteRaces) {
+  d.start(0).start(1, 0);
+  d.write(0, X + 1, 1).write(0, X + 2, 1);
+  d.write(1, X + 1, 1).write(1, X + 2, 1);
+  EXPECT_EQ(d.races(), 1u);  // both byte races collapse into one word
+}
+
+TEST_F(FastTrackByte, AdjacentByteRacesReportedSeparately) {
+  d.start(0).start(1, 0);
+  d.write(0, X + 1, 1).write(0, X + 2, 1);
+  d.write(1, X + 1, 1).write(1, X + 2, 1);
+  EXPECT_EQ(d.races(), 2u);
+}
+
+TEST_F(FastTrackByte, WideAccessChecksAllCoveredCells) {
+  d.start(0).start(1, 0);
+  d.write(0, X + 4, 4);
+  d.write(1, X, 16);  // covers the racy word
+  EXPECT_EQ(d.races(), 1u);
+}
+
+TEST_F(FastTrackByte, ReportsPreviousAccessSite) {
+  // §V-C: "we provide the location of a race along with the previous
+  // access location".
+  d.start(0).start(1, 0);
+  d.site(0, "writer-A");
+  d.write(0, X);
+  d.site(1, "writer-B");
+  d.write(1, X);
+  ASSERT_EQ(det.sink().reports().size(), 1u);
+  EXPECT_EQ(det.sink().reports()[0].current_site, "writer-B");
+  EXPECT_EQ(det.sink().reports()[0].previous_site, "writer-A");
+}
+
+TEST_F(FastTrackByte, AccountingBalancesBeyondInlineClockCapacity) {
+  // Regression: with more threads than VectorClock's inline storage (8),
+  // read-shared promotion heap-allocates inside the promoting join; that
+  // growth must be charged, or the later release underflows the
+  // accountant (caught originally only by debug builds).
+  d.start(0);
+  for (ThreadId t = 1; t < 12; ++t) d.start(t, 0);
+  for (ThreadId t = 0; t < 12; ++t) d.read(t, X, 4);  // deep read-shared VC
+  for (ThreadId t = 0; t < 12; ++t) d.read(t, X + 64, 4);
+  EXPECT_GT(det.accountant().current(MemCategory::kVectorClock), 0u);
+  d.free_(0, X, 128);
+  EXPECT_EQ(det.accountant().current(MemCategory::kVectorClock), 0u);
+}
+
+// ----------------------------------------------------------- stats sanity
+
+TEST_F(FastTrackByte, VcPopulationCounts) {
+  d.start(0);
+  d.write(0, X, 16);  // 4 word cells
+  EXPECT_EQ(det.stats().live_vcs, 4u);
+  EXPECT_EQ(det.stats().max_live_vcs, 4u);
+  d.free_(0, X, 16);
+  EXPECT_EQ(det.stats().live_vcs, 0u);
+  EXPECT_EQ(det.stats().max_live_vcs, 4u);
+}
+
+}  // namespace
+}  // namespace dg

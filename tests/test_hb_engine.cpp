@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/memtrack.hpp"
+#include "sync/hb_engine.hpp"
+
+namespace dg {
+namespace {
+
+class HbEngineTest : public ::testing::Test {
+ protected:
+  MemoryAccountant acct;
+  HbEngine hb{acct};
+};
+
+TEST_F(HbEngineTest, InitialThreadStartsAtClockOne) {
+  hb.on_thread_start(0, kInvalidThread);
+  EXPECT_EQ(hb.clock(0).get(0), 1u);
+  EXPECT_EQ(hb.epoch(0), Epoch(1, 0));
+}
+
+TEST_F(HbEngineTest, ReleaseOpensNewEpoch) {
+  hb.on_thread_start(0, kInvalidThread);
+  const auto s0 = hb.epoch_serial(0);
+  hb.on_release(0, 99);
+  EXPECT_EQ(hb.epoch(0), Epoch(2, 0));
+  EXPECT_GT(hb.epoch_serial(0), s0);
+}
+
+TEST_F(HbEngineTest, AcquireJoinsReleaserClock) {
+  hb.on_thread_start(0, kInvalidThread);
+  hb.on_thread_start(1, 0);  // fork bumps the parent: C_0[0] == 2
+  EXPECT_EQ(hb.clock(0).get(0), 2u);
+  EXPECT_EQ(hb.clock(1).get(0), 1u);
+  hb.on_release(0, 5);  // L_5 := C_0 (with own clock 2), then C_0[0] = 3
+  hb.on_acquire(1, 5);
+  // Thread 1 learned 0's release-time clock.
+  EXPECT_EQ(hb.clock(1).get(0), 2u);
+  hb.on_release(0, 5);
+  hb.on_acquire(1, 5);
+  EXPECT_EQ(hb.clock(1).get(0), 3u);
+}
+
+TEST_F(HbEngineTest, ForkConveysParentClock) {
+  hb.on_thread_start(0, kInvalidThread);
+  hb.on_release(0, 1);
+  hb.on_release(0, 1);
+  EXPECT_EQ(hb.clock(0).get(0), 3u);
+  hb.on_thread_start(1, 0);
+  EXPECT_EQ(hb.clock(1).get(0), 3u);  // child knows parent's pre-fork epoch
+  EXPECT_EQ(hb.clock(1).get(1), 1u);
+  // Parent's post-fork epoch is unknown to the child.
+  EXPECT_EQ(hb.clock(0).get(0), 4u);
+  EXPECT_LT(hb.clock(1).get(0), hb.clock(0).get(0));
+}
+
+TEST_F(HbEngineTest, JoinConveysChildClock) {
+  hb.on_thread_start(0, kInvalidThread);
+  hb.on_thread_start(1, 0);
+  hb.on_release(1, 7);
+  hb.on_release(1, 7);
+  EXPECT_EQ(hb.clock(0).get(1), 0u);
+  hb.on_thread_join(0, 1);
+  EXPECT_EQ(hb.clock(0).get(1), hb.clock(1).get(1));
+}
+
+TEST_F(HbEngineTest, AcquireWithoutPriorReleaseIsNoEdge) {
+  hb.on_thread_start(0, kInvalidThread);
+  hb.on_acquire(0, 42);
+  EXPECT_EQ(hb.clock(0).get(0), 1u);  // no epoch change on acquire
+}
+
+TEST_F(HbEngineTest, TransitiveOrderingThroughTwoLocks) {
+  hb.on_thread_start(0, kInvalidThread);
+  hb.on_thread_start(1, 0);
+  hb.on_thread_start(2, 0);
+  // 0 -- releases A --> 1 -- releases B --> 2.
+  hb.on_release(0, 'A');
+  hb.on_acquire(1, 'A');
+  hb.on_release(1, 'B');
+  hb.on_acquire(2, 'B');
+  // Thread 2 now knows thread 0's release-time clock via transitivity.
+  EXPECT_GE(hb.clock(2).get(0), 1u);
+  EXPECT_GE(hb.clock(2).get(1), 1u);
+}
+
+TEST_F(HbEngineTest, EpochSerialsAreGloballyUnique) {
+  hb.on_thread_start(0, kInvalidThread);
+  hb.on_thread_start(1, 0);
+  const auto a = hb.epoch_serial(0);
+  const auto b = hb.epoch_serial(1);
+  EXPECT_NE(a, b);
+  hb.on_release(0, 1);
+  EXPECT_NE(hb.epoch_serial(0), a);
+  EXPECT_NE(hb.epoch_serial(0), b);
+}
+
+TEST(HbEngineMemory, AccountedAndReleasedOnDestruction) {
+  MemoryAccountant a2;
+  {
+    HbEngine hb2(a2);
+    hb2.on_thread_start(0, kInvalidThread);
+    for (SyncId s = 0; s < 100; ++s) hb2.on_release(0, s);
+    EXPECT_GT(a2.current(MemCategory::kOther), 0u);
+  }
+  EXPECT_EQ(a2.current(MemCategory::kOther), 0u);
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,162 @@
+// pthread-style shim: a ported-looking pthreads program, instrumented by
+// rename, detected correctly.
+#include <gtest/gtest.h>
+
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "rt/pthread_like.hpp"
+
+namespace dg {
+namespace {
+
+struct WorkerArgs {
+  dgp::mutex_t* mu;
+  long* counter;
+  int iters;
+};
+
+void* locked_increment(void* p) {
+  auto* a = static_cast<WorkerArgs*>(p);
+  for (int i = 0; i < a->iters; ++i) {
+    dgp::mutex_lock(a->mu);
+    dgp::store(a->counter, dgp::load(a->counter) + 1);
+    dgp::mutex_unlock(a->mu);
+  }
+  return nullptr;
+}
+
+void* unlocked_increment(void* p) {
+  auto* a = static_cast<WorkerArgs*>(p);
+  for (int i = 0; i < a->iters; ++i) {
+    dgp::touch_read(a->counter, sizeof(long));
+    dgp::touch_write(a->counter, sizeof(long));
+  }
+  return nullptr;
+}
+
+class PthreadLike : public ::testing::Test {
+ protected:
+  PthreadLike() : rtm(det) { dgp::attach(rtm); }
+  ~PthreadLike() override { dgp::detach_runtime(); }
+  FastTrackDetector det{Granularity::kByte};
+  rt::Runtime rtm{det};
+};
+
+TEST_F(PthreadLike, LockedCounterProgramIsClean) {
+  dgp::mutex_t mu;
+  dgp::mutex_init(&mu);
+  long counter = 0;
+  WorkerArgs args{&mu, &counter, 200};
+  dgp::thread_t t1, t2;
+  dgp::create(&t1, locked_increment, &args);
+  dgp::create(&t2, locked_increment, &args);
+  dgp::join(t1);
+  dgp::join(t2);
+  dgp::mutex_destroy(&mu);
+  rtm.finish();
+  EXPECT_EQ(counter, 400);
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+TEST_F(PthreadLike, UnlockedCounterProgramRaces) {
+  dgp::mutex_t mu;
+  dgp::mutex_init(&mu);
+  long counter = 0;
+  WorkerArgs args{&mu, &counter, 100};
+  dgp::thread_t t1, t2;
+  dgp::create(&t1, unlocked_increment, &args);
+  dgp::create(&t2, unlocked_increment, &args);
+  dgp::join(t1);
+  dgp::join(t2);
+  rtm.finish();
+  EXPECT_GE(det.sink().unique_races(), 1u);
+}
+
+TEST_F(PthreadLike, BarrierPhases) {
+  static dgp::barrier_t bar;
+  dgp::barrier_init(&bar, 2);
+  static int cells[2];
+  auto phase_fn = +[](void* which) -> void* {
+    const long w = reinterpret_cast<long>(which);
+    dgp::touch_write(&cells[w], 4);
+    dgp::barrier_wait(&bar);
+    dgp::touch_write(&cells[1 - w], 4);  // swapped: safe only via barrier
+    dgp::barrier_wait(&bar);
+    return nullptr;
+  };
+  dgp::thread_t t1, t2;
+  dgp::create(&t1, phase_fn, reinterpret_cast<void*>(0L));
+  dgp::create(&t2, phase_fn, reinterpret_cast<void*>(1L));
+  dgp::join(t1);
+  dgp::join(t2);
+  dgp::barrier_destroy(&bar);
+  rtm.finish();
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+TEST_F(PthreadLike, CondVarHandoff) {
+  static dgp::mutex_t mu;
+  static dgp::cond_t cv;
+  dgp::mutex_init(&mu);
+  dgp::cond_init(&cv);
+  static int payload = 0;
+  static bool ready = false;
+
+  auto producer = +[](void*) -> void* {
+    dgp::touch_write(&payload, 4);
+    dgp::mutex_lock(&mu);
+    dgp::store(&ready, true);
+    dgp::mutex_unlock(&mu);
+    dgp::cond_signal(&cv);
+    return nullptr;
+  };
+  auto consumer = +[](void*) -> void* {
+    dgp::mutex_lock(&mu);
+    while (!dgp::load(&ready)) dgp::cond_wait(&cv, &mu);
+    dgp::mutex_unlock(&mu);
+    dgp::touch_read(&payload, 4);
+    return nullptr;
+  };
+  dgp::thread_t p, c;
+  dgp::create(&p, producer, nullptr);
+  dgp::create(&c, consumer, nullptr);
+  dgp::join(p);
+  dgp::join(c);
+  rtm.finish();
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+TEST_F(PthreadLike, RwlockReadersDontRaceWriter) {
+  static dgp::rwlock_t rw;
+  dgp::rwlock_init(&rw);
+  static long value = 0;
+  auto writer = +[](void*) -> void* {
+    for (int i = 0; i < 50; ++i) {
+      dgp::rwlock_wrlock(&rw);
+      dgp::touch_write(&value, sizeof(long));
+      dgp::rwlock_wrunlock(&rw);
+    }
+    return nullptr;
+  };
+  auto reader = +[](void*) -> void* {
+    for (int i = 0; i < 50; ++i) {
+      dgp::rwlock_rdlock(&rw);
+      dgp::touch_read(&value, sizeof(long));
+      dgp::rwlock_rdunlock(&rw);
+    }
+    return nullptr;
+  };
+  dgp::thread_t w, r1, r2;
+  dgp::create(&w, writer, nullptr);
+  dgp::create(&r1, reader, nullptr);
+  dgp::create(&r2, reader, nullptr);
+  dgp::join(w);
+  dgp::join(r1);
+  dgp::join(r2);
+  dgp::rwlock_destroy(&rw);
+  rtm.finish();
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+}  // namespace
+}  // namespace dg

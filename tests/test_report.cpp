@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "report/race_report.hpp"
+#include "report/report_sink.hpp"
+#include "report/stats.hpp"
+
+namespace dg {
+namespace {
+
+RaceReport mk(Addr a, const char* site = "") {
+  RaceReport r;
+  r.addr = a;
+  r.size = 4;
+  r.current = AccessType::kWrite;
+  r.previous = AccessType::kRead;
+  r.current_tid = 1;
+  r.previous_tid = 0;
+  r.current_site = site;
+  return r;
+}
+
+TEST(ReportSink, FirstRacePerLocation) {
+  ReportSink s;
+  EXPECT_TRUE(s.report(mk(0x10)));
+  EXPECT_FALSE(s.report(mk(0x10)));
+  EXPECT_TRUE(s.report(mk(0x20)));
+  EXPECT_EQ(s.unique_races(), 2u);
+  EXPECT_EQ(s.raw_reports(), 3u);
+  EXPECT_TRUE(s.known_location(0x10));
+  EXPECT_FALSE(s.known_location(0x30));
+}
+
+TEST(ReportSink, RangeSuppression) {
+  ReportSink s;
+  s.suppress_range(0x100, 0x200, "libc");
+  EXPECT_FALSE(s.report(mk(0x150)));
+  EXPECT_TRUE(s.report(mk(0x200)));  // hi is exclusive
+  EXPECT_TRUE(s.report(mk(0xff)));
+  EXPECT_EQ(s.suppressed(), 1u);
+  EXPECT_EQ(s.unique_races(), 2u);
+}
+
+TEST(ReportSink, SitePrefixSuppression) {
+  ReportSink s;
+  s.suppress_site_prefix("ld.so/");
+  EXPECT_FALSE(s.report(mk(0x10, "ld.so/resolve")));
+  EXPECT_TRUE(s.report(mk(0x20, "app/main")));
+  EXPECT_EQ(s.suppressed(), 1u);
+}
+
+TEST(ReportSink, KeepsAtMostMaxReports) {
+  ReportSink s(2);
+  s.report(mk(1));
+  s.report(mk(2));
+  s.report(mk(3));
+  EXPECT_EQ(s.unique_races(), 3u);
+  EXPECT_EQ(s.reports().size(), 2u);
+}
+
+TEST(ReportSink, CallbackFiresOnNewRaces) {
+  ReportSink s;
+  int calls = 0;
+  s.set_on_report([&](const RaceReport&) { ++calls; });
+  s.report(mk(1));
+  s.report(mk(1));  // dup: no callback
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ReportSink, ClearResets) {
+  ReportSink s;
+  s.report(mk(1));
+  s.clear();
+  EXPECT_EQ(s.unique_races(), 0u);
+  EXPECT_TRUE(s.report(mk(1)));
+}
+
+TEST(RaceReport, StringRendering) {
+  RaceReport r = mk(0xbeef, "app/worker");
+  r.previous_site = "app/init";
+  r.current_clock = 4;
+  r.previous_clock = 2;
+  const std::string s = r.str();
+  EXPECT_NE(s.find("0xbeef"), std::string::npos);
+  EXPECT_NE(s.find("write"), std::string::npos);
+  EXPECT_NE(s.find("T1"), std::string::npos);
+  EXPECT_NE(s.find("app/worker"), std::string::npos);
+  EXPECT_NE(s.find("app/init"), std::string::npos);
+}
+
+TEST(DetectorStats, SameEpochPercentage) {
+  DetectorStats st;
+  st.shared_accesses = 200;
+  st.same_epoch_hits = 50;
+  EXPECT_DOUBLE_EQ(st.same_epoch_pct(), 25.0);
+  DetectorStats empty;
+  EXPECT_DOUBLE_EQ(empty.same_epoch_pct(), 0.0);
+}
+
+TEST(DetectorStats, PeakVcTracksSharing) {
+  DetectorStats st;
+  st.location_mapped(10);
+  st.vc_created();  // 1 VC covering 10 locations
+  EXPECT_EQ(st.max_live_vcs, 1u);
+  EXPECT_DOUBLE_EQ(st.avg_sharing_at_peak, 10.0);
+  st.vc_created();
+  st.location_mapped(2);
+  EXPECT_EQ(st.max_live_vcs, 2u);
+  EXPECT_DOUBLE_EQ(st.avg_sharing_at_peak, 6.0);  // 12 locations / 2 VCs
+  st.vc_destroyed();
+  EXPECT_EQ(st.live_vcs, 1u);
+  EXPECT_EQ(st.max_live_vcs, 2u);  // peak sticks
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,304 @@
+// Live-runtime integration: real std::threads instrumented through
+// dg::rt wrappers, feeding a detector under the analysis lock.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "rt/runtime.hpp"
+
+namespace dg {
+namespace {
+
+TEST(Runtime, DetectsRaceOnUnprotectedCounter) {
+  FastTrackDetector det(Granularity::kByte);
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  int counter = 0;
+  {
+    // touch_* announces the accesses without performing them, so the test
+    // binary itself stays free of undefined behaviour while the detector
+    // sees the racy pattern.
+    rt::Thread a(rtm, [&](rt::ThreadCtx& ctx) {
+      for (int i = 0; i < 100; ++i) {
+        ctx.touch_read(&counter, 4);
+        ctx.touch_write(&counter, 4);
+      }
+    });
+    rt::Thread b(rtm, [&](rt::ThreadCtx& ctx) {
+      for (int i = 0; i < 100; ++i) {
+        ctx.touch_read(&counter, 4);
+        ctx.touch_write(&counter, 4);
+      }
+    });
+    a.join();
+    b.join();
+  }
+  rtm.finish();
+  EXPECT_GE(det.sink().unique_races(), 1u);
+}
+
+TEST(Runtime, LockedCounterIsClean) {
+  DynGranDetector det;
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  int counter = 0;
+  rt::Mutex mu(rtm);
+  {
+    auto body = [&](rt::ThreadCtx& ctx) {
+      for (int i = 0; i < 100; ++i) {
+        std::scoped_lock lk(mu);
+        ctx.write(&counter, ctx.read(&counter) + 1);
+      }
+    };
+    rt::Thread a(rtm, body);
+    rt::Thread b(rtm, body);
+    a.join();
+    b.join();
+  }
+  rtm.finish();
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+  EXPECT_EQ(counter, 200);  // the real mutex really protected the counter
+}
+
+TEST(Runtime, SharedValueWrapperInstruments) {
+  FastTrackDetector det(Granularity::kByte);
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  rt::Shared<int> flag(rtm, 0);
+  flag.store(1);
+  EXPECT_EQ(flag.load(), 1);
+  flag.update([](int v) { return v + 1; });
+  EXPECT_EQ(flag.load(), 2);
+  // 1 store + 1 load + (load+store) + 1 load = 5 instrumented accesses.
+  EXPECT_EQ(det.stats().shared_accesses, 5u);
+}
+
+TEST(Runtime, SharedValueRaceAcrossThreads) {
+  FastTrackDetector det(Granularity::kByte);
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  int slot = 0;
+  {
+    rt::Thread a(rtm, [&](rt::ThreadCtx& ctx) { ctx.touch_write(&slot, 4); });
+    rt::Thread b(rtm, [&](rt::ThreadCtx& ctx) { ctx.touch_write(&slot, 4); });
+    a.join();
+    b.join();
+  }
+  EXPECT_GE(det.sink().unique_races(), 1u);
+}
+
+TEST(Runtime, JoinEdgeOrdersAccesses) {
+  FastTrackDetector det(Granularity::kByte);
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  int value = 0;
+  {
+    rt::Thread a(rtm, [&](rt::ThreadCtx& ctx) { ctx.write(&value, 42); });
+    a.join();
+  }
+  // Main thread reads after join: ordered.
+  rtm.read(&value, sizeof(value));
+  rtm.finish();
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+TEST(Runtime, IgnoreRangeFiltersAccesses) {
+  FastTrackDetector det(Granularity::kByte);
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  alignas(8) static int arena[16];
+  const Addr lo = reinterpret_cast<Addr>(&arena[0]);
+  rtm.ignore_range(lo, lo + sizeof(arena));
+  rtm.write(&arena[0], 4);
+  rtm.write(&arena[3], 4);
+  EXPECT_EQ(det.stats().shared_accesses, 0u);
+}
+
+TEST(Runtime, BarrierOrdersPhases) {
+  FastTrackDetector det(Granularity::kByte);
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  int cells[2] = {0, 0};
+  rt::Barrier bar(rtm, 2);
+  {
+    // Each thread writes its own cell in phase 1 and the OTHER thread's
+    // cell in phase 2: race-free only because of the barrier.
+    rt::Thread a(rtm, [&](rt::ThreadCtx& ctx) {
+      ctx.touch_write(&cells[0], 4);
+      bar.arrive_and_wait();
+      ctx.touch_write(&cells[1], 4);
+    });
+    rt::Thread b(rtm, [&](rt::ThreadCtx& ctx) {
+      ctx.touch_write(&cells[1], 4);
+      bar.arrive_and_wait();
+      ctx.touch_write(&cells[0], 4);
+    });
+    a.join();
+    b.join();
+  }
+  rtm.finish();
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+TEST(Runtime, WithoutBarrierTheSamePatternRaces) {
+  FastTrackDetector det(Granularity::kByte);
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  int cells[2] = {0, 0};
+  {
+    rt::Thread a(rtm, [&](rt::ThreadCtx& ctx) {
+      ctx.touch_write(&cells[0], 4);
+      ctx.touch_write(&cells[1], 4);
+    });
+    rt::Thread b(rtm, [&](rt::ThreadCtx& ctx) {
+      ctx.touch_write(&cells[1], 4);
+      ctx.touch_write(&cells[0], 4);
+    });
+    a.join();
+    b.join();
+  }
+  rtm.finish();
+  EXPECT_GE(det.sink().unique_races(), 1u);
+}
+
+TEST(Runtime, SignalEdgeOrdersProducerConsumer) {
+  DynGranDetector det;
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  int payload = 0;
+  std::mutex handoff_mu;
+  std::condition_variable handoff_cv;
+  bool ready = false;
+  int ready_token = 0;  // the sync object identity for the detector
+  {
+    rt::Thread producer(rtm, [&](rt::ThreadCtx& ctx) {
+      ctx.touch_write(&payload, 4);
+      rtm.sync_signal(&ready_token);  // release edge before publishing
+      {
+        std::scoped_lock lk(handoff_mu);
+        ready = true;
+      }
+      handoff_cv.notify_one();
+    });
+    rt::Thread consumer(rtm, [&](rt::ThreadCtx& ctx) {
+      {
+        std::unique_lock lk(handoff_mu);
+        handoff_cv.wait(lk, [&] { return ready; });
+      }
+      rtm.sync_acquire_edge(&ready_token);  // acquire edge after wake
+      ctx.touch_read(&payload, 4);
+    });
+    producer.join();
+    consumer.join();
+  }
+  rtm.finish();
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+TEST(Runtime, SharedMutexWriterReaderOrdering) {
+  DynGranDetector det;
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  int value = 0;
+  rt::SharedMutex rw(rtm);
+  {
+    rt::Thread writer(rtm, [&](rt::ThreadCtx& ctx) {
+      for (int i = 0; i < 50; ++i) {
+        rw.lock();
+        ctx.touch_write(&value, 4);
+        rw.unlock();
+      }
+    });
+    auto reader = [&](rt::ThreadCtx& ctx) {
+      for (int i = 0; i < 50; ++i) {
+        rw.lock_shared();
+        ctx.touch_read(&value, 4);
+        rw.unlock_shared();
+      }
+    };
+    rt::Thread r1(rtm, reader);
+    rt::Thread r2(rtm, reader);
+    writer.join();
+    r1.join();
+    r2.join();
+  }
+  rtm.finish();
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+TEST(Runtime, SharedMutexDoesNotOrderConcurrentReaders) {
+  // Two readers mutating under only a shared lock ARE racing; the
+  // SharedMutex model must not hide that.
+  FastTrackDetector det(Granularity::kByte);
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  int sneaky = 0;
+  rt::SharedMutex rw(rtm);
+  {
+    auto bad_reader = [&](rt::ThreadCtx& ctx) {
+      rw.lock_shared();
+      ctx.touch_write(&sneaky, 4);  // write under a SHARED lock: bug
+      rw.unlock_shared();
+    };
+    rt::Thread r1(rtm, bad_reader);
+    rt::Thread r2(rtm, bad_reader);
+    r1.join();
+    r2.join();
+  }
+  rtm.finish();
+  EXPECT_GE(det.sink().unique_races(), 1u);
+}
+
+TEST(Runtime, SemaphoreHandoffOrders) {
+  DynGranDetector det;
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  int payload = 0;
+  rt::Semaphore sem(rtm, 0);
+  {
+    rt::Thread producer(rtm, [&](rt::ThreadCtx& ctx) {
+      ctx.touch_write(&payload, 4);
+      sem.release();
+    });
+    rt::Thread consumer(rtm, [&](rt::ThreadCtx& ctx) {
+      sem.acquire();
+      ctx.touch_read(&payload, 4);
+    });
+    producer.join();
+    consumer.join();
+  }
+  rtm.finish();
+  // The semaphore-as-signal idiom: Eraser would false-alarm here (no
+  // common lock); the happens-before detectors stay silent.
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+TEST(Runtime, ManyThreadsStress) {
+  DynGranDetector det;
+  rt::Runtime rtm(det);
+  rtm.register_current_thread(kInvalidThread);
+  std::vector<int> shared_data(256, 0);
+  rt::Mutex mu(rtm);
+  {
+    std::vector<std::unique_ptr<rt::Thread>> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.push_back(std::make_unique<rt::Thread>(
+          rtm, [&, t](rt::ThreadCtx& ctx) {
+            for (int i = 0; i < 50; ++i) {
+              std::scoped_lock lk(mu);
+              const int idx = (t * 31 + i) % 256;
+              ctx.write(&shared_data[idx], i);
+            }
+          }));
+    }
+    for (auto& th : threads) th->join();
+  }
+  rtm.finish();
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+  EXPECT_GT(det.stats().shared_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/memtrack.hpp"
+#include "shadow/shadow_table.hpp"
+
+namespace dg {
+namespace {
+
+using IntCell = int*;  // pointer payload, as the detectors use
+
+class ShadowTableTest : public ::testing::Test {
+ protected:
+  MemoryAccountant acct;
+  ShadowTable<IntCell> table{acct};
+  int payloads[64] = {};
+  IntCell p(int i) { return &payloads[i]; }
+};
+
+TEST_F(ShadowTableTest, LookupMissingIsEmpty) {
+  EXPECT_EQ(table.lookup(0x1000), nullptr);
+  EXPECT_EQ(table.num_blocks(), 0u);
+}
+
+TEST_F(ShadowTableTest, WordModeByDefault) {
+  table.slot(0x1000, 4) = p(0);
+  table.note_fill(0x1000);
+  EXPECT_EQ(table.slot_width(0x1000), 4u);
+  // All four bytes of the word resolve to the same cell.
+  EXPECT_EQ(table.lookup(0x1000), p(0));
+  EXPECT_EQ(table.lookup(0x1003), p(0));
+  EXPECT_EQ(table.lookup(0x1004), nullptr);
+}
+
+TEST_F(ShadowTableTest, UnalignedAccessForcesByteMode) {
+  table.slot(0x1001, 1) = p(0);
+  table.note_fill(0x1001);
+  EXPECT_EQ(table.slot_width(0x1000), 1u);
+  EXPECT_EQ(table.lookup(0x1001), p(0));
+  EXPECT_EQ(table.lookup(0x1000), nullptr);
+  EXPECT_EQ(table.lookup(0x1002), nullptr);
+}
+
+TEST_F(ShadowTableTest, OddSizeForcesByteMode) {
+  table.slot(0x1000, 2) = p(0);  // aligned but sub-word
+  EXPECT_EQ(table.slot_width(0x1000), 1u);
+}
+
+TEST_F(ShadowTableTest, ExpansionReplicatesOccupiedCells) {
+  table.slot(0x1000, 4) = p(1);
+  table.note_fill(0x1000);
+  // Trigger expansion with an unaligned access in the same 128B block.
+  table.slot(0x1021, 1) = p(2);
+  table.note_fill(0x1021);
+  EXPECT_EQ(table.slot_width(0x1000), 1u);
+  for (Addr a = 0x1000; a < 0x1004; ++a) EXPECT_EQ(table.lookup(a), p(1));
+  EXPECT_EQ(table.lookup(0x1021), p(2));
+  EXPECT_EQ(table.lookup(0x1020), nullptr);
+}
+
+TEST_F(ShadowTableTest, ExpanderHookRunsPerReplica) {
+  int clones = 0;
+  table.set_expander([&](IntCell& cell, std::uint32_t k) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 3u);
+    EXPECT_NE(cell, nullptr);
+    ++clones;
+  });
+  table.slot(0x1000, 4) = p(1);
+  table.note_fill(0x1000);
+  table.slot(0x1004, 4) = p(2);
+  table.note_fill(0x1004);
+  table.slot(0x1041, 1) = p(3);  // expand
+  EXPECT_EQ(clones, 6);          // 2 occupied word cells x 3 replicas
+}
+
+TEST_F(ShadowTableTest, ForRangeVisitsEachCellExactlyOnce) {
+  std::map<Addr, int> seen;
+  table.for_range(0x1002, 8, [&](Addr base, std::uint32_t, IntCell&) {
+    seen[base] += 1;
+  });
+  for (const auto& [base, count] : seen) {
+    EXPECT_EQ(count, 1) << "cell 0x" << std::hex << base << " visited twice";
+  }
+  EXPECT_EQ(seen.size(), 8u);  // byte cells: 0x1002..0x1009
+}
+
+TEST_F(ShadowTableTest, ForRangeUnalignedUsesByteCells) {
+  std::set<Addr> bases;
+  std::uint32_t width = 0;
+  table.for_range(0x1002, 4, [&](Addr base, std::uint32_t w, IntCell&) {
+    bases.insert(base);
+    width = w;
+  });
+  EXPECT_EQ(width, 1u);
+  EXPECT_EQ(bases.size(), 4u);
+  EXPECT_TRUE(bases.count(0x1002));
+  EXPECT_TRUE(bases.count(0x1005));
+}
+
+TEST_F(ShadowTableTest, ForRangeAlignedUsesWordCells) {
+  std::set<Addr> bases;
+  table.for_range(0x1000, 16, [&](Addr base, std::uint32_t w, IntCell&) {
+    EXPECT_EQ(w, 4u);
+    bases.insert(base);
+  });
+  EXPECT_EQ(bases.size(), 4u);
+}
+
+TEST_F(ShadowTableTest, ForRangeSpansBlocks) {
+  // Block boundary at multiples of 128.
+  std::set<Addr> bases;
+  table.for_range(0x1078, 16, [&](Addr base, std::uint32_t, IntCell&) {
+    bases.insert(base);
+  });
+  EXPECT_EQ(bases.size(), 4u);
+  EXPECT_TRUE(bases.count(0x1078));
+  EXPECT_TRUE(bases.count(0x1080));  // next block
+  EXPECT_GE(table.num_blocks(), 2u);
+}
+
+TEST_F(ShadowTableTest, ForRangeExistingSkipsMissingBlocks) {
+  table.slot(0x1000, 4) = p(0);
+  table.note_fill(0x1000);
+  int visits = 0;
+  table.for_range_existing(0x1000, 0x1000, [&](Addr, std::uint32_t, IntCell&) {
+    ++visits;
+  });
+  EXPECT_EQ(visits, 32);  // only the one existing block's word cells
+}
+
+TEST_F(ShadowTableTest, ClearRangeFreesEmptyBlocks) {
+  table.slot(0x1000, 4) = p(0);
+  table.note_fill(0x1000);
+  table.slot(0x1004, 4) = p(1);
+  table.note_fill(0x1004);
+  EXPECT_EQ(table.num_blocks(), 1u);
+  table.clear_range(0x1000, 8);
+  EXPECT_EQ(table.num_blocks(), 0u);
+  EXPECT_EQ(table.lookup(0x1000), nullptr);
+}
+
+TEST_F(ShadowTableTest, ClearRangePartialKeepsBlock) {
+  table.slot(0x1000, 4) = p(0);
+  table.note_fill(0x1000);
+  table.slot(0x1010, 4) = p(1);
+  table.note_fill(0x1010);
+  table.clear_range(0x1000, 4);
+  EXPECT_EQ(table.num_blocks(), 1u);
+  EXPECT_EQ(table.lookup(0x1000), nullptr);
+  EXPECT_EQ(table.lookup(0x1010), p(1));
+}
+
+TEST_F(ShadowTableTest, PrevOccupiedFindsNearest) {
+  table.slot(0x1000, 4) = p(0);
+  table.note_fill(0x1000);
+  table.slot(0x1010, 4) = p(1);
+  table.note_fill(0x1010);
+  Addr base = 0;
+  EXPECT_EQ(table.prev_occupied(0x1020, 0x0f00, &base), p(1));
+  EXPECT_EQ(base, 0x1010u);
+  EXPECT_EQ(table.prev_occupied(0x1010, 0x0f00, &base), p(0));
+  EXPECT_EQ(base, 0x1000u);
+  // Limit cuts the search off.
+  EXPECT_EQ(table.prev_occupied(0x1010, 0x1008, &base), nullptr);
+}
+
+TEST_F(ShadowTableTest, NextOccupiedFindsNearest) {
+  table.slot(0x1010, 4) = p(1);
+  table.note_fill(0x1010);
+  Addr base = 0;
+  EXPECT_EQ(table.next_occupied(0x1000, 0x1100, &base), p(1));
+  EXPECT_EQ(base, 0x1010u);
+  EXPECT_EQ(table.next_occupied(0x1014, 0x1100, &base), nullptr);
+  EXPECT_EQ(table.next_occupied(0x1000, 0x1010, &base), nullptr);  // limit
+}
+
+TEST_F(ShadowTableTest, PrevOccupiedCrossesBlocks) {
+  table.slot(0x1000, 4) = p(0);
+  table.note_fill(0x1000);
+  Addr base = 0;
+  EXPECT_EQ(table.prev_occupied(0x1100, 0x0800, &base), p(0));
+  EXPECT_EQ(base, 0x1000u);
+}
+
+TEST_F(ShadowTableTest, ManyBlocksRehashCorrectly) {
+  for (Addr a = 0; a < 4096; ++a) {
+    table.slot(0x10000 + a * 128, 4) = p(static_cast<int>(a % 64));
+    table.note_fill(0x10000 + a * 128);
+  }
+  EXPECT_EQ(table.num_blocks(), 4096u);
+  for (Addr a = 0; a < 4096; ++a)
+    EXPECT_EQ(table.lookup(0x10000 + a * 128), p(static_cast<int>(a % 64)));
+}
+
+TEST_F(ShadowTableTest, MemoryAccountingBalances) {
+  {
+    MemoryAccountant a2;
+    {
+      ShadowTable<IntCell> t2(a2);
+      for (Addr a = 0; a < 128; ++a) {
+        t2.slot(a * 256, 4) = reinterpret_cast<IntCell>(0x1);
+        t2.note_fill(a * 256);
+      }
+      EXPECT_GT(a2.current(MemCategory::kHash), 0u);
+      EXPECT_EQ(a2.current(MemCategory::kHash), t2.bytes());
+    }
+    EXPECT_EQ(a2.current(MemCategory::kHash), 0u);
+  }
+}
+
+TEST_F(ShadowTableTest, ForEachVisitsOnlyOccupied) {
+  table.slot(0x1000, 4) = p(0);
+  table.note_fill(0x1000);
+  table.slot(0x5000, 4) = p(1);
+  table.note_fill(0x5000);
+  std::set<Addr> seen;
+  table.for_each([&](Addr base, std::uint32_t, IntCell&) { seen.insert(base); });
+  EXPECT_EQ(seen, (std::set<Addr>{0x1000, 0x5000}));
+}
+
+}  // namespace
+}  // namespace dg

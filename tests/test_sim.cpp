@@ -1,0 +1,228 @@
+// SimScheduler semantics: blocking, hand-off, barriers, signal/await,
+// join, determinism, and deadlock detection.
+#include <gtest/gtest.h>
+
+#include "detect/fasttrack.hpp"
+#include "rt/trace.hpp"
+#include "sim/region_alloc.hpp"
+#include "support/driver.hpp"
+
+namespace dg {
+namespace {
+
+using sim::Op;
+using test::ScriptProgram;
+using test::run_script;
+
+TEST(SimScheduler, RunsSingleThread) {
+  NullDetector det;
+  auto r = run_script({{Op::write(0x100, 4), Op::read(0x100, 4)}}, det);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.memory_events, 2u);
+  EXPECT_EQ(r.ops, 2u);
+}
+
+TEST(SimScheduler, ForkAndJoin) {
+  NullDetector det;
+  auto r = run_script({{Op::fork(1), Op::join(1)},
+                       {Op::write(0x100, 4)}},
+                      det);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.memory_events, 1u);
+  EXPECT_GE(r.sync_events, 1u);  // the join edge
+}
+
+TEST(SimScheduler, MutualExclusionIsEnforced) {
+  // Record the event order; under the lock, T1's acquire must come after
+  // T2's release or vice versa — never interleaved.
+  rt::TraceRecorder rec;
+  auto r = run_script(
+      {{Op::fork(1), Op::fork(2), Op::join(1), Op::join(2)},
+       {Op::acquire(9), Op::write(0x100, 4), Op::release(9)},
+       {Op::acquire(9), Op::write(0x100, 4), Op::release(9)}},
+      rec, 123);
+  EXPECT_FALSE(r.deadlocked);
+  int depth = 0;
+  bool ok = true;
+  for (const auto& e : rec.events()) {
+    if (e.kind == rt::EventKind::kAcquire) {
+      ++depth;
+      ok &= depth <= 1;
+    } else if (e.kind == rt::EventKind::kRelease) {
+      --depth;
+    }
+  }
+  EXPECT_TRUE(ok) << "two threads inside the same lock";
+}
+
+TEST(SimScheduler, BlockedAcquireEventuallyRuns) {
+  NullDetector det;
+  // Thread 1 holds the lock across many ops; thread 2 must still get it.
+  std::vector<Op> t1 = {Op::acquire(5)};
+  for (int i = 0; i < 100; ++i) t1.push_back(Op::compute(1));
+  t1.push_back(Op::release(5));
+  auto r = run_script({{Op::fork(1), Op::fork(2), Op::join(1), Op::join(2)},
+                       t1,
+                       {Op::acquire(5), Op::write(0x200, 4), Op::release(5)}},
+                      det);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.memory_events, 1u);
+}
+
+TEST(SimScheduler, BarrierAllReleasesBeforeAllAcquires) {
+  rt::TraceRecorder rec;
+  auto r = run_script(
+      {{Op::fork(1), Op::fork(2), Op::fork(3), Op::join(1), Op::join(2),
+        Op::join(3)},
+       {Op::barrier(7, 3), Op::write(0x100, 4)},
+       {Op::barrier(7, 3), Op::write(0x104, 4)},
+       {Op::barrier(7, 3), Op::write(0x108, 4)}},
+      rec, 99);
+  EXPECT_FALSE(r.deadlocked);
+  // In the recorded stream: all 3 releases of sync 7 precede all 3
+  // acquires of sync 7.
+  std::size_t last_release = 0, first_acquire = SIZE_MAX;
+  const auto& ev = rec.events();
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (ev[i].addr != 7) continue;
+    if (ev[i].kind == rt::EventKind::kRelease) last_release = i;
+    if (ev[i].kind == rt::EventKind::kAcquire)
+      first_acquire = std::min(first_acquire, i);
+  }
+  EXPECT_LT(last_release, first_acquire);
+}
+
+TEST(SimScheduler, BarrierOrdersAccessesForDetectors) {
+  FastTrackDetector det(Granularity::kByte);
+  auto r = run_script(
+      {{Op::fork(1), Op::fork(2), Op::join(1), Op::join(2)},
+       {Op::write(0x100, 4), Op::barrier(7, 2), Op::write(0x104, 4)},
+       {Op::write(0x104, 4), Op::barrier(7, 2), Op::write(0x100, 4)}},
+      det, 5);
+  // Wait: writes to 0x104 by T1 (after barrier) and T2 (before barrier)
+  // are ordered; same for 0x100. Race-free.
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+TEST(SimScheduler, SignalAwaitOrders) {
+  FastTrackDetector det(Granularity::kByte);
+  auto r = run_script(
+      {{Op::fork(1), Op::fork(2), Op::join(1), Op::join(2)},
+       {Op::write(0x100, 4), Op::signal(11)},
+       {Op::await(11, 1), Op::write(0x100, 4)}},
+      det, 17);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(det.sink().unique_races(), 0u);
+}
+
+TEST(SimScheduler, AwaitCountWaitsForEnoughSignals) {
+  rt::TraceRecorder rec;
+  auto r = run_script(
+      {{Op::fork(1), Op::fork(2), Op::join(1), Op::join(2)},
+       {Op::signal(11), Op::compute(10), Op::signal(11)},
+       {Op::await(11, 2), Op::write(0x100, 4)}},
+      rec, 3);
+  EXPECT_FALSE(r.deadlocked);
+  // The write must come after both signals.
+  std::size_t second_signal = 0, write_at = 0;
+  int signals = 0;
+  const auto& ev = rec.events();
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (ev[i].kind == rt::EventKind::kRelease && ev[i].addr == 11 &&
+        ++signals == 2)
+      second_signal = i;
+    if (ev[i].kind == rt::EventKind::kWrite) write_at = i;
+  }
+  EXPECT_LT(second_signal, write_at);
+}
+
+TEST(SimScheduler, DeadlockIsFlagged) {
+  NullDetector det;
+  auto r = run_script(
+      {{Op::fork(1), Op::fork(2), Op::join(1), Op::join(2)},
+       {Op::acquire(1), Op::acquire(2), Op::release(2), Op::release(1)},
+       {Op::acquire(2), Op::acquire(1), Op::release(1), Op::release(2)}},
+      det, 8);  // seed 8 interleaves into the deadlock? Try several seeds.
+  if (!r.deadlocked) {
+    // The classic AB/BA deadlock is schedule-dependent; find a seed that
+    // triggers it to prove detection works.
+    bool found = false;
+    for (std::uint64_t seed = 0; seed < 64 && !found; ++seed) {
+      NullDetector d2;
+      auto r2 = run_script(
+          {{Op::fork(1), Op::fork(2), Op::join(1), Op::join(2)},
+           {Op::acquire(1), Op::compute(5), Op::acquire(2), Op::release(2),
+            Op::release(1)},
+           {Op::acquire(2), Op::compute(5), Op::acquire(1), Op::release(1),
+            Op::release(2)}},
+          d2, seed);
+      found = r2.deadlocked;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SimScheduler, DeterministicAcrossDetectors) {
+  // Identical seeds must produce identical event streams regardless of
+  // the detector consuming them.
+  auto script = [] {
+    std::vector<Op> w1, w2;
+    for (int i = 0; i < 100; ++i) {
+      w1.push_back(Op::acquire(1));
+      w1.push_back(Op::write(0x100 + (i % 8) * 4, 4));
+      w1.push_back(Op::release(1));
+      w2.push_back(Op::acquire(1));
+      w2.push_back(Op::read(0x100 + (i % 8) * 4, 4));
+      w2.push_back(Op::release(1));
+    }
+    return std::vector<std::vector<Op>>{
+        {Op::fork(1), Op::fork(2), Op::write(0x300, 8), Op::join(1),
+         Op::join(2)},
+        std::move(w1), std::move(w2)};
+  };
+  rt::TraceRecorder rec1, rec2;
+  run_script(script(), rec1, 42);
+  run_script(script(), rec2, 42);
+  EXPECT_EQ(rec1.events(), rec2.events());
+  rt::TraceRecorder rec3;
+  run_script(script(), rec3, 43);
+  EXPECT_NE(rec1.events(), rec3.events());  // different interleaving
+}
+
+// --------------------------------------------------------- RegionAllocator
+
+TEST(RegionAllocator, AllocFreeRecycle) {
+  sim::RegionAllocator ra(0x1000, 1 << 20);
+  const Addr a = ra.alloc(100);
+  EXPECT_GE(a, 0x1000u);
+  const Addr b = ra.alloc(100);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ra.free(a), 112u);  // rounded to 16
+  const Addr c = ra.alloc(50);
+  EXPECT_EQ(c, a);  // first-fit reuses the hole
+  EXPECT_EQ(ra.live_bytes(), 112u + 64u);
+}
+
+TEST(RegionAllocator, CoalescesNeighbours) {
+  sim::RegionAllocator ra(0, 1 << 20);
+  const Addr a = ra.alloc(64);
+  const Addr b = ra.alloc(64);
+  const Addr c = ra.alloc(64);
+  ra.free(a);
+  ra.free(c);
+  ra.free(b);  // merges with both sides
+  const Addr big = ra.alloc(192);
+  EXPECT_EQ(big, a);
+}
+
+TEST(RegionAllocator, PeakTracksHighWater) {
+  sim::RegionAllocator ra(0, 1 << 20);
+  const Addr a = ra.alloc(1000);
+  ra.free(a);
+  ra.alloc(100);
+  EXPECT_EQ(ra.peak_bytes(), 1008u);
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "common/memtrack.hpp"
+#include "vc/epoch.hpp"
+#include "vc/read_history.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace dg {
+namespace {
+
+TEST(Epoch, BottomHappensBeforeEverything) {
+  VectorClock vc;
+  EXPECT_TRUE(vc.contains(Epoch::bottom()));
+  vc.set(3, 7);
+  EXPECT_TRUE(vc.contains(Epoch::bottom()));
+}
+
+TEST(Epoch, PackedRoundTrip) {
+  Epoch e(12345, 678);
+  EXPECT_EQ(Epoch::from_packed(e.packed()), e);
+  EXPECT_EQ(e.str(), "12345@678");
+}
+
+TEST(Epoch, Equality) {
+  EXPECT_EQ(Epoch(1, 2), Epoch(1, 2));
+  EXPECT_FALSE(Epoch(1, 2) == Epoch(1, 3));
+  EXPECT_FALSE(Epoch(2, 2) == Epoch(1, 2));
+}
+
+TEST(VectorClock, DefaultIsZero) {
+  VectorClock vc;
+  EXPECT_EQ(vc.get(0), 0u);
+  EXPECT_EQ(vc.get(100), 0u);
+  EXPECT_EQ(vc.size(), 0u);
+}
+
+TEST(VectorClock, SetAndGet) {
+  VectorClock vc;
+  vc.set(2, 5);
+  EXPECT_EQ(vc.get(2), 5u);
+  EXPECT_EQ(vc.get(0), 0u);
+  EXPECT_EQ(vc.get(3), 0u);
+  EXPECT_EQ(vc.size(), 3u);
+}
+
+TEST(VectorClock, JoinIsElementwiseMax) {
+  VectorClock a, b;
+  a.set(0, 3);
+  a.set(1, 1);
+  b.set(1, 4);
+  b.set(2, 2);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 3u);
+  EXPECT_EQ(a.get(1), 4u);
+  EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClock, JoinEpoch) {
+  VectorClock a;
+  a.set(1, 3);
+  a.join(Epoch(5, 1));
+  EXPECT_EQ(a.get(1), 5u);
+  a.join(Epoch(2, 1));
+  EXPECT_EQ(a.get(1), 5u);  // max, not overwrite
+  a.join(Epoch::bottom());
+  EXPECT_EQ(a.get(0), 0u);
+}
+
+TEST(VectorClock, LeqReflexiveAndOrdering) {
+  VectorClock a, b;
+  a.set(0, 1);
+  a.set(1, 2);
+  b = a;
+  EXPECT_TRUE(a.leq(b));
+  b.set(1, 3);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+}
+
+TEST(VectorClock, LeqWithDifferentSizes) {
+  VectorClock a, b;
+  a.set(5, 1);  // size 6
+  b.set(1, 9);  // size 2
+  EXPECT_FALSE(a.leq(b));  // a[5]=1 > b[5]=0
+  EXPECT_FALSE(b.leq(a));
+  VectorClock c;  // empty
+  EXPECT_TRUE(c.leq(a));
+}
+
+TEST(VectorClock, ContainsEpoch) {
+  VectorClock vc;
+  vc.set(2, 7);
+  EXPECT_TRUE(vc.contains(Epoch(7, 2)));
+  EXPECT_TRUE(vc.contains(Epoch(6, 2)));
+  EXPECT_FALSE(vc.contains(Epoch(8, 2)));
+  EXPECT_FALSE(vc.contains(Epoch(1, 9)));
+}
+
+TEST(VectorClock, FirstExceeding) {
+  VectorClock a, b;
+  a.set(0, 1);
+  a.set(2, 5);
+  b.set(0, 1);
+  EXPECT_EQ(a.first_exceeding(b), 2u);
+  b.set(2, 5);
+  EXPECT_EQ(a.first_exceeding(b), kInvalidThread);
+}
+
+TEST(VectorClock, EqualityIgnoresTrailingZeros) {
+  VectorClock a, b;
+  a.set(0, 1);
+  b.set(0, 1);
+  b.set(7, 0);  // extends storage with zeros
+  EXPECT_TRUE(a == b);
+  b.set(7, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(VectorClock, GrowsPastInlineStorage) {
+  VectorClock vc;
+  for (ThreadId t = 0; t < 64; ++t) vc.set(t, t + 1);
+  for (ThreadId t = 0; t < 64; ++t) EXPECT_EQ(vc.get(t), t + 1);
+  EXPECT_GT(vc.heap_bytes(), 0u);
+  VectorClock copy = vc;  // deep copy
+  copy.set(0, 99);
+  EXPECT_EQ(vc.get(0), 1u);
+}
+
+TEST(ReadHistory, ExclusiveToSharedAndBack) {
+  MemoryAccountant acct;
+  {
+    ReadHistory rh;
+    EXPECT_TRUE(rh.is_empty());
+    rh.set_exclusive(Epoch(3, 0), acct);
+    EXPECT_FALSE(rh.is_shared());
+    EXPECT_EQ(rh.epoch(), Epoch(3, 0));
+
+    rh.promote(rh.epoch(), Epoch(2, 1), acct);
+    EXPECT_TRUE(rh.is_shared());
+    EXPECT_EQ(rh.vc().get(0), 3u);
+    EXPECT_EQ(rh.vc().get(1), 2u);
+    EXPECT_GT(acct.current(MemCategory::kVectorClock), 0u);
+
+    rh.reset(acct);
+    EXPECT_FALSE(rh.is_shared());
+    EXPECT_TRUE(rh.is_empty());
+    EXPECT_EQ(acct.current(MemCategory::kVectorClock), 0u);
+  }
+}
+
+TEST(ReadHistory, AllBeforeEpochMode) {
+  MemoryAccountant acct;
+  ReadHistory rh;
+  rh.set_exclusive(Epoch(3, 0), acct);
+  VectorClock now;
+  now.set(0, 4);
+  EXPECT_TRUE(rh.all_before(now));
+  now.set(0, 2);
+  EXPECT_FALSE(rh.all_before(now));
+  EXPECT_EQ(rh.concurrent_reader(now), 0u);
+  rh.reset(acct);
+}
+
+TEST(ReadHistory, AllBeforeSharedMode) {
+  MemoryAccountant acct;
+  ReadHistory rh;
+  rh.set_exclusive(Epoch(3, 0), acct);
+  rh.promote(rh.epoch(), Epoch(5, 1), acct);
+  VectorClock now;
+  now.set(0, 3);
+  now.set(1, 4);
+  EXPECT_FALSE(rh.all_before(now));  // reader 1 at clock 5 unknown
+  EXPECT_EQ(rh.concurrent_reader(now), 1u);
+  EXPECT_EQ(rh.clock_of(1), 5u);
+  now.set(1, 5);
+  EXPECT_TRUE(rh.all_before(now));
+  rh.reset(acct);
+}
+
+TEST(ReadHistory, StructuralEquality) {
+  MemoryAccountant acct;
+  ReadHistory a, b;
+  a.set_exclusive(Epoch(2, 0), acct);
+  b.set_exclusive(Epoch(2, 0), acct);
+  EXPECT_TRUE(a == b);
+  b.set_exclusive(Epoch(3, 0), acct);
+  EXPECT_FALSE(a == b);
+  // Shared vs exclusive never equal.
+  b.promote(b.epoch(), Epoch(1, 1), acct);
+  EXPECT_FALSE(a == b);
+  // Equal shared VCs compare equal.
+  a.set_exclusive(Epoch(3, 0), acct);
+  a.promote(a.epoch(), Epoch(1, 1), acct);
+  EXPECT_TRUE(a == b);
+  a.reset(acct);
+  b.reset(acct);
+  EXPECT_EQ(acct.current(MemCategory::kVectorClock), 0u);
+}
+
+TEST(ReadHistory, CopyFromDeepCopies) {
+  MemoryAccountant acct;
+  ReadHistory a, b;
+  a.set_exclusive(Epoch(3, 0), acct);
+  a.promote(a.epoch(), Epoch(4, 1), acct);
+  b.copy_from(a, acct);
+  EXPECT_TRUE(a == b);
+  b.add_shared(Epoch(9, 2), acct);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.vc().get(2), 0u);
+  a.reset(acct);
+  b.reset(acct);
+}
+
+}  // namespace
+}  // namespace dg

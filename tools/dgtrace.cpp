@@ -1,0 +1,205 @@
+// dgtrace — command-line tool for dyngran trace files.
+//
+//   dgtrace record <workload> <out.trace> [threads] [scale] [seed]
+//       run a benchmark analogue and save its event stream
+//   dgtrace info <trace>
+//       header + event-kind histogram + per-thread totals
+//   dgtrace top <trace> [N]
+//       the N most-accessed 64-byte blocks (shared hot spots)
+//   dgtrace replay <trace> <detector>
+//       replay under any detector config and print the race summary
+//   dgtrace diff <a.trace> <b.trace>
+//       first diverging event between two traces (determinism debugging)
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "rt/trace.hpp"
+#include "sim/sim.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace dg;
+using rt::EventKind;
+using rt::TraceEvent;
+
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kThreadStart: return "thread_start";
+    case EventKind::kThreadJoin: return "thread_join";
+    case EventKind::kAcquire: return "acquire";
+    case EventKind::kRelease: return "release";
+    case EventKind::kRead: return "read";
+    case EventKind::kWrite: return "write";
+    case EventKind::kAlloc: return "alloc";
+    case EventKind::kFree: return "free";
+    case EventKind::kFinish: return "finish";
+  }
+  return "?";
+}
+
+int usage() {
+  std::puts(
+      "usage:\n"
+      "  dgtrace record <workload> <out.trace> [threads] [scale] [seed]\n"
+      "  dgtrace info <trace>\n"
+      "  dgtrace top <trace> [N]\n"
+      "  dgtrace replay <trace> <detector>\n"
+      "  dgtrace diff <a.trace> <b.trace>\n"
+      "detectors: byte word dynamic dynamic-noshare1 dynamic-noinit djit\n"
+      "           lockset drd inspector");
+  return 2;
+}
+
+int cmd_record(int argc, char** argv) {
+  if (argc < 4) return usage();
+  wl::WlParams p;
+  if (argc > 4) p.threads = static_cast<std::uint32_t>(std::atoi(argv[4]));
+  if (argc > 5) p.scale = static_cast<std::uint32_t>(std::atoi(argv[5]));
+  const std::uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 7;
+  auto prog = wl::make_workload(argv[2], p);
+  if (prog == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'\n", argv[2]);
+    return 1;
+  }
+  rt::TraceRecorder rec;
+  sim::SimScheduler sched(*prog, rec, seed);
+  const auto r = sched.run();
+  if (!rec.save(argv[3])) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("recorded %zu events (%" PRIu64 " memory, %" PRIu64
+              " sync) to %s\n",
+              rec.events().size(), r.memory_events, r.sync_events, argv[3]);
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::vector<TraceEvent> ev;
+  if (!rt::load_trace(argv[2], ev)) {
+    std::fprintf(stderr, "cannot load %s\n", argv[2]);
+    return 1;
+  }
+  std::map<EventKind, std::uint64_t> kinds;
+  std::map<ThreadId, std::uint64_t> threads;
+  std::uint64_t bytes_accessed = 0;
+  for (const auto& e : ev) {
+    ++kinds[e.kind];
+    ++threads[e.tid];
+    if (e.kind == EventKind::kRead || e.kind == EventKind::kWrite)
+      bytes_accessed += e.size;
+  }
+  std::printf("%s: %zu events\n", argv[2], ev.size());
+  std::puts("by kind:");
+  for (const auto& [k, n] : kinds)
+    std::printf("  %-13s %10" PRIu64 "\n", kind_name(k), n);
+  std::puts("by thread:");
+  for (const auto& [t, n] : threads)
+    std::printf("  T%-12u %10" PRIu64 "\n", t, n);
+  std::printf("bytes touched by accesses: %" PRIu64 "\n", bytes_accessed);
+  return 0;
+}
+
+int cmd_top(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::vector<TraceEvent> ev;
+  if (!rt::load_trace(argv[2], ev)) {
+    std::fprintf(stderr, "cannot load %s\n", argv[2]);
+    return 1;
+  }
+  const std::size_t topn =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 10;
+  std::map<Addr, std::uint64_t> blocks;
+  for (const auto& e : ev)
+    if (e.kind == EventKind::kRead || e.kind == EventKind::kWrite)
+      ++blocks[e.addr & ~static_cast<Addr>(63)];
+  std::vector<std::pair<std::uint64_t, Addr>> ranked;
+  ranked.reserve(blocks.size());
+  for (const auto& [a, n] : blocks) ranked.emplace_back(n, a);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("top %zu of %zu 64B blocks by access count:\n",
+              std::min(topn, ranked.size()), ranked.size());
+  for (std::size_t i = 0; i < topn && i < ranked.size(); ++i)
+    std::printf("  0x%-14llx %10" PRIu64 "\n",
+                static_cast<unsigned long long>(ranked[i].second),
+                ranked[i].first);
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 4) return usage();
+  std::vector<TraceEvent> ev;
+  if (!rt::load_trace(argv[2], ev)) {
+    std::fprintf(stderr, "cannot load %s\n", argv[2]);
+    return 1;
+  }
+  auto det = bench::detector_factory(argv[3])();
+  const std::size_t n = rt::replay_trace(ev, *det);
+  std::printf("replayed %zu events under %s\n", n, det->name());
+  std::printf("races: %" PRIu64 " unique locations (%" PRIu64
+              " raw reports), %" PRIu64 " accesses analysed, %.1f%% "
+              "same-epoch\n",
+              det->sink().unique_races(), det->sink().raw_reports(),
+              det->stats().shared_accesses, det->stats().same_epoch_pct());
+  std::size_t shown = 0;
+  for (const auto& r : det->sink().reports()) {
+    if (++shown > 10) {
+      std::puts("  ...");
+      break;
+    }
+    std::printf("  %s\n", r.str().c_str());
+  }
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc < 4) return usage();
+  std::vector<TraceEvent> a, b;
+  if (!rt::load_trace(argv[2], a) || !rt::load_trace(argv[3], b)) {
+    std::fprintf(stderr, "cannot load traces\n");
+    return 1;
+  }
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) continue;
+    std::printf("first divergence at event %zu:\n", i);
+    std::printf("  a: %-13s T%u addr=0x%llx size=%u aux=%" PRIu64 "\n",
+                kind_name(a[i].kind), a[i].tid,
+                static_cast<unsigned long long>(a[i].addr), a[i].size,
+                a[i].aux);
+    std::printf("  b: %-13s T%u addr=0x%llx size=%u aux=%" PRIu64 "\n",
+                kind_name(b[i].kind), b[i].tid,
+                static_cast<unsigned long long>(b[i].addr), b[i].size,
+                b[i].aux);
+    return 1;
+  }
+  if (a.size() != b.size()) {
+    std::printf("common prefix identical; lengths differ (%zu vs %zu)\n",
+                a.size(), b.size());
+    return 1;
+  }
+  std::printf("traces identical (%zu events)\n", a.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "record") return cmd_record(argc, argv);
+  if (cmd == "info") return cmd_info(argc, argv);
+  if (cmd == "top") return cmd_top(argc, argv);
+  if (cmd == "replay") return cmd_replay(argc, argv);
+  if (cmd == "diff") return cmd_diff(argc, argv);
+  return usage();
+}
