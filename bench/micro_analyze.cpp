@@ -1,0 +1,98 @@
+// micro_analyze — what does the ahead-of-time trace analyzer buy the
+// dynamic detectors? (docs/ANALYZER.md)
+//
+// Per workload: record one execution, run the analyzer over the trace,
+// then replay the same trace into the dynamic-granularity detector twice —
+// plain, and with the check-elision map attached. Reports the fraction of
+// per-access checks elided, the race-count parity (elision must not lose
+// ground-truth races), the analysis cost, and the replay speedup.
+#include <chrono>
+#include <iostream>
+
+#include "analyze/trace_analyzer.hpp"
+#include "bench/harness.hpp"
+#include "common/table_printer.hpp"
+#include "detect/dyngran.hpp"
+#include "rt/trace.hpp"
+#include "sim/sim.hpp"
+
+using namespace dg;
+using namespace dg::bench;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions o = parse_options(argc, argv);
+
+  std::cout << "micro_analyze: ahead-of-time classification + check elision "
+               "(dynamic-granularity detector)\n\n";
+  TablePrinter t({"program", "accesses", "elided", "races plain",
+                  "races elided", "analyze ms", "replay ms", "elided ms",
+                  "speedup"});
+
+  std::vector<std::string> names;
+  for (const auto& w : wl::all_workloads()) names.push_back(w.name);
+  names.push_back("lint_fixture");
+
+  double best_elided = 0;
+  std::string best_name;
+  bool parity = true;
+  for (const auto& name : names) {
+    rt::TraceRecorder rec;
+    {
+      auto prog = wl::make_workload(name, o.params);
+      sim::SimScheduler sched(*prog, rec, o.sched_seed);
+      sched.run();
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    DynGranDetector plain;
+    rt::replay_trace(rec.events(), plain);
+    const double plain_s = seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    analyze::TraceAnalyzer az;
+    rt::replay_trace(rec.events(), az);
+    auto map = az.build_elision_map();
+    const double analyze_s = seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    DynGranDetector elided;
+    elided.set_elision_map(&map);
+    rt::replay_trace(rec.events(), elided);
+    const double elided_s = seconds_since(t0);
+
+    const double pct = elided.stats().elided_pct();
+    if (pct > best_elided) {
+      best_elided = pct;
+      best_name = name;
+    }
+    if (elided.sink().unique_races() < plain.sink().unique_races())
+      parity = false;
+
+    t.add_row({name, TablePrinter::fmt_count(plain.stats().shared_accesses),
+               TablePrinter::fmt(pct, 1) + "%",
+               std::to_string(plain.sink().unique_races()),
+               std::to_string(elided.sink().unique_races()),
+               TablePrinter::fmt(analyze_s * 1e3, 1),
+               TablePrinter::fmt(plain_s * 1e3, 1),
+               TablePrinter::fmt(elided_s * 1e3, 1),
+               TablePrinter::fmt(elided_s > 0 ? plain_s / elided_s : 0.0) +
+                   "x"});
+    std::cerr << "  done: " << name << "\n";
+  }
+
+  if (o.csv) t.print_csv(std::cout); else t.print(std::cout);
+  std::cout << "\nBest elision: " << TablePrinter::fmt(best_elided, 1)
+            << "% of checks on " << best_name << "; race parity "
+            << (parity ? "held" : "LOST — soundness bug!")
+            << " on every workload.\n";
+  return parity ? 0 : 1;
+}

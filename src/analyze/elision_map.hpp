@@ -1,0 +1,298 @@
+// ElisionMap — the runtime half of the ahead-of-time trace analyzer
+// (docs/ANALYZER.md).
+//
+// The analyzer classifies address ranges into a small lattice of provably
+// race-free access classes (ThreadLocal, ReadOnlyAfterInit, LockDominated);
+// the dynamic detectors consult this map at the top of their access hot
+// path and skip all vector-clock work for accesses that conform to their
+// range's class. The classes are exact for the analyzed trace; replaying a
+// *different* execution is kept sound by demotion: the first access that
+// violates its range's class permanently demotes the range to MustCheck,
+// the violating access is checked (happens-before) against the most recent
+// elided access of each plane, and from then on the detector rebuilds
+// shadow state normally. See docs/ANALYZER.md for the soundness argument
+// and the bounded-staleness caveat of the replay records.
+//
+// Header-only so detect/ can consume it without a dependency cycle
+// (analyze/ itself depends on detect/ for the Detector interface).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "vc/epoch.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace dg::analyze {
+
+/// The classification lattice. MustCheck is bottom: every other class can
+/// only move down to it (demotion), never sideways or up.
+enum class AccessClass : std::uint8_t {
+  kMustCheck,          // no proof — full dynamic detection
+  kThreadLocal,        // one thread ever touched the range
+  kReadOnlyAfterInit,  // single-writer init phase, then reads only
+  kLockDominated,      // every access held a common lock
+};
+
+inline const char* to_string(AccessClass c) noexcept {
+  switch (c) {
+    case AccessClass::kMustCheck: return "MustCheck";
+    case AccessClass::kThreadLocal: return "ThreadLocal";
+    case AccessClass::kReadOnlyAfterInit: return "ReadOnlyAfterInit";
+    case AccessClass::kLockDominated: return "LockDominated";
+  }
+  return "?";
+}
+
+class ElisionMap {
+ public:
+  struct Entry {
+    Addr lo = 0;
+    Addr hi = 0;  // [lo, hi)
+    AccessClass cls = AccessClass::kMustCheck;
+    /// ThreadLocal: the one accessing thread. ReadOnlyAfterInit /
+    /// LockDominated: the thread of the exclusive init phase (Eraser's
+    /// first-thread exemption — its accesses are safe without the class's
+    /// discipline until another thread arrives). kInvalidThread means the
+    /// range has no init phase and starts sealed.
+    ThreadId owner = kInvalidThread;
+    /// LockDominated: locks held at every analyzed access (sorted).
+    std::vector<SyncId> dominators;
+  };
+
+  /// What a violating access conflicted with: the most recent *elided*
+  /// access of the plane it races against, replayed into the detector.
+  struct Conflict {
+    bool race = false;
+    ThreadId tid = kInvalidThread;
+    Epoch epoch;
+    AccessType type = AccessType::kWrite;
+  };
+
+  struct Verdict {
+    bool elide = false;
+    Conflict conflict;  // set when a demotion uncovered an elided race
+  };
+
+  // ---- build API (analyzer side) --------------------------------------
+
+  void add(Entry e) {
+    DG_DCHECK(e.lo < e.hi);
+    entries_.push_back(std::move(e));
+  }
+
+  /// Ranges must be disjoint; sorts them for binary search and
+  /// initializes the per-range runtime state.
+  void seal() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.lo < b.lo; });
+    rt_.clear();
+    rt_.resize(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      rt_[i].cls = entries_[i].cls;
+      // No recorded init owner: no exclusive init phase to exempt.
+      rt_[i].sealed = entries_[i].owner == kInvalidThread;
+    }
+  }
+
+  /// Sync ids with message semantics (barriers, condvars, queues): their
+  /// acquire/release events are not lock ownership and are ignored by the
+  /// held-lock tracking below.
+  void add_message_sync(SyncId s) { message_syncs_.insert(s); }
+
+  // ---- runtime API (detector side) ------------------------------------
+
+  void on_acquire(ThreadId t, SyncId s) {
+    if (message_syncs_.count(s) != 0) return;
+    auto& h = held(t);
+    auto it = std::lower_bound(h.begin(), h.end(), s);
+    if (it == h.end() || *it != s) h.insert(it, s);
+  }
+
+  void on_release(ThreadId t, SyncId s) {
+    if (message_syncs_.count(s) != 0) return;
+    auto& h = held(t);
+    auto it = std::lower_bound(h.begin(), h.end(), s);
+    if (it != h.end() && *it == s) h.erase(it);
+  }
+
+  /// The hot-path gate. `now`/`clk` are the accessing thread's current
+  /// epoch and vector clock. Returns elide=true when the access conforms
+  /// to the class of every range it touches and the whole access is
+  /// covered; otherwise the access must be processed normally, and any
+  /// violated range is demoted to MustCheck (conflict reports an
+  /// happens-before race against a previously elided access, if found).
+  Verdict admit(ThreadId t, Addr addr, std::uint32_t size, AccessType type,
+                Epoch now, const VectorClock& clk) {
+    Verdict v;
+    if (entries_.empty() || size == 0) return v;
+    const Addr end = addr + size;
+    // First entry whose [lo, hi) may overlap: lowest with hi > addr.
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), addr,
+        [](Addr a, const Entry& e) { return a < e.hi; });
+    const std::size_t first = static_cast<std::size_t>(it - entries_.begin());
+    if (first >= entries_.size() || entries_[first].lo >= end) return v;
+
+    bool covered = entries_[first].lo <= addr;
+    bool all_elide = true;
+    std::size_t last = first;
+    Addr cursor = entries_[first].hi;
+    for (std::size_t i = first; i < entries_.size() && entries_[i].lo < end;
+         ++i) {
+      if (i != first) {
+        if (entries_[i].lo != cursor) covered = false;
+        cursor = entries_[i].hi;
+      }
+      if (!decide(i, t, type, clk)) all_elide = false;
+      last = i;
+    }
+    if (cursor < end) covered = false;
+
+    if (covered && all_elide) {
+      for (std::size_t i = first; i <= last; ++i) commit(i, t, type, now);
+      ++elided_;
+      v.elide = true;
+      return v;
+    }
+    // Violation path: demote every touched range whose class this access
+    // breaks. Conforming ranges keep their class — but still record the
+    // access, since the detector processes it (and later demotions must
+    // see it as a potential conflict).
+    for (std::size_t i = first; i <= last; ++i) {
+      if (rt_[i].cls == AccessClass::kMustCheck) continue;
+      if (decide(i, t, type, clk))
+        commit(i, t, type, now);
+      else
+        demote(i, t, type, clk, v.conflict);
+    }
+    ++checked_;
+    return v;
+  }
+
+  // ---- introspection ---------------------------------------------------
+
+  /// Current (runtime) class of the range containing `a`; MustCheck when
+  /// unmapped.
+  AccessClass class_of(Addr a) const {
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), a,
+        [](Addr x, const Entry& e) { return x < e.hi; });
+    const std::size_t i = static_cast<std::size_t>(it - entries_.begin());
+    if (i >= entries_.size() || entries_[i].lo > a)
+      return AccessClass::kMustCheck;
+    return rt_[i].cls;
+  }
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  std::uint64_t elided() const noexcept { return elided_; }
+  std::uint64_t checked() const noexcept { return checked_; }
+  std::uint64_t demotions() const noexcept { return demotions_; }
+
+ private:
+  struct Replay {
+    ThreadId tid = kInvalidThread;
+    Epoch epoch;
+    bool valid = false;
+  };
+  struct Rt {
+    AccessClass cls = AccessClass::kMustCheck;
+    bool sealed = false;           // exclusive init phase over
+    Replay last_write, last_read;  // most recent elided access per plane
+  };
+
+  /// Would this access conform to range i's class? Pure (no mutation).
+  bool decide(std::size_t i, ThreadId t, AccessType type,
+              const VectorClock& clk) const {
+    const Entry& e = entries_[i];
+    const Rt& r = rt_[i];
+    switch (r.cls) {
+      case AccessClass::kMustCheck:
+        return false;
+      case AccessClass::kThreadLocal:
+        return t == e.owner;
+      case AccessClass::kReadOnlyAfterInit:
+        if (type == AccessType::kWrite) return !r.sealed && t == e.owner;
+        if (r.sealed || t == e.owner) return true;
+        // First cross-thread read: it ends the init phase, and is safe
+        // only if it is ordered after the last (elided) init write.
+        return ordered_after_init(r, t, clk);
+      case AccessClass::kLockDominated: {
+        if (!r.sealed && t == e.owner) return true;  // init exemption
+        const auto& h = held_const(t);
+        const auto& d = e.dominators;
+        std::size_t a = 0, b = 0;
+        bool locked = false;
+        while (a < h.size() && b < d.size()) {
+          if (h[a] == d[b]) { locked = true; break; }
+          if (h[a] < d[b]) ++a; else ++b;
+        }
+        if (!locked) return false;
+        // The access sealing the init phase must also be ordered after
+        // the owner's (elided) init writes.
+        return r.sealed || ordered_after_init(r, t, clk);
+      }
+    }
+    return false;
+  }
+
+  static bool ordered_after_init(const Rt& r, ThreadId t,
+                                 const VectorClock& clk) {
+    return !r.last_write.valid || r.last_write.tid == t ||
+           clk.contains(r.last_write.epoch);
+  }
+
+  void commit(std::size_t i, ThreadId t, AccessType type, Epoch now) {
+    Rt& r = rt_[i];
+    if (type == AccessType::kWrite)
+      r.last_write = {t, now, true};
+    else
+      r.last_read = {t, now, true};
+    if (t != entries_[i].owner) r.sealed = true;
+  }
+
+  void demote(std::size_t i, ThreadId t, AccessType type,
+              const VectorClock& clk, Conflict& out) {
+    Rt& r = rt_[i];
+    // Replay the freshest elided access of each plane against the
+    // violating access: an unordered conflicting pair is a race the
+    // detector would have seen had we not elided.
+    for (const Replay* rep : {&r.last_write, &r.last_read}) {
+      const bool rep_is_write = rep == &r.last_write;
+      if (!rep->valid || rep->tid == t) continue;
+      if (type != AccessType::kWrite && !rep_is_write) continue;
+      if (clk.contains(rep->epoch)) continue;
+      if (!out.race) {
+        out.race = true;
+        out.tid = rep->tid;
+        out.epoch = rep->epoch;
+        out.type = rep_is_write ? AccessType::kWrite : AccessType::kRead;
+      }
+    }
+    r.cls = AccessClass::kMustCheck;
+    ++demotions_;
+  }
+
+  std::vector<SyncId>& held(ThreadId t) {
+    if (t >= held_.size()) held_.resize(t + 1);
+    return held_[t];
+  }
+  const std::vector<SyncId>& held_const(ThreadId t) const {
+    static const std::vector<SyncId> kNone;
+    return t < held_.size() ? held_[t] : kNone;
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<Rt> rt_;
+  std::vector<std::vector<SyncId>> held_;
+  std::unordered_set<SyncId> message_syncs_;
+  std::uint64_t elided_ = 0;
+  std::uint64_t checked_ = 0;
+  std::uint64_t demotions_ = 0;
+};
+
+}  // namespace dg::analyze

@@ -1,0 +1,343 @@
+#include "analyze/trace_analyzer.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dg::analyze {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(LintFinding::Kind k) noexcept {
+  switch (k) {
+    case LintFinding::Kind::kLockOrderCycle: return "lock-order cycle";
+    case LintFinding::Kind::kReleaseWithoutAcquire:
+      return "release without acquire";
+    case LintFinding::Kind::kLocksHeldAtExit: return "locks held at exit";
+    case LintFinding::Kind::kLocksetRace: return "lockset race";
+  }
+  return "?";
+}
+
+TraceAnalyzer::TraceAnalyzer() : hb_(acct_), pool_(acct_) {}
+
+void TraceAnalyzer::on_thread_start(ThreadId t, ThreadId parent) {
+  hb_.on_thread_start(t, parent);
+  held(t);
+}
+
+void TraceAnalyzer::on_thread_join(ThreadId joiner, ThreadId joined) {
+  HeldLocks& h = held(joined);
+  if (!h.locks().empty()) {
+    std::string msg = "T" + std::to_string(joined) + " exited holding";
+    for (SyncId s : h.locks()) msg += " " + hex(s);
+    lint(LintFinding::Kind::kLocksHeldAtExit, std::move(msg));
+    // Drop the set so the end-of-trace sweep does not re-report it.
+    for (SyncId s : std::vector<SyncId>(h.locks())) h.release(s);
+  }
+  hb_.on_thread_join(joiner, joined);
+}
+
+void TraceAnalyzer::on_acquire(ThreadId t, SyncId s) {
+  if (kind_of(s, SyncKind::kMutex) == SyncKind::kMutex) {
+    // Nested acquire: record held -> acquired lock-order edges.
+    HeldLocks& h = held(t);
+    for (SyncId held_id : h.locks()) {
+      if (held_id == s) continue;
+      auto& out = lock_order_[held_id];
+      if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+    }
+    h.acquire(s);
+  }
+  hb_.on_acquire(t, s);
+}
+
+void TraceAnalyzer::on_release(ThreadId t, SyncId s) {
+  // A sync id whose first event is a release has message semantics
+  // (barrier arrival, condvar signal, queue post): not lock ownership.
+  if (kind_of(s, SyncKind::kMessage) == SyncKind::kMutex) {
+    HeldLocks& h = held(t);
+    const auto& locks = h.locks();
+    if (std::find(locks.begin(), locks.end(), s) == locks.end()) {
+      if (bad_release_reported_.insert(s).second)
+        lint(LintFinding::Kind::kReleaseWithoutAcquire,
+             "T" + std::to_string(t) + " released " + hex(s) +
+                 " without holding it");
+    } else {
+      h.release(s);
+    }
+  }
+  hb_.on_release(t, s);
+}
+
+void TraceAnalyzer::on_read(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kRead);
+}
+
+void TraceAnalyzer::on_write(ThreadId t, Addr addr, std::uint32_t size) {
+  access(t, addr, size, AccessType::kWrite);
+}
+
+void TraceAnalyzer::access(ThreadId t, Addr addr, std::uint32_t size,
+                           AccessType type) {
+  if (finalized_ || size == 0) return;
+  ++result_.accesses;
+  const LocksetId ls = held(t).id(pool_);
+  const Addr first = addr & ~static_cast<Addr>(kGrainBytes - 1);
+  for (Addr b = first; b < addr + size; b += kGrainBytes)
+    touch_block(t, b, type, ls);
+}
+
+void TraceAnalyzer::touch_block(ThreadId t, Addr block, AccessType type,
+                                LocksetId ls) {
+  Block& b = blocks_[block];
+  const bool first_access = b.reads == 0 && b.writes == 0;
+
+  if (first_access) {
+    b.only_tid = t;
+  } else if (t != b.only_tid && !b.multi_thread) {
+    b.multi_thread = true;
+    // Eraser-style handoff: the exclusive init phase is exempt from the
+    // lock discipline iff the first cross-thread access is ordered after
+    // everything the init phase did.
+    if (!hb_.clock(t).contains(b.last_epoch)) b.handoff_unordered = true;
+  }
+
+  if (!b.multi_thread) {
+    b.init_ls = b.init_ls_valid ? pool_.intersect(b.init_ls, ls) : ls;
+    b.init_ls_valid = true;
+  } else {
+    b.shared_ls = b.shared_ls_valid ? pool_.intersect(b.shared_ls, ls) : ls;
+    b.shared_ls_valid = true;
+    if (type == AccessType::kWrite) ++b.shared_writes;
+  }
+
+  // Happens-before evidence: is this access ordered after the previous
+  // conflicting one? (Block-granular, so only used as lint evidence.)
+  if (!first_access && b.last_tid != t &&
+      (type == AccessType::kWrite || b.last_type == AccessType::kWrite) &&
+      !hb_.clock(t).contains(b.last_epoch))
+    b.hb_unordered = true;
+
+  if (type == AccessType::kWrite) {
+    if (b.cross_read) b.ro_violation = true;
+    if (b.writer_tid == kInvalidThread)
+      b.writer_tid = t;
+    else if (b.writer_tid != t)
+      b.multi_writer = true;
+    b.last_write = hb_.epoch(t);
+    ++b.writes;
+  } else {
+    if (b.writes != 0 && t != b.writer_tid) {
+      b.cross_read = true;
+      // The init-phase proof: every cross-thread read must be ordered
+      // after the last write.
+      if (!hb_.clock(t).contains(b.last_write)) b.ro_violation = true;
+    }
+    ++b.reads;
+  }
+
+  b.last_tid = t;
+  b.last_epoch = hb_.epoch(t);
+  b.last_type = type;
+}
+
+void TraceAnalyzer::lint(LintFinding::Kind kind, std::string message) {
+  auto& n = lints_by_kind_[static_cast<std::size_t>(kind)];
+  if (n < kMaxLintsPerKind)
+    result_.lints.push_back({kind, std::move(message)});
+  ++n;
+}
+
+void TraceAnalyzer::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  // Classification (pass 2). The order encodes the lattice preference:
+  // exact single-thread proof, then read-only, then lock discipline.
+  // Blocks are visited in address order so the lint report is
+  // deterministic.
+  std::vector<Addr> bases;
+  bases.reserve(blocks_.size());
+  for (const auto& [base, b] : blocks_) bases.push_back(base);
+  std::sort(bases.begin(), bases.end());
+  for (Addr base : bases) {
+    Block& b = blocks_.at(base);
+    // Effective lockset for the discipline proof: the init phase only
+    // participates when its handoff to the shared phase was unordered.
+    if (!b.multi_thread)
+      b.lockset = b.init_ls;
+    else if (b.handoff_unordered && b.init_ls_valid)
+      b.lockset = pool_.intersect(b.init_ls, b.shared_ls);
+    else
+      b.lockset = b.shared_ls;
+    AccessClass cls = AccessClass::kMustCheck;
+    if (!b.hb_unordered) {
+      if (!b.multi_thread)
+        cls = AccessClass::kThreadLocal;
+      else if (b.writes == 0)
+        cls = AccessClass::kReadOnlyAfterInit;
+      else if (!b.multi_writer && !b.ro_violation)
+        cls = AccessClass::kReadOnlyAfterInit;
+      else if (!pool_.is_empty(b.lockset))
+        cls = AccessClass::kLockDominated;
+    }
+    b.cls = cls;
+    ++result_.blocks_total;
+    ++result_.blocks_by_class[static_cast<std::size_t>(cls)];
+
+    // Lockset-proven race: >=2 threads, a write in the shared phase (or
+    // an unordered handoff out of a written init phase), and no lock
+    // common to every access that counts.
+    const bool write_evidence =
+        b.shared_writes != 0 || (b.handoff_unordered && b.writes != 0);
+    if (b.multi_thread && write_evidence && pool_.is_empty(b.lockset) &&
+        cls == AccessClass::kMustCheck) {
+      ++result_.lockset_racy_blocks;
+      std::string msg = "block [" + hex(base) + "," +
+                        hex(base + kGrainBytes) + "): " +
+                        std::to_string(b.writes) + " writes / " +
+                        std::to_string(b.reads) +
+                        " reads by multiple threads, empty common lockset";
+      if (b.hb_unordered) msg += " (happens-before confirmed)";
+      lint(LintFinding::Kind::kLocksetRace, std::move(msg));
+    }
+  }
+
+  // End-of-trace sweep: threads (incl. main) still holding mutexes.
+  for (ThreadId t = 0; t < static_cast<ThreadId>(held_.size()); ++t) {
+    const auto& locks = held_[t].locks();
+    if (locks.empty()) continue;
+    std::string msg = "T" + std::to_string(t) + " ended the trace holding";
+    for (SyncId s : locks) msg += " " + hex(s);
+    lint(LintFinding::Kind::kLocksHeldAtExit, std::move(msg));
+  }
+
+  find_lock_cycles();
+}
+
+void TraceAnalyzer::find_lock_cycles() {
+  // Iterative DFS over the lock-order graph; every back edge closes a
+  // cycle. Cycles are deduplicated by their node set.
+  std::vector<SyncId> nodes;
+  nodes.reserve(lock_order_.size());
+  for (const auto& [s, _] : lock_order_) nodes.push_back(s);
+  std::sort(nodes.begin(), nodes.end());
+
+  enum : std::uint8_t { kWhite, kGrey, kBlack };
+  std::unordered_map<SyncId, std::uint8_t> color;
+  std::unordered_set<std::string> seen_cycles;
+
+  struct Frame {
+    SyncId node;
+    std::size_t next_edge;
+  };
+  for (SyncId root : nodes) {
+    if (color[root] != kWhite) continue;
+    std::vector<Frame> stack{{root, 0}};
+    color[root] = kGrey;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      static const std::vector<SyncId> kNoEdges;
+      auto it = lock_order_.find(f.node);
+      const auto& edges = it != lock_order_.end() ? it->second : kNoEdges;
+      if (f.next_edge < edges.size()) {
+        const SyncId next = edges[f.next_edge++];
+        auto& c = color[next];
+        if (c == kWhite) {
+          c = kGrey;
+          stack.push_back({next, 0});
+        } else if (c == kGrey) {
+          // Extract the cycle from the DFS stack.
+          std::size_t start = stack.size();
+          while (start > 0 && stack[start - 1].node != next) --start;
+          std::vector<SyncId> cycle;
+          for (std::size_t i = start == 0 ? 0 : start - 1; i < stack.size();
+               ++i)
+            cycle.push_back(stack[i].node);
+          std::vector<SyncId> key = cycle;
+          std::sort(key.begin(), key.end());
+          std::string ks;
+          for (SyncId s : key) ks += hex(s) + ",";
+          if (seen_cycles.insert(ks).second) {
+            ++result_.lock_order_cycles;
+            std::string msg;
+            for (SyncId s : cycle) msg += hex(s) + " -> ";
+            msg += hex(cycle.front());
+            lint(LintFinding::Kind::kLockOrderCycle, std::move(msg));
+          }
+        }
+      } else {
+        color[f.node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+const AnalysisResult& TraceAnalyzer::result() {
+  finalize();
+  return result_;
+}
+
+ElisionMap TraceAnalyzer::build_elision_map() {
+  finalize();
+  ElisionMap map;
+  for (const auto& [s, kind] : sync_kinds_)
+    if (kind == SyncKind::kMessage) map.add_message_sync(s);
+
+  std::vector<Addr> bases;
+  bases.reserve(blocks_.size());
+  for (const auto& [base, _] : blocks_) bases.push_back(base);
+  std::sort(bases.begin(), bases.end());
+
+  ElisionMap::Entry cur;
+  bool open = false;
+  auto flush = [&] {
+    if (open) map.add(cur);
+    open = false;
+  };
+  for (Addr base : bases) {
+    const Block& b = blocks_.at(base);
+    if (b.cls == AccessClass::kMustCheck) {
+      flush();
+      continue;
+    }
+    ElisionMap::Entry e;
+    e.lo = base;
+    e.hi = base + kGrainBytes;
+    e.cls = b.cls;
+    if (b.cls == AccessClass::kThreadLocal)
+      e.owner = b.only_tid;
+    else if (b.cls == AccessClass::kReadOnlyAfterInit) {
+      e.owner = b.writes == 0 ? kInvalidThread : b.writer_tid;
+    } else if (b.cls == AccessClass::kLockDominated) {
+      e.dominators = pool_.get(b.lockset);
+      // Init exemption carries over to replay: the first thread's accesses
+      // before the handoff are elidable without the locks (unless the
+      // analyzed handoff was itself unordered — then no exemption).
+      e.owner = b.handoff_unordered ? kInvalidThread : b.only_tid;
+    }
+    if (open && cur.hi == e.lo && cur.cls == e.cls && cur.owner == e.owner &&
+        cur.dominators == e.dominators) {
+      cur.hi = e.hi;  // coalesce the adjacent equal-class block
+    } else {
+      flush();
+      cur = std::move(e);
+      open = true;
+    }
+  }
+  flush();
+  map.seal();
+  return map;
+}
+
+}  // namespace dg::analyze

@@ -1,0 +1,152 @@
+// TraceAnalyzer — the ahead-of-time static analysis pass over a recorded
+// execution (docs/ANALYZER.md).
+//
+// It is itself a Detector, so the same event stream that feeds the dynamic
+// detectors (rt::replay_trace over a saved trace, or a live SimScheduler
+// run) drives it. Pass 1 accumulates per-64B-block access summaries
+// (accessing-thread set, read/write mix, observed lockset intersection,
+// write epochs and ordering evidence from a happens-before engine) plus a
+// lock-order graph from nested acquires. Pass 2 — finalize() — classifies
+// every block into the AccessClass lattice, emits the concurrency lint
+// report (lock-order cycles, release-without-acquire, locks held at thread
+// exit, lockset-proven races) and can export an ElisionMap for the dynamic
+// detectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analyze/elision_map.hpp"
+#include "detect/detector.hpp"
+#include "detect/lockset_pool.hpp"
+#include "sync/hb_engine.hpp"
+
+namespace dg::analyze {
+
+struct LintFinding {
+  enum class Kind : std::uint8_t {
+    kLockOrderCycle,         // potential deadlock
+    kReleaseWithoutAcquire,  // unlock of a mutex the thread does not hold
+    kLocksHeldAtExit,        // thread ended while holding locks
+    kLocksetRace,            // empty common lockset, >=2 threads, a write
+  };
+  Kind kind;
+  std::string message;
+};
+
+const char* to_string(LintFinding::Kind k) noexcept;
+
+struct AnalysisResult {
+  std::uint64_t accesses = 0;      // read/write events analysed
+  std::uint64_t blocks_total = 0;  // distinct 64B blocks touched
+  std::array<std::uint64_t, 4> blocks_by_class{};  // indexed by AccessClass
+  std::uint64_t lock_order_cycles = 0;
+  std::uint64_t lockset_racy_blocks = 0;
+  std::vector<LintFinding> lints;  // capped at kMaxLintsPerKind per kind
+
+  std::uint64_t count(AccessClass c) const {
+    return blocks_by_class[static_cast<std::size_t>(c)];
+  }
+  double pct(AccessClass c) const {
+    return blocks_total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(count(c)) /
+                                   static_cast<double>(blocks_total);
+  }
+};
+
+class TraceAnalyzer final : public Detector {
+ public:
+  /// Summary granularity: one classification unit per 64-byte block.
+  static constexpr std::uint32_t kGrainBytes = 64;
+  /// Lint findings kept verbatim per kind (counters keep exact totals).
+  static constexpr std::size_t kMaxLintsPerKind = 64;
+
+  TraceAnalyzer();
+
+  const char* name() const override { return "trace-analyzer"; }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override;
+  void on_thread_join(ThreadId joiner, ThreadId joined) override;
+  void on_acquire(ThreadId t, SyncId s) override;
+  void on_release(ThreadId t, SyncId s) override;
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override;
+  void on_finish() override { finalize(); }
+
+  /// Classification + lint report. Runs pass 2 on first call (also
+  /// triggered by on_finish); further events are rejected after that.
+  const AnalysisResult& result();
+
+  /// Export the classification as a runtime elision map for the dynamic
+  /// detectors (includes the message-style sync ids to ignore).
+  ElisionMap build_elision_map();
+
+ private:
+  // How a sync id behaves, decided by its first event in the trace: a
+  // mutex is acquired before it is ever released; barriers/condvars/queues
+  // are released (posted) first. Message-style ids carry happens-before
+  // edges but are not lock ownership.
+  enum class SyncKind : std::uint8_t { kMutex, kMessage };
+
+  struct Block {
+    ThreadId only_tid = kInvalidThread;  // sole accessor until multi_thread
+    bool multi_thread = false;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    // Lockset intersection, split at the first cross-thread access
+    // (Eraser's first-thread exemption): the exclusive init phase only
+    // counts against the lock discipline when the handoff is unordered.
+    LocksetId init_ls = kEmptyLockset;    // exclusive init phase
+    bool init_ls_valid = false;
+    LocksetId shared_ls = kEmptyLockset;  // once >=2 threads have accessed
+    bool shared_ls_valid = false;
+    std::uint64_t shared_writes = 0;  // writes after the block went shared
+    bool handoff_unordered = false;   // first cross-thread access unordered
+    LocksetId lockset = kEmptyLockset;  // effective; set by finalize()
+    ThreadId writer_tid = kInvalidThread;
+    bool multi_writer = false;
+    Epoch last_write;
+    bool cross_read = false;    // a read by a non-writer thread occurred
+    bool ro_violation = false;  // read-only-after-init disproved
+    // Evidence of an actual unordered conflicting pair (for lint labels).
+    ThreadId last_tid = kInvalidThread;
+    Epoch last_epoch;
+    AccessType last_type = AccessType::kRead;
+    bool hb_unordered = false;
+    AccessClass cls = AccessClass::kMustCheck;  // set by finalize()
+  };
+
+  void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  void touch_block(ThreadId t, Addr block, AccessType type, LocksetId ls);
+  void finalize();
+  void find_lock_cycles();
+  void lint(LintFinding::Kind kind, std::string message);
+
+  HbEngine hb_;
+  LocksetPool pool_;
+  std::vector<HeldLocks> held_;  // mutex-like locks only, per thread
+  std::unordered_map<SyncId, SyncKind> sync_kinds_;
+  std::unordered_map<Addr, Block> blocks_;
+  // Lock-order graph: edge held -> acquired for every nested acquire.
+  std::unordered_map<SyncId, std::vector<SyncId>> lock_order_;
+  std::unordered_set<SyncId> bad_release_reported_;
+  std::array<std::size_t, 4> lints_by_kind_{};
+  AnalysisResult result_;
+  bool finalized_ = false;
+
+  HeldLocks& held(ThreadId t) {
+    if (t >= held_.size()) held_.resize(t + 1);
+    return held_[t];
+  }
+  SyncKind kind_of(SyncId s, SyncKind if_new) {
+    auto [it, inserted] = sync_kinds_.try_emplace(s, if_new);
+    (void)inserted;
+    return it->second;
+  }
+};
+
+}  // namespace dg::analyze

@@ -35,8 +35,15 @@ void DynGranDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
   hb_.on_thread_join(joiner, joined);
 }
 
-void DynGranDetector::on_acquire(ThreadId t, SyncId s) { hb_.on_acquire(t, s); }
-void DynGranDetector::on_release(ThreadId t, SyncId s) { hb_.on_release(t, s); }
+void DynGranDetector::on_acquire(ThreadId t, SyncId s) {
+  hb_.on_acquire(t, s);
+  if (elision_ != nullptr) elision_->on_acquire(t, s);
+}
+
+void DynGranDetector::on_release(ThreadId t, SyncId s) {
+  hb_.on_release(t, s);
+  if (elision_ != nullptr) elision_->on_release(t, s);
+}
 
 EpochBitmap& DynGranDetector::bitmap(ThreadId t) {
   DG_DCHECK(t < bitmaps_.size() && bitmaps_[t] != nullptr);
@@ -59,6 +66,28 @@ void DynGranDetector::access(ThreadId t, Addr addr, std::uint32_t size,
                              AccessType type) {
   if (size == 0) return;
   ++stats_.shared_accesses;
+  if (elision_ != nullptr) {
+    const auto v =
+        elision_->admit(t, addr, size, type, hb_.epoch(t), hb_.clock(t));
+    if (v.conflict.race) {
+      RaceReport r;
+      r.addr = addr;
+      r.size = size;
+      r.current = type;
+      r.previous = v.conflict.type;
+      r.current_tid = t;
+      r.previous_tid = v.conflict.tid;
+      r.current_clock = hb_.epoch(t).clock();
+      r.previous_clock = v.conflict.epoch.clock();
+      r.current_site = sites_.get(t);
+      r.previous_site = "(elided)";
+      sink_.report(r);
+    }
+    if (v.elide) {
+      ++stats_.elided_checks;
+      return;
+    }
+  }
   if (bitmap(t).test_and_set(addr, size, type, hb_.epoch_serial(t))) {
     ++stats_.same_epoch_hits;
     return;

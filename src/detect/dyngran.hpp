@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "analyze/elision_map.hpp"
 #include "detect/detector.hpp"
 #include "shadow/epoch_bitmap.hpp"
 #include "shadow/shadow_table.hpp"
@@ -91,6 +92,12 @@ class DynGranDetector final : public Detector {
   void on_write(ThreadId t, Addr addr, std::uint32_t size) override;
   void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
   void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
+
+  /// Attach an ahead-of-time check-elision map (docs/ANALYZER.md): accesses
+  /// conforming to their range's class skip all shadow/VC work. Not owned;
+  /// nullptr detaches. Demotion-uncovered conflicts are reported as races.
+  void set_elision_map(analyze::ElisionMap* m) noexcept { elision_ = m; }
+  const analyze::ElisionMap* elision_map() const noexcept { return elision_; }
 
   /// Introspection for tests: state of the node covering (addr, plane).
   enum class NodeState : std::uint8_t { kInit, kShared, kPrivate, kRace };
@@ -186,6 +193,7 @@ class DynGranDetector final : public Detector {
   EpochBitmap& bitmap(ThreadId t);
 
   DynGranConfig cfg_;
+  analyze::ElisionMap* elision_ = nullptr;
   HbEngine hb_;
   ShadowTable<DgCell> table_;
   std::vector<std::unique_ptr<EpochBitmap>> bitmaps_;

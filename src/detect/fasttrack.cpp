@@ -43,10 +43,12 @@ void FastTrackDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
 
 void FastTrackDetector::on_acquire(ThreadId t, SyncId s) {
   hb_.on_acquire(t, s);
+  if (elision_ != nullptr) elision_->on_acquire(t, s);
 }
 
 void FastTrackDetector::on_release(ThreadId t, SyncId s) {
   hb_.on_release(t, s);
+  if (elision_ != nullptr) elision_->on_release(t, s);
 }
 
 EpochBitmap& FastTrackDetector::bitmap(ThreadId t) {
@@ -65,6 +67,28 @@ void FastTrackDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
 void FastTrackDetector::access(ThreadId t, Addr addr, std::uint32_t size,
                                AccessType type) {
   ++stats_.shared_accesses;
+  if (elision_ != nullptr) {
+    const auto v =
+        elision_->admit(t, addr, size, type, hb_.epoch(t), hb_.clock(t));
+    if (v.conflict.race) {
+      RaceReport r;
+      r.addr = addr;
+      r.size = size;
+      r.current = type;
+      r.previous = v.conflict.type;
+      r.current_tid = t;
+      r.previous_tid = v.conflict.tid;
+      r.current_clock = hb_.epoch(t).clock();
+      r.previous_clock = v.conflict.epoch.clock();
+      r.current_site = sites_.get(t);
+      r.previous_site = "(elided)";
+      sink_.report(r);
+    }
+    if (v.elide) {
+      ++stats_.elided_checks;
+      return;
+    }
+  }
   if (gran_ == Granularity::kWord) {
     // Mask the access to word boundaries: the detection unit is the word.
     const Addr lo = addr & ~static_cast<Addr>(kWordSize - 1);

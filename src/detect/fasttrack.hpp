@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "analyze/elision_map.hpp"
 #include "detect/detector.hpp"
 #include "shadow/epoch_bitmap.hpp"
 #include "shadow/shadow_table.hpp"
@@ -49,6 +50,12 @@ class FastTrackDetector final : public Detector {
   void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
   void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
 
+  /// Attach an ahead-of-time check-elision map (docs/ANALYZER.md): accesses
+  /// conforming to their range's class skip all shadow/VC work. Not owned;
+  /// nullptr detaches. Demotion-uncovered conflicts are reported as races.
+  void set_elision_map(analyze::ElisionMap* m) noexcept { elision_ = m; }
+  const analyze::ElisionMap* elision_map() const noexcept { return elision_; }
+
  private:
   // Per-location FastTrack shadow state. `racy` latches after the first
   // reported race so the location is not re-reported (DJIT+ reports only
@@ -72,6 +79,7 @@ class FastTrackDetector final : public Detector {
   EpochBitmap& bitmap(ThreadId t);
 
   Granularity gran_;
+  analyze::ElisionMap* elision_ = nullptr;
   HbEngine hb_;
   ShadowTable<FtCell*> table_;
   std::vector<std::unique_ptr<EpochBitmap>> bitmaps_;

@@ -13,6 +13,7 @@ struct DetectorStats {
   // -- access counters -------------------------------------------------
   std::uint64_t shared_accesses = 0;   // instrumented reads+writes analysed
   std::uint64_t same_epoch_hits = 0;   // filtered by the per-thread bitmap
+  std::uint64_t elided_checks = 0;     // skipped via the analyzer's map
 
   // -- vector clock population ------------------------------------------
   // A "vector clock" here is one access-history object (epoch or full VC),
@@ -47,6 +48,13 @@ struct DetectorStats {
   void location_unmapped(std::uint64_t n = 1) {
     DG_DCHECK(live_locations >= n);
     live_locations -= n;
+  }
+
+  double elided_pct() const {
+    return shared_accesses == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(elided_checks) /
+                     static_cast<double>(shared_accesses);
   }
 
   double same_epoch_pct() const {

@@ -27,19 +27,68 @@ bool TraceRecorder::save(const std::string& path) const {
   return true;
 }
 
-bool load_trace(const std::string& path, std::vector<TraceEvent>& out) {
+namespace {
+bool fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return false;
+}
+}  // namespace
+
+bool load_trace(const std::string& path, std::vector<TraceEvent>& out,
+                std::string* error) {
+  out.clear();
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return false;
+  if (f == nullptr) return fail(error, "cannot open '" + path + "'");
+
+  // File size first: the header's record count must match it exactly.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0)
+    return fail(error, "cannot seek '" + path + "'");
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0) return fail(error, "cannot stat '" + path + "'");
+  std::rewind(f.get());
+
   std::uint64_t magic = 0;
   std::uint64_t count = 0;
-  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1) return false;
-  if (magic != kTraceMagic) return false;
-  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
+  constexpr std::uint64_t kHeaderBytes = sizeof(magic) + sizeof(count);
+  if (static_cast<std::uint64_t>(file_size) < kHeaderBytes)
+    return fail(error, "'" + path + "' is too short to hold a trace header (" +
+                           std::to_string(file_size) + " bytes)");
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1)
+    return fail(error, "cannot read header of '" + path + "'");
+  if (magic != kTraceMagic) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "bad magic 0x%016llx (want 0x%016llx)",
+                  static_cast<unsigned long long>(magic),
+                  static_cast<unsigned long long>(kTraceMagic));
+    return fail(error, "'" + path + "': " + buf);
+  }
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1)
+    return fail(error, "cannot read record count of '" + path + "'");
+
+  const std::uint64_t expect = kHeaderBytes + count * sizeof(TraceEvent);
+  if (count > (static_cast<std::uint64_t>(file_size) - kHeaderBytes) /
+                  sizeof(TraceEvent) ||
+      static_cast<std::uint64_t>(file_size) != expect)
+    return fail(error, "'" + path + "': header declares " +
+                           std::to_string(count) + " records (" +
+                           std::to_string(expect) + " bytes) but file has " +
+                           std::to_string(file_size) +
+                           " bytes — truncated or corrupt");
+
   out.resize(count);
   if (count != 0 &&
       std::fread(out.data(), sizeof(TraceEvent), count, f.get()) != count) {
     out.clear();
-    return false;
+    return fail(error, "short read of '" + path + "'");
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const auto k = static_cast<std::uint8_t>(out[i].kind);
+    if (k < static_cast<std::uint8_t>(EventKind::kThreadStart) ||
+        k > static_cast<std::uint8_t>(EventKind::kFinish)) {
+      out.clear();
+      return fail(error, "'" + path + "': record " + std::to_string(i) +
+                             " has invalid event kind " + std::to_string(k));
+    }
   }
   return true;
 }

@@ -108,8 +108,12 @@ class TraceRecorder final : public Detector {
   std::vector<TraceEvent> events_;
 };
 
-/// Load a trace from file. Returns false on I/O or format error.
-bool load_trace(const std::string& path, std::vector<TraceEvent>& out);
+/// Load a trace from file, validating the header (magic/version), the
+/// declared record count against the file size, and every record's event
+/// kind. Returns false on I/O or format error; when `error` is non-null it
+/// receives a human-readable description of what was wrong.
+bool load_trace(const std::string& path, std::vector<TraceEvent>& out,
+                std::string* error = nullptr);
 
 /// Feed a trace into a detector. Returns the number of events replayed.
 std::size_t replay_trace(const std::vector<TraceEvent>& events, Detector& det);

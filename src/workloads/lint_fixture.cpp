@@ -1,0 +1,124 @@
+// lint_fixture — a small engineered program for the ahead-of-time trace
+// analyzer (docs/ANALYZER.md). Not part of the 11-benchmark paper suite;
+// reachable by name via make_workload ("lint_fixture").
+//
+// It seeds exactly the patterns the analyzer must find:
+//   * a lock-order cycle: T1 nests A then B, T2 nests B then A (made
+//     deadlock-free by ordering the two critical sections with a
+//     signal/await edge — the *potential* deadlock is still in the graph),
+//   * a lockset-proven race: every worker updates `racy_flag` with no lock
+//     held (also a real happens-before race; expected_races counts it),
+//   * one block of every elidable class: a read-only-after-init config
+//     table written by main before forking, a lock-dominated shared
+//     counter, and per-thread scratch buffers.
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+
+namespace dg::wl {
+namespace {
+
+class LintFixture final : public sim::SimProgram {
+ public:
+  explicit LintFixture(WlParams p) : p_(p) { DG_CHECK(p_.threads >= 1); }
+
+  const char* name() const override { return "lint_fixture"; }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override {
+    return kConfigBytes + (p_.threads + 1) * kScratchBytes;
+  }
+  std::uint64_t expected_races() const override {
+    return p_.threads >= 2 ? 1 : 0;  // racy_flag needs two writers
+  }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid);
+  }
+
+ private:
+  static constexpr std::uint64_t kConfigBytes = 1024;
+  static constexpr std::uint64_t kScratchBytes = 4096;
+  static constexpr SyncId kLockA = sync_id(12, 0);
+  static constexpr SyncId kLockB = sync_id(12, 1);
+  static constexpr SyncId kCounterLock = sync_id(12, 2);
+  static constexpr SyncId kOrder = sync_id(12, 3);  // T1 -> T2 handoff
+
+  Addr config() const { return region(0); }
+  Addr counter() const { return region(1); }            // lock-dominated
+  Addr racy_flag() const { return region(1) + 64; }     // no lock, racy
+  Addr scratch(ThreadId tid) const { return region(2) + tid * 0x10000; }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("lint_fixture/init");
+    co_yield Op::alloc(config(), kConfigBytes);
+    for (Addr a = config(); a < config() + kConfigBytes; a += 64)
+      co_yield Op::write(a, 64);
+    co_yield Op::write(counter(), 4);
+    co_yield Op::write(racy_flag(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::site("lint_fixture/teardown");
+    co_yield Op::acquire(kCounterLock);
+    co_yield Op::read(counter(), 4);
+    co_yield Op::release(kCounterLock);
+    co_yield Op::free_(config(), kConfigBytes);
+  }
+
+  sim::OpGen worker_body(ThreadId tid) {
+    using sim::Op;
+    co_yield Op::site("lint_fixture/worker");
+
+    // The seeded lock-order cycle: T1 takes A then B, T2 takes B then A.
+    // The signal/await edge keeps every schedule deadlock-free while the
+    // inverted nesting stays in the lock-order graph.
+    if (tid == 1) {
+      co_yield Op::acquire(kLockA);
+      co_yield Op::acquire(kLockB);
+      co_yield Op::release(kLockB);
+      co_yield Op::release(kLockA);
+      co_yield Op::signal(kOrder);
+    } else if (tid == 2) {
+      co_yield Op::await(kOrder, 1);
+      co_yield Op::acquire(kLockB);
+      co_yield Op::acquire(kLockA);
+      co_yield Op::release(kLockA);
+      co_yield Op::release(kLockB);
+    }
+
+    // Thread-local scratch: written and re-read only by this thread.
+    for (Addr a = scratch(tid); a < scratch(tid) + kScratchBytes; a += 64)
+      co_yield Op::write(a, 64);
+
+    const std::uint64_t iters = 50 * p_.scale;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      // Read-only config sweep (initialized by main before the fork).
+      const Addr row = config() + (i * 64) % kConfigBytes;
+      co_yield Op::read(row, 64);
+      // Thread-local reuse.
+      co_yield Op::read(scratch(tid) + (i * 64) % kScratchBytes, 64);
+      // Lock-dominated shared counter.
+      co_yield Op::acquire(kCounterLock);
+      co_yield Op::read(counter(), 4);
+      co_yield Op::write(counter(), 4);
+      co_yield Op::release(kCounterLock);
+      co_yield Op::compute(8);
+    }
+
+    // BUG (deliberate): completion flag updated with no lock.
+    co_yield Op::site("lint_fixture/racy-flag");
+    co_yield Op::read(racy_flag(), 4);
+    co_yield Op::write(racy_flag(), 4);
+    co_yield Op::site("lint_fixture/worker");
+  }
+
+  WlParams p_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_lint_fixture(WlParams p) {
+  return std::make_unique<LintFixture>(p);
+}
+
+}  // namespace dg::wl

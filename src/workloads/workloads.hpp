@@ -36,6 +36,12 @@ std::unique_ptr<sim::SimProgram> make_ffmpeg(WlParams p = {});
 std::unique_ptr<sim::SimProgram> make_pbzip2(WlParams p = {});
 std::unique_ptr<sim::SimProgram> make_hmmsearch(WlParams p = {});
 
+/// Engineered fixture for the trace analyzer (lock-order cycle, lockset
+/// race, one block of every elidable class). Not part of the paper suite:
+/// reachable via make_workload("lint_fixture") but absent from
+/// all_workloads().
+std::unique_ptr<sim::SimProgram> make_lint_fixture(WlParams p = {});
+
 struct WorkloadInfo {
   std::string name;
   std::function<std::unique_ptr<sim::SimProgram>(WlParams)> make;

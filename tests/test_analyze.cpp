@@ -1,0 +1,376 @@
+// TraceAnalyzer + ElisionMap: classification ground truth, concurrency
+// lints, and the soundness contract of check elision (no ground-truth race
+// may be lost, whether replaying the analyzed trace or a divergent one).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analyze/trace_analyzer.hpp"
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "rt/trace.hpp"
+#include "support/driver.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dg {
+namespace {
+
+using analyze::AccessClass;
+using analyze::ElisionMap;
+using analyze::LintFinding;
+using analyze::TraceAnalyzer;
+using test::Driver;
+
+std::size_t count_lints(const analyze::AnalysisResult& r,
+                        LintFinding::Kind k) {
+  return static_cast<std::size_t>(
+      std::count_if(r.lints.begin(), r.lints.end(),
+                    [k](const LintFinding& f) { return f.kind == k; }));
+}
+
+const LintFinding* find_lint(const analyze::AnalysisResult& r,
+                             LintFinding::Kind k) {
+  for (const auto& f : r.lints)
+    if (f.kind == k) return &f;
+  return nullptr;
+}
+
+/// Feed the same hand-written event script to the analyzer and (with the
+/// resulting elision map attached) to a detector.
+using Script = std::function<void(Driver&)>;
+
+void run_script_into(const Script& s, Detector& det) {
+  Driver d(det);
+  s(d);
+  d.finish();
+}
+
+// ---- classification ground truth ---------------------------------------
+
+TEST(Analyzer, ClassifiesThreadLocalBlocks) {
+  TraceAnalyzer az;
+  Driver d(az);
+  d.start(0).start(1, 0);
+  d.write(0, 0x1000, 4).read(0, 0x1000, 4);
+  d.write(1, 0x2000, 4).write(1, 0x2000, 4);
+  d.finish();
+  auto map = az.build_elision_map();
+  EXPECT_EQ(map.class_of(0x1000), AccessClass::kThreadLocal);
+  EXPECT_EQ(map.class_of(0x2000), AccessClass::kThreadLocal);
+  EXPECT_EQ(az.result().count(AccessClass::kThreadLocal), 2u);
+  EXPECT_TRUE(az.result().lints.empty());
+}
+
+TEST(Analyzer, ClassifiesReadOnlyAfterInit) {
+  TraceAnalyzer az;
+  Driver d(az);
+  d.start(0).write(0, 0x1000, 8);     // init by the parent...
+  d.start(1, 0).start(2, 0);          // ...fork orders the handoff
+  d.read(1, 0x1000, 8).read(2, 0x1000, 8).read(0, 0x1000, 8);
+  d.read(1, 0x3000, 4).read(2, 0x3000, 4);  // never written at all
+  d.finish();
+  auto map = az.build_elision_map();
+  EXPECT_EQ(map.class_of(0x1000), AccessClass::kReadOnlyAfterInit);
+  EXPECT_EQ(map.class_of(0x3000), AccessClass::kReadOnlyAfterInit);
+  EXPECT_TRUE(az.result().lints.empty());
+}
+
+TEST(Analyzer, ClassifiesLockDominatedWithInitExemption) {
+  // The parent initialises without the lock (the Eraser init pattern);
+  // the fork edge orders the handoff, so the block is still
+  // lock-dominated by the workers' discipline.
+  TraceAnalyzer az;
+  Driver d(az);
+  d.start(0).write(0, 0x1000, 4);
+  d.start(1, 0).start(2, 0);
+  d.acq(1, 7).write(1, 0x1000, 4).rel(1, 7);
+  d.acq(2, 7).read(2, 0x1000, 4).write(2, 0x1000, 4).rel(2, 7);
+  d.finish();
+  auto map = az.build_elision_map();
+  EXPECT_EQ(map.class_of(0x1000), AccessClass::kLockDominated);
+  ASSERT_EQ(map.entries().size(), 1u);
+  EXPECT_EQ(map.entries()[0].owner, 0u);  // init exemption carries over
+  EXPECT_EQ(map.entries()[0].dominators, std::vector<SyncId>{7});
+  EXPECT_TRUE(az.result().lints.empty());
+}
+
+TEST(Analyzer, UnorderedHandoffDefeatsInitExemption) {
+  // Same shape, but the second thread has no happens-before edge from the
+  // initialising write: the init phase cannot be exempted, the common
+  // lockset is empty, and the block must be checked.
+  TraceAnalyzer az;
+  Driver d(az);
+  d.start(0).start(1);  // no parent edge: T1 is concurrent with T0
+  d.write(0, 0x1000, 4);
+  d.acq(1, 7).write(1, 0x1000, 4).rel(1, 7);
+  d.finish();
+  EXPECT_EQ(az.build_elision_map().class_of(0x1000),
+            AccessClass::kMustCheck);
+  const auto* lint =
+      find_lint(az.result(), LintFinding::Kind::kLocksetRace);
+  ASSERT_NE(lint, nullptr);
+  EXPECT_NE(lint->message.find("empty common lockset"), std::string::npos);
+}
+
+TEST(Analyzer, RacyBlockIsMustCheckAndLinted) {
+  TraceAnalyzer az;
+  Driver d(az);
+  d.start(0).start(1, 0).start(2, 0);
+  d.write(1, 0x5000, 4).write(2, 0x5000, 4);  // no locks, no ordering
+  d.finish();
+  const auto& res = az.result();
+  EXPECT_EQ(az.build_elision_map().class_of(0x5000),
+            AccessClass::kMustCheck);
+  EXPECT_EQ(res.lockset_racy_blocks, 1u);
+  const auto* lint = find_lint(res, LintFinding::Kind::kLocksetRace);
+  ASSERT_NE(lint, nullptr);
+  EXPECT_NE(lint->message.find("happens-before confirmed"),
+            std::string::npos);
+}
+
+// ---- concurrency lints --------------------------------------------------
+
+TEST(Analyzer, LintsLockOrderCycle) {
+  TraceAnalyzer az;
+  Driver d(az);
+  d.start(0).start(1, 0).start(2, 0);
+  d.acq(1, 10).acq(1, 11).rel(1, 11).rel(1, 10);
+  d.acq(2, 11).acq(2, 10).rel(2, 10).rel(2, 11);
+  d.finish();
+  const auto& res = az.result();
+  EXPECT_EQ(res.lock_order_cycles, 1u);
+  const auto* lint = find_lint(res, LintFinding::Kind::kLockOrderCycle);
+  ASSERT_NE(lint, nullptr);
+  EXPECT_NE(lint->message.find("->"), std::string::npos);
+}
+
+TEST(Analyzer, LintsReleaseWithoutAcquire) {
+  TraceAnalyzer az;
+  Driver d(az);
+  d.start(0).start(1, 0);
+  d.acq(0, 9).rel(0, 9);  // first event is an acquire: 9 is a mutex
+  d.rel(1, 9).rel(1, 9);  // T1 never held it; reported once per id
+  d.finish();
+  EXPECT_EQ(count_lints(az.result(),
+                        LintFinding::Kind::kReleaseWithoutAcquire),
+            1u);
+}
+
+TEST(Analyzer, MessageStyleSyncIsNotALock) {
+  // A sync id whose first event is a release (condvar signal, barrier
+  // arrival, queue post) is not lock ownership: no release-without-acquire
+  // lint, and it never dominates a block.
+  TraceAnalyzer az;
+  Driver d(az);
+  d.start(0).start(1, 0);
+  d.rel(0, 20).acq(1, 20);  // signal/await pair
+  d.write(0, 0x1000, 4).write(0, 0x1000, 4);
+  d.finish();
+  EXPECT_TRUE(az.result().lints.empty());
+}
+
+TEST(Analyzer, LintsLocksHeldAtThreadExitAndTraceEnd) {
+  TraceAnalyzer az;
+  Driver d(az);
+  d.start(0).start(1, 0);
+  d.acq(1, 30);       // T1 exits holding 30
+  d.acq(0, 31);       // main still holds 31 at end of trace
+  d.join(0, 1);
+  d.finish();
+  const auto& res = az.result();
+  ASSERT_EQ(count_lints(res, LintFinding::Kind::kLocksHeldAtExit), 2u);
+  EXPECT_NE(res.lints[0].message.find("T1"), std::string::npos);
+}
+
+// ---- elision soundness --------------------------------------------------
+
+TEST(Elision, ElidesConformingAccessesAndKeepsRaces) {
+  // Mixed program: a read-only table, per-thread scratch, and one racy
+  // word. With the map attached the detector must still find the race,
+  // while eliding the conforming traffic.
+  Script script = [](Driver& d) {
+    d.start(0).write(0, 0x1000, 64);  // init the RO table
+    d.start(1, 0).start(2, 0);
+    for (int i = 0; i < 8; ++i) {
+      d.read(1, 0x1000, 8).read(2, 0x1008, 8);
+      d.write(1, 0x2000, 8).write(2, 0x3000, 8);  // scratch
+    }
+    d.write(1, 0x5000, 4).write(2, 0x5000, 4);  // the race
+  };
+
+  TraceAnalyzer az;
+  run_script_into(script, az);
+  auto map = az.build_elision_map();
+
+  DynGranDetector plain;
+  run_script_into(script, plain);
+  DynGranDetector elided;
+  elided.set_elision_map(&map);
+  run_script_into(script, elided);
+
+  EXPECT_EQ(plain.sink().unique_races(), 1u);
+  EXPECT_GE(elided.sink().unique_races(), plain.sink().unique_races());
+  EXPECT_GT(elided.stats().elided_checks, 0u);
+  EXPECT_EQ(map.demotions(), 0u) << "replaying the analyzed trace must "
+                                    "not demote anything";
+}
+
+TEST(Elision, MultiBlockAccessElidesWhenFullyCovered) {
+  Script script = [](Driver& d) {
+    d.start(0);
+    d.write(0, 0x1000, 256).read(0, 0x1020, 192);  // spans 4 blocks
+  };
+  TraceAnalyzer az;
+  run_script_into(script, az);
+  auto map = az.build_elision_map();
+
+  DynGranDetector det;
+  det.set_elision_map(&map);
+  run_script_into(script, det);
+  EXPECT_EQ(det.stats().elided_checks, det.stats().shared_accesses);
+}
+
+TEST(Elision, DemotionReplaysRaceOnDivergentTrace) {
+  // Build the map from a run where 0x1000 is thread-local to T1; then
+  // replay a different execution where T2 also writes it with no
+  // ordering. The violating access must demote the range AND the race
+  // against the elided write must still be reported.
+  TraceAnalyzer az;
+  Driver a(az);
+  a.start(0).start(1, 0).write(1, 0x1000, 4).finish();
+  auto map = az.build_elision_map();
+  ASSERT_EQ(map.class_of(0x1000), AccessClass::kThreadLocal);
+
+  DynGranDetector det;
+  det.set_elision_map(&map);
+  Driver d(det);
+  d.start(0).start(1, 0).start(2, 0);
+  d.write(1, 0x1000, 4);  // elided, per the map
+  d.write(2, 0x1000, 4);  // violates ThreadLocal: demote + replay
+  d.finish();
+  EXPECT_GE(map.demotions(), 1u);
+  EXPECT_EQ(map.class_of(0x1000), AccessClass::kMustCheck);
+  EXPECT_EQ(det.sink().unique_races(), 1u)
+      << "the race hidden by elision must be recovered on demotion";
+}
+
+TEST(Elision, FastTrackHonoursTheMapToo) {
+  Script script = [](Driver& d) {
+    d.start(0).start(1, 0).start(2, 0);
+    for (int i = 0; i < 4; ++i) d.write(1, 0x2000, 8).write(2, 0x3000, 8);
+    d.write(1, 0x5000, 4).write(2, 0x5000, 4);
+  };
+  TraceAnalyzer az;
+  run_script_into(script, az);
+  auto map = az.build_elision_map();
+
+  FastTrackDetector ft(Granularity::kByte);
+  ft.set_elision_map(&map);
+  run_script_into(script, ft);
+  EXPECT_EQ(ft.sink().unique_races(), 1u);
+  EXPECT_GT(ft.stats().elided_checks, 0u);
+}
+
+// ---- bank_transfer-style end-to-end through the simulator ---------------
+
+TEST(Elision, BankTransferProgramEndToEnd) {
+  // Two accounts, each 64B apart, guarded by a consistent two-lock
+  // discipline; an unguarded audit counter carries the embedded race.
+  constexpr Addr kAcct0 = 0x10000, kAcct1 = 0x10040, kAudit = 0x20000;
+  constexpr SyncId kL0 = 1, kL1 = 2;
+  auto worker = [&](ThreadId) {
+    std::vector<sim::Op> ops;
+    for (int i = 0; i < 8; ++i) {
+      ops.push_back(sim::Op::acquire(kL0));
+      ops.push_back(sim::Op::acquire(kL1));
+      ops.push_back(sim::Op::read(kAcct0, 8));
+      ops.push_back(sim::Op::write(kAcct0, 8));
+      ops.push_back(sim::Op::read(kAcct1, 8));
+      ops.push_back(sim::Op::write(kAcct1, 8));
+      ops.push_back(sim::Op::release(kL1));
+      ops.push_back(sim::Op::release(kL0));
+    }
+    // Final unguarded audit write: after each worker's last release, so
+    // the two writes are concurrent under every interleaving.
+    ops.push_back(sim::Op::write(kAudit, 4));
+    return ops;
+  };
+  std::vector<std::vector<sim::Op>> threads(3);
+  threads[0] = {sim::Op::write(kAcct0, 8), sim::Op::write(kAcct1, 8),
+                sim::Op::write(kAudit, 4), sim::Op::fork(1),
+                sim::Op::fork(2),          sim::Op::join(1),
+                sim::Op::join(2),          sim::Op::acquire(kL0),
+                sim::Op::read(kAcct0, 8),  sim::Op::release(kL0),
+                sim::Op::acquire(kL1),     sim::Op::read(kAcct1, 8),
+                sim::Op::release(kL1)};
+  threads[1] = worker(1);
+  threads[2] = worker(2);
+
+  rt::TraceRecorder rec;
+  test::run_script(threads, rec, 3);
+
+  TraceAnalyzer az;
+  rt::replay_trace(rec.events(), az);
+  auto map = az.build_elision_map();
+  EXPECT_EQ(map.class_of(kAcct0), AccessClass::kLockDominated);
+  EXPECT_EQ(map.class_of(kAcct1), AccessClass::kLockDominated);
+  EXPECT_EQ(map.class_of(kAudit), AccessClass::kMustCheck);
+  EXPECT_GE(az.result().lockset_racy_blocks, 1u);
+
+  DynGranDetector det;
+  det.set_elision_map(&map);
+  rt::replay_trace(rec.events(), det);
+  EXPECT_GE(det.sink().unique_races(), 1u) << "audit race lost to elision";
+  EXPECT_GT(det.stats().elided_checks, 0u);
+  EXPECT_EQ(map.demotions(), 0u);
+}
+
+// ---- whole-workload parity ----------------------------------------------
+
+TEST(Elision, WorkloadRaceParityWithElision) {
+  for (const char* name : {"hmmsearch", "streamcluster"}) {
+    auto prog = wl::make_workload(name, {.threads = 3, .scale = 1});
+    ASSERT_NE(prog, nullptr);
+    const std::uint64_t expected = prog->expected_races();
+    rt::TraceRecorder rec;
+    sim::SimScheduler sched(*prog, rec, 11);
+    sched.run();
+
+    DynGranDetector plain;
+    rt::replay_trace(rec.events(), plain);
+
+    TraceAnalyzer az;
+    rt::replay_trace(rec.events(), az);
+    auto map = az.build_elision_map();
+    DynGranDetector elided;
+    elided.set_elision_map(&map);
+    rt::replay_trace(rec.events(), elided);
+
+    EXPECT_GE(elided.sink().unique_races(), plain.sink().unique_races())
+        << name;
+    EXPECT_GE(elided.sink().unique_races(), expected) << name;
+    EXPECT_EQ(map.demotions(), 0u) << name;
+  }
+}
+
+TEST(Analyzer, LintFixtureWorkloadLiveStream) {
+  // The analyzer is a Detector: drive it straight from the simulator
+  // (no trace file) over the seeded lint workload.
+  auto prog = wl::make_workload("lint_fixture", {.threads = 3, .scale = 1});
+  ASSERT_NE(prog, nullptr);
+  TraceAnalyzer az;
+  sim::SimScheduler sched(*prog, az, 7);
+  sched.run();
+  const auto& res = az.result();
+  EXPECT_GE(res.lock_order_cycles, 1u);
+  EXPECT_GE(res.lockset_racy_blocks, 1u);
+  EXPECT_GE(res.count(AccessClass::kLockDominated), 1u);
+  EXPECT_GE(res.count(AccessClass::kReadOnlyAfterInit), 1u);
+  EXPECT_GT(res.count(AccessClass::kThreadLocal), 0u);
+}
+
+}  // namespace
+}  // namespace dg

@@ -3,6 +3,8 @@
 // exactly the same races as running live.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 
@@ -101,6 +103,109 @@ TEST(Trace, EmptyTraceRoundTrips) {
   ASSERT_TRUE(rt::load_trace(path, loaded));
   EXPECT_TRUE(loaded.empty());
   std::remove(path.c_str());
+}
+
+// ---- hardened loader: every corruption mode gets a clear error ---------
+
+namespace {
+
+std::string write_bytes(const std::string& name, const void* data,
+                        std::size_t n) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  if (n != 0) {
+    EXPECT_EQ(std::fwrite(data, 1, n, f), n);
+  }
+  std::fclose(f);
+  return path;
+}
+
+std::string save_valid_trace(const std::string& name) {
+  TraceRecorder rec;
+  Driver d(rec);
+  d.start(0).write(0, 0x10, 4).read(0, 0x10, 4).finish();
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(rec.save(path));
+  return path;
+}
+
+}  // namespace
+
+TEST(TraceHardening, ShortHeaderReportsLength) {
+  const char few[] = {1, 2, 3};
+  const std::string path = write_bytes("dg_short_header.bin", few, sizeof(few));
+  std::vector<TraceEvent> loaded;
+  std::string err;
+  EXPECT_FALSE(rt::load_trace(path, loaded, &err));
+  EXPECT_NE(err.find("too short"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(TraceHardening, BadMagicReportsBothValues) {
+  std::uint64_t header[2] = {0x6261646d61676963ULL, 0};
+  const std::string path =
+      write_bytes("dg_bad_magic.bin", header, sizeof(header));
+  std::vector<TraceEvent> loaded;
+  std::string err;
+  EXPECT_FALSE(rt::load_trace(path, loaded, &err));
+  EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+  EXPECT_NE(err.find("0x6261646d61676963"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(TraceHardening, TruncatedPayloadIsRejected) {
+  const std::string path = save_valid_trace("dg_truncated.bin");
+  // Chop the last record in half.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(path.c_str(), full - 12), 0);
+  std::vector<TraceEvent> loaded = {TraceEvent{}};
+  std::string err;
+  EXPECT_FALSE(rt::load_trace(path, loaded, &err));
+  EXPECT_NE(err.find("truncated or corrupt"), std::string::npos) << err;
+  EXPECT_TRUE(loaded.empty()) << "failed load must not leave stale events";
+  std::remove(path.c_str());
+}
+
+TEST(TraceHardening, OverstatedCountIsRejected) {
+  // Header claims 2^61 records: the byte-size check must not overflow.
+  std::uint64_t header[2] = {rt::kTraceMagic, 1ULL << 61};
+  const std::string path =
+      write_bytes("dg_overstated.bin", header, sizeof(header));
+  std::vector<TraceEvent> loaded;
+  std::string err;
+  EXPECT_FALSE(rt::load_trace(path, loaded, &err));
+  EXPECT_NE(err.find("truncated or corrupt"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(TraceHardening, InvalidEventKindIsRejected) {
+  const std::string path = save_valid_trace("dg_bad_kind.bin");
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  // Second record's kind byte (header 16B + one 24B record).
+  std::fseek(f, 16 + static_cast<long>(sizeof(TraceEvent)), SEEK_SET);
+  const std::uint8_t bogus = 0xee;
+  ASSERT_EQ(std::fwrite(&bogus, 1, 1, f), 1u);
+  std::fclose(f);
+  std::vector<TraceEvent> loaded;
+  std::string err;
+  EXPECT_FALSE(rt::load_trace(path, loaded, &err));
+  EXPECT_NE(err.find("invalid event kind"), std::string::npos) << err;
+  EXPECT_NE(err.find("record 1"), std::string::npos) << err;
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceHardening, MissingFileNamesThePath) {
+  std::vector<TraceEvent> loaded;
+  std::string err;
+  EXPECT_FALSE(rt::load_trace("/nonexistent/path.bin", loaded, &err));
+  EXPECT_NE(err.find("/nonexistent/path.bin"), std::string::npos) << err;
 }
 
 TEST(Trace, ReplayReturnsEventCount) {

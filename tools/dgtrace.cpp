@@ -8,6 +8,9 @@
 //       the N most-accessed 64-byte blocks (shared hot spots)
 //   dgtrace replay <trace> <detector>
 //       replay under any detector config and print the race summary
+//   dgtrace analyze <trace> [detector]
+//       ahead-of-time pass: classification summary + concurrency lints;
+//       with a detector, replay with the check-elision map attached
 //   dgtrace diff <a.trace> <b.trace>
 //       first diverging event between two traces (determinism debugging)
 #include <algorithm>
@@ -19,7 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "analyze/trace_analyzer.hpp"
 #include "bench/harness.hpp"
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
 #include "rt/trace.hpp"
 #include "sim/sim.hpp"
 #include "workloads/workloads.hpp"
@@ -52,6 +58,7 @@ int usage() {
       "  dgtrace info <trace>\n"
       "  dgtrace top <trace> [N]\n"
       "  dgtrace replay <trace> <detector>\n"
+      "  dgtrace analyze <trace> [detector]\n"
       "  dgtrace diff <a.trace> <b.trace>\n"
       "detectors: byte word dynamic dynamic-noshare1 dynamic-noinit djit\n"
       "           lockset drd inspector");
@@ -85,8 +92,9 @@ int cmd_record(int argc, char** argv) {
 int cmd_info(int argc, char** argv) {
   if (argc < 3) return usage();
   std::vector<TraceEvent> ev;
-  if (!rt::load_trace(argv[2], ev)) {
-    std::fprintf(stderr, "cannot load %s\n", argv[2]);
+  std::string err;
+  if (!rt::load_trace(argv[2], ev, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
   std::map<EventKind, std::uint64_t> kinds;
@@ -112,8 +120,9 @@ int cmd_info(int argc, char** argv) {
 int cmd_top(int argc, char** argv) {
   if (argc < 3) return usage();
   std::vector<TraceEvent> ev;
-  if (!rt::load_trace(argv[2], ev)) {
-    std::fprintf(stderr, "cannot load %s\n", argv[2]);
+  std::string err;
+  if (!rt::load_trace(argv[2], ev, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
   const std::size_t topn =
@@ -138,8 +147,9 @@ int cmd_top(int argc, char** argv) {
 int cmd_replay(int argc, char** argv) {
   if (argc < 4) return usage();
   std::vector<TraceEvent> ev;
-  if (!rt::load_trace(argv[2], ev)) {
-    std::fprintf(stderr, "cannot load %s\n", argv[2]);
+  std::string err;
+  if (!rt::load_trace(argv[2], ev, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
   auto det = bench::detector_factory(argv[3])();
@@ -157,6 +167,63 @@ int cmd_replay(int argc, char** argv) {
       break;
     }
     std::printf("  %s\n", r.str().c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::vector<TraceEvent> ev;
+  std::string err;
+  if (!rt::load_trace(argv[2], ev, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  analyze::TraceAnalyzer az;
+  rt::replay_trace(ev, az);
+  const auto& res = az.result();
+  std::printf("%s: %zu events, %" PRIu64 " accesses over %" PRIu64
+              " %u-byte blocks\n",
+              argv[2], ev.size(), res.accesses, res.blocks_total,
+              analyze::TraceAnalyzer::kGrainBytes);
+  std::puts("classification:");
+  for (auto c :
+       {analyze::AccessClass::kThreadLocal,
+        analyze::AccessClass::kReadOnlyAfterInit,
+        analyze::AccessClass::kLockDominated,
+        analyze::AccessClass::kMustCheck}) {
+    std::printf("  %-18s %10" PRIu64 " blocks (%5.1f%%)\n",
+                analyze::to_string(c), res.count(c), res.pct(c));
+  }
+  std::printf("lint: %zu findings (%" PRIu64 " lock-order cycles, %" PRIu64
+              " lockset-racy blocks)\n",
+              res.lints.size(), res.lock_order_cycles,
+              res.lockset_racy_blocks);
+  for (const auto& l : res.lints)
+    std::printf("lint: %s: %s\n", analyze::to_string(l.kind),
+                l.message.c_str());
+
+  if (argc > 3) {
+    auto map = az.build_elision_map();
+    auto det = bench::detector_factory(argv[3])();
+    if (auto* dg = dynamic_cast<DynGranDetector*>(det.get()))
+      dg->set_elision_map(&map);
+    else if (auto* ft = dynamic_cast<FastTrackDetector*>(det.get()))
+      ft->set_elision_map(&map);
+    else {
+      std::fprintf(stderr, "detector '%s' does not support elision\n",
+                   argv[3]);
+      return 1;
+    }
+    rt::replay_trace(ev, *det);
+    std::printf("replay with elision under %s: %" PRIu64 " of %" PRIu64
+                " checks elided (%.1f%%), %" PRIu64 " demotions\n",
+                det->name(), det->stats().elided_checks,
+                det->stats().shared_accesses, det->stats().elided_pct(),
+                map.demotions());
+    std::printf("races: %" PRIu64 " unique locations (%" PRIu64
+                " raw reports)\n",
+                det->sink().unique_races(), det->sink().raw_reports());
   }
   return 0;
 }
@@ -200,6 +267,7 @@ int main(int argc, char** argv) {
   if (cmd == "info") return cmd_info(argc, argv);
   if (cmd == "top") return cmd_top(argc, argv);
   if (cmd == "replay") return cmd_replay(argc, argv);
+  if (cmd == "analyze") return cmd_analyze(argc, argv);
   if (cmd == "diff") return cmd_diff(argc, argv);
   return usage();
 }

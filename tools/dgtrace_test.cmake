@@ -1,9 +1,37 @@
-# End-to-end CLI check: record -> info -> top -> replay -> diff(self).
+# End-to-end CLI check: record -> info -> top -> replay -> analyze ->
+# diff(self).
 function(run)
   execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
   endif()
+endfunction()
+
+# Like run(), but also asserts that stdout contains every expected string
+# passed after the EXPECT marker.
+function(run_expect)
+  set(cmd)
+  set(expects)
+  set(in_expects FALSE)
+  foreach(arg IN LISTS ARGV)
+    if(arg STREQUAL "EXPECT")
+      set(in_expects TRUE)
+    elseif(in_expects)
+      list(APPEND expects "${arg}")
+    else()
+      list(APPEND cmd "${arg}")
+    endif()
+  endforeach()
+  execute_process(COMMAND ${cmd} RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${cmd}\n${out}\n${err}")
+  endif()
+  foreach(want IN LISTS expects)
+    string(FIND "${out}" "${want}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "output of ${cmd} lacks '${want}':\n${out}")
+    endif()
+  endforeach()
 endfunction()
 
 set(trace ${WORKDIR}/hmmsearch_ci.trace)
@@ -13,4 +41,33 @@ run(${DGTRACE} top ${trace} 5)
 run(${DGTRACE} replay ${trace} dynamic)
 run(${DGTRACE} replay ${trace} byte)
 run(${DGTRACE} diff ${trace} ${trace})
+run_expect(${DGTRACE} analyze ${trace} dynamic EXPECT
+  "classification:" "ReadOnlyAfterInit" "checks elided")
 file(REMOVE ${trace})
+
+# The seeded lint workload: the analyzer must flag its lock-order cycle
+# and its lockset-proven race, classify its lock-dominated counter, and
+# keep the race through an elided replay.
+set(lint_trace ${WORKDIR}/lint_fixture_ci.trace)
+run(${DGTRACE} record lint_fixture ${lint_trace} 3 1 7)
+run_expect(${DGTRACE} analyze ${lint_trace} dynamic EXPECT
+  "lint: lock-order cycle:"
+  "lint: lockset race:"
+  "empty common lockset"
+  "LockDominated"
+  "checks elided"
+  "races: 1 unique locations")
+file(REMOVE ${lint_trace})
+
+# The hardened loader must reject corrupt input with a clear message.
+file(WRITE ${WORKDIR}/corrupt_ci.trace "this is not a trace file at all..")
+execute_process(COMMAND ${DGTRACE} info ${WORKDIR}/corrupt_ci.trace
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "dgtrace info accepted a corrupt trace")
+endif()
+string(FIND "${err}" "bad magic" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "corrupt-trace error lacks 'bad magic': ${err}")
+endif()
+file(REMOVE ${WORKDIR}/corrupt_ci.trace)
