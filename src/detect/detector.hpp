@@ -5,7 +5,7 @@
 // the analogue of the PIN analysis callbacks in the paper's tool (Fig. 3).
 // Detector implementations are single-threaded consumers: the caller
 // guarantees events arrive one at a time (the runtime holds its analysis
-// lock; the simulator is single-threaded by construction).
+// lock while delivering; the simulator is single-threaded by construction).
 #pragma once
 
 #include <cstdint>
@@ -19,11 +19,69 @@
 
 namespace dg {
 
+/// One deferred instrumentation event. The live runtime's two-tier event
+/// path (DESIGN.md §5.1) parks these in per-thread ring buffers and flushes
+/// them through Detector::on_batch under the analysis lock, amortizing one
+/// lock acquisition over a whole batch.
+struct BatchedEvent {
+  enum class Kind : std::uint8_t { kRead, kWrite, kAlloc, kFree, kSite };
+  Kind kind = Kind::kRead;
+  ThreadId tid = kInvalidThread;
+  Addr addr = 0;
+  std::uint64_t size = 0;            // ≤ UINT32_MAX for kRead/kWrite
+  const char* site = nullptr;        // kSite only
+};
+
 class Detector {
  public:
   virtual ~Detector() = default;
 
   virtual const char* name() const = 0;
+
+  /// Sentinel for same_epoch_serial(): this detector publishes no per-thread
+  /// epoch serial and the runtime's lock-free same-epoch fast path stays off
+  /// for it. HbEngine serials start at 1, so 0 is never a live serial.
+  static constexpr std::uint64_t kNoSameEpochSerial = 0;
+
+  /// Current epoch serial of thread t, or kNoSameEpochSerial.
+  ///
+  /// The live runtime caches this value after delivering each of t's sync
+  /// events and consults a thread-local EpochBitmap keyed by it *before*
+  /// taking the analysis lock (the paper's §IV-A filter, hoisted into the
+  /// application thread). Only detectors whose on_read/on_write already skip
+  /// same-thread same-epoch duplicates via their own EpochBitmap may publish
+  /// a serial: the runtime then drops a strict subset of the accesses the
+  /// detector itself would have filtered, so behaviour is preserved.
+  virtual std::uint64_t same_epoch_serial(ThreadId t) const noexcept {
+    (void)t;
+    return kNoSameEpochSerial;
+  }
+
+  /// Deliver a batch of deferred events in program order of one thread.
+  /// The default dispatches each event to the matching on_* callback;
+  /// detectors may override to amortize per-event work across a batch.
+  virtual void on_batch(const BatchedEvent* events, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const BatchedEvent& e = events[i];
+      switch (e.kind) {
+        case BatchedEvent::Kind::kRead:
+          on_read(e.tid, e.addr, static_cast<std::uint32_t>(e.size));
+          break;
+        case BatchedEvent::Kind::kWrite:
+          on_write(e.tid, e.addr, static_cast<std::uint32_t>(e.size));
+          break;
+        case BatchedEvent::Kind::kAlloc:
+          on_alloc(e.tid, e.addr, e.size);
+          break;
+        case BatchedEvent::Kind::kFree:
+          on_free(e.tid, e.addr, e.size);
+          break;
+        case BatchedEvent::Kind::kSite:
+          set_site(e.tid, e.site);
+          break;
+      }
+    }
+  }
 
   /// Thread t began; parent is the forking thread (kInvalidThread for the
   /// initial thread). Must be called before any other event of t.

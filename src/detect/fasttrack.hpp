@@ -50,6 +50,14 @@ class FastTrackDetector final : public Detector {
   void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
   void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
 
+  /// Published so the runtime may run the §IV-A same-epoch filter inline in
+  /// application threads: on_read/on_write already drop same-thread
+  /// same-epoch duplicates via bitmaps_, so runtime-side filtering is a
+  /// strict subset of detector-side filtering.
+  std::uint64_t same_epoch_serial(ThreadId t) const noexcept override {
+    return t < hb_.num_threads() ? hb_.epoch_serial(t) : kNoSameEpochSerial;
+  }
+
   /// Attach an ahead-of-time check-elision map (docs/ANALYZER.md): accesses
   /// conforming to their range's class skip all shadow/VC work. Not owned;
   /// nullptr detaches. Demotion-uncovered conflicts are reported as races.

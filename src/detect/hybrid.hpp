@@ -52,6 +52,15 @@ class HybridDetector final : public Detector {
   void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
   void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
 
+  /// Published so the runtime may run the §IV-A same-epoch filter inline in
+  /// application threads. Sound for the lockset side too: within one epoch a
+  /// thread's held-lock set only grows (a release ends the epoch), so a
+  /// same-epoch duplicate carries a superset lockset and its intersection
+  /// into the cell's candidate set is a no-op.
+  std::uint64_t same_epoch_serial(ThreadId t) const noexcept override {
+    return t < hb_.num_threads() ? hb_.epoch_serial(t) : kNoSameEpochSerial;
+  }
+
   /// Races reported only by the lockset side (potential races on other
   /// interleavings) — the hybrid mode's added coverage.
   std::uint64_t potential_races() const noexcept { return potential_; }

@@ -44,6 +44,13 @@ class InspectorLikeDetector final : public Detector {
   void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
   void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
 
+  /// Published so the runtime may run the §IV-A same-epoch filter inline in
+  /// application threads (on_read/on_write already skip same-thread
+  /// same-epoch duplicates via bitmaps_).
+  std::uint64_t same_epoch_serial(ThreadId t) const noexcept override {
+    return t < hb_.num_threads() ? hb_.epoch_serial(t) : kNoSameEpochSerial;
+  }
+
   /// Raw reports including timeline duplicates (Table 6 lists these).
   std::uint64_t timeline_reports() const noexcept { return timeline_reports_; }
 

@@ -78,4 +78,32 @@ struct DetectorStats {
   }
 };
 
+// RuntimeStats — contention/throughput counters for the live runtime's
+// two-tier event path (DESIGN.md §5.1). A healthy read-heavy run shows a
+// high fast_path_pct (the §IV-A filter resolving accesses without the
+// analysis lock) and a high events_per_lock (batching amortization).
+struct RuntimeStats {
+  std::uint64_t events_seen = 0;        // accesses entering the runtime
+  std::uint64_t fast_path_filtered = 0; // dropped lock-free by the local bitmap
+  std::uint64_t batched = 0;            // deferred into a per-thread ring
+  std::uint64_t direct = 0;             // delivered under the lock, unbatched
+  std::uint64_t flushes = 0;            // non-empty ring-buffer drains
+  std::uint64_t lock_acquisitions = 0;  // analysis-lock acquisitions
+
+  double fast_path_pct() const {
+    return events_seen == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(fast_path_filtered) /
+                     static_cast<double>(events_seen);
+  }
+
+  /// Memory/sync events delivered per analysis-lock acquisition.
+  double events_per_lock() const {
+    return lock_acquisitions == 0
+               ? 0.0
+               : static_cast<double>(batched + direct) /
+                     static_cast<double>(lock_acquisitions);
+  }
+};
+
 }  // namespace dg

@@ -1,26 +1,114 @@
 #include "rt/runtime.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 
 #include "common/assert.hpp"
+#include "common/memtrack.hpp"
+#include "rt/event_ring.hpp"
+#include "shadow/epoch_bitmap.hpp"
 
 namespace dg::rt {
+
+// Per-thread fast-path state (DESIGN.md §5.1). The owning thread reads and
+// writes `serial`, `ranges`, `bitmap` and the ring's producer side without
+// any lock; `serial` is only updated while the owner also holds mu_ (right
+// after one of its own sync events is delivered). The atomics are written
+// by the owner and read by Runtime::stats() from any thread.
+struct ThreadState {
+  explicit ThreadState(ThreadId t) : tid(t), bitmap(acct) {}
+
+  const ThreadId tid;
+  MemoryAccountant acct;  // the runtime's bitmap accountant; must precede it
+  EpochBitmap bitmap;     // the §IV-A filter, hoisted out of the detector
+  EventRing ring;
+
+  // Epoch serial the detector published at this thread's last sync event;
+  // Detector::kNoSameEpochSerial disables the fast path.
+  std::uint64_t serial = Detector::kNoSameEpochSerial;
+
+  // Snapshot of the ignore-range list, refreshed when ranges_gen_ moves.
+  std::vector<std::pair<Addr, Addr>> ranges;
+  std::uint64_t ranges_gen = 0;
+
+  // Ranges this thread registered via ignore_thread_range, removed at
+  // thread exit. Guarded by Runtime::ranges_mu_.
+  std::vector<std::pair<Addr, Addr>> owned;
+
+  // Owner-incremented, read by stats() from any thread. Single-writer, so
+  // a relaxed load+store pair (a plain add, no atomic RMW) suffices — an
+  // uncontended fetch_add would put a locked instruction on the fast path.
+  std::atomic<std::uint64_t> events_seen{0};
+  std::atomic<std::uint64_t> fast_filtered{0};
+  std::atomic<std::uint64_t> batched{0};
+
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  // fast_filtered already folded into the detector's stats; guarded by mu_.
+  std::uint64_t folded = 0;
+};
 
 namespace {
 // One live runtime per thread at a time; the slot maps the OS thread to its
 // logical id within that runtime (the PIN TID analogue).
 thread_local ThreadId tls_tid = kInvalidThread;
+thread_local Runtime* tls_owner = nullptr;
+thread_local ThreadState* tls_state = nullptr;
 
 Addr to_addr(const void* p) {
   return reinterpret_cast<Addr>(p);
 }
+
+// Detector read/write sizes are uint32; larger accesses are split so no
+// bytes are silently dropped (a 2^32+k touch used to wrap to k).
+constexpr std::uint64_t kMaxChunk = 1u << 30;  // 1 GiB
+
+// Invoke fn(lo, hi) for each maximal sub-range of [lo, hi) not covered by
+// any ignore range. Handles accesses straddling range boundaries in either
+// direction and overlapping ranges; the list is small (stacks/arenas).
+template <typename Fn>
+void for_unignored(const std::vector<std::pair<Addr, Addr>>& ranges, Addr lo,
+                   Addr hi, Fn&& fn) {
+  Addr a = lo;
+  while (a < hi) {
+    Addr covered_to = 0;
+    Addr next_lo = hi;
+    for (const auto& [rlo, rhi] : ranges) {
+      if (a >= rlo && a < rhi) {
+        if (rhi > covered_to) covered_to = rhi;
+      } else if (rlo > a && rlo < next_lo) {
+        next_lo = rlo;
+      }
+    }
+    if (covered_to > a) {  // a is ignored: skip to the end of the cover
+      a = covered_to < hi ? covered_to : hi;
+      continue;
+    }
+    fn(a, next_lo);  // [a, next_lo) touches no ignore range
+    a = next_lo;
+  }
+}
 }  // namespace
+
+Runtime::Runtime(Detector& det, RuntimeOptions opts)
+    : det_(&det), opts_(opts) {}
+
+Runtime::~Runtime() = default;  // out-of-line: ThreadState is complete here
 
 ThreadId Runtime::register_current_thread(ThreadId parent) {
   std::scoped_lock lk(mu_);
+  ++lock_acquisitions_;
   const ThreadId tid = next_tid_++;
-  tls_tid = tid;
+  auto ts = std::make_unique<ThreadState>(tid);
   det_->on_thread_start(tid, parent);
+  ++direct_events_;
+  ts->serial = det_->same_epoch_serial(tid);
+  tls_tid = tid;
+  tls_owner = this;
+  tls_state = ts.get();
+  threads_.push_back(std::move(ts));
   return tid;
 }
 
@@ -30,74 +118,249 @@ ThreadId Runtime::current() const {
   return tls_tid;
 }
 
-void Runtime::ignore_range(Addr lo, Addr hi) {
-  std::scoped_lock lk(mu_);
-  ignored_.emplace_back(lo, hi);
+ThreadState& Runtime::self() const {
+  DG_CHECK_MSG(tls_owner == this && tls_state != nullptr,
+               "thread not registered with the runtime");
+  return *tls_state;
 }
 
-bool Runtime::is_ignored(Addr a) const {
-  for (const auto& [lo, hi] : ignored_)
-    if (a >= lo && a < hi) return true;
-  return false;
+void Runtime::ignore_range(Addr lo, Addr hi) {
+  std::scoped_lock lk(ranges_mu_);
+  ignored_.emplace_back(lo, hi);
+  ranges_gen_.fetch_add(1, std::memory_order_release);
+}
+
+bool Runtime::unignore_range(Addr lo, Addr hi) {
+  std::scoped_lock lk(ranges_mu_);
+  const auto it =
+      std::find(ignored_.begin(), ignored_.end(), std::pair(lo, hi));
+  if (it == ignored_.end()) return false;
+  ignored_.erase(it);
+  ranges_gen_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+void Runtime::ignore_thread_range(Addr lo, Addr hi) {
+  ThreadState& ts = self();
+  std::scoped_lock lk(ranges_mu_);
+  ignored_.emplace_back(lo, hi);
+  ts.owned.emplace_back(lo, hi);
+  ranges_gen_.fetch_add(1, std::memory_order_release);
+}
+
+void Runtime::refresh_ranges(ThreadState& ts) const {
+  if (ranges_gen_.load(std::memory_order_acquire) == ts.ranges_gen) return;
+  std::scoped_lock lk(ranges_mu_);
+  ts.ranges = ignored_;
+  ts.ranges_gen = ranges_gen_.load(std::memory_order_relaxed);
+}
+
+void Runtime::flush_locked(ThreadState& ts) {
+  const std::size_t n = ts.ring.drain(
+      [&](const BatchedEvent* ev, std::size_t k) { det_->on_batch(ev, k); });
+  if (n > 0) ++flushes_;
+  // Fold fast-path-filtered accesses into the detector's counters: each one
+  // is exactly an access the detector would have counted as a shared access
+  // and a same-epoch hit, so shared_accesses / same_epoch_hits stay
+  // identical to a serialized run (see DESIGN.md §5.1).
+  const std::uint64_t filtered =
+      ts.fast_filtered.load(std::memory_order_relaxed);
+  if (filtered > ts.folded) {
+    const std::uint64_t d = filtered - ts.folded;
+    det_->stats().shared_accesses += d;
+    det_->stats().same_epoch_hits += d;
+    ts.folded = filtered;
+  }
+}
+
+void Runtime::enqueue(ThreadState& ts, const BatchedEvent& e) {
+  ThreadState::bump(ts.batched);
+  if (ts.ring.try_push(e)) return;
+  std::scoped_lock lk(mu_);  // ring full: flush it and retry
+  ++lock_acquisitions_;
+  flush_locked(ts);
+  const bool pushed = ts.ring.try_push(e);
+  DG_CHECK(pushed);
+}
+
+void Runtime::access(const void* p, std::size_t n, AccessType type) {
+  if (n == 0) return;  // zero-sized touches carry no bytes to analyse
+  ThreadState& ts = self();
+  ThreadState::bump(ts.events_seen);
+  refresh_ranges(ts);
+  const Addr lo = to_addr(p);
+  const Addr hi = n < kInvalidAddr - lo ? lo + n : kInvalidAddr;
+  const bool serialized = opts_.mode == RuntimeOptions::Mode::kSerialized;
+  for_unignored(ts.ranges, lo, hi, [&](Addr a, Addr seg_hi) {
+    while (a < seg_hi) {
+      const std::uint64_t rem = seg_hi - a;
+      const auto len =
+          static_cast<std::uint32_t>(rem > kMaxChunk ? kMaxChunk : rem);
+      if (serialized) {
+        std::scoped_lock lk(mu_);
+        ++lock_acquisitions_;
+        ++direct_events_;
+        if (type == AccessType::kRead) {
+          det_->on_read(ts.tid, a, len);
+        } else {
+          det_->on_write(ts.tid, a, len);
+        }
+      } else if (ts.serial != Detector::kNoSameEpochSerial &&
+                 ts.bitmap.test_and_set(a, len, type, ts.serial)) {
+        // Tier 1: same-thread same-epoch duplicate — the detector would
+        // have dropped it in its own bitmap; resolve it lock-free here.
+        ThreadState::bump(ts.fast_filtered);
+      } else {
+        BatchedEvent e;
+        e.kind = type == AccessType::kRead ? BatchedEvent::Kind::kRead
+                                           : BatchedEvent::Kind::kWrite;
+        e.tid = ts.tid;
+        e.addr = a;
+        e.size = len;
+        enqueue(ts, e);
+      }
+      a += len;
+    }
+  });
 }
 
 void Runtime::read(const void* p, std::size_t n) {
-  const Addr a = to_addr(p);
-  std::scoped_lock lk(mu_);
-  if (is_ignored(a)) return;
-  det_->on_read(current(), a, static_cast<std::uint32_t>(n));
+  access(p, n, AccessType::kRead);
 }
 
 void Runtime::write(const void* p, std::size_t n) {
-  const Addr a = to_addr(p);
+  access(p, n, AccessType::kWrite);
+}
+
+void Runtime::sync_event(const void* sync_obj, bool is_acquire) {
+  ThreadState& ts = self();
   std::scoped_lock lk(mu_);
-  if (is_ignored(a)) return;
-  det_->on_write(current(), a, static_cast<std::uint32_t>(n));
+  ++lock_acquisitions_;
+  // Flush-before-sync: every deferred access is delivered before the sync
+  // event that would end its epoch, so its attribution at analysis time is
+  // the same as at enqueue time.
+  flush_locked(ts);
+  if (is_acquire) {
+    det_->on_acquire(ts.tid, to_addr(sync_obj));
+  } else {
+    det_->on_release(ts.tid, to_addr(sync_obj));
+  }
+  ++direct_events_;
+  ts.serial = det_->same_epoch_serial(ts.tid);
 }
 
 void Runtime::acquire(const void* sync_obj) {
-  std::scoped_lock lk(mu_);
-  det_->on_acquire(current(), to_addr(sync_obj));
+  sync_event(sync_obj, /*is_acquire=*/true);
 }
 
 void Runtime::release(const void* sync_obj) {
-  std::scoped_lock lk(mu_);
-  det_->on_release(current(), to_addr(sync_obj));
+  sync_event(sync_obj, /*is_acquire=*/false);
 }
 
 void Runtime::sync_signal(const void* sync_obj) {
-  std::scoped_lock lk(mu_);
-  det_->on_release(current(), to_addr(sync_obj));
+  sync_event(sync_obj, /*is_acquire=*/false);
 }
 
 void Runtime::sync_acquire_edge(const void* sync_obj) {
-  std::scoped_lock lk(mu_);
-  det_->on_acquire(current(), to_addr(sync_obj));
+  sync_event(sync_obj, /*is_acquire=*/true);
 }
 
+// alloc/free are delivered eagerly (never deferred): detectors drop shadow
+// state on free, and replaying a free after another thread repopulated the
+// range would erase live history. Real-time order across threads matters
+// here in a way it does not for data accesses.
 void Runtime::allocated(const void* p, std::size_t n) {
+  ThreadState& ts = self();
   std::scoped_lock lk(mu_);
-  det_->on_alloc(current(), to_addr(p), n);
+  ++lock_acquisitions_;
+  flush_locked(ts);
+  ++direct_events_;
+  det_->on_alloc(ts.tid, to_addr(p), n);
 }
 
 void Runtime::freed(const void* p, std::size_t n) {
+  ThreadState& ts = self();
   std::scoped_lock lk(mu_);
-  det_->on_free(current(), to_addr(p), n);
+  ++lock_acquisitions_;
+  flush_locked(ts);
+  ++direct_events_;
+  det_->on_free(ts.tid, to_addr(p), n);
 }
 
 void Runtime::joined(ThreadId child) {
+  ThreadState& ts = self();
   std::scoped_lock lk(mu_);
-  det_->on_thread_join(current(), child);
+  ++lock_acquisitions_;
+  flush_locked(ts);
+  det_->on_thread_join(ts.tid, child);
+  ++direct_events_;
+  ts.serial = det_->same_epoch_serial(ts.tid);
 }
 
 void Runtime::set_site(const char* site) {
+  ThreadState& ts = self();
+  if (opts_.mode == RuntimeOptions::Mode::kSerialized) {
+    std::scoped_lock lk(mu_);
+    ++lock_acquisitions_;
+    ++direct_events_;
+    det_->set_site(ts.tid, site);
+    return;
+  }
+  BatchedEvent e;  // rides the ring so it orders with deferred accesses
+  e.kind = BatchedEvent::Kind::kSite;
+  e.tid = ts.tid;
+  e.site = site;
+  enqueue(ts, e);
+}
+
+void Runtime::flush_current() {
+  ThreadState& ts = self();
   std::scoped_lock lk(mu_);
-  det_->set_site(current(), site);
+  ++lock_acquisitions_;
+  flush_locked(ts);
+  ts.serial = det_->same_epoch_serial(ts.tid);
+}
+
+void Runtime::thread_exit() {
+  ThreadState& ts = self();
+  {
+    std::scoped_lock lk(ranges_mu_);
+    if (!ts.owned.empty()) {
+      for (const auto& r : ts.owned) {
+        const auto it = std::find(ignored_.begin(), ignored_.end(), r);
+        if (it != ignored_.end()) ignored_.erase(it);
+      }
+      ts.owned.clear();
+      ranges_gen_.fetch_add(1, std::memory_order_release);
+    }
+  }
+  std::scoped_lock lk(mu_);
+  ++lock_acquisitions_;
+  flush_locked(ts);
 }
 
 void Runtime::finish() {
   std::scoped_lock lk(mu_);
+  ++lock_acquisitions_;
+  // All application threads are expected to be quiescent here; draining
+  // their rings from this thread is safe because drains are serialized by
+  // mu_ (see EventRing).
+  for (const auto& ts : threads_) flush_locked(*ts);
   det_->on_finish();
+}
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats rs;
+  std::scoped_lock lk(mu_);
+  rs.flushes = flushes_;
+  rs.direct = direct_events_;
+  rs.lock_acquisitions = lock_acquisitions_;
+  for (const auto& ts : threads_) {
+    rs.events_seen += ts->events_seen.load(std::memory_order_relaxed);
+    rs.fast_path_filtered += ts->fast_filtered.load(std::memory_order_relaxed);
+    rs.batched += ts->batched.load(std::memory_order_relaxed);
+  }
+  return rs;
 }
 
 Thread::Thread(Runtime& rt, std::function<void(ThreadCtx&)> body)
@@ -106,6 +369,10 @@ Thread::Thread(Runtime& rt, std::function<void(ThreadCtx&)> body)
   // the parent id is captured here (parent thread), the child registers
   // itself as its first action.
   const ThreadId parent = rt.current();
+  // Deliver the parent's deferred accesses before the fork edge exists:
+  // registering the child advances the parent's epoch (HbEngine resyncs the
+  // parent at a fork), and a pre-fork access must be analysed pre-fork.
+  rt.flush_current();
   std::mutex started_mu;
   std::condition_variable started_cv;
   bool started = false;
@@ -117,14 +384,27 @@ Thread::Thread(Runtime& rt, std::function<void(ThreadCtx&)> body)
       std::scoped_lock lk(started_mu);
       child_tid = tid;
       started = true;
+      // Notify while holding the lock: the parent destroys started_cv as
+      // soon as its wait returns, and the wait can only return once this
+      // critical section ends — an unlocked notify could still be touching
+      // the condvar at that point.
+      started_cv.notify_one();
     }
-    started_cv.notify_one();
     ThreadCtx ctx(rt);
+    // Unregister scoped ignore ranges and flush the ring even if the body
+    // throws — a stale stack range would mask races at recycled addresses.
+    struct ExitGuard {
+      Runtime* rt;
+      ~ExitGuard() { rt->thread_exit(); }
+    } guard{&rt};
     body(ctx);
   });
   std::unique_lock lk(started_mu);
   started_cv.wait(lk, [&] { return started; });
   tid_ = child_tid;
+  // The fork bumped this thread's epoch; re-read the cached serial so the
+  // fast path does not treat post-fork accesses as pre-fork duplicates.
+  rt.flush_current();
 }
 
 Thread::~Thread() {

@@ -2,9 +2,17 @@
 //
 // This is the repo's substitute for Intel PIN (DESIGN.md §2): instead of
 // rewriting binaries, programs link against dyngran and route their shared
-// accesses and synchronization through the wrappers below. Events are
-// serialized into the detector under one analysis mutex — the same
-// discipline a PIN tool's analysis lock imposes.
+// accesses and synchronization through the wrappers below.
+//
+// Events travel a two-tier path (DESIGN.md §5.1). Tier 1 runs lock-free in
+// the application thread: the ignore-range filter (against a per-thread
+// snapshot of the range list) and the paper's §IV-A same-epoch bitmap,
+// keyed by the epoch serial the detector published at the thread's last
+// sync event. Tier 2 batches surviving accesses into a per-thread ring
+// buffer that is flushed into the detector under one analysis mutex —
+// before any of the thread's sync events, so a deferred access is analysed
+// under the same epoch it was filtered against. Sync, alloc/free and join
+// events are delivered directly under the lock.
 //
 //   dg::rt::Runtime rt(detector);
 //   dg::rt::Mutex m(rt);
@@ -19,9 +27,11 @@
 // stacks) return immediately — the paper's nonSharedRead/Write filter.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
@@ -29,12 +39,24 @@
 
 #include "common/types.hpp"
 #include "detect/detector.hpp"
+#include "report/stats.hpp"
 
 namespace dg::rt {
 
+struct ThreadState;  // per-thread fast-path state, defined in runtime.cpp
+
+struct RuntimeOptions {
+  enum class Mode {
+    kTwoTier,     // lock-free filter + batched delivery (default)
+    kSerialized,  // seed behaviour: every event under the analysis lock
+  };
+  Mode mode = Mode::kTwoTier;
+};
+
 class Runtime {
  public:
-  explicit Runtime(Detector& det) : det_(&det) {}
+  explicit Runtime(Detector& det, RuntimeOptions opts = {});
+  ~Runtime();
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -50,6 +72,16 @@ class Runtime {
   /// in it are filtered before reaching the detector.
   void ignore_range(Addr lo, Addr hi);
 
+  /// Remove a previously registered range (exact [lo, hi) match). Returns
+  /// false if no such range is registered. Needed when the memory is
+  /// recycled — a stale range would silently mask races at those addresses.
+  bool unignore_range(Addr lo, Addr hi);
+
+  /// Like ignore_range, but tied to the calling thread's lifetime: the
+  /// range is removed automatically when the thread exits (rt::Thread
+  /// teardown), so a later allocation at the same addresses is analysed.
+  void ignore_thread_range(Addr lo, Addr hi);
+
   // --- instrumentation entry points (Fig. 3's memoryRead/memoryWrite) ---
   void read(const void* p, std::size_t n);
   void write(const void* p, std::size_t n);
@@ -62,17 +94,67 @@ class Runtime {
   void joined(ThreadId child);
   void set_site(const char* site);
 
+  /// Flush the calling thread's deferred events into the detector and
+  /// refresh its cached epoch serial. Called by Thread around forks so the
+  /// parent's pre-fork accesses precede the fork edge.
+  void flush_current();
+
+  /// Thread teardown: drop the thread's scoped ignore ranges and flush its
+  /// remaining deferred events. Called by Thread after the body returns.
+  void thread_exit();
+
   void finish();
 
   Detector& detector() noexcept { return *det_; }
+  const RuntimeOptions& options() const noexcept { return opts_; }
+
+  /// Aggregated two-tier counters (events seen / fast-path filtered /
+  /// batched / lock acquisitions). Safe to call concurrently.
+  RuntimeStats stats() const;
 
  private:
-  bool is_ignored(Addr a) const;
+  ThreadState& self() const;
+  void access(const void* p, std::size_t n, AccessType type);
+  void sync_event(const void* sync_obj, bool is_acquire);
+  void refresh_ranges(ThreadState& ts) const;
+  void flush_locked(ThreadState& ts);   // caller holds mu_
+  void enqueue(ThreadState& ts, const BatchedEvent& e);
 
   mutable std::mutex mu_;  // the analysis lock
   Detector* det_;
-  ThreadId next_tid_ = 0;
+  RuntimeOptions opts_;
+  ThreadId next_tid_ = 0;                              // guarded by mu_
+  std::vector<std::unique_ptr<ThreadState>> threads_;  // guarded by mu_
+
+  // Ignore-range registry. Guarded by ranges_mu_, which is never held
+  // together with mu_. ranges_gen_ invalidates per-thread snapshots.
+  mutable std::mutex ranges_mu_;
   std::vector<std::pair<Addr, Addr>> ignored_;
+  std::atomic<std::uint64_t> ranges_gen_{1};
+
+  // Counters without a per-thread home; guarded by mu_.
+  std::uint64_t lock_acquisitions_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t direct_events_ = 0;
+};
+
+/// RAII ignore-range registration: unignores on scope exit.
+class ScopedIgnoreRange {
+ public:
+  ScopedIgnoreRange(Runtime& rt, const void* p, std::size_t n)
+      : rt_(&rt),
+        lo_(reinterpret_cast<Addr>(p)),
+        hi_(reinterpret_cast<Addr>(p) + n) {
+    rt_->ignore_range(lo_, hi_);
+  }
+  ~ScopedIgnoreRange() { rt_->unignore_range(lo_, hi_); }
+
+  ScopedIgnoreRange(const ScopedIgnoreRange&) = delete;
+  ScopedIgnoreRange& operator=(const ScopedIgnoreRange&) = delete;
+
+ private:
+  Runtime* rt_;
+  Addr lo_, hi_;
 };
 
 /// Handle passed to instrumented thread bodies for convenience accessors.
@@ -94,6 +176,14 @@ class ThreadCtx {
   void touch_read(const void* p, std::size_t n) { rt_->read(p, n); }
   void touch_write(void* p, std::size_t n) { rt_->write(p, n); }
   void site(const char* s) { rt_->set_site(s); }
+
+  /// Register a thread-private buffer (typically on this thread's stack)
+  /// as non-shared for the rest of this thread's lifetime; unregistered
+  /// automatically at thread exit.
+  void ignore_stack(const void* p, std::size_t n) {
+    const Addr lo = reinterpret_cast<Addr>(p);
+    rt_->ignore_thread_range(lo, lo + n);
+  }
 
   Runtime& runtime() noexcept { return *rt_; }
 

@@ -44,6 +44,9 @@ class EpochBitmap {
   /// access. `epoch_serial` identifies the thread's current epoch.
   bool test_and_set(Addr addr, std::uint32_t size, AccessType type,
                     std::uint64_t epoch_serial) {
+    // A zero-sized access covers no bytes and must not reach mask(), whose
+    // lo < hi contract would trip; vacuously covered.
+    if (size == 0) return true;
     bool covered = true;
     Addr a = addr;
     const Addr end = addr + size;

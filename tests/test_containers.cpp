@@ -20,20 +20,25 @@ class Containers : public ::testing::Test {
 
 TEST_F(Containers, ProxyReadsAndWritesAreReported) {
   rt::Vector<int> v(rtm, 8);
+  rtm.flush_current();  // deliver deferred events before counting
   const auto before = det.stats().shared_accesses;
   v[0] = 7;                 // 1 write
   const int x = v[0];       // 1 read
   v[1] += x;                // 1 read + 1 write
+  rtm.flush_current();
   EXPECT_EQ(det.stats().shared_accesses, before + 4);
   // raw() bypasses instrumentation: no additional events.
   EXPECT_EQ(v[1].raw(), 7);
+  rtm.flush_current();
   EXPECT_EQ(det.stats().shared_accesses, before + 4);
 }
 
 TEST_F(Containers, FillIsOneWideWrite) {
   rt::Vector<int> v(rtm, 256);
+  rtm.flush_current();
   const auto before = det.stats().shared_accesses;
   v.fill(42);
+  rtm.flush_current();
   EXPECT_EQ(det.stats().shared_accesses, before + 1);
   EXPECT_EQ(v[10].raw(), 42);
 }
@@ -41,8 +46,10 @@ TEST_F(Containers, FillIsOneWideWrite) {
 TEST_F(Containers, CopyFromReportsReadAndWrite) {
   rt::Vector<int> a(rtm, 16, 1);
   rt::Vector<int> b(rtm, 16, 0);
+  rtm.flush_current();
   const auto before = det.stats().shared_accesses;
   b.copy_from(a);
+  rtm.flush_current();
   EXPECT_EQ(det.stats().shared_accesses, before + 2);
   EXPECT_EQ(b[3].raw(), 1);
 }
@@ -100,6 +107,7 @@ TEST(ContainersDynGran, FillCoalescesToOneClock) {
   rtm.register_current_thread(kInvalidThread);
   rt::Vector<int> v(rtm, 1024);
   v.fill(0);  // one wide write: one Init node for 4 KB
+  rtm.flush_current();
   EXPECT_EQ(det.stats().live_vcs, 1u);
   EXPECT_GE(det.stats().avg_sharing_at_peak, 1024.0);
 }

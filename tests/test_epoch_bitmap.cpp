@@ -82,6 +82,12 @@ TEST_F(EpochBitmapTest, LargeSpanMarking) {
   EXPECT_FALSE(bm.test_and_set(0x2800, 1, AccessType::kRead, 3));
 }
 
+TEST_F(EpochBitmapTest, ZeroSizedAccessIsVacuouslyCovered) {
+  // Must not reach mask()'s lo < hi contract, and must not record anything.
+  EXPECT_TRUE(bm.test_and_set(0x3000, 0, AccessType::kWrite, 5));
+  EXPECT_FALSE(bm.test_and_set(0x3000, 1, AccessType::kWrite, 5));
+}
+
 TEST_F(EpochBitmapTest, MemoryReleasedOnDestruction) {
   MemoryAccountant a2;
   {

@@ -72,6 +72,7 @@ TEST(Runtime, SharedValueWrapperInstruments) {
   flag.update([](int v) { return v + 1; });
   EXPECT_EQ(flag.load(), 2);
   // 1 store + 1 load + (load+store) + 1 load = 5 instrumented accesses.
+  rtm.finish();  // deliver this thread's deferred events before counting
   EXPECT_EQ(det.stats().shared_accesses, 5u);
 }
 

@@ -71,3 +71,20 @@ if(pos EQUAL -1)
   message(FATAL_ERROR "corrupt-trace error lacks 'bad magic': ${err}")
 endif()
 file(REMOVE ${WORKDIR}/corrupt_ci.trace)
+
+# Smoke the runtime micro-benchmark: it must run, report parity, and emit
+# a well-formed BENCH_runtime.json for the perf trajectory.
+if(DEFINED MICRO_RUNTIME)
+  set(bench_json ${WORKDIR}/BENCH_runtime.json)
+  run_expect(${MICRO_RUNTIME} --smoke --out ${bench_json} EXPECT
+    "speedup at 8 threads" "race-report parity: yes")
+  file(READ ${bench_json} bench_out)
+  foreach(want "two_tier_events_per_sec" "serialized_events_per_sec"
+          "speedup_at_8_threads" "\"race_report_parity\": true")
+    string(FIND "${bench_out}" "${want}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "BENCH_runtime.json lacks '${want}':\n${bench_out}")
+    endif()
+  endforeach()
+  file(REMOVE ${bench_json})
+endif()
