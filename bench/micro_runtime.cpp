@@ -1,5 +1,6 @@
 // micro_runtime — throughput of the live runtime's two-tier event path
-// (DESIGN.md §5.1) versus the seed single-lock design.
+// (DESIGN.md §5.1) versus the seed single-lock design, plus the sharded
+// concurrent analysis tier (§5.2).
 //
 // N application threads run a read-heavy loop over disjoint synthetic
 // regions plus a shared read-only region, with a mutex-protected counter
@@ -10,8 +11,10 @@
 // and once in kTwoTier mode (lock-free same-epoch filter + batched flush).
 //
 // Emits a table and, with --out FILE, a BENCH_runtime.json snapshot so the
-// perf trajectory is trackable across PRs. --smoke shrinks iterations for
-// CI wiring tests.
+// perf trajectory is trackable across PRs. --shard-out FILE additionally
+// sweeps the sharded mode over a thread-count x shard-count grid and
+// writes the scaling curve to BENCH_shard.json. --smoke shrinks
+// iterations for CI wiring tests.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -37,8 +40,8 @@ struct RunResult {
 };
 
 RunResult run_workload(rt::RuntimeOptions::Mode mode, int nthreads,
-                       int iters) {
-  FastTrackDetector det(Granularity::kByte);
+                       int iters, std::uint32_t shards = 1) {
+  FastTrackDetector det(Granularity::kByte, shards);
   rt::Runtime rtm(det, rt::RuntimeOptions{mode});
   rtm.register_current_thread(kInvalidThread);
   rt::Mutex mu(rtm);
@@ -96,43 +99,68 @@ RunResult run_workload(rt::RuntimeOptions::Mode mode, int nthreads,
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path;
+  std::string shard_out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shard-out") == 0 && i + 1 < argc) {
+      shard_out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out FILE] [--shard-out FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
   const int iters = smoke ? 2000 : 400000;
+  constexpr std::uint32_t kMainShards = 16;  // sharded column of the table
 
-  std::cout << "micro_runtime: two-tier event path vs single-lock baseline "
-               "(fasttrack-byte, read-heavy)\n\n";
+  std::cout << "micro_runtime: event-path modes (fasttrack-byte, "
+               "read-heavy)\n\n";
   TablePrinter table({"threads", "serialized ev/s", "two-tier ev/s",
-                      "speedup", "fast-path %", "ev/lock"});
+                      "sharded ev/s", "speedup", "shard speedup",
+                      "fast-path %", "ev/lock"});
 
   const int thread_counts[] = {1, 2, 4, 8};
   std::string json = "{\n  \"bench\": \"micro_runtime\",\n  \"iters\": " +
                      std::to_string(iters) + ",\n  \"results\": [\n";
   double speedup_at_8 = 0;
+  double shard_speedup_at_8 = 0;
+  double two_tier_at_8 = 0;
+  double sharded_at_8 = 0;
   bool first = true;
   bool parity = true;
+  std::vector<RunResult> serialized_by_n;
   for (const int n : thread_counts) {
     const RunResult slow =
         run_workload(rt::RuntimeOptions::Mode::kSerialized, n, iters);
+    serialized_by_n.push_back(slow);
     const RunResult fast =
         run_workload(rt::RuntimeOptions::Mode::kTwoTier, n, iters);
-    if (fast.races != slow.races || fast.events != slow.events)
+    const RunResult shard = run_workload(rt::RuntimeOptions::Mode::kSharded,
+                                         n, iters, kMainShards);
+    if (fast.races != slow.races || fast.events != slow.events ||
+        shard.races != slow.races || shard.events != slow.events)
       parity = false;
     const double speedup = slow.events_per_sec > 0
                                ? fast.events_per_sec / slow.events_per_sec
                                : 0;
-    if (n == 8) speedup_at_8 = speedup;
+    const double shard_speedup =
+        slow.events_per_sec > 0 ? shard.events_per_sec / slow.events_per_sec
+                                : 0;
+    if (n == 8) {
+      speedup_at_8 = speedup;
+      shard_speedup_at_8 = shard_speedup;
+      two_tier_at_8 = fast.events_per_sec;
+      sharded_at_8 = shard.events_per_sec;
+    }
     table.add_row({std::to_string(n), TablePrinter::fmt(slow.events_per_sec, 0),
                    TablePrinter::fmt(fast.events_per_sec, 0),
+                   TablePrinter::fmt(shard.events_per_sec, 0),
                    TablePrinter::fmt(speedup, 2) + "x",
+                   TablePrinter::fmt(shard_speedup, 2) + "x",
                    TablePrinter::fmt(fast.rs.fast_path_pct(), 1),
                    TablePrinter::fmt(fast.rs.events_per_lock(), 1)});
     if (!first) json += ",\n";
@@ -142,7 +170,10 @@ int main(int argc, char** argv) {
             TablePrinter::fmt(slow.events_per_sec, 0) +
             ", \"two_tier_events_per_sec\": " +
             TablePrinter::fmt(fast.events_per_sec, 0) +
+            ", \"sharded_events_per_sec\": " +
+            TablePrinter::fmt(shard.events_per_sec, 0) +
             ", \"speedup\": " + TablePrinter::fmt(speedup, 3) +
+            ", \"sharded_speedup\": " + TablePrinter::fmt(shard_speedup, 3) +
             ", \"fast_path_pct\": " +
             TablePrinter::fmt(fast.rs.fast_path_pct(), 2) +
             ", \"events_per_lock\": " +
@@ -150,11 +181,19 @@ int main(int argc, char** argv) {
   }
   json += "\n  ],\n  \"speedup_at_8_threads\": " +
           TablePrinter::fmt(speedup_at_8, 3) +
+          ",\n  \"sharded_speedup_at_8_threads\": " +
+          TablePrinter::fmt(shard_speedup_at_8, 3) +
+          ",\n  \"two_tier_events_per_sec_at_8_threads\": " +
+          TablePrinter::fmt(two_tier_at_8, 0) +
+          ",\n  \"sharded_events_per_sec_at_8_threads\": " +
+          TablePrinter::fmt(sharded_at_8, 0) +
           ",\n  \"race_report_parity\": " + (parity ? "true" : "false") +
           "\n}\n";
 
   table.print(std::cout);
-  std::cout << "\nspeedup at 8 threads: " << TablePrinter::fmt(speedup_at_8, 2)
+  std::cout << "\nspeedup at 8 threads: two-tier "
+            << TablePrinter::fmt(speedup_at_8, 2) << "x, sharded "
+            << TablePrinter::fmt(shard_speedup_at_8, 2)
             << "x; race-report parity: " << (parity ? "yes" : "NO") << "\n";
 
   if (!out_path.empty()) {
@@ -165,6 +204,52 @@ int main(int argc, char** argv) {
     }
     f << json;
     std::cout << "wrote " << out_path << "\n";
+  }
+
+  // --shard-out: the sharded scaling curve — every thread count crossed
+  // with 1/4/16 shards, all in kSharded mode, parity-checked against the
+  // serialized oracle runs above.
+  if (!shard_out_path.empty()) {
+    std::cout << "\nsharded scaling (threads x shards, kSharded mode)\n\n";
+    TablePrinter stable({"threads", "shards", "ev/s", "vs serialized"});
+    std::string sjson =
+        "{\n  \"bench\": \"micro_runtime_shard\",\n  \"iters\": " +
+        std::to_string(iters) + ",\n  \"results\": [\n";
+    const std::uint32_t shard_counts[] = {1, 4, 16};
+    bool sfirst = true;
+    for (std::size_t ni = 0; ni < std::size(thread_counts); ++ni) {
+      const int n = thread_counts[ni];
+      const RunResult& slow = serialized_by_n[ni];
+      for (const std::uint32_t sc : shard_counts) {
+        const RunResult r =
+            run_workload(rt::RuntimeOptions::Mode::kSharded, n, iters, sc);
+        if (r.races != slow.races || r.events != slow.events) parity = false;
+        const double rel = slow.events_per_sec > 0
+                               ? r.events_per_sec / slow.events_per_sec
+                               : 0;
+        stable.add_row({std::to_string(n), std::to_string(sc),
+                        TablePrinter::fmt(r.events_per_sec, 0),
+                        TablePrinter::fmt(rel, 2) + "x"});
+        if (!sfirst) sjson += ",\n";
+        sfirst = false;
+        sjson += "    {\"threads\": " + std::to_string(n) +
+                 ", \"shards\": " + std::to_string(sc) +
+                 ", \"events_per_sec\": " +
+                 TablePrinter::fmt(r.events_per_sec, 0) +
+                 ", \"speedup_vs_serialized\": " +
+                 TablePrinter::fmt(rel, 3) + "}";
+      }
+    }
+    sjson += "\n  ],\n  \"race_report_parity\": " +
+             std::string(parity ? "true" : "false") + "\n}\n";
+    stable.print(std::cout);
+    std::ofstream f(shard_out_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", shard_out_path.c_str());
+      return 1;
+    }
+    f << sjson;
+    std::cout << "wrote " << shard_out_path << "\n";
   }
   return parity ? 0 : 1;
 }

@@ -81,6 +81,35 @@ void BM_ShadowExpansion(benchmark::State& state) {
 }
 BENCHMARK(BM_ShadowExpansion);
 
+void BM_ShadowExpansionWithExpander(benchmark::State& state) {
+  // Same growth path with the per-replica hook installed. The hook is a
+  // raw function pointer + context (set_expander no longer stores a
+  // std::function, so installing it never allocates and each replica pays
+  // one indirect call, not a type-erased dispatch); the delta against
+  // BM_ShadowExpansion is the whole cost of the callback mechanism.
+  static int sentinel;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemoryAccountant acct;
+    ShadowTable<int*> table(acct);
+    std::uint64_t clones = 0;
+    table.set_expander(
+        [](void* ctx, int*& cell, std::uint32_t) {
+          benchmark::DoNotOptimize(cell);
+          ++*static_cast<std::uint64_t*>(ctx);
+        },
+        &clones);
+    for (Addr a = 0; a < kBlockBytes; a += 4) {
+      table.slot(a, 4) = &sentinel;
+      table.note_fill(a);
+    }
+    state.ResumeTiming();
+    table.slot(1, 1) = &sentinel;  // triggers the expansion
+    benchmark::DoNotOptimize(clones);
+  }
+}
+BENCHMARK(BM_ShadowExpansionWithExpander);
+
 void BM_ShadowForRange64(benchmark::State& state) {
   MemoryAccountant acct;
   ShadowTable<int*> table(acct);

@@ -112,6 +112,6 @@ int main() {
       static_cast<unsigned long long>(detector.stats().shared_accesses),
       detector.stats().same_epoch_pct(),
       static_cast<unsigned long long>(detector.stats().max_live_vcs),
-      detector.stats().avg_sharing_at_peak);
+      static_cast<double>(detector.stats().avg_sharing_at_peak));
   return buggy_races > 0 && total == buggy_races ? 0 : 1;
 }

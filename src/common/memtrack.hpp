@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstddef>
 #include <cstdint>
@@ -35,55 +36,76 @@ inline const char* to_string(MemCategory c) noexcept {
   return "?";
 }
 
-/// Tracks current and peak bytes per category. Not internally synchronized:
-/// all detector state is mutated under the runtime's analysis serialization
-/// (see DESIGN.md §5.1), and the accountant is part of that state.
+/// Tracks current and peak bytes per category.
+///
+/// Safe under concurrent shard updates (DESIGN.md §5.2): counters are
+/// relaxed atomics with CAS-max peak maintenance, so shards charging the
+/// shared accountant concurrently never lose bytes. In a single-threaded
+/// run the arithmetic is identical to the former plain-integer version, so
+/// Table-2 category totals are byte-identical. Under concurrency the
+/// *current* totals are exact; the peak-of-sum (`peak_total`) is a best-
+/// effort snapshot (the sum is not read atomically across categories),
+/// which matches the paper's own RSS-derived approximation.
 class MemoryAccountant {
  public:
   void add(MemCategory c, std::size_t bytes) noexcept {
     auto i = static_cast<std::size_t>(c);
-    current_[i] += bytes;
-    if (current_[i] > peak_[i]) peak_[i] = current_[i];
+    const std::size_t now =
+        current_[i].fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    raise_max(peak_[i], now);
     std::size_t total = current_total();
-    if (total > peak_total_) peak_total_ = total;
+    raise_max(peak_total_, total);
   }
 
   void sub(MemCategory c, std::size_t bytes) noexcept {
     auto i = static_cast<std::size_t>(c);
 #ifndef NDEBUG
-    if (current_[i] < bytes)
+    if (current_[i].load(std::memory_order_relaxed) < bytes)
       std::fprintf(stderr, "memtrack underflow: cat=%s current=%zu sub=%zu\n",
-                   to_string(c), current_[i], bytes);
+                   to_string(c), current_[i].load(std::memory_order_relaxed),
+                   bytes);
 #endif
-    DG_DCHECK(current_[i] >= bytes);
-    current_[i] -= bytes;
+    DG_DCHECK(current_[i].load(std::memory_order_relaxed) >= bytes);
+    current_[i].fetch_sub(bytes, std::memory_order_relaxed);
   }
 
   std::size_t current(MemCategory c) const noexcept {
-    return current_[static_cast<std::size_t>(c)];
+    return current_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
   }
   std::size_t peak(MemCategory c) const noexcept {
-    return peak_[static_cast<std::size_t>(c)];
+    return peak_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
   }
   std::size_t current_total() const noexcept {
     std::size_t t = 0;
-    for (auto v : current_) t += v;
+    for (const auto& v : current_) t += v.load(std::memory_order_relaxed);
     return t;
   }
   /// Peak of the *sum* across categories (the paper's "Overhead total").
   /// Note this is the max of the sum, not the sum of per-category maxima.
-  std::size_t peak_total() const noexcept { return peak_total_; }
+  std::size_t peak_total() const noexcept {
+    return peak_total_.load(std::memory_order_relaxed);
+  }
 
   void reset() noexcept {
-    current_.fill(0);
-    peak_.fill(0);
-    peak_total_ = 0;
+    for (auto& v : current_) v.store(0, std::memory_order_relaxed);
+    for (auto& v : peak_) v.store(0, std::memory_order_relaxed);
+    peak_total_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::array<std::size_t, kNumMemCategories> current_{};
-  std::array<std::size_t, kNumMemCategories> peak_{};
-  std::size_t peak_total_ = 0;
+  static void raise_max(std::atomic<std::size_t>& slot,
+                        std::size_t candidate) noexcept {
+    std::size_t prev = slot.load(std::memory_order_relaxed);
+    while (candidate > prev &&
+           !slot.compare_exchange_weak(prev, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::size_t>, kNumMemCategories> current_{};
+  std::array<std::atomic<std::size_t>, kNumMemCategories> peak_{};
+  std::atomic<std::size_t> peak_total_{0};
 };
 
 /// RAII registration of a fixed-size allocation against an accountant.

@@ -1,0 +1,41 @@
+// ShardMap — geometry of an address-partitioned shadow domain
+// (DESIGN.md §5.2).
+//
+// Addresses map to shards by contiguous *stripes* of 2^stripe_shift bytes.
+// A stripe is deliberately much larger than one shadow block (kBlockBytes)
+// so dyngran's clock-sharing spans — which grow by merging adjacent cells —
+// are not fragmented by the partition; the detector clamps its neighbor
+// scans to stripe bounds so no shared VC node ever crosses a shard
+// boundary. count must be a power of two; {1, 0} means "unsharded".
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dg {
+
+/// Default stripe: 8 KiB = 64 shadow blocks per stripe.
+inline constexpr std::uint32_t kDefaultShardStripeShift = 13;
+
+struct ShardMap {
+  std::uint32_t count = 1;
+  std::uint32_t stripe_shift = 0;
+
+  std::uint32_t shard_of(Addr a) const noexcept {
+    return static_cast<std::uint32_t>(a >> stripe_shift) & (count - 1);
+  }
+  /// First address of the stripe containing `a` (0 when unsharded).
+  Addr stripe_lo(Addr a) const noexcept {
+    return count <= 1 ? 0 : (a >> stripe_shift) << stripe_shift;
+  }
+  /// One past the last address of the stripe containing `a`
+  /// (kInvalidAddr when unsharded or on overflow).
+  Addr stripe_hi(Addr a) const noexcept {
+    if (count <= 1) return kInvalidAddr;
+    const Addr end = ((a >> stripe_shift) + 1) << stripe_shift;
+    return end == 0 ? kInvalidAddr : end;
+  }
+};
+
+}  // namespace dg

@@ -1,11 +1,22 @@
-// Detector — the event-consumer interface every race detector implements.
+// Detector — the event-consumer interface every race detector implements,
+// split into its two concurrency domains (DESIGN.md §5.2):
+//
+//   * SyncEventSink — events that mutate cross-thread vector-clock state
+//     (fork/join, acquire/release, alloc/free, finish). In the sharded
+//     runtime mode these are delivered exclusively: a concurrent-capable
+//     detector takes its sync-domain rw-lock in writer mode.
+//   * AccessEventSink — per-address analysis (reads/writes, site labels,
+//     the same-epoch serial, and the shard geometry hooks). In sharded mode
+//     these run under the sync rw-lock in *reader* mode plus one per-shard
+//     mutex, so batches touching different shards analyze concurrently.
 //
 // The runtime (live instrumentation) and the simulator (deterministic
-// workload replay) both deliver the same serialized event stream; this is
-// the analogue of the PIN analysis callbacks in the paper's tool (Fig. 3).
-// Detector implementations are single-threaded consumers: the caller
-// guarantees events arrive one at a time (the runtime holds its analysis
-// lock while delivering; the simulator is single-threaded by construction).
+// workload replay) both deliver the same event stream; this is the
+// analogue of the PIN analysis callbacks in the paper's tool (Fig. 3).
+// Unless a detector opts in via set_concurrent_delivery(true), it remains
+// a single-threaded consumer: the caller guarantees events arrive one at a
+// time (the runtime holds its analysis lock while delivering; the
+// simulator is single-threaded by construction).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +24,7 @@
 #include <vector>
 
 #include "common/memtrack.hpp"
+#include "common/shard_map.hpp"
 #include "common/types.hpp"
 #include "report/report_sink.hpp"
 #include "report/stats.hpp"
@@ -22,21 +34,56 @@ namespace dg {
 /// One deferred instrumentation event. The live runtime's two-tier event
 /// path (DESIGN.md §5.1) parks these in per-thread ring buffers and flushes
 /// them through Detector::on_batch under the analysis lock, amortizing one
-/// lock acquisition over a whole batch.
+/// lock acquisition over a whole batch. In sharded mode (§5.2) the runtime
+/// instead stamps `site` on every access event at enqueue time (so site
+/// attribution survives per-shard partitioning) and delivers shard-local
+/// sub-batches through on_batch_shard.
 struct BatchedEvent {
   enum class Kind : std::uint8_t { kRead, kWrite, kAlloc, kFree, kSite };
   Kind kind = Kind::kRead;
   ThreadId tid = kInvalidThread;
   Addr addr = 0;
   std::uint64_t size = 0;            // ≤ UINT32_MAX for kRead/kWrite
-  const char* site = nullptr;        // kSite only
+  const char* site = nullptr;        // kSite; also stamped on sharded accesses
 };
 
-class Detector {
+/// Sync-side half of the detector interface: events that mutate the
+/// cross-thread SyncState domain (thread/lock vector clocks, epoch
+/// serials, allocation bookkeeping). Under concurrent delivery these are
+/// always serialized against all access analysis.
+class SyncEventSink {
  public:
-  virtual ~Detector() = default;
+  virtual ~SyncEventSink() = default;
 
-  virtual const char* name() const = 0;
+  /// Thread t began; parent is the forking thread (kInvalidThread for the
+  /// initial thread). Must be called before any other event of t.
+  virtual void on_thread_start(ThreadId t, ThreadId parent) = 0;
+  /// `joiner` joined with terminated thread `joined`.
+  virtual void on_thread_join(ThreadId joiner, ThreadId joined) = 0;
+
+  virtual void on_acquire(ThreadId t, SyncId s) = 0;
+  virtual void on_release(ThreadId t, SyncId s) = 0;
+
+  /// Dynamic memory events: detectors drop shadow state on free so stale
+  /// clocks never leak into a recycled allocation. These live on the sync
+  /// side because a free may span (and must be able to touch) every shard.
+  virtual void on_alloc(ThreadId t, Addr addr, std::uint64_t size) {
+    (void)t; (void)addr; (void)size;
+  }
+  virtual void on_free(ThreadId t, Addr addr, std::uint64_t size) {
+    (void)t; (void)addr; (void)size;
+  }
+
+  /// End of run (flush/finalize statistics).
+  virtual void on_finish() {}
+};
+
+/// Access-side half of the detector interface: per-address analysis plus
+/// the hooks the runtime uses to route accesses — the same-epoch serial
+/// (tier-1 filter) and the shard geometry (tier-2 partitioning).
+class AccessEventSink {
+ public:
+  virtual ~AccessEventSink() = default;
 
   /// Sentinel for same_epoch_serial(): this detector publishes no per-thread
   /// epoch serial and the runtime's lock-free same-epoch fast path stays off
@@ -52,10 +99,45 @@ class Detector {
   /// same-thread same-epoch duplicates via their own EpochBitmap may publish
   /// a serial: the runtime then drops a strict subset of the accesses the
   /// detector itself would have filtered, so behaviour is preserved.
+  /// Concurrent-capable detectors must make this safe to call while other
+  /// threads deliver events (it reads the sync domain).
   virtual std::uint64_t same_epoch_serial(ThreadId t) const noexcept {
     (void)t;
     return kNoSameEpochSerial;
   }
+
+  virtual void on_read(ThreadId t, Addr addr, std::uint32_t size) = 0;
+  virtual void on_write(ThreadId t, Addr addr, std::uint32_t size) = 0;
+
+  /// Set thread t's current symbolic code site (stands in for PIN's
+  /// instruction pointer in race reports).
+  virtual void set_site(ThreadId t, const char* site) {
+    (void)t; (void)site;
+  }
+
+  // -- sharding hooks (DESIGN.md §5.2) ----------------------------------
+
+  /// Shard geometry of this detector's shadow domain. The runtime caches
+  /// it once at registration; it must not change afterwards.
+  virtual ShardMap shard_map() const noexcept { return {}; }
+
+  /// True if this detector can run its access analysis concurrently once
+  /// set_concurrent_delivery(true) is called: sync events exclusive,
+  /// access batches for different shards in parallel.
+  virtual bool supports_concurrent_delivery() const noexcept { return false; }
+
+  /// Opt this detector into internal locking (sync rw-lock + per-shard
+  /// mutexes). Called once by the runtime before any concurrent delivery;
+  /// detectors that do not support it ignore the call.
+  virtual void set_concurrent_delivery(bool on) { (void)on; }
+};
+
+/// Detector joins the two halves, owns the report/stats/accounting sinks,
+/// and provides batch delivery (which must bridge both domains: a ring can
+/// legally carry alloc/free/site events alongside accesses).
+class Detector : public SyncEventSink, public AccessEventSink {
+ public:
+  virtual const char* name() const = 0;
 
   /// Deliver a batch of deferred events in program order of one thread.
   /// The default dispatches each event to the matching on_* callback;
@@ -83,35 +165,17 @@ class Detector {
     }
   }
 
-  /// Thread t began; parent is the forking thread (kInvalidThread for the
-  /// initial thread). Must be called before any other event of t.
-  virtual void on_thread_start(ThreadId t, ThreadId parent) = 0;
-  /// `joiner` joined with terminated thread `joined`.
-  virtual void on_thread_join(ThreadId joiner, ThreadId joined) = 0;
-
-  virtual void on_acquire(ThreadId t, SyncId s) = 0;
-  virtual void on_release(ThreadId t, SyncId s) = 0;
-
-  virtual void on_read(ThreadId t, Addr addr, std::uint32_t size) = 0;
-  virtual void on_write(ThreadId t, Addr addr, std::uint32_t size) = 0;
-
-  /// Dynamic memory events: detectors drop shadow state on free so stale
-  /// clocks never leak into a recycled allocation.
-  virtual void on_alloc(ThreadId t, Addr addr, std::uint64_t size) {
-    (void)t; (void)addr; (void)size;
+  /// Deliver a batch whose access events all map to shard `shard` (the
+  /// runtime partitions each ring drain with shard_map(), splitting events
+  /// that straddle a stripe boundary). Events are in program order of one
+  /// thread and carry their site stamp. The default ignores the shard hint
+  /// and funnels through on_batch — the compatibility shim that maps
+  /// non-ported detectors onto a single logical shard.
+  virtual void on_batch_shard(std::uint32_t shard, const BatchedEvent* events,
+                              std::size_t n) {
+    (void)shard;
+    on_batch(events, n);
   }
-  virtual void on_free(ThreadId t, Addr addr, std::uint64_t size) {
-    (void)t; (void)addr; (void)size;
-  }
-
-  /// Set thread t's current symbolic code site (stands in for PIN's
-  /// instruction pointer in race reports).
-  virtual void set_site(ThreadId t, const char* site) {
-    (void)t; (void)site;
-  }
-
-  /// End of run (flush/finalize statistics).
-  virtual void on_finish() {}
 
   // Virtual so decorators (e.g. SamplingDetector) can expose the wrapped
   // detector's reports/statistics as their own.
@@ -135,10 +199,19 @@ class Detector {
 };
 
 /// Shared helper: per-thread current-site labels.
+///
+/// Thread-safety under concurrent delivery relies on ownership, not locks:
+/// slot t is only written by whoever delivers thread t's events (the owner
+/// thread itself), and ensure() pre-sizes the vector from on_thread_start
+/// (which runs exclusively), so set()/get() never resize concurrently.
 class SiteTracker {
  public:
-  void set(ThreadId t, const char* site) {
+  /// Pre-size so slots [0, t] exist; call from on_thread_start.
+  void ensure(ThreadId t) {
     if (t >= sites_.size()) sites_.resize(t + 1, nullptr);
+  }
+  void set(ThreadId t, const char* site) {
+    ensure(t);
     sites_[t] = site;
   }
   const char* get(ThreadId t) const {

@@ -5,17 +5,21 @@
 namespace dg {
 
 DjitDetector::DjitDetector() : hb_(acct_), table_(acct_) {
-  table_.set_expander([this](DjCell*& cell, std::uint32_t) {
-    const DjCell* src = cell;
-    DjCell* clone = make_cell();
-    clone->reads = src->reads;
-    clone->writes = src->writes;
-    clone->racy = src->racy;
-    acct_.add(MemCategory::kVectorClock,
-              clone->reads.heap_bytes() + clone->writes.heap_bytes());
-    cell = clone;
-    stats_.location_mapped();
-  });
+  table_.set_expander(&DjitDetector::expand_replica, this);
+}
+
+void DjitDetector::expand_replica(void* self, DjCell*& cell,
+                                  std::uint32_t /*k*/) {
+  auto* d = static_cast<DjitDetector*>(self);
+  const DjCell* src = cell;
+  DjCell* clone = d->make_cell();
+  clone->reads = src->reads;
+  clone->writes = src->writes;
+  clone->racy = src->racy;
+  d->acct_.add(MemCategory::kVectorClock,
+               clone->reads.heap_bytes() + clone->writes.heap_bytes());
+  cell = clone;
+  d->stats_.location_mapped();
 }
 
 DjitDetector::~DjitDetector() {

@@ -49,6 +49,7 @@ class DjitDetector final : public Detector {
   };
 
   void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  static void expand_replica(void* self, DjCell*& cell, std::uint32_t k);
   DjCell* make_cell();
   void drop_cell(DjCell* c);
   void report(ThreadId t, Addr base, std::uint32_t width, AccessType cur,

@@ -11,9 +11,16 @@ constexpr AccessType opposite(AccessType t) {
 }  // namespace
 
 DynGranDetector::DynGranDetector(DynGranConfig cfg)
-    : cfg_(cfg), hb_(acct_), table_(acct_) {
-  segs_.reserve(16);
-  other_segs_.reserve(16);
+    : cfg_(cfg),
+      hb_(acct_),
+      table_(acct_, cfg.shards, cfg.shard_stripe_shift) {
+  scratch_.reserve(table_.shard_count());
+  for (std::uint32_t s = 0; s < table_.shard_count(); ++s) {
+    auto sc = std::make_unique<Scratch>();
+    sc->segs.reserve(16);
+    sc->other_segs.reserve(16);
+    scratch_.push_back(std::move(sc));
+  }
 }
 
 DynGranDetector::~DynGranDetector() {
@@ -26,21 +33,27 @@ DynGranDetector::~DynGranDetector() {
 }
 
 void DynGranDetector::on_thread_start(ThreadId t, ThreadId parent) {
+  auto lk = lock_sync_exclusive();
   hb_.on_thread_start(t, parent);
   if (t >= bitmaps_.size()) bitmaps_.resize(t + 1);
   bitmaps_[t] = std::make_unique<EpochBitmap>(acct_);
+  // Pre-size so concurrent set()/get() on the owner thread never resize.
+  sites_.ensure(t);
 }
 
 void DynGranDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
+  auto lk = lock_sync_exclusive();
   hb_.on_thread_join(joiner, joined);
 }
 
 void DynGranDetector::on_acquire(ThreadId t, SyncId s) {
+  auto lk = lock_sync_exclusive();
   hb_.on_acquire(t, s);
   if (elision_ != nullptr) elision_->on_acquire(t, s);
 }
 
 void DynGranDetector::on_release(ThreadId t, SyncId s) {
+  auto lk = lock_sync_exclusive();
   hb_.on_release(t, s);
   if (elision_ != nullptr) elision_->on_release(t, s);
 }
@@ -58,15 +71,41 @@ void DynGranDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
   access(t, addr, size, AccessType::kWrite);
 }
 
+// Split at stripe boundaries first (a shared clock must never span two
+// shards — DESIGN.md §5.2), then analyze each piece under the two-domain
+// locks: sync lock shared + owning shard's mutex. Locks collapse to
+// no-ops unless the runtime enabled concurrent delivery, and with one
+// shard no access is ever split, so serialized behaviour is unchanged.
+void DynGranDetector::access(ThreadId t, Addr addr, std::uint32_t size,
+                             AccessType type) {
+  if (size == 0) return;
+  Addr a = addr;
+  const Addr end = addr + size;
+  while (a < end) {
+    const Addr cut = std::min<Addr>(end, table_.stripe_hi(a));
+    const std::uint32_t shard = table_.shard_of(a);
+    const auto len = static_cast<std::uint32_t>(cut - a);
+    if (concurrent_) {
+      std::shared_lock<std::shared_mutex> sync(sync_mu_);
+      std::lock_guard<std::mutex> lk(table_.shard_mutex(shard));
+      access_impl(t, a, len, type, shard);
+    } else {
+      access_impl(t, a, len, type, shard);
+    }
+    a = cut;
+  }
+}
+
 // The structure below is the paper's Fig. 3 memoryRead/memoryWrite routine:
 // same-epoch filter; find-or-insert with temporary first-epoch sharing;
 // split + firm sharing decision at the second epoch access; race check; and
 // span-wide same-epoch marking.
-void DynGranDetector::access(ThreadId t, Addr addr, std::uint32_t size,
-                             AccessType type) {
-  if (size == 0) return;
+void DynGranDetector::access_impl(ThreadId t, Addr addr, std::uint32_t size,
+                                  AccessType type, std::uint32_t shard) {
   ++stats_.shared_accesses;
   if (elision_ != nullptr) {
+    auto elide_lk = concurrent_ ? std::unique_lock<std::mutex>(elision_mu_)
+                                : std::unique_lock<std::mutex>();
     const auto v =
         elision_->admit(t, addr, size, type, hb_.epoch(t), hb_.clock(t));
     if (v.conflict.race) {
@@ -94,11 +133,14 @@ void DynGranDetector::access(ThreadId t, Addr addr, std::uint32_t size,
   }
   const Epoch cur = hb_.epoch(t);
   const VectorClock& now = hb_.clock(t);
-  const std::uint64_t access_id = ++access_counter_;
+  const std::uint64_t access_id =
+      access_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   // ---- Pass 1: walk the covered cells; give fresh cells a node (one per
   // contiguous empty run, so the contiguity invariant holds); collect the
   // distinct nodes of both shadow planes.
+  std::vector<Seg>& segs_ = scratch_[shard]->segs;
+  std::vector<Seg>& other_segs_ = scratch_[shard]->other_segs;
   segs_.clear();
   other_segs_.clear();
   VCNode* fresh = nullptr;
@@ -123,8 +165,11 @@ void DynGranDetector::access(ThreadId t, Addr addr, std::uint32_t size,
         // buffer *without* a create-then-merge round trip per store — the
         // source of the paper's "33x less vector clock creation and
         // deletion operations" on pbzip2/dedup.
+        // The adopted neighbour must live in the same stripe: adoption
+        // across a shard boundary would extend its span into this shard.
         VCNode* adopt = nullptr;
-        if (cfg_.init_state && cfg_.share_first_epoch && base > 0) {
+        if (cfg_.init_state && cfg_.share_first_epoch &&
+            base > table_.stripe_lo(base)) {
           const DgCell prev_cell = table_.lookup(base - 1);
           VCNode* p = plane(prev_cell, type);
           const bool writes_agree =
@@ -445,13 +490,18 @@ DynGranDetector::VCNode* DynGranDetector::try_merge(VCNode* n, AccessType type,
 
   // Predecessor: during the first epoch the nearest valid neighbour within
   // the window qualifies (gaps allowed); for the firm decision the paper's
-  // L-size neighbour is the immediately adjacent cell.
+  // L-size neighbour is the immediately adjacent cell. All scans are
+  // clamped to the node's stripe: a merge across a shard boundary would
+  // create a shared clock spanning two shards (DESIGN.md §5.2).
+  const Addr stripe_lo = table_.stripe_lo(n->span_lo);
+  const Addr stripe_hi = table_.stripe_hi(n->span_lo);
   VCNode* pred = nullptr;
-  if (n->span_lo > 0) {
+  if (n->span_lo > stripe_lo) {
     if (init_neighbors_only) {
-      const Addr low_limit =
+      Addr low_limit =
           n->span_lo > cfg_.neighbor_window ? n->span_lo - cfg_.neighbor_window
                                             : 0;
+      low_limit = std::max(low_limit, stripe_lo);
       Addr base = 0;
       DgCell c = table_.prev_occupied(n->span_lo, low_limit, &base);
       pred = consider(plane(c, type));
@@ -478,19 +528,21 @@ DynGranDetector::VCNode* DynGranDetector::try_merge(VCNode* n, AccessType type,
   }
 
   VCNode* succ = nullptr;
-  if (init_neighbors_only) {
-    Addr base = 0;
-    DgCell c =
-        table_.next_occupied(n->span_hi, n->span_hi + cfg_.neighbor_window,
-                             &base);
-    succ = consider(plane(c, type));
-    if (succ != nullptr && !write_planes_agree(n->span_hi - 1, base))
-      succ = nullptr;
-  } else {
-    DgCell c = table_.lookup(n->span_hi);
-    succ = consider(plane(c, type));
-    if (succ != nullptr && !write_planes_agree(n->span_hi - 1, n->span_hi))
-      succ = nullptr;
+  if (n->span_hi < stripe_hi) {
+    if (init_neighbors_only) {
+      const Addr high_limit =
+          std::min<Addr>(n->span_hi + cfg_.neighbor_window, stripe_hi);
+      Addr base = 0;
+      DgCell c = table_.next_occupied(n->span_hi, high_limit, &base);
+      succ = consider(plane(c, type));
+      if (succ != nullptr && !write_planes_agree(n->span_hi - 1, base))
+        succ = nullptr;
+    } else {
+      DgCell c = table_.lookup(n->span_hi);
+      succ = consider(plane(c, type));
+      if (succ != nullptr && !write_planes_agree(n->span_hi - 1, n->span_hi))
+        succ = nullptr;
+    }
   }
   if (succ != nullptr) {
     repoint(n, n->span_lo, n->span_hi, succ);
@@ -590,6 +642,10 @@ void DynGranDetector::report(ThreadId t, Addr base, std::uint32_t width,
 }
 
 void DynGranDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {
+  // Sync-domain event: the exclusive lock excludes all access analysis
+  // (which holds the sync lock shared for its whole operation), so the
+  // range walk below may touch every shard without taking shard mutexes.
+  auto lk = lock_sync_exclusive();
   Addr a = addr;
   const Addr end = size > ~addr ? ~static_cast<Addr>(0) : addr + size;
   while (a < end) {
@@ -609,6 +665,49 @@ void DynGranDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {
                               });
     if (any) table_.clear_range(a, chunk);
     a += chunk;
+  }
+}
+
+void DynGranDetector::on_batch_shard(std::uint32_t shard,
+                                     const BatchedEvent* events,
+                                     std::size_t n) {
+  if (!concurrent_) {
+    on_batch(events, n);
+    return;
+  }
+  // One sync-shared + one shard-mutex acquisition amortized over the whole
+  // sub-batch. The runtime already split events at stripe boundaries, so
+  // every access here is confined to `shard`.
+  std::shared_lock<std::shared_mutex> sync(sync_mu_);
+  std::lock_guard<std::mutex> lk(table_.shard_mutex(shard));
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchedEvent& e = events[i];
+    switch (e.kind) {
+      case BatchedEvent::Kind::kRead:
+      case BatchedEvent::Kind::kWrite:
+        DG_DCHECK(e.size == 0 || table_.shard_of(e.addr) == shard);
+        DG_DCHECK(e.size == 0 ||
+                  table_.shard_of(e.addr + e.size - 1) == shard);
+        // Site stamp: sites_[tid] is owner-written (this thread delivers
+        // only its own events), so no lock is needed beyond ensure() at
+        // thread start.
+        if (e.site != nullptr) sites_.set(e.tid, e.site);
+        if (e.size != 0)
+          access_impl(e.tid, e.addr, static_cast<std::uint32_t>(e.size),
+                      e.kind == BatchedEvent::Kind::kRead ? AccessType::kRead
+                                                          : AccessType::kWrite,
+                      shard);
+        break;
+      case BatchedEvent::Kind::kSite:
+        if (e.site != nullptr) sites_.set(e.tid, e.site);
+        break;
+      case BatchedEvent::Kind::kAlloc:
+      case BatchedEvent::Kind::kFree:
+        // Alloc/free are sync-domain events the sharded runtime delivers
+        // eagerly, never through shard batches.
+        DG_DCHECK(false);
+        break;
+    }
   }
 }
 

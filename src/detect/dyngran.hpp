@@ -27,13 +27,17 @@
 //     causes false alarms (improper sharing locked in at initialization).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "analyze/elision_map.hpp"
 #include "detect/detector.hpp"
 #include "shadow/epoch_bitmap.hpp"
+#include "shadow/sharded_shadow.hpp"
 #include "shadow/shadow_table.hpp"
 #include "sync/hb_engine.hpp"
 #include "vc/read_history.hpp"
@@ -74,6 +78,20 @@ struct DynGranConfig {
   /// both sides) — a cheap structural filter applied before the clock
   /// comparison.
   bool guide_read_sharing = false;
+
+  // ---- sharded analysis tier (DESIGN.md §5.2) --------------------------
+
+  /// Number of address shards of the shadow domain (power of two; 1 =
+  /// unsharded, byte-identical to the pre-sharding detector). With more
+  /// than one shard the detector clamps clock-sharing to stripe bounds —
+  /// a shared VC node never spans a shard boundary — and, once the
+  /// runtime enables concurrent delivery, analyzes batches for different
+  /// shards in parallel. The shard count is *detector* configuration:
+  /// race reports are identical across runtime modes for a fixed config.
+  std::uint32_t shards = 1;
+  /// log2 bytes per contiguous stripe (default 8 KiB = 64 shadow blocks,
+  /// coarse enough that dyngran merging is not fragmented).
+  std::uint32_t shard_stripe_shift = kDefaultShardStripeShift;
 };
 
 class DynGranDetector final : public Detector {
@@ -96,9 +114,19 @@ class DynGranDetector final : public Detector {
   /// Published so the runtime may run the §IV-A same-epoch filter inline in
   /// application threads (on_read/on_write already skip same-thread
   /// same-epoch duplicates via bitmaps_, including span pre-marking).
+  /// Under concurrent delivery this reads the sync domain, so it takes the
+  /// sync lock shared (a cross-thread fork can bump t's serial).
   std::uint64_t same_epoch_serial(ThreadId t) const noexcept override {
+    auto lk = lock_sync_shared();
     return t < hb_.num_threads() ? hb_.epoch_serial(t) : kNoSameEpochSerial;
   }
+
+  // -- sharded concurrent core (DESIGN.md §5.2) --------------------------
+  ShardMap shard_map() const noexcept override { return table_.map(); }
+  bool supports_concurrent_delivery() const noexcept override { return true; }
+  void set_concurrent_delivery(bool on) override { concurrent_ = on; }
+  void on_batch_shard(std::uint32_t shard, const BatchedEvent* events,
+                      std::size_t n) override;
 
   /// Attach an ahead-of-time check-elision map (docs/ANALYZER.md): accesses
   /// conforming to their range's class skip all shadow/VC work. Not owned;
@@ -152,7 +180,30 @@ class DynGranDetector final : public Detector {
     return t == AccessType::kRead ? c.read : c.write;
   }
 
+  /// Per-shard scratch buffers: used only while holding that shard's lock
+  /// (or, unsharded/serialized, by the single delivering thread).
+  struct Scratch {
+    std::vector<Seg> segs;        // own-plane segments
+    std::vector<Seg> other_segs;  // opposite-plane segments
+  };
+
+  // Locking helpers — no-ops until set_concurrent_delivery(true).
+  std::unique_lock<std::shared_mutex> lock_sync_exclusive() const {
+    return concurrent_ ? std::unique_lock<std::shared_mutex>(sync_mu_)
+                       : std::unique_lock<std::shared_mutex>();
+  }
+  std::shared_lock<std::shared_mutex> lock_sync_shared() const {
+    return concurrent_ ? std::shared_lock<std::shared_mutex>(sync_mu_)
+                       : std::shared_lock<std::shared_mutex>();
+  }
+
+  /// Split an access at stripe boundaries, take the per-piece locks, and
+  /// run access_impl on each stripe-confined piece.
   void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  /// Analyze one stripe-confined access. Caller holds the sync lock shared
+  /// and `shard`'s mutex when concurrent delivery is on.
+  void access_impl(ThreadId t, Addr addr, std::uint32_t size, AccessType type,
+                   std::uint32_t shard);
   VCNode* new_node(AccessType type, Epoch creation, Addr lo, Addr hi);
   void destroy_node(VCNode* n);
   void attach(VCNode* n, std::uint32_t width);
@@ -202,12 +253,18 @@ class DynGranDetector final : public Detector {
   DynGranConfig cfg_;
   analyze::ElisionMap* elision_ = nullptr;
   HbEngine hb_;
-  ShadowTable<DgCell> table_;
+  ShardedShadow<DgCell> table_;
   std::vector<std::unique_ptr<EpochBitmap>> bitmaps_;
   SiteTracker sites_;
-  std::uint64_t access_counter_ = 0;
-  std::vector<Seg> segs_;        // scratch: own-plane segments
-  std::vector<Seg> other_segs_;  // scratch: opposite-plane segments
+  std::atomic<std::uint64_t> access_counter_{0};
+  std::vector<std::unique_ptr<Scratch>> scratch_;  // one per shard
+
+  // Two-domain concurrency (DESIGN.md §5.2): sync events exclusive, access
+  // analysis shared + per-shard mutex (owned by table_). All locking is
+  // bypassed until the runtime opts in via set_concurrent_delivery(true).
+  bool concurrent_ = false;
+  mutable std::shared_mutex sync_mu_;
+  std::mutex elision_mu_;  // ElisionMap::admit is stateful
 };
 
 }  // namespace dg

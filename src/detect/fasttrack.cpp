@@ -4,21 +4,26 @@
 
 namespace dg {
 
-FastTrackDetector::FastTrackDetector(Granularity g)
-    : gran_(g), hb_(acct_), table_(acct_) {
+FastTrackDetector::FastTrackDetector(Granularity g, std::uint32_t shards,
+                                     std::uint32_t shard_stripe_shift)
+    : gran_(g), hb_(acct_), table_(acct_, shards, shard_stripe_shift) {
   // When a word-mode shadow block expands to byte mode, every replica of
   // an occupied cell must own its own FtCell (cells never alias).
-  table_.set_expander([this](FtCell*& cell, std::uint32_t) {
-    const FtCell* src = cell;
-    FtCell* clone = make_cell();
-    clone->write = src->write;
-    clone->read.copy_from(src->read, acct_);
-    if (clone->read.is_shared()) stats_.vc_created();
-    clone->last_site = src->last_site;
-    clone->racy = src->racy;
-    cell = clone;
-    stats_.location_mapped();
-  });
+  table_.set_expander(&FastTrackDetector::expand_replica, this);
+}
+
+void FastTrackDetector::expand_replica(void* self, FtCell*& cell,
+                                       std::uint32_t /*k*/) {
+  auto* d = static_cast<FastTrackDetector*>(self);
+  const FtCell* src = cell;
+  FtCell* clone = d->make_cell();
+  clone->write = src->write;
+  clone->read.copy_from(src->read, d->acct_);
+  if (clone->read.is_shared()) d->stats_.vc_created();
+  clone->last_site = src->last_site;
+  clone->racy = src->racy;
+  cell = clone;
+  d->stats_.location_mapped();
 }
 
 FastTrackDetector::~FastTrackDetector() {
@@ -32,21 +37,27 @@ FastTrackDetector::~FastTrackDetector() {
 }
 
 void FastTrackDetector::on_thread_start(ThreadId t, ThreadId parent) {
+  auto lk = lock_sync_exclusive();
   hb_.on_thread_start(t, parent);
   if (t >= bitmaps_.size()) bitmaps_.resize(t + 1);
   bitmaps_[t] = std::make_unique<EpochBitmap>(acct_);
+  // Pre-size so concurrent set()/get() on the owner thread never resize.
+  sites_.ensure(t);
 }
 
 void FastTrackDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
+  auto lk = lock_sync_exclusive();
   hb_.on_thread_join(joiner, joined);
 }
 
 void FastTrackDetector::on_acquire(ThreadId t, SyncId s) {
+  auto lk = lock_sync_exclusive();
   hb_.on_acquire(t, s);
   if (elision_ != nullptr) elision_->on_acquire(t, s);
 }
 
 void FastTrackDetector::on_release(ThreadId t, SyncId s) {
+  auto lk = lock_sync_exclusive();
   hb_.on_release(t, s);
   if (elision_ != nullptr) elision_->on_release(t, s);
 }
@@ -64,10 +75,45 @@ void FastTrackDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
   access(t, addr, size, AccessType::kWrite);
 }
 
+// Split at stripe boundaries, then analyze each piece under the two-domain
+// locks (sync shared + owning shard's mutex); see DynGranDetector::access.
 void FastTrackDetector::access(ThreadId t, Addr addr, std::uint32_t size,
                                AccessType type) {
+  if (size == 0) {
+    // Word masking can still widen a zero-byte access to its word; keep
+    // the historical behaviour and treat it as a single-piece access.
+    if (concurrent_) {
+      std::shared_lock<std::shared_mutex> sync(sync_mu_);
+      std::lock_guard<std::mutex> lk(
+          table_.shard_mutex(table_.shard_of(addr)));
+      access_impl(t, addr, 0, type);
+    } else {
+      access_impl(t, addr, 0, type);
+    }
+    return;
+  }
+  Addr a = addr;
+  const Addr end = addr + size;
+  while (a < end) {
+    const Addr cut = std::min<Addr>(end, table_.stripe_hi(a));
+    const auto len = static_cast<std::uint32_t>(cut - a);
+    if (concurrent_) {
+      std::shared_lock<std::shared_mutex> sync(sync_mu_);
+      std::lock_guard<std::mutex> lk(table_.shard_mutex(table_.shard_of(a)));
+      access_impl(t, a, len, type);
+    } else {
+      access_impl(t, a, len, type);
+    }
+    a = cut;
+  }
+}
+
+void FastTrackDetector::access_impl(ThreadId t, Addr addr, std::uint32_t size,
+                                    AccessType type) {
   ++stats_.shared_accesses;
   if (elision_ != nullptr) {
+    auto elide_lk = concurrent_ ? std::unique_lock<std::mutex>(elision_mu_)
+                                : std::unique_lock<std::mutex>();
     const auto v =
         elision_->admit(t, addr, size, type, hb_.epoch(t), hb_.clock(t));
     if (v.conflict.race) {
@@ -208,7 +254,45 @@ void FastTrackDetector::on_alloc(ThreadId, Addr addr, std::uint64_t size) {
 }
 
 void FastTrackDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {
+  // Sync-domain event: exclusive lock excludes all access analysis, so the
+  // cross-shard range walk needs no shard mutexes (DESIGN.md §5.2).
+  auto lk = lock_sync_exclusive();
   release_range(addr, size);
+}
+
+void FastTrackDetector::on_batch_shard(std::uint32_t shard,
+                                       const BatchedEvent* events,
+                                       std::size_t n) {
+  if (!concurrent_) {
+    on_batch(events, n);
+    return;
+  }
+  // One sync-shared + one shard-mutex acquisition amortized over the whole
+  // sub-batch; the runtime already split events at stripe boundaries.
+  std::shared_lock<std::shared_mutex> sync(sync_mu_);
+  std::lock_guard<std::mutex> lk(table_.shard_mutex(shard));
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchedEvent& e = events[i];
+    switch (e.kind) {
+      case BatchedEvent::Kind::kRead:
+      case BatchedEvent::Kind::kWrite:
+        DG_DCHECK(e.size == 0 || table_.shard_of(e.addr) == shard);
+        DG_DCHECK(e.size == 0 ||
+                  table_.shard_of(e.addr + e.size - 1) == shard);
+        if (e.site != nullptr) sites_.set(e.tid, e.site);
+        access_impl(e.tid, e.addr, static_cast<std::uint32_t>(e.size),
+                    e.kind == BatchedEvent::Kind::kRead ? AccessType::kRead
+                                                        : AccessType::kWrite);
+        break;
+      case BatchedEvent::Kind::kSite:
+        if (e.site != nullptr) sites_.set(e.tid, e.site);
+        break;
+      case BatchedEvent::Kind::kAlloc:
+      case BatchedEvent::Kind::kFree:
+        DG_DCHECK(false);  // delivered eagerly in sharded mode
+        break;
+    }
+  }
 }
 
 void FastTrackDetector::release_range(Addr addr, std::uint64_t size) {

@@ -14,11 +14,14 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "analyze/elision_map.hpp"
 #include "detect/detector.hpp"
 #include "shadow/epoch_bitmap.hpp"
+#include "shadow/sharded_shadow.hpp"
 #include "shadow/shadow_table.hpp"
 #include "sync/hb_engine.hpp"
 #include "vc/read_history.hpp"
@@ -33,7 +36,13 @@ inline const char* to_string(Granularity g) noexcept {
 
 class FastTrackDetector final : public Detector {
  public:
-  explicit FastTrackDetector(Granularity g);
+  /// `shards` partitions the shadow domain by address stripe (power of
+  /// two; 1 = unsharded). Like DynGranConfig::shards this is detector
+  /// configuration: once the runtime enables concurrent delivery, batches
+  /// for different shards analyze in parallel (DESIGN.md §5.2).
+  explicit FastTrackDetector(
+      Granularity g, std::uint32_t shards = 1,
+      std::uint32_t shard_stripe_shift = kDefaultShardStripeShift);
   ~FastTrackDetector() override;
 
   const char* name() const override {
@@ -53,10 +62,19 @@ class FastTrackDetector final : public Detector {
   /// Published so the runtime may run the §IV-A same-epoch filter inline in
   /// application threads: on_read/on_write already drop same-thread
   /// same-epoch duplicates via bitmaps_, so runtime-side filtering is a
-  /// strict subset of detector-side filtering.
+  /// strict subset of detector-side filtering. Takes the sync lock shared
+  /// under concurrent delivery (a cross-thread fork can bump t's serial).
   std::uint64_t same_epoch_serial(ThreadId t) const noexcept override {
+    auto lk = lock_sync_shared();
     return t < hb_.num_threads() ? hb_.epoch_serial(t) : kNoSameEpochSerial;
   }
+
+  // -- sharded concurrent core (DESIGN.md §5.2) --------------------------
+  ShardMap shard_map() const noexcept override { return table_.map(); }
+  bool supports_concurrent_delivery() const noexcept override { return true; }
+  void set_concurrent_delivery(bool on) override { concurrent_ = on; }
+  void on_batch_shard(std::uint32_t shard, const BatchedEvent* events,
+                      std::size_t n) override;
 
   /// Attach an ahead-of-time check-elision map (docs/ANALYZER.md): accesses
   /// conforming to their range's class skip all shadow/VC work. Not owned;
@@ -75,7 +93,24 @@ class FastTrackDetector final : public Detector {
     bool racy = false;
   };
 
+  // Locking helpers — no-ops until set_concurrent_delivery(true).
+  std::unique_lock<std::shared_mutex> lock_sync_exclusive() const {
+    return concurrent_ ? std::unique_lock<std::shared_mutex>(sync_mu_)
+                       : std::unique_lock<std::shared_mutex>();
+  }
+  std::shared_lock<std::shared_mutex> lock_sync_shared() const {
+    return concurrent_ ? std::shared_lock<std::shared_mutex>(sync_mu_)
+                       : std::shared_lock<std::shared_mutex>();
+  }
+
+  /// Non-allocating word→byte expansion hook (ctx is the detector).
+  static void expand_replica(void* self, FtCell*& cell, std::uint32_t k);
+
+  /// Split at stripe boundaries, lock, and run access_impl per piece.
   void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  /// Analyze one stripe-confined access (caller holds the locks).
+  void access_impl(ThreadId t, Addr addr, std::uint32_t size,
+                   AccessType type);
   void check_read(ThreadId t, Addr base, std::uint32_t width, FtCell& c);
   void check_write(ThreadId t, Addr base, std::uint32_t width, FtCell& c);
   void report(ThreadId t, Addr base, std::uint32_t width, AccessType cur,
@@ -89,9 +124,14 @@ class FastTrackDetector final : public Detector {
   Granularity gran_;
   analyze::ElisionMap* elision_ = nullptr;
   HbEngine hb_;
-  ShadowTable<FtCell*> table_;
+  ShardedShadow<FtCell*> table_;
   std::vector<std::unique_ptr<EpochBitmap>> bitmaps_;
   SiteTracker sites_;
+
+  // Two-domain concurrency (DESIGN.md §5.2); see DynGranDetector.
+  bool concurrent_ = false;
+  mutable std::shared_mutex sync_mu_;
+  std::mutex elision_mu_;
 };
 
 }  // namespace dg

@@ -6,19 +6,23 @@ namespace dg {
 
 HybridDetector::HybridDetector(HybridMode mode)
     : mode_(mode), hb_(acct_), pool_(acct_), table_(acct_) {
-  table_.set_expander([this](HyCell*& cell, std::uint32_t) {
-    const HyCell* src = cell;
-    HyCell* clone = make_cell();
-    clone->write = src->write;
-    clone->read.copy_from(src->read, acct_);
-    if (clone->read.is_shared()) stats_.vc_created();
-    clone->lockset = src->lockset;
-    clone->first_writer = src->first_writer;
-    clone->multi_writer = src->multi_writer;
-    clone->racy = src->racy;
-    cell = clone;
-    stats_.location_mapped();
-  });
+  table_.set_expander(&HybridDetector::expand_replica, this);
+}
+
+void HybridDetector::expand_replica(void* self, HyCell*& cell,
+                                    std::uint32_t /*k*/) {
+  auto* d = static_cast<HybridDetector*>(self);
+  const HyCell* src = cell;
+  HyCell* clone = d->make_cell();
+  clone->write = src->write;
+  clone->read.copy_from(src->read, d->acct_);
+  if (clone->read.is_shared()) d->stats_.vc_created();
+  clone->lockset = src->lockset;
+  clone->first_writer = src->first_writer;
+  clone->multi_writer = src->multi_writer;
+  clone->racy = src->racy;
+  cell = clone;
+  d->stats_.location_mapped();
 }
 
 HybridDetector::~HybridDetector() {

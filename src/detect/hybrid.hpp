@@ -76,6 +76,7 @@ class HybridDetector final : public Detector {
   };
 
   void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  static void expand_replica(void* self, HyCell*& cell, std::uint32_t k);
   HyCell* make_cell();
   void drop_cell(HyCell* c);
   void report(ThreadId t, Addr base, std::uint32_t width, AccessType cur,

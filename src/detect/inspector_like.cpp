@@ -6,15 +6,19 @@ namespace dg {
 
 InspectorLikeDetector::InspectorLikeDetector()
     : hb_(acct_), pool_(acct_), table_(acct_) {
-  table_.set_expander([this](InCell*& cell, std::uint32_t) {
-    const InCell* src = cell;
-    InCell* clone = make_cell();
-    *clone = *src;
-    acct_.add(MemCategory::kVectorClock,
-              clone->reads.heap_bytes() + clone->writes.heap_bytes());
-    cell = clone;
-    stats_.location_mapped();
-  });
+  table_.set_expander(&InspectorLikeDetector::expand_replica, this);
+}
+
+void InspectorLikeDetector::expand_replica(void* self, InCell*& cell,
+                                           std::uint32_t /*k*/) {
+  auto* d = static_cast<InspectorLikeDetector*>(self);
+  const InCell* src = cell;
+  InCell* clone = d->make_cell();
+  *clone = *src;
+  d->acct_.add(MemCategory::kVectorClock,
+               clone->reads.heap_bytes() + clone->writes.heap_bytes());
+  cell = clone;
+  d->stats_.location_mapped();
 }
 
 InspectorLikeDetector::~InspectorLikeDetector() {

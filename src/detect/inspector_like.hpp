@@ -64,6 +64,7 @@ class InspectorLikeDetector final : public Detector {
   };
 
   void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+  static void expand_replica(void* self, InCell*& cell, std::uint32_t k);
   InCell* make_cell();
   void drop_cell(InCell* c);
 

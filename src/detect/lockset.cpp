@@ -5,13 +5,17 @@
 namespace dg {
 
 LockSetDetector::LockSetDetector() : pool_(acct_), table_(acct_) {
-  table_.set_expander([this](LsCell*& cell, std::uint32_t) {
-    LsCell* clone = new LsCell(*cell);
-    acct_.add(MemCategory::kVectorClock, sizeof(LsCell));
-    stats_.vc_created();
-    stats_.location_mapped();
-    cell = clone;
-  });
+  table_.set_expander(&LockSetDetector::expand_replica, this);
+}
+
+void LockSetDetector::expand_replica(void* self, LsCell*& cell,
+                                     std::uint32_t /*k*/) {
+  auto* d = static_cast<LockSetDetector*>(self);
+  LsCell* clone = new LsCell(*cell);
+  d->acct_.add(MemCategory::kVectorClock, sizeof(LsCell));
+  d->stats_.vc_created();
+  d->stats_.location_mapped();
+  cell = clone;
 }
 
 LockSetDetector::~LockSetDetector() {

@@ -62,6 +62,7 @@ class LockSetDetector final : public Detector {
   void report(ThreadId t, Addr base, std::uint32_t width, AccessType type);
 
   LocksetPool pool_;
+  static void expand_replica(void* self, LsCell*& cell, std::uint32_t k);
   ShadowTable<LsCell*> table_;
   std::vector<HeldLocks> held_;
   SiteTracker sites_;

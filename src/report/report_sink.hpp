@@ -8,8 +8,10 @@
 // library-analogue regions so benches can exercise them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -19,6 +21,12 @@
 
 namespace dg {
 
+// Thread-safe: shards report concurrently in Mode::kSharded (DESIGN.md
+// §5.2), so dedup, max_kept truncation, and the on_report_ callback all run
+// under an internal mutex; the callback is invoked while it is held, so a
+// location's first race is published exactly once and callbacks never
+// interleave. Counters are additionally atomic so unique_races()/
+// raw_reports()/suppressed() stay lock-free for hot-path callers.
 class ReportSink {
  public:
   /// Keep at most `max_kept` full reports (counting continues past it).
@@ -26,25 +34,28 @@ class ReportSink {
 
   /// Suppress races whose racing address lies in [lo, hi).
   void suppress_range(Addr lo, Addr hi, std::string label = {}) {
+    std::lock_guard<std::mutex> lk(mu_);
     range_rules_.push_back({lo, hi, std::move(label)});
   }
 
   /// Suppress races whose current-site label starts with `prefix`
   /// (the analogue of DRD's "suppress races from libc/ld").
   void suppress_site_prefix(std::string prefix) {
+    std::lock_guard<std::mutex> lk(mu_);
     site_rules_.push_back(std::move(prefix));
   }
 
   /// Deliver a report. Returns true iff it was recorded as a new race
   /// location (not suppressed, not a repeat of the location's first race).
   bool report(const RaceReport& r) {
+    std::lock_guard<std::mutex> lk(mu_);
     if (is_suppressed(r)) {
-      ++suppressed_;
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    ++raw_;
+    raw_.fetch_add(1, std::memory_order_relaxed);
     if (!locations_.insert(r.addr).second) return false;
-    ++unique_;
+    unique_.fetch_add(1, std::memory_order_relaxed);
     if (reports_.size() < max_kept_) reports_.push_back(r);
     if (on_report_) on_report_(r);
     return true;
@@ -52,23 +63,36 @@ class ReportSink {
 
   /// A location already known racy? (Detectors use this to avoid
   /// re-reporting a location after its Race transition.)
-  bool known_location(Addr a) const { return locations_.count(a) != 0; }
+  bool known_location(Addr a) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return locations_.count(a) != 0;
+  }
 
   /// Number of distinct racy locations (the paper's "# of Detected Data
   /// Races" — its detectors report the first race for each location).
-  std::uint64_t unique_races() const noexcept { return unique_; }
+  std::uint64_t unique_races() const noexcept {
+    return unique_.load(std::memory_order_relaxed);
+  }
   /// Raw (pre-dedup) reports, as listed for DRD/Inspector in Table 6.
-  std::uint64_t raw_reports() const noexcept { return raw_; }
-  std::uint64_t suppressed() const noexcept { return suppressed_; }
+  std::uint64_t raw_reports() const noexcept {
+    return raw_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t suppressed() const noexcept {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
 
+  /// Quiescent-state accessor: callers must ensure no shard is reporting
+  /// concurrently (tests and benches read this after finish()).
   const std::vector<RaceReport>& reports() const noexcept { return reports_; }
 
   /// Optional live callback (examples print races as they happen).
   void set_on_report(std::function<void(const RaceReport&)> cb) {
+    std::lock_guard<std::mutex> lk(mu_);
     on_report_ = std::move(cb);
   }
 
   void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
     reports_.clear();
     locations_.clear();
     raw_ = unique_ = suppressed_ = 0;
@@ -90,15 +114,16 @@ class ReportSink {
     return false;
   }
 
+  mutable std::mutex mu_;
   std::size_t max_kept_;
   std::vector<RaceReport> reports_;
   std::unordered_set<Addr> locations_;
   std::vector<RangeRule> range_rules_;
   std::vector<std::string> site_rules_;
   std::function<void(const RaceReport&)> on_report_;
-  std::uint64_t raw_ = 0;
-  std::uint64_t unique_ = 0;
-  std::uint64_t suppressed_ = 0;
+  std::atomic<std::uint64_t> raw_{0};
+  std::atomic<std::uint64_t> unique_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
 };
 
 }  // namespace dg

@@ -3,77 +3,116 @@
 // clock counts and average sharing degree (Table 3).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/assert.hpp"
 
 namespace dg {
 
+// Counters are atomics so concurrent shards (DESIGN.md §5.2) can bump them
+// without tearing; single-threaded arithmetic is unchanged. The struct is
+// copyable — a copy is a relaxed snapshot, which keeps by-value uses like
+// the bench harness's `RunMetrics::stats` working. Under concurrency the
+// peak-population triple maintained by note_population() (max_live_vcs /
+// sharing_count_at_peak / avg_sharing_at_peak) is best-effort: two shards
+// racing on the compare-then-store can land a slightly stale peak. Parity
+// tests therefore assert on the deterministic counters (shared_accesses,
+// same_epoch_hits, race sets), not on population peaks.
 struct DetectorStats {
   // -- access counters -------------------------------------------------
-  std::uint64_t shared_accesses = 0;   // instrumented reads+writes analysed
-  std::uint64_t same_epoch_hits = 0;   // filtered by the per-thread bitmap
-  std::uint64_t elided_checks = 0;     // skipped via the analyzer's map
+  std::atomic<std::uint64_t> shared_accesses{0};  // reads+writes analysed
+  std::atomic<std::uint64_t> same_epoch_hits{0};  // filtered by the bitmap
+  std::atomic<std::uint64_t> elided_checks{0};    // skipped via analyzer map
 
   // -- vector clock population ------------------------------------------
   // A "vector clock" here is one access-history object (epoch or full VC),
   // matching the paper's usage ("both a vector clock and an epoch
   // representation are referred to as a vector clock").
-  std::uint64_t live_vcs = 0;
-  std::uint64_t max_live_vcs = 0;
-  std::uint64_t vc_allocs = 0;
-  std::uint64_t vc_frees = 0;
+  std::atomic<std::uint64_t> live_vcs{0};
+  std::atomic<std::uint64_t> max_live_vcs{0};
+  std::atomic<std::uint64_t> vc_allocs{0};
+  std::atomic<std::uint64_t> vc_frees{0};
 
   // -- dynamic-granularity sharing --------------------------------------
   // Locations (shadow cells) currently mapped vs distinct VC nodes; their
   // ratio at the VC-population peak is the paper's "Avg. sharing count".
-  std::uint64_t live_locations = 0;
-  std::uint64_t sharing_count_at_peak = 1;  // live_locations at max_live_vcs
-  double avg_sharing_at_peak = 1.0;
+  std::atomic<std::uint64_t> live_locations{0};
+  std::atomic<std::uint64_t> sharing_count_at_peak{1};
+  std::atomic<double> avg_sharing_at_peak{1.0};
+
+  DetectorStats() = default;
+  DetectorStats(const DetectorStats& o) { copy_from(o); }
+  DetectorStats& operator=(const DetectorStats& o) {
+    if (this != &o) copy_from(o);
+    return *this;
+  }
 
   void vc_created() {
-    ++vc_allocs;
-    ++live_vcs;
+    vc_allocs.fetch_add(1, std::memory_order_relaxed);
+    live_vcs.fetch_add(1, std::memory_order_relaxed);
     note_population();
   }
   void vc_destroyed() {
-    DG_DCHECK(live_vcs > 0);
-    ++vc_frees;
-    --live_vcs;
+    DG_DCHECK(live_vcs.load(std::memory_order_relaxed) > 0);
+    vc_frees.fetch_add(1, std::memory_order_relaxed);
+    live_vcs.fetch_sub(1, std::memory_order_relaxed);
   }
   void location_mapped(std::uint64_t n = 1) {
-    live_locations += n;
+    live_locations.fetch_add(n, std::memory_order_relaxed);
     note_population();
   }
   void location_unmapped(std::uint64_t n = 1) {
-    DG_DCHECK(live_locations >= n);
-    live_locations -= n;
+    DG_DCHECK(live_locations.load(std::memory_order_relaxed) >= n);
+    live_locations.fetch_sub(n, std::memory_order_relaxed);
   }
 
   double elided_pct() const {
-    return shared_accesses == 0
-               ? 0.0
-               : 100.0 * static_cast<double>(elided_checks) /
-                     static_cast<double>(shared_accesses);
+    const auto total = shared_accesses.load(std::memory_order_relaxed);
+    return total == 0 ? 0.0
+                      : 100.0 *
+                            static_cast<double>(
+                                elided_checks.load(std::memory_order_relaxed)) /
+                            static_cast<double>(total);
   }
 
   double same_epoch_pct() const {
-    return shared_accesses == 0
+    const auto total = shared_accesses.load(std::memory_order_relaxed);
+    return total == 0
                ? 0.0
-               : 100.0 * static_cast<double>(same_epoch_hits) /
-                     static_cast<double>(shared_accesses);
+               : 100.0 *
+                     static_cast<double>(
+                         same_epoch_hits.load(std::memory_order_relaxed)) /
+                     static_cast<double>(total);
   }
 
  private:
+  void copy_from(const DetectorStats& o) {
+    shared_accesses = o.shared_accesses.load(std::memory_order_relaxed);
+    same_epoch_hits = o.same_epoch_hits.load(std::memory_order_relaxed);
+    elided_checks = o.elided_checks.load(std::memory_order_relaxed);
+    live_vcs = o.live_vcs.load(std::memory_order_relaxed);
+    max_live_vcs = o.max_live_vcs.load(std::memory_order_relaxed);
+    vc_allocs = o.vc_allocs.load(std::memory_order_relaxed);
+    vc_frees = o.vc_frees.load(std::memory_order_relaxed);
+    live_locations = o.live_locations.load(std::memory_order_relaxed);
+    sharing_count_at_peak =
+        o.sharing_count_at_peak.load(std::memory_order_relaxed);
+    avg_sharing_at_peak = o.avg_sharing_at_peak.load(std::memory_order_relaxed);
+  }
+
   void note_population() {
-    if (live_vcs > max_live_vcs ||
-        (live_vcs == max_live_vcs && live_locations > sharing_count_at_peak)) {
-      max_live_vcs = live_vcs;
-      sharing_count_at_peak = live_locations;
-      avg_sharing_at_peak =
-          live_vcs == 0 ? 1.0
-                        : static_cast<double>(live_locations) /
-                              static_cast<double>(live_vcs);
+    const std::uint64_t vcs = live_vcs.load(std::memory_order_relaxed);
+    const std::uint64_t locs = live_locations.load(std::memory_order_relaxed);
+    if (vcs > max_live_vcs.load(std::memory_order_relaxed) ||
+        (vcs == max_live_vcs.load(std::memory_order_relaxed) &&
+         locs > sharing_count_at_peak.load(std::memory_order_relaxed))) {
+      max_live_vcs.store(vcs, std::memory_order_relaxed);
+      sharing_count_at_peak.store(locs, std::memory_order_relaxed);
+      avg_sharing_at_peak.store(
+          vcs == 0 ? 1.0
+                   : static_cast<double>(locs) / static_cast<double>(vcs),
+          std::memory_order_relaxed);
     }
   }
 };
@@ -81,14 +120,16 @@ struct DetectorStats {
 // RuntimeStats — contention/throughput counters for the live runtime's
 // two-tier event path (DESIGN.md §5.1). A healthy read-heavy run shows a
 // high fast_path_pct (the §IV-A filter resolving accesses without the
-// analysis lock) and a high events_per_lock (batching amortization).
+// analysis lock) and a high events_per_lock (batching amortization). This
+// is a plain snapshot struct: rt::Runtime::stats() assembles it from the
+// runtime's internal atomic counters.
 struct RuntimeStats {
   std::uint64_t events_seen = 0;        // accesses entering the runtime
   std::uint64_t fast_path_filtered = 0; // dropped lock-free by the local bitmap
   std::uint64_t batched = 0;            // deferred into a per-thread ring
   std::uint64_t direct = 0;             // delivered under the lock, unbatched
   std::uint64_t flushes = 0;            // non-empty ring-buffer drains
-  std::uint64_t lock_acquisitions = 0;  // analysis-lock acquisitions
+  std::uint64_t lock_acquisitions = 0;  // analysis/shard-lock acquisitions
 
   double fast_path_pct() const {
     return events_seen == 0

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/assert.hpp"
 #include "common/memtrack.hpp"
@@ -11,10 +13,10 @@
 namespace dg::rt {
 
 // Per-thread fast-path state (DESIGN.md §5.1). The owning thread reads and
-// writes `serial`, `ranges`, `bitmap` and the ring's producer side without
-// any lock; `serial` is only updated while the owner also holds mu_ (right
-// after one of its own sync events is delivered). The atomics are written
-// by the owner and read by Runtime::stats() from any thread.
+// writes `serial`, `ranges`, `bitmap`, `cur_site`, `shard_bufs` and the
+// ring's producer side without any lock; `serial` is only updated by the
+// owner right after one of its own sync events is delivered. The atomics
+// are written by the owner and read by Runtime::stats() from any thread.
 struct ThreadState {
   explicit ThreadState(ThreadId t) : tid(t), bitmap(acct) {}
 
@@ -26,6 +28,13 @@ struct ThreadState {
   // Epoch serial the detector published at this thread's last sync event;
   // Detector::kNoSameEpochSerial disables the fast path.
   std::uint64_t serial = Detector::kNoSameEpochSerial;
+
+  // kSharded mode only: current site label, stamped on every access event
+  // at enqueue (site attribution must survive per-shard partitioning), and
+  // the per-shard staging buffers a ring drain partitions into. Touched by
+  // the owner, or by finish() at quiescence.
+  const char* cur_site = nullptr;
+  std::vector<std::vector<BatchedEvent>> shard_bufs;
 
   // Snapshot of the ignore-range list, refreshed when ranges_gen_ moves.
   std::vector<std::pair<Addr, Addr>> ranges;
@@ -90,12 +99,43 @@ void for_unignored(const std::vector<std::pair<Addr, Addr>>& ranges, Addr lo,
     a = next_lo;
   }
 }
+// Mode::kDefault resolves through the DYNGRAN_RT_MODE environment variable
+// so an existing test binary can be rerun under a different event path
+// (CI runs the whole suite with DYNGRAN_RT_MODE=sharded) without touching
+// call sites that do not care. Unrecognized values fall back to kTwoTier.
+RuntimeOptions::Mode resolve_mode(RuntimeOptions::Mode m) {
+  using Mode = RuntimeOptions::Mode;
+  if (m != Mode::kDefault) return m;
+  if (const char* env = std::getenv("DYNGRAN_RT_MODE")) {
+    if (std::strcmp(env, "serialized") == 0) return Mode::kSerialized;
+    if (std::strcmp(env, "sharded") == 0) return Mode::kSharded;
+  }
+  return Mode::kTwoTier;
+}
 }  // namespace
 
 Runtime::Runtime(Detector& det, RuntimeOptions opts)
-    : det_(&det), opts_(opts) {}
+    : det_(&det), opts_(opts) {
+  opts_.mode = resolve_mode(opts_.mode);
+  if (opts_.mode == RuntimeOptions::Mode::kSharded) {
+    if (det_->supports_concurrent_delivery()) {
+      det_->set_concurrent_delivery(true);
+      smap_ = det_->shard_map();
+      sharded_ = true;
+    } else {
+      // The detector cannot analyse concurrently; the sharded delivery
+      // path would just serialize on its (absent) locks. Degrade to the
+      // two-tier path and report the resolved mode via options().
+      opts_.mode = RuntimeOptions::Mode::kTwoTier;
+    }
+  }
+}
 
-Runtime::~Runtime() = default;  // out-of-line: ThreadState is complete here
+Runtime::~Runtime() {
+  // Leave the detector usable single-threaded after the runtime is gone
+  // (tests inspect detector state directly once all threads have exited).
+  if (sharded_) det_->set_concurrent_delivery(false);
+}
 
 ThreadId Runtime::register_current_thread(ThreadId parent) {
   std::scoped_lock lk(mu_);
@@ -155,14 +195,13 @@ void Runtime::refresh_ranges(ThreadState& ts) const {
   ts.ranges_gen = ranges_gen_.load(std::memory_order_relaxed);
 }
 
-void Runtime::flush_locked(ThreadState& ts) {
-  const std::size_t n = ts.ring.drain(
-      [&](const BatchedEvent* ev, std::size_t k) { det_->on_batch(ev, k); });
-  if (n > 0) ++flushes_;
-  // Fold fast-path-filtered accesses into the detector's counters: each one
-  // is exactly an access the detector would have counted as a shared access
-  // and a same-epoch hit, so shared_accesses / same_epoch_hits stay
-  // identical to a serialized run (see DESIGN.md §5.1).
+// Fold fast-path-filtered accesses into the detector's counters: each one
+// is exactly an access the detector would have counted as a shared access
+// and a same-epoch hit, so shared_accesses / same_epoch_hits stay
+// identical to a serialized run (see DESIGN.md §5.1). Called with mu_ held
+// (two-tier) or from the ring owner (sharded); `folded` is single-writer
+// in both regimes and the stats fields are atomic.
+void Runtime::fold_filtered(ThreadState& ts) {
   const std::uint64_t filtered =
       ts.fast_filtered.load(std::memory_order_relaxed);
   if (filtered > ts.folded) {
@@ -173,12 +212,59 @@ void Runtime::flush_locked(ThreadState& ts) {
   }
 }
 
+void Runtime::flush_locked(ThreadState& ts) {
+  const std::size_t n = ts.ring.drain(
+      [&](const BatchedEvent* ev, std::size_t k) { det_->on_batch(ev, k); });
+  if (n > 0) ++flushes_;
+  fold_filtered(ts);
+}
+
+// kSharded drain: partition the ring's contents by the detector's shard
+// map, splitting any access that straddles a stripe boundary, then deliver
+// one shard-confined sub-batch per non-empty shard. No runtime lock is
+// taken — the ring is SPSC with the owner draining (finish() drains other
+// threads' rings only at quiescence), and the detector locks internally.
+void Runtime::flush_sharded(ThreadState& ts) {
+  if (ts.shard_bufs.size() < smap_.count) ts.shard_bufs.resize(smap_.count);
+  const std::size_t n =
+      ts.ring.drain([&](const BatchedEvent* ev, std::size_t k) {
+        for (std::size_t i = 0; i < k; ++i) {
+          BatchedEvent e = ev[i];
+          DG_DCHECK(e.kind == BatchedEvent::Kind::kRead ||
+                    e.kind == BatchedEvent::Kind::kWrite);
+          Addr a = e.addr;
+          const Addr end = a + e.size;  // access() caps size; cannot wrap
+          while (a < end) {
+            const Addr cut = std::min(end, smap_.stripe_hi(a));
+            e.addr = a;
+            e.size = cut - a;
+            ts.shard_bufs[smap_.shard_of(a)].push_back(e);
+            a = cut;
+          }
+        }
+      });
+  if (n == 0) return;
+  ++flushes_;
+  for (std::uint32_t s = 0; s < smap_.count; ++s) {
+    std::vector<BatchedEvent>& buf = ts.shard_bufs[s];
+    if (buf.empty()) continue;
+    det_->on_batch_shard(s, buf.data(), buf.size());
+    ++lock_acquisitions_;  // one shard-mutex acquisition per sub-batch
+    buf.clear();
+  }
+  fold_filtered(ts);
+}
+
 void Runtime::enqueue(ThreadState& ts, const BatchedEvent& e) {
   ThreadState::bump(ts.batched);
   if (ts.ring.try_push(e)) return;
-  std::scoped_lock lk(mu_);  // ring full: flush it and retry
-  ++lock_acquisitions_;
-  flush_locked(ts);
+  if (sharded_) {  // ring full: flush it and retry
+    flush_sharded(ts);
+  } else {
+    std::scoped_lock lk(mu_);
+    ++lock_acquisitions_;
+    flush_locked(ts);
+  }
   const bool pushed = ts.ring.try_push(e);
   DG_CHECK(pushed);
 }
@@ -217,6 +303,7 @@ void Runtime::access(const void* p, std::size_t n, AccessType type) {
         e.tid = ts.tid;
         e.addr = a;
         e.size = len;
+        if (sharded_) e.site = ts.cur_site;  // see set_site()
         enqueue(ts, e);
       }
       a += len;
@@ -234,6 +321,21 @@ void Runtime::write(const void* p, std::size_t n) {
 
 void Runtime::sync_event(const void* sync_obj, bool is_acquire) {
   ThreadState& ts = self();
+  if (sharded_) {
+    // Flush-before-sync still holds: the detector's sync rw-lock orders
+    // this (exclusive) delivery after the shard-side analysis of every
+    // event flushed here.
+    flush_sharded(ts);
+    ++lock_acquisitions_;  // the detector's exclusive sync-lock acquisition
+    ++direct_events_;
+    if (is_acquire) {
+      det_->on_acquire(ts.tid, to_addr(sync_obj));
+    } else {
+      det_->on_release(ts.tid, to_addr(sync_obj));
+    }
+    ts.serial = det_->same_epoch_serial(ts.tid);
+    return;
+  }
   std::scoped_lock lk(mu_);
   ++lock_acquisitions_;
   // Flush-before-sync: every deferred access is delivered before the sync
@@ -271,6 +373,13 @@ void Runtime::sync_acquire_edge(const void* sync_obj) {
 // here in a way it does not for data accesses.
 void Runtime::allocated(const void* p, std::size_t n) {
   ThreadState& ts = self();
+  if (sharded_) {
+    flush_sharded(ts);
+    ++lock_acquisitions_;
+    ++direct_events_;
+    det_->on_alloc(ts.tid, to_addr(p), n);
+    return;
+  }
   std::scoped_lock lk(mu_);
   ++lock_acquisitions_;
   flush_locked(ts);
@@ -280,6 +389,18 @@ void Runtime::allocated(const void* p, std::size_t n) {
 
 void Runtime::freed(const void* p, std::size_t n) {
   ThreadState& ts = self();
+  if (sharded_) {
+    // Only this thread's deferred accesses can be flushed here; another
+    // thread's pre-free accesses to the range are ordered by whatever
+    // synchronization the program itself uses around the free (the same
+    // contract as the serialized path, where those accesses may also still
+    // sit in their owner's ring).
+    flush_sharded(ts);
+    ++lock_acquisitions_;
+    ++direct_events_;
+    det_->on_free(ts.tid, to_addr(p), n);
+    return;
+  }
   std::scoped_lock lk(mu_);
   ++lock_acquisitions_;
   flush_locked(ts);
@@ -289,6 +410,14 @@ void Runtime::freed(const void* p, std::size_t n) {
 
 void Runtime::joined(ThreadId child) {
   ThreadState& ts = self();
+  if (sharded_) {
+    flush_sharded(ts);
+    ++lock_acquisitions_;
+    det_->on_thread_join(ts.tid, child);
+    ++direct_events_;
+    ts.serial = det_->same_epoch_serial(ts.tid);
+    return;
+  }
   std::scoped_lock lk(mu_);
   ++lock_acquisitions_;
   flush_locked(ts);
@@ -299,6 +428,13 @@ void Runtime::joined(ThreadId child) {
 
 void Runtime::set_site(const char* site) {
   ThreadState& ts = self();
+  if (sharded_) {
+    // No kSite ring event: partitioning would tear its ordering relative
+    // to accesses bound for other shards. Instead every subsequent access
+    // carries the label (stamped in access()).
+    ts.cur_site = site;
+    return;
+  }
   if (opts_.mode == RuntimeOptions::Mode::kSerialized) {
     std::scoped_lock lk(mu_);
     ++lock_acquisitions_;
@@ -315,6 +451,11 @@ void Runtime::set_site(const char* site) {
 
 void Runtime::flush_current() {
   ThreadState& ts = self();
+  if (sharded_) {
+    flush_sharded(ts);
+    ts.serial = det_->same_epoch_serial(ts.tid);
+    return;
+  }
   std::scoped_lock lk(mu_);
   ++lock_acquisitions_;
   flush_locked(ts);
@@ -334,6 +475,10 @@ void Runtime::thread_exit() {
       ranges_gen_.fetch_add(1, std::memory_order_release);
     }
   }
+  if (sharded_) {
+    flush_sharded(ts);
+    return;
+  }
   std::scoped_lock lk(mu_);
   ++lock_acquisitions_;
   flush_locked(ts);
@@ -344,17 +489,24 @@ void Runtime::finish() {
   ++lock_acquisitions_;
   // All application threads are expected to be quiescent here; draining
   // their rings from this thread is safe because drains are serialized by
-  // mu_ (see EventRing).
-  for (const auto& ts : threads_) flush_locked(*ts);
+  // mu_ (see EventRing) — and, in sharded mode, because quiescence makes
+  // this thread the only producer or consumer left.
+  for (const auto& ts : threads_) {
+    if (sharded_) {
+      flush_sharded(*ts);
+    } else {
+      flush_locked(*ts);
+    }
+  }
   det_->on_finish();
 }
 
 RuntimeStats Runtime::stats() const {
   RuntimeStats rs;
   std::scoped_lock lk(mu_);
-  rs.flushes = flushes_;
-  rs.direct = direct_events_;
-  rs.lock_acquisitions = lock_acquisitions_;
+  rs.flushes = flushes_.load(std::memory_order_relaxed);
+  rs.direct = direct_events_.load(std::memory_order_relaxed);
+  rs.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
   for (const auto& ts : threads_) {
     rs.events_seen += ts->events_seen.load(std::memory_order_relaxed);
     rs.fast_path_filtered += ts->fast_filtered.load(std::memory_order_relaxed);

@@ -14,6 +14,14 @@
 // under the same epoch it was filtered against. Sync, alloc/free and join
 // events are delivered directly under the lock.
 //
+// Mode::kSharded (DESIGN.md §5.2) keeps the tier-1 front end but replaces
+// the single analysis mutex with the detector's own two-domain locking:
+// each ring drain is partitioned by the detector's shard map (events
+// straddling a stripe boundary are split) and delivered shard-by-shard via
+// on_batch_shard, so batches destined for different shards analyse
+// concurrently; sync/alloc/free/join events go to the detector directly,
+// which serializes them internally against all access analysis.
+//
 //   dg::rt::Runtime rt(detector);
 //   dg::rt::Mutex m(rt);
 //   dg::rt::Thread worker(rt, [&](dg::rt::ThreadCtx& ctx) {
@@ -47,10 +55,15 @@ struct ThreadState;  // per-thread fast-path state, defined in runtime.cpp
 
 struct RuntimeOptions {
   enum class Mode {
+    kDefault,     // resolve via DYNGRAN_RT_MODE env var, else kTwoTier
     kTwoTier,     // lock-free filter + batched delivery (default)
     kSerialized,  // seed behaviour: every event under the analysis lock
+    kSharded,     // two-tier front end + concurrent sharded analysis
+                  // (DESIGN.md §5.2); needs a detector that reports
+                  // supports_concurrent_delivery(), else falls back to
+                  // kTwoTier
   };
-  Mode mode = Mode::kTwoTier;
+  Mode mode = Mode::kDefault;
 };
 
 class Runtime {
@@ -106,6 +119,10 @@ class Runtime {
   void finish();
 
   Detector& detector() noexcept { return *det_; }
+
+  /// Options after mode resolution: kDefault is replaced by the env-selected
+  /// mode, and kSharded by kTwoTier when the detector cannot run its access
+  /// analysis concurrently.
   const RuntimeOptions& options() const noexcept { return opts_; }
 
   /// Aggregated two-tier counters (events seen / fast-path filtered /
@@ -118,13 +135,21 @@ class Runtime {
   void sync_event(const void* sync_obj, bool is_acquire);
   void refresh_ranges(ThreadState& ts) const;
   void flush_locked(ThreadState& ts);   // caller holds mu_
+  void flush_sharded(ThreadState& ts);  // kSharded: no runtime lock needed
+  void fold_filtered(ThreadState& ts);
   void enqueue(ThreadState& ts, const BatchedEvent& e);
 
-  mutable std::mutex mu_;  // the analysis lock
+  mutable std::mutex mu_;  // the analysis lock (idle in kSharded mode
+                           // except for thread registration and stats())
   Detector* det_;
   RuntimeOptions opts_;
   ThreadId next_tid_ = 0;                              // guarded by mu_
   std::vector<std::unique_ptr<ThreadState>> threads_;  // guarded by mu_
+
+  // kSharded mode: detector accepted concurrent delivery; smap_ caches its
+  // shard geometry for ring partitioning. Both set once in the constructor.
+  bool sharded_ = false;
+  ShardMap smap_;
 
   // Ignore-range registry. Guarded by ranges_mu_, which is never held
   // together with mu_. ranges_gen_ invalidates per-thread snapshots.
@@ -132,10 +157,11 @@ class Runtime {
   std::vector<std::pair<Addr, Addr>> ignored_;
   std::atomic<std::uint64_t> ranges_gen_{1};
 
-  // Counters without a per-thread home; guarded by mu_.
-  std::uint64_t lock_acquisitions_ = 0;
-  std::uint64_t flushes_ = 0;
-  std::uint64_t direct_events_ = 0;
+  // Counters without a per-thread home. Atomic because kSharded mode
+  // updates them outside mu_; relaxed — they are statistics, not fences.
+  std::atomic<std::uint64_t> lock_acquisitions_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> direct_events_{0};
 };
 
 /// RAII ignore-range registration: unignores on scope exit.

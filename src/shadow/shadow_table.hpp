@@ -18,7 +18,6 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstring>
-#include <functional>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -63,8 +62,16 @@ class ShadowTable {
   /// clone a heap payload so cells never alias). Replica k = 0 keeps the
   /// original value untouched. Without a hook the value is replicated
   /// as-is, which is only safe for value-like or reference-counted cells.
-  void set_expander(std::function<void(Cell&, std::uint32_t)> fn) {
-    expander_ = std::move(fn);
+  ///
+  /// A raw function pointer + context, not a std::function: expansion sits
+  /// on the hot path of every word→byte transition and a std::function's
+  /// type-erased indirect call (plus possible heap-allocated capture) costs
+  /// measurably more per replica — see bench/micro_shadow's expansion
+  /// benchmarks. Detectors pass a static trampoline with `this` as ctx.
+  using Expander = void (*)(void* ctx, Cell& replica, std::uint32_t k);
+  void set_expander(Expander fn, void* ctx) {
+    expander_ = fn;
+    expander_ctx_ = ctx;
   }
 
   /// Width in bytes of the cell covering `addr` (4 in word mode, 1 in byte
@@ -339,7 +346,7 @@ class ShadowTable {
         Cell& dst = byte_cells[w * kWordSize + b];
         dst = blk->cells[w];
         if (filled) {
-          if (b != 0 && expander_) expander_(dst, b);
+          if (b != 0 && expander_ != nullptr) expander_(expander_ctx_, dst, b);
           ++occupied;
         }
       }
@@ -403,7 +410,8 @@ class ShadowTable {
 
   MemoryAccountant* acct_;
   MemCategory cat_;
-  std::function<void(Cell&, std::uint32_t)> expander_;
+  Expander expander_ = nullptr;
+  void* expander_ctx_ = nullptr;
   Block** buckets_ = nullptr;
   std::size_t num_buckets_ = 0;
   std::size_t num_blocks_ = 0;

@@ -1,0 +1,186 @@
+// ShardedShadow — address-partitioned wrapper around N ShadowTables
+// (DESIGN.md §5.2).
+//
+// The shadow domain of a concurrent-capable detector is split into a
+// power-of-two number of shards keyed by address stripe (ShardMap). Each
+// shard owns an independent ShadowTable plus a cache-line-padded mutex, so
+// batches flushed from different application threads analyze concurrently
+// when they touch different stripes. With count == 1 this degenerates to a
+// plain ShadowTable behind one pointer indirection — the compatibility
+// configuration that keeps single-shard runs byte-identical to the
+// unsharded detector.
+//
+// Locking contract: the wrapper does NOT lock. The detector takes
+// shard_mutex(s) around a whole access-analysis operation (one access may
+// need several table calls that must be atomic together) and guarantees —
+// by pre-splitting accesses at stripe boundaries and clamping neighbor
+// scans — that every table call made under shard s's lock resolves to
+// shard s. Range helpers that may legitimately span stripes
+// (for_range_existing / clear_range / for_each / clear_all) are reserved
+// for contexts that exclude all shard activity: sync-domain events
+// (alloc/free) delivered under the detector's exclusive sync lock, or
+// teardown.
+//
+// Memory accounting: every shard charges the one detector-wide
+// (atomic) MemoryAccountant, so the paper's Table-2 category totals are
+// unchanged by sharding; the per-shard slice is visible via
+// shard_bytes(s) (each ShadowTable tracks its own byte footprint).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/memtrack.hpp"
+#include "common/shard_map.hpp"
+#include "common/types.hpp"
+#include "shadow/shadow_table.hpp"
+
+namespace dg {
+
+template <typename Cell>
+class ShardedShadow {
+ public:
+  explicit ShardedShadow(MemoryAccountant& acct, std::uint32_t count = 1,
+                         std::uint32_t stripe_shift = kDefaultShardStripeShift,
+                         MemCategory cat = MemCategory::kHash)
+      : map_{count == 0 ? 1u : count, count <= 1 ? 0u : stripe_shift} {
+    DG_CHECK((map_.count & (map_.count - 1)) == 0);
+    shards_.reserve(map_.count);
+    for (std::uint32_t s = 0; s < map_.count; ++s)
+      shards_.push_back(std::make_unique<Shard>(acct, cat));
+  }
+
+  const ShardMap& map() const noexcept { return map_; }
+  std::uint32_t shard_count() const noexcept { return map_.count; }
+  std::uint32_t shard_of(Addr a) const noexcept { return map_.shard_of(a); }
+  Addr stripe_lo(Addr a) const noexcept { return map_.stripe_lo(a); }
+  Addr stripe_hi(Addr a) const noexcept { return map_.stripe_hi(a); }
+
+  std::mutex& shard_mutex(std::uint32_t s) noexcept {
+    return shards_[s]->mu;
+  }
+  ShadowTable<Cell>& shard_table(std::uint32_t s) noexcept {
+    return shards_[s]->table;
+  }
+  /// Byte footprint of one shard's table (this shard's accountant slice).
+  std::size_t shard_bytes(std::uint32_t s) const noexcept {
+    return shards_[s]->table.bytes();
+  }
+
+  /// Install the word→byte expansion hook on every shard.
+  void set_expander(typename ShadowTable<Cell>::Expander fn, void* ctx) {
+    for (auto& sh : shards_) sh->table.set_expander(fn, ctx);
+  }
+
+  // -- single-address calls, routed to the owning shard ------------------
+
+  std::uint32_t slot_width(Addr addr) const {
+    return table_for(addr).slot_width(addr);
+  }
+  Cell lookup(Addr addr) const { return table_for(addr).lookup(addr); }
+  Cell& slot(Addr addr, std::uint32_t size) {
+    return table_for(addr).slot(addr, size);
+  }
+  void note_fill(Addr addr) { table_for(addr).note_fill(addr); }
+  void note_clear(Addr addr) { table_for(addr).note_clear(addr); }
+
+  /// Neighbor scans stay within the shard owning `addr-1` / `addr`; the
+  /// caller clamps the limit to the stripe so the scan never needs to
+  /// cross into another shard's table.
+  Cell prev_occupied(Addr addr, Addr low_limit, Addr* found_base) const {
+    if (addr == 0) return Cell{};
+    // The scan runs in the shard owning addr-1; the caller must have
+    // clamped low_limit into that same stripe (and skipped the call when
+    // the clamp left nothing to scan).
+    DG_DCHECK(map_.count <= 1 ||
+              stripe_lo(addr - 1) == stripe_lo(low_limit));
+    return table_for(addr - 1).prev_occupied(addr, low_limit, found_base);
+  }
+  Cell next_occupied(Addr addr, Addr high_limit, Addr* found_base) const {
+    DG_DCHECK(high_limit <= stripe_hi(addr));
+    return table_for(addr).next_occupied(addr, high_limit, found_base);
+  }
+
+  // -- range calls, split across stripes internally ----------------------
+  // (only safe without shard locks when the caller excludes all shard
+  // activity — exclusive sync events or teardown; see header comment)
+
+  template <typename Fn>
+  void for_range(Addr addr, std::uint32_t len, Fn&& fn) {
+    each_stripe(addr, len, [&](Addr a, std::uint32_t l) {
+      table_for(a).for_range(a, l, fn);
+    });
+  }
+  template <typename Fn>
+  void for_range_existing(Addr addr, std::uint32_t len, Fn&& fn) {
+    each_stripe(addr, len, [&](Addr a, std::uint32_t l) {
+      table_for(a).for_range_existing(a, l, fn);
+    });
+  }
+  void clear_range(Addr addr, std::uint32_t len) {
+    each_stripe(addr, len, [&](Addr a, std::uint32_t l) {
+      table_for(a).clear_range(a, l);
+    });
+  }
+
+  // -- whole-domain calls ------------------------------------------------
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& sh : shards_) sh->table.for_each(fn);
+  }
+  void clear_all() {
+    for (auto& sh : shards_) sh->table.clear_all();
+  }
+
+  std::size_t num_blocks() const noexcept {
+    std::size_t n = 0;
+    for (const auto& sh : shards_) n += sh->table.num_blocks();
+    return n;
+  }
+  std::size_t bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& sh : shards_) n += sh->table.bytes();
+    return n;
+  }
+
+ private:
+  // Padded so two shards' mutexes never share a cache line.
+  struct alignas(64) Shard {
+    Shard(MemoryAccountant& acct, MemCategory cat) : table(acct, cat) {}
+    std::mutex mu;
+    ShadowTable<Cell> table;
+  };
+
+  ShadowTable<Cell>& table_for(Addr a) noexcept {
+    return shards_[map_.shard_of(a)]->table;
+  }
+  const ShadowTable<Cell>& table_for(Addr a) const noexcept {
+    return shards_[map_.shard_of(a)]->table;
+  }
+
+  /// Invoke fn(sub_addr, sub_len) for each stripe-confined piece of
+  /// [addr, addr+len).
+  template <typename Fn>
+  void each_stripe(Addr addr, std::uint32_t len, Fn&& fn) const {
+    if (map_.count <= 1) {
+      fn(addr, len);
+      return;
+    }
+    Addr a = addr;
+    const Addr end = addr + len;
+    while (a < end) {
+      const Addr cut = std::min<Addr>(end, map_.stripe_hi(a));
+      fn(a, static_cast<std::uint32_t>(cut - a));
+      a = cut;
+    }
+  }
+
+  ShardMap map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dg

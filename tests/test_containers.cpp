@@ -21,7 +21,7 @@ class Containers : public ::testing::Test {
 TEST_F(Containers, ProxyReadsAndWritesAreReported) {
   rt::Vector<int> v(rtm, 8);
   rtm.flush_current();  // deliver deferred events before counting
-  const auto before = det.stats().shared_accesses;
+  const std::uint64_t before = det.stats().shared_accesses;
   v[0] = 7;                 // 1 write
   const int x = v[0];       // 1 read
   v[1] += x;                // 1 read + 1 write
@@ -36,7 +36,7 @@ TEST_F(Containers, ProxyReadsAndWritesAreReported) {
 TEST_F(Containers, FillIsOneWideWrite) {
   rt::Vector<int> v(rtm, 256);
   rtm.flush_current();
-  const auto before = det.stats().shared_accesses;
+  const std::uint64_t before = det.stats().shared_accesses;
   v.fill(42);
   rtm.flush_current();
   EXPECT_EQ(det.stats().shared_accesses, before + 1);
@@ -47,7 +47,7 @@ TEST_F(Containers, CopyFromReportsReadAndWrite) {
   rt::Vector<int> a(rtm, 16, 1);
   rt::Vector<int> b(rtm, 16, 0);
   rtm.flush_current();
-  const auto before = det.stats().shared_accesses;
+  const std::uint64_t before = det.stats().shared_accesses;
   b.copy_from(a);
   rtm.flush_current();
   EXPECT_EQ(det.stats().shared_accesses, before + 2);

@@ -139,7 +139,7 @@ TEST_F(DynGranDetection, SameEpochFilterCountsSpanHits) {
   d.rel(0, L);
   // New epoch: the first write updates the whole node and pre-marks its
   // span; the remaining writes in the span are same-epoch hits.
-  const auto before = det.stats().same_epoch_hits;
+  const std::uint64_t before = det.stats().same_epoch_hits;
   d.write(0, X, 4);
   d.write(0, X + 4, 4);
   d.write(0, X + 32, 8);

@@ -62,12 +62,15 @@ TEST_F(ShadowTableTest, ExpansionReplicatesOccupiedCells) {
 
 TEST_F(ShadowTableTest, ExpanderHookRunsPerReplica) {
   int clones = 0;
-  table.set_expander([&](IntCell& cell, std::uint32_t k) {
-    EXPECT_GE(k, 1u);
-    EXPECT_LE(k, 3u);
-    EXPECT_NE(cell, nullptr);
-    ++clones;
-  });
+  // Non-allocating hook: a plain function pointer with a context argument.
+  table.set_expander(
+      [](void* ctx, IntCell& cell, std::uint32_t k) {
+        EXPECT_GE(k, 1u);
+        EXPECT_LE(k, 3u);
+        EXPECT_NE(cell, nullptr);
+        ++*static_cast<int*>(ctx);
+      },
+      &clones);
   table.slot(0x1000, 4) = p(1);
   table.note_fill(0x1000);
   table.slot(0x1004, 4) = p(2);

@@ -1,0 +1,357 @@
+// Sharded analysis tier (DESIGN.md §5.2): shard geometry, address-routed
+// shadow storage, the dyngran shard-locality invariant (a shared clock
+// never spans a shard boundary), concurrency-safety of the shared sinks,
+// and cross-mode parity — kSharded must report exactly the races and
+// detector statistics of the serialized oracle.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/memtrack.hpp"
+#include "common/shard_map.hpp"
+#include "detect/detector.hpp"
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "report/report_sink.hpp"
+#include "rt/runtime.hpp"
+#include "shadow/sharded_shadow.hpp"
+
+namespace dg {
+namespace {
+
+constexpr Addr kStripe = Addr{1} << kDefaultShardStripeShift;  // 8 KiB
+
+// --- shard geometry -------------------------------------------------------
+
+TEST(ShardMap, UnshardedCoversEverything) {
+  ShardMap m;  // count = 1
+  EXPECT_EQ(m.shard_of(0), 0u);
+  EXPECT_EQ(m.shard_of(~Addr{0}), 0u);
+  EXPECT_EQ(m.stripe_lo(0x12345), 0u);
+  EXPECT_EQ(m.stripe_hi(0x12345), kInvalidAddr);
+}
+
+TEST(ShardMap, AdjacentStripesLandOnDifferentShards) {
+  ShardMap m{4, kDefaultShardStripeShift};
+  const Addr a = 0x7000000000;
+  EXPECT_NE(m.shard_of(a), m.shard_of(a + kStripe));
+  EXPECT_EQ(m.shard_of(a), m.shard_of(a + 4 * kStripe));  // wraps mod count
+  EXPECT_EQ(m.stripe_lo(a + 5), a);
+  EXPECT_EQ(m.stripe_hi(a + 5), a + kStripe);
+  // The last stripe's upper bound saturates instead of wrapping to 0.
+  EXPECT_EQ(m.stripe_hi(~Addr{0}), kInvalidAddr);
+}
+
+// --- address-routed shadow storage ----------------------------------------
+
+TEST(ShardedShadow, RoutesByStripeAndAggregates) {
+  MemoryAccountant acct;
+  ShardedShadow<int*> shadow(acct, 4);
+  int x = 0, y = 0;
+  const Addr a = 0x1000;            // stripe 0 -> shard 0
+  const Addr b = 0x1000 + kStripe;  // next stripe -> shard 1
+  shadow.slot(a, 4) = &x;
+  shadow.note_fill(a);
+  shadow.slot(b, 4) = &y;
+  shadow.note_fill(b);
+  EXPECT_EQ(shadow.lookup(a), &x);
+  EXPECT_EQ(shadow.lookup(b), &y);
+  EXPECT_NE(shadow.shard_of(a), shadow.shard_of(b));
+  // The routed tables hold the blocks; totals aggregate over all shards.
+  EXPECT_EQ(shadow.num_blocks(), 2u);
+  std::size_t per_shard = 0;
+  for (std::uint32_t s = 0; s < shadow.shard_count(); ++s)
+    per_shard += shadow.shard_bytes(s);
+  EXPECT_EQ(per_shard, shadow.bytes());
+  EXPECT_EQ(acct.current(MemCategory::kHash), shadow.bytes());
+}
+
+TEST(ShardedShadow, ForRangeCrossesStripeBoundaries) {
+  MemoryAccountant acct;
+  ShardedShadow<int*> shadow(acct, 4);
+  const Addr lo = kStripe - 8;  // 16-byte range straddling stripe 0 / 1
+  std::set<Addr> bases;
+  shadow.for_range(lo, 16, [&](Addr base, std::uint32_t w, int*&) {
+    EXPECT_EQ(w, 4u);
+    bases.insert(base);
+  });
+  EXPECT_EQ(bases.size(), 4u);
+  EXPECT_TRUE(bases.count(lo));
+  EXPECT_TRUE(bases.count(kStripe));
+  shadow.clear_range(lo, 16);
+  EXPECT_EQ(shadow.num_blocks(), 0u);
+}
+
+// --- dyngran shard-locality invariant -------------------------------------
+
+// With shards > 1, clock sharing is clamped to stripe bounds: one access
+// crossing a stripe boundary produces distinct nodes on each side.
+TEST(DynGranSharding, NodeNeverSpansShardBoundary) {
+  DynGranConfig cfg;
+  cfg.shards = 4;
+  DynGranDetector det(cfg);
+  det.on_thread_start(0, kInvalidThread);
+  const Addr b = 8 * kStripe;  // a stripe (and shard) boundary
+  det.on_write(0, b - 64, 128);
+  const auto lo = det.inspect(b - 64, AccessType::kWrite);
+  const auto hi = det.inspect(b, AccessType::kWrite);
+  ASSERT_TRUE(lo.exists);
+  ASSERT_TRUE(hi.exists);
+  EXPECT_LE(lo.span_hi, b);
+  EXPECT_GE(hi.span_lo, b);
+}
+
+// Adjacent same-clock writes on opposite sides of the boundary must not
+// merge either (neighbor adoption/merge is also clamped).
+TEST(DynGranSharding, NeighborMergeStopsAtShardBoundary) {
+  DynGranConfig cfg;
+  cfg.shards = 4;
+  DynGranDetector det(cfg);
+  det.on_thread_start(0, kInvalidThread);
+  const Addr b = 8 * kStripe;
+  det.on_write(0, b - 64, 64);
+  det.on_write(0, b, 64);
+  const auto lo = det.inspect(b - 4, AccessType::kWrite);
+  const auto hi = det.inspect(b, AccessType::kWrite);
+  ASSERT_TRUE(lo.exists);
+  ASSERT_TRUE(hi.exists);
+  EXPECT_LE(lo.span_hi, b);
+  EXPECT_GE(hi.span_lo, b);
+}
+
+// The unsharded detector is the control: the same crossing write is
+// covered by one node spanning the boundary, proving the clamp above is
+// doing the work (and that shards=1 keeps the legacy behaviour).
+TEST(DynGranSharding, UnshardedNodeSpansTheSameBoundary) {
+  DynGranDetector det;  // shards = 1
+  det.on_thread_start(0, kInvalidThread);
+  const Addr b = 8 * kStripe;
+  det.on_write(0, b - 64, 128);
+  const auto lo = det.inspect(b - 64, AccessType::kWrite);
+  ASSERT_TRUE(lo.exists);
+  EXPECT_EQ(lo.span_lo, b - 64);
+  EXPECT_GT(lo.span_hi, b);
+}
+
+// --- runtime mode plumbing ------------------------------------------------
+
+TEST(RuntimeSharded, FallsBackWhenDetectorCannotRunConcurrently) {
+  NullDetector det;  // supports_concurrent_delivery() == false
+  rt::Runtime rtm(det, rt::RuntimeOptions{rt::RuntimeOptions::Mode::kSharded});
+  EXPECT_EQ(rtm.options().mode, rt::RuntimeOptions::Mode::kTwoTier);
+}
+
+TEST(RuntimeSharded, EnvVarResolvesDefaultMode) {
+  using Mode = rt::RuntimeOptions::Mode;
+  ::setenv("DYNGRAN_RT_MODE", "serialized", 1);
+  {
+    NullDetector det;
+    rt::Runtime rtm(det);
+    EXPECT_EQ(rtm.options().mode, Mode::kSerialized);
+  }
+  ::setenv("DYNGRAN_RT_MODE", "sharded", 1);
+  {
+    FastTrackDetector det(Granularity::kByte, /*shards=*/4);
+    rt::Runtime rtm(det);
+    EXPECT_EQ(rtm.options().mode, Mode::kSharded);
+  }
+  ::unsetenv("DYNGRAN_RT_MODE");
+  {
+    NullDetector det;
+    rt::Runtime rtm(det);
+    EXPECT_EQ(rtm.options().mode, Mode::kTwoTier);
+  }
+  // An explicit mode always wins over the environment.
+  ::setenv("DYNGRAN_RT_MODE", "serialized", 1);
+  {
+    NullDetector det;
+    rt::Runtime rtm(det, rt::RuntimeOptions{Mode::kTwoTier});
+    EXPECT_EQ(rtm.options().mode, Mode::kTwoTier);
+  }
+  ::unsetenv("DYNGRAN_RT_MODE");
+}
+
+// --- cross-mode parity stress ---------------------------------------------
+
+struct Outcome {
+  std::uint64_t unique_races = 0;
+  std::set<Addr> race_addrs;
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t same_epoch_hits = 0;
+  RuntimeStats rs;
+};
+
+// Synthetic, never-dereferenced addresses (touch_* only) so the test
+// binary stays tsan-clean while the detector sees real races. All blocks
+// are 64-byte aligned and well inside a stripe, so no access straddles a
+// stripe boundary — a precondition for exact stats parity, because the
+// tier-1 filter folds one count per *unsplit* event (DESIGN.md §5.2).
+constexpr Addr kPrivBase = 0x500000000000;   // per-thread, stride 1 MiB
+constexpr Addr kSharedRo = 0x600000000000;   // read by everyone: no race
+constexpr Addr kRacyA = 0x610000000000;      // written unlocked: races
+constexpr Addr kRacyB = kRacyA + 2 * kStripe;  // same, in another shard
+constexpr Addr kCounter = 0x620000000000;    // mutex-protected: no race
+
+// Every thread writes kRacyA first and kRacyB last, outside any critical
+// section: those writes are pairwise unordered in every schedule, so the
+// set of racy locations is deterministic even though the interleaving of
+// the mid-loop unlocked writes is not (dedup absorbs the repeats).
+template <typename MakeDetector>
+Outcome run_stress(MakeDetector make, rt::RuntimeOptions::Mode mode) {
+  auto det = make();
+  Outcome out;
+  {
+    rt::Runtime rtm(*det, rt::RuntimeOptions{mode});
+    rtm.register_current_thread(kInvalidThread);
+    constexpr int kThreads = 4;
+    constexpr int kIters = 300;
+    rt::Mutex mu(rtm);
+    {
+      std::vector<std::unique_ptr<rt::Thread>> threads;
+      threads.reserve(kThreads);
+      for (int t = 0; t < kThreads; ++t) {
+        threads.push_back(std::make_unique<rt::Thread>(
+            rtm, [&, t](rt::ThreadCtx& ctx) {
+              ctx.site("stress-body");
+              ctx.touch_write(reinterpret_cast<void*>(kRacyA), 16);
+              const Addr mine = kPrivBase + static_cast<Addr>(t) * 0x100000;
+              for (int i = 0; i < kIters; ++i) {
+                ctx.touch_write(
+                    reinterpret_cast<void*>(mine + (i % 128) * 8), 8);
+                ctx.touch_read(reinterpret_cast<const void*>(kSharedRo), 64);
+                if (i % 16 == 0)
+                  ctx.touch_write(reinterpret_cast<void*>(kRacyA), 16);
+                if (i % 32 == 0) {
+                  std::scoped_lock lk(mu);
+                  ctx.touch_read(reinterpret_cast<const void*>(kCounter), 8);
+                  ctx.touch_write(reinterpret_cast<void*>(kCounter), 8);
+                }
+              }
+              ctx.touch_write(reinterpret_cast<void*>(kRacyB), 8);
+            }));
+      }
+      for (auto& th : threads) th->join();
+    }
+    rtm.finish();
+    out.rs = rtm.stats();
+    EXPECT_EQ(rtm.options().mode, mode);  // no silent fallback
+  }
+  out.unique_races = det->sink().unique_races();
+  for (const auto& r : det->sink().reports()) out.race_addrs.insert(r.addr);
+  out.shared_accesses = det->stats().shared_accesses;
+  out.same_epoch_hits = det->stats().same_epoch_hits;
+  return out;
+}
+
+template <typename MakeDetector>
+void expect_three_mode_parity(MakeDetector make) {
+  using Mode = rt::RuntimeOptions::Mode;
+  const Outcome serial = run_stress(make, Mode::kSerialized);
+  const Outcome two_tier = run_stress(make, Mode::kTwoTier);
+  const Outcome sharded = run_stress(make, Mode::kSharded);
+
+  EXPECT_GT(serial.unique_races, 0u);
+  // Race reports (post-dedup): identical across all three modes.
+  EXPECT_EQ(two_tier.unique_races, serial.unique_races);
+  EXPECT_EQ(sharded.unique_races, serial.unique_races);
+  EXPECT_EQ(two_tier.race_addrs, serial.race_addrs);
+  EXPECT_EQ(sharded.race_addrs, serial.race_addrs);
+  // Detector statistics: the folded tier-1 counts must line up too.
+  EXPECT_EQ(two_tier.shared_accesses, serial.shared_accesses);
+  EXPECT_EQ(sharded.shared_accesses, serial.shared_accesses);
+  EXPECT_EQ(two_tier.same_epoch_hits, serial.same_epoch_hits);
+  EXPECT_EQ(sharded.same_epoch_hits, serial.same_epoch_hits);
+  EXPECT_EQ(two_tier.rs.events_seen, serial.rs.events_seen);
+  EXPECT_EQ(sharded.rs.events_seen, serial.rs.events_seen);
+  // Both fast paths actually filtered something.
+  EXPECT_GT(two_tier.rs.fast_path_filtered, 0u);
+  EXPECT_GT(sharded.rs.fast_path_filtered, 0u);
+}
+
+TEST(RuntimeSharded, FastTrackParityAcrossAllThreeModes) {
+  expect_three_mode_parity([] {
+    return std::make_unique<FastTrackDetector>(Granularity::kByte,
+                                               /*shards=*/4);
+  });
+}
+
+TEST(RuntimeSharded, DynGranParityAcrossAllThreeModes) {
+  expect_three_mode_parity([] {
+    DynGranConfig cfg;
+    cfg.shards = 4;
+    return std::make_unique<DynGranDetector>(cfg);
+  });
+}
+
+// Single shard is a legal sharded configuration: everything serializes on
+// shard 0's mutex but the concurrent plumbing must still be sound.
+TEST(RuntimeSharded, SingleShardParity) {
+  using Mode = rt::RuntimeOptions::Mode;
+  auto make = [] {
+    return std::make_unique<FastTrackDetector>(Granularity::kByte);
+  };
+  const Outcome serial = run_stress(make, Mode::kSerialized);
+  const Outcome sharded = run_stress(make, Mode::kSharded);
+  EXPECT_GT(serial.unique_races, 0u);
+  EXPECT_EQ(sharded.unique_races, serial.unique_races);
+  EXPECT_EQ(sharded.race_addrs, serial.race_addrs);
+  EXPECT_EQ(sharded.shared_accesses, serial.shared_accesses);
+}
+
+// --- thread-safety of the shared sinks (satellite checks) -----------------
+
+TEST(MemoryAccountantConcurrency, BalancedAddSubFromManyThreads) {
+  MemoryAccountant acct;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        acct.add(MemCategory::kVectorClock, 64);
+        acct.add(MemCategory::kHash, 32);
+        acct.sub(MemCategory::kHash, 32);
+        acct.sub(MemCategory::kVectorClock, 64);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(acct.current(MemCategory::kVectorClock), 0u);
+  EXPECT_EQ(acct.current(MemCategory::kHash), 0u);
+  EXPECT_GE(acct.peak(MemCategory::kVectorClock), 64u);
+  EXPECT_GE(acct.peak_total(), 96u);
+}
+
+TEST(ReportSinkConcurrency, DedupAndCallbackSurviveConcurrentReports) {
+  ReportSink sink;
+  std::atomic<int> callbacks{0};
+  sink.set_on_report([&](const RaceReport&) { ++callbacks; });
+  constexpr int kThreads = 8;
+  constexpr int kAddrs = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAddrs; ++i) {
+        RaceReport r;
+        r.addr = 0x9000 + static_cast<Addr>(i) * 8;
+        r.current_tid = static_cast<ThreadId>(t);
+        sink.report(r);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every address was reported kThreads times but kept exactly once.
+  EXPECT_EQ(sink.raw_reports(), static_cast<std::uint64_t>(kThreads * kAddrs));
+  EXPECT_EQ(sink.unique_races(), static_cast<std::uint64_t>(kAddrs));
+  EXPECT_EQ(callbacks.load(), kAddrs);
+  EXPECT_EQ(sink.reports().size(), static_cast<std::size_t>(kAddrs));
+}
+
+}  // namespace
+}  // namespace dg

@@ -139,7 +139,7 @@ TEST(WorkloadSignatures, DedupChurnFavoursInitSharing) {
     auto prog = wl::make_workload("dedup", small());
     sim::SimScheduler sched(*prog, det, 7);
     sched.run();
-    return det.stats().vc_allocs;
+    return static_cast<std::uint64_t>(det.stats().vc_allocs);
   };
   const auto with_sharing = run_with(true);
   const auto without = run_with(false);
@@ -164,7 +164,7 @@ TEST(WorkloadSignatures, FacesimWordEqualsBytePopulation) {
     auto prog = wl::make_workload("facesim", small());
     sim::SimScheduler sched(*prog, det, 7);
     sched.run();
-    return det.stats().max_live_vcs;
+    return static_cast<std::uint64_t>(det.stats().max_live_vcs);
   };
   EXPECT_EQ(pop(Granularity::kByte), pop(Granularity::kWord));
 }

@@ -159,7 +159,8 @@ int cmd_replay(int argc, char** argv) {
               " raw reports), %" PRIu64 " accesses analysed, %.1f%% "
               "same-epoch\n",
               det->sink().unique_races(), det->sink().raw_reports(),
-              det->stats().shared_accesses, det->stats().same_epoch_pct());
+              static_cast<std::uint64_t>(det->stats().shared_accesses),
+              det->stats().same_epoch_pct());
   std::size_t shown = 0;
   for (const auto& r : det->sink().reports()) {
     if (++shown > 10) {
@@ -218,8 +219,10 @@ int cmd_analyze(int argc, char** argv) {
     rt::replay_trace(ev, *det);
     std::printf("replay with elision under %s: %" PRIu64 " of %" PRIu64
                 " checks elided (%.1f%%), %" PRIu64 " demotions\n",
-                det->name(), det->stats().elided_checks,
-                det->stats().shared_accesses, det->stats().elided_pct(),
+                det->name(),
+                static_cast<std::uint64_t>(det->stats().elided_checks),
+                static_cast<std::uint64_t>(det->stats().shared_accesses),
+                det->stats().elided_pct(),
                 map.demotions());
     std::printf("races: %" PRIu64 " unique locations (%" PRIu64
                 " raw reports)\n",

@@ -72,19 +72,34 @@ if(pos EQUAL -1)
 endif()
 file(REMOVE ${WORKDIR}/corrupt_ci.trace)
 
-# Smoke the runtime micro-benchmark: it must run, report parity, and emit
-# a well-formed BENCH_runtime.json for the perf trajectory.
+# Smoke the runtime micro-benchmark: it must run, report parity across all
+# three event-path modes, and emit well-formed BENCH_runtime.json /
+# BENCH_shard.json snapshots for the perf trajectory.
 if(DEFINED MICRO_RUNTIME)
   set(bench_json ${WORKDIR}/BENCH_runtime.json)
-  run_expect(${MICRO_RUNTIME} --smoke --out ${bench_json} EXPECT
-    "speedup at 8 threads" "race-report parity: yes")
+  set(shard_json ${WORKDIR}/BENCH_shard.json)
+  run_expect(${MICRO_RUNTIME} --smoke --out ${bench_json}
+    --shard-out ${shard_json} EXPECT
+    "speedup at 8 threads" "race-report parity: yes"
+    "sharded scaling (threads x shards, kSharded mode)")
   file(READ ${bench_json} bench_out)
   foreach(want "two_tier_events_per_sec" "serialized_events_per_sec"
-          "speedup_at_8_threads" "\"race_report_parity\": true")
+          "sharded_events_per_sec" "speedup_at_8_threads"
+          "sharded_speedup_at_8_threads" "\"race_report_parity\": true")
     string(FIND "${bench_out}" "${want}" pos)
     if(pos EQUAL -1)
       message(FATAL_ERROR "BENCH_runtime.json lacks '${want}':\n${bench_out}")
     endif()
   endforeach()
+  file(READ ${shard_json} shard_out)
+  foreach(want "micro_runtime_shard" "\"shards\": 1" "\"shards\": 4"
+          "\"shards\": 16" "speedup_vs_serialized"
+          "\"race_report_parity\": true")
+    string(FIND "${shard_out}" "${want}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "BENCH_shard.json lacks '${want}':\n${shard_out}")
+    endif()
+  endforeach()
   file(REMOVE ${bench_json})
+  file(REMOVE ${shard_json})
 endif()
