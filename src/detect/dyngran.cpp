@@ -133,8 +133,6 @@ void DynGranDetector::access_impl(ThreadId t, Addr addr, std::uint32_t size,
   }
   const Epoch cur = hb_.epoch(t);
   const VectorClock& now = hb_.clock(t);
-  const std::uint64_t access_id =
-      access_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   // ---- Pass 1: walk the covered cells; give fresh cells a node (one per
   // contiguous empty run, so the contiguity invariant holds); collect the
@@ -199,33 +197,28 @@ void DynGranDetector::access_impl(ThreadId t, Addr addr, std::uint32_t size,
 
   // ---- Pass 2: race check against the opposite plane. A read races with
   // an unordered prior write; a write races with an unordered prior read.
-  bool race_found = false;
-  AccessType race_prev = AccessType::kWrite;
-  ThreadId race_tid = kInvalidThread;
-  ClockVal race_clock = 0;
-  const char* race_site = nullptr;
+  // Verdicts are recorded per opposite-plane segment, not as one flag for
+  // the whole access: an access can straddle a racing node AND fresh cells
+  // no other thread ever touched, and only the own-plane nodes overlapping
+  // the racing range may dissolve. An access-wide flag would spill the
+  // race onto the untouched remainder (a false alarm at any granularity).
+  std::vector<RaceHit>& hits_ = scratch_[shard]->hits;
+  hits_.clear();
   for (const Seg& seg : other_segs_) {
     VCNode* n = seg.node;
-    if (n->stamp == access_id) continue;
-    n->stamp = access_id;
     if (type == AccessType::kRead) {
-      if (!now.contains(n->write)) {
-        race_found = true;
-        race_prev = AccessType::kWrite;
-        race_tid = n->write.tid();
-        race_clock = n->write.clock();
-        race_site = n->last_site;
-      }
+      if (!now.contains(n->write))
+        hits_.push_back({seg.lo, seg.hi, AccessType::kWrite, n->write.tid(),
+                         n->write.clock(), n->last_site, n->span_lo,
+                         n->span_hi});
     } else {
       if (!n->read.all_before(now)) {
-        race_found = true;
-        race_prev = AccessType::kRead;
-        race_tid = n->read.concurrent_reader(now);
-        race_clock = n->read.clock_of(race_tid);
-        race_site = n->last_site;
+        const ThreadId reader = n->read.concurrent_reader(now);
+        hits_.push_back({seg.lo, seg.hi, AccessType::kRead, reader,
+                         n->read.clock_of(reader), n->last_site, n->span_lo,
+                         n->span_hi});
       }
     }
-    if (race_found) break;
   }
 
   // ---- Pass 3: dedup own-plane segments by node. Free() holes refilled
@@ -250,13 +243,34 @@ void DynGranDetector::access_impl(ThreadId t, Addr addr, std::uint32_t size,
   // ---- Pass 4: per-node state machine + FastTrack history update.
   for (const Seg& seg : segs_) {
     VCNode* n = seg.node;
+    // Opposite-plane race: this segment dissolves only if it overlaps a
+    // racing opposite-plane range recorded in pass 2.
+    bool node_race = false;
+    AccessType prev = AccessType::kWrite;
+    ThreadId ptid = kInvalidThread;
+    ClockVal pclock = 0;
+    const char* psite = nullptr;
+    // Blame span for reports: the clock-sharing range responsible for the
+    // alarm. The racing opposite node's span joins in because its shared
+    // clock may carry the unordered epoch onto bytes the racing thread
+    // never touched (a firm-sharing partial update), and the witness for
+    // those extras lives in *its* span, not this node's.
+    Addr blame_lo = n->span_lo;
+    Addr blame_hi = n->span_hi;
+    for (const RaceHit& h : hits_) {
+      if (h.lo < seg.hi && h.hi > seg.lo) {
+        node_race = true;
+        prev = h.prev;
+        ptid = h.tid;
+        pclock = h.clock;
+        psite = h.site;
+        blame_lo = std::min(blame_lo, h.node_lo);
+        blame_hi = std::max(blame_hi, h.node_hi);
+        break;
+      }
+    }
     // Own-plane write-write conflict (checked against the pre-update
     // history, hence before update_payload).
-    bool node_race = race_found;
-    AccessType prev = race_prev;
-    ThreadId ptid = race_tid;
-    ClockVal pclock = race_clock;
-    const char* psite = race_site;
     if (type == AccessType::kWrite && !now.contains(n->write)) {
       node_race = true;
       prev = AccessType::kWrite;
@@ -272,9 +286,12 @@ void DynGranDetector::access_impl(ThreadId t, Addr addr, std::uint32_t size,
     }
 
     if (node_race) {
-      update_payload(*n, cur, now);
-      n->last_site = sites_.get(t);
-      dissolve_race(t, n, type, prev, ptid, pclock, psite, seg.lo, seg.hi);
+      // Dissolve with the PRE-access history: updating the shared clock
+      // first would leak this access into sharers that never performed
+      // it (a §V-B false-alarm source). dissolve_race applies cur to the
+      // accessed cells itself.
+      dissolve_race(t, n, type, prev, ptid, pclock, psite, seg.lo, seg.hi, cur,
+                    now, blame_lo, blame_hi);
       continue;
     }
 
@@ -448,7 +465,6 @@ DynGranDetector::VCNode* DynGranDetector::split_out(VCNode* n, Addr lo,
   mid->read.copy_from(n->read, acct_);
   if (mid->read.is_shared()) stats_.vc_created();
   mid->last_site = n->last_site;
-  mid->stamp = n->stamp;
   repoint(n, lo, hi, mid);
 
   // Only the accessed range is repointed (O(access size)); as in the
@@ -560,7 +576,9 @@ DynGranDetector::VCNode* DynGranDetector::try_merge(VCNode* n, AccessType type,
 void DynGranDetector::dissolve_race(ThreadId t, VCNode* n, AccessType type,
                                     AccessType prev, ThreadId prev_tid,
                                     ClockVal prev_clock, const char* prev_site,
-                                    Addr access_lo, Addr access_hi) {
+                                    Addr access_lo, Addr access_hi, Epoch cur,
+                                    const VectorClock& now, Addr blame_lo,
+                                    Addr blame_hi) {
   // Sharing is terminated: every covered location gets a private clock
   // (§III-A "Race"). Which sharers are *reported* depends on the sharing
   // phase, matching the paper's two claims:
@@ -590,8 +608,16 @@ void DynGranDetector::dissolve_race(ThreadId t, VCNode* n, AccessType type,
         if (r->read.is_shared()) stats_.vc_created();
         r->last_site = n->last_site;
         r->refs = width;
+        if (accessed) {
+          // Only the cells this access touched absorb its epoch; the
+          // untouched sharers keep the history they genuinely shared up
+          // to this point.
+          update_payload(*r, cur, now);
+          r->last_site = sites_.get(t);
+        }
         if (accessed || report_sharers) {
-          report(t, base, width, type, prev, prev_tid, prev_clock, prev_site);
+          report(t, base, width, type, prev, prev_tid, prev_clock, prev_site,
+                 blame_lo, blame_hi);
           r->state = NodeState::kRace;
         } else {
           r->state = NodeState::kPrivate;
@@ -626,10 +652,13 @@ void DynGranDetector::mark_span_same_epoch(ThreadId t, const VCNode& n,
 void DynGranDetector::report(ThreadId t, Addr base, std::uint32_t width,
                              AccessType cur, AccessType prev,
                              ThreadId prev_tid, ClockVal prev_clock,
-                             const char* prev_site) {
+                             const char* prev_site, Addr span_lo,
+                             Addr span_hi) {
   RaceReport r;
   r.addr = base;
   r.size = width;
+  r.span_lo = span_lo;
+  r.span_hi = span_hi;
   r.current = cur;
   r.previous = prev;
   r.current_tid = t;

@@ -155,7 +155,6 @@ class DynGranDetector final : public Detector {
     Addr span_hi = 0;   // covering range; over-approximate when carved
     bool carved = false;  // a split/free left holes inside [span_lo, span_hi)
     Epoch creation;    // epoch of the first access (second-epoch trigger)
-    std::uint64_t stamp = 0;  // last access id that processed this node
     Epoch write;       // payload for write-plane nodes
     ReadHistory read;  // payload for read-plane nodes
     const char* last_site = nullptr;  // previous access's code location
@@ -173,6 +172,17 @@ class DynGranDetector final : public Detector {
     Addr hi;
   };
 
+  struct RaceHit {  // racing opposite-plane segment: overlap range + culprit
+    Addr lo;
+    Addr hi;
+    AccessType prev;
+    ThreadId tid;
+    ClockVal clock;
+    const char* site;
+    Addr node_lo;  // the racing node's span: the clock-sharing range that
+    Addr node_hi;  // carried the unordered epoch (blame witness)
+  };
+
   static VCNode*& plane(DgCell& c, AccessType t) {
     return t == AccessType::kRead ? c.read : c.write;
   }
@@ -185,6 +195,7 @@ class DynGranDetector final : public Detector {
   struct Scratch {
     std::vector<Seg> segs;        // own-plane segments
     std::vector<Seg> other_segs;  // opposite-plane segments
+    std::vector<RaceHit> hits;    // racing opposite-plane ranges
   };
 
   // Locking helpers — no-ops until set_concurrent_delivery(true).
@@ -236,17 +247,25 @@ class DynGranDetector final : public Detector {
   VCNode* try_merge(VCNode* n, AccessType type, bool init_neighbors_only);
 
   /// Dissolve a racing node: every covered cell is reported as a racy
-  /// location and gets a private Race node (§III-A "Race").
+  /// location and gets a private Race node (§III-A "Race"). The racing
+  /// access's own history update (`cur`/`now`) is applied here, to the
+  /// accessed cells only — the node's shared clock must not be touched
+  /// first, or unaccessed sharers would inherit an access they never
+  /// performed (the §V-B no-false-alarm guarantee for Init sharing).
   void dissolve_race(ThreadId t, VCNode* n, AccessType type, AccessType prev,
                      ThreadId prev_tid, ClockVal prev_clock,
-                     const char* prev_site, Addr access_lo, Addr access_hi);
+                     const char* prev_site, Addr access_lo, Addr access_hi,
+                     Epoch cur, const VectorClock& now, Addr blame_lo,
+                     Addr blame_hi);
 
   void mark_span_same_epoch(ThreadId t, const VCNode& n, Addr addr,
                             std::uint32_t size, AccessType type);
 
+  /// [span_lo, span_hi): the dissolved sharing span this report came from
+  /// (RaceReport provenance); 0/0 when the race was found on a private cell.
   void report(ThreadId t, Addr base, std::uint32_t width, AccessType cur,
               AccessType prev, ThreadId prev_tid, ClockVal prev_clock,
-              const char* prev_site);
+              const char* prev_site, Addr span_lo, Addr span_hi);
 
   EpochBitmap& bitmap(ThreadId t);
 
@@ -256,7 +275,6 @@ class DynGranDetector final : public Detector {
   ShardedShadow<DgCell> table_;
   std::vector<std::unique_ptr<EpochBitmap>> bitmaps_;
   SiteTracker sites_;
-  std::atomic<std::uint64_t> access_counter_{0};
   std::vector<std::unique_ptr<Scratch>> scratch_;  // one per shard
 
   // Two-domain concurrency (DESIGN.md §5.2): sync events exclusive, access

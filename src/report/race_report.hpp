@@ -24,6 +24,14 @@ struct RaceReport {
   // instruction pointers; workloads tag their logical program points).
   std::string current_site;
   std::string previous_site;
+  // Granularity provenance: when the reporting detector dissolved a shared
+  // vector-clock span (dyngran's Race transition), [span_lo, span_hi) is
+  // that span — the coarse location whose single shared clock tripped the
+  // race. 0/0 for reports from per-cell histories. The verify oracle uses
+  // this to validate dyngran's extra reports as clock-sharers of a race at
+  // the shared granularity.
+  Addr span_lo = 0;
+  Addr span_hi = 0;
 
   std::string str() const {
     std::string s = "data race on 0x";

@@ -14,17 +14,22 @@ struct FileCloser {
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 }  // namespace
 
-bool TraceRecorder::save(const std::string& path) const {
+bool save_trace(const std::string& path,
+                const std::vector<TraceEvent>& events) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) return false;
   const std::uint64_t magic = kTraceMagic;
-  const std::uint64_t count = events_.size();
+  const std::uint64_t count = events.size();
   if (std::fwrite(&magic, sizeof(magic), 1, f.get()) != 1) return false;
   if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
   if (count != 0 &&
-      std::fwrite(events_.data(), sizeof(TraceEvent), count, f.get()) != count)
+      std::fwrite(events.data(), sizeof(TraceEvent), count, f.get()) != count)
     return false;
   return true;
+}
+
+bool TraceRecorder::save(const std::string& path) const {
+  return save_trace(path, events_);
 }
 
 namespace {

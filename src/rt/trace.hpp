@@ -108,6 +108,11 @@ class TraceRecorder final : public Detector {
   std::vector<TraceEvent> events_;
 };
 
+/// Serialize an arbitrary event vector to a trace file (header + records).
+/// Returns false on I/O error. Used by the verify subsystem to persist
+/// minimized reproducers; TraceRecorder::save delegates here.
+bool save_trace(const std::string& path, const std::vector<TraceEvent>& events);
+
 /// Load a trace from file, validating the header (magic/version), the
 /// declared record count against the file size, and every record's event
 /// kind. Returns false on I/O or format error; when `error` is non-null it

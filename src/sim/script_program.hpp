@@ -1,0 +1,45 @@
+// ScriptProgram — a SimProgram whose threads execute fixed op vectors.
+//
+// Originally a test helper; promoted into src/sim because the verification
+// subsystem (src/verify) builds its randomly generated programs as op
+// scripts and feeds them through the schedule explorer.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace dg::sim {
+
+class ScriptProgram final : public SimProgram {
+ public:
+  explicit ScriptProgram(std::vector<std::vector<Op>> threads,
+                         std::uint64_t base_mem = 1 << 20,
+                         std::uint64_t races = 0)
+      : threads_(std::move(threads)), base_mem_(base_mem), races_(races) {}
+
+  const char* name() const override { return "script"; }
+  ThreadId num_threads() const override {
+    return static_cast<ThreadId>(threads_.size());
+  }
+  std::uint64_t base_memory_bytes() const override { return base_mem_; }
+  std::uint64_t expected_races() const override { return races_; }
+
+  sim::OpGen thread_body(ThreadId tid) override { return body(tid); }
+
+  const std::vector<std::vector<Op>>& threads() const noexcept {
+    return threads_;
+  }
+
+ private:
+  OpGen body(ThreadId tid) {
+    for (const Op& op : threads_[tid]) co_yield op;
+  }
+
+  std::vector<std::vector<Op>> threads_;
+  std::uint64_t base_mem_;
+  std::uint64_t races_;
+};
+
+}  // namespace dg::sim

@@ -218,9 +218,23 @@ SimScheduler::Result SimScheduler::run() {
       result_.deadlocked = true;
       break;
     }
-    const ThreadId t =
-        runnable[static_cast<std::size_t>(rng_.below(runnable.size()))];
-    const std::uint64_t slice = 1 + rng_.below(max_slice_);
+    ThreadId t;
+    std::uint64_t slice;
+    if (choice_hook_ != nullptr) {
+      // Deterministic external control: a decision is only recorded where a
+      // real choice exists, so decision indices are stable across replays
+      // of the same choice sequence.
+      std::size_t pick = 0;
+      if (runnable.size() > 1) {
+        pick = choice_hook_(runnable, decisions_++);
+        DG_CHECK(pick < runnable.size());
+      }
+      t = runnable[pick];
+      slice = 1;
+    } else {
+      t = runnable[static_cast<std::size_t>(rng_.below(runnable.size()))];
+      slice = 1 + rng_.below(max_slice_);
+    }
     for (std::uint64_t i = 0; i < slice; ++i) {
       if (!step(t)) break;
       if (threads_[t].state != TState::kRunnable) break;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +39,17 @@ class SimScheduler {
   /// `max_slice`: max ops one thread runs before the scheduler may switch.
   SimScheduler(SimProgram& prog, Detector& det, std::uint64_t seed = 1,
                std::uint32_t max_slice = 32);
+
+  /// External scheduling control (verify/schedule_explorer): called with
+  /// the sorted runnable set and a 0-based decision index whenever more
+  /// than one thread is runnable; returns an index into `runnable`. While a
+  /// hook is set, slices are forced to one op so every op boundary is a
+  /// decision point, and the seeded PRNG is not consulted — the hook fully
+  /// determines the interleaving.
+  using ChoiceHook =
+      std::function<std::size_t(const std::vector<ThreadId>& runnable,
+                                std::uint64_t decision)>;
+  void set_choice_hook(ChoiceHook hook) { choice_hook_ = std::move(hook); }
 
   Result run();
 
@@ -89,6 +101,8 @@ class SimScheduler {
   Detector* det_;
   Prng rng_;
   std::uint32_t max_slice_;
+  ChoiceHook choice_hook_;
+  std::uint64_t decisions_ = 0;
   std::vector<LThread> threads_;
   std::unordered_map<SyncId, LockState> locks_;
   std::unordered_map<SyncId, BarrierState> barriers_;

@@ -12,9 +12,13 @@ constexpr std::size_t kSyncNodeBytes =
 HbEngine::~HbEngine() {
   for (auto& [id, vc] : sync_clocks_)
     acct_->sub(MemCategory::kOther, kSyncNodeBytes + vc.heap_bytes());
-  for (auto& te : threads_)
+  for (auto& te : threads_) {
+    // Sparse thread ids leave resize()-created holes that never started
+    // and were never charged.
+    if (!te.started) continue;
     acct_->sub(MemCategory::kOther,
                sizeof(ThreadEntry) + te.clock.heap_bytes());
+  }
 }
 
 void HbEngine::on_thread_start(ThreadId t, ThreadId parent) {

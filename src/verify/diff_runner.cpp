@@ -1,0 +1,275 @@
+#include "verify/diff_runner.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+#include "detect/djit.hpp"
+#include "detect/dyngran.hpp"
+#include "detect/fasttrack.hpp"
+#include "detect/segment.hpp"
+#include "sim/script_program.hpp"
+#include "verify/hb_oracle.hpp"
+#include "verify/program_gen.hpp"
+#include "verify/schedule_explorer.hpp"
+#include "verify/shrink.hpp"
+
+namespace dg::verify {
+
+namespace {
+
+/// 128-byte stripes for the 4-shard matrix configs: generated programs
+/// spread their variables over ~192 bytes, so accesses actually cross
+/// stripe (and thus shard) boundaries and the clamp logic is exercised.
+constexpr std::uint32_t kMatrixStripeShift = 7;
+
+std::string hex(Addr a) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, a);
+  return buf;
+}
+
+using Factory = std::function<std::unique_ptr<Detector>()>;
+
+Factory with_fault(Factory mk, Fault fault) {
+  if (fault == Fault::kNone) return mk;
+  return [mk = std::move(mk), fault] {
+    return std::make_unique<FaultInjector>(mk(), fault);
+  };
+}
+
+DynGranConfig dyn_cfg(bool resplit, std::uint32_t shards) {
+  DynGranConfig cfg;
+  cfg.resplit_shared = resplit;
+  cfg.shards = shards;
+  cfg.shard_stripe_shift = kMatrixStripeShift;
+  return cfg;
+}
+
+/// Byte set covered by the sink's (location-deduped) reports.
+std::set<Addr> reported_bytes(const ReportSink& sink) {
+  std::set<Addr> out;
+  for (const RaceReport& r : sink.reports())
+    for (Addr a = r.addr; a < r.addr + std::max<std::uint32_t>(r.size, 1);
+         ++a)
+      out.insert(a);
+  return out;
+}
+
+std::set<Addr> to_words(const std::set<Addr>& bytes) {
+  std::set<Addr> out;
+  for (Addr a : bytes) out.insert(a & ~static_cast<Addr>(kWordSize - 1));
+  return out;
+}
+
+/// "" when the contract holds, else a description of the first violation.
+std::string check_contract(const std::vector<rt::TraceEvent>& events,
+                           Contract contract, const ReportSink& sink,
+                           const std::set<Addr>& oracle_bytes,
+                           const std::set<Addr>& oracle_words) {
+  const std::set<Addr> rep = reported_bytes(sink);
+  switch (contract) {
+    case Contract::kExactByte: {
+      for (Addr a : oracle_bytes)
+        if (rep.count(a) == 0)
+          return "missed racy byte " + hex(a) + " (false negative)";
+      for (Addr a : rep)
+        if (oracle_bytes.count(a) == 0)
+          return "reported non-racy byte " + hex(a) + " (false positive)";
+      return "";
+    }
+    case Contract::kExactWord: {
+      const std::set<Addr> rep_words = to_words(rep);
+      for (Addr w : oracle_words)
+        if (rep_words.count(w) == 0)
+          return "missed racy word " + hex(w) + " (false negative)";
+      for (Addr w : rep_words)
+        if (oracle_words.count(w) == 0)
+          return "reported non-racy word " + hex(w) + " (false positive)";
+      return "";
+    }
+    case Contract::kDynGranSuperset: {
+      for (Addr a : oracle_bytes)
+        if (rep.count(a) == 0)
+          return "missed racy byte " + hex(a) + " (false negative)";
+      for (const RaceReport& r : sink.reports()) {
+        bool touches_oracle = false;
+        for (Addr a = r.addr;
+             a < r.addr + std::max<std::uint32_t>(r.size, 1); ++a)
+          if (oracle_bytes.count(a) != 0) {
+            touches_oracle = true;
+            break;
+          }
+        if (touches_oracle) continue;
+        // An extra report must be a clock-sharer casualty: it must name
+        // the dissolved span, and that span — treated as one coarse
+        // location — must really be racy.
+        if (r.span_hi <= r.span_lo)
+          return "extra report at " + hex(r.addr) +
+                 " carries no dissolved sharing span (unprovoked alarm)";
+        if (!range_racy(events, r.span_lo, r.span_hi))
+          return "extra report at " + hex(r.addr) + " blames span [" +
+                 hex(r.span_lo) + ", " + hex(r.span_hi) +
+                 ") which is not racy as a single location";
+      }
+      return "";
+    }
+  }
+  return "unknown contract";
+}
+
+}  // namespace
+
+std::vector<MatrixEntry> default_matrix(Fault fault) {
+  std::vector<MatrixEntry> m;
+  auto add = [&](const std::string& name, Factory mk, Contract c,
+                 std::initializer_list<DeliveryMode> modes) {
+    Factory f = with_fault(std::move(mk), fault);
+    for (DeliveryMode mode : modes)
+      m.push_back({name + "/" + to_string(mode), f, c, mode});
+  };
+
+  add("ft-byte",
+      [] { return std::make_unique<FastTrackDetector>(Granularity::kByte); },
+      Contract::kExactByte,
+      {DeliveryMode::kSerialized, DeliveryMode::kTwoTier});
+  add("ft-word",
+      [] { return std::make_unique<FastTrackDetector>(Granularity::kWord); },
+      Contract::kExactWord,
+      {DeliveryMode::kSerialized, DeliveryMode::kTwoTier});
+  add("djit", [] { return std::make_unique<DjitDetector>(); },
+      Contract::kExactByte,
+      {DeliveryMode::kSerialized, DeliveryMode::kTwoTier});
+  add("segment", [] { return std::make_unique<SegmentDetector>(); },
+      Contract::kExactWord,
+      {DeliveryMode::kSerialized, DeliveryMode::kTwoTier});
+  add("dyngran",
+      [] { return std::make_unique<DynGranDetector>(dyn_cfg(false, 1)); },
+      Contract::kDynGranSuperset,
+      {DeliveryMode::kSerialized, DeliveryMode::kTwoTier});
+  add("dyngran-resplit",
+      [] { return std::make_unique<DynGranDetector>(dyn_cfg(true, 1)); },
+      Contract::kDynGranSuperset,
+      {DeliveryMode::kSerialized, DeliveryMode::kTwoTier});
+
+  // 4-shard configs: sharded delivery exercises on_batch_shard and the
+  // two-domain locking; the serialized run of the *same* config is the
+  // parity control (shard clamping is detector config, not a mode).
+  add("ft-byte-s4",
+      [] {
+        return std::make_unique<FastTrackDetector>(Granularity::kByte, 4,
+                                                   kMatrixStripeShift);
+      },
+      Contract::kExactByte,
+      {DeliveryMode::kSerialized, DeliveryMode::kSharded});
+  add("ft-word-s4",
+      [] {
+        return std::make_unique<FastTrackDetector>(Granularity::kWord, 4,
+                                                   kMatrixStripeShift);
+      },
+      Contract::kExactWord, {DeliveryMode::kSharded});
+  add("dyngran-s4",
+      [] { return std::make_unique<DynGranDetector>(dyn_cfg(false, 4)); },
+      Contract::kDynGranSuperset,
+      {DeliveryMode::kSerialized, DeliveryMode::kSharded});
+  add("dyngran-resplit-s4",
+      [] { return std::make_unique<DynGranDetector>(dyn_cfg(true, 4)); },
+      Contract::kDynGranSuperset, {DeliveryMode::kSharded});
+  return m;
+}
+
+DiffResult diff_trace(const std::vector<rt::TraceEvent>& events,
+                      const std::vector<MatrixEntry>& matrix) {
+  DiffResult res;
+  HbOracle byte_oracle(HbOracle::Unit::kByte);
+  rt::replay_trace(events, byte_oracle);
+  HbOracle word_oracle(HbOracle::Unit::kWord);
+  rt::replay_trace(events, word_oracle);
+  res.oracle_bytes = byte_oracle.racy_units().size();
+
+  for (const MatrixEntry& entry : matrix) {
+    std::unique_ptr<Detector> det = entry.make();
+    ModeDeliverer md(*det, entry.mode);
+    rt::replay_trace(events, md);
+    md.flush_all();  // shrink candidates may have lost their finish event
+    ++res.runs;
+    std::string detail =
+        check_contract(events, entry.contract, det->sink(),
+                       byte_oracle.racy_units(), word_oracle.racy_units());
+    if (!detail.empty())
+      res.divergences.push_back({entry.label, std::move(detail)});
+  }
+  return res;
+}
+
+DiffResult diff_trace(const std::vector<rt::TraceEvent>& events) {
+  return diff_trace(events, default_matrix());
+}
+
+FuzzResult fuzz(const FuzzOptions& opts) {
+  FuzzResult res;
+  const std::vector<MatrixEntry> matrix = default_matrix(opts.fault);
+  bool stop = false;
+
+  for (std::uint64_t i = 0; i < opts.seeds && !stop; ++i) {
+    const std::uint64_t seed = opts.first_seed + i;
+    const std::vector<std::vector<sim::Op>> ops = generate_program(seed);
+    const ProgramFactory factory = [&ops] {
+      return std::make_unique<sim::ScriptProgram>(ops);
+    };
+
+    ExploreOptions eo;
+    eo.max_schedules = opts.schedules;
+    eo.seed = seed;
+    const ExploreResult er = explore_schedules(
+        factory, eo,
+        [&](const std::vector<rt::TraceEvent>& trace, std::size_t) {
+          ++res.traces;
+          DiffResult dr = diff_trace(trace, matrix);
+          res.runs += dr.runs;
+          if (dr.divergences.empty()) return true;
+
+          // Minimize against the specific diverging matrix entry.
+          const Divergence& dv = dr.divergences.front();
+          MatrixEntry culprit;
+          for (const MatrixEntry& e : matrix)
+            if (e.label == dv.label) culprit = e;
+          const std::vector<MatrixEntry> solo{culprit};
+          FuzzFinding f;
+          f.program_seed = seed;
+          f.label = dv.label;
+          f.detail = dv.detail;
+          f.minimized = shrink_trace(
+              trace, [&](const std::vector<rt::TraceEvent>& cand) {
+                return !diff_trace(cand, solo).divergences.empty();
+              });
+          if (!opts.out_dir.empty()) {
+            std::string slug = f.label;
+            for (char& c : slug)
+              if (c == '/') c = '-';
+            const std::string path = opts.out_dir + "/fuzz_seed" +
+                                     std::to_string(seed) + "_" + slug +
+                                     ".trace";
+            if (rt::save_trace(path, f.minimized)) f.repro_path = path;
+          }
+          if (opts.log)
+            opts.log("divergence: seed " + std::to_string(seed) + " " +
+                     f.label + ": " + f.detail + " (minimized to " +
+                     std::to_string(f.minimized.size()) + " events)");
+          res.findings.push_back(std::move(f));
+          if (opts.stop_after_first) stop = true;
+          return false;  // next program; one finding per seed is enough
+        });
+    res.deadlocks += er.deadlocked ? 1 : 0;
+    ++res.programs;
+    if (opts.log && (i + 1) % 25 == 0 && res.findings.empty())
+      opts.log("fuzz: " + std::to_string(i + 1) + "/" +
+               std::to_string(opts.seeds) + " seeds, " +
+               std::to_string(res.traces) + " schedules, " +
+               std::to_string(res.runs) + " detector runs, 0 divergences");
+  }
+  return res;
+}
+
+}  // namespace dg::verify

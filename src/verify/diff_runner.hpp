@@ -1,0 +1,114 @@
+// DiffRunner — differential verification of the production detectors
+// against the exact HB oracle (docs/TESTING.md).
+//
+// For one event trace, every (detector config, delivery mode) pair in the
+// matrix is replayed and its race reports are checked against the oracle
+// under the detector's precision contract:
+//
+//   * kExactByte (FastTrack byte, DJIT+): the union of reported byte
+//     ranges equals the oracle's racy byte set exactly. Valid even though
+//     the shadow tables use adaptive word cells: a word-mode cell only
+//     ever records full-word-covering accesses (any other shape forces
+//     byte expansion), so its bytes race together or not at all.
+//   * kExactWord (FastTrack word, segment-drd): accesses are analysed at
+//     4-byte units, which both collapses distinct-byte races into one
+//     report and invents races between disjoint bytes of one word; the
+//     reported word set is compared against a word-unit oracle, which has
+//     the same artifacts by construction.
+//   * kDynGranSuperset (dyngran configs): reports must cover every oracle
+//     racy byte (no false negatives — the paper's soundness claim), and
+//     every report disjoint from the oracle set must carry a dissolved
+//     sharing span [span_lo, span_hi) that is itself racy when treated as
+//     one coarse location (range_racy) — i.e. each extra is a clock-sharer
+//     casualty of a true race at the shared granularity, the paper's
+//     Table 1 "extra races" phenomenon, never an unprovoked alarm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "rt/trace.hpp"
+#include "verify/fault_injector.hpp"
+#include "verify/mode_delivery.hpp"
+
+namespace dg::verify {
+
+enum class Contract : std::uint8_t {
+  kExactByte,
+  kExactWord,
+  kDynGranSuperset,
+};
+
+struct MatrixEntry {
+  std::string label;  // e.g. "ft-byte/two-tier"
+  std::function<std::unique_ptr<Detector>()> make;
+  Contract contract = Contract::kExactByte;
+  DeliveryMode mode = DeliveryMode::kSerialized;
+};
+
+/// The default verification matrix: FastTrack byte/word, DJIT+, segment,
+/// dyngran (default + resplit) under serialized and two-tier delivery,
+/// plus 4-shard configs (128-byte stripes) of the concurrent-capable
+/// detectors under sharded (and serialized, as the parity control)
+/// delivery. `fault` wraps every detector for the injected-bug demo.
+std::vector<MatrixEntry> default_matrix(Fault fault = Fault::kNone);
+
+struct Divergence {
+  std::string label;   // matrix entry
+  std::string detail;  // first mismatch, human-readable
+};
+
+struct DiffResult {
+  std::vector<Divergence> divergences;
+  std::size_t runs = 0;          // detector replays performed
+  std::size_t oracle_bytes = 0;  // racy bytes per the oracle
+};
+
+/// Replay `events` through the oracle and every matrix entry; returns all
+/// contract violations. A missing trailing finish event (shrink candidates
+/// lose it) is tolerated: parked batches are flushed before checking.
+DiffResult diff_trace(const std::vector<rt::TraceEvent>& events,
+                      const std::vector<MatrixEntry>& matrix);
+
+/// Convenience: default matrix.
+DiffResult diff_trace(const std::vector<rt::TraceEvent>& events);
+
+// --- fuzz loop -----------------------------------------------------------
+
+struct FuzzOptions {
+  std::uint64_t seeds = 50;         // generated programs
+  std::size_t schedules = 24;       // interleavings per program
+  std::uint64_t first_seed = 1;
+  Fault fault = Fault::kNone;       // injected bug, kNone = verify detectors
+  std::string out_dir;              // where minimized repros are written
+  bool stop_after_first = false;    // stop at the first divergence
+  std::function<void(const std::string&)> log;  // progress lines (optional)
+};
+
+struct FuzzFinding {
+  std::uint64_t program_seed = 0;
+  std::string label;
+  std::string detail;
+  std::vector<rt::TraceEvent> minimized;
+  std::string repro_path;  // empty if out_dir was empty or the write failed
+};
+
+struct FuzzResult {
+  std::uint64_t programs = 0;
+  std::size_t traces = 0;
+  std::size_t runs = 0;
+  std::size_t deadlocks = 0;  // generator bug guard; must stay 0
+  std::vector<FuzzFinding> findings;
+};
+
+/// Generate programs, explore their schedules, diff every trace; each
+/// divergence is delta-debugged to a minimal reproducer (and saved to
+/// out_dir when set). With a fault injected, findings are expected; with
+/// kNone, any finding is a real detector/oracle bug.
+FuzzResult fuzz(const FuzzOptions& opts);
+
+}  // namespace dg::verify

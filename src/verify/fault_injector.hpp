@@ -1,0 +1,118 @@
+// FaultInjector — deliberately corrupt a detector's event stream so the
+// differential fuzzer has something real to catch (docs/TESTING.md walks
+// through the demo). Each fault models a classic detector-implementation
+// bug class:
+//
+//   * kDropEveryThirdRead — lost instrumentation: a sampling/filtering bug
+//     that silently swallows accesses → false negatives vs the oracle.
+//   * kSkipJoinEdge — a missing happens-before edge (the fork/join
+//     analogue of FastTrack forgetting a clock join) → the detector keeps
+//     treating properly joined work as concurrent → false positives.
+//   * kSkipReleaseEdge — dropped lock-release clock propagation → lock
+//     discipline invisible → false positives on lock-protected data.
+//
+// The wrapper sits between the ModeDeliverer and the real detector, so the
+// corruption reaches the detector through whichever delivery discipline is
+// being exercised; reports/stats are forwarded to the inner detector.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "detect/detector.hpp"
+
+namespace dg::verify {
+
+enum class Fault : std::uint8_t {
+  kNone,
+  kDropEveryThirdRead,
+  kSkipJoinEdge,
+  kSkipReleaseEdge,
+};
+
+inline const char* to_string(Fault f) {
+  switch (f) {
+    case Fault::kNone: return "none";
+    case Fault::kDropEveryThirdRead: return "drop-read";
+    case Fault::kSkipJoinEdge: return "skip-join";
+    case Fault::kSkipReleaseEdge: return "skip-release";
+  }
+  return "?";
+}
+
+class FaultInjector final : public Detector {
+ public:
+  FaultInjector(std::unique_ptr<Detector> inner, Fault fault)
+      : inner_(std::move(inner)), fault_(fault) {}
+
+  const char* name() const override { return inner_->name(); }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override {
+    inner_->on_thread_start(t, parent);
+  }
+  void on_thread_join(ThreadId joiner, ThreadId joined) override {
+    if (fault_ == Fault::kSkipJoinEdge) return;
+    inner_->on_thread_join(joiner, joined);
+  }
+  void on_acquire(ThreadId t, SyncId s) override { inner_->on_acquire(t, s); }
+  void on_release(ThreadId t, SyncId s) override {
+    if (fault_ == Fault::kSkipReleaseEdge) return;
+    inner_->on_release(t, s);
+  }
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override {
+    if (fault_ == Fault::kDropEveryThirdRead && ++reads_ % 3 == 0) return;
+    inner_->on_read(t, addr, size);
+  }
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override {
+    inner_->on_write(t, addr, size);
+  }
+  void on_alloc(ThreadId t, Addr addr, std::uint64_t size) override {
+    inner_->on_alloc(t, addr, size);
+  }
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override {
+    inner_->on_free(t, addr, size);
+  }
+  void on_finish() override { inner_->on_finish(); }
+  void set_site(ThreadId t, const char* site) override {
+    inner_->set_site(t, site);
+  }
+  std::uint64_t same_epoch_serial(ThreadId t) const noexcept override {
+    return inner_->same_epoch_serial(t);
+  }
+
+  // Keep the sharded path available through the wrapper. Batches funnel
+  // through Detector::on_batch's per-event dispatch above, so faults apply
+  // uniformly in every delivery mode; sub-batches keep their shard hint.
+  ShardMap shard_map() const noexcept override { return inner_->shard_map(); }
+  bool supports_concurrent_delivery() const noexcept override {
+    return inner_->supports_concurrent_delivery();
+  }
+  void set_concurrent_delivery(bool on) override {
+    inner_->set_concurrent_delivery(on);
+  }
+  void on_batch_shard(std::uint32_t shard, const BatchedEvent* events,
+                      std::size_t n) override {
+    // Apply the access-level fault, then forward piecewise with the shard
+    // hint intact (single-event sub-batches are valid batches).
+    for (std::size_t i = 0; i < n; ++i) {
+      const BatchedEvent& e = events[i];
+      if (e.kind == BatchedEvent::Kind::kRead &&
+          fault_ == Fault::kDropEveryThirdRead && ++reads_ % 3 == 0)
+        continue;
+      inner_->on_batch_shard(shard, &e, 1);
+    }
+  }
+
+  ReportSink& sink() noexcept override { return inner_->sink(); }
+  DetectorStats& stats() noexcept override { return inner_->stats(); }
+  MemoryAccountant& accountant() noexcept override {
+    return inner_->accountant();
+  }
+
+ private:
+  std::unique_ptr<Detector> inner_;
+  Fault fault_;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace dg::verify

@@ -1,0 +1,133 @@
+#include "verify/hb_oracle.hpp"
+
+#include <algorithm>
+
+namespace dg::verify {
+
+void HbOracle::access(ThreadId t, Addr addr, std::uint32_t size,
+                      AccessType type) {
+  if (size == 0) return;
+  const VectorClock& now = hb_.clock(t);
+  const ClockVal my = hb_.epoch(t).clock();
+
+  Addr lo = addr;
+  Addr hi = addr + size;
+  std::uint32_t step = 1;
+  if (unit_ == Unit::kWord) {
+    lo = addr & ~static_cast<Addr>(kWordSize - 1);
+    hi = (addr + size + kWordSize - 1) & ~static_cast<Addr>(kWordSize - 1);
+    step = kWordSize;
+  }
+
+  for (Addr a = lo; a < hi; a += step) {
+    UnitState& u = units_[a];
+    // A prior access of thread j races with this one iff j's clock at that
+    // access exceeds our view of j — i.e. it is not ordered before us.
+    bool race = false;
+    const std::size_t nw = u.last_write.size();
+    for (std::size_t j = 0; j < nw; ++j) {
+      const auto jt = static_cast<ThreadId>(j);
+      if (jt == t) continue;
+      if (u.last_write.get(jt) > now.get(jt)) {
+        race = true;
+        break;
+      }
+    }
+    if (!race && type == AccessType::kWrite) {
+      const std::size_t nr = u.last_read.size();
+      for (std::size_t j = 0; j < nr; ++j) {
+        const auto jt = static_cast<ThreadId>(j);
+        if (jt == t) continue;
+        if (u.last_read.get(jt) > now.get(jt)) {
+          race = true;
+          break;
+        }
+      }
+    }
+    if (race) racy_.insert(a);
+    // Keep tracking after a race: the production detectors do too, and
+    // later pairs on other units must still be found.
+    if (type == AccessType::kWrite)
+      u.last_write.set(t, my);
+    else
+      u.last_read.set(t, my);
+  }
+}
+
+void HbOracle::on_free(ThreadId, Addr addr, std::uint64_t size) {
+  Addr lo = addr;
+  Addr hi = addr + size;
+  if (unit_ == Unit::kWord) {
+    lo = addr & ~static_cast<Addr>(kWordSize - 1);
+    hi = (addr + size + kWordSize - 1) & ~static_cast<Addr>(kWordSize - 1);
+  }
+  // Racy verdicts persist (a race already happened); live history is
+  // dropped so recycled addresses start fresh, like detector shadow state.
+  for (auto it = units_.begin(); it != units_.end();) {
+    if (it->first >= lo && it->first < hi)
+      it = units_.erase(it);
+    else
+      ++it;
+  }
+}
+
+bool range_racy(const std::vector<rt::TraceEvent>& events, Addr lo, Addr hi) {
+  MemoryAccountant acct;
+  HbEngine hb(acct);
+  VectorClock last_write;  // per-thread clock of the last intersecting write
+  VectorClock last_read;
+  bool racy = false;
+  for (const rt::TraceEvent& e : events) {
+    switch (e.kind) {
+      case rt::EventKind::kThreadStart:
+        hb.on_thread_start(e.tid, static_cast<ThreadId>(e.aux));
+        break;
+      case rt::EventKind::kThreadJoin:
+        hb.on_thread_join(e.tid, static_cast<ThreadId>(e.aux));
+        break;
+      case rt::EventKind::kAcquire:
+        hb.on_acquire(e.tid, e.addr);
+        break;
+      case rt::EventKind::kRelease:
+        hb.on_release(e.tid, e.addr);
+        break;
+      case rt::EventKind::kRead:
+      case rt::EventKind::kWrite: {
+        if (e.addr >= hi || e.addr + e.size <= lo) break;  // no overlap
+        const bool is_write = e.kind == rt::EventKind::kWrite;
+        const VectorClock& now = hb.clock(e.tid);
+        const std::size_t nw = last_write.size();
+        for (std::size_t j = 0; j < nw && !racy; ++j) {
+          const auto jt = static_cast<ThreadId>(j);
+          if (jt != e.tid && last_write.get(jt) > now.get(jt)) racy = true;
+        }
+        if (is_write) {
+          const std::size_t nr = last_read.size();
+          for (std::size_t j = 0; j < nr && !racy; ++j) {
+            const auto jt = static_cast<ThreadId>(j);
+            if (jt != e.tid && last_read.get(jt) > now.get(jt)) racy = true;
+          }
+        }
+        if (racy) return true;
+        const ClockVal my = hb.epoch(e.tid).clock();
+        if (is_write)
+          last_write.set(e.tid, my);
+        else
+          last_read.set(e.tid, my);
+        break;
+      }
+      case rt::EventKind::kFree:
+        if (e.addr < hi && e.addr + e.aux > lo) {
+          last_write.clear();
+          last_read.clear();
+        }
+        break;
+      case rt::EventKind::kAlloc:
+      case rt::EventKind::kFinish:
+        break;
+    }
+  }
+  return racy;
+}
+
+}  // namespace dg::verify

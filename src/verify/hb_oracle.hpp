@@ -1,0 +1,91 @@
+// HbOracle — the exact happens-before reference detector (docs/TESTING.md).
+//
+// Deliberately slow gold standard: one full record per byte (or per 4-byte
+// word), no epochs, no adaptive cells, no clock sharing, no granularity
+// tricks. For every unit it keeps, per thread, the local clock of that
+// thread's LAST read and LAST write of the unit. That suffices for
+// exactness: accesses of one thread to one unit are totally ordered by
+// program order, so if some earlier access of thread j races with a later
+// access of thread t, then j's *last* access of the same type also races
+// with it (happens-before is transitively closed over j's program order).
+//
+// The oracle therefore computes, for any event trace, the exact set of
+// units on which two accesses (at least one a write) are unordered by
+// happens-before — the ground truth the differential runner compares every
+// production detector against.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "rt/trace.hpp"
+#include "sync/hb_engine.hpp"
+#include "vc/vector_clock.hpp"
+
+namespace dg::verify {
+
+class HbOracle final : public Detector {
+ public:
+  enum class Unit : std::uint8_t { kByte, kWord };
+
+  explicit HbOracle(Unit unit = Unit::kByte) : unit_(unit), hb_(acct_) {}
+
+  const char* name() const override {
+    return unit_ == Unit::kByte ? "hb-oracle-byte" : "hb-oracle-word";
+  }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override {
+    hb_.on_thread_start(t, parent);
+  }
+  void on_thread_join(ThreadId joiner, ThreadId joined) override {
+    hb_.on_thread_join(joiner, joined);
+  }
+  void on_acquire(ThreadId t, SyncId s) override { hb_.on_acquire(t, s); }
+  void on_release(ThreadId t, SyncId s) override { hb_.on_release(t, s); }
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override {
+    access(t, addr, size, AccessType::kRead);
+  }
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override {
+    access(t, addr, size, AccessType::kWrite);
+  }
+  // Allocation is inert for every detector in this repo (shadow state is
+  // dropped at free, not created at alloc), so the oracle matches.
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override;
+
+  /// Base addresses (byte addresses; word oracles report 4-byte-aligned
+  /// bases) of every unit with at least one pair of HB-unordered
+  /// conflicting accesses.
+  const std::set<Addr>& racy_units() const noexcept { return racy_; }
+
+  bool is_racy(Addr unit_base) const noexcept {
+    return racy_.count(unit_base) != 0;
+  }
+
+ private:
+  struct UnitState {
+    // Component j = thread j's local clock at its last read/write of this
+    // unit; 0 = never accessed (HbEngine clocks start at 1).
+    VectorClock last_write;
+    VectorClock last_read;
+  };
+
+  void access(ThreadId t, Addr addr, std::uint32_t size, AccessType type);
+
+  Unit unit_;
+  HbEngine hb_;
+  std::unordered_map<Addr, UnitState> units_;
+  std::set<Addr> racy_;
+};
+
+/// Range query used to validate dyngran's coarse-granularity extra
+/// reports: replay `events` treating the whole of [lo, hi) as a single
+/// location (any two accesses intersecting it conflict if unordered and
+/// not both reads). True iff that one coarse location is racy. A free
+/// overlapping the range resets its history, mirroring detector shadow
+/// teardown.
+bool range_racy(const std::vector<rt::TraceEvent>& events, Addr lo, Addr hi);
+
+}  // namespace dg::verify

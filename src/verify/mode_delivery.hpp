@@ -1,0 +1,196 @@
+// ModeDeliverer — replays one event stream into a detector through each of
+// the runtime's delivery disciplines (rt::RuntimeOptions::Mode), without
+// spinning up the live runtime. The differential runner uses it to assert
+// that a detector's verdicts are independent of the event path:
+//
+//   * kSerialized — every event forwarded immediately (the seed design).
+//   * kTwoTier   — accesses parked in a per-thread batch and flushed via
+//     Detector::on_batch, honouring the runtime's flush discipline
+//     (DESIGN.md §5.1): a thread's batch is flushed before its own sync
+//     events (so epoch attribution is exact), the parent's before a fork
+//     edge, both sides' before a join edge, everyone's before a free
+//     (shadow teardown) and at finish.
+//   * kSharded   — like kTwoTier, but each flush is partitioned by the
+//     detector's shard map (splitting stripe-straddling accesses), sites
+//     are stamped onto access events at enqueue, and sub-batches are
+//     delivered through on_batch_shard with concurrent delivery enabled —
+//     exercising the detector's two-domain locking (§5.2). Falls back to
+//     kTwoTier when the detector does not support concurrent delivery,
+//     exactly like the runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.hpp"
+
+namespace dg::verify {
+
+enum class DeliveryMode : std::uint8_t { kSerialized, kTwoTier, kSharded };
+
+inline const char* to_string(DeliveryMode m) {
+  switch (m) {
+    case DeliveryMode::kSerialized: return "serialized";
+    case DeliveryMode::kTwoTier: return "two-tier";
+    case DeliveryMode::kSharded: return "sharded";
+  }
+  return "?";
+}
+
+class ModeDeliverer final : public Detector {
+ public:
+  ModeDeliverer(Detector& inner, DeliveryMode mode)
+      : inner_(&inner), mode_(mode) {
+    if (mode_ == DeliveryMode::kSharded) {
+      if (inner.supports_concurrent_delivery()) {
+        inner.set_concurrent_delivery(true);
+        smap_ = inner.shard_map();
+      } else {
+        mode_ = DeliveryMode::kTwoTier;
+      }
+    }
+  }
+
+  const char* name() const override { return inner_->name(); }
+  DeliveryMode mode() const noexcept { return mode_; }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override {
+    if (parent != kInvalidThread) flush(parent);
+    inner_->on_thread_start(t, parent);
+  }
+  void on_thread_join(ThreadId joiner, ThreadId joined) override {
+    flush(joiner);
+    flush(joined);
+    inner_->on_thread_join(joiner, joined);
+  }
+  void on_acquire(ThreadId t, SyncId s) override {
+    flush(t);
+    inner_->on_acquire(t, s);
+  }
+  void on_release(ThreadId t, SyncId s) override {
+    flush(t);
+    inner_->on_release(t, s);
+  }
+  void on_alloc(ThreadId t, Addr addr, std::uint64_t size) override {
+    // Eager like the runtime; ordering vs parked accesses is immaterial
+    // because no detector creates shadow state at alloc.
+    inner_->on_alloc(t, addr, size);
+  }
+  void on_free(ThreadId t, Addr addr, std::uint64_t size) override {
+    flush_all();
+    inner_->on_free(t, addr, size);
+  }
+  void on_finish() override {
+    flush_all();
+    inner_->on_finish();
+  }
+
+  void on_read(ThreadId t, Addr addr, std::uint32_t size) override {
+    access(t, addr, size, BatchedEvent::Kind::kRead);
+  }
+  void on_write(ThreadId t, Addr addr, std::uint32_t size) override {
+    access(t, addr, size, BatchedEvent::Kind::kWrite);
+  }
+  void set_site(ThreadId t, const char* site) override {
+    switch (mode_) {
+      case DeliveryMode::kSerialized:
+        inner_->set_site(t, site);
+        break;
+      case DeliveryMode::kTwoTier:
+        pending(t).push_back(
+            {BatchedEvent::Kind::kSite, t, 0, 0, site});
+        break;
+      case DeliveryMode::kSharded:
+        // The sharded runtime stamps sites on access events at enqueue
+        // instead of delivering site events.
+        site_of(t) = site;
+        break;
+    }
+  }
+
+  std::uint64_t same_epoch_serial(ThreadId t) const noexcept override {
+    return inner_->same_epoch_serial(t);
+  }
+
+  /// Deliver everything still parked (diff runner calls this after replays
+  /// of traces that may have lost their finish event during shrinking).
+  void flush_all() {
+    for (ThreadId t = 0; t < pending_.size(); ++t) flush(t);
+  }
+
+  ReportSink& sink() noexcept override { return inner_->sink(); }
+  DetectorStats& stats() noexcept override { return inner_->stats(); }
+  MemoryAccountant& accountant() noexcept override {
+    return inner_->accountant();
+  }
+
+ private:
+  std::vector<BatchedEvent>& pending(ThreadId t) {
+    if (t >= pending_.size()) pending_.resize(t + 1);
+    return pending_[t];
+  }
+  const char*& site_of(ThreadId t) {
+    if (t >= sites_.size()) sites_.resize(t + 1, nullptr);
+    return sites_[t];
+  }
+
+  void access(ThreadId t, Addr addr, std::uint32_t size,
+              BatchedEvent::Kind kind) {
+    if (mode_ == DeliveryMode::kSerialized) {
+      if (kind == BatchedEvent::Kind::kRead)
+        inner_->on_read(t, addr, size);
+      else
+        inner_->on_write(t, addr, size);
+      return;
+    }
+    const char* site =
+        mode_ == DeliveryMode::kSharded ? site_of(t) : nullptr;
+    pending(t).push_back({kind, t, addr, size, site});
+    if (pending(t).size() >= kBatchCap) flush(t);
+  }
+
+  void flush(ThreadId t) {
+    if (t >= pending_.size()) return;
+    std::vector<BatchedEvent>& batch = pending_[t];
+    if (batch.empty()) return;
+    if (mode_ == DeliveryMode::kTwoTier) {
+      inner_->on_batch(batch.data(), batch.size());
+      batch.clear();
+      return;
+    }
+    // kSharded: split stripe-straddling accesses, partition by shard,
+    // deliver per-shard sub-batches (each access confined to its shard).
+    shard_batches_.assign(smap_.count, {});
+    for (const BatchedEvent& e : batch) {
+      Addr a = e.addr;
+      std::uint64_t left = e.size;
+      do {
+        const Addr hi = smap_.stripe_hi(a);
+        const std::uint64_t piece =
+            left == 0 ? 0 : (hi - a < left ? hi - a : left);
+        BatchedEvent part = e;
+        part.addr = a;
+        part.size = piece;
+        shard_batches_[smap_.shard_of(a)].push_back(part);
+        a += piece;
+        left -= piece;
+      } while (left > 0);
+    }
+    batch.clear();
+    for (std::uint32_t s = 0; s < shard_batches_.size(); ++s)
+      if (!shard_batches_[s].empty())
+        inner_->on_batch_shard(s, shard_batches_[s].data(),
+                               shard_batches_[s].size());
+  }
+
+  static constexpr std::size_t kBatchCap = 64;
+
+  Detector* inner_;
+  DeliveryMode mode_;
+  ShardMap smap_;
+  std::vector<std::vector<BatchedEvent>> pending_;
+  std::vector<const char*> sites_;
+  std::vector<std::vector<BatchedEvent>> shard_batches_;
+};
+
+}  // namespace dg::verify

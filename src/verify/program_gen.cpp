@@ -1,0 +1,147 @@
+#include "verify/program_gen.hpp"
+
+#include "common/prng.hpp"
+
+namespace dg::verify {
+
+namespace {
+
+using sim::Op;
+
+enum class Regime : std::uint8_t {
+  kRaw,         // unlocked shared accesses — racy under most schedules
+  kGlobalLock,  // every access under one global lock
+  kOwnLock,     // per-variable lock
+  kReadMostly,  // unlocked reads, rare unlocked writes
+  kPrivate,     // per-thread address offset — never conflicts
+};
+
+struct Var {
+  Addr addr = 0;
+  std::uint32_t size = 4;
+  Regime regime = Regime::kRaw;
+};
+
+constexpr SyncId kGlobalLockId = 100;
+constexpr SyncId kVarLockBase = 200;
+constexpr SyncId kBarrierId = 300;
+constexpr SyncId kSignalId = 400;
+constexpr Addr kHeapBase = kGenVarBase + 0x1000;
+constexpr std::uint64_t kHeapBytes = 64;
+
+void emit_access(std::vector<Op>& ops, Prng& rng, const Var& v,
+                 std::size_t vi, ThreadId self) {
+  Addr a = v.addr;
+  if (v.regime == Regime::kPrivate) a += static_cast<Addr>(self) * 0x400;
+  const bool is_write = v.regime == Regime::kReadMostly
+                            ? rng.chance(1, 8)
+                            : rng.chance(1, 2);
+  switch (v.regime) {
+    case Regime::kGlobalLock:
+      ops.push_back(Op::acquire(kGlobalLockId));
+      break;
+    case Regime::kOwnLock:
+      ops.push_back(Op::acquire(kVarLockBase + vi));
+      break;
+    default:
+      break;
+  }
+  ops.push_back(is_write ? Op::write(a, v.size) : Op::read(a, v.size));
+  // Locked sections sometimes touch a second spot, widening the protected
+  // footprint a sharing decision can latch onto.
+  if (v.regime == Regime::kGlobalLock && rng.chance(1, 3))
+    ops.push_back(Op::write(a + v.size, 1));
+  switch (v.regime) {
+    case Regime::kGlobalLock:
+      ops.push_back(Op::release(kGlobalLockId));
+      break;
+    case Regime::kOwnLock:
+      ops.push_back(Op::release(kVarLockBase + vi));
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<Op>> generate_program(std::uint64_t seed) {
+  Prng rng(seed);
+  const std::uint32_t workers = 1 + static_cast<std::uint32_t>(rng.below(3));
+
+  // Variables scattered over a 192-byte window: the window crosses a
+  // 128-byte stripe boundary (shard_stripe_shift = 7 in the verify
+  // matrix), placements may overlap each other and straddle word bounds.
+  std::vector<Var> vars(4 + rng.below(5));
+  static constexpr std::uint32_t kSizes[] = {1, 2, 4, 8};
+  for (Var& v : vars) {
+    v.addr = kGenVarBase + rng.below(192);
+    v.size = kSizes[rng.below(4)];
+    v.regime = static_cast<Regime>(rng.below(5));
+  }
+  const bool use_heap = rng.chance(1, 2);
+  if (use_heap) {
+    // Raw accesses into an alloc/free'd scratch region (freed by main
+    // after all joins, so the free itself is race-free).
+    Var hv;
+    hv.addr = kHeapBase + rng.below(kHeapBytes - 8);
+    hv.size = kSizes[rng.below(4)];
+    hv.regime = Regime::kRaw;
+    vars.push_back(hv);
+  }
+  const bool use_barrier = workers > 1 && rng.chance(1, 3);
+  const bool use_signal = workers > 1 && rng.chance(1, 4);
+
+  std::vector<std::vector<Op>> threads(workers + 1);
+
+  // Worker bodies.
+  for (ThreadId t = 1; t <= workers; ++t) {
+    std::vector<Op>& ops = threads[t];
+    const std::size_t len = 3 + rng.below(6);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t vi = rng.below(vars.size());
+      emit_access(ops, rng, vars[vi], vi, t);
+    }
+    if (use_barrier) {
+      // Only lock-depth-zero positions are eligible: a barrier inside a
+      // critical section deadlocks any worker that needs the held lock
+      // to reach its own arrival.
+      std::vector<std::size_t> spots{0};
+      std::size_t depth = 0;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].kind == sim::OpKind::kAcquire) ++depth;
+        if (ops[i].kind == sim::OpKind::kRelease) --depth;
+        if (depth == 0) spots.push_back(i + 1);
+      }
+      const std::size_t at = spots[rng.below(spots.size())];
+      ops.insert(ops.begin() + at, Op::barrier(kBarrierId, workers));
+    }
+  }
+  if (use_signal) {
+    // One hand-off edge: the last worker signals, the first awaits. Both
+    // ops go at the very end of their threads so neither can precede a
+    // barrier arrival — the signaler always reaches its signal and the
+    // program stays deadlock-free.
+    threads[workers].push_back(Op::signal(kSignalId));
+    threads[1].push_back(Op::await(kSignalId, 1));
+  }
+
+  // Main: init writes, alloc, forks, optional contention, joins, frees.
+  std::vector<Op>& main_ops = threads[0];
+  for (std::size_t vi = 0; vi < vars.size(); ++vi)
+    if (vars[vi].regime != Regime::kPrivate && rng.chance(1, 2))
+      main_ops.push_back(Op::write(vars[vi].addr, vars[vi].size));
+  if (use_heap) main_ops.push_back(Op::alloc(kHeapBase, kHeapBytes));
+  for (ThreadId t = 1; t <= workers; ++t) main_ops.push_back(Op::fork(t));
+  const std::size_t contention = rng.below(3);
+  for (std::size_t i = 0; i < contention; ++i) {
+    const std::size_t vi = rng.below(vars.size());
+    emit_access(main_ops, rng, vars[vi], vi, 0);
+  }
+  for (ThreadId t = 1; t <= workers; ++t) main_ops.push_back(Op::join(t));
+  main_ops.push_back(Op::read(vars[0].addr, vars[0].size));
+  if (use_heap) main_ops.push_back(Op::free_(kHeapBase, kHeapBytes));
+  return threads;
+}
+
+}  // namespace dg::verify

@@ -1,0 +1,31 @@
+// Random sim-program generator for the differential fuzzer.
+//
+// Programs are small (2-4 logical threads, a handful of ops each) so the
+// schedule explorer gets real coverage, but they deliberately mix every
+// shape the detectors disagree on historically: lock-protected and raw
+// unlocked accesses, mixed sizes 1..8 (sometimes unaligned), variable
+// spacing down to adjacent bytes (dyngran sharing fodder), accesses that
+// straddle word and shard-stripe boundaries, barriers, and an alloc/free'd
+// scratch region. No schedule-invariant race structure is needed — the
+// exact HB oracle provides ground truth per interleaving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/op.hpp"
+
+namespace dg::verify {
+
+/// Base address of generated shared variables; chosen so stripe-boundary
+/// crossings occur for 128-byte stripes (shard_stripe_shift = 7).
+inline constexpr Addr kGenVarBase = 0x200000;
+
+/// Deterministically generate per-thread op scripts from a seed. Programs
+/// are deadlock-free by construction (at most one lock held at a time,
+/// barriers include every worker and are never placed inside a critical
+/// section) and well-formed (thread 0 forks all workers up front and
+/// joins them all; frees only after joins or by the owning thread).
+std::vector<std::vector<sim::Op>> generate_program(std::uint64_t seed);
+
+}  // namespace dg::verify

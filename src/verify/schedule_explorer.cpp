@@ -1,0 +1,142 @@
+#include "verify/schedule_explorer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/prng.hpp"
+#include "sim/sim.hpp"
+
+namespace dg::verify {
+
+namespace {
+
+// FNV-1a over the raw event records, for schedule deduplication (different
+// choice sequences and PCT seeds can produce the same event order).
+std::uint64_t trace_hash(const std::vector<rt::TraceEvent>& tr) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* p = reinterpret_cast<const unsigned char*>(tr.data());
+  for (std::size_t i = 0; i < tr.size() * sizeof(rt::TraceEvent); ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct RunOutcome {
+  std::vector<rt::TraceEvent> trace;
+  std::vector<std::size_t> taken;   // choice made at each decision
+  std::vector<std::size_t> widths;  // runnable-set size at each decision
+  bool deadlocked = false;
+};
+
+// Execute one schedule: follow `prefix`, then first-runnable.
+RunOutcome run_prefix(const ProgramFactory& make_program,
+                      const std::vector<std::size_t>& prefix) {
+  RunOutcome out;
+  auto prog = make_program();
+  rt::TraceRecorder rec;
+  sim::SimScheduler sched(*prog, rec, /*seed=*/1);
+  sched.set_choice_hook([&](const std::vector<ThreadId>& runnable,
+                            std::uint64_t decision) -> std::size_t {
+    std::size_t pick = 0;
+    if (decision < prefix.size()) pick = prefix[decision];
+    if (pick >= runnable.size()) pick = 0;  // defensive; prefixes replayed
+                                            // on the same program always fit
+    out.taken.push_back(pick);
+    out.widths.push_back(runnable.size());
+    return pick;
+  });
+  out.deadlocked = sched.run().deadlocked;
+  out.trace = rec.events();
+  return out;
+}
+
+// Execute one PCT-style schedule: random thread priorities, `changes`
+// random decision points at which the running thread's priority drops to
+// the bottom.
+RunOutcome run_pct(const ProgramFactory& make_program, std::uint64_t seed,
+                   std::uint32_t changes) {
+  RunOutcome out;
+  auto prog = make_program();
+  const std::size_t n = prog->num_threads();
+  Prng rng(seed);
+  std::vector<std::uint64_t> prio(n);
+  for (std::size_t i = 0; i < n; ++i) prio[i] = rng.next() >> 8;
+  // Change points: decisions at which the top thread is demoted. Drawn
+  // from a window that covers typical generated-program lengths.
+  std::vector<std::uint64_t> change_at(changes);
+  for (auto& c : change_at) c = rng.below(160);
+  std::uint64_t next_low = 0;  // strictly decreasing low priorities
+
+  rt::TraceRecorder rec;
+  sim::SimScheduler sched(*prog, rec, /*seed=*/1);
+  sched.set_choice_hook([&](const std::vector<ThreadId>& runnable,
+                            std::uint64_t decision) -> std::size_t {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < runnable.size(); ++i)
+      if (prio[runnable[i]] > prio[runnable[best]]) best = i;
+    if (std::find(change_at.begin(), change_at.end(), decision) !=
+        change_at.end())
+      prio[runnable[best]] = next_low++;
+    return best;
+  });
+  out.deadlocked = sched.run().deadlocked;
+  out.trace = rec.events();
+  return out;
+}
+
+}  // namespace
+
+ExploreResult explore_schedules(const ProgramFactory& make_program,
+                                const ExploreOptions& opts,
+                                const TraceCallback& on_trace) {
+  ExploreResult res;
+  if (opts.max_schedules == 0) return res;
+  std::unordered_set<std::uint64_t> seen;
+
+  auto emit = [&](const RunOutcome& run) -> bool {
+    res.deadlocked = res.deadlocked || run.deadlocked;
+    if (!seen.insert(trace_hash(run.trace)).second) return true;  // dup
+    ++res.schedules;
+    return on_trace(run.trace, res.schedules - 1);
+  };
+
+  // --- Phase 1: DFS over choice prefixes ---------------------------------
+  const std::size_t dfs_budget = std::max<std::size_t>(
+      1, opts.max_schedules * opts.dfs_share_pm / 1000);
+  std::size_t dfs_runs = 0;
+  std::vector<std::vector<std::size_t>> frontier;
+  frontier.push_back({});
+  while (!frontier.empty() && dfs_runs < dfs_budget &&
+         res.schedules < opts.max_schedules) {
+    const std::vector<std::size_t> prefix = std::move(frontier.back());
+    frontier.pop_back();
+    const RunOutcome run = run_prefix(make_program, prefix);
+    ++dfs_runs;
+    // Queue every untaken alternative at decisions this run extended.
+    for (std::size_t d = run.taken.size(); d-- > prefix.size();) {
+      for (std::size_t alt = 1; alt < run.widths[d]; ++alt) {
+        std::vector<std::size_t> next(run.taken.begin(),
+                                      run.taken.begin() + d);
+        next.push_back(alt);
+        frontier.push_back(std::move(next));
+      }
+    }
+    if (!emit(run)) return res;
+  }
+  res.exhaustive = frontier.empty();
+
+  // --- Phase 2: PCT sampling for the rest of the budget ------------------
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 3 * opts.max_schedules;
+  SplitMix64 seeder(opts.seed ^ 0x9e3779b97f4a7c15ULL);
+  while (!res.exhaustive && res.schedules < opts.max_schedules &&
+         attempts++ < max_attempts) {
+    const RunOutcome run =
+        run_pct(make_program, seeder.next(), opts.priority_changes);
+    if (!emit(run)) return res;
+  }
+  return res;
+}
+
+}  // namespace dg::verify

@@ -1,0 +1,64 @@
+// ScheduleExplorer — enumerate or sample interleavings of a SimProgram.
+//
+// A single seeded run checks one interleaving; racy pairs that only
+// surface when a particular acquire beats a particular release need more.
+// The explorer drives SimScheduler through its choice hook (slice = 1, so
+// every op boundary is a scheduling point) in two regimes:
+//
+//   * exhaustive DFS over choice prefixes for small programs: re-execute
+//     the program for each unexplored prefix (coroutine thread bodies
+//     cannot be cloned, so stateless re-execution is the only option),
+//     extending with first-runnable choices and queueing every alternative
+//     not yet taken. If the frontier drains within budget the enumeration
+//     is complete and Result::exhaustive is set.
+//   * PCT-style randomized priority schedules otherwise (Burckhardt et
+//     al.'s probabilistic concurrency testing, seeded via common/prng):
+//     each schedule fixes a random thread priority order plus a few random
+//     priority-change points; at every decision the highest-priority
+//     runnable thread runs.
+//
+// Each explored schedule is recorded through TraceRecorder and handed to
+// the callback as an event trace — the currency of the oracle and the
+// differential runner.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rt/trace.hpp"
+#include "sim/program.hpp"
+
+namespace dg::verify {
+
+struct ExploreOptions {
+  /// Total schedule budget (DFS + sampled).
+  std::size_t max_schedules = 64;
+  /// Give DFS this fraction (per mille) of the budget before falling back
+  /// to PCT sampling; if DFS finishes inside its share, exploration is
+  /// exhaustive and the rest of the budget is not needed.
+  std::size_t dfs_share_pm = 500;
+  std::uint64_t seed = 1;
+  /// Priority-change points per PCT schedule.
+  std::uint32_t priority_changes = 3;
+};
+
+struct ExploreResult {
+  std::size_t schedules = 0;  // callback invocations
+  bool exhaustive = false;    // DFS drained the whole schedule space
+  bool deadlocked = false;    // some schedule deadlocked (program bug)
+};
+
+/// `make_program` must return a fresh program per call (coroutine bodies
+/// are single-shot). The callback may return false to stop exploration
+/// early (e.g. after recording a divergence).
+using ProgramFactory = std::function<std::unique_ptr<sim::SimProgram>()>;
+using TraceCallback = std::function<bool(
+    const std::vector<rt::TraceEvent>& trace, std::size_t schedule_index)>;
+
+ExploreResult explore_schedules(const ProgramFactory& make_program,
+                                const ExploreOptions& opts,
+                                const TraceCallback& on_trace);
+
+}  // namespace dg::verify

@@ -1,0 +1,81 @@
+#include "verify/shrink.hpp"
+
+#include <unordered_set>
+
+namespace dg::verify {
+
+std::vector<rt::TraceEvent> sanitize_trace(
+    const std::vector<rt::TraceEvent>& events) {
+  std::vector<rt::TraceEvent> out;
+  out.reserve(events.size());
+  std::unordered_set<ThreadId> started;
+  for (const rt::TraceEvent& e : events) {
+    switch (e.kind) {
+      case rt::EventKind::kThreadStart: {
+        const auto parent = static_cast<ThreadId>(e.aux);
+        if (started.count(e.tid) != 0) continue;  // duplicate start
+        if (parent != kInvalidThread && started.count(parent) == 0)
+          continue;  // forking thread's start was removed
+        started.insert(e.tid);
+        break;
+      }
+      case rt::EventKind::kThreadJoin:
+        if (started.count(e.tid) == 0 ||
+            started.count(static_cast<ThreadId>(e.aux)) == 0)
+          continue;
+        break;
+      case rt::EventKind::kFinish:
+        break;
+      default:
+        if (started.count(e.tid) == 0) continue;
+        break;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<rt::TraceEvent> shrink_trace(
+    std::vector<rt::TraceEvent> events,
+    const std::function<bool(const std::vector<rt::TraceEvent>&)>&
+        still_fails) {
+  events = sanitize_trace(events);
+
+  // Try removing [lo, lo+len); returns true (and commits) if the
+  // sanitized remainder still fails.
+  auto try_remove = [&](std::size_t lo, std::size_t len) -> bool {
+    std::vector<rt::TraceEvent> cand;
+    cand.reserve(events.size() - len);
+    cand.insert(cand.end(), events.begin(), events.begin() + lo);
+    cand.insert(cand.end(), events.begin() + lo + len, events.end());
+    cand = sanitize_trace(cand);
+    if (cand.size() >= events.size()) return false;  // nothing removed
+    if (!still_fails(cand)) return false;
+    events = std::move(cand);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Chunked removal, halving chunk size down to 2.
+    for (std::size_t chunk = events.size() / 2; chunk >= 2; chunk /= 2) {
+      for (std::size_t lo = 0; lo + chunk <= events.size();) {
+        if (try_remove(lo, chunk))
+          progress = true;  // same lo now holds different events
+        else
+          lo += chunk;
+      }
+    }
+    // Single-event elimination.
+    for (std::size_t lo = 0; lo < events.size();) {
+      if (try_remove(lo, 1))
+        progress = true;
+      else
+        ++lo;
+    }
+  }
+  return events;
+}
+
+}  // namespace dg::verify

@@ -1,0 +1,37 @@
+// Trace minimizer — delta debugging (Zeller's ddmin) over event traces.
+//
+// Given a trace on which some predicate holds (typically "matrix entry X
+// still diverges from the oracle", see diff_runner), shrink it to a
+// 1-minimal trace: removing any single remaining event makes the
+// predicate fail. Minimized traces become the regression corpus under
+// tests/corpus/.
+//
+// Removing events can leave a stream that is not well-formed (events of a
+// thread whose start was removed, joins of never-started threads —
+// detector DG_CHECKs abort on those), so every candidate is sanitized
+// before the predicate sees it; the predicate is therefore always probed
+// with a replayable trace.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rt/trace.hpp"
+
+namespace dg::verify {
+
+/// Drop events that would trip detector well-formedness checks: events of
+/// never-started threads, duplicate thread starts, starts whose parent
+/// never started, and joins of unstarted threads. Idempotent.
+std::vector<rt::TraceEvent> sanitize_trace(
+    const std::vector<rt::TraceEvent>& events);
+
+/// ddmin: chunked removal with halving chunk sizes, then a single-event
+/// elimination pass, repeated to fixpoint. `still_fails` is only called on
+/// sanitized candidates; the input trace must satisfy it.
+std::vector<rt::TraceEvent> shrink_trace(
+    std::vector<rt::TraceEvent> events,
+    const std::function<bool(const std::vector<rt::TraceEvent>&)>&
+        still_fails);
+
+}  // namespace dg::verify

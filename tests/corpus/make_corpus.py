@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Regenerate the checked-in regression corpus (see README.md).
+
+Each trace is a hand-built event sequence exercising one detector's
+historically tricky path; tests/test_verify.cpp replays every *.trace in
+this directory through the full differential matrix and requires zero
+divergences. The binary format mirrors rt/trace.hpp: an 8-byte magic, an
+8-byte record count, then little-endian 24-byte records
+(kind u8, pad u8, size u16, tid u32, addr u64, aux u64).
+
+Usage: python3 make_corpus.py [output_dir]
+"""
+import struct
+import sys
+
+MAGIC = 0x44474E5452433031  # "DGNTRC01"
+INVALID_TID = 0xFFFFFFFF
+
+START, JOIN, ACQ, REL, READ, WRITE, ALLOC, FREE, FINISH = range(1, 10)
+
+
+def ev(kind, tid=0, addr=0, size=0, aux=0):
+    return struct.pack("<BBHIQQ", kind, 0, size, tid, addr, aux)
+
+
+def start(t, parent=INVALID_TID):
+    return ev(START, t, aux=parent)
+
+
+def join(joiner, joined):
+    return ev(JOIN, joiner, aux=joined)
+
+
+def acq(t, s):
+    return ev(ACQ, t, addr=s)
+
+
+def rel(t, s):
+    return ev(REL, t, addr=s)
+
+
+def rd(t, a, n):
+    return ev(READ, t, addr=a, size=n)
+
+
+def wr(t, a, n):
+    return ev(WRITE, t, addr=a, size=n)
+
+
+def alloc(t, a, n):
+    return ev(ALLOC, t, addr=a, aux=n)
+
+
+def free(t, a, n):
+    return ev(FREE, t, addr=a, aux=n)
+
+
+def finish():
+    return ev(FINISH)
+
+
+X = 0x4000  # generic shared variable
+L = 7       # generic lock
+H = 0x9000  # heap scratch block
+
+CORPUS = {
+    # Minimal write-write race: the FastTrack byte-exactness baseline.
+    "ft_byte_ww": [
+        start(0), start(1, 0),
+        wr(0, X, 1), wr(1, X, 1),
+        finish(),
+    ],
+    # Read-shared promotion then a racing write: FastTrack's read-vector
+    # upgrade path (the O(n) case its epochs usually avoid).
+    "ft_byte_read_shared": [
+        start(0), wr(0, X, 4),          # ordered init (before the forks)
+        start(1, 0), start(2, 0),
+        rd(1, X, 4), rd(2, X, 4),       # concurrent reads: read-shared
+        wr(1, X, 4),                    # races with thread 2's read
+        finish(),
+    ],
+    # Disjoint bytes of one word written concurrently: no byte-level race,
+    # but word-granularity analysis (ft-word, segment) must report the word
+    # and dyngran's fused cell must justify its extras via the span.
+    "ft_word_fusion": [
+        start(0), start(1, 0),
+        wr(0, X, 1), wr(1, X + 1, 1),
+        finish(),
+    ],
+    # Timeframe advance: the release starts a new epoch for thread 0; only
+    # the second-epoch write races (DJIT+ per-timeframe filtering).
+    "djit_epoch": [
+        start(0), start(1, 0),
+        wr(0, X, 4), rel(0, L),
+        wr(0, X, 4),                    # epoch 2
+        acq(1, L),                      # orders epoch 1 (only) before t1
+        wr(1, X, 4),                    # races with epoch-2 write
+        finish(),
+    ],
+    # Several clean lock-ordered rounds (segment creation + retirement)
+    # before an unprotected race on a different variable.
+    "segment_retire": [
+        start(0), start(1, 0),
+        acq(0, L), wr(0, X, 4), rel(0, L),
+        acq(1, L), wr(1, X, 4), rel(1, L),
+        acq(0, L), wr(0, X, 4), rel(0, L),
+        acq(1, L), wr(1, X, 4), rel(1, L),
+        wr(1, X + 8, 4), wr(0, X + 8, 4),
+        finish(),
+    ],
+    # A firm Shared node (4 word cells, one clock) dissolved by a race:
+    # dyngran reports all sharers; the extras carry the dissolution span
+    # and the superset contract validates them with range_racy.
+    "dyngran_dissolve": [
+        start(0), start(1, 0),
+        wr(0, X, 16), rel(0, L),
+        wr(0, X, 16),                   # second epoch: firm Shared
+        wr(1, X + 4, 4),                # unordered: dissolves the node
+        finish(),
+    ],
+    # Accesses straddling the 128-byte stripe boundary (0x200080) used by
+    # the matrix's 4-shard configs: sharded delivery must split the access
+    # and the detectors must clamp sharing yet still report every byte.
+    "sharded_stripe": [
+        start(0), start(1, 0),
+        wr(0, 0x20007C, 8), wr(1, 0x20007C, 8),
+        finish(),
+    ],
+    # Fully synchronized program (init, locked writers, join, final read):
+    # every detector must stay silent despite first-epoch sharing.
+    "race_free": [
+        start(0), wr(0, X, 8),
+        start(1, 0), start(2, 0),
+        acq(1, L), wr(1, X, 4), rel(1, L),
+        acq(2, L), wr(2, X + 4, 4), rel(2, L),
+        join(0, 1), join(0, 2),
+        rd(0, X, 8),
+        finish(),
+    ],
+    # Race in a heap block, then free + reuse: shadow teardown must keep
+    # the old verdict, leak no stale clocks into the new lifetime, and the
+    # ordered reuse must stay clean.
+    "alloc_free_reuse": [
+        start(0), start(1, 0),
+        alloc(0, H, 64),
+        wr(0, H, 4), wr(1, H, 4),       # race in the first lifetime
+        free(0, H, 64),
+        alloc(1, H, 64),
+        acq(1, L), wr(1, H, 4), rel(1, L),
+        acq(0, L), wr(0, H, 4), rel(0, L),
+        finish(),
+    ],
+    # --- Minimized fuzzer finds (dgtrace fuzz), each pinning a detector
+    # --- bug that was fixed after the differential harness surfaced it.
+    #
+    # Two same-epoch init writes put 0x20007e and 0x200055 in one
+    # first-epoch-shared Init node. Thread 2's write to the 0x200055 part
+    # races with thread 1's read and dissolves the node; the detector used
+    # to stamp the racing epoch into the shared clock before splitting, so
+    # the untouched 0x20007e bytes inherited thread 2's write and thread
+    # 1's (fork-ordered) read of them false-alarmed — violating the
+    # paper's §V-B "no false alarms from temporary Init sharing".
+    "init_share_pollution": [
+        start(0),
+        wr(0, 0x20007E, 2), wr(0, 0x200055, 8),   # one Init node, one epoch
+        start(1, 0), start(2, 0),
+        rd(1, 0x200055, 8),
+        wr(2, 0x200055, 8),                        # real race; dissolves
+        rd(1, 0x20007E, 2),                        # ordered: must stay silent
+        finish(),
+    ],
+    # One access straddling a racing node AND fresh cells nobody else ever
+    # touched: only byte 0x200030 of thread 2's read overlaps the racing
+    # write. The race verdict used to be a single per-access flag, which
+    # dissolved (and reported) the fresh read node over 0x200031-33 too.
+    "race_spillover": [
+        start(0), start(1, 0), start(2, 0),
+        wr(0, 0x200029, 8),
+        rd(1, 0x200029, 8),                        # real race, 8 bytes
+        rd(2, 0x200030, 4),                        # racy only at 0x200030
+        finish(),
+    ],
+    # A firm-Shared write node [0x200076,0x20007e) whose clock is polluted
+    # by a partial write (Table 1 extras, by design). The later racing read
+    # spills onto a fresh read node past the genuine overlap; its extra
+    # reports must blame the opposite-plane node's span — the clock-sharing
+    # range that actually carried the unordered epoch — for the superset
+    # contract's range_racy witness to hold.
+    "blame_span": [
+        start(0),
+        wr(0, 0x200076, 8),
+        start(2, 0), start(3, 0),
+        wr(2, 0x200076, 8),                        # firm Shared (2nd epoch)
+        rel(2, 100),
+        rd(2, 0x200073, 8),
+        wr(2, 0x200073, 8),                        # partial: pollutes clock
+        acq(3, 100),
+        rd(3, 0x200076, 8),                        # races on [0x76,0x7b) only
+        finish(),
+    ],
+}
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    for name, events in sorted(CORPUS.items()):
+        path = f"{out_dir}/{name}.trace"
+        with open(path, "wb") as f:
+            f.write(struct.pack("<QQ", MAGIC, len(events)))
+            for e in events:
+                f.write(e)
+        print(f"{path}: {len(events)} events")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@
 
 #include "detect/detector.hpp"
 #include "sim/program.hpp"
+#include "sim/script_program.hpp"
 #include "sim/sim.hpp"
 
 namespace dg::test {
@@ -65,32 +66,9 @@ class Driver {
 };
 
 /// A SimProgram whose threads execute fixed op vectors (for scheduler and
-/// integration tests).
-class ScriptProgram final : public sim::SimProgram {
- public:
-  explicit ScriptProgram(std::vector<std::vector<sim::Op>> threads,
-                         std::uint64_t base_mem = 1 << 20,
-                         std::uint64_t races = 0)
-      : threads_(std::move(threads)), base_mem_(base_mem), races_(races) {}
-
-  const char* name() const override { return "script"; }
-  ThreadId num_threads() const override {
-    return static_cast<ThreadId>(threads_.size());
-  }
-  std::uint64_t base_memory_bytes() const override { return base_mem_; }
-  std::uint64_t expected_races() const override { return races_; }
-
-  sim::OpGen thread_body(ThreadId tid) override { return body(tid); }
-
- private:
-  sim::OpGen body(ThreadId tid) {
-    for (const sim::Op& op : threads_[tid]) co_yield op;
-  }
-
-  std::vector<std::vector<sim::Op>> threads_;
-  std::uint64_t base_mem_;
-  std::uint64_t races_;
-};
+/// integration tests). Now lives in src/sim (the verify subsystem uses it
+/// too); the alias keeps existing tests unchanged.
+using ScriptProgram = sim::ScriptProgram;
 
 /// Run a scripted program under a detector; returns the scheduler result.
 inline sim::SimScheduler::Result run_script(

@@ -311,5 +311,279 @@ TEST(DynGranWithInitState, SameScenarioIsClean) {
   EXPECT_EQ(d.races(), 0u);
 }
 
+// ------------------------------------- exhaustive state x event sweep
+//
+// Every reachable node state crossed with every event class the state
+// machine distinguishes, as one parameterized table. The point is not any
+// single transition (most have focused tests above) but that NO cell of
+// the product is left to accident: a regression that changes an obscure
+// combination (say, an ordered cross-thread write to a first-epoch-shared
+// Init node) fails here by name.
+
+enum class StartState : std::uint8_t {
+  kInitSolo,    // one Init node, one cell
+  kInitShared,  // Init node grown by first-epoch sharing (2 cells)
+  kShared,      // firm Shared node (4 cells, one clock)
+  kPrivate,     // firm Private node
+  kRace,        // terminal Race node
+};
+
+enum class EventClass : std::uint8_t {
+  kSameEpochWrite,   // same thread, same epoch
+  kNewEpochWrite,    // same thread after a release (firm-decision trigger)
+  kOrderedWrite,     // other thread, ordered via lock hand-off
+  kRacingWrite,      // other thread, unordered
+  kRacingRead,       // other thread, unordered read (cross-plane conflict)
+  kFree,             // deallocation of the node's span
+};
+
+const char* name_of(StartState s) {
+  switch (s) {
+    case StartState::kInitSolo: return "InitSolo";
+    case StartState::kInitShared: return "InitShared";
+    case StartState::kShared: return "Shared";
+    case StartState::kPrivate: return "Private";
+    case StartState::kRace: return "Race";
+  }
+  return "?";
+}
+
+const char* name_of(EventClass e) {
+  switch (e) {
+    case EventClass::kSameEpochWrite: return "SameEpochWrite";
+    case EventClass::kNewEpochWrite: return "NewEpochWrite";
+    case EventClass::kOrderedWrite: return "OrderedWrite";
+    case EventClass::kRacingWrite: return "RacingWrite";
+    case EventClass::kRacingRead: return "RacingRead";
+    case EventClass::kFree: return "Free";
+  }
+  return "?";
+}
+
+using SweepCase = std::tuple<StartState, EventClass>;
+
+class DynGranSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  DynGranDetector det{};
+  Driver d{det};
+
+  // Bytes covered by the node's span when the state is established.
+  std::uint32_t setup_bytes() const {
+    switch (std::get<0>(GetParam())) {
+      case StartState::kInitShared: return 8;
+      case StartState::kShared: return 16;
+      default: return 4;
+    }
+  }
+
+  void establish(StartState s) {
+    // Both threads started up front: thread 1 is concurrent with all of
+    // thread 0's setup accesses (fork edges would otherwise order them).
+    d.start(0).start(1, 0);
+    switch (s) {
+      case StartState::kInitSolo:
+        d.write(0, X, 4);
+        break;
+      case StartState::kInitShared:
+        d.write(0, X, 4).write(0, X + 4, 4);  // same epoch: shares
+        break;
+      case StartState::kShared:
+        d.write(0, X, 16).rel(0, L).write(0, X, 16);
+        break;
+      case StartState::kPrivate:
+        d.write(0, X, 4).rel(0, L).write(0, X, 4);
+        break;
+      case StartState::kRace:
+        d.write(0, X, 4).write(1, X, 4);
+        break;
+    }
+  }
+
+  void apply(EventClass e) {
+    constexpr SyncId kHandoff = 55;
+    switch (e) {
+      case EventClass::kSameEpochWrite:
+        d.write(0, X, 4);
+        break;
+      case EventClass::kNewEpochWrite:
+        d.rel(0, kHandoff).write(0, X, 4);
+        break;
+      case EventClass::kOrderedWrite:
+        d.rel(0, kHandoff).acq(1, kHandoff).write(1, X, 4);
+        break;
+      case EventClass::kRacingWrite:
+        d.write(1, X, 4);
+        break;
+      case EventClass::kRacingRead:
+        d.read(1, X, 4);
+        break;
+      case EventClass::kFree:
+        d.free_(0, X, setup_bytes());
+        break;
+    }
+  }
+};
+
+TEST_P(DynGranSweep, TransitionMatchesFig2) {
+  const auto [start, event] = GetParam();
+  establish(start);
+  const std::uint64_t races_before = d.races();
+  const auto before = det.inspect(X, AccessType::kWrite);
+  ASSERT_TRUE(before.exists);
+  apply(event);
+  const auto after = det.inspect(X, AccessType::kWrite);
+  const std::uint64_t new_races = d.races() - races_before;
+
+  if (event == EventClass::kFree) {
+    EXPECT_FALSE(after.exists);
+    EXPECT_EQ(new_races, 0u);
+    return;
+  }
+  ASSERT_TRUE(after.exists);
+
+  if (start == StartState::kRace) {
+    // Terminal: nothing changes it, nothing re-reports.
+    EXPECT_EQ(after.state, NodeState::kRace);
+    EXPECT_EQ(new_races, 0u);
+    return;
+  }
+
+  switch (event) {
+    case EventClass::kSameEpochWrite:
+      // Same epoch: no decision, no race, state unchanged.
+      EXPECT_EQ(after.state, before.state);
+      EXPECT_EQ(after.ref_bytes, before.ref_bytes);
+      EXPECT_EQ(new_races, 0u);
+      break;
+    case EventClass::kNewEpochWrite:
+    case EventClass::kOrderedWrite:
+      // A later epoch forces the firm decision on Init nodes (the access
+      // covers one cell, so the decided node is Private; the rest of a
+      // first-epoch-shared node splits off and stays Init). Firm states
+      // keep their decision. Ordered hand-offs never race.
+      EXPECT_EQ(new_races, 0u);
+      switch (start) {
+        case StartState::kInitSolo:
+        case StartState::kInitShared:
+          EXPECT_EQ(after.state, NodeState::kPrivate);
+          EXPECT_EQ(after.ref_bytes, 4u);
+          if (start == StartState::kInitShared) {
+            EXPECT_EQ(det.inspect(X + 4, AccessType::kWrite).state,
+                      NodeState::kInit);
+          }
+          break;
+        case StartState::kShared:
+          EXPECT_EQ(after.state, NodeState::kShared);
+          EXPECT_EQ(after.ref_bytes, 16u);
+          break;
+        case StartState::kPrivate:
+          EXPECT_EQ(after.state, NodeState::kPrivate);
+          break;
+        case StartState::kRace:
+          break;  // handled above
+      }
+      break;
+    case EventClass::kRacingWrite:
+      // Unordered conflicting write: the race dissolves whatever sharing
+      // existed. Every location that shared the clock is reported (the
+      // Shared node's 4 cells; 1 otherwise) and the node is terminal.
+      EXPECT_EQ(after.state, NodeState::kRace);
+      EXPECT_EQ(new_races, start == StartState::kShared ? 4u : 1u);
+      break;
+    case EventClass::kRacingRead:
+      // Unordered read: the conflict is cross-plane. The race is reported
+      // once (for the accessed location), the dissolution hits the READ
+      // plane's new node — the write-plane node keeps its state and its
+      // sharers (their write clocks are still mutually consistent).
+      EXPECT_EQ(after.state, before.state);
+      EXPECT_EQ(new_races, 1u);
+      EXPECT_EQ(det.inspect(X, AccessType::kRead).state, NodeState::kRace);
+      break;
+    case EventClass::kFree:
+      break;  // handled above
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStatesAllEvents, DynGranSweep,
+    ::testing::Combine(
+        ::testing::Values(StartState::kInitSolo, StartState::kInitShared,
+                          StartState::kShared, StartState::kPrivate,
+                          StartState::kRace),
+        ::testing::Values(EventClass::kSameEpochWrite,
+                          EventClass::kNewEpochWrite,
+                          EventClass::kOrderedWrite,
+                          EventClass::kRacingWrite, EventClass::kRacingRead,
+                          EventClass::kFree)),
+    [](const auto& info) {
+      return std::string(name_of(std::get<0>(info.param))) + "_" +
+             name_of(std::get<1>(info.param));
+    });
+
+// Shard-edge clamp interactions with the state machine (the PR-3 rule:
+// a shared clock never spans a shard-stripe boundary), per start state.
+
+class DynGranSweepSharded : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kShift = 13;  // default 8 KiB stripes
+  static constexpr Addr kEdge = Addr{1} << kShift;  // stripe 0 / 1 boundary
+  DynGranDetector det{[] {
+    DynGranConfig cfg;
+    cfg.shards = 4;
+    return cfg;
+  }()};
+  Driver d{det};
+};
+
+TEST_F(DynGranSweepSharded, InitSweepClampsAtTheBoundary) {
+  d.start(0);
+  d.write(0, kEdge - 8, 16);  // one access, both sides of the edge
+  const auto lo = det.inspect(kEdge - 8, AccessType::kWrite);
+  const auto hi = det.inspect(kEdge, AccessType::kWrite);
+  ASSERT_TRUE(lo.exists);
+  ASSERT_TRUE(hi.exists);
+  EXPECT_EQ(lo.span_hi, kEdge);  // clamped, not fused
+  EXPECT_EQ(hi.span_lo, kEdge);
+  EXPECT_EQ(det.stats().live_vcs, 2u);
+}
+
+TEST_F(DynGranSweepSharded, FirstEpochNeighborAdoptionStopsAtTheBoundary) {
+  d.start(0);
+  d.write(0, kEdge - 4, 4);
+  d.write(0, kEdge, 4);  // adjacent, same epoch — but across the edge
+  EXPECT_EQ(det.inspect(kEdge, AccessType::kWrite).span_lo, kEdge);
+  EXPECT_EQ(det.stats().live_vcs, 2u);
+}
+
+TEST_F(DynGranSweepSharded, SharedNodeEndsAtBoundaryAndDissolvesWithinIt) {
+  d.start(0).start(1, 0);
+  d.write(0, kEdge - 16, 32);  // straddling sweep -> clamped Init nodes
+  d.rel(0, L);
+  d.write(0, kEdge - 16, 32);  // firm decision on both sides
+  const auto lo = det.inspect(kEdge - 16, AccessType::kWrite);
+  ASSERT_EQ(lo.state, NodeState::kShared);
+  ASSERT_EQ(lo.span_hi, kEdge);
+  // Race on the low side: dissolution reports exactly the low node's 4
+  // cells; the high-side node keeps its state and clock.
+  d.write(1, kEdge - 16, 4);
+  EXPECT_EQ(d.races(), 4u);
+  EXPECT_EQ(det.inspect(kEdge - 16, AccessType::kWrite).state,
+            NodeState::kRace);
+  EXPECT_EQ(det.inspect(kEdge, AccessType::kWrite).state,
+            NodeState::kShared);
+}
+
+TEST_F(DynGranSweepSharded, PrivateDecisionUnaffectedByBoundaryNeighbor) {
+  d.start(0);
+  d.write(0, kEdge - 4, 4);
+  d.rel(0, L);
+  d.write(0, kEdge - 4, 4);  // firm: Private, flush against the edge
+  d.write(0, kEdge, 4);      // new Init node on the far side, same epoch
+  EXPECT_EQ(det.inspect(kEdge - 4, AccessType::kWrite).state,
+            NodeState::kPrivate);
+  EXPECT_EQ(det.inspect(kEdge, AccessType::kWrite).state, NodeState::kInit);
+  EXPECT_EQ(det.inspect(kEdge, AccessType::kWrite).span_lo, kEdge);
+}
+
 }  // namespace
 }  // namespace dg

@@ -23,6 +23,14 @@
 //   5. the segment (DRD-like) detector reports exactly the racy set;
 //   6. on race-free programs every detector stays silent;
 //   7. replaying the identical event stream is deterministic.
+//
+// Every property runs under all three runtime delivery modes
+// (rt::RuntimeOptions::Mode, mirrored by verify::ModeDeliverer):
+// serialized, two-tier batched, and sharded concurrent delivery. Verdicts
+// must be independent of the event path. Detectors without concurrent-
+// delivery support fall back from sharded to two-tier, exactly like the
+// runtime; FastTrack and dyngran are built with 4 shards in sharded mode
+// so the on_batch_shard path really runs.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -38,6 +46,7 @@
 #include "detect/sampling.hpp"
 #include "detect/segment.hpp"
 #include "support/driver.hpp"
+#include "verify/mode_delivery.hpp"
 
 namespace dg {
 namespace {
@@ -152,40 +161,61 @@ std::set<Addr> reported_addrs(const Detector& det) {
 struct Params {
   std::uint64_t seed;
   bool allow_races;
+  verify::DeliveryMode mode;
 };
+
+// Vars are 256 bytes apart; 512-byte stripes put them in different
+// stripes/shards so sharded delivery genuinely partitions the batches.
+constexpr std::uint32_t kTestStripeShift = 9;
 
 class RandomPrograms : public ::testing::TestWithParam<Params> {
  protected:
   RandomProgram prog_ = generate(GetParam().seed, 4, 24, 4,
                                  GetParam().allow_races);
 
+  std::uint32_t shards() const {
+    return GetParam().mode == verify::DeliveryMode::kSharded ? 4 : 1;
+  }
+
+  /// Run the generated program into `det` through the parameterized
+  /// delivery mode (detector verdicts must not depend on it).
+  void run_through(Detector& det, std::uint64_t seed = 0) {
+    verify::ModeDeliverer md(det, GetParam().mode);
+    auto copy = prog_.threads;
+    test::run_script(std::move(copy),
+                     static_cast<Detector&>(md),
+                     seed != 0 ? seed : GetParam().seed ^ 0x5a5a);
+  }
+
   template <typename Det>
   std::unique_ptr<Det> run() {
     auto det = std::make_unique<Det>();
-    auto copy = prog_.threads;
-    test::run_script(std::move(copy), *det, GetParam().seed ^ 0x5a5a);
+    run_through(*det);
     return det;
   }
 };
 
 TEST_P(RandomPrograms, ByteFastTrackMatchesGroundTruth) {
-  FastTrackDetector det(Granularity::kByte);
-  auto copy = prog_.threads;
-  test::run_script(std::move(copy), det, 3);
+  FastTrackDetector det(Granularity::kByte, shards(), kTestStripeShift);
+  run_through(det, 3);
   EXPECT_EQ(reported_addrs(det), prog_.racy_addrs);
 }
 
 TEST_P(RandomPrograms, DjitEqualsFastTrack) {
   auto dj = run<DjitDetector>();
-  FastTrackDetector ft(Granularity::kByte);
-  auto copy = prog_.threads;
-  test::run_script(std::move(copy), ft, GetParam().seed ^ 0x5a5a);
+  FastTrackDetector ft(Granularity::kByte, shards(), kTestStripeShift);
+  run_through(ft);
   EXPECT_EQ(reported_addrs(*dj), reported_addrs(ft));
   EXPECT_EQ(dj->sink().unique_races(), ft.sink().unique_races());
 }
 
 TEST_P(RandomPrograms, DynamicGranularityCoversGroundTruth) {
-  auto dyn = run<DynGranDetector>();
+  DynGranConfig cfg;
+  cfg.shards = shards();
+  cfg.shard_stripe_shift = kTestStripeShift;
+  DynGranDetector dyn_det(cfg);
+  run_through(dyn_det);
+  auto* dyn = &dyn_det;
   const auto got = reported_addrs(*dyn);
   for (Addr a : prog_.racy_addrs)
     EXPECT_TRUE(got.count(a)) << "missed racy location 0x" << std::hex << a;
@@ -207,10 +237,9 @@ TEST_P(RandomPrograms, SegmentDetectorMatchesGroundTruth) {
 }
 
 TEST_P(RandomPrograms, HybridPureEqualsByteFastTrack) {
-  auto hy = std::make_unique<HybridDetector>(HybridMode::kPure);
-  auto copy = prog_.threads;
-  test::run_script(std::move(copy), *hy, GetParam().seed ^ 0x5a5a);
-  EXPECT_EQ(reported_addrs(*hy), prog_.racy_addrs);
+  HybridDetector hy(HybridMode::kPure);
+  run_through(hy);
+  EXPECT_EQ(reported_addrs(hy), prog_.racy_addrs);
 }
 
 TEST_P(RandomPrograms, SamplerReportsSubsetOfGroundTruth) {
@@ -222,8 +251,7 @@ TEST_P(RandomPrograms, SamplerReportsSubsetOfGroundTruth) {
   cfg.window_length = 64;
   SamplingDetector det(
       std::make_unique<FastTrackDetector>(Granularity::kByte), cfg);
-  auto copy = prog_.threads;
-  test::run_script(std::move(copy), det, GetParam().seed ^ 0x5a5a);
+  run_through(det);
   for (Addr a : reported_addrs(det))
     EXPECT_TRUE(prog_.racy_addrs.count(a))
         << "sampler invented a race at 0x" << std::hex << a;
@@ -232,31 +260,49 @@ TEST_P(RandomPrograms, SamplerReportsSubsetOfGroundTruth) {
 TEST_P(RandomPrograms, DynamicResplitIsExact) {
   DynGranConfig cfg;
   cfg.resplit_shared = true;
-  auto dyn = std::make_unique<DynGranDetector>(cfg);
-  auto copy = prog_.threads;
-  test::run_script(std::move(copy), *dyn, GetParam().seed ^ 0x5a5a);
-  EXPECT_EQ(reported_addrs(*dyn), prog_.racy_addrs);
+  cfg.shards = shards();
+  cfg.shard_stripe_shift = kTestStripeShift;
+  DynGranDetector dyn(cfg);
+  run_through(dyn);
+  EXPECT_EQ(reported_addrs(dyn), prog_.racy_addrs);
 }
 
 TEST_P(RandomPrograms, WordFastTrackMatchesWithSpacedVars) {
   // Vars are 256 bytes apart: word masking cannot fuse distinct vars, so
   // word granularity is exact too.
-  FastTrackDetector det(Granularity::kWord);
-  auto copy = prog_.threads;
-  test::run_script(std::move(copy), det, 3);
+  FastTrackDetector det(Granularity::kWord, shards(), kTestStripeShift);
+  run_through(det, 3);
   EXPECT_EQ(reported_addrs(det), prog_.racy_addrs);
 }
 
+constexpr Params kSeedMatrix[] = {
+    {101, true, {}},  {202, true, {}},  {303, true, {}}, {404, true, {}},
+    {505, false, {}}, {606, false, {}}, {707, true, {}}, {808, false, {}},
+    {909, true, {}},  {1010, true, {}},
+};
+
+std::vector<Params> all_modes() {
+  std::vector<Params> out;
+  for (Params p : kSeedMatrix)
+    for (auto m : {verify::DeliveryMode::kSerialized,
+                   verify::DeliveryMode::kTwoTier,
+                   verify::DeliveryMode::kSharded}) {
+      p.mode = m;
+      out.push_back(p);
+    }
+  return out;
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    Seeds, RandomPrograms,
-    ::testing::Values(Params{101, true}, Params{202, true}, Params{303, true},
-                      Params{404, true}, Params{505, false},
-                      Params{606, false}, Params{707, true},
-                      Params{808, false}, Params{909, true},
-                      Params{1010, true}),
+    Seeds, RandomPrograms, ::testing::ValuesIn(all_modes()),
     [](const auto& info) {
-      return (info.param.allow_races ? "racy_" : "clean_") +
-             std::to_string(info.param.seed);
+      std::string name = info.param.allow_races ? "racy_" : "clean_";
+      name += std::to_string(info.param.seed);
+      name += "_";
+      name += verify::to_string(info.param.mode);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
     });
 
 // Tightly packed variables: the dynamic detector may fuse clocks across

@@ -13,6 +13,15 @@
 //       with a detector, replay with the check-elision map attached
 //   dgtrace diff <a.trace> <b.trace>
 //       first diverging event between two traces (determinism debugging)
+//   dgtrace verify <trace> [--repro <out.trace>]
+//       differential verification: replay under every detector config and
+//       delivery mode, check each against the exact HB oracle; on
+//       divergence, shrink to a minimal reproducer
+//   dgtrace fuzz [--seeds N] [--schedules M] [--out DIR] [--inject F]
+//       generate random programs, explore their interleavings, verify
+//       every trace; minimized reproducers for any divergence are written
+//       to DIR (inject F in {drop-read, skip-join, skip-release} plants a
+//       detector bug the fuzzer must catch)
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -28,6 +37,8 @@
 #include "detect/fasttrack.hpp"
 #include "rt/trace.hpp"
 #include "sim/sim.hpp"
+#include "verify/diff_runner.hpp"
+#include "verify/shrink.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -60,8 +71,11 @@ int usage() {
       "  dgtrace replay <trace> <detector>\n"
       "  dgtrace analyze <trace> [detector]\n"
       "  dgtrace diff <a.trace> <b.trace>\n"
+      "  dgtrace verify <trace> [--repro <out.trace>]\n"
+      "  dgtrace fuzz [--seeds N] [--schedules M] [--out DIR] [--inject F]\n"
       "detectors: byte word dynamic dynamic-noshare1 dynamic-noinit djit\n"
-      "           lockset drd inspector");
+      "           lockset drd inspector\n"
+      "faults (--inject): drop-read skip-join skip-release");
   return 2;
 }
 
@@ -261,6 +275,98 @@ int cmd_diff(int argc, char** argv) {
   return 0;
 }
 
+int cmd_verify(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string repro;
+  for (int i = 3; i + 1 < argc; i += 2)
+    if (std::strcmp(argv[i], "--repro") == 0) repro = argv[i + 1];
+  std::vector<TraceEvent> ev;
+  std::string err;
+  if (!rt::load_trace(argv[2], ev, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  const auto matrix = verify::default_matrix();
+  const auto res = verify::diff_trace(ev, matrix);
+  std::printf("%s: %zu events, %zu racy bytes per the exact HB oracle\n",
+              argv[2], ev.size(), res.oracle_bytes);
+  std::printf("%zu detector/mode runs checked against the oracle\n",
+              res.runs);
+  if (res.divergences.empty()) {
+    std::puts("verify: no divergence");
+    return 0;
+  }
+  for (const auto& d : res.divergences)
+    std::printf("DIVERGENCE %-28s %s\n", d.label.c_str(), d.detail.c_str());
+
+  // Shrink the first divergence to a minimal reproducer.
+  const auto& dv = res.divergences.front();
+  verify::MatrixEntry culprit;
+  for (const auto& e : matrix)
+    if (e.label == dv.label) culprit = e;
+  const std::vector<verify::MatrixEntry> solo{culprit};
+  const auto minimized = verify::shrink_trace(
+      ev, [&](const std::vector<TraceEvent>& cand) {
+        return !verify::diff_trace(cand, solo).divergences.empty();
+      });
+  if (repro.empty()) repro = std::string(argv[2]) + ".min";
+  if (rt::save_trace(repro, minimized))
+    std::printf("minimized reproducer (%zu events) written to %s\n",
+                minimized.size(), repro.c_str());
+  else
+    std::fprintf(stderr, "cannot write %s\n", repro.c_str());
+  return 1;
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  verify::FuzzOptions opts;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--seeds") == 0)
+      opts.seeds = std::strtoull(argv[i + 1], nullptr, 10);
+    else if (std::strcmp(argv[i], "--schedules") == 0)
+      opts.schedules =
+          static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    else if (std::strcmp(argv[i], "--out") == 0)
+      opts.out_dir = argv[i + 1];
+    else if (std::strcmp(argv[i], "--inject") == 0) {
+      const std::string f = argv[i + 1];
+      if (f == "drop-read")
+        opts.fault = verify::Fault::kDropEveryThirdRead;
+      else if (f == "skip-join")
+        opts.fault = verify::Fault::kSkipJoinEdge;
+      else if (f == "skip-release")
+        opts.fault = verify::Fault::kSkipReleaseEdge;
+      else {
+        std::fprintf(stderr, "unknown fault '%s'\n", f.c_str());
+        return 2;
+      }
+    } else {
+      return usage();
+    }
+  }
+  if (opts.out_dir.empty()) opts.out_dir = ".";
+  opts.log = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
+  const auto res = verify::fuzz(opts);
+  std::printf("fuzz: %" PRIu64 " programs, %zu schedules, %zu detector "
+              "runs, %zu deadlocks, %zu divergences\n",
+              res.programs, res.traces, res.runs, res.deadlocks,
+              res.findings.size());
+  for (const auto& f : res.findings) {
+    std::printf("  seed %" PRIu64 " %s: %s\n", f.program_seed,
+                f.label.c_str(), f.detail.c_str());
+    std::printf("    minimized to %zu events%s%s\n", f.minimized.size(),
+                f.repro_path.empty() ? "" : " -> ",
+                f.repro_path.c_str());
+  }
+  if (opts.fault != verify::Fault::kNone)
+    std::printf("injected fault '%s' %s\n", verify::to_string(opts.fault),
+                res.findings.empty() ? "was NOT caught" : "caught");
+  return res.findings.empty() && res.deadlocks == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,5 +378,7 @@ int main(int argc, char** argv) {
   if (cmd == "replay") return cmd_replay(argc, argv);
   if (cmd == "analyze") return cmd_analyze(argc, argv);
   if (cmd == "diff") return cmd_diff(argc, argv);
+  if (cmd == "verify") return cmd_verify(argc, argv);
+  if (cmd == "fuzz") return cmd_fuzz(argc, argv);
   return usage();
 }

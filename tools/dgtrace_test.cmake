@@ -72,6 +72,65 @@ if(pos EQUAL -1)
 endif()
 file(REMOVE ${WORKDIR}/corrupt_ci.trace)
 
+# Differential verification smoke checks (docs/TESTING.md).
+#
+# 1. A freshly recorded real-workload trace must verify cleanly against
+#    the exact HB oracle across the whole detector/mode matrix.
+set(verify_trace ${WORKDIR}/verify_ci.trace)
+run(${DGTRACE} record hmmsearch ${verify_trace} 2 1 7)
+run_expect(${DGTRACE} verify ${verify_trace} EXPECT
+  "racy bytes per the exact HB oracle"
+  "checked against the oracle"
+  "verify: no divergence")
+file(REMOVE ${verify_trace})
+
+# 2. The verifier must reject corrupt input like every other subcommand.
+file(WRITE ${WORKDIR}/verify_corrupt_ci.trace "not a trace, not even close")
+execute_process(COMMAND ${DGTRACE} verify ${WORKDIR}/verify_corrupt_ci.trace
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "dgtrace verify accepted a corrupt trace")
+endif()
+file(REMOVE ${WORKDIR}/verify_corrupt_ci.trace)
+
+# 3. A known-racy corpus seed replays clean (the detectors report the race
+#    and the oracle agrees — divergence means a detector regressed).
+if(DEFINED CORPUS_DIR)
+  run_expect(${DGTRACE} verify ${CORPUS_DIR}/dyngran_dissolve.trace EXPECT
+    "4 racy bytes per the exact HB oracle" "verify: no divergence")
+  run_expect(${DGTRACE} verify ${CORPUS_DIR}/sharded_stripe.trace EXPECT
+    "8 racy bytes per the exact HB oracle" "verify: no divergence")
+endif()
+
+# 4. A small clean fuzz run exits 0 with zero divergences...
+run_expect(${DGTRACE} fuzz --seeds 3 --schedules 8 --out ${WORKDIR} EXPECT
+  "0 deadlocks, 0 divergences")
+
+# 5. ...and an injected detector bug makes fuzz exit nonzero, naming the
+#    fault and writing a minimized reproducer next to WORKDIR.
+execute_process(
+  COMMAND ${DGTRACE} fuzz --seeds 12 --schedules 12
+          --inject skip-join --out ${WORKDIR}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "injected skip-join fault was not caught:\n${out}")
+endif()
+string(FIND "${out}" "injected fault 'skip-join' caught" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "fuzz --inject output lacks the catch banner:\n${out}")
+endif()
+file(GLOB repros ${WORKDIR}/fuzz_seed*.trace)
+list(LENGTH repros n_repros)
+if(n_repros EQUAL 0)
+  message(FATAL_ERROR "fuzz --inject wrote no minimized reproducer")
+endif()
+# Each reproducer must itself be a loadable trace that verifies clean
+# without the fault (the bug was in the injector, not the detectors).
+foreach(repro IN LISTS repros)
+  run_expect(${DGTRACE} verify ${repro} EXPECT "verify: no divergence")
+  file(REMOVE ${repro})
+endforeach()
+
 # Smoke the runtime micro-benchmark: it must run, report parity across all
 # three event-path modes, and emit well-formed BENCH_runtime.json /
 # BENCH_shard.json snapshots for the perf trajectory.
