@@ -3,14 +3,33 @@
 // NDEBUG builds.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace dg::detail {
+
+/// Called after the diagnostic is printed but before abort(); lets the
+/// crash reporter (DESIGN.md §5.3) flush captured race reports when an
+/// assertion takes the process down. Must be async-signal-safe-ish: it
+/// runs on the failure path, possibly under arbitrary locks.
+using FatalHook = void (*)() noexcept;
+
+inline std::atomic<FatalHook>& fatal_hook_slot() noexcept {
+  static std::atomic<FatalHook> hook{nullptr};
+  return hook;
+}
+
+inline void set_fatal_hook(FatalHook h) noexcept {
+  fatal_hook_slot().store(h, std::memory_order_release);
+}
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
   std::fprintf(stderr, "dyngran: assertion failed: %s (%s:%d)%s%s\n", expr,
                file, line, msg ? " — " : "", msg ? msg : "");
+  if (FatalHook h = fatal_hook_slot().load(std::memory_order_acquire))
+    h();
   std::abort();
 }
 }  // namespace dg::detail

@@ -26,6 +26,7 @@
 #include "common/memtrack.hpp"
 #include "common/shard_map.hpp"
 #include "common/types.hpp"
+#include "govern/governor.hpp"
 #include "report/report_sink.hpp"
 #include "report/stats.hpp"
 
@@ -177,6 +178,35 @@ class Detector : public SyncEventSink, public AccessEventSink {
     on_batch(events, n);
   }
 
+  /// Non-blocking variant for the runtime's backpressure path (DESIGN.md
+  /// §5.3): deliver the shard batch only if the needed locks are free.
+  /// Returns false *without delivering anything* otherwise. The default
+  /// (non-concurrent detectors hold no internal locks) always delivers.
+  virtual bool try_on_batch_shard(std::uint32_t shard,
+                                  const BatchedEvent* events, std::size_t n) {
+    on_batch_shard(shard, events, n);
+    return true;
+  }
+
+  // -- overload governor (DESIGN.md §5.3) -------------------------------
+
+  /// Attach a pressure governor (nullptr detaches; the default). With no
+  /// governor every governed path is a no-op and behaviour is identical to
+  /// an ungoverned build. Virtual so decorators can forward to the wrapped
+  /// detector.
+  virtual void set_governor(govern::Governor* g) noexcept { governor_ = g; }
+  govern::Governor* governor() const noexcept { return governor_; }
+
+  /// Shed reclaimable precision state (demote shared read histories back
+  /// to epochs, evict cold shadow blocks). Called at sync points — never
+  /// on the access path — when the governor requests it. Returns the
+  /// number of accounted bytes released. Detectors without reclaimable
+  /// state keep the default no-op.
+  virtual std::size_t trim(govern::PressureLevel level) {
+    (void)level;
+    return 0;
+  }
+
   // Virtual so decorators (e.g. SamplingDetector) can expose the wrapped
   // detector's reports/statistics as their own.
   virtual ReportSink& sink() noexcept { return sink_; }
@@ -193,9 +223,35 @@ class Detector : public SyncEventSink, public AccessEventSink {
   }
 
  protected:
+  /// Gate one access through the governor. False means the Orange/Red
+  /// sampling window shed it; the caller skips analysis (counted).
+  bool governed_admit() noexcept {
+    if (governor_ == nullptr || governor_->admit()) return true;
+    stats_.governed_skipped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// True at Red: do not fault in new shadow cells (callers count each
+  /// skip in stats_.suppressed_checks).
+  bool suppress_allocation() const noexcept {
+    return governor_ != nullptr && governor_->suppress_allocation();
+  }
+
+  /// Honour a pending trim request. Call only from contexts that may
+  /// mutate shadow state exclusively (sync events; any point for
+  /// single-threaded detectors).
+  void service_governor() {
+    if (governor_ == nullptr || !governor_->take_trim_request()) return;
+    const std::size_t shed = trim(governor_->level());
+    stats_.trims.fetch_add(1, std::memory_order_relaxed);
+    stats_.shed_bytes.fetch_add(shed, std::memory_order_relaxed);
+    governor_->note_shed(shed);
+  }
+
   ReportSink sink_;
   DetectorStats stats_;
   MemoryAccountant acct_;
+  govern::Governor* governor_ = nullptr;
 };
 
 /// Shared helper: per-thread current-site labels.

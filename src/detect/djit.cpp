@@ -38,10 +38,17 @@ void DjitDetector::on_thread_start(ThreadId t, ThreadId parent) {
 
 void DjitDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
   hb_.on_thread_join(joiner, joined);
+  service_governor();
 }
 
-void DjitDetector::on_acquire(ThreadId t, SyncId s) { hb_.on_acquire(t, s); }
-void DjitDetector::on_release(ThreadId t, SyncId s) { hb_.on_release(t, s); }
+void DjitDetector::on_acquire(ThreadId t, SyncId s) {
+  hb_.on_acquire(t, s);
+  service_governor();
+}
+void DjitDetector::on_release(ThreadId t, SyncId s) {
+  hb_.on_release(t, s);
+  service_governor();
+}
 
 void DjitDetector::on_read(ThreadId t, Addr addr, std::uint32_t size) {
   access(t, addr, size, AccessType::kRead);
@@ -52,6 +59,7 @@ void DjitDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
 
 void DjitDetector::access(ThreadId t, Addr addr, std::uint32_t size,
                           AccessType type) {
+  if (!governed_admit()) return;  // Orange/Red sampling gate (§5.3)
   ++stats_.shared_accesses;
   DG_DCHECK(t < bitmaps_.size() && bitmaps_[t] != nullptr);
   if (bitmaps_[t]->test_and_set(addr, size, type, hb_.epoch_serial(t))) {
@@ -60,16 +68,9 @@ void DjitDetector::access(ThreadId t, Addr addr, std::uint32_t size,
   }
   const VectorClock& now = hb_.clock(t);
   const ClockVal own = now.get(t);
-  table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
-                                   DjCell*& cell) {
-    if (cell == nullptr) {
-      cell = make_cell();
-      table_.note_fill(base);
-      stats_.location_mapped();
-    }
-    DjCell& c = *cell;
-    // Write-X checks: a prior write unknown to this thread races with any
-    // access; a prior read unknown to this thread races with a write.
+  // Write-X checks: a prior write unknown to this thread races with any
+  // access; a prior read unknown to this thread races with a write.
+  const auto analyze = [&](Addr base, std::uint32_t width, DjCell& c) {
     if (!c.racy) {
       ThreadId j = c.writes.first_exceeding(now);
       if (j != kInvalidThread) {
@@ -88,6 +89,32 @@ void DjitDetector::access(ThreadId t, Addr addr, std::uint32_t size,
     hist.set(t, own);
     if (hist.heap_bytes() > before)
       acct_.add(MemCategory::kVectorClock, hist.heap_bytes() - before);
+  };
+  if (suppress_allocation()) {
+    // Red (§5.3): probe-only — analyze shadow that already exists, never
+    // fault in blocks or cells; uncovered bytes count as a suppressed
+    // check.
+    std::uint32_t covered = 0;
+    table_.for_range_existing(
+        addr, size, [&](Addr base, std::uint32_t width, DjCell*& cell) {
+          if (cell == nullptr) return;  // empty slot: still no shadow
+          const Addr lo = std::max(base, addr);
+          const Addr hi = std::min<Addr>(base + width, addr + size);
+          covered += static_cast<std::uint32_t>(hi - lo);
+          analyze(base, width, *cell);
+        });
+    if (covered < size)
+      stats_.suppressed_checks.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
+                                   DjCell*& cell) {
+    if (cell == nullptr) {
+      cell = make_cell();
+      table_.note_fill(base);
+      stats_.location_mapped();
+    }
+    analyze(base, width, *cell);
   });
 }
 
@@ -122,6 +149,20 @@ void DjitDetector::report(ThreadId t, Addr base, std::uint32_t width,
   r.previous_clock = prev_clock;
   r.current_site = sites_.get(t);
   sink_.report(r);
+}
+
+std::size_t DjitDetector::trim(govern::PressureLevel level) {
+  (void)level;
+  const std::size_t before = acct_.current_total();
+  table_.evict_cold([&](Addr, std::uint32_t, DjCell*& cell) {
+    if (cell != nullptr) {
+      drop_cell(cell);
+      cell = nullptr;
+    }
+  });
+  table_.advance_generation();
+  const std::size_t after = acct_.current_total();
+  return before > after ? before - after : 0;
 }
 
 void DjitDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {

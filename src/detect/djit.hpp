@@ -41,6 +41,11 @@ class DjitDetector final : public Detector {
     return t < hb_.num_threads() ? hb_.epoch_serial(t) : kNoSameEpochSerial;
   }
 
+  /// Overload-governor trim (DESIGN.md §5.3): evict cold shadow blocks.
+  /// DJIT+ keeps full per-location VCs whose inline storage cannot shrink
+  /// in place, so whole-block eviction is the effective lever here.
+  std::size_t trim(govern::PressureLevel level) override;
+
  private:
   struct DjCell {
     VectorClock reads;   // R_x: per-thread clock of last read

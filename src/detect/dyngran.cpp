@@ -1,6 +1,7 @@
 #include "detect/dyngran.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace dg {
 
@@ -44,18 +45,21 @@ void DynGranDetector::on_thread_start(ThreadId t, ThreadId parent) {
 void DynGranDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
   auto lk = lock_sync_exclusive();
   hb_.on_thread_join(joiner, joined);
+  service_governor();
 }
 
 void DynGranDetector::on_acquire(ThreadId t, SyncId s) {
   auto lk = lock_sync_exclusive();
   hb_.on_acquire(t, s);
   if (elision_ != nullptr) elision_->on_acquire(t, s);
+  service_governor();
 }
 
 void DynGranDetector::on_release(ThreadId t, SyncId s) {
   auto lk = lock_sync_exclusive();
   hb_.on_release(t, s);
   if (elision_ != nullptr) elision_->on_release(t, s);
+  service_governor();
 }
 
 EpochBitmap& DynGranDetector::bitmap(ThreadId t) {
@@ -102,6 +106,7 @@ void DynGranDetector::access(ThreadId t, Addr addr, std::uint32_t size,
 // span-wide same-epoch marking.
 void DynGranDetector::access_impl(ThreadId t, Addr addr, std::uint32_t size,
                                   AccessType type, std::uint32_t shard) {
+  if (!governed_admit()) return;  // Orange/Red sampling gate (§5.3)
   ++stats_.shared_accesses;
   if (elision_ != nullptr) {
     auto elide_lk = concurrent_ ? std::unique_lock<std::mutex>(elision_mu_)
@@ -130,6 +135,25 @@ void DynGranDetector::access_impl(ThreadId t, Addr addr, std::uint32_t size,
   if (bitmap(t).test_and_set(addr, size, type, hb_.epoch_serial(t))) {
     ++stats_.same_epoch_hits;
     return;
+  }
+  if (suppress_allocation()) {
+    // Red (§5.3): a piece that would mint any new own-plane node is
+    // suppressed wholesale rather than analyzed against partial shadow —
+    // a half-covered pass could fuse nodes across a gap the evicted cells
+    // used to separate.
+    std::uint32_t covered = 0;
+    table_.for_range_existing(
+        addr, size, [&](Addr base, std::uint32_t width, DgCell& cell) {
+          if (plane(cell, type) != nullptr) {
+            const Addr lo = std::max(base, addr);
+            const Addr hi = std::min<Addr>(base + width, addr + size);
+            covered += static_cast<std::uint32_t>(hi - lo);
+          }
+        });
+    if (covered < size) {
+      stats_.suppressed_checks.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
   const Epoch cur = hb_.epoch(t);
   const VectorClock& now = hb_.clock(t);
@@ -709,6 +733,27 @@ void DynGranDetector::on_batch_shard(std::uint32_t shard,
   // every access here is confined to `shard`.
   std::shared_lock<std::shared_mutex> sync(sync_mu_);
   std::lock_guard<std::mutex> lk(table_.shard_mutex(shard));
+  deliver_shard_batch(shard, events, n);
+}
+
+bool DynGranDetector::try_on_batch_shard(std::uint32_t shard,
+                                         const BatchedEvent* events,
+                                         std::size_t n) {
+  if (!concurrent_) {
+    on_batch(events, n);
+    return true;
+  }
+  std::shared_lock<std::shared_mutex> sync(sync_mu_, std::try_to_lock);
+  if (!sync.owns_lock()) return false;
+  std::unique_lock<std::mutex> lk(table_.shard_mutex(shard), std::try_to_lock);
+  if (!lk.owns_lock()) return false;
+  deliver_shard_batch(shard, events, n);
+  return true;
+}
+
+void DynGranDetector::deliver_shard_batch(std::uint32_t shard,
+                                          const BatchedEvent* events,
+                                          std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     const BatchedEvent& e = events[i];
     switch (e.kind) {
@@ -738,6 +783,41 @@ void DynGranDetector::on_batch_shard(std::uint32_t shard,
         break;
     }
   }
+}
+
+std::size_t DynGranDetector::trim(govern::PressureLevel level) {
+  (void)level;
+  const std::size_t before = acct_.current_total();
+  // Pass 1: collapse read-shared node clocks back to a representative
+  // epoch. A node is reachable from every cell it spans, so dedupe with a
+  // visited set. Losing reader history can only miss races, never invent
+  // them (collapse_to_epoch keeps the maximal reader as witness).
+  std::unordered_set<const VCNode*> seen;
+  table_.for_each([&](Addr, std::uint32_t, DgCell& cell) {
+    VCNode* rn = cell.read;
+    if (rn != nullptr && rn->read.is_shared() && seen.insert(rn).second) {
+      rn->read.collapse_to_epoch(acct_);
+      stats_.vc_destroyed();
+    }
+  });
+  // Pass 2: evict blocks untouched since the previous trim. Dropping a
+  // cell from inside a node's span leaves a hole, so surviving spanning
+  // nodes are marked carved — mark_span_same_epoch must not pre-mark the
+  // evicted range as same-epoch (its history is gone).
+  table_.evict_cold([&](Addr, std::uint32_t width, DgCell& cell) {
+    if (cell.read != nullptr) {
+      if (cell.read->refs > width) cell.read->carved = true;
+      detach(cell.read, width);
+    }
+    if (cell.write != nullptr) {
+      if (cell.write->refs > width) cell.write->carved = true;
+      detach(cell.write, width);
+    }
+    cell = DgCell{};
+  });
+  table_.advance_generation();
+  const std::size_t after = acct_.current_total();
+  return before > after ? before - after : 0;
 }
 
 DynGranDetector::NodeView DynGranDetector::inspect(Addr addr,

@@ -127,6 +127,14 @@ class DynGranDetector final : public Detector {
   void set_concurrent_delivery(bool on) override { concurrent_ = on; }
   void on_batch_shard(std::uint32_t shard, const BatchedEvent* events,
                       std::size_t n) override;
+  bool try_on_batch_shard(std::uint32_t shard, const BatchedEvent* events,
+                          std::size_t n) override;
+
+  /// Overload-governor trim (DESIGN.md §5.3): collapse read-shared node
+  /// clocks to representative epochs, then evict cold shadow blocks.
+  /// Evicting cells from inside a node's span marks the survivors carved,
+  /// so span pre-marking stays sound.
+  std::size_t trim(govern::PressureLevel level) override;
 
   /// Attach an ahead-of-time check-elision map (docs/ANALYZER.md): accesses
   /// conforming to their range's class skip all shadow/VC work. Not owned;
@@ -215,6 +223,10 @@ class DynGranDetector final : public Detector {
   /// and `shard`'s mutex when concurrent delivery is on.
   void access_impl(ThreadId t, Addr addr, std::uint32_t size, AccessType type,
                    std::uint32_t shard);
+  /// Shared body of on_batch_shard/try_on_batch_shard; caller holds both
+  /// domain locks when concurrent delivery is on.
+  void deliver_shard_batch(std::uint32_t shard, const BatchedEvent* events,
+                           std::size_t n);
   VCNode* new_node(AccessType type, Epoch creation, Addr lo, Addr hi);
   void destroy_node(VCNode* n);
   void attach(VCNode* n, std::uint32_t width);

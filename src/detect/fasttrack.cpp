@@ -48,18 +48,21 @@ void FastTrackDetector::on_thread_start(ThreadId t, ThreadId parent) {
 void FastTrackDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
   auto lk = lock_sync_exclusive();
   hb_.on_thread_join(joiner, joined);
+  service_governor();
 }
 
 void FastTrackDetector::on_acquire(ThreadId t, SyncId s) {
   auto lk = lock_sync_exclusive();
   hb_.on_acquire(t, s);
   if (elision_ != nullptr) elision_->on_acquire(t, s);
+  service_governor();
 }
 
 void FastTrackDetector::on_release(ThreadId t, SyncId s) {
   auto lk = lock_sync_exclusive();
   hb_.on_release(t, s);
   if (elision_ != nullptr) elision_->on_release(t, s);
+  service_governor();
 }
 
 EpochBitmap& FastTrackDetector::bitmap(ThreadId t) {
@@ -110,6 +113,7 @@ void FastTrackDetector::access(ThreadId t, Addr addr, std::uint32_t size,
 
 void FastTrackDetector::access_impl(ThreadId t, Addr addr, std::uint32_t size,
                                     AccessType type) {
+  if (!governed_admit()) return;  // Orange/Red sampling gate (§5.3)
   ++stats_.shared_accesses;
   if (elision_ != nullptr) {
     auto elide_lk = concurrent_ ? std::unique_lock<std::mutex>(elision_mu_)
@@ -147,6 +151,26 @@ void FastTrackDetector::access_impl(ThreadId t, Addr addr, std::uint32_t size,
   // write of a location per epoch need processing.
   if (bitmap(t).test_and_set(addr, size, type, hb_.epoch_serial(t))) {
     ++stats_.same_epoch_hits;
+    return;
+  }
+  if (suppress_allocation()) {
+    // Red (§5.3): probe-only. for_range would fault in the containing
+    // block before the per-cell hook could refuse, so walk only shadow
+    // that already exists; bytes with no cell count as a suppressed check.
+    std::uint32_t covered = 0;
+    table_.for_range_existing(
+        addr, size, [&](Addr base, std::uint32_t width, FtCell*& cell) {
+          if (cell == nullptr) return;  // empty slot: still no shadow
+          const Addr lo = std::max(base, addr);
+          const Addr hi = std::min<Addr>(base + width, addr + size);
+          covered += static_cast<std::uint32_t>(hi - lo);
+          if (type == AccessType::kRead)
+            check_read(t, base, width, *cell);
+          else
+            check_write(t, base, width, *cell);
+        });
+    if (covered < size)
+      stats_.suppressed_checks.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
@@ -271,6 +295,30 @@ void FastTrackDetector::on_batch_shard(std::uint32_t shard,
   // sub-batch; the runtime already split events at stripe boundaries.
   std::shared_lock<std::shared_mutex> sync(sync_mu_);
   std::lock_guard<std::mutex> lk(table_.shard_mutex(shard));
+  deliver_shard_batch(shard, events, n);
+}
+
+bool FastTrackDetector::try_on_batch_shard(std::uint32_t shard,
+                                           const BatchedEvent* events,
+                                           std::size_t n) {
+  if (!concurrent_) {
+    on_batch(events, n);
+    return true;
+  }
+  // Backpressure path (DESIGN.md §5.3): deliver only if both locks are
+  // free right now, so a producer probing a stalled drain never blocks.
+  std::shared_lock<std::shared_mutex> sync(sync_mu_, std::try_to_lock);
+  if (!sync.owns_lock()) return false;
+  std::unique_lock<std::mutex> lk(table_.shard_mutex(shard),
+                                  std::try_to_lock);
+  if (!lk.owns_lock()) return false;
+  deliver_shard_batch(shard, events, n);
+  return true;
+}
+
+void FastTrackDetector::deliver_shard_batch(
+    [[maybe_unused]] std::uint32_t shard, const BatchedEvent* events,
+    std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     const BatchedEvent& e = events[i];
     switch (e.kind) {
@@ -293,6 +341,31 @@ void FastTrackDetector::on_batch_shard(std::uint32_t shard,
         break;
     }
   }
+}
+
+std::size_t FastTrackDetector::trim(govern::PressureLevel level) {
+  // Runs from service_governor() inside a sync-exclusive section (or a
+  // single-threaded delivery), so whole-domain shadow walks are safe.
+  (void)level;
+  const std::size_t before = acct_.current_total();
+  // 1) Demote read-shared histories back to a representative epoch.
+  table_.for_each([&](Addr, std::uint32_t, FtCell*& cell) {
+    if (cell != nullptr && cell->read.is_shared()) {
+      cell->read.collapse_to_epoch(acct_);
+      stats_.vc_destroyed();
+    }
+  });
+  // 2) Evict blocks untouched since the previous trim, then open a fresh
+  // generation so the next trim sees what stayed cold.
+  table_.evict_cold([&](Addr, std::uint32_t, FtCell*& cell) {
+    if (cell != nullptr) {
+      drop_cell(cell);
+      cell = nullptr;
+    }
+  });
+  table_.advance_generation();
+  const std::size_t after = acct_.current_total();
+  return before > after ? before - after : 0;
 }
 
 void FastTrackDetector::release_range(Addr addr, std::uint64_t size) {

@@ -75,6 +75,12 @@ class FastTrackDetector final : public Detector {
   void set_concurrent_delivery(bool on) override { concurrent_ = on; }
   void on_batch_shard(std::uint32_t shard, const BatchedEvent* events,
                       std::size_t n) override;
+  bool try_on_batch_shard(std::uint32_t shard, const BatchedEvent* events,
+                          std::size_t n) override;
+
+  /// Overload-governor trim (DESIGN.md §5.3): collapse read-shared
+  /// histories to representative epochs and evict cold shadow blocks.
+  std::size_t trim(govern::PressureLevel level) override;
 
   /// Attach an ahead-of-time check-elision map (docs/ANALYZER.md): accesses
   /// conforming to their range's class skip all shadow/VC work. Not owned;
@@ -119,6 +125,8 @@ class FastTrackDetector final : public Detector {
   FtCell* make_cell();
   void drop_cell(FtCell* c);
   void release_range(Addr addr, std::uint64_t size);
+  void deliver_shard_batch(std::uint32_t shard, const BatchedEvent* events,
+                           std::size_t n);
   EpochBitmap& bitmap(ThreadId t);
 
   Granularity gran_;

@@ -42,16 +42,19 @@ void HybridDetector::on_thread_start(ThreadId t, ThreadId parent) {
 
 void HybridDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
   hb_.on_thread_join(joiner, joined);
+  service_governor();
 }
 
 void HybridDetector::on_acquire(ThreadId t, SyncId s) {
   hb_.on_acquire(t, s);
   held_[t].acquire(s);
+  service_governor();
 }
 
 void HybridDetector::on_release(ThreadId t, SyncId s) {
   hb_.on_release(t, s);
   held_[t].release(s);
+  service_governor();
 }
 
 void HybridDetector::on_read(ThreadId t, Addr addr, std::uint32_t size) {
@@ -64,6 +67,7 @@ void HybridDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
 
 void HybridDetector::access(ThreadId t, Addr addr, std::uint32_t size,
                             AccessType type) {
+  if (!governed_admit()) return;  // Orange/Red sampling gate (§5.3)
   ++stats_.shared_accesses;
   // Note: the same-epoch filter is sound for the happens-before side but
   // could starve the lockset side of intersections; like TSan, the filter
@@ -76,16 +80,7 @@ void HybridDetector::access(ThreadId t, Addr addr, std::uint32_t size,
   const Epoch cur = hb_.epoch(t);
   const LocksetId held = held_[t].id(pool_);
 
-  table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
-                                   HyCell*& cell) {
-    if (cell == nullptr) {
-      cell = make_cell();
-      cell->lockset = held;
-      table_.note_fill(base);
-      stats_.location_mapped();
-    }
-    HyCell& c = *cell;
-
+  const auto analyze = [&](Addr base, std::uint32_t width, HyCell& c) {
     // ---- lockset side (potential races) --------------------------------
     if (type == AccessType::kWrite) {
       if (c.multi_writer) {
@@ -148,6 +143,33 @@ void HybridDetector::access(ThreadId t, Addr addr, std::uint32_t size,
       }
       c.write = cur;
     }
+  };
+  if (suppress_allocation()) {
+    // Red (§5.3): probe-only — analyze shadow that already exists, never
+    // fault in blocks or cells; uncovered bytes count as a suppressed
+    // check.
+    std::uint32_t covered = 0;
+    table_.for_range_existing(
+        addr, size, [&](Addr base, std::uint32_t width, HyCell*& cell) {
+          if (cell == nullptr) return;  // empty slot: still no shadow
+          const Addr lo = std::max(base, addr);
+          const Addr hi = std::min<Addr>(base + width, addr + size);
+          covered += static_cast<std::uint32_t>(hi - lo);
+          analyze(base, width, *cell);
+        });
+    if (covered < size)
+      stats_.suppressed_checks.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  table_.for_range(addr, size, [&](Addr base, std::uint32_t width,
+                                   HyCell*& cell) {
+    if (cell == nullptr) {
+      cell = make_cell();
+      cell->lockset = held;
+      table_.note_fill(base);
+      stats_.location_mapped();
+    }
+    analyze(base, width, *cell);
   });
 }
 
@@ -183,6 +205,26 @@ void HybridDetector::report(ThreadId t, Addr base, std::uint32_t width,
   r.current_site = sites_.get(t);
   if (potential) r.previous_site = "(potential: empty lockset)";
   sink_.report(r);
+}
+
+std::size_t HybridDetector::trim(govern::PressureLevel level) {
+  (void)level;
+  const std::size_t before = acct_.current_total();
+  table_.for_each([&](Addr, std::uint32_t, HyCell*& cell) {
+    if (cell != nullptr && cell->read.is_shared()) {
+      cell->read.collapse_to_epoch(acct_);
+      stats_.vc_destroyed();
+    }
+  });
+  table_.evict_cold([&](Addr, std::uint32_t, HyCell*& cell) {
+    if (cell != nullptr) {
+      drop_cell(cell);
+      cell = nullptr;
+    }
+  });
+  table_.advance_generation();
+  const std::size_t after = acct_.current_total();
+  return before > after ? before - after : 0;
 }
 
 void HybridDetector::on_free(ThreadId, Addr addr, std::uint64_t size) {

@@ -65,6 +65,10 @@ class HybridDetector final : public Detector {
   /// interleavings) — the hybrid mode's added coverage.
   std::uint64_t potential_races() const noexcept { return potential_; }
 
+  /// Overload-governor trim (DESIGN.md §5.3): collapse read-shared
+  /// histories to representative epochs and evict cold shadow blocks.
+  std::size_t trim(govern::PressureLevel level) override;
+
  private:
   struct HyCell {
     Epoch write;

@@ -77,6 +77,15 @@ class SamplingDetector final : public Detector {
     return inner_->accountant();
   }
 
+  // Governor plumbing is the wrapped detector's too: its accountant holds
+  // the shadow state, so it must see the pressure signals (§5.3).
+  void set_governor(govern::Governor* g) noexcept override {
+    inner_->set_governor(g);
+  }
+  std::size_t trim(govern::PressureLevel level) override {
+    return inner_->trim(level);
+  }
+
   std::uint64_t total_accesses() const noexcept { return total_; }
   std::uint64_t sampled_accesses() const noexcept { return sampled_; }
   double effective_rate() const noexcept {

@@ -1,0 +1,86 @@
+#include "govern/governor.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dg::govern {
+
+GovernorConfig config_from_env() {
+  GovernorConfig cfg;
+  const char* v = std::getenv("DYNGRAN_MEM_BUDGET");
+  if (v == nullptr || *v == '\0') return cfg;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v) return cfg;  // not a number: stay disabled
+  std::size_t bytes = static_cast<std::size_t>(n);
+  if (end != nullptr) {
+    switch (*end) {
+      case 'k': case 'K': bytes <<= 10; break;
+      case 'm': case 'M': bytes <<= 20; break;
+      case 'g': case 'G': bytes <<= 30; break;
+      default: break;
+    }
+  }
+  cfg.mem_budget_bytes = bytes;
+  return cfg;
+}
+
+// Stateless per-window sampling coin: SplitMix64 of (seed + window) mapped
+// to [0,1). Deterministic for a given seed, no shared sampler state.
+bool Governor::coin(std::uint64_t seed, std::uint64_t window,
+                    double rate) noexcept {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (window + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double u =
+      static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+  return u < rate;
+}
+
+void Governor::poll(std::uint64_t at_access) {
+  const std::size_t bytes = acct_->current_total();
+  const double f = static_cast<double>(bytes) /
+                   static_cast<double>(cfg_.mem_budget_bytes);
+
+  const PressureLevel cur = level();
+  PressureLevel up = PressureLevel::kGreen;
+  if (f >= cfg_.red_frac) {
+    up = PressureLevel::kRed;
+  } else if (f >= cfg_.orange_frac) {
+    up = PressureLevel::kOrange;
+  } else if (f >= cfg_.yellow_frac) {
+    up = PressureLevel::kYellow;
+  }
+
+  PressureLevel next = cur;
+  if (up > cur) {
+    next = up;
+  } else if (up < cur) {
+    // Descend only once the fraction clears the hysteresis band below the
+    // current level's entry threshold, so the ladder does not flap.
+    PressureLevel down = PressureLevel::kGreen;
+    if (f >= cfg_.red_frac - cfg_.hysteresis) {
+      down = PressureLevel::kRed;
+    } else if (f >= cfg_.orange_frac - cfg_.hysteresis) {
+      down = PressureLevel::kOrange;
+    } else if (f >= cfg_.yellow_frac - cfg_.hysteresis) {
+      down = PressureLevel::kYellow;
+    }
+    if (down < cur) next = down;
+  }
+
+  if (next != cur) {
+    level_.store(static_cast<std::uint8_t>(next), std::memory_order_relaxed);
+    transitions_.fetch_add(1, std::memory_order_relaxed);
+    std::scoped_lock lk(log_mu_);
+    log_.push_back(GovernorTransition{cur, next, bytes, at_access});
+  }
+  // Keep requesting trims while under pressure: one shed at the moment of
+  // transition is rarely enough, and detectors only honour the request at
+  // sync points anyway.
+  if (next >= PressureLevel::kYellow)
+    trim_needed_.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace dg::govern

@@ -1,0 +1,152 @@
+// Governor — drives the pressure ladder (pressure.hpp) from a memory
+// budget (DESIGN.md §5.3).
+//
+// The governor owns no detector state. It polls MemoryAccountant totals
+// every cfg.poll_interval governed accesses, maps the budget fraction onto
+// the ladder (with downward hysteresis so the level does not flap around a
+// threshold), and exposes three cheap queries the detectors consult:
+//
+//   admit()               — false when the Orange/Red sampling gate drops
+//                           this access window. Lock-free; safe from
+//                           concurrent shards.
+//   suppress_allocation() — true at Red: do not fault in new shadow cells.
+//   take_trim_request()   — one-shot flag set while at Yellow or above;
+//                           detectors call trim() at their next sync point
+//                           (never on the access path, where shard locks
+//                           are held shared).
+//
+// The Orange gate reuses the PACER-style windowing of the §VI
+// SamplingDetector policy machinery, but with a stateless per-window coin
+// (SplitMix64 hash of the window ordinal) so concurrent shards need no
+// shared mutable sampler state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/memtrack.hpp"
+#include "govern/pressure.hpp"
+
+namespace dg::govern {
+
+struct GovernorConfig {
+  /// Detector-memory budget in bytes; 0 disables the governor entirely
+  /// (every query degenerates to full fidelity, no counters move).
+  std::size_t mem_budget_bytes = 0;
+
+  // Ladder thresholds as fractions of the budget. Entered when the
+  // accountant total reaches frac*budget; left (downward) only below
+  // (frac - hysteresis)*budget.
+  double yellow_frac = 0.70;
+  double orange_frac = 0.85;
+  double red_frac = 0.95;
+  double hysteresis = 0.10;
+
+  /// Fraction of sample windows analysed at Orange (Red keeps the same
+  /// windowing but quarters the rate — allocation suppression is the real
+  /// brake there).
+  double orange_sample_rate = 0.10;
+
+  /// Accesses per sampling window (mirrors SamplingConfig::window_length).
+  std::uint64_t sample_window = 4096;
+
+  /// Governed accesses between accountant polls.
+  std::uint64_t poll_interval = 256;
+
+  /// Seed for the per-window sampling coin.
+  std::uint64_t seed = 0x5a17;
+};
+
+/// Reads DYNGRAN_MEM_BUDGET (bytes; optional k/m/g suffix) into a config.
+/// Unset/invalid/zero leaves the governor disabled.
+GovernorConfig config_from_env();
+
+class Governor {
+ public:
+  Governor(MemoryAccountant& acct, GovernorConfig cfg)
+      : acct_(&acct), cfg_(cfg) {}
+
+  Governor(const Governor&) = delete;
+  Governor& operator=(const Governor&) = delete;
+
+  bool enabled() const noexcept { return cfg_.mem_budget_bytes != 0; }
+  const GovernorConfig& config() const noexcept { return cfg_; }
+
+  PressureLevel level() const noexcept {
+    return static_cast<PressureLevel>(level_.load(std::memory_order_relaxed));
+  }
+
+  /// Count one governed access, polling the accountant on schedule.
+  /// Returns false when the Orange/Red sampling gate sheds this access.
+  bool admit() noexcept {
+    if (!enabled()) return true;
+    const std::uint64_t n =
+        accesses_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % cfg_.poll_interval == 0) poll(n);
+    const PressureLevel lvl = level();
+    if (lvl < PressureLevel::kOrange) return true;
+    const double rate = lvl == PressureLevel::kOrange
+                            ? cfg_.orange_sample_rate
+                            : cfg_.orange_sample_rate / 4.0;
+    return window_sampled(n / cfg_.sample_window, rate);
+  }
+
+  /// True at Red: detectors must not fault in new shadow cells.
+  bool suppress_allocation() const noexcept {
+    return enabled() && level() == PressureLevel::kRed;
+  }
+
+  /// One-shot: true if a trim has been requested since the last take.
+  bool take_trim_request() noexcept {
+    return enabled() && trim_needed_.exchange(false, std::memory_order_relaxed);
+  }
+
+  /// Detectors report how many bytes a trim() actually released.
+  void note_shed(std::size_t bytes) noexcept {
+    shed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Re-evaluate the ladder immediately (tests, sync-point servicing).
+  void poll_now() {
+    if (enabled()) poll(accesses_.load(std::memory_order_relaxed));
+  }
+
+  std::uint64_t transitions() const noexcept {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_bytes() const noexcept {
+    return shed_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t governed_accesses() const noexcept {
+    return accesses_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the transition log (copy; safe while governed).
+  std::vector<GovernorTransition> transition_log() const {
+    std::scoped_lock lk(log_mu_);
+    return log_;
+  }
+
+ private:
+  void poll(std::uint64_t at_access);
+  static bool coin(std::uint64_t seed, std::uint64_t window,
+                   double rate) noexcept;
+  bool window_sampled(std::uint64_t window, double rate) const noexcept {
+    return coin(cfg_.seed, window, rate);
+  }
+
+  MemoryAccountant* acct_;
+  GovernorConfig cfg_;
+  std::atomic<std::uint8_t> level_{
+      static_cast<std::uint8_t>(PressureLevel::kGreen)};
+  std::atomic<std::uint64_t> accesses_{0};
+  std::atomic<bool> trim_needed_{false};
+  std::atomic<std::uint64_t> transitions_{0};
+  std::atomic<std::uint64_t> shed_bytes_{0};
+  mutable std::mutex log_mu_;
+  std::vector<GovernorTransition> log_;
+};
+
+}  // namespace dg::govern

@@ -1,0 +1,51 @@
+// Pressure ladder for the overload governor (DESIGN.md §5.3).
+//
+// Four levels, each trading a little more fidelity for survival under a
+// memory budget:
+//
+//   kGreen  — full fidelity; the governor is observing only.
+//   kYellow — detectors shed cold state via Detector::trim(): shared read
+//             vector clocks demote back to epochs, cold shadow blocks are
+//             evicted (dyngran additionally re-coarsens: evicted ranges
+//             re-share on their next fill).
+//   kOrange — accesses are additionally routed through the §VI sampling
+//             policy machinery at a governor-chosen rate; unsampled
+//             windows are dropped before analysis.
+//   kRed    — new shadow allocation is suppressed entirely; every check
+//             that would have faulted in a new cell is counted instead.
+//
+// Degradation is never silent: every transition, shed byte and suppressed
+// check is recorded (GovernorTransition log + DetectorStats counters) and
+// surfaced in the run summary. See docs/ROBUSTNESS.md.
+#pragma once
+
+#include <cstdint>
+
+namespace dg::govern {
+
+enum class PressureLevel : std::uint8_t {
+  kGreen = 0,
+  kYellow = 1,
+  kOrange = 2,
+  kRed = 3,
+};
+
+inline const char* to_string(PressureLevel l) noexcept {
+  switch (l) {
+    case PressureLevel::kGreen: return "green";
+    case PressureLevel::kYellow: return "yellow";
+    case PressureLevel::kOrange: return "orange";
+    case PressureLevel::kRed: return "red";
+  }
+  return "?";
+}
+
+/// One ladder transition, recorded at poll time.
+struct GovernorTransition {
+  PressureLevel from = PressureLevel::kGreen;
+  PressureLevel to = PressureLevel::kGreen;
+  std::uint64_t bytes = 0;      // accountant total that triggered it
+  std::uint64_t at_access = 0;  // governed-access ordinal of the poll
+};
+
+}  // namespace dg::govern

@@ -1,0 +1,134 @@
+#include "report/crash_flush.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/assert.hpp"
+
+namespace dg {
+
+namespace {
+
+// write(2) a whole buffer, tolerating short writes. Async-signal-safe.
+std::size_t write_all(int fd, const char* p, std::size_t n) noexcept {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, p + done, n - done);
+    if (w <= 0) break;
+    done += static_cast<std::size_t>(w);
+  }
+  return done;
+}
+
+// Decimal formatting without snprintf (not async-signal-safe).
+std::size_t format_u64(std::uint64_t v, char* out) noexcept {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void crash_signal_handler(int sig) {
+  CrashReporter::instance().emit(STDERR_FILENO);
+  // SA_RESETHAND restored the default disposition on entry; the signal is
+  // blocked until this handler returns, so the re-raise terminates the
+  // process with the original signal's default action and exit status.
+  ::raise(sig);
+}
+
+void crash_atexit_hook() {
+  // exit() without runtime teardown (e.g. a worker thread still running
+  // when main returns after an error path): surface what was found.
+  if (CrashReporter::instance().armed())
+    CrashReporter::instance().emit(STDERR_FILENO);
+}
+
+void crash_fatal_hook() noexcept {
+  CrashReporter::instance().emit(STDERR_FILENO);
+}
+
+}  // namespace
+
+CrashReporter& CrashReporter::instance() noexcept {
+  static CrashReporter inst;
+  return inst;
+}
+
+void CrashReporter::note(const RaceReport& r) {
+  const std::string line = r.str() + "\n";
+  count_.fetch_add(1, std::memory_order_relaxed);
+  while (write_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  const std::size_t at = committed_.load(std::memory_order_relaxed);
+  if (at + line.size() <= kBufBytes) {
+    std::memcpy(buf_ + at, line.data(), line.size());
+    // Publish only after the bytes are in place: a signal arriving between
+    // the memcpy and this store flushes the previous prefix, never a torn
+    // line.
+    committed_.store(at + line.size(), std::memory_order_release);
+  }
+  write_lock_.clear(std::memory_order_release);
+}
+
+void CrashReporter::arm() noexcept {
+  static bool installed = [] {
+    struct sigaction sa = {};
+    sa.sa_handler = &crash_signal_handler;
+    sa.sa_flags = SA_RESETHAND;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGSEGV, &sa, nullptr);
+    ::sigaction(SIGABRT, &sa, nullptr);
+    ::sigaction(SIGBUS, &sa, nullptr);
+    std::atexit(&crash_atexit_hook);
+    return true;
+  }();
+  (void)installed;
+  dg::detail::set_fatal_hook(&crash_fatal_hook);
+  armed_.store(true, std::memory_order_release);
+}
+
+void CrashReporter::disarm() noexcept {
+  armed_.store(false, std::memory_order_release);
+  dg::detail::set_fatal_hook(nullptr);
+}
+
+std::size_t CrashReporter::emit(int fd) noexcept {
+  if (!armed_.load(std::memory_order_acquire)) return 0;
+  if (emitted_.exchange(true, std::memory_order_acq_rel)) return 0;
+  const std::size_t n = committed_.load(std::memory_order_acquire);
+  const std::uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+
+  char header[96];
+  std::size_t h = 0;
+  static constexpr char kPrefix[] = "dyngran: crash-flush: ";
+  std::memcpy(header + h, kPrefix, sizeof(kPrefix) - 1);
+  h += sizeof(kPrefix) - 1;
+  h += format_u64(total, header + h);
+  static constexpr char kSuffix[] =
+      " race report(s) captured before abnormal termination\n";
+  std::memcpy(header + h, kSuffix, sizeof(kSuffix) - 1);
+  h += sizeof(kSuffix) - 1;
+  write_all(fd, header, h);
+  return write_all(fd, buf_, n);
+}
+
+void CrashReporter::reset_for_test() noexcept {
+  while (write_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  committed_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  emitted_.store(false, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_release);
+  write_lock_.clear(std::memory_order_release);
+}
+
+}  // namespace dg

@@ -1,0 +1,71 @@
+// CrashReporter — crash-safe publication of detected races (DESIGN.md
+// §5.3). A race found seconds before the host program SIGSEGVs must not
+// die with the process: every recorded report is pre-formatted into a
+// static buffer in normal context, and a fatal-signal/atexit hook flushes
+// that buffer with nothing but write(2) — the only primitives an
+// async-signal context may touch.
+//
+// Lifecycle: arm() installs the SIGSEGV/SIGABRT handlers, an atexit hook
+// and the DG_CHECK fatal hook; disarm() (normal runtime teardown) turns
+// them into no-ops so clean exits print nothing extra. emit() is latched:
+// whichever of the signal handler, the assert hook or the atexit hook
+// fires first wins, the rest are no-ops.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "report/race_report.hpp"
+
+namespace dg {
+
+class CrashReporter {
+ public:
+  static CrashReporter& instance() noexcept;
+
+  /// Pre-format `r` into the crash buffer (normal context only: allocates
+  /// while formatting). Bounded: once the buffer is full further reports
+  /// only bump the captured count.
+  void note(const RaceReport& r);
+
+  /// Install the fatal-signal handlers, the atexit hook and the DG_CHECK
+  /// fatal hook (each installed once per process) and mark the reporter
+  /// armed. Safe to call repeatedly.
+  void arm() noexcept;
+
+  /// Normal teardown: the hooks stay installed but become no-ops.
+  void disarm() noexcept;
+
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  /// Async-signal-safe flush of everything note() committed, via write(2)
+  /// only. Latched — the second and later calls write nothing. Returns the
+  /// number of payload bytes written.
+  std::size_t emit(int fd) noexcept;
+
+  std::size_t captured() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: clear the buffer, the emit latch and the armed flag so one
+  /// process can run several independent crash-capture scenarios.
+  void reset_for_test() noexcept;
+
+ private:
+  CrashReporter() = default;
+
+  static constexpr std::size_t kBufBytes = 64 * 1024;
+
+  char buf_[kBufBytes] = {};
+  /// Bytes of buf_ fully written; published with release so a handler that
+  /// interrupts a half-finished note() only sees committed reports.
+  std::atomic<std::size_t> committed_{0};
+  std::atomic<std::size_t> count_{0};
+  std::atomic_flag write_lock_ = ATOMIC_FLAG_INIT;
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> emitted_{false};
+};
+
+}  // namespace dg

@@ -13,10 +13,12 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
+#include "report/crash_flush.hpp"
 #include "report/race_report.hpp"
 
 namespace dg {
@@ -47,6 +49,13 @@ class ReportSink {
 
   /// Deliver a report. Returns true iff it was recorded as a new race
   /// location (not suppressed, not a repeat of the location's first race).
+  ///
+  /// Retention past max_kept is group-aware rather than
+  /// first-come-first-kept: reports are grouped by (current site, previous
+  /// site, 64-byte address bucket), and once the cap is hit a report from
+  /// a group with no kept representative evicts the newest kept report of
+  /// the most over-represented group. A burst of one racy memset can no
+  /// longer crowd every later distinct race out of the kept window.
   bool report(const RaceReport& r) {
     std::lock_guard<std::mutex> lk(mu_);
     if (is_suppressed(r)) {
@@ -56,7 +65,17 @@ class ReportSink {
     raw_.fetch_add(1, std::memory_order_relaxed);
     if (!locations_.insert(r.addr).second) return false;
     unique_.fetch_add(1, std::memory_order_relaxed);
-    if (reports_.size() < max_kept_) reports_.push_back(r);
+    const std::string key = group_key(r);
+    Group& g = groups_[key];
+    ++g.count;
+    if (reports_.size() < max_kept_) {
+      reports_.push_back(r);
+      kept_keys_.push_back(key);
+      ++g.kept;
+    } else if (g.kept == 0 && max_kept_ > 0) {
+      keep_by_eviction(r, key, g);
+    }
+    if (crash_capture_) CrashReporter::instance().note(r);
     if (on_report_) on_report_(r);
     return true;
   }
@@ -85,6 +104,22 @@ class ReportSink {
   /// concurrently (tests and benches read this after finish()).
   const std::vector<RaceReport>& reports() const noexcept { return reports_; }
 
+  /// Per-group recorded-report counts, keyed by "cur_site|prev_site|addr
+  /// bucket". Quiescent-state accessor, like reports().
+  std::vector<std::pair<std::string, std::uint64_t>> group_counts() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(groups_.size());
+    for (const auto& [k, g] : groups_) out.emplace_back(k, g.count);
+    return out;
+  }
+
+  /// Mirror every recorded report into the process-wide CrashReporter so a
+  /// fatal signal can still publish it (DESIGN.md §5.3). Opt-in: verify
+  /// harnesses run thousands of throwaway sinks that must not pollute the
+  /// crash buffer.
+  void enable_crash_capture() noexcept { crash_capture_ = true; }
+
   /// Optional live callback (examples print races as they happen).
   void set_on_report(std::function<void(const RaceReport&)> cb) {
     std::lock_guard<std::mutex> lk(mu_);
@@ -94,6 +129,8 @@ class ReportSink {
   void clear() {
     std::lock_guard<std::mutex> lk(mu_);
     reports_.clear();
+    kept_keys_.clear();
+    groups_.clear();
     locations_.clear();
     raw_ = unique_ = suppressed_ = 0;
   }
@@ -103,6 +140,45 @@ class ReportSink {
     Addr lo, hi;
     std::string label;
   };
+
+  struct Group {
+    std::uint64_t count = 0;  // recorded reports in this group
+    std::size_t kept = 0;     // of which currently kept in reports_
+  };
+
+  static std::string group_key(const RaceReport& r) {
+    std::string k = r.current_site;
+    k += '|';
+    k += r.previous_site;
+    k += '|';
+    k += std::to_string(r.addr >> 6);  // 64-byte proximity bucket
+    return k;
+  }
+
+  /// Cap reached and `key`'s group has no kept representative: evict the
+  /// newest kept report of the group holding the most kept slots (if it
+  /// holds at least two — groups are never evicted down to zero).
+  void keep_by_eviction(const RaceReport& r, const std::string& key,
+                        Group& g) {
+    const std::string* victim_key = nullptr;
+    std::size_t victim_kept = 1;
+    for (const auto& [k, grp] : groups_) {
+      if (grp.kept > victim_kept) {
+        victim_kept = grp.kept;
+        victim_key = &k;
+      }
+    }
+    if (victim_key == nullptr) return;  // all kept groups are singletons
+    for (std::size_t i = kept_keys_.size(); i-- > 0;) {
+      if (kept_keys_[i] == *victim_key) {
+        --groups_[*victim_key].kept;
+        reports_[i] = r;
+        kept_keys_[i] = key;
+        ++g.kept;
+        return;
+      }
+    }
+  }
 
   bool is_suppressed(const RaceReport& r) const {
     for (const auto& rr : range_rules_)
@@ -117,6 +193,9 @@ class ReportSink {
   mutable std::mutex mu_;
   std::size_t max_kept_;
   std::vector<RaceReport> reports_;
+  std::vector<std::string> kept_keys_;  // group key of reports_[i]
+  std::unordered_map<std::string, Group> groups_;
+  bool crash_capture_ = false;
   std::unordered_set<Addr> locations_;
   std::vector<RangeRule> range_rules_;
   std::vector<std::string> site_rules_;

@@ -41,6 +41,13 @@ struct DetectorStats {
   std::atomic<std::uint64_t> sharing_count_at_peak{1};
   std::atomic<double> avg_sharing_at_peak{1.0};
 
+  // -- overload governor (DESIGN.md §5.3) -------------------------------
+  // All zero unless a memory budget is set; degradation is never silent.
+  std::atomic<std::uint64_t> governed_skipped{0};   // Orange/Red gate drops
+  std::atomic<std::uint64_t> suppressed_checks{0};  // Red: no-new-shadow skips
+  std::atomic<std::uint64_t> shed_bytes{0};         // released by trim()
+  std::atomic<std::uint64_t> trims{0};              // trim() invocations
+
   DetectorStats() = default;
   DetectorStats(const DetectorStats& o) { copy_from(o); }
   DetectorStats& operator=(const DetectorStats& o) {
@@ -99,6 +106,10 @@ struct DetectorStats {
     sharing_count_at_peak =
         o.sharing_count_at_peak.load(std::memory_order_relaxed);
     avg_sharing_at_peak = o.avg_sharing_at_peak.load(std::memory_order_relaxed);
+    governed_skipped = o.governed_skipped.load(std::memory_order_relaxed);
+    suppressed_checks = o.suppressed_checks.load(std::memory_order_relaxed);
+    shed_bytes = o.shed_bytes.load(std::memory_order_relaxed);
+    trims = o.trims.load(std::memory_order_relaxed);
   }
 
   void note_population() {
@@ -130,6 +141,12 @@ struct RuntimeStats {
   std::uint64_t direct = 0;             // delivered under the lock, unbatched
   std::uint64_t flushes = 0;            // non-empty ring-buffer drains
   std::uint64_t lock_acquisitions = 0;  // analysis/shard-lock acquisitions
+
+  // Backpressure on a full EventRing (DESIGN.md §5.3): events shed after
+  // the bounded-wait/watchdog escalation concluded the drain was stalled,
+  // and how many times that escalation ran to the stall verdict.
+  std::uint64_t dropped_events = 0;
+  std::uint64_t backpressure_stalls = 0;
 
   double fast_path_pct() const {
     return events_seen == 0

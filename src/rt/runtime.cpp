@@ -1,12 +1,15 @@
 #include "rt/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "common/memtrack.hpp"
+#include "report/crash_flush.hpp"
 #include "rt/event_ring.hpp"
 #include "shadow/epoch_bitmap.hpp"
 
@@ -129,9 +132,31 @@ Runtime::Runtime(Detector& det, RuntimeOptions opts)
       opts_.mode = RuntimeOptions::Mode::kTwoTier;
     }
   }
+  if (sharded_)
+    shard_progress_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(smap_.count);
+
+  // Overload governor (DESIGN.md §5.3): explicit option wins over the
+  // DYNGRAN_MEM_BUDGET environment variable; no budget anywhere leaves the
+  // detector ungoverned and behaviour byte-identical.
+  govern::GovernorConfig gcfg = govern::config_from_env();
+  if (opts_.mem_budget_bytes != 0)
+    gcfg.mem_budget_bytes = opts_.mem_budget_bytes;
+  if (gcfg.mem_budget_bytes != 0) {
+    gov_ = std::make_unique<govern::Governor>(det_->accountant(), gcfg);
+    det_->set_governor(gov_.get());
+  }
+
+  // Crash-safe reporting: mirror detected races into the process-wide
+  // crash buffer so a fatal signal in the host program still publishes
+  // them. Disarmed again at finish()/teardown — clean exits print nothing.
+  det_->sink().enable_crash_capture();
+  CrashReporter::instance().arm();
 }
 
 Runtime::~Runtime() {
+  CrashReporter::instance().disarm();
+  if (gov_ != nullptr) det_->set_governor(nullptr);
   // Leave the detector usable single-threaded after the runtime is gone
   // (tests inspect detector state directly once all threads have exited).
   if (sharded_) det_->set_concurrent_delivery(false);
@@ -219,51 +244,187 @@ void Runtime::flush_locked(ThreadState& ts) {
   fold_filtered(ts);
 }
 
-// kSharded drain: partition the ring's contents by the detector's shard
-// map, splitting any access that straddles a stripe boundary, then deliver
-// one shard-confined sub-batch per non-empty shard. No runtime lock is
-// taken — the ring is SPSC with the owner draining (finish() drains other
-// threads' rings only at quiescence), and the detector locks internally.
-void Runtime::flush_sharded(ThreadState& ts) {
+// kSharded: partition the ring's contents by the detector's shard map,
+// splitting any access that straddles a stripe boundary, into the
+// per-thread staging buffers. Always possible without blocking: the ring
+// is SPSC with the owner draining (finish() drains other threads' rings
+// only at quiescence). Staged events from an earlier backpressure episode
+// stay in front, preserving per-shard order.
+std::size_t Runtime::partition_ring(ThreadState& ts) {
   if (ts.shard_bufs.size() < smap_.count) ts.shard_bufs.resize(smap_.count);
-  const std::size_t n =
-      ts.ring.drain([&](const BatchedEvent* ev, std::size_t k) {
-        for (std::size_t i = 0; i < k; ++i) {
-          BatchedEvent e = ev[i];
-          DG_DCHECK(e.kind == BatchedEvent::Kind::kRead ||
-                    e.kind == BatchedEvent::Kind::kWrite);
-          Addr a = e.addr;
-          const Addr end = a + e.size;  // access() caps size; cannot wrap
-          while (a < end) {
-            const Addr cut = std::min(end, smap_.stripe_hi(a));
-            e.addr = a;
-            e.size = cut - a;
-            ts.shard_bufs[smap_.shard_of(a)].push_back(e);
-            a = cut;
-          }
-        }
-      });
-  if (n == 0) return;
+  return ts.ring.drain([&](const BatchedEvent* ev, std::size_t k) {
+    for (std::size_t i = 0; i < k; ++i) {
+      BatchedEvent e = ev[i];
+      DG_DCHECK(e.kind == BatchedEvent::Kind::kRead ||
+                e.kind == BatchedEvent::Kind::kWrite);
+      Addr a = e.addr;
+      const Addr end = a + e.size;  // access() caps size; cannot wrap
+      while (a < end) {
+        const Addr cut = std::min(end, smap_.stripe_hi(a));
+        e.addr = a;
+        e.size = cut - a;
+        ts.shard_bufs[smap_.shard_of(a)].push_back(e);
+        a = cut;
+      }
+    }
+  });
+}
+
+// kSharded blocking drain: stage, then deliver one shard-confined
+// sub-batch per non-empty shard. The detector locks internally.
+void Runtime::flush_sharded(ThreadState& ts) {
+  const std::size_t n = partition_ring(ts);
+  // Residual staged events from a backpressure episode must flush even
+  // when the ring itself drained empty (flush-before-sync depends on it).
+  bool any = n > 0;
+  if (!any) {
+    for (const auto& buf : ts.shard_bufs) {
+      if (!buf.empty()) {
+        any = true;
+        break;
+      }
+    }
+  }
+  if (!any) return;
   ++flushes_;
   for (std::uint32_t s = 0; s < smap_.count; ++s) {
     std::vector<BatchedEvent>& buf = ts.shard_bufs[s];
     if (buf.empty()) continue;
     det_->on_batch_shard(s, buf.data(), buf.size());
     ++lock_acquisitions_;  // one shard-mutex acquisition per sub-batch
+    shard_progress_[s].fetch_add(1, std::memory_order_relaxed);
     buf.clear();
   }
   fold_filtered(ts);
 }
 
+// Non-blocking shard delivery: stage, then offer each non-empty buffer
+// via try_on_batch_shard. Buffers whose shard is busy stay staged for the
+// next attempt. Returns true when every buffer delivered.
+bool Runtime::try_flush_sharded(ThreadState& ts) {
+  partition_ring(ts);
+  bool all = true;
+  bool any = false;
+  for (std::uint32_t s = 0; s < smap_.count; ++s) {
+    std::vector<BatchedEvent>& buf = ts.shard_bufs[s];
+    if (buf.empty()) continue;
+    if (det_->try_on_batch_shard(s, buf.data(), buf.size())) {
+      ++lock_acquisitions_;
+      shard_progress_[s].fetch_add(1, std::memory_order_relaxed);
+      buf.clear();
+      any = true;
+    } else {
+      all = false;
+    }
+  }
+  if (any) {
+    ++flushes_;
+    fold_filtered(ts);
+  }
+  return all;
+}
+
+bool Runtime::try_flush_locked(ThreadState& ts) {
+  if (!mu_.try_lock()) return false;
+  ++lock_acquisitions_;
+  flush_locked(ts);
+  mu_.unlock();
+  return true;
+}
+
+std::size_t Runtime::staged_backlog(const ThreadState& ts) const {
+  std::size_t n = 0;
+  for (const auto& buf : ts.shard_bufs) n += buf.size();
+  return n;
+}
+
+std::uint64_t Runtime::stalled_shard_progress(const ThreadState& ts) const {
+  std::uint64_t sum = 0;
+  for (std::uint32_t s = 0; s < smap_.count; ++s) {
+    if (!ts.shard_bufs[s].empty())
+      sum += shard_progress_[s].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+// Discard this thread's deferred events. The owner draining its own SPSC
+// ring is always safe; dropping analysis events can only miss races,
+// never invent them (DESIGN.md §5.3 — accounted degradation beats a
+// deadlocked detector).
+void Runtime::drop_ring(ThreadState& ts) {
+  std::size_t n = 0;
+  ts.ring.drain([&](const BatchedEvent*, std::size_t k) { n += k; });
+  dropped_events_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Runtime::drop_staged(ThreadState& ts) {
+  std::size_t n = 0;
+  for (auto& buf : ts.shard_bufs) {
+    n += buf.size();
+    buf.clear();
+  }
+  dropped_events_.fetch_add(n, std::memory_order_relaxed);
+}
+
+// Two-tier escalation: bounded non-blocking attempts, then a watchdog
+// that distinguishes a busy analysis lock (it keeps changing hands →
+// blocking flush, the pre-governor behaviour) from a stalled one (no
+// churn for a whole round → accounted drop).
+void Runtime::relieve_two_tier(ThreadState& ts) {
+  for (std::uint32_t i = 0; i < opts_.backpressure_spins; ++i) {
+    if (try_flush_locked(ts)) return;
+    std::this_thread::yield();
+  }
+  for (std::uint32_t r = 0; r < opts_.backpressure_wait_rounds; ++r) {
+    const std::uint64_t before =
+        lock_acquisitions_.load(std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts_.backpressure_wait_ms));
+    if (try_flush_locked(ts)) return;
+    if (lock_acquisitions_.load(std::memory_order_relaxed) == before) {
+      drop_ring(ts);
+      bp_stalls_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::scoped_lock lk(mu_);
+  ++lock_acquisitions_;
+  flush_locked(ts);
+}
+
+// kSharded escalation, entered only when the staged backlog outgrew its
+// bound. Watches the progress counters of exactly the shards holding our
+// residual buffers: deliveries there mean the shard is busy, not stalled.
+void Runtime::relieve_sharded(ThreadState& ts) {
+  for (std::uint32_t i = 0; i < opts_.backpressure_spins; ++i) {
+    if (try_flush_sharded(ts)) return;
+    std::this_thread::yield();
+  }
+  for (std::uint32_t r = 0; r < opts_.backpressure_wait_rounds; ++r) {
+    const std::uint64_t before = stalled_shard_progress(ts);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts_.backpressure_wait_ms));
+    if (try_flush_sharded(ts)) return;
+    if (stalled_shard_progress(ts) == before) {
+      drop_staged(ts);
+      bp_stalls_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  flush_sharded(ts);
+}
+
 void Runtime::enqueue(ThreadState& ts, const BatchedEvent& e) {
   ThreadState::bump(ts.batched);
   if (ts.ring.try_push(e)) return;
-  if (sharded_) {  // ring full: flush it and retry
-    flush_sharded(ts);
+  if (sharded_) {
+    // Ring full: stage into the per-shard buffers (never blocks) and offer
+    // them; escalation triggers only when the staged backlog itself
+    // outgrows its bound — the signature of a stalled shard.
+    try_flush_sharded(ts);
+    if (staged_backlog(ts) > opts_.max_shard_backlog) relieve_sharded(ts);
   } else {
-    std::scoped_lock lk(mu_);
-    ++lock_acquisitions_;
-    flush_locked(ts);
+    relieve_two_tier(ts);
   }
   const bool pushed = ts.ring.try_push(e);
   DG_CHECK(pushed);
@@ -499,6 +660,9 @@ void Runtime::finish() {
     }
   }
   det_->on_finish();
+  // Normal teardown reached: the regular reporting path owns the output
+  // from here, so the crash hooks become no-ops.
+  CrashReporter::instance().disarm();
 }
 
 RuntimeStats Runtime::stats() const {
@@ -507,6 +671,8 @@ RuntimeStats Runtime::stats() const {
   rs.flushes = flushes_.load(std::memory_order_relaxed);
   rs.direct = direct_events_.load(std::memory_order_relaxed);
   rs.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
+  rs.dropped_events = dropped_events_.load(std::memory_order_relaxed);
+  rs.backpressure_stalls = bp_stalls_.load(std::memory_order_relaxed);
   for (const auto& ts : threads_) {
     rs.events_seen += ts->events_seen.load(std::memory_order_relaxed);
     rs.fast_path_filtered += ts->fast_filtered.load(std::memory_order_relaxed);

@@ -47,6 +47,7 @@
 
 #include "common/types.hpp"
 #include "detect/detector.hpp"
+#include "govern/governor.hpp"
 #include "report/stats.hpp"
 
 namespace dg::rt {
@@ -64,6 +65,24 @@ struct RuntimeOptions {
                   // kTwoTier
   };
   Mode mode = Mode::kDefault;
+
+  /// Overload governor (DESIGN.md §5.3): shadow-memory budget in bytes.
+  /// 0 defers to the DYNGRAN_MEM_BUDGET environment variable; if that is
+  /// absent too the governor stays detached and behaviour is byte-identical
+  /// to a build without it.
+  std::size_t mem_budget_bytes = 0;
+
+  // Backpressure escalation (§5.3) when a thread's event ring is full and
+  // its drain path cannot make progress: `spins` yield-spaced non-blocking
+  // flush attempts, then `wait_rounds` watchdog rounds of `wait_ms` each
+  // watching drain-progress counters. Progress → fall back to a blocking
+  // flush (a busy consumer, not a stalled one); a full round with no
+  // progress anywhere → the deferred events are dropped and counted.
+  std::uint32_t backpressure_spins = 64;
+  std::uint32_t backpressure_wait_rounds = 4;
+  std::uint32_t backpressure_wait_ms = 2;
+  /// kSharded only: staged per-shard events tolerated before escalation.
+  std::size_t max_shard_backlog = 16384;
 };
 
 class Runtime {
@@ -126,8 +145,13 @@ class Runtime {
   const RuntimeOptions& options() const noexcept { return opts_; }
 
   /// Aggregated two-tier counters (events seen / fast-path filtered /
-  /// batched / lock acquisitions). Safe to call concurrently.
+  /// batched / lock acquisitions / backpressure drops). Safe to call
+  /// concurrently.
   RuntimeStats stats() const;
+
+  /// The overload governor, when a budget was configured (options or
+  /// DYNGRAN_MEM_BUDGET); nullptr otherwise. Owned by the runtime.
+  govern::Governor* governor() noexcept { return gov_.get(); }
 
  private:
   ThreadState& self() const;
@@ -138,6 +162,17 @@ class Runtime {
   void flush_sharded(ThreadState& ts);  // kSharded: no runtime lock needed
   void fold_filtered(ThreadState& ts);
   void enqueue(ThreadState& ts, const BatchedEvent& e);
+
+  // Backpressure path (DESIGN.md §5.3).
+  std::size_t partition_ring(ThreadState& ts);  // kSharded ring → shard bufs
+  bool try_flush_locked(ThreadState& ts);       // non-blocking two-tier flush
+  bool try_flush_sharded(ThreadState& ts);      // non-blocking shard delivery
+  void relieve_two_tier(ThreadState& ts);
+  void relieve_sharded(ThreadState& ts);
+  void drop_ring(ThreadState& ts);
+  void drop_staged(ThreadState& ts);
+  std::size_t staged_backlog(const ThreadState& ts) const;
+  std::uint64_t stalled_shard_progress(const ThreadState& ts) const;
 
   mutable std::mutex mu_;  // the analysis lock (idle in kSharded mode
                            // except for thread registration and stats())
@@ -162,6 +197,17 @@ class Runtime {
   std::atomic<std::uint64_t> lock_acquisitions_{0};
   std::atomic<std::uint64_t> flushes_{0};
   std::atomic<std::uint64_t> direct_events_{0};
+
+  // Overload governor (DESIGN.md §5.3): owned here, attached to det_ when
+  // a budget is configured.
+  std::unique_ptr<govern::Governor> gov_;
+
+  // Backpressure state. shard_progress_[s] counts deliveries into shard s
+  // (any thread); the watchdog reads it to tell a busy shard from a
+  // stalled one. Two-tier stalls are detected via lock_acquisitions_.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shard_progress_;
+  std::atomic<std::uint64_t> dropped_events_{0};
+  std::atomic<std::uint64_t> bp_stalls_{0};
 };
 
 /// RAII ignore-range registration: unignores on scope exit.

@@ -245,6 +245,49 @@ class ShadowTable {
     }
   }
 
+  // -- cold-block eviction (overload governor, DESIGN.md §5.3) -----------
+
+  /// Open a new access generation. Blocks touched (created or re-found via
+  /// a mutating access) after this call are stamped with the new
+  /// generation; evict_cold() then reclaims only blocks untouched since.
+  void advance_generation() noexcept { ++gen_; }
+
+  /// Evict every block whose last mutating access predates the current
+  /// generation. For each non-empty cell of a victim block,
+  /// release(cell_base_addr, cell_width, Cell&) runs first so the caller
+  /// can free the payload; then the block is unlinked and destroyed.
+  /// Returns the number of blocks evicted. Losing cold state can only
+  /// miss races, never invent them (the cell simply re-initializes on its
+  /// next access).
+  template <typename Release>
+  std::size_t evict_cold(Release&& release) {
+    std::size_t evicted = 0;
+    for (std::size_t b = 0; b < num_buckets_; ++b) {
+      Block** link = &buckets_[b];
+      Block* blk = *link;
+      while (blk != nullptr) {
+        Block* next = blk->next;
+        if (blk->last_gen < gen_) {
+          const std::uint32_t w = blk->byte_mode ? 1 : kWordSize;
+          const std::uint32_t n = blk->byte_mode ? kBlockBytes : kWordCells;
+          const Addr base = blk->key << kBlockShift;
+          for (std::uint32_t i = 0; i < n; ++i) {
+            if (!(blk->cells[i] == Cell{}))
+              release(base + static_cast<Addr>(i) * w, w, blk->cells[i]);
+          }
+          *link = next;
+          destroy_block(blk);
+          --num_blocks_;
+          ++evicted;
+        } else {
+          link = &blk->next;
+        }
+        blk = next;
+      }
+    }
+    return evicted;
+  }
+
   /// Drop every block. Payloads must already have been released.
   void clear_all() {
     for (std::size_t b = 0; b < num_buckets_; ++b) {
@@ -286,6 +329,7 @@ class ShadowTable {
     Cell* cells;
     std::uint32_t occupied;
     bool byte_mode;
+    std::uint64_t last_gen;  // generation of the last mutating access
   };
 
   static Addr block_end(Addr a) {
@@ -323,9 +367,12 @@ class ShadowTable {
 
   Block* get_or_create_block(std::uint64_t key) {
     Block* blk = find_block(key);
-    if (blk != nullptr) return blk;
+    if (blk != nullptr) {
+      blk->last_gen = gen_;
+      return blk;
+    }
     if (num_blocks_ + 1 > num_buckets_) rehash(num_buckets_ * 2);
-    blk = new Block{key, nullptr, nullptr, 0, false};
+    blk = new Block{key, nullptr, nullptr, 0, false, gen_};
     blk->cells = alloc_cells(kWordCells);
     charge(sizeof(Block) + kWordCells * sizeof(Cell));
     Block** link = bucket_link(key);
@@ -416,6 +463,7 @@ class ShadowTable {
   std::size_t num_buckets_ = 0;
   std::size_t num_blocks_ = 0;
   std::size_t bytes_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 }  // namespace dg

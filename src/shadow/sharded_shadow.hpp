@@ -136,6 +136,18 @@ class ShardedShadow {
     for (auto& sh : shards_) sh->table.clear_all();
   }
 
+  // Cold-block eviction (DESIGN.md §5.3); whole-domain like for_each —
+  // only safe from contexts that exclude all shard activity.
+  void advance_generation() noexcept {
+    for (auto& sh : shards_) sh->table.advance_generation();
+  }
+  template <typename Release>
+  std::size_t evict_cold(Release&& release) {
+    std::size_t n = 0;
+    for (auto& sh : shards_) n += sh->table.evict_cold(release);
+    return n;
+  }
+
   std::size_t num_blocks() const noexcept {
     std::size_t n = 0;
     for (const auto& sh : shards_) n += sh->table.num_blocks();

@@ -105,6 +105,30 @@ class ReadHistory {
   /// Release owned memory against the accountant before destruction.
   void release(MemoryAccountant& acct) { demote(acct); }
 
+  /// Overload-governor trim (DESIGN.md §5.3): collapse a read-shared
+  /// history back to a single representative epoch — the reader with the
+  /// largest clock — releasing the heap vector clock. Forgetting the other
+  /// readers can only miss read/write races, never invent one (a write
+  /// ordered after the kept reader may race a forgotten concurrent
+  /// reader, but every reported race still has a real witness). Returns
+  /// the accounted bytes shed; no-op on exclusive histories.
+  std::size_t collapse_to_epoch(MemoryAccountant& acct) {
+    if (vc_ == nullptr) return 0;
+    const std::size_t shed = sizeof(VectorClock) + vc_->heap_bytes();
+    ThreadId best_tid = 0;
+    ClockVal best_clock = 0;
+    for (std::size_t t = 0; t < vc_->size(); ++t) {
+      const ClockVal c = vc_->get(static_cast<ThreadId>(t));
+      if (c > best_clock) {
+        best_clock = c;
+        best_tid = static_cast<ThreadId>(t);
+      }
+    }
+    demote(acct);
+    epoch_ = best_clock == 0 ? Epoch::bottom() : Epoch(best_clock, best_tid);
+    return shed;
+  }
+
   std::size_t footprint_bytes() const noexcept {
     return vc_ != nullptr ? sizeof(VectorClock) + vc_->heap_bytes() : 0;
   }

@@ -9,6 +9,7 @@
 #include "detect/dyngran.hpp"
 #include "detect/fasttrack.hpp"
 #include "detect/segment.hpp"
+#include "govern/governor.hpp"
 #include "sim/script_program.hpp"
 #include "verify/hb_oracle.hpp"
 #include "verify/program_gen.hpp"
@@ -188,12 +189,31 @@ DiffResult diff_trace(const std::vector<rt::TraceEvent>& events,
   rt::replay_trace(events, word_oracle);
   res.oracle_bytes = byte_oracle.racy_units().size();
 
+  // Per-run overload governor when the environment sets a budget; the
+  // contracts below assume full fidelity, so a run that left Green is
+  // counted as degraded and its verdict skipped rather than failed.
+  const govern::GovernorConfig gcfg = govern::config_from_env();
+
   for (const MatrixEntry& entry : matrix) {
     std::unique_ptr<Detector> det = entry.make();
+    std::unique_ptr<govern::Governor> gov;
+    if (gcfg.mem_budget_bytes != 0) {
+      gov = std::make_unique<govern::Governor>(det->accountant(), gcfg);
+      det->set_governor(gov.get());
+    }
     ModeDeliverer md(*det, entry.mode);
     rt::replay_trace(events, md);
     md.flush_all();  // shrink candidates may have lost their finish event
     ++res.runs;
+    // A short trace can finish without ever reaching the poll interval;
+    // one final poll still classifies an over-budget run as degraded.
+    if (gov != nullptr) gov->poll_now();
+    if (gov != nullptr && gov->transitions() > 0) {
+      ++res.degraded;
+      det->set_governor(nullptr);
+      continue;
+    }
+    if (gov != nullptr) det->set_governor(nullptr);
     std::string detail =
         check_contract(events, entry.contract, det->sink(),
                        byte_oracle.racy_units(), word_oracle.racy_units());
@@ -228,6 +248,7 @@ FuzzResult fuzz(const FuzzOptions& opts) {
           ++res.traces;
           DiffResult dr = diff_trace(trace, matrix);
           res.runs += dr.runs;
+          res.degraded += dr.degraded;
           if (dr.divergences.empty()) return true;
 
           // Minimize against the specific diverging matrix entry.

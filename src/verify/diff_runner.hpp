@@ -66,6 +66,10 @@ struct DiffResult {
   std::vector<Divergence> divergences;
   std::size_t runs = 0;          // detector replays performed
   std::size_t oracle_bytes = 0;  // racy bytes per the oracle
+  // Runs whose overload governor (DYNGRAN_MEM_BUDGET, DESIGN.md §5.3)
+  // left Green during the replay: fidelity was deliberately shed, so the
+  // precision contracts do not apply and the run is skipped, not failed.
+  std::size_t degraded = 0;
 };
 
 /// Replay `events` through the oracle and every matrix entry; returns all
@@ -102,6 +106,7 @@ struct FuzzResult {
   std::size_t traces = 0;
   std::size_t runs = 0;
   std::size_t deadlocks = 0;  // generator bug guard; must stay 0
+  std::size_t degraded = 0;   // runs skipped: governor shed fidelity (§5.3)
   std::vector<FuzzFinding> findings;
 };
 

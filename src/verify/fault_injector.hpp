@@ -108,6 +108,12 @@ class FaultInjector final : public Detector {
   MemoryAccountant& accountant() noexcept override {
     return inner_->accountant();
   }
+  void set_governor(govern::Governor* g) noexcept override {
+    inner_->set_governor(g);
+  }
+  std::size_t trim(govern::PressureLevel level) override {
+    return inner_->trim(level);
+  }
 
  private:
   std::unique_ptr<Detector> inner_;

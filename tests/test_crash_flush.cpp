@@ -1,0 +1,158 @@
+// Crash-safe reporting (DESIGN.md §5.3): races recorded before a fatal
+// signal, a failed DG_CHECK, or a stray exit() must still reach stderr —
+// flushed from a pre-formatted static buffer with nothing but write(2).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/assert.hpp"
+#include "detect/fasttrack.hpp"
+#include "report/crash_flush.hpp"
+
+namespace dg {
+namespace {
+
+RaceReport sample_report(Addr a) {
+  RaceReport r;
+  r.addr = a;
+  r.size = 4;
+  r.current = AccessType::kWrite;
+  r.previous = AccessType::kWrite;
+  r.current_tid = 1;
+  r.previous_tid = 0;
+  return r;
+}
+
+/// Runs inside the death-test child: detect a real race through a sink
+/// with crash capture on, then return the armed reporter.
+void detect_race_with_capture(FastTrackDetector& det) {
+  CrashReporter::instance().reset_for_test();
+  det.sink().enable_crash_capture();
+  CrashReporter::instance().arm();
+  det.on_thread_start(0, kInvalidThread);
+  det.on_thread_start(1, 0);
+  det.on_write(0, 0xbeef00, 4);
+  det.on_write(1, 0xbeef00, 4);
+  if (det.sink().unique_races() == 0) _exit(0);  // no race: fail the death
+}
+
+TEST(CrashFlushDeathTest, FatalSignalEmitsCapturedRaces) {
+  EXPECT_DEATH(
+      {
+        FastTrackDetector det(Granularity::kByte);
+        detect_race_with_capture(det);
+        std::raise(SIGSEGV);
+      },
+      "crash-flush: 1 race report");
+}
+
+TEST(CrashFlushDeathTest, FlushedReportNamesTheRace) {
+  EXPECT_DEATH(
+      {
+        FastTrackDetector det(Granularity::kByte);
+        detect_race_with_capture(det);
+        std::raise(SIGSEGV);
+      },
+      "data race on 0xbeef00");
+}
+
+TEST(CrashFlushDeathTest, FailedCheckFlushesBeforeAbort) {
+  EXPECT_DEATH(
+      {
+        FastTrackDetector det(Granularity::kByte);
+        detect_race_with_capture(det);
+        DG_CHECK_MSG(false, "governor invariant violated (test)");
+      },
+      "crash-flush: 1 race report");
+}
+
+TEST(CrashFlushDeathTest, StrayExitStillFlushesWhileArmed) {
+  EXPECT_EXIT(
+      {
+        FastTrackDetector det(Granularity::kByte);
+        detect_race_with_capture(det);
+        std::exit(7);  // exit without runtime teardown: atexit hook fires
+      },
+      testing::ExitedWithCode(7), "crash-flush: 1 race report");
+}
+
+TEST(CrashFlush, EmitNeedsArmingAndLatchesAfterFirstFlush) {
+  CrashReporter& cr = CrashReporter::instance();
+  cr.reset_for_test();
+  cr.note(sample_report(0x1234));
+  cr.note(sample_report(0x5678));
+  EXPECT_EQ(cr.captured(), 2u);
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  EXPECT_EQ(cr.emit(fds[1]), 0u);  // not armed: writes nothing
+
+  cr.arm();
+  EXPECT_TRUE(cr.armed());
+  const std::size_t n = cr.emit(fds[1]);
+  EXPECT_GT(n, 0u);
+  EXPECT_EQ(cr.emit(fds[1]), 0u);  // latched: second flush is a no-op
+
+  char buf[4096];
+  const ssize_t got = read(fds[0], buf, sizeof(buf));
+  ASSERT_GT(got, 0);
+  const std::string out(buf, static_cast<std::size_t>(got));
+  EXPECT_NE(out.find("crash-flush: 2 race report"), std::string::npos);
+  EXPECT_NE(out.find("data race on 0x1234"), std::string::npos);
+  EXPECT_NE(out.find("data race on 0x5678"), std::string::npos);
+  close(fds[0]);
+  close(fds[1]);
+  cr.reset_for_test();  // disarm: keep the process clean for other tests
+}
+
+TEST(CrashFlush, DisarmTurnsHooksIntoNoOps) {
+  CrashReporter& cr = CrashReporter::instance();
+  cr.reset_for_test();
+  cr.note(sample_report(0xabcd));
+  cr.arm();
+  cr.disarm();
+  EXPECT_FALSE(cr.armed());
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  EXPECT_EQ(cr.emit(fds[1]), 0u);  // disarmed: clean-exit path stays silent
+  close(fds[0]);
+  close(fds[1]);
+  cr.reset_for_test();
+}
+
+TEST(CrashFlush, CaptureCountsPastBufferCapacity) {
+  CrashReporter& cr = CrashReporter::instance();
+  cr.reset_for_test();
+  // ~80 bytes per line x 2000 reports overruns the 64 KiB buffer; the
+  // count keeps going while the buffer retains the earliest reports.
+  for (Addr a = 0; a < 2000; ++a) cr.note(sample_report(0x10000 + a * 64));
+  EXPECT_EQ(cr.captured(), 2000u);
+  cr.arm();
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::string out;
+  std::size_t emitted = 0;
+  // Drain concurrently: the full buffer exceeds a pipe's default capacity.
+  std::thread reader([&] {
+    char buf[8192];
+    ssize_t got;
+    while ((got = read(fds[0], buf, sizeof(buf))) > 0)
+      out.append(buf, static_cast<std::size_t>(got));
+  });
+  emitted = cr.emit(fds[1]);
+  close(fds[1]);
+  reader.join();
+  close(fds[0]);
+  EXPECT_GT(emitted, 0u);
+  EXPECT_NE(out.find("crash-flush: 2000 race report"), std::string::npos);
+  EXPECT_NE(out.find("data race on 0x10000"), std::string::npos);
+  cr.reset_for_test();
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,313 @@
+// Overload governor (DESIGN.md §5.3, docs/ROBUSTNESS.md): the pressure
+// ladder, hysteresis, the Orange/Red sampling gate, Red allocation
+// suppression, sync-point trim servicing — and the parity guarantee that
+// an unconstrained budget changes nothing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "detect/fasttrack.hpp"
+#include "govern/governor.hpp"
+#include "rt/trace.hpp"
+#include "verify/diff_runner.hpp"
+
+namespace dg {
+namespace {
+
+using govern::Governor;
+using govern::GovernorConfig;
+using govern::PressureLevel;
+
+GovernorConfig cfg_with_budget(std::size_t budget) {
+  GovernorConfig cfg;
+  cfg.mem_budget_bytes = budget;
+  return cfg;
+}
+
+TEST(Governor, LadderClimbsWithPressure) {
+  MemoryAccountant acct;
+  Governor gov(acct, cfg_with_budget(1000));
+  EXPECT_EQ(gov.level(), PressureLevel::kGreen);
+  EXPECT_FALSE(gov.take_trim_request());
+
+  acct.add(MemCategory::kOther, 700);  // 0.70 of budget
+  gov.poll_now();
+  EXPECT_EQ(gov.level(), PressureLevel::kYellow);
+  EXPECT_TRUE(gov.take_trim_request());
+  EXPECT_FALSE(gov.take_trim_request());  // one-shot until the next poll
+  gov.poll_now();
+  EXPECT_TRUE(gov.take_trim_request());  // re-asserted while under pressure
+
+  acct.add(MemCategory::kOther, 150);  // 0.85
+  gov.poll_now();
+  EXPECT_EQ(gov.level(), PressureLevel::kOrange);
+
+  acct.add(MemCategory::kOther, 100);  // 0.95
+  gov.poll_now();
+  EXPECT_EQ(gov.level(), PressureLevel::kRed);
+  EXPECT_TRUE(gov.suppress_allocation());
+  EXPECT_EQ(gov.transitions(), 3u);
+
+  const auto log = gov.transition_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].from, PressureLevel::kGreen);
+  EXPECT_EQ(log[0].to, PressureLevel::kYellow);
+  EXPECT_EQ(log[0].bytes, 700u);
+  EXPECT_EQ(log[2].to, PressureLevel::kRed);
+}
+
+TEST(Governor, DescendsOnlyThroughHysteresisBand) {
+  MemoryAccountant acct;
+  Governor gov(acct, cfg_with_budget(1000));
+  acct.add(MemCategory::kOther, 950);
+  gov.poll_now();
+  ASSERT_EQ(gov.level(), PressureLevel::kRed);
+
+  // 0.90 is inside Red's hysteresis band [0.85, 0.95): no flapping down.
+  acct.sub(MemCategory::kOther, 50);
+  gov.poll_now();
+  EXPECT_EQ(gov.level(), PressureLevel::kRed);
+
+  // 0.80 clears Red's band but not Orange's floor.
+  acct.sub(MemCategory::kOther, 100);
+  gov.poll_now();
+  EXPECT_EQ(gov.level(), PressureLevel::kOrange);
+  EXPECT_FALSE(gov.suppress_allocation());
+
+  // 0.30 clears everything: back to full fidelity.
+  acct.sub(MemCategory::kOther, 500);
+  gov.poll_now();
+  EXPECT_EQ(gov.level(), PressureLevel::kGreen);
+  EXPECT_EQ(gov.transitions(), 3u);  // up, down, down — all logged
+}
+
+TEST(Governor, GreenAdmitsEverything) {
+  MemoryAccountant acct;
+  Governor gov(acct, cfg_with_budget(1 << 20));
+  acct.add(MemCategory::kOther, 100);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(gov.admit());
+  EXPECT_EQ(gov.governed_accesses(), 1000u);
+  EXPECT_EQ(gov.transitions(), 0u);
+}
+
+TEST(Governor, DisabledGovernorIsInert) {
+  MemoryAccountant acct;
+  Governor gov(acct, GovernorConfig{});  // budget 0: disabled
+  acct.add(MemCategory::kOther, 1 << 30);
+  gov.poll_now();
+  EXPECT_TRUE(gov.admit());
+  EXPECT_FALSE(gov.suppress_allocation());
+  EXPECT_FALSE(gov.take_trim_request());
+  EXPECT_EQ(gov.level(), PressureLevel::kGreen);
+  EXPECT_EQ(gov.governed_accesses(), 0u);
+}
+
+TEST(Governor, OrangeGateShedsSomeWindowsDeterministically) {
+  MemoryAccountant acct;
+  GovernorConfig cfg = cfg_with_budget(1000);
+  cfg.sample_window = 4;
+  cfg.orange_sample_rate = 0.5;
+  Governor gov(acct, cfg);
+  acct.add(MemCategory::kOther, 860);
+  gov.poll_now();
+  ASSERT_EQ(gov.level(), PressureLevel::kOrange);
+
+  int admitted = 0;
+  int shed = 0;
+  for (int i = 0; i < 4000; ++i) (gov.admit() ? admitted : shed) += 1;
+  EXPECT_GT(admitted, 0);
+  EXPECT_GT(shed, 0);
+
+  // Same seed, same windows: a second governor makes identical decisions.
+  MemoryAccountant acct2;
+  Governor gov2(acct2, cfg);
+  acct2.add(MemCategory::kOther, 860);
+  gov2.poll_now();
+  int admitted2 = 0;
+  for (int i = 0; i < 4000; ++i) admitted2 += gov2.admit() ? 1 : 0;
+  EXPECT_EQ(admitted, admitted2);
+}
+
+TEST(GovernorConfig, ParsesEnvBudgetWithSuffixes) {
+  setenv("DYNGRAN_MEM_BUDGET", "123", 1);
+  EXPECT_EQ(govern::config_from_env().mem_budget_bytes, 123u);
+  setenv("DYNGRAN_MEM_BUDGET", "64k", 1);
+  EXPECT_EQ(govern::config_from_env().mem_budget_bytes,
+            std::size_t{64} << 10);
+  setenv("DYNGRAN_MEM_BUDGET", "8M", 1);
+  EXPECT_EQ(govern::config_from_env().mem_budget_bytes, std::size_t{8} << 20);
+  setenv("DYNGRAN_MEM_BUDGET", "2g", 1);
+  EXPECT_EQ(govern::config_from_env().mem_budget_bytes, std::size_t{2} << 30);
+  setenv("DYNGRAN_MEM_BUDGET", "junk", 1);
+  EXPECT_EQ(govern::config_from_env().mem_budget_bytes, 0u);
+  unsetenv("DYNGRAN_MEM_BUDGET");
+  EXPECT_EQ(govern::config_from_env().mem_budget_bytes, 0u);
+}
+
+// --- detector integration ------------------------------------------------
+
+TEST(GovernedDetector, TrimEvictsColdShadowOnSecondPass) {
+  FastTrackDetector det(Granularity::kByte);
+  det.on_thread_start(0, kInvalidThread);
+  for (Addr a = 0x1000; a < 0x1000 + 64 * 64; a += 64) det.on_write(0, a, 4);
+  const std::size_t before = det.accountant().current(MemCategory::kHash);
+  ASSERT_GT(before, 0u);
+
+  // First trim only advances the generation clock; blocks still count as
+  // touched. Untouched blocks go on the second pass.
+  det.trim(PressureLevel::kYellow);
+  const std::size_t shed = det.trim(PressureLevel::kYellow);
+  EXPECT_GT(shed, 0u);
+  EXPECT_LT(det.accountant().current(MemCategory::kHash), before);
+}
+
+TEST(GovernedDetector, TrimSparesRecentlyTouchedBlocks) {
+  FastTrackDetector det(Granularity::kByte);
+  det.on_thread_start(0, kInvalidThread);
+  det.on_thread_start(1, 0);  // before T0's writes: leaves them unordered
+  det.on_write(0, 0x1000, 4);
+  det.on_write(0, 0x9000, 4);
+  det.trim(PressureLevel::kYellow);  // generation boundary
+  // Re-touch one block only — via a different word: a repeat of the exact
+  // same access would be swallowed by the same-epoch filter before it
+  // could re-stamp the block's generation.
+  det.on_write(0, 0x1004, 4);
+  det.trim(PressureLevel::kYellow);  // evicts 0x9000's block, keeps 0x1000's
+  det.on_write(1, 0x1000, 4);  // conflicting write: history survived
+  EXPECT_GE(det.sink().unique_races(), 1u);
+}
+
+TEST(GovernedDetector, SyncPointServicesTrimRequest) {
+  FastTrackDetector det(Granularity::kByte);
+  Governor gov(det.accountant(), cfg_with_budget(1 << 20));
+  det.set_governor(&gov);
+  det.on_thread_start(0, kInvalidThread);
+  det.accountant().add(MemCategory::kOther, 800 << 10);  // synthetic load
+  gov.poll_now();
+  ASSERT_GE(gov.level(), PressureLevel::kYellow);
+  det.on_acquire(0, 1);  // sync point: the trim request is honoured here
+  EXPECT_GE(det.stats().trims.load(std::memory_order_relaxed), 1u);
+  det.set_governor(nullptr);
+  det.accountant().sub(MemCategory::kOther, 800 << 10);
+}
+
+TEST(GovernedDetector, OrangeGateCountsSkippedAccesses) {
+  FastTrackDetector det(Granularity::kByte);
+  GovernorConfig cfg = cfg_with_budget(1 << 20);
+  cfg.sample_window = 4;
+  cfg.orange_sample_rate = 0.5;
+  Governor gov(det.accountant(), cfg);
+  det.set_governor(&gov);
+  det.on_thread_start(0, kInvalidThread);
+  det.accountant().add(MemCategory::kOther, 900 << 10);
+  gov.poll_now();
+  ASSERT_EQ(gov.level(), PressureLevel::kOrange);
+  for (int i = 0; i < 2000; ++i) det.on_write(0, 0x1000, 4);
+  const auto skipped =
+      det.stats().governed_skipped.load(std::memory_order_relaxed);
+  EXPECT_GT(skipped, 0u);
+  EXPECT_LT(skipped, 2000u);
+  det.set_governor(nullptr);
+  det.accountant().sub(MemCategory::kOther, 900 << 10);
+}
+
+TEST(GovernedDetector, RedSuppressesNewShadowAllocation) {
+  FastTrackDetector det(Granularity::kByte);
+  GovernorConfig cfg = cfg_with_budget(1 << 20);
+  cfg.orange_sample_rate = 4.0;  // Red gate rate = 1.0: every window admits
+  Governor gov(det.accountant(), cfg);
+  det.set_governor(&gov);
+  det.on_thread_start(0, kInvalidThread);
+  det.accountant().add(MemCategory::kOther, 1000 << 10);
+  gov.poll_now();
+  ASSERT_EQ(gov.level(), PressureLevel::kRed);
+
+  const std::size_t hash_before = det.accountant().current(MemCategory::kHash);
+  for (Addr a = 0x40000; a < 0x40000 + 32 * 64; a += 64) det.on_write(0, a, 4);
+  EXPECT_GT(det.stats().suppressed_checks.load(std::memory_order_relaxed), 0u);
+  // No shadow blocks were faulted in for the suppressed addresses.
+  EXPECT_EQ(det.accountant().current(MemCategory::kHash), hash_before);
+  det.set_governor(nullptr);
+  det.accountant().sub(MemCategory::kOther, 1000 << 10);
+}
+
+TEST(GovernedDetector, HugeBudgetIsByteIdentical) {
+  FastTrackDetector plain(Granularity::kByte);
+  FastTrackDetector governed(Granularity::kByte);
+  Governor gov(governed.accountant(),
+               cfg_with_budget(std::size_t{1} << 40));
+  governed.set_governor(&gov);
+
+  for (Detector* det :
+       {static_cast<Detector*>(&plain), static_cast<Detector*>(&governed)}) {
+    det->on_thread_start(0, kInvalidThread);
+    det->on_thread_start(1, 0);
+    for (int i = 0; i < 600; ++i) {  // > poll_interval: polls do happen
+      const Addr a = 0x1000 + static_cast<Addr>(i % 16) * 8;
+      det->on_write(0, a, 4);
+      det->on_write(1, a, 4);
+    }
+    det->on_finish();
+  }
+
+  EXPECT_GT(gov.governed_accesses(), 0u);
+  EXPECT_EQ(gov.transitions(), 0u);
+  EXPECT_EQ(governed.stats().governed_skipped.load(), 0u);
+  EXPECT_EQ(governed.stats().suppressed_checks.load(), 0u);
+  EXPECT_EQ(governed.stats().trims.load(), 0u);
+  EXPECT_EQ(plain.sink().unique_races(), governed.sink().unique_races());
+  ASSERT_EQ(plain.sink().reports().size(), governed.sink().reports().size());
+  for (std::size_t i = 0; i < plain.sink().reports().size(); ++i)
+    EXPECT_EQ(plain.sink().reports()[i].str(),
+              governed.sink().reports()[i].str());
+  governed.set_governor(nullptr);
+}
+
+// --- diff_runner interaction (docs/TESTING.md) ---------------------------
+
+std::vector<rt::TraceEvent> racy_trace() {
+  using rt::EventKind;
+  std::vector<rt::TraceEvent> ev;
+  auto push = [&](EventKind k, ThreadId t, std::uint64_t addr,
+                  std::uint16_t size, std::uint64_t aux) {
+    rt::TraceEvent e;
+    e.kind = k;
+    e.tid = t;
+    e.addr = addr;
+    e.size = size;
+    e.aux = aux;
+    ev.push_back(e);
+  };
+  push(EventKind::kThreadStart, 0, 0, 0, kInvalidThread);
+  push(EventKind::kThreadStart, 1, 0, 0, 0);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t a = 0x1000 + static_cast<std::uint64_t>(i % 8) * 4;
+    push(EventKind::kWrite, 0, a, 4, 0);
+    push(EventKind::kWrite, 1, a, 4, 0);
+  }
+  push(EventKind::kFinish, 0, 0, 0, 0);
+  return ev;
+}
+
+TEST(DiffRunnerGoverned, NoBudgetMeansNoDegradedRuns) {
+  unsetenv("DYNGRAN_MEM_BUDGET");
+  const auto res = verify::diff_trace(racy_trace());
+  EXPECT_EQ(res.degraded, 0u);
+  EXPECT_TRUE(res.divergences.empty());
+}
+
+TEST(DiffRunnerGoverned, TinyBudgetCountsDegradedInsteadOfFailing) {
+  // A budget every detector run blows through immediately: the governor
+  // leaves Green mid-replay, so the precision contracts are waived for
+  // those runs rather than reported as divergences.
+  setenv("DYNGRAN_MEM_BUDGET", "256", 1);
+  const auto res = verify::diff_trace(racy_trace());
+  unsetenv("DYNGRAN_MEM_BUDGET");
+  EXPECT_GT(res.degraded, 0u);
+  EXPECT_TRUE(res.divergences.empty());
+}
+
+}  // namespace
+}  // namespace dg

@@ -57,6 +57,39 @@ TEST(ReportSink, KeepsAtMostMaxReports) {
   EXPECT_EQ(s.reports().size(), 2u);
 }
 
+TEST(ReportSink, GroupRetentionAdmitsLateDistinctRaces) {
+  ReportSink s(4);
+  // A noisy burst: one site, one 64-byte bucket, four distinct locations.
+  for (Addr a = 0x1000; a < 0x1010; a += 4) s.report(mk(a, "app/memset"));
+  ASSERT_EQ(s.reports().size(), 4u);
+
+  // A later unrelated race must still win a kept slot: it evicts the
+  // newest report of the over-represented group instead of being dropped.
+  EXPECT_TRUE(s.report(mk(0x4000, "app/other")));
+  EXPECT_EQ(s.reports().size(), 4u);
+  bool found_other = false;
+  std::size_t noisy = 0;
+  for (const auto& r : s.reports()) {
+    if (r.addr == 0x4000) found_other = true;
+    if (r.current_site == "app/memset") ++noisy;
+  }
+  EXPECT_TRUE(found_other);
+  EXPECT_EQ(noisy, 3u);
+}
+
+TEST(ReportSink, GroupCountsKeepCountingPastTheCap) {
+  ReportSink s(1);
+  s.report(mk(0x1000, "a"));
+  s.report(mk(0x1004, "a"));  // same group: counted, not kept
+  s.report(mk(0x2000, "b"));  // kept group is a singleton: nothing to evict
+  EXPECT_EQ(s.reports().size(), 1u);
+  const auto counts = s.group_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : counts) total += n;
+  EXPECT_EQ(total, 3u);
+}
+
 TEST(ReportSink, CallbackFiresOnNewRaces) {
   ReportSink s;
   int calls = 0;

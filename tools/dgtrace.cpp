@@ -8,6 +8,9 @@
 //       the N most-accessed 64-byte blocks (shared hot spots)
 //   dgtrace replay <trace> <detector>
 //       replay under any detector config and print the race summary
+//   dgtrace stats <trace> [detector]
+//       replay, then print the per-category memory table (current/peak)
+//       and the overload-governor transition log (DYNGRAN_MEM_BUDGET)
 //   dgtrace analyze <trace> [detector]
 //       ahead-of-time pass: classification summary + concurrency lints;
 //       with a detector, replay with the check-elision map attached
@@ -35,6 +38,7 @@
 #include "bench/harness.hpp"
 #include "detect/dyngran.hpp"
 #include "detect/fasttrack.hpp"
+#include "govern/governor.hpp"
 #include "rt/trace.hpp"
 #include "sim/sim.hpp"
 #include "verify/diff_runner.hpp"
@@ -69,6 +73,7 @@ int usage() {
       "  dgtrace info <trace>\n"
       "  dgtrace top <trace> [N]\n"
       "  dgtrace replay <trace> <detector>\n"
+      "  dgtrace stats <trace> [detector]\n"
       "  dgtrace analyze <trace> [detector]\n"
       "  dgtrace diff <a.trace> <b.trace>\n"
       "  dgtrace verify <trace> [--repro <out.trace>]\n"
@@ -158,6 +163,37 @@ int cmd_top(int argc, char** argv) {
   return 0;
 }
 
+/// Attach an overload governor when DYNGRAN_MEM_BUDGET is set. The caller
+/// must detach (set_governor(nullptr)) before the returned object dies.
+std::unique_ptr<govern::Governor> env_governor(Detector& det) {
+  const govern::GovernorConfig cfg = govern::config_from_env();
+  if (cfg.mem_budget_bytes == 0) return nullptr;
+  auto gov = std::make_unique<govern::Governor>(det.accountant(), cfg);
+  det.set_governor(gov.get());
+  return gov;
+}
+
+void print_governor(Detector& det, const govern::Governor& gov) {
+  const DetectorStats& st = det.stats();
+  std::printf("governor: budget %zu bytes, final level %s\n",
+              gov.config().mem_budget_bytes, govern::to_string(gov.level()));
+  std::printf("  %" PRIu64 " governed accesses, %" PRIu64 " gated, %" PRIu64
+              " suppressed (no new shadow), %" PRIu64 " bytes shed in %" PRIu64
+              " trims\n",
+              gov.governed_accesses(),
+              st.governed_skipped.load(std::memory_order_relaxed),
+              st.suppressed_checks.load(std::memory_order_relaxed),
+              st.shed_bytes.load(std::memory_order_relaxed),
+              st.trims.load(std::memory_order_relaxed));
+  const auto log = gov.transition_log();
+  std::printf("  %zu transitions:\n", log.size());
+  for (const auto& t : log)
+    std::printf("    %s -> %s at access %" PRIu64 " (%" PRIu64
+                " bytes held)\n",
+                govern::to_string(t.from), govern::to_string(t.to),
+                t.at_access, t.bytes);
+}
+
 int cmd_replay(int argc, char** argv) {
   if (argc < 4) return usage();
   std::vector<TraceEvent> ev;
@@ -167,6 +203,7 @@ int cmd_replay(int argc, char** argv) {
     return 1;
   }
   auto det = bench::detector_factory(argv[3])();
+  auto gov = env_governor(*det);
   const std::size_t n = rt::replay_trace(ev, *det);
   std::printf("replayed %zu events under %s\n", n, det->name());
   std::printf("races: %" PRIu64 " unique locations (%" PRIu64
@@ -183,6 +220,44 @@ int cmd_replay(int argc, char** argv) {
     }
     std::printf("  %s\n", r.str().c_str());
   }
+  if (gov != nullptr) {
+    print_governor(*det, *gov);
+    det->set_governor(nullptr);
+  }
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::vector<TraceEvent> ev;
+  std::string err;
+  if (!rt::load_trace(argv[2], ev, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  auto det = bench::detector_factory(argc > 3 ? argv[3] : "dynamic")();
+  auto gov = env_governor(*det);
+  const std::size_t n = rt::replay_trace(ev, *det);
+  std::printf("replayed %zu events under %s\n", n, det->name());
+  std::printf("races: %" PRIu64 " unique locations (%" PRIu64
+              " raw reports)\n",
+              det->sink().unique_races(), det->sink().raw_reports());
+  const MemoryAccountant& acct = det->accountant();
+  std::puts("memory (bytes):");
+  std::printf("  %-14s %12s %12s\n", "category", "current", "peak");
+  for (std::size_t c = 0; c < kNumMemCategories; ++c) {
+    const auto cat = static_cast<MemCategory>(c);
+    std::printf("  %-14s %12zu %12zu\n", to_string(cat), acct.current(cat),
+                acct.peak(cat));
+  }
+  std::printf("  %-14s %12zu %12zu\n", "total", acct.current_total(),
+              acct.peak_total());
+  if (gov == nullptr) {
+    std::puts("governor: disabled (set DYNGRAN_MEM_BUDGET to enable)");
+    return 0;
+  }
+  print_governor(*det, *gov);
+  det->set_governor(nullptr);
   return 0;
 }
 
@@ -351,9 +426,9 @@ int cmd_fuzz(int argc, char** argv) {
   };
   const auto res = verify::fuzz(opts);
   std::printf("fuzz: %" PRIu64 " programs, %zu schedules, %zu detector "
-              "runs, %zu deadlocks, %zu divergences\n",
+              "runs, %zu deadlocks, %zu degraded, %zu divergences\n",
               res.programs, res.traces, res.runs, res.deadlocks,
-              res.findings.size());
+              res.degraded, res.findings.size());
   for (const auto& f : res.findings) {
     std::printf("  seed %" PRIu64 " %s: %s\n", f.program_seed,
                 f.label.c_str(), f.detail.c_str());
@@ -376,6 +451,7 @@ int main(int argc, char** argv) {
   if (cmd == "info") return cmd_info(argc, argv);
   if (cmd == "top") return cmd_top(argc, argv);
   if (cmd == "replay") return cmd_replay(argc, argv);
+  if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "analyze") return cmd_analyze(argc, argv);
   if (cmd == "diff") return cmd_diff(argc, argv);
   if (cmd == "verify") return cmd_verify(argc, argv);

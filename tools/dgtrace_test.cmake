@@ -59,6 +59,24 @@ run_expect(${DGTRACE} analyze ${lint_trace} dynamic EXPECT
   "races: 1 unique locations")
 file(REMOVE ${lint_trace})
 
+# Overload-governor reporting (docs/ROBUSTNESS.md): `stats` prints the
+# per-category accountant table, and a deliberately hopeless
+# DYNGRAN_MEM_BUDGET must degrade with visible counters — never fail.
+set(stats_trace ${WORKDIR}/stats_ci.trace)
+run(${DGTRACE} record hmmsearch ${stats_trace} 3 1 7)
+run_expect(${DGTRACE} stats ${stats_trace} EXPECT
+  "memory (bytes):" "category" "total"
+  "governor: disabled (set DYNGRAN_MEM_BUDGET to enable)")
+run_expect(${CMAKE_COMMAND} -E env DYNGRAN_MEM_BUDGET=4k
+  ${DGTRACE} stats ${stats_trace} dynamic EXPECT
+  "governor: budget 4096 bytes, final level red"
+  "suppressed (no new shadow)"
+  "-> red at access")
+run_expect(${CMAKE_COMMAND} -E env DYNGRAN_MEM_BUDGET=4k
+  ${DGTRACE} replay ${stats_trace} byte EXPECT
+  "governor: budget 4096 bytes")
+file(REMOVE ${stats_trace})
+
 # The hardened loader must reject corrupt input with a clear message.
 file(WRITE ${WORKDIR}/corrupt_ci.trace "this is not a trace file at all..")
 execute_process(COMMAND ${DGTRACE} info ${WORKDIR}/corrupt_ci.trace
@@ -104,7 +122,7 @@ endif()
 
 # 4. A small clean fuzz run exits 0 with zero divergences...
 run_expect(${DGTRACE} fuzz --seeds 3 --schedules 8 --out ${WORKDIR} EXPECT
-  "0 deadlocks, 0 divergences")
+  "0 deadlocks, 0 degraded, 0 divergences")
 
 # 5. ...and an injected detector bug makes fuzz exit nonzero, naming the
 #    fault and writing a minimized reproducer next to WORKDIR.
