@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Lint-regression gate: record every registered workload (paper
+# benchmarks, the seeded lint fixture, and the ad-hoc sync family) at a
+# pinned seed, run `dgtrace analyze --json` over each, and diff the
+# concatenated reports against the checked-in baseline. Any drift —
+# a lint appearing, disappearing, or changing count — fails the job
+# until a human either fixes the regression or re-blesses the baseline:
+#
+#   scripts/lint_regression.sh update    # regenerate the baseline
+#   scripts/lint_regression.sh           # check against it (CI mode)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+DGTRACE="$BUILD/tools/dgtrace"
+BASELINE=tests/baselines/lint_baseline.json
+
+if [[ ! -x "$DGTRACE" ]]; then
+  echo "error: $DGTRACE not built (cmake --build $BUILD --target dgtrace)" >&2
+  exit 1
+fi
+
+WORKLOADS=(
+  canneal dedup facesim ferret ffmpeg fluidanimate hmmsearch pbzip2
+  raytrace streamcluster x264
+  lint_fixture
+  adhoc_spinlock adhoc_spinlock_racy adhoc_seqlock adhoc_seqlock_racy
+  adhoc_spsc adhoc_spsc_racy adhoc_dcl adhoc_dcl_racy
+)
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+report="$tmpdir/lint_report.json"
+
+for w in "${WORKLOADS[@]}"; do
+  trace="$tmpdir/$w.trace"
+  "$DGTRACE" record "$w" "$trace" 3 1 7 >/dev/null
+  echo "=== $w"
+  # Strip the throwaway temp path so the report is machine-independent.
+  "$DGTRACE" analyze "$trace" --json | grep -v '"file":'
+done > "$report"
+
+if [[ "${1:-}" == "update" ]]; then
+  mkdir -p "$(dirname "$BASELINE")"
+  cp "$report" "$BASELINE"
+  echo "baseline updated: $BASELINE ($(wc -l < "$BASELINE") lines)"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "error: no baseline at $BASELINE (run '$0 update' and commit it)" >&2
+  exit 1
+fi
+
+if ! diff -u "$BASELINE" "$report"; then
+  echo >&2
+  echo "error: lint output drifted from $BASELINE." >&2
+  echo "If the change is intentional, run 'scripts/lint_regression.sh" \
+       "update' and commit the new baseline with an explanation." >&2
+  exit 1
+fi
+echo "lint regression: ${#WORKLOADS[@]} workloads match the baseline"

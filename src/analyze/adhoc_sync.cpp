@@ -1,0 +1,439 @@
+#include "analyze/adhoc_sync.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace dg::analyze {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v);
+  return buf;
+}
+
+/// Ad-hoc sync variables are machine words; wider accesses (cache-line
+/// sweeps, struct copies) never qualify, which keeps bulk-data read
+/// sequences from being mistaken for spin loops.
+constexpr std::uint32_t kMaxSyncVarBytes = 8;
+
+}  // namespace
+
+const char* to_string(SyncEdgeMap::Idiom i) noexcept {
+  switch (i) {
+    case SyncEdgeMap::Idiom::kFlagHandoff: return "spin-flag handoff";
+    case SyncEdgeMap::Idiom::kSpinlock: return "CAS spinlock";
+    case SyncEdgeMap::Idiom::kSeqlock: return "seqlock version";
+  }
+  return "?";
+}
+
+const SyncEdgeMap::Var* SyncEdgeMap::find(Addr addr,
+                                          std::uint32_t size) const noexcept {
+  // First var whose [lo, hi) ends beyond addr; overlap iff it starts
+  // before the access ends.
+  auto it = std::upper_bound(
+      vars_.begin(), vars_.end(), addr,
+      [](Addr a, const Var& v) { return a < v.hi; });
+  if (it == vars_.end()) return nullptr;
+  const Addr end = addr + (size == 0 ? 1 : size);
+  return it->lo < end ? &*it : nullptr;
+}
+
+std::vector<rt::TraceEvent> SyncEdgeMap::apply(
+    const std::vector<rt::TraceEvent>& events) const {
+  std::vector<rt::TraceEvent> out;
+  out.reserve(events.size() + 2 * edges_);
+  std::size_t di = 0;
+  for (std::uint64_t i = 0; i < events.size(); ++i) {
+    if (di < drops_.size() && drops_[di] == i) {
+      ++di;  // discarded failed-attempt read
+      continue;
+    }
+    const rt::TraceEvent& e = events[i];
+    if (e.kind == rt::EventKind::kRead || e.kind == rt::EventKind::kWrite) {
+      if (const Var* v = find(e.addr, e.size)) {
+        // Bracket the sync-variable access: the acquire joins the clock
+        // accumulated by every earlier access's release, totally ordering
+        // the variable's accesses in observed trace order — the
+        // synthesized publish->observe edge, transitively.
+        out.push_back({rt::EventKind::kAcquire, 0, 0, e.tid, v->synth, 0});
+        out.push_back(e);
+        out.push_back({rt::EventKind::kRelease, 0, 0, e.tid, v->synth, 0});
+        continue;
+      }
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+void AdHocSyncPass::lint(LintFinding::Kind kind, std::string message) {
+  auto& total = lint_totals_[static_cast<std::size_t>(kind)];
+  if (total < kMaxLintsPerKind) lints_.push_back({kind, std::move(message)});
+  ++total;
+}
+
+void AdHocSyncPass::run(const std::vector<rt::TraceEvent>& events) {
+  DG_CHECK_MSG(!ran_, "AdHocSyncPass::run is single-shot");
+  ran_ = true;
+
+  // ---- pass 1: one walk collecting per-thread structure ----------------
+  struct Run {
+    Addr addr = kInvalidAddr;
+    std::uint32_t size = 0;
+    std::size_t count = 0;
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+  };
+  struct OpenRead {
+    std::uint64_t open = 0;
+    std::vector<std::uint64_t> interior;
+  };
+  struct OpenWrite {
+    std::uint64_t open = 0;
+    std::size_t interior = 0;
+    // A spin run by the bracketing thread completed inside: whatever this
+    // bracket is, it is not a seqlock writer round (write sides do not
+    // spin mid-round; spinlock critical sections and ring producers do).
+    bool spin_inside = false;
+    std::vector<SyncId> lockset;
+  };
+  struct ThreadScan {
+    Run run;
+    std::unordered_map<Addr, OpenRead> ropen;
+    std::unordered_map<Addr, OpenWrite> wopen;
+    std::vector<SyncId> held;  // mutex-style locks currently held
+  };
+
+  std::vector<ThreadScan> scans;
+  // Addr keys in std::map so every later sweep is in address order
+  // (deterministic lints, sorted SyncEdgeMap vars for free).
+  std::map<Addr, AddrInfo> addrs;
+  std::unordered_map<SyncId, bool> is_mutex;  // first-event rule
+
+  auto scan_of = [&](ThreadId t) -> ThreadScan& {
+    if (t >= scans.size()) scans.resize(t + 1);
+    return scans[t];
+  };
+  auto close_run = [&](ThreadId t, ThreadScan& ts, bool cas) {
+    if (ts.run.count >= kMinSpinReads &&
+        ts.run.size <= kMaxSyncVarBytes) {
+      addrs[ts.run.addr].runs.push_back(
+          {t, ts.run.size, ts.run.first, ts.run.last, cas});
+      // The thread demonstrably spun here; disqualify its open write
+      // brackets from counting as seqlock writer rounds.
+      for (auto& [a, o] : ts.wopen) o.spin_inside = true;
+    }
+    ts.run = Run{};
+  };
+  auto break_thread = [&](ThreadId t) {
+    // Any non-access event of the thread ends its spin run and
+    // disqualifies its open seqlock brackets.
+    if (t >= scans.size()) return;
+    ThreadScan& ts = scans[t];
+    close_run(t, ts, false);
+    ts.ropen.clear();
+    ts.wopen.clear();
+  };
+
+  for (std::uint64_t p = 0; p < events.size(); ++p) {
+    const rt::TraceEvent& e = events[p];
+    switch (e.kind) {
+      case rt::EventKind::kRead: {
+        ThreadScan& ts = scan_of(e.tid);
+        if (ts.run.addr == e.addr && ts.run.size == e.size) {
+          ++ts.run.count;
+          ts.run.last = p;
+        } else {
+          close_run(e.tid, ts, false);
+          ts.run = {e.addr, e.size, 1, p, p};
+        }
+        AddrInfo& ai = addrs[e.addr];
+        ai.max_size = std::max(ai.max_size, static_cast<std::uint32_t>(e.size));
+        // Reader bracket automaton: a repeat read of `addr` with >=1
+        // interior read closes an attempt and opens the next one.
+        auto it = ts.ropen.find(e.addr);
+        if (it != ts.ropen.end()) {
+          OpenRead& o = it->second;
+          if (!o.interior.empty())
+            ai.rbrackets.push_back({e.tid, o.open, p, std::move(o.interior)});
+          o.open = p;
+          o.interior.clear();
+        } else {
+          ts.ropen.emplace(e.addr, OpenRead{p, {}});
+        }
+        for (auto oit = ts.ropen.begin(); oit != ts.ropen.end();) {
+          if (oit->first == e.addr) {
+            ++oit;
+            continue;
+          }
+          if (oit->second.interior.size() >= kMaxBracketInterior) {
+            oit = ts.ropen.erase(oit);  // too long to be a seqlock attempt
+          } else {
+            oit->second.interior.push_back(p);
+            ++oit;
+          }
+        }
+        for (auto oit = ts.wopen.begin(); oit != ts.wopen.end();) {
+          if (oit->second.interior >= kMaxBracketInterior)
+            oit = ts.wopen.erase(oit);
+          else {
+            ++oit->second.interior;
+            ++oit;
+          }
+        }
+        break;
+      }
+      case rt::EventKind::kWrite: {
+        ThreadScan& ts = scan_of(e.tid);
+        // A write to the spun-on address by the spinner itself is the
+        // winning CAS of a spinlock acquire.
+        close_run(e.tid, ts, ts.run.addr == e.addr);
+        AddrInfo& ai = addrs[e.addr];
+        ai.max_size = std::max(ai.max_size, static_cast<std::uint32_t>(e.size));
+        ai.writes.emplace_back(p, e.tid);
+        ts.ropen.clear();  // a write disqualifies open reader attempts
+        auto it = ts.wopen.find(e.addr);
+        if (it != ts.wopen.end()) {
+          OpenWrite& o = it->second;
+          if (o.interior > 0 && o.interior <= kMaxBracketInterior)
+            ai.wbrackets.push_back(
+                {e.tid, o.open, p, o.spin_inside, o.lockset});
+          o.open = p;
+          o.interior = 0;
+          o.spin_inside = false;
+          o.lockset = ts.held;
+        } else {
+          ts.wopen.emplace(e.addr, OpenWrite{p, 0, false, ts.held});
+        }
+        for (auto oit = ts.wopen.begin(); oit != ts.wopen.end();) {
+          if (oit->first == e.addr) {
+            ++oit;
+            continue;
+          }
+          if (oit->second.interior >= kMaxBracketInterior)
+            oit = ts.wopen.erase(oit);
+          else {
+            ++oit->second.interior;
+            ++oit;
+          }
+        }
+        break;
+      }
+      case rt::EventKind::kAcquire: {
+        break_thread(e.tid);
+        ThreadScan& ts = scan_of(e.tid);
+        auto [kit, inserted] = is_mutex.try_emplace(e.addr, true);
+        (void)inserted;
+        if (kit->second &&
+            std::find(ts.held.begin(), ts.held.end(), e.addr) ==
+                ts.held.end())
+          ts.held.push_back(e.addr);
+        break;
+      }
+      case rt::EventKind::kRelease: {
+        break_thread(e.tid);
+        ThreadScan& ts = scan_of(e.tid);
+        auto [kit, inserted] = is_mutex.try_emplace(e.addr, false);
+        (void)inserted;
+        if (kit->second) {
+          auto hit = std::find(ts.held.begin(), ts.held.end(), e.addr);
+          if (hit != ts.held.end()) ts.held.erase(hit);
+        }
+        break;
+      }
+      case rt::EventKind::kThreadStart:
+      case rt::EventKind::kThreadJoin:
+      case rt::EventKind::kAlloc:
+      case rt::EventKind::kFree:
+        break_thread(e.tid);
+        break;
+      case rt::EventKind::kFinish:
+        break;
+    }
+  }
+  for (ThreadId t = 0; t < scans.size(); ++t)
+    close_run(t, scans[t], false);
+
+  // ---- pass 2: per-address classification ------------------------------
+  for (auto& [addr, ai] : addrs) {
+    if (ai.runs.empty() && ai.wbrackets.empty()) continue;
+    if (ai.max_size > kMaxSyncVarBytes) continue;
+
+    std::size_t published = 0;
+    std::size_t cas = 0;
+    std::vector<const SpinRun*> unfenced;
+    for (const SpinRun& r : ai.runs) {
+      ++stats_.spin_runs;
+      if (r.cas_write) {
+        ++cas;
+        ++stats_.spin_runs_cas;
+        continue;
+      }
+      // The publishing store: a cross-thread write the final probe read
+      // observes (anywhere before it — the loop may have entered after
+      // the store already landed).
+      bool fenced = false;
+      for (const auto& [wpos, wtid] : ai.writes) {
+        if (wpos >= r.last) break;
+        if (wtid != r.tid) {
+          fenced = true;
+          break;
+        }
+      }
+      if (fenced) {
+        ++published;
+        ++stats_.spin_runs_published;
+      } else {
+        ++stats_.spin_runs_unfenced;
+        unfenced.push_back(&r);
+      }
+    }
+
+    // Seqlock classification. CAS runs mean spinlock, not seqlock (an
+    // acquire-store/release-store pair brackets the critical section just
+    // like a writer round would). Writer rounds polluted by the thread's
+    // own spinning (spinlock critical sections, ring producers waiting for
+    // space) don't count, and at least one reader re-read attempt must
+    // exist — a version word nobody double-reads is not a seqlock.
+    std::size_t valid_rounds = 0;
+    for (const WriteBracket& b : ai.wbrackets)
+      valid_rounds += b.spin_inside ? 0 : 1;
+    const bool seqlock = cas == 0 && !ai.rbrackets.empty() &&
+                         valid_rounds >= 1 &&
+                         ai.rbrackets.size() + valid_rounds >= 3;
+
+    const bool recognized = seqlock || cas > 0 || published > 0;
+
+    std::size_t failed = 0;
+    std::size_t succeeded = 0;
+    if (seqlock) {
+      stats_.writer_rounds += ai.wbrackets.size();
+      // Protocol writes: version stores by the threads that exhibit writer
+      // rounds. An initializing store by some other thread is not part of
+      // the odd/even protocol and must not flip the parity.
+      std::vector<ThreadId> wtids;
+      for (const WriteBracket& b : ai.wbrackets)
+        if (std::find(wtids.begin(), wtids.end(), b.tid) == wtids.end())
+          wtids.push_back(b.tid);
+      std::vector<std::uint64_t> pwrites;
+      for (const auto& [wpos, wtid] : ai.writes)
+        if (std::find(wtids.begin(), wtids.end(), wtid) != wtids.end())
+          pwrites.push_back(wpos);
+      for (const ReadBracket& b : ai.rbrackets) {
+        ++stats_.reader_attempts;
+        // Even/odd re-read semantics, structurally: the attempt fails if
+        // it opened mid-round (odd count of protocol writes so far) or a
+        // protocol write landed inside it.
+        const auto open_it =
+            std::lower_bound(pwrites.begin(), pwrites.end(), b.open);
+        const auto close_it =
+            std::lower_bound(pwrites.begin(), pwrites.end(), b.close);
+        const bool odd_open =
+            (static_cast<std::size_t>(open_it - pwrites.begin()) % 2) == 1;
+        const bool crossed = open_it != close_it;
+        if (odd_open || crossed) {
+          ++failed;
+          ++stats_.failed_attempts;
+          // The program discarded these reads; keeping them would
+          // fabricate races against the concurrent writer.
+          map_.drops_.insert(map_.drops_.end(), b.interior.begin(),
+                             b.interior.end());
+        } else {
+          ++succeeded;
+        }
+      }
+    }
+
+    if (recognized) {
+      SyncEdgeMap::Var v;
+      v.lo = addr;
+      v.hi = addr + std::max<std::uint32_t>(ai.max_size, 1);
+      v.idiom = seqlock ? SyncEdgeMap::Idiom::kSeqlock
+                : cas > 0 ? SyncEdgeMap::Idiom::kSpinlock
+                          : SyncEdgeMap::Idiom::kFlagHandoff;
+      v.synth = kSynthSyncBase + map_.vars_.size();
+      // Merge a variable overlapping its predecessor (split-size probes).
+      if (!map_.vars_.empty() && map_.vars_.back().hi > v.lo) {
+        map_.vars_.back().hi = std::max(map_.vars_.back().hi, v.hi);
+      } else {
+        map_.vars_.push_back(v);
+      }
+      map_.edges_ += published + cas + succeeded;
+
+      std::string msg = hex(addr) + " [" + std::to_string(ai.max_size) +
+                        " bytes]: " + to_string(v.idiom);
+      if (seqlock)
+        msg += " (" + std::to_string(ai.rbrackets.size()) +
+               " reader attempts, " + std::to_string(failed) + " failed, " +
+               std::to_string(ai.wbrackets.size()) + " writer rounds)";
+      else if (cas > 0)
+        msg += " (" + std::to_string(cas) + " acquires, " +
+               std::to_string(published) + " published spins)";
+      else
+        msg += " (" + std::to_string(published) + " published spins)";
+      lint(LintFinding::Kind::kAdHocSyncRecognized, std::move(msg));
+    }
+
+    if (seqlock) {
+      // >=2 writer threads on one version variable with no common lock:
+      // the seqlock write side itself is unsynchronized.
+      std::vector<SyncId> common;
+      ThreadId first_tid = kInvalidThread;
+      bool multi_tid = false;
+      bool first_bracket = true;
+      for (const WriteBracket& b : ai.wbrackets) {
+        if (first_tid == kInvalidThread)
+          first_tid = b.tid;
+        else if (b.tid != first_tid)
+          multi_tid = true;
+        if (first_bracket) {
+          common = b.lockset;
+          first_bracket = false;
+        } else {
+          std::vector<SyncId> next;
+          for (SyncId s : common)
+            if (std::find(b.lockset.begin(), b.lockset.end(), s) !=
+                b.lockset.end())
+              next.push_back(s);
+          common = std::move(next);
+        }
+      }
+      if (multi_tid && common.empty())
+        lint(LintFinding::Kind::kSeqlockWriterUnlocked,
+             hex(addr) + ": " + std::to_string(ai.wbrackets.size()) +
+                 " writer rounds from multiple threads with empty common "
+                 "lockset");
+    }
+
+    for (const SpinRun* r : unfenced)
+      lint(LintFinding::Kind::kSpinLoopWithoutFence,
+           "T" + std::to_string(r->tid) + " spin loop on " + hex(addr) +
+               " (events " + std::to_string(r->first) + ".." +
+               std::to_string(r->last) +
+               ") without an observed cross-thread store");
+  }
+
+  std::sort(map_.drops_.begin(), map_.drops_.end());
+  map_.drops_.erase(std::unique(map_.drops_.begin(), map_.drops_.end()),
+                    map_.drops_.end());
+  // Never drop an access to a recognized sync variable: those reads carry
+  // synthesized ordering (they are bracketed by apply()), and eliding one
+  // could sever an edge some other access depends on. Failed-attempt
+  // elision is for plain data reads only.
+  map_.drops_.erase(
+      std::remove_if(map_.drops_.begin(), map_.drops_.end(),
+                     [&](std::uint64_t i) {
+                       const rt::TraceEvent& e = events[i];
+                       return map_.find(e.addr, e.size) != nullptr;
+                     }),
+      map_.drops_.end());
+}
+
+}  // namespace dg::analyze

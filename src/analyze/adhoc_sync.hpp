@@ -1,0 +1,182 @@
+// AdHocSyncPass — ad-hoc synchronization recognition over a recorded
+// trace (docs/ANALYZER.md §ad-hoc sync).
+//
+// Real programs synchronize through idioms no sync API ever sees: spin
+// loops on a flag, CAS spinlocks, seqlock version re-reads, SPSC index
+// handoff. A pure happens-before detector reports every one of them as a
+// race. In the spirit of helgrindplus's hg_loops.c/hg_dependency.c — but
+// over our replayable trace substrate instead of a running binary — this
+// pass scans a recorded event stream for those idioms and synthesizes the
+// release/acquire edges the program implied (writer's publishing store →
+// spinner's final load).
+//
+// Recognition is structural, value-free (our traces carry no data):
+//   * spin run — >= kMinSpinReads consecutive identical reads by one
+//     thread with nothing else from that thread in between. A cross-thread
+//     write landing inside the run's trace window is the publishing store;
+//     a run terminated by the spinner's own write to the same address is a
+//     CAS spinlock acquire; a run with neither earns the
+//     kSpinLoopWithoutFence lint and synthesizes nothing.
+//   * seqlock bracket — read v … other reads … read v (reader attempt),
+//     or write v … other accesses … write v (writer round). Version-write
+//     parity stands in for the even/odd check: an attempt opened while the
+//     total count of version writes is odd, or crossed by a version write,
+//     is a failed attempt whose interior data reads the program discarded.
+//
+// The result is a SyncEdgeMap: the recognized sync variables plus the
+// failed-attempt reads to elide. apply() rewrites a trace so that every
+// access to a recognized variable is bracketed acquire(S)/release(S) on a
+// per-variable synthetic sync id. That totally orders the variable's
+// accesses in observed trace order, which realizes exactly the edges
+// above (publish → final probe, reader close → writer's next round)
+// transitively through the sync object's clock. The synthesized events
+// are ordinary sync events, so every consumer — all five epoch detectors,
+// the exact HB oracle, and all three delivery modes — takes them through
+// its normal acquire/release path; in sharded delivery they are delivered
+// exclusively like any sync event, so the no-shared-clock invariant holds
+// without any stripe special-casing.
+//
+// Soundness caveat: the synthesized edges encode the *observed* schedule.
+// They are valid for the recorded interleaving (the idiom's reader did
+// complete after the writer published), but a different schedule could
+// expose orderings this trace never exhibited — the pass trades schedule
+// generality for zero false positives on the recorded execution, the same
+// bargain helgrindplus strikes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analyze/trace_analyzer.hpp"
+#include "rt/trace.hpp"
+
+namespace dg::analyze {
+
+/// The artifact of the pass (the ad-hoc analogue of ElisionMap): which
+/// byte ranges are ad-hoc sync variables, which recorded reads belong to
+/// discarded seqlock attempts, and how to rewrite a trace accordingly.
+class SyncEdgeMap {
+ public:
+  enum class Idiom : std::uint8_t { kFlagHandoff, kSpinlock, kSeqlock };
+
+  struct Var {
+    Addr lo = 0;  // recognized sync variable byte range [lo, hi)
+    Addr hi = 0;
+    Idiom idiom = Idiom::kFlagHandoff;
+    SyncId synth = 0;  // synthetic sync id carrying the edges
+  };
+
+  const std::vector<Var>& vars() const noexcept { return vars_; }
+  bool empty() const noexcept { return vars_.empty(); }
+
+  /// Synthesized release->acquire edge endpoints: terminated spin runs
+  /// plus successful seqlock reader attempts.
+  std::size_t edges() const noexcept { return edges_; }
+
+  /// Interior data reads of failed seqlock attempts, elided by apply()
+  /// (the program discarded those values; keeping them would fabricate
+  /// races against the concurrent writer).
+  std::size_t dropped_reads() const noexcept { return drops_.size(); }
+
+  /// The variable overlapping [addr, addr+size), or nullptr.
+  const Var* find(Addr addr, std::uint32_t size) const noexcept;
+
+  /// Rewrite a trace: drop failed-attempt reads, bracket every surviving
+  /// access to a recognized variable with acquire/release of its synthetic
+  /// sync id. Consumers replay the result through their unchanged event
+  /// paths.
+  std::vector<rt::TraceEvent> apply(
+      const std::vector<rt::TraceEvent>& events) const;
+
+ private:
+  friend class AdHocSyncPass;
+
+  std::vector<Var> vars_;            // sorted by lo, non-overlapping
+  std::vector<std::uint64_t> drops_; // sorted event indices to elide
+  std::size_t edges_ = 0;
+};
+
+const char* to_string(SyncEdgeMap::Idiom i) noexcept;
+
+struct AdHocSyncStats {
+  std::size_t spin_runs = 0;           // qualifying spin-read runs
+  std::size_t spin_runs_published = 0; // runs with a cross-thread publish
+  std::size_t spin_runs_cas = 0;       // runs ending in the spinner's CAS
+  std::size_t spin_runs_unfenced = 0;  // runs with neither (linted)
+  std::size_t reader_attempts = 0;     // seqlock read brackets
+  std::size_t failed_attempts = 0;     // odd-open or crossed by a writer
+  std::size_t writer_rounds = 0;       // seqlock writer brackets
+};
+
+class AdHocSyncPass {
+ public:
+  /// Consecutive identical reads before a sequence counts as a spin loop.
+  static constexpr std::size_t kMinSpinReads = 3;
+  /// Max interior accesses tracked per seqlock bracket; longer brackets
+  /// are abandoned (a "critical section" that long is not a seqlock).
+  static constexpr std::size_t kMaxBracketInterior = 64;
+  /// Lint findings kept verbatim per kind (lint_totals keep exact counts).
+  static constexpr std::size_t kMaxLintsPerKind =
+      TraceAnalyzer::kMaxLintsPerKind;
+  /// Namespace of synthetic sync ids minted for recognized variables,
+  /// chosen far above the workload sync_id() space.
+  static constexpr SyncId kSynthSyncBase = 0xADC0'C000'0000'0000ULL;
+
+  /// Scan the trace and build the edge map. Callable once per instance.
+  void run(const std::vector<rt::TraceEvent>& events);
+
+  const SyncEdgeMap& edge_map() const noexcept { return map_; }
+  const AdHocSyncStats& stats() const noexcept { return stats_; }
+  /// Lint findings (kAdHocSyncRecognized / kSpinLoopWithoutFence /
+  /// kSeqlockWriterUnlocked), capped like the TraceAnalyzer report.
+  const std::vector<LintFinding>& lints() const noexcept { return lints_; }
+  const std::array<std::uint64_t, kNumLintKinds>& lint_totals()
+      const noexcept {
+    return lint_totals_;
+  }
+
+ private:
+  struct SpinRun {
+    ThreadId tid = 0;
+    std::uint32_t size = 0;
+    std::uint64_t first = 0;  // trace index of the first probe read
+    std::uint64_t last = 0;   // trace index of the final read
+    bool cas_write = false;   // terminated by the spinner's own write
+  };
+
+  struct ReadBracket {
+    ThreadId tid = 0;
+    std::uint64_t open = 0;
+    std::uint64_t close = 0;
+    std::vector<std::uint64_t> interior;  // interior read indices
+  };
+
+  struct WriteBracket {
+    ThreadId tid = 0;
+    std::uint64_t open = 0;
+    std::uint64_t close = 0;
+    bool spin_inside = false;     // the thread spun mid-bracket: not a round
+    std::vector<SyncId> lockset;  // mutexes held at the opening write
+  };
+
+  struct AddrInfo {
+    std::uint32_t max_size = 0;
+    std::vector<std::pair<std::uint64_t, ThreadId>> writes;  // pos order
+    std::vector<SpinRun> runs;
+    std::vector<ReadBracket> rbrackets;
+    std::vector<WriteBracket> wbrackets;
+  };
+
+  void lint(LintFinding::Kind kind, std::string message);
+
+  SyncEdgeMap map_;
+  AdHocSyncStats stats_;
+  std::vector<LintFinding> lints_;
+  std::array<std::uint64_t, kNumLintKinds> lint_totals_{};
+  bool ran_ = false;
+};
+
+}  // namespace dg::analyze

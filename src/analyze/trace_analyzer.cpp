@@ -23,6 +23,12 @@ const char* to_string(LintFinding::Kind k) noexcept {
       return "release without acquire";
     case LintFinding::Kind::kLocksHeldAtExit: return "locks held at exit";
     case LintFinding::Kind::kLocksetRace: return "lockset race";
+    case LintFinding::Kind::kAdHocSyncRecognized:
+      return "ad-hoc sync recognized";
+    case LintFinding::Kind::kSpinLoopWithoutFence:
+      return "spin loop without fence";
+    case LintFinding::Kind::kSeqlockWriterUnlocked:
+      return "seqlock writer unlocked";
   }
   return "?";
 }
@@ -155,6 +161,7 @@ void TraceAnalyzer::lint(LintFinding::Kind kind, std::string message) {
   if (n < kMaxLintsPerKind)
     result_.lints.push_back({kind, std::move(message)});
   ++n;
+  ++result_.lint_totals[static_cast<std::size_t>(kind)];
 }
 
 void TraceAnalyzer::finalize() {

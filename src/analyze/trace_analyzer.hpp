@@ -33,10 +33,19 @@ struct LintFinding {
     kReleaseWithoutAcquire,  // unlock of a mutex the thread does not hold
     kLocksHeldAtExit,        // thread ended while holding locks
     kLocksetRace,            // empty common lockset, >=2 threads, a write
+    // Produced by the ad-hoc synchronization pass (adhoc_sync.hpp), not by
+    // TraceAnalyzer itself; they share the kind space so one report covers
+    // both passes.
+    kAdHocSyncRecognized,    // spin-flag / spinlock / seqlock idiom found
+    kSpinLoopWithoutFence,   // spin loop with no observed publishing store
+    kSeqlockWriterUnlocked,  // >=2 seqlock writer threads, no common lock
   };
   Kind kind;
   std::string message;
 };
+
+/// Number of LintFinding::Kind values (array sizing for per-kind counters).
+inline constexpr std::size_t kNumLintKinds = 7;
 
 const char* to_string(LintFinding::Kind k) noexcept;
 
@@ -47,6 +56,22 @@ struct AnalysisResult {
   std::uint64_t lock_order_cycles = 0;
   std::uint64_t lockset_racy_blocks = 0;
   std::vector<LintFinding> lints;  // capped at kMaxLintsPerKind per kind
+  // Exact per-kind totals, kept even when `lints` is capped: the report
+  // never silently drops findings — `truncated(k)` says how many of kind
+  // `k` exist beyond the ones retained verbatim.
+  std::array<std::uint64_t, kNumLintKinds> lint_totals{};
+
+  std::uint64_t total(LintFinding::Kind k) const {
+    return lint_totals[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t kept(LintFinding::Kind k) const {
+    std::uint64_t n = 0;
+    for (const auto& l : lints) n += l.kind == k ? 1 : 0;
+    return n;
+  }
+  std::uint64_t truncated(LintFinding::Kind k) const {
+    return total(k) - kept(k);
+  }
 
   std::uint64_t count(AccessClass c) const {
     return blocks_by_class[static_cast<std::size_t>(c)];
@@ -134,7 +159,7 @@ class TraceAnalyzer final : public Detector {
   // Lock-order graph: edge held -> acquired for every nested acquire.
   std::unordered_map<SyncId, std::vector<SyncId>> lock_order_;
   std::unordered_set<SyncId> bad_release_reported_;
-  std::array<std::size_t, 4> lints_by_kind_{};
+  std::array<std::size_t, kNumLintKinds> lints_by_kind_{};
   AnalysisResult result_;
   bool finalized_ = false;
 

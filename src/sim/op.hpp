@@ -27,7 +27,28 @@ enum class OpKind : std::uint8_t {
   kAwait,    // condvar/queue wait           (sync, n): block until count>=n
   kSite,     // set symbolic code location   (site)
   kCompute,  // n units of application work (base-time realism)
+
+  // Ad-hoc synchronization ops (docs/ANALYZER.md §ad-hoc). These model
+  // spin-loop idioms: they carry real blocking semantics in the scheduler
+  // (so every schedule terminates) but emit only plain read/write events —
+  // no acquire/release — which is exactly what a PIN-instrumented binary
+  // spinning on a flag would produce. The detectors see an unsynchronized
+  // access stream; the analyze-tier AdHocSyncPass has to recover the edges.
+  kSpinPublish,  // plain write of (addr,size) + gate post (sync)
+  kSpinWait,     // spin-read (addr,size) until gate (sync) count >= n;
+                 // emits exactly kSpinProbeReads reads, the last one after
+                 // the gate is satisfied
+  kSpinLock,     // CAS spinlock acquire on (addr,size) arbitrated by sync:
+                 // kSpinProbeReads probe reads, then the winning CAS write
+  kSpinUnlock,   // spinlock release: plain write of (addr,size)
+  kGatePost,     // silent scheduling gate post (sync); no detector event
+  kGateWait,     // silent gate wait (sync, n); no detector event
 };
+
+/// Reads emitted by one kSpinWait / probe reads of one kSpinLock. Three
+/// identical consecutive reads is the floor the ad-hoc recognizer demands
+/// before it will call a read sequence a spin loop.
+inline constexpr std::uint32_t kSpinProbeReads = 3;
 
 struct Op {
   OpKind kind = OpKind::kCompute;
@@ -69,6 +90,25 @@ struct Op {
   }
   static Op compute(std::uint64_t units) {
     return {OpKind::kCompute, 0, 0, 0, units, nullptr};
+  }
+  static Op spin_publish(Addr a, std::uint32_t sz, SyncId gate) {
+    return {OpKind::kSpinPublish, sz, a, gate, 0, nullptr};
+  }
+  static Op spin_wait(Addr a, std::uint32_t sz, SyncId gate,
+                      std::uint64_t count) {
+    return {OpKind::kSpinWait, sz, a, gate, count, nullptr};
+  }
+  static Op spin_lock(Addr a, std::uint32_t sz, SyncId lock) {
+    return {OpKind::kSpinLock, sz, a, lock, 0, nullptr};
+  }
+  static Op spin_unlock(Addr a, std::uint32_t sz, SyncId lock) {
+    return {OpKind::kSpinUnlock, sz, a, lock, 0, nullptr};
+  }
+  static Op gate_post(SyncId g) {
+    return {OpKind::kGatePost, 0, 0, g, 0, nullptr};
+  }
+  static Op gate_wait(SyncId g, std::uint64_t count) {
+    return {OpKind::kGateWait, 0, 0, g, count, nullptr};
   }
 };
 

@@ -67,6 +67,13 @@ bool SimScheduler::step(ThreadId t) {
     lt.wake = Wake::kNone;
   }
 
+  // A multi-step op (spin wait / spin lock) parked itself: re-execute it
+  // instead of advancing the generator.
+  if (lt.has_pending) {
+    ++result_.ops;
+    return exec(t, lt.pending);
+  }
+
   Op op;
   if (!lt.gen.next(op)) {
     finish_thread(t);
@@ -74,6 +81,20 @@ bool SimScheduler::step(ThreadId t) {
   }
   ++result_.ops;
   return exec(t, op);
+}
+
+void SimScheduler::bump_gate(SyncId s) {
+  const std::uint64_t count = ++gate_counts_[s];
+  for (ThreadId w = 0; w < threads_.size(); ++w) {
+    LThread& wt = threads_[w];
+    if ((wt.state == TState::kBlockedSpin ||
+         wt.state == TState::kBlockedGate) &&
+        wt.blocked_sync == s && wt.await_count <= count) {
+      // No wake action: a gate carries no detector event; a parked
+      // kSpinWait resumes via the pending-op path.
+      make_runnable(w, Wake::kNone, 0, 0);
+    }
+  }
 }
 
 bool SimScheduler::exec(ThreadId t, const Op& op) {
@@ -189,6 +210,103 @@ bool SimScheduler::exec(ThreadId t, const Op& op) {
         return true;
       }
       lt.state = TState::kBlockedAwait;
+      lt.blocked_sync = op.sync;
+      lt.await_count = op.n;
+      return false;
+    }
+    case OpKind::kSpinPublish: {
+      // The publishing store of a flag handoff: a plain write — no
+      // release event — plus a gate post so spinners stop re-probing.
+      det_->on_write(t, op.addr, op.size);
+      ++result_.memory_events;
+      bump_gate(op.sync);
+      return true;
+    }
+    case OpKind::kSpinWait: {
+      // One probe read per execution. Exactly kSpinProbeReads reads are
+      // emitted in total: the gate is monotonic, so the op can park at
+      // most once (after the first probe), and the final read always
+      // lands after the publishing store.
+      det_->on_read(t, op.addr, op.size);
+      ++result_.memory_events;
+      ++lt.op_progress;
+      if (gate_counts_[op.sync] < op.n) {
+        lt.pending = op;
+        lt.has_pending = true;
+        lt.state = TState::kBlockedSpin;
+        lt.blocked_sync = op.sync;
+        lt.await_count = op.n;
+        return false;
+      }
+      if (lt.op_progress < kSpinProbeReads) {
+        lt.pending = op;
+        lt.has_pending = true;
+        return true;
+      }
+      lt.has_pending = false;
+      lt.op_progress = 0;
+      return true;
+    }
+    case OpKind::kSpinLock: {
+      // CAS spinlock acquire: kSpinProbeReads probe reads then the
+      // winning CAS write. Ownership is decided at the first probe (or by
+      // direct hand-off from kSpinUnlock), so mutual exclusion holds even
+      // though the events are plain reads/writes.
+      LockState& ls = spinlocks_[op.sync];
+      if (ls.held && ls.owner != t) {
+        det_->on_read(t, op.addr, op.size);
+        ++result_.memory_events;
+        ++lt.op_progress;
+        lt.pending = op;
+        lt.has_pending = true;
+        lt.state = TState::kBlockedSpinLock;
+        lt.blocked_sync = op.sync;
+        ls.waiters.push_back(t);
+        return false;
+      }
+      DG_CHECK_MSG(!(ls.held && ls.owner == t && lt.op_progress == 0 &&
+                     !lt.has_pending),
+                   "recursive spinlock not supported");
+      ls.held = true;
+      ls.owner = t;
+      if (lt.op_progress < kSpinProbeReads) {
+        det_->on_read(t, op.addr, op.size);
+        ++result_.memory_events;
+        ++lt.op_progress;
+        lt.pending = op;
+        lt.has_pending = true;
+        return true;
+      }
+      det_->on_write(t, op.addr, op.size);
+      ++result_.memory_events;
+      lt.has_pending = false;
+      lt.op_progress = 0;
+      return true;
+    }
+    case OpKind::kSpinUnlock: {
+      LockState& ls = spinlocks_[op.sync];
+      DG_CHECK_MSG(ls.held && ls.owner == t, "spin unlock of unowned lock");
+      det_->on_write(t, op.addr, op.size);
+      ++result_.memory_events;
+      if (ls.waiters.empty()) {
+        ls.held = false;
+        ls.owner = kInvalidThread;
+      } else {
+        // Direct hand-off: the waiter keeps its parked kSpinLock op and
+        // finishes its probe reads + CAS write when it resumes.
+        const ThreadId w = ls.waiters.front();
+        ls.waiters.pop_front();
+        ls.owner = w;
+        make_runnable(w, Wake::kNone, 0, 0);
+      }
+      return true;
+    }
+    case OpKind::kGatePost:
+      bump_gate(op.sync);
+      return true;
+    case OpKind::kGateWait: {
+      if (gate_counts_[op.sync] >= op.n) return true;
+      lt.state = TState::kBlockedGate;
       lt.blocked_sync = op.sync;
       lt.await_count = op.n;
       return false;

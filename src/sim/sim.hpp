@@ -61,6 +61,9 @@ class SimScheduler {
     kBlockedBarrier,
     kBlockedAwait,
     kBlockedJoin,
+    kBlockedSpin,      // kSpinWait with an unsatisfied gate
+    kBlockedSpinLock,  // kSpinLock probe against a held spinlock
+    kBlockedGate,      // kGateWait with an unsatisfied gate
     kFinished,
   };
 
@@ -76,6 +79,12 @@ class SimScheduler {
     SyncId blocked_sync = 0;   // what we're blocked on
     std::uint64_t await_count = 0;
     ThreadId join_target = kInvalidThread;
+    // Multi-step ops (spin wait / spin lock): the op re-executes on the
+    // next step instead of advancing the generator, with op_progress
+    // counting the events already emitted for it.
+    bool has_pending = false;
+    Op pending;
+    std::uint32_t op_progress = 0;
   };
 
   struct LockState {
@@ -96,6 +105,10 @@ class SimScheduler {
   void finish_thread(ThreadId t);
   void make_runnable(ThreadId t, Wake wake, SyncId sync, ThreadId child);
   void compute_spin(std::uint64_t units);
+  /// Post scheduling gate `s` and wake satisfied spin/gate waiters. Gates
+  /// live in their own counter domain (separate from kSignal/kAwait) and
+  /// carry no detector events — they only constrain the interleaving.
+  void bump_gate(SyncId s);
 
   SimProgram* prog_;
   Detector* det_;
@@ -107,6 +120,8 @@ class SimScheduler {
   std::unordered_map<SyncId, LockState> locks_;
   std::unordered_map<SyncId, BarrierState> barriers_;
   std::unordered_map<SyncId, std::uint64_t> signal_counts_;
+  std::unordered_map<SyncId, std::uint64_t> gate_counts_;
+  std::unordered_map<SyncId, LockState> spinlocks_;
   std::vector<ThreadId> join_waiters_;  // threads blocked in kBlockedJoin
   Result result_;
   std::uint64_t spin_sink_ = 0x243f6a8885a308d3ULL;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <set>
 
+#include "analyze/adhoc_sync.hpp"
 #include "detect/djit.hpp"
 #include "detect/dyngran.hpp"
 #include "detect/fasttrack.hpp"
@@ -225,6 +226,22 @@ DiffResult diff_trace(const std::vector<rt::TraceEvent>& events,
 
 DiffResult diff_trace(const std::vector<rt::TraceEvent>& events) {
   return diff_trace(events, default_matrix());
+}
+
+AdhocDiff diff_trace_adhoc(const std::vector<rt::TraceEvent>& events,
+                           const std::vector<MatrixEntry>& matrix) {
+  analyze::AdHocSyncPass pass;
+  pass.run(events);
+  AdhocDiff res;
+  res.sync_vars = pass.edge_map().vars().size();
+  res.edges = pass.edge_map().edges();
+  res.dropped_reads = pass.edge_map().dropped_reads();
+  res.diff = diff_trace(pass.edge_map().apply(events), matrix);
+  return res;
+}
+
+AdhocDiff diff_trace_adhoc(const std::vector<rt::TraceEvent>& events) {
+  return diff_trace_adhoc(events, default_matrix());
 }
 
 FuzzResult fuzz(const FuzzOptions& opts) {

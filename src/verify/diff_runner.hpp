@@ -81,6 +81,22 @@ DiffResult diff_trace(const std::vector<rt::TraceEvent>& events,
 /// Convenience: default matrix.
 DiffResult diff_trace(const std::vector<rt::TraceEvent>& events);
 
+/// diff_trace after the ad-hoc synchronization pass (adhoc_sync.hpp): the
+/// trace is rewritten with the pass's synthesized acquire/release brackets
+/// and failed-seqlock-attempt drops, then diffed as usual. The oracle
+/// replays the same rewritten trace, so it honors the synthesized edges —
+/// this is how the adhoc workload family's ground truth is checked across
+/// the whole matrix (all detectors, all three delivery modes).
+struct AdhocDiff {
+  DiffResult diff;
+  std::size_t sync_vars = 0;      // recognized ad-hoc sync variables
+  std::size_t edges = 0;          // synthesized release->acquire edges
+  std::size_t dropped_reads = 0;  // failed-seqlock-attempt reads elided
+};
+AdhocDiff diff_trace_adhoc(const std::vector<rt::TraceEvent>& events,
+                           const std::vector<MatrixEntry>& matrix);
+AdhocDiff diff_trace_adhoc(const std::vector<rt::TraceEvent>& events);
+
 // --- fuzz loop -----------------------------------------------------------
 
 struct FuzzOptions {

@@ -1,0 +1,420 @@
+// adhoc — the ad-hoc synchronization workload family (docs/ANALYZER.md
+// §ad-hoc sync). Four idioms, each in a race-free and a racy variant:
+//
+//   adhoc_spinlock   CAS spinlock around a shared counter, plus a
+//                    spin-flag start gate published by main.
+//                    racy: one worker updates the counter once without
+//                    taking the lock, and runs a bounded spin on a flag
+//                    nobody ever publishes (kSpinLoopWithoutFence).
+//   adhoc_seqlock    writer increments a version word around its data
+//                    write (odd/even rounds, publish via the even store);
+//                    readers re-read the version around their data read
+//                    and one choreographed attempt observes a stalled
+//                    writer mid-round (a failed attempt whose data read
+//                    the program discards).
+//                    racy: two writers with no lock, rounds interleaved
+//                    by silent gates — the data writes race and the
+//                    version var earns kSeqlockWriterUnlocked.
+//   adhoc_spsc       single-producer/single-consumer ring with head/tail
+//                    index handoff (publish the head index after the slot
+//                    write, recycle slots via the tail index).
+//                    racy: the consumer peeks one slot before the head
+//                    index covers it.
+//   adhoc_dcl        double-checked init: plain fast-path read of the
+//                    flag, one thread initializes under a real mutex and
+//                    publishes the flag with a plain store, spinners then
+//                    read the data.
+//                    racy: the flag is published *before* the data write
+//                    (the classic reordered-publish bug).
+//
+// None of the handoffs use acquire/release events — the detectors see
+// plain reads and writes, so every epoch detector reports the sync
+// variables (and, for seqlock/dcl, the data) as races. Ground truth
+// (expected_races) counts only the seeded bugs of the racy variants; the
+// gap is exactly the false-positive mass the AdHocSyncPass must erase.
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+
+namespace dg::wl {
+namespace {
+
+constexpr std::uint32_t kAdhocNs = 13;
+
+// --- adhoc_spinlock ----------------------------------------------------
+
+class AdhocSpinlock final : public sim::SimProgram {
+ public:
+  AdhocSpinlock(WlParams p, bool racy) : p_(p), racy_(racy) {
+    DG_CHECK(p_.threads >= 2);
+  }
+
+  const char* name() const override {
+    return racy_ ? "adhoc_spinlock_racy" : "adhoc_spinlock";
+  }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override { return 1 << 12; }
+  std::uint64_t expected_races() const override { return racy_ ? 1 : 0; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid);
+  }
+
+ private:
+  static constexpr SyncId kLock = sync_id(kAdhocNs, 0);  // CAS arbitration
+  static constexpr SyncId kGo = sync_id(kAdhocNs, 1);    // start-flag gate
+  // Silent gates choreographing the racy variant: the rogue's unlocked
+  // counter access overlaps T2's critical section in every schedule.
+  static constexpr SyncId kGateA = sync_id(kAdhocNs, 10);
+  static constexpr SyncId kGateB = sync_id(kAdhocNs, 11);
+
+  static Addr lock_word() { return region(0); }
+  static Addr counter() { return region(0) + 64; }
+  static Addr go_flag() { return region(0) + 128; }
+  static Addr dead_flag() { return region(0) + 192; }  // never published
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("adhoc_spinlock/init");
+    co_yield Op::write(lock_word(), 4);
+    co_yield Op::write(counter(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    // The start flag: a plain store plus a gate post — the spin-flag
+    // handoff every worker's spin_wait observes.
+    co_yield Op::spin_publish(go_flag(), 4, kGo);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::read(counter(), 4);
+  }
+
+  sim::OpGen worker_body(ThreadId tid) {
+    using sim::Op;
+    co_yield Op::site("adhoc_spinlock/worker");
+    co_yield Op::spin_wait(go_flag(), 4, kGo, 1);
+    if (racy_ && tid == 1) {
+      // BUG (deliberate): an unlocked counter update while T2 sits inside
+      // the critical section (the gates pin that overlap in every
+      // schedule), plus a bounded spin on a flag nobody stores to (the
+      // give-up loop the kSpinLoopWithoutFence lint is for).
+      co_yield Op::site("adhoc_spinlock/rogue");
+      for (std::uint32_t i = 0; i < sim::kSpinProbeReads; ++i)
+        co_yield Op::read(dead_flag(), 4);
+      co_yield Op::gate_wait(kGateA, 1);
+      co_yield Op::read(counter(), 4);
+      co_yield Op::write(counter(), 4);
+      co_yield Op::gate_post(kGateB);
+    }
+    if (racy_ && tid == 2) {
+      // The victim: holds the spinlock while the rogue goes around it.
+      co_yield Op::spin_lock(lock_word(), 4, kLock);
+      co_yield Op::gate_post(kGateA);
+      co_yield Op::gate_wait(kGateB, 1);
+      co_yield Op::read(counter(), 4);
+      co_yield Op::write(counter(), 4);
+      co_yield Op::spin_unlock(lock_word(), 4, kLock);
+    }
+    const std::uint64_t iters = 4 * p_.scale;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      co_yield Op::spin_lock(lock_word(), 4, kLock);
+      co_yield Op::read(counter(), 4);
+      co_yield Op::write(counter(), 4);
+      co_yield Op::spin_unlock(lock_word(), 4, kLock);
+      co_yield Op::compute(4);
+    }
+  }
+
+  WlParams p_;
+  bool racy_;
+};
+
+// --- adhoc_seqlock -----------------------------------------------------
+
+class AdhocSeqlock final : public sim::SimProgram {
+ public:
+  AdhocSeqlock(WlParams p, bool racy) : p_(p), racy_(racy) {
+    DG_CHECK(p_.threads >= 2);
+  }
+
+  const char* name() const override {
+    return racy_ ? "adhoc_seqlock_racy" : "adhoc_seqlock";
+  }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override { return 1 << 12; }
+  std::uint64_t expected_races() const override { return racy_ ? 1 : 0; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    if (tid == 0) return main_body();
+    if (racy_) return tid <= 2 ? racy_writer_body(tid) : reader_body(tid);
+    return tid == 1 ? writer_body() : reader_body(tid);
+  }
+
+ private:
+  static constexpr SyncId kWriterLock = sync_id(kAdhocNs, 2);
+  static constexpr SyncId kRound = sync_id(kAdhocNs, 3);  // publish gate
+  static constexpr SyncId kStall0 = sync_id(kAdhocNs, 12);
+  static constexpr SyncId kStall1 = sync_id(kAdhocNs, 4);
+  static constexpr SyncId kStall2 = sync_id(kAdhocNs, 5);
+
+  static Addr version() { return region(1); }
+  static Addr data() { return region(1) + 64; }
+
+  std::uint64_t rounds() const { return 2 + 2 * p_.scale; }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("adhoc_seqlock/init");
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+  }
+
+  // Race-free writer: version round under a real mutex; the even store is
+  // the publish (a plain write + gate post). After the main rounds, one
+  // stalled round lets reader T2 observe the writer mid-round: the odd
+  // store has landed, so the reader's bracket opens on an odd version
+  // count — a failed attempt whose data read is discarded.
+  sim::OpGen writer_body() {
+    using sim::Op;
+    co_yield Op::site("adhoc_seqlock/writer");
+    for (std::uint64_t r = 0; r < rounds(); ++r) {
+      co_yield Op::acquire(kWriterLock);
+      co_yield Op::write(version(), 4);  // odd: round open
+      co_yield Op::write(data(), 8);
+      co_yield Op::spin_publish(version(), 4, kRound);  // even: publish
+      co_yield Op::release(kWriterLock);
+      co_yield Op::compute(4);
+    }
+    co_yield Op::site("adhoc_seqlock/stalled-round");
+    co_yield Op::acquire(kWriterLock);
+    // Start the stalled round only once every reader has finished its main
+    // rounds (so this round's data write follows their data reads through
+    // the version chain, not by luck of the schedule).
+    co_yield Op::gate_wait(kStall0, p_.threads - 1);
+    co_yield Op::write(version(), 4);  // odd store, then stall...
+    co_yield Op::gate_post(kStall1);
+    co_yield Op::gate_wait(kStall2, 1);  // ...until T2 finished its attempt
+    co_yield Op::write(data(), 8);
+    co_yield Op::spin_publish(version(), 4, kRound);
+    co_yield Op::release(kWriterLock);
+  }
+
+  // BUG (deliberate, racy variant): two writers, no lock. Silent gates
+  // interleave their rounds so the data writes are concurrent in every
+  // schedule: A opens its round, B opens its own before A's data write —
+  // neither data write is ordered against the other.
+  sim::OpGen racy_writer_body(ThreadId tid) {
+    using sim::Op;
+    co_yield Op::site("adhoc_seqlock/racy-writer");
+    if (tid == 1) {
+      co_yield Op::write(version(), 4);
+      co_yield Op::gate_post(kStall1);
+      co_yield Op::gate_wait(kStall2, 1);
+      co_yield Op::write(data(), 8);
+      co_yield Op::spin_publish(version(), 4, kRound);
+    } else {
+      co_yield Op::gate_wait(kStall1, 1);
+      co_yield Op::write(version(), 4);
+      co_yield Op::gate_post(kStall2);
+      co_yield Op::write(data(), 8);
+      co_yield Op::spin_publish(version(), 4, kRound);
+    }
+  }
+
+  sim::OpGen reader_body(ThreadId tid) {
+    using sim::Op;
+    co_yield Op::site("adhoc_seqlock/reader");
+    if (racy_) {
+      // Wait for both racy writers to publish, then one clean attempt.
+      co_yield Op::spin_wait(version(), 4, kRound, 2);
+      co_yield Op::read(data(), 8);
+      co_yield Op::read(version(), 4);
+      co_return;
+    }
+    for (std::uint64_t r = 0; r < rounds(); ++r) {
+      co_yield Op::spin_wait(version(), 4, kRound, r + 1);
+      co_yield Op::read(data(), 8);
+      co_yield Op::read(version(), 4);  // closing re-read
+      co_yield Op::compute(2);
+    }
+    co_yield Op::gate_post(kStall0);
+    if (tid == 2) {
+      // The choreographed failed attempt against the stalled writer.
+      co_yield Op::site("adhoc_seqlock/failed-attempt");
+      co_yield Op::gate_wait(kStall1, 1);
+      co_yield Op::read(version(), 4);
+      co_yield Op::read(data(), 8);  // discarded by the retry protocol
+      co_yield Op::read(version(), 4);
+      co_yield Op::gate_post(kStall2);
+    }
+  }
+
+  WlParams p_;
+  bool racy_;
+};
+
+// --- adhoc_spsc --------------------------------------------------------
+
+class AdhocSpsc final : public sim::SimProgram {
+ public:
+  AdhocSpsc(WlParams p, bool racy) : p_(p), racy_(racy) {}
+
+  const char* name() const override {
+    return racy_ ? "adhoc_spsc_racy" : "adhoc_spsc";
+  }
+  ThreadId num_threads() const override { return 3; }  // main + prod + cons
+  std::uint64_t base_memory_bytes() const override { return 1 << 12; }
+  std::uint64_t expected_races() const override { return racy_ ? 1 : 0; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    if (tid == 0) return main_body();
+    return tid == 1 ? producer_body() : consumer_body();
+  }
+
+ private:
+  static constexpr SyncId kHead = sync_id(kAdhocNs, 6);
+  static constexpr SyncId kTail = sync_id(kAdhocNs, 7);
+  static constexpr std::uint64_t kSlots = 4;
+
+  static Addr head() { return region(2); }
+  static Addr tail() { return region(2) + 8; }
+  static Addr slot(std::uint64_t i) {
+    return region(2) + 64 + (i % kSlots) * 8;
+  }
+
+  std::uint64_t items() const { return kSlots + 4 * p_.scale; }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("adhoc_spsc/init");
+    co_yield Op::write(head(), 4);
+    co_yield Op::write(tail(), 4);
+    co_yield Op::fork(1);
+    co_yield Op::fork(2);
+    co_yield Op::join(1);
+    co_yield Op::join(2);
+  }
+
+  sim::OpGen producer_body() {
+    using sim::Op;
+    co_yield Op::site("adhoc_spsc/producer");
+    for (std::uint64_t i = 0; i < items(); ++i) {
+      if (i >= kSlots)  // ring wrap: wait for the consumer to recycle
+        co_yield Op::spin_wait(tail(), 4, kTail, i - kSlots + 1);
+      co_yield Op::write(slot(i), 8);
+      co_yield Op::spin_publish(head(), 4, kHead);  // index store publishes
+    }
+  }
+
+  sim::OpGen consumer_body() {
+    using sim::Op;
+    co_yield Op::site("adhoc_spsc/consumer");
+    if (racy_) {
+      // BUG (deliberate): peek a slot before the head index covers it.
+      co_yield Op::site("adhoc_spsc/peek");
+      co_yield Op::read(slot(0), 8);
+    }
+    for (std::uint64_t i = 0; i < items(); ++i) {
+      co_yield Op::spin_wait(head(), 4, kHead, i + 1);
+      co_yield Op::read(slot(i), 8);
+      co_yield Op::spin_publish(tail(), 4, kTail);  // recycle the slot
+    }
+  }
+
+  WlParams p_;
+  bool racy_;
+};
+
+// --- adhoc_dcl ---------------------------------------------------------
+
+class AdhocDcl final : public sim::SimProgram {
+ public:
+  AdhocDcl(WlParams p, bool racy) : p_(p), racy_(racy) {
+    DG_CHECK(p_.threads >= 2);
+  }
+
+  const char* name() const override {
+    return racy_ ? "adhoc_dcl_racy" : "adhoc_dcl";
+  }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override { return 1 << 12; }
+  std::uint64_t expected_races() const override { return racy_ ? 1 : 0; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    if (tid == 0) return main_body();
+    return tid == 1 ? init_body() : waiter_body();
+  }
+
+ private:
+  static constexpr SyncId kInitLock = sync_id(kAdhocNs, 8);
+  static constexpr SyncId kReady = sync_id(kAdhocNs, 9);
+
+  static Addr flag() { return region(3); }
+  static Addr data() { return region(3) + 64; }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("adhoc_dcl/init");
+    co_yield Op::write(flag(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+  }
+
+  sim::OpGen init_body() {
+    using sim::Op;
+    co_yield Op::site("adhoc_dcl/initializer");
+    co_yield Op::acquire(kInitLock);
+    co_yield Op::read(flag(), 4);  // second check, under the lock
+    if (racy_) {
+      // BUG (deliberate): flag published before the data it guards.
+      co_yield Op::spin_publish(flag(), 4, kReady);
+      co_yield Op::write(data(), 8);
+    } else {
+      co_yield Op::write(data(), 8);
+      co_yield Op::spin_publish(flag(), 4, kReady);
+    }
+    co_yield Op::release(kInitLock);
+    co_yield Op::read(data(), 8);
+  }
+
+  sim::OpGen waiter_body() {
+    using sim::Op;
+    co_yield Op::site("adhoc_dcl/waiter");
+    co_yield Op::read(flag(), 4);  // fast-path first check
+    co_yield Op::spin_wait(flag(), 4, kReady, 1);
+    co_yield Op::read(data(), 8);
+  }
+
+  WlParams p_;
+  bool racy_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_adhoc_spinlock(WlParams p, bool racy) {
+  return std::make_unique<AdhocSpinlock>(p, racy);
+}
+std::unique_ptr<sim::SimProgram> make_adhoc_seqlock(WlParams p, bool racy) {
+  return std::make_unique<AdhocSeqlock>(p, racy);
+}
+std::unique_ptr<sim::SimProgram> make_adhoc_spsc(WlParams p, bool racy) {
+  return std::make_unique<AdhocSpsc>(p, racy);
+}
+std::unique_ptr<sim::SimProgram> make_adhoc_dcl(WlParams p, bool racy) {
+  return std::make_unique<AdhocDcl>(p, racy);
+}
+
+const std::vector<WorkloadInfo>& adhoc_workloads() {
+  static const std::vector<WorkloadInfo> kAdhoc = {
+      {"adhoc_spinlock", [](WlParams p) { return make_adhoc_spinlock(p, false); }},
+      {"adhoc_spinlock_racy",
+       [](WlParams p) { return make_adhoc_spinlock(p, true); }},
+      {"adhoc_seqlock", [](WlParams p) { return make_adhoc_seqlock(p, false); }},
+      {"adhoc_seqlock_racy",
+       [](WlParams p) { return make_adhoc_seqlock(p, true); }},
+      {"adhoc_spsc", [](WlParams p) { return make_adhoc_spsc(p, false); }},
+      {"adhoc_spsc_racy", [](WlParams p) { return make_adhoc_spsc(p, true); }},
+      {"adhoc_dcl", [](WlParams p) { return make_adhoc_dcl(p, false); }},
+      {"adhoc_dcl_racy", [](WlParams p) { return make_adhoc_dcl(p, true); }},
+  };
+  return kAdhoc;
+}
+
+}  // namespace dg::wl

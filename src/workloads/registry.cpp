@@ -25,6 +25,8 @@ std::unique_ptr<sim::SimProgram> make_workload(const std::string& name,
     if (w.name == name) return w.make(p);
   // Auxiliary programs outside the paper's 11-benchmark table.
   if (name == "lint_fixture") return make_lint_fixture(p);
+  for (const auto& w : adhoc_workloads())
+    if (w.name == name) return w.make(p);
   return nullptr;
 }
 

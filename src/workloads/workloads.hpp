@@ -42,6 +42,17 @@ std::unique_ptr<sim::SimProgram> make_hmmsearch(WlParams p = {});
 /// all_workloads().
 std::unique_ptr<sim::SimProgram> make_lint_fixture(WlParams p = {});
 
+/// Ad-hoc synchronization family (docs/ANALYZER.md §ad-hoc sync): spin
+/// flags, CAS spinlock, seqlock, SPSC index handoff, double-checked init.
+/// All handoffs are plain reads/writes — ground truth for the
+/// AdHocSyncPass false-positive experiments. Not part of the paper suite:
+/// reachable via make_workload() / adhoc_workloads(), absent from
+/// all_workloads().
+std::unique_ptr<sim::SimProgram> make_adhoc_spinlock(WlParams p, bool racy);
+std::unique_ptr<sim::SimProgram> make_adhoc_seqlock(WlParams p, bool racy);
+std::unique_ptr<sim::SimProgram> make_adhoc_spsc(WlParams p, bool racy);
+std::unique_ptr<sim::SimProgram> make_adhoc_dcl(WlParams p, bool racy);
+
 struct WorkloadInfo {
   std::string name;
   std::function<std::unique_ptr<sim::SimProgram>(WlParams)> make;
@@ -49,6 +60,9 @@ struct WorkloadInfo {
 
 /// All 11 paper benchmarks, in the paper's table order.
 const std::vector<WorkloadInfo>& all_workloads();
+
+/// The 8 ad-hoc sync workloads (4 idioms x race-free/racy), in fixed order.
+const std::vector<WorkloadInfo>& adhoc_workloads();
 
 /// Factory by name; returns nullptr for unknown names.
 std::unique_ptr<sim::SimProgram> make_workload(const std::string& name,

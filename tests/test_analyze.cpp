@@ -13,6 +13,7 @@
 #include "detect/fasttrack.hpp"
 #include "rt/trace.hpp"
 #include "support/driver.hpp"
+#include "verify/mode_delivery.hpp"
 #include "workloads/workloads.hpp"
 
 namespace dg {
@@ -354,6 +355,76 @@ TEST(Elision, WorkloadRaceParityWithElision) {
     EXPECT_GE(elided.sink().unique_races(), expected) << name;
     EXPECT_EQ(map.demotions(), 0u) << name;
   }
+}
+
+TEST(Analyzer, LintTruncationKeepsExactTotals) {
+  // More lockset races than kMaxLintsPerKind: the report keeps the cap
+  // verbatim but the per-kind totals stay exact, so nothing is silently
+  // dropped.
+  constexpr std::size_t kBlocks = TraceAnalyzer::kMaxLintsPerKind + 9;
+  TraceAnalyzer az;
+  Driver d(az);
+  d.start(0).start(1).start(2);  // no parent edges: T1 and T2 concurrent
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    const Addr a = 0x100000 + static_cast<Addr>(i) * 64;
+    d.acq(1, 1).write(1, a, 4).rel(1, 1);
+    d.acq(2, 2).write(2, a, 4).rel(2, 2);  // disjoint locksets: race lint
+  }
+  d.finish();
+  const auto& res = az.result();
+  const auto kind = LintFinding::Kind::kLocksetRace;
+  EXPECT_EQ(res.total(kind), kBlocks);
+  EXPECT_EQ(res.kept(kind), TraceAnalyzer::kMaxLintsPerKind);
+  EXPECT_EQ(res.truncated(kind), kBlocks - TraceAnalyzer::kMaxLintsPerKind);
+  // Kinds with no findings report zeroes all round.
+  EXPECT_EQ(res.total(LintFinding::Kind::kLockOrderCycle), 0u);
+  EXPECT_EQ(res.truncated(LintFinding::Kind::kLockOrderCycle), 0u);
+}
+
+TEST(Elision, DemotionParityAcrossDeliveryModes) {
+  // Demote-on-violation must behave identically however events are
+  // delivered: serialized, two-tier batched, or sharded (the violating
+  // accesses land on different stripes of a 4-shard detector).
+  TraceAnalyzer az;
+  Driver a(az);
+  a.start(0).start(1, 0);
+  a.write(1, 0x1000, 4).write(1, 0x1080, 4).finish();
+  auto base = az.build_elision_map();
+  ASSERT_EQ(base.class_of(0x1000), AccessClass::kThreadLocal);
+  ASSERT_EQ(base.class_of(0x1080), AccessClass::kThreadLocal);
+
+  // A divergent execution: T2 writes both ranges with no ordering.
+  rt::TraceRecorder rec;
+  Driver d(rec);
+  d.start(0).start(1, 0).start(2, 0);
+  d.write(1, 0x1000, 4).write(1, 0x1080, 4);
+  d.write(2, 0x1000, 4).write(2, 0x1080, 4);
+  d.finish();
+
+  std::uint64_t demotions[3];
+  std::uint64_t races[3];
+  const verify::DeliveryMode modes[] = {verify::DeliveryMode::kSerialized,
+                                        verify::DeliveryMode::kTwoTier,
+                                        verify::DeliveryMode::kSharded};
+  for (std::size_t i = 0; i < 3; ++i) {
+    ElisionMap map = base;  // fresh map per run: demotion is permanent
+    DynGranConfig cfg;
+    cfg.shards = 4;
+    cfg.shard_stripe_shift = 7;  // 128B stripes: 0x1000 and 0x1080 differ
+    DynGranDetector det(cfg);
+    det.set_elision_map(&map);
+    verify::ModeDeliverer md(det, modes[i]);
+    rt::replay_trace(rec.events(), md);
+    md.flush_all();
+    demotions[i] = map.demotions();
+    races[i] = det.sink().unique_races();
+  }
+  EXPECT_GE(demotions[0], 2u);  // both stripes demoted
+  EXPECT_EQ(demotions[0], demotions[1]);
+  EXPECT_EQ(demotions[0], demotions[2]);
+  EXPECT_EQ(races[0], races[1]);
+  EXPECT_EQ(races[0], races[2]);
+  EXPECT_GE(races[0], 2u) << "both elided races must be recovered";
 }
 
 TEST(Analyzer, LintFixtureWorkloadLiveStream) {

@@ -11,9 +11,12 @@
 //   dgtrace stats <trace> [detector]
 //       replay, then print the per-category memory table (current/peak)
 //       and the overload-governor transition log (DYNGRAN_MEM_BUDGET)
-//   dgtrace analyze <trace> [detector]
-//       ahead-of-time pass: classification summary + concurrency lints;
-//       with a detector, replay with the check-elision map attached
+//   dgtrace analyze <trace> [detector] [--json] [--no-adhoc]
+//       ahead-of-time passes: classification summary, concurrency lints,
+//       and ad-hoc sync recognition (--no-adhoc turns the latter off);
+//       with a detector, replay the edge-synthesized trace with the
+//       check-elision map attached; --json emits a machine-readable
+//       report for CI diffing
 //   dgtrace diff <a.trace> <b.trace>
 //       first diverging event between two traces (determinism debugging)
 //   dgtrace verify <trace> [--repro <out.trace>]
@@ -26,6 +29,7 @@
 //       to DIR (inject F in {drop-read, skip-join, skip-release} plants a
 //       detector bug the fuzzer must catch)
 #include <algorithm>
+#include <array>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/adhoc_sync.hpp"
 #include "analyze/trace_analyzer.hpp"
 #include "bench/harness.hpp"
 #include "detect/dyngran.hpp"
@@ -74,9 +79,9 @@ int usage() {
       "  dgtrace top <trace> [N]\n"
       "  dgtrace replay <trace> <detector>\n"
       "  dgtrace stats <trace> [detector]\n"
-      "  dgtrace analyze <trace> [detector]\n"
+      "  dgtrace analyze <trace> [detector] [--json] [--no-adhoc]\n"
       "  dgtrace diff <a.trace> <b.trace>\n"
-      "  dgtrace verify <trace> [--repro <out.trace>]\n"
+      "  dgtrace verify <trace> [--adhoc] [--repro <out.trace>]\n"
       "  dgtrace fuzz [--seeds N] [--schedules M] [--out DIR] [--inject F]\n"
       "detectors: byte word dynamic dynamic-noshare1 dynamic-noinit djit\n"
       "           lockset drd inspector\n"
@@ -261,8 +266,31 @@ int cmd_stats(int argc, char** argv) {
   return 0;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 int cmd_analyze(int argc, char** argv) {
   if (argc < 3) return usage();
+  bool json = false;
+  bool adhoc = true;
+  std::string detector;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0)
+      json = true;
+    else if (std::strcmp(argv[i], "--no-adhoc") == 0)
+      adhoc = false;
+    else if (detector.empty())
+      detector = argv[i];
+    else
+      return usage();
+  }
   std::vector<TraceEvent> ev;
   std::string err;
   if (!rt::load_trace(argv[2], ev, &err)) {
@@ -272,51 +300,142 @@ int cmd_analyze(int argc, char** argv) {
   analyze::TraceAnalyzer az;
   rt::replay_trace(ev, az);
   const auto& res = az.result();
-  std::printf("%s: %zu events, %" PRIu64 " accesses over %" PRIu64
-              " %u-byte blocks\n",
-              argv[2], ev.size(), res.accesses, res.blocks_total,
-              analyze::TraceAnalyzer::kGrainBytes);
-  std::puts("classification:");
-  for (auto c :
-       {analyze::AccessClass::kThreadLocal,
+
+  // The ad-hoc synchronization pass (docs/ANALYZER.md §ad-hoc sync) and
+  // the transformed trace the detectors replay when it is on.
+  analyze::AdHocSyncPass pass;
+  if (adhoc) pass.run(ev);
+  const analyze::SyncEdgeMap& emap = pass.edge_map();
+  const std::vector<TraceEvent>& replay_ev =
+      adhoc && !emap.empty() ? emap.apply(ev) : ev;
+
+  // Merged per-kind lint totals: TraceAnalyzer owns kinds 0-3, the ad-hoc
+  // pass kinds 4-6; the two ranges never overlap.
+  std::array<std::uint64_t, analyze::kNumLintKinds> totals = res.lint_totals;
+  for (std::size_t k = 0; k < analyze::kNumLintKinds; ++k)
+    totals[k] += pass.lint_totals()[k];
+  auto kept_of = [&](std::size_t k) {
+    std::uint64_t n = res.kept(static_cast<analyze::LintFinding::Kind>(k));
+    for (const auto& l : pass.lints())
+      n += static_cast<std::size_t>(l.kind) == k ? 1 : 0;
+    return n;
+  };
+
+  if (json) {
+    std::printf("{\n  \"file\": \"%s\",\n  \"events\": %zu,\n"
+                "  \"accesses\": %" PRIu64 ",\n  \"blocks\": %" PRIu64 ",\n",
+                json_escape(argv[2]).c_str(), ev.size(), res.accesses,
+                res.blocks_total);
+    std::puts("  \"classification\": {");
+    const analyze::AccessClass classes[] = {
+        analyze::AccessClass::kThreadLocal,
         analyze::AccessClass::kReadOnlyAfterInit,
         analyze::AccessClass::kLockDominated,
-        analyze::AccessClass::kMustCheck}) {
-    std::printf("  %-18s %10" PRIu64 " blocks (%5.1f%%)\n",
-                analyze::to_string(c), res.count(c), res.pct(c));
+        analyze::AccessClass::kMustCheck};
+    for (std::size_t i = 0; i < 4; ++i)
+      std::printf("    \"%s\": %" PRIu64 "%s\n",
+                  analyze::to_string(classes[i]), res.count(classes[i]),
+                  i + 1 < 4 ? "," : "");
+    std::puts("  },");
+    std::puts("  \"lints\": {");
+    for (std::size_t k = 0; k < analyze::kNumLintKinds; ++k)
+      std::printf("    \"%s\": {\"total\": %" PRIu64 ", \"kept\": %" PRIu64
+                  "}%s\n",
+                  analyze::to_string(
+                      static_cast<analyze::LintFinding::Kind>(k)),
+                  totals[k], kept_of(k),
+                  k + 1 < analyze::kNumLintKinds ? "," : "");
+    std::puts("  },");
+    std::puts("  \"lint_messages\": [");
+    std::vector<std::string> msgs;
+    for (const auto& l : res.lints)
+      msgs.push_back(std::string(analyze::to_string(l.kind)) + ": " +
+                     l.message);
+    for (const auto& l : pass.lints())
+      msgs.push_back(std::string(analyze::to_string(l.kind)) + ": " +
+                     l.message);
+    for (std::size_t i = 0; i < msgs.size(); ++i)
+      std::printf("    \"%s\"%s\n", json_escape(msgs[i]).c_str(),
+                  i + 1 < msgs.size() ? "," : "");
+    std::puts("  ],");
+    const auto& st = pass.stats();
+    std::printf(
+        "  \"adhoc\": {\"enabled\": %s, \"sync_vars\": %zu, \"edges\": %zu, "
+        "\"dropped_reads\": %zu, \"spin_runs\": %zu, \"published\": %zu, "
+        "\"cas\": %zu, \"unfenced\": %zu, \"reader_attempts\": %zu, "
+        "\"failed_attempts\": %zu, \"writer_rounds\": %zu}%s\n",
+        adhoc ? "true" : "false", emap.vars().size(), emap.edges(),
+        emap.dropped_reads(), st.spin_runs, st.spin_runs_published,
+        st.spin_runs_cas, st.spin_runs_unfenced, st.reader_attempts,
+        st.failed_attempts, st.writer_rounds, detector.empty() ? "" : ",");
+  } else {
+    std::printf("%s: %zu events, %" PRIu64 " accesses over %" PRIu64
+                " %u-byte blocks\n",
+                argv[2], ev.size(), res.accesses, res.blocks_total,
+                analyze::TraceAnalyzer::kGrainBytes);
+    std::puts("classification:");
+    for (auto c :
+         {analyze::AccessClass::kThreadLocal,
+          analyze::AccessClass::kReadOnlyAfterInit,
+          analyze::AccessClass::kLockDominated,
+          analyze::AccessClass::kMustCheck}) {
+      std::printf("  %-18s %10" PRIu64 " blocks (%5.1f%%)\n",
+                  analyze::to_string(c), res.count(c), res.pct(c));
+    }
+    std::printf("lint: %zu findings (%" PRIu64 " lock-order cycles, %" PRIu64
+                " lockset-racy blocks)\n",
+                res.lints.size() + pass.lints().size(),
+                res.lock_order_cycles, res.lockset_racy_blocks);
+    for (const auto& l : res.lints)
+      std::printf("lint: %s: %s\n", analyze::to_string(l.kind),
+                  l.message.c_str());
+    for (const auto& l : pass.lints())
+      std::printf("lint: %s: %s\n", analyze::to_string(l.kind),
+                  l.message.c_str());
+    for (std::size_t k = 0; k < analyze::kNumLintKinds; ++k)
+      if (totals[k] > kept_of(k))
+        std::printf("lint: %" PRIu64 " more %s findings truncated\n",
+                    totals[k] - kept_of(k),
+                    analyze::to_string(
+                        static_cast<analyze::LintFinding::Kind>(k)));
+    if (adhoc)
+      std::printf("ad-hoc sync: %zu variables, %zu synthesized edges, "
+                  "%zu failed-attempt reads dropped\n",
+                  emap.vars().size(), emap.edges(), emap.dropped_reads());
   }
-  std::printf("lint: %zu findings (%" PRIu64 " lock-order cycles, %" PRIu64
-              " lockset-racy blocks)\n",
-              res.lints.size(), res.lock_order_cycles,
-              res.lockset_racy_blocks);
-  for (const auto& l : res.lints)
-    std::printf("lint: %s: %s\n", analyze::to_string(l.kind),
-                l.message.c_str());
 
-  if (argc > 3) {
+  if (!detector.empty()) {
     auto map = az.build_elision_map();
-    auto det = bench::detector_factory(argv[3])();
+    auto det = bench::detector_factory(detector)();
+    bool elision = true;
     if (auto* dg = dynamic_cast<DynGranDetector*>(det.get()))
       dg->set_elision_map(&map);
     else if (auto* ft = dynamic_cast<FastTrackDetector*>(det.get()))
       ft->set_elision_map(&map);
-    else {
-      std::fprintf(stderr, "detector '%s' does not support elision\n",
-                   argv[3]);
-      return 1;
+    else
+      elision = false;
+    rt::replay_trace(replay_ev, *det);
+    if (json) {
+      std::printf("  \"detector\": {\"name\": \"%s\", \"elision\": %s, "
+                  "\"races\": %" PRIu64 ", \"raw_reports\": %" PRIu64 "}\n",
+                  det->name(), elision ? "true" : "false",
+                  det->sink().unique_races(), det->sink().raw_reports());
+    } else {
+      if (elision)
+        std::printf("replay with elision under %s: %" PRIu64 " of %" PRIu64
+                    " checks elided (%.1f%%), %" PRIu64 " demotions\n",
+                    det->name(),
+                    static_cast<std::uint64_t>(det->stats().elided_checks),
+                    static_cast<std::uint64_t>(det->stats().shared_accesses),
+                    det->stats().elided_pct(), map.demotions());
+      else
+        std::printf("replay under %s (no elision support)\n", det->name());
+      std::printf("races: %" PRIu64 " unique locations (%" PRIu64
+                  " raw reports)\n",
+                  det->sink().unique_races(), det->sink().raw_reports());
     }
-    rt::replay_trace(ev, *det);
-    std::printf("replay with elision under %s: %" PRIu64 " of %" PRIu64
-                " checks elided (%.1f%%), %" PRIu64 " demotions\n",
-                det->name(),
-                static_cast<std::uint64_t>(det->stats().elided_checks),
-                static_cast<std::uint64_t>(det->stats().shared_accesses),
-                det->stats().elided_pct(),
-                map.demotions());
-    std::printf("races: %" PRIu64 " unique locations (%" PRIu64
-                " raw reports)\n",
-                det->sink().unique_races(), det->sink().raw_reports());
   }
+  if (json) std::puts("}");
   return 0;
 }
 
@@ -353,8 +472,15 @@ int cmd_diff(int argc, char** argv) {
 int cmd_verify(int argc, char** argv) {
   if (argc < 3) return usage();
   std::string repro;
-  for (int i = 3; i + 1 < argc; i += 2)
-    if (std::strcmp(argv[i], "--repro") == 0) repro = argv[i + 1];
+  bool adhoc = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc)
+      repro = argv[++i];
+    else if (std::strcmp(argv[i], "--adhoc") == 0)
+      adhoc = true;
+    else
+      return usage();
+  }
   std::vector<TraceEvent> ev;
   std::string err;
   if (!rt::load_trace(argv[2], ev, &err)) {
@@ -362,6 +488,17 @@ int cmd_verify(int argc, char** argv) {
     return 1;
   }
   const auto matrix = verify::default_matrix();
+  if (adhoc) {
+    // Run the ad-hoc sync pass and verify the rewritten trace — the
+    // oracle replays the same events, so it honors the synthesized edges.
+    analyze::AdHocSyncPass pass;
+    pass.run(ev);
+    std::printf("ad-hoc sync: %zu variables, %zu synthesized edges, "
+                "%zu failed-attempt reads dropped\n",
+                pass.edge_map().vars().size(), pass.edge_map().edges(),
+                pass.edge_map().dropped_reads());
+    ev = pass.edge_map().apply(ev);
+  }
   const auto res = verify::diff_trace(ev, matrix);
   std::printf("%s: %zu events, %zu racy bytes per the exact HB oracle\n",
               argv[2], ev.size(), res.oracle_bytes);

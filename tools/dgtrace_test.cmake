@@ -59,6 +59,36 @@ run_expect(${DGTRACE} analyze ${lint_trace} dynamic EXPECT
   "races: 1 unique locations")
 file(REMOVE ${lint_trace})
 
+# Ad-hoc sync recognition (docs/ANALYZER.md): the race-free spinlock
+# workload is pure false positives without the pass and silent with it;
+# --json emits the machine-readable report CI diffs; the racy DCL variant
+# keeps its seeded race through the rewrite and the oracle agrees.
+set(adhoc_trace ${WORKDIR}/adhoc_ci.trace)
+run(${DGTRACE} record adhoc_spinlock ${adhoc_trace} 3 1 7)
+run_expect(${DGTRACE} analyze ${adhoc_trace} byte EXPECT
+  "lint: ad-hoc sync recognized:"
+  "CAS spinlock"
+  "spin-flag handoff"
+  "ad-hoc sync: 2 variables"
+  "races: 0 unique locations")
+run_expect(${DGTRACE} analyze ${adhoc_trace} byte --no-adhoc EXPECT
+  "races: 3 unique locations")
+run_expect(${DGTRACE} analyze ${adhoc_trace} --json EXPECT
+  "\"ad-hoc sync recognized\": {\"total\": 2, \"kept\": 2}"
+  "\"sync_vars\": 2"
+  "\"MustCheck\": 3")
+run_expect(${DGTRACE} verify ${adhoc_trace} --adhoc EXPECT
+  "ad-hoc sync: 2 variables"
+  "0 racy bytes per the exact HB oracle"
+  "verify: no divergence")
+file(REMOVE ${adhoc_trace})
+set(adhoc_racy ${WORKDIR}/adhoc_racy_ci.trace)
+run(${DGTRACE} record adhoc_dcl_racy ${adhoc_racy} 3 1 7)
+run_expect(${DGTRACE} verify ${adhoc_racy} --adhoc EXPECT
+  "8 racy bytes per the exact HB oracle"
+  "verify: no divergence")
+file(REMOVE ${adhoc_racy})
+
 # Overload-governor reporting (docs/ROBUSTNESS.md): `stats` prints the
 # per-category accountant table, and a deliberately hopeless
 # DYNGRAN_MEM_BUDGET must degrade with visible counters — never fail.
