@@ -1,17 +1,319 @@
 #include "detect/sampling.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.hpp"
 
 namespace dg {
 
-SamplingDetector::SamplingDetector(std::unique_ptr<Detector> inner,
-                                   SamplingConfig cfg)
-    : cfg_(cfg), inner_(std::move(inner)), rng_(cfg.seed) {
-  DG_CHECK(inner_ != nullptr);
+const char SamplingDetector::kNullSite[] = "<unlabeled>";
+
+namespace {
+
+// Stateless per-window coin, same construction as Governor::coin so the
+// PACER gate is IEEE-deterministic across platforms and needs no shared
+// sampler state under concurrent delivery: SplitMix64 of the window
+// ordinal gives u ∈ [0, 1), sampled iff u < rate (rate 1.0 always wins).
+bool window_coin(std::uint64_t seed, std::uint64_t window,
+                 double rate) noexcept {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (window + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double u =
+      static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+  return u < rate;
 }
 
+// Fully mixed so the per-thread streams are decorrelated: a plain additive
+// gamma would make (t, w) collide with (t+1, w-1) inside window_coin's own
+// additive step, sampling the same shifted window sequence on every thread.
+std::uint64_t thread_seed(std::uint64_t seed, ThreadId t) noexcept {
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(t) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SamplingDetector::PerThread::PerThread(const SamplingConfig& cfg, ThreadId t)
+    : tid(t),
+      rng(thread_seed(cfg.seed, t)),
+      cur_site(kNullSite),
+      memo_interned(kNullSite) {}
+
+SamplingDetector::SamplingDetector(std::unique_ptr<Detector> inner,
+                                   SamplingConfig cfg)
+    : cfg_(cfg),
+      inner_(inner.get()),
+      owned_(std::move(inner)),
+      slots_(kMaxThreads) {
+  DG_CHECK(inner_ != nullptr);
+  cfg_.window_length = std::max<std::uint32_t>(1, cfg_.window_length);
+  cfg_.control_interval = std::max<std::uint32_t>(1, cfg_.control_interval);
+}
+
+SamplingDetector::SamplingDetector(Detector& inner, SamplingConfig cfg)
+    : cfg_(cfg), inner_(&inner), slots_(kMaxThreads) {
+  cfg_.window_length = std::max<std::uint32_t>(1, cfg_.window_length);
+  cfg_.control_interval = std::max<std::uint32_t>(1, cfg_.control_interval);
+}
+
+SamplingDetector::~SamplingDetector() = default;
+
+SamplingDetector::PerThread& SamplingDetector::state(ThreadId t) {
+  DG_CHECK_MSG(t < kMaxThreads, "thread id beyond sampler slot capacity");
+  std::atomic<PerThread*>& slot = slots_[t];
+  PerThread* p = slot.load(std::memory_order_acquire);
+  if (p != nullptr) return *p;
+  // Only tid's deliverer reaches here (single writer per slot); the mutex
+  // guards the ownership vector, not the slot.
+  auto created = std::make_unique<PerThread>(cfg_, t);
+  p = created.get();
+  {
+    std::scoped_lock lk(own_mu_);
+    owned_states_.push_back(std::move(created));
+  }
+  slot.store(p, std::memory_order_release);
+  return *p;
+}
+
+const char* SamplingDetector::intern(const char* site) {
+  if (site == nullptr) return kNullSite;
+  std::scoped_lock lk(intern_mu_);
+  return interned_.emplace(site).first->c_str();
+}
+
+const char* SamplingDetector::memo_intern(PerThread& ts, const char* raw) {
+  if (raw == nullptr) return kNullSite;
+  if (raw == ts.memo_raw) return ts.memo_interned;
+  const char* in = intern(raw);
+  ts.memo_raw = raw;
+  ts.memo_interned = in;
+  return in;
+}
+
+void SamplingDetector::journal_thread(PerThread& ts, GateUndo* undo) {
+  if (undo == nullptr) return;
+  for (const GateUndo::ThreadSnap& s : undo->threads)
+    if (s.ts == &ts) return;
+  undo->threads.push_back({&ts, ts.total.load(std::memory_order_relaxed),
+                           ts.sampled.load(std::memory_order_relaxed), ts.pos,
+                           ts.rng, ts.cur_site, ts.memo_raw,
+                           ts.memo_interned});
+}
+
+SamplingDetector::SiteState& SamplingDetector::site_state(PerThread& ts,
+                                                          const char* site,
+                                                          GateUndo* undo) {
+  // unordered_map rehash moves buckets but never element storage, so the
+  // journaled SiteState pointers stay valid across later insertions.
+  SiteState& st = ts.sites[site];
+  if (undo != nullptr) {
+    bool seen = false;
+    for (const auto& entry : undo->sites)
+      if (entry.first == &st) {
+        seen = true;
+        break;
+      }
+    if (!seen) undo->sites.emplace_back(&st, st);
+  }
+  return st;
+}
+
+double SamplingDetector::gate_scale() const noexcept {
+  double s = scale_.load(std::memory_order_relaxed);
+  if (gov_ != nullptr) s *= gov_->gate_rate();
+  return s;
+}
+
+std::uint32_t SamplingDetector::budget_now(PerThread& ts,
+                                           double scale) noexcept {
+  const double b = static_cast<double>(cfg_.budget_per_window) * scale;
+  const double fl = std::floor(b);
+  auto granted = static_cast<std::uint32_t>(fl);
+  // Probabilistic rounding keeps fractional budgets meaningful (a scaled
+  // budget of 0.25 still samples the site in a quarter of its windows).
+  if (ts.rng.uniform01() < b - fl) ++granted;
+  return granted;
+}
+
+bool SamplingDetector::should_sample(PerThread& ts, const char* site,
+                                     GateUndo* undo) {
+  journal_thread(ts, undo);
+  ts.total.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t pos = ts.pos++;
+  if (cfg_.target_overhead > 0.0 && ts.pos % cfg_.control_interval == 0)
+    controller_step();
+  const double scale = gate_scale();
+  switch (cfg_.policy) {
+    case SamplingPolicy::kPacer: {
+      // Window ordinal of this access: exactly window_length accesses per
+      // window (ordinals [kL, (k+1)L) form window k). The stateless coin
+      // over the ordinal replaces the legacy stateful counter, which both
+      // produced windows of window_length + 1 (`window_pos_++ >= length`)
+      // and hardcoded the first window as sampled regardless of
+      // pacer_rate; window 0 now takes the same coin as every other.
+      const std::uint64_t window = pos / cfg_.window_length;
+      const double rate = std::clamp(cfg_.pacer_rate * scale, 0.0, 1.0);
+      return window_coin(thread_seed(cfg_.seed, ts.tid), window, rate);
+    }
+    case SamplingPolicy::kLiteRace: {
+      // Per-site bursts with adaptive decay ("the sampler starts at a
+      // 100% sampling rate and the rate is adaptively decreased").
+      SiteState& st = site_state(ts, site, undo);
+      if (st.burst_left > 0) {
+        --st.burst_left;
+        return true;
+      }
+      if (ts.rng.uniform01() < st.rate * scale) {
+        st.burst_left = cfg_.burst_length - 1;
+        st.rate = std::max(cfg_.floor, st.rate * cfg_.decay);
+        return true;
+      }
+      return false;
+    }
+    case SamplingPolicy::kBudget: {
+      const std::uint64_t window = pos / cfg_.window_length;
+      SiteState& st = site_state(ts, site, undo);
+      if (!st.active || st.window != window) {
+        if (window < st.cool_until) return false;  // hot site cooling down
+        if (st.active && st.budget_left > 0) {
+          // Previous active window ended with budget to spare: cold again.
+          st.heat = 0;
+        }
+        st.window = window;
+        st.active = true;
+        st.budget_left = budget_now(ts, scale);
+      }
+      if (st.budget_left == 0) return false;
+      --st.budget_left;
+      if (st.budget_left == 0) {
+        // Budget exhausted: the site is hot. Sit out an exponentially
+        // growing number of windows (capped), settling once — the state
+        // is untouched during the cooldown, so the penalty cannot
+        // compound without new evidence.
+        st.heat = std::min<std::uint32_t>(st.heat + 1, 20);
+        st.cool_until = window + 1 +
+                        std::min<std::uint64_t>(std::uint64_t{1} << st.heat,
+                                                cfg_.cooldown_max);
+        st.active = false;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+bool SamplingDetector::gate(PerThread& ts, const char* site, GateUndo* undo) {
+  if (should_sample(ts, site, undo)) {
+    ts.sampled.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Under gate delegation the governor's Orange/Red shedding happens here
+  // instead of in Governor::admit(); attribute drops made while a pressure
+  // rate is in force to governed_skipped so `dgtrace stats` and the CI
+  // stress greps keep seeing the shed volume. (Joint attribution: a drop
+  // the policy would have made anyway also counts.)
+  if (gov_ != nullptr && gov_->gate_rate() < 1.0) {
+    inner_->stats().governed_skipped.fetch_add(1, std::memory_order_relaxed);
+    if (undo != nullptr) ++undo->gov_drops;
+  }
+  return false;
+}
+
+void SamplingDetector::gate_batch(PerThread& ts, const BatchedEvent* events,
+                                  std::size_t n, GateUndo* undo) {
+  ts.scratch.clear();
+  ts.scratch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchedEvent& e = events[i];
+    switch (e.kind) {
+      case BatchedEvent::Kind::kRead:
+      case BatchedEvent::Kind::kWrite: {
+        PerThread& es = e.tid == ts.tid ? ts : state(e.tid);
+        // Sharded drains stamp the site on every access; plain batches
+        // leave it null and rely on the thread's current kSite label.
+        const char* site =
+            e.site != nullptr ? memo_intern(es, e.site) : es.cur_site;
+        if (gate(es, site, undo)) ts.scratch.push_back(e);
+        break;
+      }
+      case BatchedEvent::Kind::kSite: {
+        PerThread& es = e.tid == ts.tid ? ts : state(e.tid);
+        journal_thread(es, undo);
+        es.cur_site = memo_intern(es, e.site);
+        ts.scratch.push_back(e);
+        break;
+      }
+      case BatchedEvent::Kind::kAlloc:
+      case BatchedEvent::Kind::kFree:
+        // Never sampled away: "all synchronization operations are
+        // collected" (LiteRace) — detectors drop shadow state on free,
+        // and a missed alloc/free would leak stale clocks into recycled
+        // memory, turning sampling's misses into false alarms.
+        ts.scratch.push_back(e);
+        break;
+    }
+  }
+}
+
+void SamplingDetector::rollback(const GateUndo& undo) {
+  for (const GateUndo::ThreadSnap& s : undo.threads) {
+    s.ts->total.store(s.total, std::memory_order_relaxed);
+    s.ts->sampled.store(s.sampled, std::memory_order_relaxed);
+    s.ts->pos = s.pos;
+    s.ts->rng = s.rng;
+    s.ts->cur_site = s.cur_site;
+    s.ts->memo_raw = s.memo_raw;
+    s.ts->memo_interned = s.memo_interned;
+  }
+  for (const auto& entry : undo.sites) *entry.first = entry.second;
+  if (undo.gov_drops > 0)
+    inner_->stats().governed_skipped.fetch_sub(undo.gov_drops,
+                                               std::memory_order_relaxed);
+}
+
+void SamplingDetector::controller_step() {
+  std::unique_lock lk(ctl_mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return;  // another thread is stepping
+  const std::uint64_t tot = total_accesses();
+  const std::uint64_t smp = sampled_accesses();
+  if (tot < ctl_last_total_ || smp < ctl_last_sampled_) {
+    // A try_on_batch_shard rollback rewound the counters; resync.
+    ctl_last_total_ = tot;
+    ctl_last_sampled_ = smp;
+    return;
+  }
+  const std::uint64_t dt = tot - ctl_last_total_;
+  if (dt < cfg_.control_interval / 2) return;  // too little new signal
+  const std::uint64_t ds = smp - ctl_last_sampled_;
+  ctl_last_total_ = tot;
+  ctl_last_sampled_ = smp;
+  const double analyzed = static_cast<double>(ds) / static_cast<double>(dt);
+  // EWMA smooths window-granular policies (a PACER interval analyzes all
+  // or nothing) so the multiplicative controller doesn't slam between its
+  // clamps on every step.
+  ctl_obs_ = ctl_obs_ < 0.0 ? analyzed : 0.7 * ctl_obs_ + 0.3 * analyzed;
+  const double modeled = cfg_.cost_ratio * ctl_obs_;
+  double s = scale_.load(std::memory_order_relaxed);
+  const double adjust =
+      modeled <= 0.0 ? 2.0  // analyzing nothing: probe upward
+                     : std::clamp(cfg_.target_overhead / modeled, 0.5, 2.0);
+  s = std::clamp(s * adjust, cfg_.min_scale, 1.0);
+  scale_.store(s, std::memory_order_relaxed);
+}
+
+// ---- event forwarding ------------------------------------------------
+
 void SamplingDetector::on_thread_start(ThreadId t, ThreadId parent) {
-  if (t >= current_site_.size()) current_site_.resize(t + 1, nullptr);
+  state(t);  // pre-create the slot while delivery is exclusive
   inner_->on_thread_start(t, parent);
 }
 
@@ -19,9 +321,8 @@ void SamplingDetector::on_thread_join(ThreadId joiner, ThreadId joined) {
   inner_->on_thread_join(joiner, joined);
 }
 
-// Synchronization is never sampled away: "all synchronization operations
-// are collected" (LiteRace), and a missing release/acquire edge would turn
-// sampling's misses into false alarms.
+// Synchronization is never sampled away: a missing release/acquire edge
+// would turn sampling's misses into false alarms.
 void SamplingDetector::on_acquire(ThreadId t, SyncId s) {
   inner_->on_acquire(t, s);
 }
@@ -37,46 +338,269 @@ void SamplingDetector::on_free(ThreadId t, Addr a, std::uint64_t n) {
 void SamplingDetector::on_finish() { inner_->on_finish(); }
 
 void SamplingDetector::set_site(ThreadId t, const char* site) {
-  if (t >= current_site_.size()) current_site_.resize(t + 1, nullptr);
-  current_site_[t] = site;
+  PerThread& ts = state(t);
+  ts.cur_site = memo_intern(ts, site);
+  // The inner detector gets the caller's pointer, not the interned copy:
+  // reports may be read after this decorator is gone (non-owning mode),
+  // so the sinks below must never hold pointers into the intern table.
   inner_->set_site(t, site);
 }
 
-bool SamplingDetector::should_sample(ThreadId t) {
-  ++total_;
-  if (cfg_.policy == SamplingPolicy::kPacer) {
-    if (window_pos_++ >= cfg_.window_length) {
-      window_pos_ = 0;
-      window_sampled_ = rng_.uniform01() < cfg_.pacer_rate;
-    }
-    return window_sampled_;
-  }
-  // LiteRace: per-site bursts with adaptive decay.
-  const char* site = t < current_site_.size() ? current_site_[t] : nullptr;
-  SiteState& st = sites_[site];
-  if (st.burst_left > 0) {
-    --st.burst_left;
-    return true;
-  }
-  if (rng_.uniform01() < st.rate) {
-    // Start a sampled burst and cool the site down for next time.
-    st.burst_left = cfg_.burst_length - 1;
-    st.rate = std::max(cfg_.floor, st.rate * cfg_.decay);
-    return true;
-  }
-  return false;
-}
-
 void SamplingDetector::on_read(ThreadId t, Addr addr, std::uint32_t size) {
-  if (!should_sample(t)) return;
-  ++sampled_;
+  PerThread& ts = state(t);
+  if (!gate(ts, ts.cur_site, nullptr)) return;
   inner_->on_read(t, addr, size);
 }
 
 void SamplingDetector::on_write(ThreadId t, Addr addr, std::uint32_t size) {
-  if (!should_sample(t)) return;
-  ++sampled_;
+  PerThread& ts = state(t);
+  if (!gate(ts, ts.cur_site, nullptr)) return;
   inner_->on_write(t, addr, size);
+}
+
+void SamplingDetector::on_batch(const BatchedEvent* events, std::size_t n) {
+  if (n == 0) return;
+  PerThread& ts = state(events[0].tid);
+  gate_batch(ts, events, n, nullptr);
+  inner_->on_batch(ts.scratch.data(), ts.scratch.size());
+}
+
+void SamplingDetector::on_batch_shard(std::uint32_t shard,
+                                      const BatchedEvent* events,
+                                      std::size_t n) {
+  if (n == 0) return;
+  PerThread& ts = state(events[0].tid);
+  gate_batch(ts, events, n, nullptr);
+  inner_->on_batch_shard(shard, ts.scratch.data(), ts.scratch.size());
+}
+
+bool SamplingDetector::try_on_batch_shard(std::uint32_t shard,
+                                          const BatchedEvent* events,
+                                          std::size_t n) {
+  if (n == 0) return true;
+  PerThread& ts = state(events[0].tid);
+  GateUndo undo;
+  gate_batch(ts, events, n, &undo);
+  if (inner_->try_on_batch_shard(shard, ts.scratch.data(),
+                                 ts.scratch.size())) {
+    return true;
+  }
+  // Refused: rewind every gate decision so the runtime's retry of the
+  // same staged batch re-gates from identical state (no event is counted
+  // twice against budgets, window positions or the PRNG streams).
+  rollback(undo);
+  return false;
+}
+
+void SamplingDetector::set_governor(govern::Governor* g) noexcept {
+  if (gov_ != nullptr && gov_ != g) gov_->delegate_gate(false);
+  gov_ = g;
+  if (gov_ != nullptr) gov_->delegate_gate(true);
+  inner_->set_governor(g);
+  Detector::set_governor(g);
+}
+
+std::uint64_t SamplingDetector::total_accesses() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& slot : slots_) {
+    const PerThread* p = slot.load(std::memory_order_acquire);
+    if (p != nullptr) sum += p->total.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t SamplingDetector::sampled_accesses() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& slot : slots_) {
+    const PerThread* p = slot.load(std::memory_order_acquire);
+    if (p != nullptr) sum += p->sampled.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+// ---- spec parsing ----------------------------------------------------
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool parse_double(const std::string& v, double* out) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str()) return false;
+  if (*end == '%') {  // percentage form: "5%" == 0.05
+    *out = d / 100.0;
+    return *(end + 1) == '\0';
+  }
+  *out = d;
+  return *end == '\0';
+}
+
+bool parse_u32(const std::string& v, std::uint32_t* out) {
+  char* end = nullptr;
+  const unsigned long long u = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || u > UINT32_MAX) return false;
+  *out = static_cast<std::uint32_t>(u);
+  return true;
+}
+
+bool parse_u64(const std::string& v, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long u = std::strtoull(v.c_str(), &end, 0);
+  if (end == v.c_str() || *end != '\0') return false;
+  *out = u;
+  return true;
+}
+
+void set_fail(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+}
+
+}  // namespace
+
+bool parse_sampling_spec(const std::string& spec, SamplingConfig* out,
+                         std::string* err) {
+  if (err != nullptr) err->clear();
+  SamplingConfig cfg;
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    parts.push_back(trimmed(spec.substr(start, end - start)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  const std::string& policy = parts[0];
+  if (policy.empty() || policy == "off" || policy == "none") return false;
+  if (policy == "literace") {
+    cfg.policy = SamplingPolicy::kLiteRace;
+  } else if (policy == "pacer") {
+    cfg.policy = SamplingPolicy::kPacer;
+  } else if (policy == "budget") {
+    cfg.policy = SamplingPolicy::kBudget;
+  } else {
+    set_fail(err, "unknown sampling policy '" + policy +
+                      "' (want literace|pacer|budget|off)");
+    return false;
+  }
+
+  double bare_rate = -1.0;
+  std::uint32_t budget_override = 0;
+  bool have_budget_override = false;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      double v = 0.0;
+      if (i != 1 || !parse_double(part, &v) || v < 0.0 || v > 1.0) {
+        set_fail(err, "bad sampling rate '" + part + "' (want 0..1)");
+        return false;
+      }
+      bare_rate = v;
+      continue;
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string val = part.substr(eq + 1);
+    if (key == "target") {
+      if (!parse_double(val, &cfg.target_overhead) ||
+          cfg.target_overhead < 0.0) {
+        set_fail(err, "bad target overhead '" + val + "'");
+        return false;
+      }
+    } else if (key == "window") {
+      if (!parse_u32(val, &cfg.window_length) || cfg.window_length == 0) {
+        set_fail(err, "bad window length '" + val + "'");
+        return false;
+      }
+    } else if (key == "burst") {
+      if (!parse_u32(val, &cfg.burst_length) || cfg.burst_length == 0) {
+        set_fail(err, "bad burst length '" + val + "'");
+        return false;
+      }
+    } else if (key == "budget") {
+      if (!parse_u32(val, &budget_override)) {
+        set_fail(err, "bad budget '" + val + "'");
+        return false;
+      }
+      have_budget_override = true;
+    } else if (key == "cooldown") {
+      if (!parse_u32(val, &cfg.cooldown_max)) {
+        set_fail(err, "bad cooldown '" + val + "'");
+        return false;
+      }
+    } else if (key == "decay") {
+      if (!parse_double(val, &cfg.decay) || cfg.decay <= 0.0 ||
+          cfg.decay > 1.0) {
+        set_fail(err, "bad decay '" + val + "' (want 0..1)");
+        return false;
+      }
+    } else if (key == "floor") {
+      if (!parse_double(val, &cfg.floor) || cfg.floor < 0.0 ||
+          cfg.floor > 1.0) {
+        set_fail(err, "bad floor '" + val + "' (want 0..1)");
+        return false;
+      }
+    } else if (key == "cost") {
+      if (!parse_double(val, &cfg.cost_ratio) || cfg.cost_ratio <= 0.0) {
+        set_fail(err, "bad cost ratio '" + val + "'");
+        return false;
+      }
+    } else if (key == "interval") {
+      if (!parse_u32(val, &cfg.control_interval) ||
+          cfg.control_interval == 0) {
+        set_fail(err, "bad control interval '" + val + "'");
+        return false;
+      }
+    } else if (key == "seed") {
+      if (!parse_u64(val, &cfg.seed)) {
+        set_fail(err, "bad seed '" + val + "'");
+        return false;
+      }
+    } else {
+      set_fail(err, "unknown sampling key '" + key + "'");
+      return false;
+    }
+  }
+  if (bare_rate >= 0.0) {
+    // The bare rate maps onto each policy's main knob.
+    switch (cfg.policy) {
+      case SamplingPolicy::kPacer:
+        cfg.pacer_rate = bare_rate;
+        break;
+      case SamplingPolicy::kLiteRace:
+        cfg.floor = bare_rate;
+        if (bare_rate >= 1.0) cfg.decay = 1.0;  // 1.0 means full rate
+        break;
+      case SamplingPolicy::kBudget:
+        if (!have_budget_override) {
+          cfg.budget_per_window = static_cast<std::uint32_t>(
+              std::lround(bare_rate * cfg.window_length));
+        }
+        break;
+    }
+  }
+  if (have_budget_override) cfg.budget_per_window = budget_override;
+  *out = cfg;
+  return true;
+}
+
+bool sampling_config_from_env(SamplingConfig* out) {
+  const char* env = std::getenv("DYNGRAN_SAMPLING");
+  if (env == nullptr || *env == '\0') return false;
+  std::string err;
+  if (parse_sampling_spec(env, out, &err)) return true;
+  if (!err.empty())
+    std::fprintf(stderr, "dyngran: ignoring DYNGRAN_SAMPLING: %s\n",
+                 err.c_str());
+  return false;
 }
 
 }  // namespace dg

@@ -1,5 +1,5 @@
-// SamplingDetector — sampling-based overhead reduction, the alternative
-// strategy the paper surveys in §VI:
+// SamplingDetector — the always-on sampling tier (ROADMAP item 2), built
+// from the sampling strategies the paper surveys in §VI:
 //
 //   * LiteRace (Marino et al., PLDI'09): per-code-region adaptive burst
 //     sampling grounded in the cold-region hypothesis — "infrequently
@@ -10,19 +10,53 @@
 //   * PACER (Bond et al., PLDI'10): global proportional sampling —
 //     "periodically samples all threads and offers a detection rate
 //     proportional to the sampling rate."
+//   * Budgeted (after *Dynamic Race Detection with O(1) Samples*): each
+//     (thread, site) pair gets a hard budget of samples per window; a site
+//     that exhausts its budget is "hot" and sits out an exponentially
+//     growing number of windows (adaptive cooldown), while cold sites —
+//     where the bugs hide — stay fully sampled. Unlike the uniform PACER
+//     coin this bounds the per-site analysis cost deterministically.
 //
-// Implemented as a decorator over any inner Detector: synchronization
-// events are ALWAYS forwarded (skipping them would corrupt the
-// happens-before relation and cause false alarms), memory accesses are
-// forwarded according to the sampling policy. Skipping accesses of a
-// vector-clock detector can only *miss* races, never invent them, so the
-// combination stays precise — the paper's objection is purely the missed
-// "critical data races", which bench/sampling_study quantifies.
+// Implemented as a decorator over any inner Detector: synchronization,
+// alloc/free and thread events are ALWAYS forwarded (skipping them would
+// corrupt the happens-before relation and cause false alarms), memory
+// accesses are forwarded according to the sampling policy. Skipping
+// accesses of a vector-clock detector can only *miss* races, never invent
+// them, so the combination stays precise — misses-only is the tier's
+// contract, and bench/sampling_study measures the misses against the
+// exact HB oracle (recall-vs-overhead curves in EXPERIMENTS.md).
+//
+// Deployment integration:
+//   * The decorator forwards the whole delivery surface — same_epoch_serial
+//     (so the runtime's tier-1 bitmap fast path stays on), on_batch,
+//     on_batch_shard / try_on_batch_shard, shard_map and the concurrent-
+//     delivery toggles — gating accesses per-event, so serialized, two-tier
+//     and sharded runtime modes all work through it.
+//   * An optional closed-loop controller (target_overhead > 0) adapts a
+//     global rate multiplier so that the modeled analysis overhead
+//     (cost_ratio × fraction-of-accesses-analyzed, relative to a
+//     NullDetector run) converges to the target.
+//   * When a governor is attached, the Orange/Red gate is *delegated* to
+//     this tier: Governor::admit() stops flipping its own coin and the
+//     sampler folds Governor::gate_rate() into its policy, so an access is
+//     never sampled twice (docs/ROBUSTNESS.md).
+//
+// Thread-safety under concurrent (sharded) delivery relies on ownership,
+// not locks: all mutable sampler state is per-thread, and thread t's slot
+// is only touched by whoever delivers t's events — the same single-writer
+// argument as SiteTracker and the runtime's ThreadState. The only shared
+// mutable pieces are the site intern table (mutex, touched on site *misses*
+// only) and the controller scale (atomic).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/prng.hpp"
 #include "detect/detector.hpp"
@@ -32,7 +66,17 @@ namespace dg {
 enum class SamplingPolicy {
   kLiteRace,  // per-site adaptive burst sampling
   kPacer,     // global proportional sampling windows
+  kBudget,    // per-site/per-window sample budgets with adaptive cooldown
 };
+
+inline const char* to_string(SamplingPolicy p) noexcept {
+  switch (p) {
+    case SamplingPolicy::kLiteRace: return "literace";
+    case SamplingPolicy::kPacer: return "pacer";
+    case SamplingPolicy::kBudget: return "budget";
+  }
+  return "?";
+}
 
 struct SamplingConfig {
   SamplingPolicy policy = SamplingPolicy::kLiteRace;
@@ -41,19 +85,59 @@ struct SamplingConfig {
   double decay = 0.9;
   double floor = 0.02;
   std::uint32_t burst_length = 64;  // accesses per sampled burst
-  // PACER: fraction of windows that are sampled.
+  // PACER: fraction of windows that are sampled. Windows are per-thread
+  // spans of exactly `window_length` accesses; each window is decided by a
+  // stateless coin over its ordinal (all-or-nothing, including window 0 —
+  // there is no always-sampled cold-start window).
   double pacer_rate = 0.03;
   std::uint32_t window_length = 4096;  // accesses per window
+  // Budgeted: samples granted per (thread, site) per window; a site that
+  // exhausts its budget sits out min(2^heat, cooldown_max) windows.
+  std::uint32_t budget_per_window = 64;
+  std::uint32_t cooldown_max = 64;
+  // Target-overhead controller: 0 disables it. With target_overhead = T,
+  // the controller adapts a global scale on the policy's rate so that
+  // cost_ratio × (analyzed fraction) converges to T. cost_ratio models how
+  // much more an analyzed access costs than a skipped one, relative to the
+  // NullDetector base run (bench/sampling_study calibrates it per
+  // workload from the measured full-rate slowdown).
+  double target_overhead = 0.0;
+  double cost_ratio = 20.0;
+  std::uint32_t control_interval = 4096;  // accesses between control steps
+  double min_scale = 1e-4;
   std::uint64_t seed = 0x5a17;
 };
 
+/// Parse a sampling spec string: `<policy>[,<rate>][,key=value...]`.
+/// policy ∈ {literace, pacer, budget}; the bare rate means pacer_rate for
+/// pacer, the decay floor for literace, and budget_per_window/window for
+/// budget. Recognized keys: target=<pct|frac> (enables the controller,
+/// "5%" or "0.05"), window=N, burst=N, budget=N, cooldown=N, decay=X,
+/// floor=X, cost=X, interval=N, seed=N. Returns false (and fills *err)
+/// on a malformed spec; "off"/"none"/"" return false with *err empty.
+bool parse_sampling_spec(const std::string& spec, SamplingConfig* out,
+                         std::string* err = nullptr);
+
+/// Reads the DYNGRAN_SAMPLING environment variable (same grammar). Returns
+/// true and fills *out iff it is set to a valid, enabled spec.
+bool sampling_config_from_env(SamplingConfig* out);
+
 class SamplingDetector final : public Detector {
  public:
+  /// Owning: the decorator keeps the inner detector alive.
   SamplingDetector(std::unique_ptr<Detector> inner, SamplingConfig cfg = {});
+  /// Non-owning: for callers (rt::Runtime) that hold the detector by
+  /// reference; `inner` must outlive the decorator.
+  explicit SamplingDetector(Detector& inner, SamplingConfig cfg = {});
+  ~SamplingDetector() override;
 
   const char* name() const override {
-    return cfg_.policy == SamplingPolicy::kLiteRace ? "literace-sampling"
-                                                    : "pacer-sampling";
+    switch (cfg_.policy) {
+      case SamplingPolicy::kLiteRace: return "literace-sampling";
+      case SamplingPolicy::kPacer: return "pacer-sampling";
+      case SamplingPolicy::kBudget: return "budget-sampling";
+    }
+    return "sampling";
   }
 
   void on_thread_start(ThreadId t, ThreadId parent) override;
@@ -67,6 +151,28 @@ class SamplingDetector final : public Detector {
   void set_site(ThreadId t, const char* site) override;
   void on_finish() override;
 
+  // -- delivery-stack forwarding (ISSUE 7 satellite) ---------------------
+  // The decorator must not swallow the wrapped detector's capabilities:
+  // forwarding the serial keeps the runtime's tier-1 bitmap on (the
+  // runtime then filters a subset of what the inner detector would — with
+  // sampling that can only add misses, never reports), and forwarding the
+  // shard surface keeps Mode::kSharded from silently degrading.
+  std::uint64_t same_epoch_serial(ThreadId t) const noexcept override {
+    return inner_->same_epoch_serial(t);
+  }
+  ShardMap shard_map() const noexcept override { return inner_->shard_map(); }
+  bool supports_concurrent_delivery() const noexcept override {
+    return inner_->supports_concurrent_delivery();
+  }
+  void set_concurrent_delivery(bool on) override {
+    inner_->set_concurrent_delivery(on);
+  }
+  void on_batch(const BatchedEvent* events, std::size_t n) override;
+  void on_batch_shard(std::uint32_t shard, const BatchedEvent* events,
+                      std::size_t n) override;
+  bool try_on_batch_shard(std::uint32_t shard, const BatchedEvent* events,
+                          std::size_t n) override;
+
   Detector& inner() noexcept { return *inner_; }
   const Detector& inner() const noexcept { return *inner_; }
 
@@ -77,42 +183,137 @@ class SamplingDetector final : public Detector {
     return inner_->accountant();
   }
 
-  // Governor plumbing is the wrapped detector's too: its accountant holds
-  // the shadow state, so it must see the pressure signals (§5.3).
-  void set_governor(govern::Governor* g) noexcept override {
-    inner_->set_governor(g);
-  }
+  /// Governor plumbing forwards to the wrapped detector (its accountant
+  /// holds the shadow state) AND takes over the Orange/Red gate: the
+  /// governor stops flipping its own admit() coin and this tier folds
+  /// gate_rate() into the policy, so pressure shedding and sampling are
+  /// one decision, not two stacked coins (docs/ROBUSTNESS.md).
+  void set_governor(govern::Governor* g) noexcept override;
   std::size_t trim(govern::PressureLevel level) override {
     return inner_->trim(level);
   }
 
-  std::uint64_t total_accesses() const noexcept { return total_; }
-  std::uint64_t sampled_accesses() const noexcept { return sampled_; }
+  const SamplingConfig& config() const noexcept { return cfg_; }
+
+  /// Accesses that reached the gate / survived it. Counted after the
+  /// runtime's tier-1 filters, so under the live runtime these are the
+  /// accesses that would otherwise have been analyzed.
+  std::uint64_t total_accesses() const noexcept;
+  std::uint64_t sampled_accesses() const noexcept;
   double effective_rate() const noexcept {
-    return total_ == 0 ? 1.0
-                       : static_cast<double>(sampled_) /
-                             static_cast<double>(total_);
+    const std::uint64_t tot = total_accesses();
+    return tot == 0 ? 1.0
+                    : static_cast<double>(sampled_accesses()) /
+                          static_cast<double>(tot);
+  }
+
+  /// Current controller scale in (0, 1]; 1.0 when the controller is off.
+  double controller_scale() const noexcept {
+    return scale_.load(std::memory_order_relaxed);
   }
 
  private:
+  // Per-(thread, site) policy state, keyed by interned site pointer.
   struct SiteState {
-    double rate = 1.0;          // cold-start: sample everything
+    // LiteRace.
+    double rate = 1.0;  // cold-start: sample everything
     std::uint32_t burst_left = 0;
-    bool decided = false;       // a burst decision is pending?
+    // Budgeted.
+    std::uint64_t window = 0;      // last window this site was active in
+    std::uint64_t cool_until = 0;  // windows below this are skipped
+    std::uint32_t budget_left = 0;
+    std::uint32_t heat = 0;  // consecutive exhausted windows
+    bool active = false;     // `window` is valid / budget granted
   };
 
-  bool should_sample(ThreadId t);
+  struct PerThread;
+
+  // Rollback journal for try_on_batch_shard: a refused delivery must not
+  // consume budgets, advance window positions or burn PRNG draws, or the
+  // runtime's retry would double-count every staged event. First-touch
+  // snapshots only (batches touch one thread and a handful of sites, so
+  // the linear dedup scans are trivial).
+  struct GateUndo {
+    struct ThreadSnap {
+      PerThread* ts;
+      std::uint64_t total, sampled, pos;
+      Prng rng;
+      const char* cur_site;
+      const char* memo_raw;
+      const char* memo_interned;
+    };
+    std::vector<ThreadSnap> threads;
+    std::vector<std::pair<SiteState*, SiteState>> sites;
+    std::uint64_t gov_drops = 0;  // governed_skipped attributed this batch
+  };
+
+  // All mutable gate state for one thread. Single-writer: only the thread
+  // delivering tid's events touches it (runtime rings and ModeDeliverer
+  // batches are per-thread); total/sampled are atomic only so the
+  // controller and stats readers may sum them concurrently. scratch is
+  // the filtered-batch staging buffer.
+  struct PerThread {
+    PerThread(const SamplingConfig& cfg, ThreadId t);
+    const ThreadId tid;
+    std::atomic<std::uint64_t> total{0};    // accesses that reached the gate
+    std::atomic<std::uint64_t> sampled{0};  // forwarded to the inner detector
+    std::uint64_t pos = 0;  // access ordinal (drives window geometry)
+    Prng rng;
+    const char* cur_site;               // interned; set_site / kSite events
+    const char* memo_raw = nullptr;     // 1-entry raw→interned site cache
+    const char* memo_interned;
+    std::unordered_map<const char*, SiteState> sites;  // by interned ptr
+    std::vector<BatchedEvent> scratch;
+  };
+
+  PerThread& state(ThreadId t);
+  const char* intern(const char* site);
+  const char* memo_intern(PerThread& ts, const char* raw);
+  SiteState& site_state(PerThread& ts, const char* site, GateUndo* undo);
+  static void journal_thread(PerThread& ts, GateUndo* undo);
+  double gate_scale() const noexcept;
+  bool should_sample(PerThread& ts, const char* site, GateUndo* undo);
+  bool gate(PerThread& ts, const char* site, GateUndo* undo);
+  std::uint32_t budget_now(PerThread& ts, double scale) noexcept;
+  void gate_batch(PerThread& ts, const BatchedEvent* events, std::size_t n,
+                  GateUndo* undo);
+  void rollback(const GateUndo& undo);
+  void controller_step();
 
   SamplingConfig cfg_;
-  std::unique_ptr<Detector> inner_;
-  Prng rng_;
-  std::unordered_map<const char*, SiteState> sites_;  // keyed by site ptr
-  std::vector<const char*> current_site_;             // per thread
-  std::uint64_t total_ = 0;
-  std::uint64_t sampled_ = 0;
-  // PACER window state.
-  std::uint64_t window_pos_ = 0;
-  bool window_sampled_ = true;
+  Detector* inner_;
+  std::unique_ptr<Detector> owned_;  // empty for the non-owning ctor
+  govern::Governor* gov_ = nullptr;
+
+  // Per-thread slots; fixed capacity so concurrent lazy creation of
+  // *different* slots never moves storage. Creation of one slot is
+  // single-writer (only tid's deliverer creates it); the release/acquire
+  // pair makes it visible to stats() readers on other threads.
+  static constexpr std::size_t kMaxThreads = 4096;
+  std::vector<std::atomic<PerThread*>> slots_;
+  mutable std::mutex own_mu_;  // guards owned_states_ (creation is rare)
+  std::vector<std::unique_ptr<PerThread>> owned_states_;
+
+  // Site intern table. Keying per-site state by string *content* (not by
+  // the caller's pointer) means identical site labels at different
+  // addresses share one state, and a site string freed by a dynamic
+  // frontend after set_site cannot be dereferenced later: the sampler only
+  // keeps its own copy. node-based unordered_set keeps c_str() stable.
+  // The nullptr site has its own documented bucket (kNullSite): all
+  // unlabeled accesses share one sampler state.
+  static const char kNullSite[];
+  mutable std::mutex intern_mu_;
+  std::unordered_set<std::string> interned_;
+
+  // Target-overhead controller (cfg_.target_overhead > 0): a global
+  // multiplicative scale on the policy rate, stepped by whichever thread
+  // crosses a control_interval boundary first (ctl_mu_ try-lock keeps the
+  // step single-threaded without blocking the access path).
+  std::atomic<double> scale_{1.0};
+  mutable std::mutex ctl_mu_;
+  std::uint64_t ctl_last_total_ = 0;
+  std::uint64_t ctl_last_sampled_ = 0;
+  double ctl_obs_ = -1.0;  // EWMA of the analyzed fraction (<0: no sample)
 };
 
 }  // namespace dg

@@ -80,6 +80,9 @@ class Governor {
 
   /// Count one governed access, polling the accountant on schedule.
   /// Returns false when the Orange/Red sampling gate sheds this access.
+  /// With the gate delegated (delegate_gate), counting and polling still
+  /// happen but the coin never flips here — the sampling tier applies
+  /// gate_rate() instead.
   bool admit() noexcept {
     if (!enabled()) return true;
     const std::uint64_t n =
@@ -87,10 +90,34 @@ class Governor {
     if (n % cfg_.poll_interval == 0) poll(n);
     const PressureLevel lvl = level();
     if (lvl < PressureLevel::kOrange) return true;
+    if (gate_delegated()) return true;
     const double rate = lvl == PressureLevel::kOrange
                             ? cfg_.orange_sample_rate
                             : cfg_.orange_sample_rate / 4.0;
     return window_sampled(n / cfg_.sample_window, rate);
+  }
+
+  /// Hand the Orange/Red access gate to an external sampling tier (the
+  /// SamplingDetector decorator): admit() keeps counting and polling but
+  /// stops flipping its own coin, and the delegate folds gate_rate() into
+  /// its policy instead — an access is never shed by two stacked coins
+  /// (docs/ROBUSTNESS.md).
+  void delegate_gate(bool on) noexcept {
+    gate_delegated_.store(on, std::memory_order_relaxed);
+  }
+  bool gate_delegated() const noexcept {
+    return gate_delegated_.load(std::memory_order_relaxed);
+  }
+
+  /// The pressure-mandated admit rate a delegated gate must apply on the
+  /// governor's behalf: 1.0 below Orange, orange_sample_rate at Orange, a
+  /// quarter of that at Red. Lock-free; safe from concurrent shards.
+  double gate_rate() const noexcept {
+    if (!enabled()) return 1.0;
+    const PressureLevel lvl = level();
+    if (lvl < PressureLevel::kOrange) return 1.0;
+    return lvl == PressureLevel::kOrange ? cfg_.orange_sample_rate
+                                         : cfg_.orange_sample_rate / 4.0;
   }
 
   /// True at Red: detectors must not fault in new shadow cells.
@@ -142,6 +169,7 @@ class Governor {
   std::atomic<std::uint8_t> level_{
       static_cast<std::uint8_t>(PressureLevel::kGreen)};
   std::atomic<std::uint64_t> accesses_{0};
+  std::atomic<bool> gate_delegated_{false};
   std::atomic<bool> trim_needed_{false};
   std::atomic<std::uint64_t> transitions_{0};
   std::atomic<std::uint64_t> shed_bytes_{0};

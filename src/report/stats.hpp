@@ -148,6 +148,22 @@ struct RuntimeStats {
   std::uint64_t dropped_events = 0;
   std::uint64_t backpressure_stalls = 0;
 
+  // Delivery diagnostics. sharded_fallback records that Mode::kSharded was
+  // requested but the detector cannot run its access analysis concurrently
+  // (the runtime degraded to kTwoTier — previously silent);
+  // fast_path_enabled is false when no registered thread ever obtained a
+  // same-epoch serial, i.e. the tier-1 bitmap never engaged (e.g. a
+  // decorator swallowing same_epoch_serial, or a detector that publishes
+  // none).
+  bool sharded_fallback = false;
+  bool fast_path_enabled = false;
+
+  // Sampling tier (RuntimeOptions::sampling / DYNGRAN_SAMPLING): accesses
+  // that reached the sampler's gate and the subset it forwarded into the
+  // detector. Zero when no sampler is attached.
+  std::uint64_t sampler_total = 0;
+  std::uint64_t sampler_analyzed = 0;
+
   double fast_path_pct() const {
     return events_seen == 0
                ? 0.0

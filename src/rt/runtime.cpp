@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -120,6 +121,30 @@ RuntimeOptions::Mode resolve_mode(RuntimeOptions::Mode m) {
 Runtime::Runtime(Detector& det, RuntimeOptions opts)
     : det_(&det), opts_(opts) {
   opts_.mode = resolve_mode(opts_.mode);
+
+  // Sampling tier (§VI): wrap the detector before the sharded capability
+  // check so delivery-mode resolution sees the decorator's (forwarded)
+  // capabilities. Explicit option wins over DYNGRAN_SAMPLING; "off"/"none"
+  // disables either way; a malformed explicit spec is reported and
+  // ignored, matching the env path.
+  {
+    SamplingConfig scfg;
+    bool sample = false;
+    if (!opts_.sampling.empty()) {
+      std::string err;
+      sample = parse_sampling_spec(opts_.sampling, &scfg, &err);
+      if (!sample && !err.empty())
+        std::fprintf(stderr, "dyngran: ignoring RuntimeOptions::sampling: %s\n",
+                     err.c_str());
+    } else {
+      sample = sampling_config_from_env(&scfg);
+    }
+    if (sample) {
+      sampler_ = std::make_unique<SamplingDetector>(*det_, scfg);
+      det_ = sampler_.get();
+    }
+  }
+
   if (opts_.mode == RuntimeOptions::Mode::kSharded) {
     if (det_->supports_concurrent_delivery()) {
       det_->set_concurrent_delivery(true);
@@ -128,8 +153,10 @@ Runtime::Runtime(Detector& det, RuntimeOptions opts)
     } else {
       // The detector cannot analyse concurrently; the sharded delivery
       // path would just serialize on its (absent) locks. Degrade to the
-      // two-tier path and report the resolved mode via options().
+      // two-tier path, report the resolved mode via options() and flag
+      // the fallback in RuntimeStats (it used to be silent).
       opts_.mode = RuntimeOptions::Mode::kTwoTier;
+      sharded_fallback_ = true;
     }
   }
   if (sharded_)
@@ -673,10 +700,19 @@ RuntimeStats Runtime::stats() const {
   rs.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
   rs.dropped_events = dropped_events_.load(std::memory_order_relaxed);
   rs.backpressure_stalls = bp_stalls_.load(std::memory_order_relaxed);
+  rs.sharded_fallback = sharded_fallback_;
   for (const auto& ts : threads_) {
     rs.events_seen += ts->events_seen.load(std::memory_order_relaxed);
     rs.fast_path_filtered += ts->fast_filtered.load(std::memory_order_relaxed);
     rs.batched += ts->batched.load(std::memory_order_relaxed);
+    // Serials are monotone from 1, so any nonzero cache means the detector
+    // stack publishes one and the tier-1 bitmap can engage. A decorator
+    // that swallowed same_epoch_serial shows up here as false.
+    if (ts->serial != Detector::kNoSameEpochSerial) rs.fast_path_enabled = true;
+  }
+  if (sampler_ != nullptr) {
+    rs.sampler_total = sampler_->total_accesses();
+    rs.sampler_analyzed = sampler_->sampled_accesses();
   }
   return rs;
 }

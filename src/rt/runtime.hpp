@@ -42,11 +42,13 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/types.hpp"
 #include "detect/detector.hpp"
+#include "detect/sampling.hpp"
 #include "govern/governor.hpp"
 #include "report/stats.hpp"
 
@@ -83,6 +85,14 @@ struct RuntimeOptions {
   std::uint32_t backpressure_wait_ms = 2;
   /// kSharded only: staged per-shard events tolerated before escalation.
   std::size_t max_shard_backlog = 16384;
+
+  /// Sampling tier (§VI): a sampling spec ("pacer,0.05", "budget,
+  /// target=5%", ... — see parse_sampling_spec) wraps the detector in a
+  /// SamplingDetector owned by the runtime. Empty defers to the
+  /// DYNGRAN_SAMPLING environment variable; "off"/"none" disables even
+  /// when the env var is set. The decorator forwards the full delivery
+  /// surface, so all three modes (and the tier-1 fast path) stay active.
+  std::string sampling{};
 };
 
 class Runtime {
@@ -137,7 +147,14 @@ class Runtime {
 
   void finish();
 
+  /// The detector receiving runtime events: the sampling decorator when
+  /// one is attached (its sink/stats forward to the wrapped detector),
+  /// else the detector passed to the constructor.
   Detector& detector() noexcept { return *det_; }
+
+  /// The sampling tier, when RuntimeOptions::sampling or DYNGRAN_SAMPLING
+  /// configured one; nullptr otherwise. Owned by the runtime.
+  SamplingDetector* sampler() noexcept { return sampler_.get(); }
 
   /// Options after mode resolution: kDefault is replaced by the env-selected
   /// mode, and kSharded by kTwoTier when the detector cannot run its access
@@ -181,9 +198,17 @@ class Runtime {
   ThreadId next_tid_ = 0;                              // guarded by mu_
   std::vector<std::unique_ptr<ThreadState>> threads_;  // guarded by mu_
 
+  // Sampling tier: owns the decorator det_ points at when a spec was
+  // configured. Declared before the mode flags so teardown order mirrors
+  // construction.
+  std::unique_ptr<SamplingDetector> sampler_;
+
   // kSharded mode: detector accepted concurrent delivery; smap_ caches its
   // shard geometry for ring partitioning. Both set once in the constructor.
+  // sharded_fallback_ records a kSharded request the detector could not
+  // honour (surfaced via RuntimeStats instead of degrading silently).
   bool sharded_ = false;
+  bool sharded_fallback_ = false;
   ShardMap smap_;
 
   // Ignore-range registry. Guarded by ranges_mu_, which is never held

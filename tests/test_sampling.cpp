@@ -1,12 +1,23 @@
 // Sampling-detector tests: precision is preserved (no false alarms),
 // detection degrades gracefully with rate (PACER) and the cold-region
 // hypothesis holds (LiteRace catches cold races at low effective rates).
+// Plus the deployment-tier coverage: exact PACER window geometry,
+// content-interned sites, full delivery-surface forwarding with rate-1.0
+// parity across all three modes, try-shard rollback, the target-overhead
+// controller, budget cooldown, governor gate delegation, and the runtime
+// wiring (RuntimeOptions::sampling / DYNGRAN_SAMPLING).
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
 
 #include "detect/fasttrack.hpp"
 #include "detect/sampling.hpp"
+#include "rt/runtime.hpp"
 #include "sim/sim.hpp"
 #include "support/driver.hpp"
+#include "verify/hb_oracle.hpp"
+#include "verify/mode_delivery.hpp"
 #include "workloads/workloads.hpp"
 
 namespace dg {
@@ -118,6 +129,469 @@ TEST(Sampling, LowRateIsCheaper) {
   }
   EXPECT_LT(low->inner().stats().shared_accesses * 5,
             full->inner().stats().shared_accesses);
+}
+
+// Records every event it receives; claims concurrent-delivery support and
+// publishes a fixed serial so decorator forwarding is observable.
+struct Probe : Detector {
+  const char* name() const override { return "probe"; }
+  void on_thread_start(ThreadId, ThreadId) override { ++starts; }
+  void on_thread_join(ThreadId, ThreadId) override { ++joins; }
+  void on_acquire(ThreadId, SyncId) override { ++acquires; }
+  void on_release(ThreadId, SyncId) override { ++releases; }
+  void on_alloc(ThreadId, Addr, std::uint64_t) override { ++allocs; }
+  void on_free(ThreadId, Addr, std::uint64_t) override { ++frees; }
+  void set_site(ThreadId, const char*) override { ++sites; }
+  void on_read(ThreadId, Addr a, std::uint32_t) override {
+    reads.push_back(a);
+  }
+  void on_write(ThreadId, Addr a, std::uint32_t) override {
+    writes.push_back(a);
+  }
+  std::uint64_t same_epoch_serial(ThreadId) const noexcept override {
+    return 7;
+  }
+  bool supports_concurrent_delivery() const noexcept override { return true; }
+
+  int starts = 0, joins = 0, acquires = 0, releases = 0;
+  int allocs = 0, frees = 0, sites = 0;
+  std::vector<Addr> reads, writes;
+};
+
+// Probe whose try_on_batch_shard refuses the first `refusals` deliveries
+// (a contended shard), like a concurrent detector under backpressure.
+struct FlakyShard : Probe {
+  bool try_on_batch_shard(std::uint32_t shard, const BatchedEvent* ev,
+                          std::size_t n) override {
+    if (refusals > 0) {
+      --refusals;
+      return false;
+    }
+    on_batch_shard(shard, ev, n);
+    return true;
+  }
+  int refusals = 1;
+};
+
+SamplingConfig pacer_cfg(double rate, std::uint32_t window) {
+  SamplingConfig cfg;
+  cfg.policy = SamplingPolicy::kPacer;
+  cfg.pacer_rate = rate;
+  cfg.window_length = window;
+  return cfg;
+}
+
+// One-burst LiteRace: the first probe of a site samples a burst of 64 and
+// then the rate collapses to ~0, so forwarded counts are deterministic.
+SamplingConfig one_burst_cfg() {
+  SamplingConfig cfg;
+  cfg.policy = SamplingPolicy::kLiteRace;
+  cfg.burst_length = 64;
+  cfg.decay = 1e-12;
+  cfg.floor = 0.0;
+  return cfg;
+}
+
+TEST(SamplingFix, PacerWindowsAreExactAndAllOrNothing) {
+  // The legacy gate produced windows of window_length + 1 (the ++ vs >=
+  // off-by-one). Windows must be exactly window_length accesses and each
+  // window is all-or-nothing.
+  auto probe = std::make_unique<Probe>();
+  Probe* in = probe.get();
+  SamplingDetector det(std::move(probe), pacer_cfg(0.5, 8));
+  Driver d(det);
+  d.start(0);
+  for (Addr i = 0; i < 80; ++i) d.read(0, i);
+  std::set<Addr> taken(in->reads.begin(), in->reads.end());
+  int full = 0, empty = 0;
+  for (Addr w = 0; w < 10; ++w) {
+    int hits = 0;
+    for (Addr i = 0; i < 8; ++i) hits += taken.count(w * 8 + i);
+    EXPECT_TRUE(hits == 0 || hits == 8) << "window " << w << ": " << hits;
+    full += hits == 8;
+    empty += hits == 0;
+  }
+  // At rate 0.5 over 10 windows the fixed seed gives a mix of both.
+  EXPECT_GT(full, 0);
+  EXPECT_GT(empty, 0);
+  EXPECT_EQ(det.sampled_accesses(), static_cast<std::uint64_t>(full) * 8);
+}
+
+TEST(SamplingFix, PacerFirstWindowRespectsRate) {
+  // The legacy gate hardcoded window_sampled_ = true: the entire first
+  // window was analysed regardless of pacer_rate. At rate 0 nothing may
+  // pass — including window 0.
+  auto probe = std::make_unique<Probe>();
+  Probe* in = probe.get();
+  SamplingDetector det(std::move(probe), pacer_cfg(0.0, 64));
+  Driver d(det);
+  d.start(0);
+  for (Addr i = 0; i < 256; ++i) d.write(0, i);
+  EXPECT_EQ(in->writes.size(), 0u);
+  EXPECT_EQ(det.total_accesses(), 256u);
+  EXPECT_EQ(det.sampled_accesses(), 0u);
+  EXPECT_EQ(det.effective_rate(), 0.0);
+}
+
+TEST(SamplingFix, SiteStateIsInternedByContent) {
+  // Identical site strings at different addresses must share one sampler
+  // state (and the sampler must not dereference the caller's pointer
+  // later: the first copy is freed before the second is used).
+  auto probe = std::make_unique<Probe>();
+  Probe* in = probe.get();
+  SamplingDetector det(std::move(probe), one_burst_cfg());
+  Driver d(det);
+  d.start(0);
+
+  char* first = new char[16];
+  std::strcpy(first, "hot-site");
+  d.site(0, first);
+  for (Addr i = 0; i < 2000; ++i) d.write(0, 0x1000 + i);
+  const std::size_t phase1 = in->writes.size();
+  EXPECT_EQ(phase1, 64u);  // exactly the first burst
+  delete[] first;          // dangling under the old pointer keying
+
+  char* second = new char[16];
+  std::strcpy(second, "hot-site");  // same content, different address
+  d.site(0, second);
+  for (Addr i = 0; i < 2000; ++i) d.write(0, 0x5000 + i);
+  // Shared state: the site is already cold, no fresh burst.
+  EXPECT_EQ(in->writes.size(), phase1);
+  delete[] second;
+}
+
+TEST(SamplingFix, NullSiteHasItsOwnBucket) {
+  // Unlabeled accesses (no set_site, or an explicit nullptr) share one
+  // documented bucket rather than crashing or splitting state.
+  auto probe = std::make_unique<Probe>();
+  Probe* in = probe.get();
+  SamplingDetector det(std::move(probe), one_burst_cfg());
+  Driver d(det);
+  d.start(0);
+  for (Addr i = 0; i < 2000; ++i) d.write(0, 0x1000 + i);
+  EXPECT_EQ(in->writes.size(), 64u);
+  d.site(0, nullptr);  // still the same bucket
+  for (Addr i = 0; i < 2000; ++i) d.write(0, 0x5000 + i);
+  EXPECT_EQ(in->writes.size(), 64u);
+}
+
+TEST(SamplingFix, SyncAllocFreeNeverSampledAway) {
+  // Even at rate 0, everything that builds the happens-before relation or
+  // tears down shadow state passes through — direct and batched alike.
+  auto probe = std::make_unique<Probe>();
+  Probe* in = probe.get();
+  SamplingDetector det(std::move(probe), pacer_cfg(0.0, 64));
+  Driver d(det);
+  d.start(0).start(1, 0).acq(0, 1).rel(0, 1);
+  d.alloc(0, 0x1000, 64).free_(0, 0x1000, 64);
+  d.site(0, "direct");
+  d.read(0, 0x2000).write(0, 0x2000);
+  d.join(0, 1).finish();
+
+  const BatchedEvent batch[] = {
+      {BatchedEvent::Kind::kSite, 0, 0, 0, "batched"},
+      {BatchedEvent::Kind::kAlloc, 0, 0x3000, 64, nullptr},
+      {BatchedEvent::Kind::kRead, 0, 0x3000, 4, nullptr},
+      {BatchedEvent::Kind::kWrite, 0, 0x3004, 4, nullptr},
+      {BatchedEvent::Kind::kFree, 0, 0x3000, 64, nullptr},
+  };
+  det.on_batch(batch, 5);
+
+  EXPECT_EQ(in->starts, 2);
+  EXPECT_EQ(in->acquires, 1);
+  EXPECT_EQ(in->releases, 1);
+  EXPECT_EQ(in->allocs, 2);
+  EXPECT_EQ(in->frees, 2);
+  EXPECT_EQ(in->sites, 2);
+  EXPECT_EQ(in->joins, 1);
+  EXPECT_EQ(in->reads.size(), 0u);   // the accesses were all shed
+  EXPECT_EQ(in->writes.size(), 0u);
+  EXPECT_EQ(det.total_accesses(), 4u);
+}
+
+TEST(SamplingFix, DeliverySurfaceIsForwarded) {
+  // The decorator must not swallow the wrapped detector's capabilities:
+  // the runtime keys its tier-1 bitmap and mode resolution off these.
+  SamplingDetector det(std::make_unique<Probe>(), pacer_cfg(1.0, 64));
+  Driver d(det);
+  d.start(0);
+  EXPECT_EQ(det.same_epoch_serial(0), 7u);
+  EXPECT_TRUE(det.supports_concurrent_delivery());
+
+  auto ft = std::make_unique<FastTrackDetector>(Granularity::kByte, 4);
+  const std::uint32_t shards = ft->shard_map().count;
+  SamplingDetector sharded(std::move(ft), pacer_cfg(1.0, 64));
+  EXPECT_EQ(sharded.shard_map().count, shards);
+  EXPECT_TRUE(sharded.supports_concurrent_delivery());
+}
+
+TEST(SamplingFix, RateOneParityAcrossAllDeliveryModes) {
+  // Rate 1.0 must behave exactly like the inner detector in every
+  // delivery mode — x264's full 993 racy locations in each.
+  using verify::DeliveryMode;
+  using verify::ModeDeliverer;
+  for (DeliveryMode mode : {DeliveryMode::kSerialized, DeliveryMode::kTwoTier,
+                            DeliveryMode::kSharded}) {
+    SamplingDetector det(
+        std::make_unique<FastTrackDetector>(Granularity::kByte, 4),
+        pacer_cfg(1.0, 4096));
+    ModeDeliverer deliv(det, mode);
+    // The sharded request must not silently degrade through the decorator.
+    EXPECT_EQ(deliv.mode(), mode);
+    auto prog = wl::make_workload("x264", {.threads = 4, .scale = 1});
+    sim::SimScheduler sched(*prog, deliv, 7);
+    sched.run();
+    EXPECT_EQ(det.sink().unique_races(), 993u) << verify::to_string(mode);
+  }
+}
+
+TEST(SamplingFix, TryBatchShardRollsBackGateState) {
+  // A refused try_on_batch_shard must leave the sampler exactly where it
+  // was: the runtime retries the same staged batch, and re-gating it must
+  // produce the same decisions without double-counting.
+  SamplingConfig cfg;
+  cfg.policy = SamplingPolicy::kLiteRace;
+  cfg.burst_length = 4;
+  cfg.decay = 0.5;
+  cfg.floor = 0.1;
+
+  std::vector<BatchedEvent> batch;
+  batch.push_back({BatchedEvent::Kind::kSite, 0, 0, 0, "a"});
+  for (Addr i = 0; i < 16; ++i)
+    batch.push_back({BatchedEvent::Kind::kRead, 0, 0x1000 + i, 4, nullptr});
+  batch.push_back({BatchedEvent::Kind::kSite, 0, 0, 0, "b"});
+  for (Addr i = 0; i < 16; ++i)
+    batch.push_back({BatchedEvent::Kind::kWrite, 0, 0x2000 + i, 4, nullptr});
+
+  // Control: one clean delivery.
+  auto cprobe = std::make_unique<Probe>();
+  Probe* cin = cprobe.get();
+  SamplingDetector control(std::move(cprobe), cfg);
+  control.on_thread_start(0, kInvalidThread);
+  ASSERT_TRUE(control.try_on_batch_shard(0, batch.data(), batch.size()));
+
+  // Flaky: first delivery refused, then retried.
+  auto fprobe = std::make_unique<FlakyShard>();
+  FlakyShard* fin = fprobe.get();
+  SamplingDetector flaky(std::move(fprobe), cfg);
+  flaky.on_thread_start(0, kInvalidThread);
+  EXPECT_FALSE(flaky.try_on_batch_shard(0, batch.data(), batch.size()));
+  EXPECT_EQ(flaky.total_accesses(), 0u);  // fully rewound
+  EXPECT_EQ(flaky.sampled_accesses(), 0u);
+  ASSERT_TRUE(flaky.try_on_batch_shard(0, batch.data(), batch.size()));
+
+  EXPECT_EQ(fin->reads, cin->reads);
+  EXPECT_EQ(fin->writes, cin->writes);
+  EXPECT_EQ(flaky.total_accesses(), control.total_accesses());
+  EXPECT_EQ(flaky.sampled_accesses(), control.sampled_accesses());
+}
+
+TEST(SamplingOracle, SampledRaceSetIsSubsetOfOracle) {
+  // Misses-only: every race a sampled run reports is a race the exact HB
+  // oracle confirms on the same schedule — sampling never invents one.
+  auto prog = wl::make_workload("x264", {.threads = 4, .scale = 1});
+  verify::HbOracle oracle(verify::HbOracle::Unit::kByte);
+  sim::SimScheduler oracle_sched(*prog, oracle, 7);
+  oracle_sched.run();
+  ASSERT_EQ(oracle.racy_units().size(), 993u);
+
+  auto det = pacer(0.3);
+  auto prog2 = wl::make_workload("x264", {.threads = 4, .scale = 1});
+  sim::SimScheduler sched(*prog2, *det, 7);
+  sched.run();
+  EXPECT_GT(det->sink().unique_races(), 0u);
+  EXPECT_LE(det->sink().unique_races(), 993u);
+  for (const RaceReport& r : det->sink().reports())
+    EXPECT_TRUE(oracle.racy_units().count(r.addr) != 0)
+        << "sampled run reported non-racy addr " << r.addr;
+}
+
+TEST(SamplingBudget, BudgetAndCooldownAreDeterministic) {
+  // Per-(thread, site) budgets with settle-once exponential cooldown: a
+  // hot site samples its budget then sits out 2^heat windows (capped); a
+  // cold site under budget is fully sampled, forever.
+  SamplingConfig cfg;
+  cfg.policy = SamplingPolicy::kBudget;
+  cfg.window_length = 64;
+  cfg.budget_per_window = 8;
+  cfg.cooldown_max = 8;
+  auto probe = std::make_unique<Probe>();
+  Probe* in = probe.get();
+  SamplingDetector det(std::move(probe), cfg);
+  Driver d(det);
+  d.start(0);
+  // 20 thread-windows of 64 accesses: 60 on the hot site + 4 on the cold.
+  for (int w = 0; w < 20; ++w) {
+    d.site(0, "hot");
+    for (Addr i = 0; i < 60; ++i) d.write(0, 0x10000 + i);
+    d.site(0, "cold");
+    for (Addr i = 0; i < 4; ++i) d.read(0, 0x20000 + i);
+  }
+  // Cold site: 4 < 8 per window, never exhausts, all 80 sampled.
+  EXPECT_EQ(in->reads.size(), 80u);
+  // Hot site: budget 8 in each active window; exhaustion sets heat to
+  // 1, 2, 3, ... and cooldowns of 2, 4, 8, 8 windows leave active windows
+  // {0, 3, 8, 17} within the 20 → 4 * 8 = 32 sampled writes.
+  EXPECT_EQ(in->writes.size(), 32u);
+}
+
+TEST(SamplingController, ConvergesToOverheadTarget) {
+  // Closed loop: with cost_ratio 1 and a 5% target, the modeled overhead
+  // equals the analyzed fraction, so the controller should settle the
+  // sampled fraction near 0.05.
+  // Window 64 against interval 2048: 32 windows per control interval, so
+  // the observed analyzed fraction is fine-grained enough to steer on.
+  SamplingConfig cfg = pacer_cfg(1.0, 64);
+  cfg.target_overhead = 0.05;
+  cfg.cost_ratio = 1.0;
+  cfg.control_interval = 2048;
+  SamplingDetector det(std::make_unique<NullDetector>(), cfg);
+  Driver d(det);
+  d.start(0);
+  for (int i = 0; i < 300000; ++i) d.read(0, 0x1000 + (i % 1024) * 4);
+  EXPECT_GT(det.controller_scale(), 0.01);
+  EXPECT_LT(det.controller_scale(), 0.2);
+  const std::uint64_t t0 = det.total_accesses();
+  const std::uint64_t s0 = det.sampled_accesses();
+  for (int i = 0; i < 100000; ++i) d.read(0, 0x1000 + (i % 1024) * 4);
+  const double tail =
+      static_cast<double>(det.sampled_accesses() - s0) /
+      static_cast<double>(det.total_accesses() - t0);
+  EXPECT_GT(tail, 0.005);  // still sampling something
+  EXPECT_LT(tail, 0.15);   // ... but near the target, not full rate
+}
+
+TEST(SamplingGovernor, OrangeDelegatesGateToSampler) {
+  // With a sampler attached the governor stops flipping its own coin —
+  // admit() always passes — and the sampler folds gate_rate() into its
+  // policy, attributing the shed volume to governed_skipped.
+  auto det = pacer(1.0);  // window 256
+  MemoryAccountant& acct = det->accountant();
+  govern::GovernorConfig gcfg;
+  // The inner detector has pre-existing accounted state; size the budget
+  // so the total lands at 0.90 — squarely in the Orange band.
+  acct.add(MemCategory::kOther, 900);
+  gcfg.mem_budget_bytes = acct.current_total() * 10 / 9;
+  govern::Governor gov(acct, gcfg);
+  det->set_governor(&gov);
+  EXPECT_TRUE(gov.gate_delegated());
+
+  gov.poll_now();
+  ASSERT_EQ(gov.level(), govern::PressureLevel::kOrange);
+  EXPECT_DOUBLE_EQ(gov.gate_rate(), gcfg.orange_sample_rate);
+  for (int i = 0; i < 4096; ++i) EXPECT_TRUE(gov.admit());
+
+  Driver d(*det);
+  d.start(0);
+  for (Addr i = 0; i < 20000; ++i) d.write(0, 0x1000 + (i % 512) * 8, 8);
+  // The pacer's rate 1.0 is scaled by the Orange gate rate 0.10.
+  EXPECT_LT(det->effective_rate(), 0.5);
+  EXPECT_GT(det->inner().stats().governed_skipped.load(), 0u);
+
+  det->set_governor(nullptr);
+  EXPECT_FALSE(gov.gate_delegated());
+}
+
+TEST(SamplingSpec, ParsesPoliciesRatesAndKeys) {
+  SamplingConfig cfg;
+  std::string err;
+  ASSERT_TRUE(parse_sampling_spec("pacer,0.05", &cfg, &err));
+  EXPECT_EQ(cfg.policy, SamplingPolicy::kPacer);
+  EXPECT_DOUBLE_EQ(cfg.pacer_rate, 0.05);
+
+  ASSERT_TRUE(parse_sampling_spec("literace,1.0", &cfg, &err));
+  EXPECT_EQ(cfg.policy, SamplingPolicy::kLiteRace);
+  EXPECT_DOUBLE_EQ(cfg.floor, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.decay, 1.0);  // rate 1.0 means full rate
+
+  ASSERT_TRUE(parse_sampling_spec(
+      "budget,target=5%,window=512,budget=16,cooldown=32,seed=9", &cfg, &err));
+  EXPECT_EQ(cfg.policy, SamplingPolicy::kBudget);
+  EXPECT_DOUBLE_EQ(cfg.target_overhead, 0.05);
+  EXPECT_EQ(cfg.window_length, 512u);
+  EXPECT_EQ(cfg.budget_per_window, 16u);
+  EXPECT_EQ(cfg.cooldown_max, 32u);
+  EXPECT_EQ(cfg.seed, 9u);
+
+  ASSERT_TRUE(parse_sampling_spec("budget,0.25,window=100", &cfg, &err));
+  EXPECT_EQ(cfg.budget_per_window, 25u);  // fraction of the window
+
+  EXPECT_FALSE(parse_sampling_spec("off", &cfg, &err));
+  EXPECT_TRUE(err.empty());
+  EXPECT_FALSE(parse_sampling_spec("none", &cfg, &err));
+  EXPECT_TRUE(err.empty());
+  EXPECT_FALSE(parse_sampling_spec("bogus", &cfg, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_sampling_spec("pacer,2.0", &cfg, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_sampling_spec("pacer,frob=1", &cfg, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(SamplingRuntime, OptionWiresSamplerIntoEventPath) {
+  FastTrackDetector det(Granularity::kByte);
+  rt::RuntimeOptions opts;
+  opts.mode = rt::RuntimeOptions::Mode::kSerialized;
+  opts.sampling = "pacer,0.0,window=64";
+  rt::Runtime rtm(det, opts);
+  rtm.register_current_thread(kInvalidThread);
+  int buf[256];
+  for (int& v : buf) rtm.write(&v, 4);
+  rtm.finish();
+  ASSERT_NE(rtm.sampler(), nullptr);
+  const RuntimeStats rs = rtm.stats();
+  EXPECT_EQ(rs.sampler_total, 256u);
+  EXPECT_EQ(rs.sampler_analyzed, 0u);
+  EXPECT_EQ(det.stats().shared_accesses.load(), 0u);  // all shed pre-inner
+}
+
+TEST(SamplingRuntime, EnvConfiguresAndOffOverrides) {
+  ::setenv("DYNGRAN_SAMPLING", "literace,0.5", 1);
+  {
+    FastTrackDetector det(Granularity::kByte);
+    rt::Runtime rtm(det);
+    ASSERT_NE(rtm.sampler(), nullptr);
+    EXPECT_EQ(rtm.sampler()->config().policy, SamplingPolicy::kLiteRace);
+  }
+  {
+    FastTrackDetector det(Granularity::kByte);
+    rt::RuntimeOptions opts;
+    opts.sampling = "off";  // explicit option beats the env var
+    rt::Runtime rtm(det, opts);
+    EXPECT_EQ(rtm.sampler(), nullptr);
+  }
+  ::unsetenv("DYNGRAN_SAMPLING");
+}
+
+TEST(SamplingRuntime, ShardedModeSurvivesTheDecorator) {
+  // Before the forwarding fix, wrapping a concurrent-capable detector
+  // silently degraded Mode::kSharded to kTwoTier and turned the tier-1
+  // bitmap off. Both must survive, and a genuine fallback must be flagged.
+  {
+    FastTrackDetector det(Granularity::kByte, 4);
+    rt::RuntimeOptions opts;
+    opts.mode = rt::RuntimeOptions::Mode::kSharded;
+    opts.sampling = "pacer,1.0";
+    rt::Runtime rtm(det, opts);
+    rtm.register_current_thread(kInvalidThread);
+    EXPECT_EQ(rtm.options().mode, rt::RuntimeOptions::Mode::kSharded);
+    const RuntimeStats rs = rtm.stats();
+    EXPECT_FALSE(rs.sharded_fallback);
+    EXPECT_TRUE(rs.fast_path_enabled);  // same_epoch_serial forwarded
+    rtm.finish();
+  }
+  {
+    NullDetector det;  // no concurrent support, no epoch serial
+    rt::RuntimeOptions opts;
+    opts.mode = rt::RuntimeOptions::Mode::kSharded;
+    rt::Runtime rtm(det, opts);
+    rtm.register_current_thread(kInvalidThread);
+    EXPECT_EQ(rtm.options().mode, rt::RuntimeOptions::Mode::kTwoTier);
+    const RuntimeStats rs = rtm.stats();
+    EXPECT_TRUE(rs.sharded_fallback);
+    EXPECT_FALSE(rs.fast_path_enabled);
+    rtm.finish();
+  }
 }
 
 }  // namespace
