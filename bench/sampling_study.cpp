@@ -3,18 +3,37 @@
 // but may miss critical data races", while dynamic granularity keeps full
 // detection.
 //
-// Sweeps PACER sampling rates and the LiteRace adaptive sampler over the
-// racy benchmarks, printing detection rate (fraction of the byte-
-// granularity ground-truth races found) against slowdown, with the
-// dynamic-granularity detector as the full-detection reference point.
+// Measures recall-vs-overhead curves for the sampling tier: every row
+// replays a workload under SamplingDetector(ft-byte) and scores the
+// reported races against the exact happens-before oracle on the same
+// schedule (recall = oracle races found / oracle races). Policies swept:
+// PACER at fixed rates, LiteRace's adaptive burst, the per-site budget
+// policy, and the closed-loop overhead controller holding a 5% target.
+// A parity block re-runs rate 1.0 through all three delivery modes
+// (serialized / two-tier / sharded) and fails the binary if any mode's
+// race count diverges from the unsampled detector.
+//
+//   sampling_study [--threads N] [--scale N] [--quick] [--csv]
+//                  [--workloads a,b,...] [--json FILE]
+//
+// --json writes a deterministic artifact (schema sampling_study_v1):
+// recall, race counts, and effective rates only — never wall-clock —
+// so CI can diff it against tests/baselines/sampling_baseline.json.
+#include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "bench/harness.hpp"
 #include "common/table_printer.hpp"
 #include "detect/fasttrack.hpp"
 #include "detect/sampling.hpp"
 #include "sim/sim.hpp"
+#include "verify/hb_oracle.hpp"
+#include "verify/mode_delivery.hpp"
 
 using namespace dg;
 using namespace dg::bench;
@@ -23,73 +42,243 @@ namespace {
 
 struct Row {
   std::string label;
-  double slowdown;
-  std::uint64_t races;
-  double eff_rate;
+  std::string policy;     // "full", "pacer", "literace", "budget"
+  double slowdown = 0;    // vs NullDetector base (table only, not JSON)
+  std::uint64_t races = 0;
+  double recall_pct = 0;  // oracle races found / oracle races
+  double eff_rate = 0;    // accesses analysed / accesses seen
 };
 
-Row run_sampler(const std::string& workload, wl::WlParams p,
-                std::uint64_t seed, double base, SamplingConfig cfg,
-                const std::string& label) {
-  auto det = std::make_unique<SamplingDetector>(
-      std::make_unique<FastTrackDetector>(Granularity::kByte), cfg);
+double oracle_recall(const ReportSink& sink, const std::set<Addr>& racy) {
+  if (racy.empty()) return 100.0;
+  // A report covers its whole racing cell [addr, addr+size): credit every
+  // oracle byte in that range, not just the base (the oracle is per-byte,
+  // one 4-byte racing access is 4 oracle units but one report).
+  std::set<Addr> found;
+  for (const auto& r : sink.reports())
+    for (Addr a = r.addr; a < r.addr + r.size; ++a)
+      if (racy.count(a) != 0) found.insert(a);
+  return 100.0 * static_cast<double>(found.size()) /
+         static_cast<double>(racy.size());
+}
+
+/// One measured run of SamplingDetector(ft-byte); cfg == nullptr is the
+/// unsampled full-detection reference.
+Row run_row(const std::string& workload, wl::WlParams p, std::uint64_t seed,
+            double base, const std::set<Addr>& racy, const SamplingConfig* cfg,
+            std::string label, std::string policy) {
+  auto inner = std::make_unique<FastTrackDetector>(Granularity::kByte);
+  std::unique_ptr<SamplingDetector> sampler;
+  Detector* det = inner.get();
+  if (cfg != nullptr) {
+    sampler = std::make_unique<SamplingDetector>(std::move(inner), *cfg);
+    det = sampler.get();
+  }
   auto prog = wl::make_workload(workload, p);
   sim::SimScheduler sched(*prog, *det, seed);
   const auto res = sched.run();
-  return {label, base > 0 ? res.wall_seconds / base : 0,
-          det->sink().unique_races(), det->effective_rate()};
+  Row row;
+  row.label = std::move(label);
+  row.policy = std::move(policy);
+  row.slowdown = base > 0 ? res.wall_seconds / base : 0;
+  row.races = det->sink().unique_races();
+  row.recall_pct = oracle_recall(det->sink(), racy);
+  row.eff_rate = sampler != nullptr ? sampler->effective_rate() : 1.0;
+  return row;
+}
+
+/// Rate-1.0 parity across the delivery stack: the decorator must be
+/// transparent in every mode (same races as the bare detector).
+bool parity_mode(const std::string& workload, wl::WlParams p,
+                 std::uint64_t seed, verify::DeliveryMode mode,
+                 std::uint64_t want_races) {
+  SamplingConfig cfg;
+  cfg.policy = SamplingPolicy::kPacer;
+  cfg.pacer_rate = 1.0;
+  SamplingDetector det(
+      std::make_unique<FastTrackDetector>(Granularity::kByte, 4), cfg);
+  verify::ModeDeliverer deliv(det, mode);
+  if (deliv.mode() != mode) return false;  // silently degraded: fail
+  auto prog = wl::make_workload(workload, p);
+  sim::SimScheduler sched(*prog, deliv, seed);
+  sched.run();
+  return det.sink().unique_races() == want_races;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at <= s.size()) {
+    const std::size_t comma = s.find(',', at);
+    const std::string tok = s.substr(
+        at, comma == std::string::npos ? std::string::npos : comma - at);
+    if (!tok.empty()) out.push_back(tok);
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchOptions o = parse_options(argc, argv);
-  const std::vector<std::string> workloads = {"x264", "ferret", "dedup",
-                                              "hmmsearch"};
+  std::vector<std::string> workloads = {"x264",      "ferret", "dedup",
+                                        "hmmsearch", "pbzip2", "ffmpeg"};
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workloads") == 0 && i + 1 < argc)
+      workloads = split_csv(argv[++i]);
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
 
+  std::FILE* json = nullptr;
+  if (!json_path.empty()) {
+    json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(json,
+                 "{\n  \"schema\": \"sampling_study_v1\",\n"
+                 "  \"threads\": %u,\n  \"scale\": %u,\n"
+                 "  \"sched_seed\": %llu,\n  \"workloads\": [",
+                 o.params.threads, o.params.scale,
+                 static_cast<unsigned long long>(o.sched_seed));
+  }
+
+  bool parity_ok = true;
+  bool first_wl = true;
   for (const auto& wname : workloads) {
+    // Ground truth: the exact HB oracle on the same schedule.
+    std::set<Addr> racy;
+    {
+      verify::HbOracle oracle(verify::HbOracle::Unit::kByte);
+      auto prog = wl::make_workload(wname, o.params);
+      if (prog == nullptr) {
+        std::fprintf(stderr, "unknown workload '%s'\n", wname.c_str());
+        return 1;
+      }
+      sim::SimScheduler sched(*prog, oracle, o.sched_seed);
+      sched.run();
+      racy = oracle.racy_units();
+    }
     const double base = measure_base_seconds(wname, o.params, o.sched_seed);
-    auto full = run_one(wname, o.params, "byte", o.sched_seed, base);
-    auto dyn = run_one(wname, o.params, "dynamic", o.sched_seed, base);
 
-    TablePrinter t({wname, "slowdown", "races found", "detection rate",
-                    "accesses analysed"});
-    auto add = [&](const Row& r) {
-      t.add_row({r.label, TablePrinter::fmt(r.slowdown),
-                 std::to_string(r.races),
-                 TablePrinter::fmt(full.races > 0
-                                       ? 100.0 * static_cast<double>(r.races) /
-                                             static_cast<double>(full.races)
-                                       : 100.0,
-                                   0) +
-                     "%",
-                 TablePrinter::fmt(100.0 * r.eff_rate, 0) + "%"});
-    };
-    t.add_row({"ft-byte (full)", TablePrinter::fmt(full.slowdown),
-               std::to_string(full.races), "100%", "100%"});
-    t.add_row({"ft-dynamic (full)", TablePrinter::fmt(dyn.slowdown),
-               std::to_string(dyn.races), "-", "100%"});
-    for (double rate : {0.5, 0.1, 0.02}) {
+    std::vector<Row> rows;
+    rows.push_back(run_row(wname, o.params, o.sched_seed, base, racy, nullptr,
+                           "ft-byte (full)", "full"));
+    const Row full = rows.front();  // copy: later push_backs reallocate
+
+    const std::vector<double> rates =
+        o.quick ? std::vector<double>{1.0, 0.1}
+                : std::vector<double>{1.0, 0.5, 0.1, 0.02};
+    for (double rate : rates) {
       SamplingConfig cfg;
       cfg.policy = SamplingPolicy::kPacer;
       cfg.pacer_rate = rate;
-      add(run_sampler(wname, o.params, o.sched_seed, base, cfg,
-                      "pacer " + TablePrinter::fmt(100 * rate, 0) + "%"));
+      rows.push_back(run_row(
+          wname, o.params, o.sched_seed, base, racy, &cfg,
+          "pacer " + TablePrinter::fmt(100 * rate, 0) + "%", "pacer"));
     }
     {
       SamplingConfig cfg;
       cfg.policy = SamplingPolicy::kLiteRace;
-      add(run_sampler(wname, o.params, o.sched_seed, base, cfg, "literace"));
+      rows.push_back(run_row(wname, o.params, o.sched_seed, base, racy, &cfg,
+                             "literace", "literace"));
     }
+    {
+      SamplingConfig cfg;
+      cfg.policy = SamplingPolicy::kBudget;
+      rows.push_back(run_row(wname, o.params, o.sched_seed, base, racy, &cfg,
+                             "budget", "budget"));
+    }
+    {
+      // Closed loop at the default relative cost model (cost=20); in the
+      // JSON artifact so the controller's trajectory is regression-diffed.
+      SamplingConfig cfg;
+      cfg.policy = SamplingPolicy::kPacer;
+      cfg.pacer_rate = 1.0;
+      cfg.target_overhead = 0.05;
+      rows.push_back(run_row(wname, o.params, o.sched_seed, base, racy, &cfg,
+                             "controller 5% (cost 20)", "pacer"));
+    }
+    std::size_t json_rows = rows.size();
+    if (!o.quick) {
+      // Calibrated cost model from this machine's measured full-detection
+      // slowdown — table only (wall-clock dependent, not in the JSON).
+      SamplingConfig cfg;
+      cfg.policy = SamplingPolicy::kPacer;
+      cfg.pacer_rate = 1.0;
+      cfg.target_overhead = 0.05;
+      cfg.cost_ratio = full.slowdown > 2.0 ? full.slowdown - 1.0 : 1.0;
+      rows.push_back(run_row(wname, o.params, o.sched_seed, base, racy, &cfg,
+                             "controller 5% (calibrated)", "pacer"));
+    }
+
+    // Delivery parity at rate 1.0 (quick mode keeps it: it is the CI
+    // criterion the regression script greps for).
+    bool wl_parity[3];
+    const verify::DeliveryMode modes[] = {verify::DeliveryMode::kSerialized,
+                                          verify::DeliveryMode::kTwoTier,
+                                          verify::DeliveryMode::kSharded};
+    for (int m = 0; m < 3; ++m) {
+      wl_parity[m] =
+          parity_mode(wname, o.params, o.sched_seed, modes[m], full.races);
+      parity_ok = parity_ok && wl_parity[m];
+    }
+
+    TablePrinter t({wname, "slowdown", "races", "oracle recall", "analysed"});
+    for (const Row& r : rows)
+      t.add_row({r.label, TablePrinter::fmt(r.slowdown),
+                 std::to_string(r.races),
+                 TablePrinter::fmt(r.recall_pct, 2) + "%",
+                 TablePrinter::fmt(100.0 * r.eff_rate, 2) + "%"});
     if (o.csv) t.print_csv(std::cout); else t.print(std::cout);
-    std::cout << "\n";
+    std::printf("  oracle: %zu racy bytes; rate-1.0 parity: "
+                "serialized %s, two-tier %s, sharded %s\n\n",
+                racy.size(), wl_parity[0] ? "ok" : "FAIL",
+                wl_parity[1] ? "ok" : "FAIL", wl_parity[2] ? "ok" : "FAIL");
     std::cerr << "  done: " << wname << "\n";
+
+    if (json != nullptr) {
+      std::fprintf(json, "%s\n    {\"name\": \"%s\", \"oracle_races\": %zu,",
+                   first_wl ? "" : ",", wname.c_str(), racy.size());
+      std::fprintf(json, "\n     \"parity\": {\"serialized\": %s, "
+                         "\"two_tier\": %s, \"sharded\": %s},",
+                   wl_parity[0] ? "true" : "false",
+                   wl_parity[1] ? "true" : "false",
+                   wl_parity[2] ? "true" : "false");
+      std::fprintf(json, "\n     \"rows\": [");
+      for (std::size_t i = 0; i < json_rows; ++i) {
+        const Row& r = rows[i];
+        std::fprintf(json,
+                     "%s\n      {\"label\": \"%s\", \"policy\": \"%s\", "
+                     "\"races\": %llu, \"recall_pct\": \"%.2f\", "
+                     "\"analyzed_pct\": \"%.2f\"}",
+                     i == 0 ? "" : ",", r.label.c_str(), r.policy.c_str(),
+                     static_cast<unsigned long long>(r.races), r.recall_pct,
+                     100.0 * r.eff_rate);
+      }
+      std::fprintf(json, "\n    ]}");
+      first_wl = false;
+    }
   }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("json artifact written to %s\n", json_path.c_str());
+  }
+
   std::cout
-      << "Reading guide: PACER's detection rate tracks its sampling rate "
-         "(missing races at low rates — the §VI caveat); LiteRace keeps the "
-         "one-off races (cold regions) while cooling hot loops; the dynamic "
-         "detector keeps 100% detection and beats the samplers' slowdown "
-         "whenever sharing is plentiful.\n";
-  return 0;
+      << "Reading guide: PACER's recall tracks its sampling rate (missing "
+         "races at low rates — the §VI caveat); LiteRace and the budget "
+         "policy keep the one-off races (cold regions) while cooling hot "
+         "loops; the controller holds the overhead target by scaling the "
+         "rate against its cost model. Rate 1.0 must be indistinguishable "
+         "from the bare detector in every delivery mode.\n";
+  std::printf("sampling_study: rate-1.0 delivery parity %s\n",
+              parity_ok ? "PASS" : "FAIL");
+  return parity_ok ? 0 : 1;
 }

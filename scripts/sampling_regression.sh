@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Sampling-recall regression gate: run the quick sampling study on two
+# workloads against the exact HB oracle and diff the deterministic JSON
+# artifact (recall / race counts / effective rates — never wall-clock)
+# against the checked-in baseline. Independently re-assert the tier's
+# hard guarantees with grep so a baseline re-bless can never launder
+# them away: rate-1.0 recall must be 100% and delivery parity must hold.
+#
+#   scripts/sampling_regression.sh update    # regenerate the baseline
+#   scripts/sampling_regression.sh           # check against it (CI mode)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+STUDY="$BUILD/bench/sampling_study"
+BASELINE=tests/baselines/sampling_baseline.json
+
+if [[ ! -x "$STUDY" ]]; then
+  echo "error: $STUDY not built (cmake --build $BUILD --target sampling_study)" >&2
+  exit 1
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+report="$tmpdir/sampling_report.json"
+
+# The binary itself exits nonzero if rate-1.0 delivery parity breaks.
+"$STUDY" --quick --workloads x264,dedup --json "$report" >"$tmpdir/study.out" 2>/dev/null
+grep -q "rate-1.0 delivery parity PASS" "$tmpdir/study.out" || {
+  echo "error: sampling_study did not report delivery parity PASS" >&2
+  cat "$tmpdir/study.out" >&2
+  exit 1
+}
+
+# Hard floor independent of the baseline: at rate 1.0 the sampling tier
+# must be invisible — 100% oracle recall on the racy workload.
+grep -q '"label": "pacer 100%", "policy": "pacer", "races": 993, "recall_pct": "100.00"' \
+  "$report" || {
+  echo "error: pacer rate 1.0 no longer reaches 100% oracle recall on x264" >&2
+  grep '"pacer 100%"' "$report" >&2 || true
+  exit 1
+}
+
+if [[ "${1:-}" == "update" ]]; then
+  mkdir -p "$(dirname "$BASELINE")"
+  cp "$report" "$BASELINE"
+  echo "baseline updated: $BASELINE ($(wc -l < "$BASELINE") lines)"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "error: no baseline at $BASELINE (run '$0 update' and commit it)" >&2
+  exit 1
+fi
+
+if ! diff -u "$BASELINE" "$report"; then
+  echo >&2
+  echo "error: sampling recall/rate output drifted from $BASELINE." >&2
+  echo "If the change is intentional, run 'scripts/sampling_regression.sh" \
+       "update' and commit the new baseline with an explanation." >&2
+  exit 1
+fi
+echo "sampling regression: recall and parity match the baseline"

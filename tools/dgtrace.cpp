@@ -6,9 +6,12 @@
 //       header + event-kind histogram + per-thread totals
 //   dgtrace top <trace> [N]
 //       the N most-accessed 64-byte blocks (shared hot spots)
-//   dgtrace replay <trace> <detector>
-//       replay under any detector config and print the race summary
-//   dgtrace stats <trace> [detector]
+//   dgtrace replay <trace> <detector> [--sampling <spec>]
+//       replay under any detector config and print the race summary;
+//       --sampling wraps the detector in the §VI sampling tier
+//       ("policy[,rate][,key=val...]", policies literace|pacer|budget)
+//       and prints its shed/analyzed diagnostics
+//   dgtrace stats <trace> [detector] [--sampling <spec>]
 //       replay, then print the per-category memory table (current/peak)
 //       and the overload-governor transition log (DYNGRAN_MEM_BUDGET)
 //   dgtrace analyze <trace> [detector] [--json] [--no-adhoc]
@@ -43,6 +46,7 @@
 #include "bench/harness.hpp"
 #include "detect/dyngran.hpp"
 #include "detect/fasttrack.hpp"
+#include "detect/sampling.hpp"
 #include "govern/governor.hpp"
 #include "rt/trace.hpp"
 #include "sim/sim.hpp"
@@ -77,14 +81,16 @@ int usage() {
       "  dgtrace record <workload> <out.trace> [threads] [scale] [seed]\n"
       "  dgtrace info <trace>\n"
       "  dgtrace top <trace> [N]\n"
-      "  dgtrace replay <trace> <detector>\n"
-      "  dgtrace stats <trace> [detector]\n"
+      "  dgtrace replay <trace> <detector> [--sampling <spec>]\n"
+      "  dgtrace stats <trace> [detector] [--sampling <spec>]\n"
       "  dgtrace analyze <trace> [detector] [--json] [--no-adhoc]\n"
       "  dgtrace diff <a.trace> <b.trace>\n"
       "  dgtrace verify <trace> [--adhoc] [--repro <out.trace>]\n"
       "  dgtrace fuzz [--seeds N] [--schedules M] [--out DIR] [--inject F]\n"
       "detectors: byte word dynamic dynamic-noshare1 dynamic-noinit djit\n"
       "           lockset drd inspector\n"
+      "sampling specs: literace | pacer,0.05 | budget,window=4096,budget=64\n"
+      "                | pacer,1.0,target=5% (closed-loop overhead control)\n"
       "faults (--inject): drop-read skip-join skip-release");
   return 2;
 }
@@ -199,15 +205,63 @@ void print_governor(Detector& det, const govern::Governor& gov) {
                 t.at_access, t.bytes);
 }
 
+/// Wrap the factory detector in the §VI sampling tier when a --sampling
+/// spec was given. Returns null (with a stderr message) on a bad spec;
+/// "off"/"none" return the inner detector unchanged. The decorator owns
+/// the inner detector, and `sampler` aliases the decorator when attached
+/// so callers can print its diagnostics.
+std::unique_ptr<Detector> wrap_sampling(std::unique_ptr<Detector> det,
+                                        const std::string& spec,
+                                        SamplingDetector** sampler) {
+  *sampler = nullptr;
+  if (spec.empty()) return det;
+  SamplingConfig cfg;
+  std::string err;
+  if (!parse_sampling_spec(spec, &cfg, &err)) {
+    if (!err.empty()) {
+      std::fprintf(stderr, "bad --sampling spec: %s\n", err.c_str());
+      return nullptr;
+    }
+    return det;  // "off" / "none": run unsampled
+  }
+  auto wrapped = std::make_unique<SamplingDetector>(std::move(det), cfg);
+  *sampler = wrapped.get();
+  return wrapped;
+}
+
+void print_sampler(const SamplingDetector& s) {
+  const SamplingConfig& cfg = s.config();
+  std::printf("sampling: policy %s, %" PRIu64 " of %" PRIu64
+              " accesses analysed (%.2f%% effective rate)\n",
+              to_string(cfg.policy), s.sampled_accesses(), s.total_accesses(),
+              100.0 * s.effective_rate());
+  if (cfg.target_overhead > 0.0)
+    std::printf("  overhead controller: target %.1f%%, cost ratio %.1f, "
+                "final rate scale %.4f\n",
+                100.0 * cfg.target_overhead, cfg.cost_ratio,
+                s.controller_scale());
+}
+
 int cmd_replay(int argc, char** argv) {
   if (argc < 4) return usage();
+  std::string spec;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sampling") == 0 && i + 1 < argc)
+      spec = argv[++i];
+    else
+      return usage();
+  }
   std::vector<TraceEvent> ev;
   std::string err;
   if (!rt::load_trace(argv[2], ev, &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
-  auto det = bench::detector_factory(argv[3])();
+  SamplingDetector* sampler = nullptr;
+  auto det = wrap_sampling(bench::detector_factory(argv[3])(), spec, &sampler);
+  if (det == nullptr) return 2;
+  // Attach to the outer detector: SamplingDetector::set_governor delegates
+  // the Orange/Red gate to the sampling tier (one coin, not two).
   auto gov = env_governor(*det);
   const std::size_t n = rt::replay_trace(ev, *det);
   std::printf("replayed %zu events under %s\n", n, det->name());
@@ -217,6 +271,7 @@ int cmd_replay(int argc, char** argv) {
               det->sink().unique_races(), det->sink().raw_reports(),
               static_cast<std::uint64_t>(det->stats().shared_accesses),
               det->stats().same_epoch_pct());
+  if (sampler != nullptr) print_sampler(*sampler);
   std::size_t shown = 0;
   for (const auto& r : det->sink().reports()) {
     if (++shown > 10) {
@@ -234,19 +289,31 @@ int cmd_replay(int argc, char** argv) {
 
 int cmd_stats(int argc, char** argv) {
   if (argc < 3) return usage();
+  std::string detector = "dynamic";
+  std::string spec;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sampling") == 0 && i + 1 < argc)
+      spec = argv[++i];
+    else
+      detector = argv[i];
+  }
   std::vector<TraceEvent> ev;
   std::string err;
   if (!rt::load_trace(argv[2], ev, &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
-  auto det = bench::detector_factory(argc > 3 ? argv[3] : "dynamic")();
+  SamplingDetector* sampler = nullptr;
+  auto det =
+      wrap_sampling(bench::detector_factory(detector)(), spec, &sampler);
+  if (det == nullptr) return 2;
   auto gov = env_governor(*det);
   const std::size_t n = rt::replay_trace(ev, *det);
   std::printf("replayed %zu events under %s\n", n, det->name());
   std::printf("races: %" PRIu64 " unique locations (%" PRIu64
               " raw reports)\n",
               det->sink().unique_races(), det->sink().raw_reports());
+  if (sampler != nullptr) print_sampler(*sampler);
   const MemoryAccountant& acct = det->accountant();
   std::puts("memory (bytes):");
   std::printf("  %-14s %12s %12s\n", "category", "current", "peak");
