@@ -27,10 +27,47 @@
 #include "common/table_printer.hpp"
 #include "detect/fasttrack.hpp"
 #include "rt/runtime.hpp"
+#include "shadow/epoch_bitmap.hpp"
 
 using namespace dg;
 
 namespace {
+
+// Which eq_mask dispatch the EpochBitmap probe compiled to — recorded in
+// the JSON so the SIMD scan's delta is attributable across PR snapshots.
+#if defined(__SSE2__)
+constexpr const char* kBitmapDispatch = "sse2";
+#elif defined(__aarch64__)
+constexpr const char* kBitmapDispatch = "neon";
+#else
+constexpr const char* kBitmapDispatch = "scalar";
+#endif
+
+// Isolated probe cost of the tier-1 same-epoch filter: the same access
+// shape as the hot loop in run_workload (64B strided reads over a 1 KiB
+// window plus one shared line, epoch bumped every 512 iterations), but
+// with nothing downstream — the measured work is EpochBitmap::test_and_set
+// alone, i.e. the group scan the SIMD rewrite targets.
+double bench_bitmap_probe(int iters) {
+  MemoryAccountant acct;
+  EpochBitmap bm(acct);
+  const Addr priv_base = 0x700000000000;
+  const Addr shared_ro = 0x7e0000000000;
+  std::uint64_t serial = 1;
+  std::uint64_t covered = 0;  // data dependency so the loop is not elided
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    covered += bm.test_and_set(priv_base + (i % 16) * 64, 64,
+                               AccessType::kRead, serial);
+    covered += bm.test_and_set(shared_ro, 64, AccessType::kRead, serial);
+    if (i % 512 == 0) ++serial;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (covered == 0) std::fprintf(stderr, "bitmap probe: nothing covered?\n");
+  return secs > 0 ? 2.0 * static_cast<double>(iters) / secs : 0;
+}
 
 struct RunResult {
   double events_per_sec = 0;
@@ -179,7 +216,14 @@ int main(int argc, char** argv) {
             ", \"events_per_lock\": " +
             TablePrinter::fmt(fast.rs.events_per_lock(), 2) + "}";
   }
-  json += "\n  ],\n  \"speedup_at_8_threads\": " +
+  const double bitmap_probes = bench_bitmap_probe(iters * 8);
+  std::cout << "\nbitmap probe (" << kBitmapDispatch
+            << "): " << TablePrinter::fmt(bitmap_probes, 0)
+            << " probes/s\n";
+  json += "\n  ],\n  \"bitmap_dispatch\": \"" + std::string(kBitmapDispatch) +
+          "\",\n  \"bitmap_probes_per_sec\": " +
+          TablePrinter::fmt(bitmap_probes, 0) +
+          ",\n  \"speedup_at_8_threads\": " +
           TablePrinter::fmt(speedup_at_8, 3) +
           ",\n  \"sharded_speedup_at_8_threads\": " +
           TablePrinter::fmt(shard_speedup_at_8, 3) +

@@ -1,0 +1,383 @@
+// micro_service — the detection-as-a-service path (DESIGN.md §5.5):
+// multi-process shared-memory ingestion versus the in-process kSharded
+// runtime, race-report parity across the process boundary, and the
+// clock-GC memory bound.
+//
+// Three phases:
+//
+//   throughput  P producer *processes* (fork before the service spawns
+//               its drainers) stream a read-heavy synthetic trace through
+//               the shared-memory rings; aggregate drain throughput is
+//               compared against the in-process kSharded runtime running
+//               the same loop shape on N live threads.
+//   parity      racy streams, clock-GC off: the service's race set must
+//               equal the union of per-producer in-process replays under
+//               the identical detector config (addresses namespaced per
+//               slot). Asserted by the binary — exit 1 on mismatch.
+//   gc          one producer streams a cold-sweeping trace 10x the parity
+//               length; the run repeats with the epoch GC off and on, and
+//               the on-run's peak shadow bytes must not exceed the
+//               off-run's (the GC ledger is printed either way).
+//
+// --smoke shrinks all sizes for CI wiring; --out FILE writes
+// BENCH_service.json for cross-PR tracking.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.hpp"
+#include "detect/dyngran.hpp"
+#include "rt/runtime.hpp"
+#include "rt/trace.hpp"
+#include "service/analysis_service.hpp"
+#include "service/shm_segment.hpp"
+
+using namespace dg;
+
+namespace {
+
+constexpr std::uint32_t kShards = 16;
+
+DynGranDetector make_detector() {
+  DynGranConfig cfg;
+  cfg.shards = kShards;
+  return DynGranDetector(cfg);
+}
+
+std::unique_ptr<DynGranDetector> make_detector_ptr() {
+  DynGranConfig cfg;
+  cfg.shards = kShards;
+  return std::make_unique<DynGranDetector>(cfg);
+}
+
+/// Deterministic per-producer stream, same loop shape as micro_runtime's
+/// hot loop: per thread, 64B-stride reads over a private 1 KiB window plus
+/// a shared read-only line, occasional private writes, a lock round every
+/// 512 iterations to bound the epoch. `racy` adds unlocked writes to a
+/// small shared region so distinct race locations exist. `cold` makes
+/// every iteration touch a fresh block instead (nothing is revisited, so
+/// all shadow state goes cold — the GC phase's diet).
+std::vector<rt::TraceEvent> make_stream(std::uint32_t producer,
+                                        std::uint32_t threads,
+                                        std::uint32_t iters, bool racy,
+                                        bool cold) {
+  std::vector<rt::TraceEvent> ev;
+  ev.reserve(static_cast<std::size_t>(threads) * iters * 3 + threads * 4 + 8);
+  const Addr priv_base = 0x700000000000 + (static_cast<Addr>(producer) << 32);
+  const Addr shared_ro = 0x7e0000000000;
+  const Addr racy_base = 0x7f0000000000;
+  const std::uint64_t lock_id = 0x1000;
+
+  ev.push_back({rt::EventKind::kThreadStart, 0, 0, 0, 0, kInvalidThread});
+  for (std::uint32_t t = 1; t <= threads; ++t)
+    ev.push_back({rt::EventKind::kThreadStart, 0, 0, t, 0, 0});
+  if (cold) {
+    // Sweep: every 64B block is read once by every thread, then never
+    // touched again. With >8 reader threads the read histories outgrow
+    // VectorClock's inline storage, so the cold shadow state carries heap
+    // the epoch GC can shed.
+    for (std::uint32_t i = 0; i < iters; ++i) {
+      const Addr a = priv_base + static_cast<Addr>(i) * 64;
+      for (std::uint32_t t = 1; t <= threads; ++t)
+        ev.push_back({rt::EventKind::kRead, 0, 8, t, a, 0});
+      if (i % 256 == 0) {
+        for (std::uint32_t t = 1; t <= threads; ++t) {
+          ev.push_back({rt::EventKind::kAcquire, 0, 0, t, lock_id, 0});
+          ev.push_back({rt::EventKind::kRelease, 0, 0, t, lock_id, 0});
+        }
+      }
+    }
+  } else {
+    for (std::uint32_t t = 1; t <= threads; ++t) {
+      const Addr mine = priv_base + static_cast<Addr>(t) * 0x100000;
+      for (std::uint32_t i = 0; i < iters; ++i) {
+        ev.push_back(
+            {rt::EventKind::kRead, 0, 64, t, mine + (i % 16) * 64, 0});
+        ev.push_back({rt::EventKind::kRead, 0, 64, t, shared_ro, 0});
+        if (i % 16 == 0)
+          ev.push_back(
+              {rt::EventKind::kWrite, 0, 8, t, mine + (i % 16) * 64, 0});
+        if (racy && i % 64 == 0)
+          ev.push_back({rt::EventKind::kWrite, 0, 8, t,
+                        racy_base + (i / 64 % 8) * 8, 0});
+        if (i % 512 == 0) {
+          ev.push_back({rt::EventKind::kAcquire, 0, 0, t, lock_id, 0});
+          ev.push_back({rt::EventKind::kRelease, 0, 0, t, lock_id, 0});
+        }
+      }
+    }
+  }
+  for (std::uint32_t t = 1; t <= threads; ++t)
+    ev.push_back({rt::EventKind::kThreadJoin, 0, 0, 0, 0, t});
+  ev.push_back({rt::EventKind::kFinish, 0, 0, 0, 0, 0});
+  return ev;
+}
+
+/// Child-process body: attach, stream producer `idx`'s events, exit.
+[[noreturn]] void run_child(const std::string& path, std::uint32_t idx,
+                            std::uint32_t threads, std::uint32_t iters,
+                            bool racy, bool cold) {
+  const auto ev = make_stream(idx, threads, iters, racy, cold);
+  service::ShmProducer prod;
+  std::string err;
+  if (!prod.connect(path, "bench:" + std::to_string(idx), 30000, &err)) {
+    std::fprintf(stderr, "producer %u: %s\n", idx, err.c_str());
+    _exit(1);
+  }
+  if (!prod.wait_go(60000)) _exit(1);
+  if (!prod.push_n(ev.data(), ev.size())) _exit(1);
+  prod.finish();
+  _exit(0);
+}
+
+struct PassResult {
+  double secs = 0;
+  service::ServiceStats stats;
+  std::uint64_t unique_races = 0;
+  std::size_t shadow_peak = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> slot_to_idx;
+  std::set<Addr> race_addrs;
+  bool children_ok = true;
+};
+
+/// One full service pass: fork `producers` children (BEFORE any service
+/// thread exists — fork and threads do not mix), start the service, open
+/// the gate, drain to completion, reap the children.
+PassResult run_service_pass(const std::string& path, std::uint32_t producers,
+                            std::uint32_t threads, std::uint32_t iters,
+                            bool racy, bool cold,
+                            service::ServiceOptions opts) {
+  PassResult out;
+  // A leftover segment from an earlier pass would let a child attach to
+  // the dead file before this pass creates the new one — remove it first.
+  ::unlink(path.c_str());
+  // Children first: they spin in attach() until the parent creates the
+  // segment, so no pre-created file is needed.
+  std::vector<pid_t> kids;
+  for (std::uint32_t i = 0; i < producers; ++i) {
+    const pid_t pid = ::fork();
+    if (pid == 0) run_child(path, i, threads, iters, racy, cold);
+    kids.push_back(pid);
+  }
+  auto det = make_detector_ptr();
+  service::AnalysisService svc(*det, opts);
+  std::string err;
+  if (!svc.start(path, &err)) {
+    std::fprintf(stderr, "service: %s\n", err.c_str());
+    out.children_ok = false;
+    for (const pid_t k : kids) ::waitpid(k, nullptr, 0);
+    return out;
+  }
+  if (!svc.wait_producers(producers, 30000)) {
+    std::fprintf(stderr, "service: producers never attached\n");
+    out.children_ok = false;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  svc.open_gate();
+  svc.stop(120000);
+  out.secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const pid_t k : kids) {
+    int status = 0;
+    ::waitpid(k, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+      out.children_ok = false;
+  }
+  out.stats = svc.stats();
+  out.unique_races = det->sink().unique_races();
+  out.shadow_peak = det->accountant().peak_total();
+  for (const auto& r : det->sink().reports()) out.race_addrs.insert(r.addr);
+  const auto& lay = svc.segment().layout();
+  for (std::uint32_t s = 0; s < lay.header.max_producers; ++s) {
+    const auto& slot = lay.slots[s];
+    if (slot.state.load(std::memory_order_relaxed) ==
+        static_cast<std::uint32_t>(service::SlotState::kFree))
+      continue;
+    std::uint32_t idx = 0;
+    if (std::sscanf(slot.spec, "bench:%u", &idx) == 1)
+      out.slot_to_idx.emplace_back(s, idx);
+  }
+  return out;
+}
+
+/// In-process kSharded baseline: the same loop shape driven live through
+/// the runtime on `nthreads` application threads.
+double run_inprocess_sharded(int nthreads, std::uint32_t iters) {
+  DynGranDetector det = make_detector();
+  rt::Runtime rtm(det,
+                  rt::RuntimeOptions{rt::RuntimeOptions::Mode::kSharded});
+  rtm.register_current_thread(kInvalidThread);
+  rt::Mutex mu(rtm);
+  int counter = 0;
+  const Addr priv_base = 0x700000000000;
+  const Addr shared_ro = 0x7e0000000000;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::unique_ptr<rt::Thread>> threads;
+    for (int t = 0; t < nthreads; ++t) {
+      threads.push_back(std::make_unique<rt::Thread>(
+          rtm, [&, t](rt::ThreadCtx& ctx) {
+            const Addr mine = priv_base + static_cast<Addr>(t) * 0x100000;
+            for (std::uint32_t i = 0; i < iters; ++i) {
+              ctx.touch_read(
+                  reinterpret_cast<const void*>(mine + (i % 16) * 64), 64);
+              ctx.touch_read(reinterpret_cast<const void*>(shared_ro), 64);
+              if (i % 16 == 0)
+                ctx.touch_write(
+                    reinterpret_cast<void*>(mine + (i % 16) * 64), 8);
+              if (i % 512 == 0) {
+                std::scoped_lock lk(mu);
+                ctx.write(&counter, ctx.read(&counter) + 1);
+              }
+            }
+          }));
+    }
+    for (auto& th : threads) th->join();
+  }
+  rtm.finish();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const RuntimeStats rs = rtm.stats();
+  return secs > 0 ? static_cast<double>(rs.events_seen) / secs : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  std::string seg_path = "micro_service.dgs";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--segment") == 0 && i + 1 < argc) {
+      seg_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE] "
+                           "[--segment PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const std::uint32_t producers = smoke ? 2 : 4;
+  const std::uint32_t threads = smoke ? 2 : 4;
+  const std::uint32_t iters = smoke ? 4000 : 200000;
+
+  // -- throughput -------------------------------------------------------
+  service::ServiceOptions topts;
+  topts.drainers = 4;
+  const PassResult tp = run_service_pass(seg_path, producers, threads, iters,
+                                         /*racy=*/false, /*cold=*/false,
+                                         topts);
+  const double svc_eps =
+      tp.secs > 0 ? static_cast<double>(tp.stats.events_total) / tp.secs : 0;
+  const double base_eps = run_inprocess_sharded(8, iters);
+
+  std::cout << "micro_service: multi-process ingestion vs in-process "
+               "kSharded (dyngran, " << kShards << " shards)\n\n";
+  TablePrinter table({"path", "procs/threads", "events", "ev/s"});
+  table.add_row({"service", std::to_string(producers) + " procs x " +
+                                std::to_string(threads) + "t",
+                 std::to_string(tp.stats.events_total),
+                 TablePrinter::fmt(svc_eps, 0)});
+  table.add_row({"in-process kSharded", "8 threads", "-",
+                 TablePrinter::fmt(base_eps, 0)});
+  table.print(std::cout);
+  std::cout << "  same-epoch filtered service-side: " << tp.stats.filtered
+            << "; combiner piggybacked " << tp.stats.piggybacked
+            << " of " << tp.stats.combined_batches << " batches\n";
+  if (!tp.children_ok) {
+    std::cout << "FAIL: producer process error in throughput phase\n";
+    return 1;
+  }
+
+  // -- parity -----------------------------------------------------------
+  service::ServiceOptions popts;
+  popts.drainers = 2;  // parity runs GC-free (compaction can change
+  popts.gc_every_events = 0;  // dyngran sharing decisions)
+  const std::uint32_t piters = smoke ? 2000 : 20000;
+  const PassResult pp = run_service_pass(seg_path, producers, threads,
+                                         piters, /*racy=*/true,
+                                         /*cold=*/false, popts);
+  std::set<Addr> expected;
+  std::uint64_t expected_unique = 0;
+  for (const auto& [slot, idx] : pp.slot_to_idx) {
+    const auto ev = make_stream(idx, threads, piters, true, false);
+    DynGranDetector det = make_detector();
+    rt::replay_trace(ev, det);
+    expected_unique += det.sink().unique_races();
+    for (const auto& r : det.sink().reports())
+      expected.insert(service::AnalysisService::namespaced(slot, r.addr));
+  }
+  const bool parity = pp.children_ok && expected_unique == pp.unique_races &&
+                      expected == pp.race_addrs;
+  std::cout << "\nparity: expected " << expected_unique
+            << " unique race locations across " << pp.slot_to_idx.size()
+            << " producers, service found " << pp.unique_races << " -> "
+            << (parity ? "OK" : "MISMATCH") << "\n";
+
+  // -- clock GC ---------------------------------------------------------
+  const std::uint32_t giters = piters * 10;
+  const std::uint32_t gthreads = 10;  // read VCs must outgrow the inline 8
+  service::ServiceOptions goff;
+  goff.drainers = 1;
+  const PassResult gc_off = run_service_pass(seg_path, 1, gthreads, giters,
+                                             false, /*cold=*/true, goff);
+  service::ServiceOptions gon = goff;
+  gon.gc_every_events = smoke ? 20000 : 200000;
+  gon.gc_cold_generations = 1;
+  const PassResult gc_on = run_service_pass(seg_path, 1, gthreads, giters,
+                                            false, /*cold=*/true, gon);
+  const bool gc_bounded = gc_on.shadow_peak <= gc_off.shadow_peak &&
+                          gc_on.stats.gc_runs > 0 &&
+                          gc_on.stats.gc_shed_bytes > 0;
+  std::cout << "clock GC (10x trace, cold sweep): peak shadow "
+            << gc_off.shadow_peak << " B without GC, " << gc_on.shadow_peak
+            << " B with GC (" << gc_on.stats.gc_runs << " runs, "
+            << gc_on.stats.gc_shed_bytes << " B shed) -> "
+            << (gc_bounded ? "bounded" : "NOT BOUNDED") << "\n";
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    f << "{\n  \"bench\": \"micro_service\",\n"
+      << "  \"producers\": " << producers << ",\n"
+      << "  \"threads_per_producer\": " << threads << ",\n"
+      << "  \"events_total\": " << tp.stats.events_total << ",\n"
+      << "  \"service_events_per_sec\": " << TablePrinter::fmt(svc_eps, 0)
+      << ",\n"
+      << "  \"inprocess_sharded_events_per_sec\": "
+      << TablePrinter::fmt(base_eps, 0) << ",\n"
+      << "  \"service_vs_inprocess\": "
+      << TablePrinter::fmt(base_eps > 0 ? svc_eps / base_eps : 0, 3) << ",\n"
+      << "  \"filtered\": " << tp.stats.filtered << ",\n"
+      << "  \"combines\": " << tp.stats.combines << ",\n"
+      << "  \"piggybacked\": " << tp.stats.piggybacked << ",\n"
+      << "  \"race_report_parity\": " << (parity ? "true" : "false") << ",\n"
+      << "  \"gc_peak_without\": " << gc_off.shadow_peak << ",\n"
+      << "  \"gc_peak_with\": " << gc_on.shadow_peak << ",\n"
+      << "  \"gc_runs\": " << gc_on.stats.gc_runs << ",\n"
+      << "  \"gc_shed_bytes\": " << gc_on.stats.gc_shed_bytes << ",\n"
+      << "  \"gc_bounded\": " << (gc_bounded ? "true" : "false") << "\n}\n";
+    std::cout << "wrote " << out_path << "\n";
+  }
+  ::unlink(seg_path.c_str());
+  return parity && gc_bounded ? 0 : 1;
+}

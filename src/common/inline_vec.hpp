@@ -102,6 +102,28 @@ class InlineVec {
     return heap_ != nullptr ? cap_ * sizeof(T) : 0;
   }
 
+  /// Release surplus capacity: move back into the inline buffer when the
+  /// elements fit, otherwise shrink the heap block to exactly size().
+  /// Returns the number of heap bytes released (for accounting).
+  std::size_t shrink_to_fit() {
+    if (heap_ == nullptr) return 0;
+    const std::size_t before = cap_ * sizeof(T);
+    if (size_ <= N) {
+      std::memcpy(inline_data(), heap_, size_ * sizeof(T));
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      cap_ = N;
+      return before;
+    }
+    if (size_ == cap_) return 0;
+    T* nh = static_cast<T*>(::operator new(size_ * sizeof(T)));
+    std::memcpy(nh, heap_, size_ * sizeof(T));
+    ::operator delete(heap_);
+    heap_ = nh;
+    cap_ = size_;
+    return before - cap_ * sizeof(T);
+  }
+
   friend bool operator==(const InlineVec& a, const InlineVec& b) noexcept {
     return a.size_ == b.size_ &&
            std::memcmp(a.data(), b.data(), a.size_ * sizeof(T)) == 0;

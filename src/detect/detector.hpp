@@ -207,6 +207,20 @@ class Detector : public SyncEventSink, public AccessEventSink {
     return 0;
   }
 
+  /// Epoch-GC (DESIGN.md §5.5): losslessly compact vector-clock storage
+  /// attached to shadow state untouched for the last `cold_generations`
+  /// shadow-table generations (trim trailing zeros, return oversized heap
+  /// blocks, demote single-reader clocks to epochs), then advance the
+  /// generation. Unlike trim(), this never discards happens-before
+  /// information — race results are unchanged. Called by the resident
+  /// analysis service between drains; must take the detector's exclusive
+  /// sync lock internally when concurrent delivery is on. Returns the
+  /// number of accounted bytes released.
+  virtual std::size_t gc_clocks(std::uint32_t cold_generations) {
+    (void)cold_generations;
+    return 0;
+  }
+
   // Virtual so decorators (e.g. SamplingDetector) can expose the wrapped
   // detector's reports/statistics as their own.
   virtual ReportSink& sink() noexcept { return sink_; }

@@ -820,6 +820,25 @@ std::size_t DynGranDetector::trim(govern::PressureLevel level) {
   return before > after ? before - after : 0;
 }
 
+std::size_t DynGranDetector::gc_clocks(std::uint32_t cold_generations) {
+  // Exclusive sync lock: shard batches take it shared, so the GC runs with
+  // every shard quiescent and can walk all tables without shard mutexes.
+  auto lk = lock_sync_exclusive();
+  const std::uint64_t min_age = cold_generations == 0 ? 1 : cold_generations;
+  std::size_t shed = 0;
+  // A node is reachable from every cell it spans; dedupe with a visited
+  // set so a span's history is compacted once.
+  std::unordered_set<const VCNode*> seen;
+  table_.for_each_cold(min_age, [&](Addr, std::uint32_t, DgCell& cell) {
+    for (VCNode* n : {cell.read, cell.write}) {
+      if (n == nullptr || !seen.insert(n).second) continue;
+      shed += n->read.compact(acct_);
+    }
+  });
+  table_.advance_generation();
+  return shed;
+}
+
 DynGranDetector::NodeView DynGranDetector::inspect(Addr addr,
                                                    AccessType pl) const {
   NodeView v;

@@ -136,6 +136,13 @@ class DynGranDetector final : public Detector {
   /// so span pre-marking stays sound.
   std::size_t trim(govern::PressureLevel level) override;
 
+  /// Epoch-GC (DESIGN.md §5.5): losslessly compact read-history clocks of
+  /// VC nodes whose shadow blocks went untouched for `cold_generations`
+  /// generations, then advance the generation. Takes the sync lock
+  /// exclusively (excludes all shard activity); detection results are
+  /// unchanged — only storage shrinks.
+  std::size_t gc_clocks(std::uint32_t cold_generations) override;
+
   /// Attach an ahead-of-time check-elision map (docs/ANALYZER.md): accesses
   /// conforming to their range's class skip all shadow/VC work. Not owned;
   /// nullptr detaches. Demotion-uncovered conflicts are reported as races.

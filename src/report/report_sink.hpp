@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "report/crash_flush.hpp"
 #include "report/race_report.hpp"
+#include "report/retention.hpp"
 
 namespace dg {
 
@@ -32,7 +33,7 @@ namespace dg {
 class ReportSink {
  public:
   /// Keep at most `max_kept` full reports (counting continues past it).
-  explicit ReportSink(std::size_t max_kept = 4096) : max_kept_(max_kept) {}
+  explicit ReportSink(std::size_t max_kept = 4096) : retention_(max_kept) {}
 
   /// Suppress races whose racing address lies in [lo, hi).
   void suppress_range(Addr lo, Addr hi, std::string label = {}) {
@@ -65,16 +66,7 @@ class ReportSink {
     raw_.fetch_add(1, std::memory_order_relaxed);
     if (!locations_.insert(r.addr).second) return false;
     unique_.fetch_add(1, std::memory_order_relaxed);
-    const std::string key = group_key(r);
-    Group& g = groups_[key];
-    ++g.count;
-    if (reports_.size() < max_kept_) {
-      reports_.push_back(r);
-      kept_keys_.push_back(key);
-      ++g.kept;
-    } else if (g.kept == 0 && max_kept_ > 0) {
-      keep_by_eviction(r, key, g);
-    }
+    retention_.admit(r, next_seq_++);
     if (crash_capture_) CrashReporter::instance().note(r);
     if (on_report_) on_report_(r);
     return true;
@@ -102,15 +94,29 @@ class ReportSink {
 
   /// Quiescent-state accessor: callers must ensure no shard is reporting
   /// concurrently (tests and benches read this after finish()).
-  const std::vector<RaceReport>& reports() const noexcept { return reports_; }
+  const std::vector<RaceReport>& reports() const noexcept {
+    return retention_.reports();
+  }
 
   /// Per-group recorded-report counts, keyed by "cur_site|prev_site|addr
   /// bucket". Quiescent-state accessor, like reports().
   std::vector<std::pair<std::string, std::uint64_t>> group_counts() const {
     std::lock_guard<std::mutex> lk(mu_);
-    std::vector<std::pair<std::string, std::uint64_t>> out;
-    out.reserve(groups_.size());
-    for (const auto& [k, g] : groups_) out.emplace_back(k, g.count);
+    return retention_.group_counts();
+  }
+
+  /// Cursor read over the kept window (DESIGN.md §5.5): every recorded
+  /// report carries a monotone sequence number; snapshot(since_seq)
+  /// returns the kept reports recorded at or after that cursor plus the
+  /// cursor to pass next time. Safe while shards report concurrently —
+  /// a live poller (dgtrace stats, the service loop) never re-reads or
+  /// skips a report it already saw (evictions excepted).
+  ReportSnapshot snapshot(std::uint64_t since_seq = 0) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    ReportSnapshot out;
+    out.next_seq = next_seq_;
+    out.total_recorded = next_seq_;
+    retention_.snapshot_into(since_seq, out);
     return out;
   }
 
@@ -128,9 +134,8 @@ class ReportSink {
 
   void clear() {
     std::lock_guard<std::mutex> lk(mu_);
-    reports_.clear();
-    kept_keys_.clear();
-    groups_.clear();
+    retention_.clear();
+    next_seq_ = 0;
     locations_.clear();
     raw_ = unique_ = suppressed_ = 0;
   }
@@ -140,45 +145,6 @@ class ReportSink {
     Addr lo, hi;
     std::string label;
   };
-
-  struct Group {
-    std::uint64_t count = 0;  // recorded reports in this group
-    std::size_t kept = 0;     // of which currently kept in reports_
-  };
-
-  static std::string group_key(const RaceReport& r) {
-    std::string k = r.current_site;
-    k += '|';
-    k += r.previous_site;
-    k += '|';
-    k += std::to_string(r.addr >> 6);  // 64-byte proximity bucket
-    return k;
-  }
-
-  /// Cap reached and `key`'s group has no kept representative: evict the
-  /// newest kept report of the group holding the most kept slots (if it
-  /// holds at least two — groups are never evicted down to zero).
-  void keep_by_eviction(const RaceReport& r, const std::string& key,
-                        Group& g) {
-    const std::string* victim_key = nullptr;
-    std::size_t victim_kept = 1;
-    for (const auto& [k, grp] : groups_) {
-      if (grp.kept > victim_kept) {
-        victim_kept = grp.kept;
-        victim_key = &k;
-      }
-    }
-    if (victim_key == nullptr) return;  // all kept groups are singletons
-    for (std::size_t i = kept_keys_.size(); i-- > 0;) {
-      if (kept_keys_[i] == *victim_key) {
-        --groups_[*victim_key].kept;
-        reports_[i] = r;
-        kept_keys_[i] = key;
-        ++g.kept;
-        return;
-      }
-    }
-  }
 
   bool is_suppressed(const RaceReport& r) const {
     for (const auto& rr : range_rules_)
@@ -191,10 +157,8 @@ class ReportSink {
   }
 
   mutable std::mutex mu_;
-  std::size_t max_kept_;
-  std::vector<RaceReport> reports_;
-  std::vector<std::string> kept_keys_;  // group key of reports_[i]
-  std::unordered_map<std::string, Group> groups_;
+  GroupedRetention retention_;
+  std::uint64_t next_seq_ = 0;  // sequence number of the next record
   bool crash_capture_ = false;
   std::unordered_set<Addr> locations_;
   std::vector<RangeRule> range_rules_;

@@ -1,0 +1,188 @@
+// ReportStore — the queryable online race-report store behind the
+// analysis service (DESIGN.md §5.5).
+//
+// ReportSink keeps a bounded, group-aware window for end-of-run summaries;
+// a resident daemon additionally needs *live queries*: "what raced near
+// this address?", "which races involve this site?", "what's new since my
+// last poll?". The store answers those from a fixed-capacity ring of the
+// most recent unique reports plus two secondary indices:
+//
+//   * site index    — exact current-site label -> sequence numbers
+//                     (prefix queries scan the label set, which is small:
+//                     one entry per distinct site string).
+//   * bucket index  — 64-byte address bucket -> sequence numbers.
+//
+// Entries evicted by the ring are pruned from their index slots on
+// overwrite, so queries never resurrect dead reports. Grouped counts reuse
+// the same GroupedRetention bookkeeping as ReportSink (retention.hpp) —
+// the policy exists once.
+//
+// Thread-safe: attach() subscribes to a sink's on_report callback, which
+// fires under the sink's mutex from whatever shard reported; all store
+// state is guarded by its own mutex (lock order: sink -> store, never the
+// reverse — the store never calls back into the sink).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "report/race_report.hpp"
+#include "report/report_sink.hpp"
+#include "report/retention.hpp"
+
+namespace dg {
+
+class ReportStore {
+ public:
+  /// Ring capacity: the store keeps the `capacity` most recent unique
+  /// reports; older ones are overwritten (counted, pruned from indices).
+  explicit ReportStore(std::size_t capacity = 1024)
+      : cap_(capacity == 0 ? 1 : capacity),
+        ring_(cap_),
+        retention_(cap_) {}
+
+  /// Subscribe to `sink`: every report the sink records (post-dedup,
+  /// post-suppression) is stored here too. Replaces the sink's on_report
+  /// callback; `sink` must outlive the subscription.
+  void attach(ReportSink& sink) {
+    sink.set_on_report([this](const RaceReport& r) { record(r); });
+  }
+
+  void record(const RaceReport& r) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t seq = next_seq_++;
+    Entry& slot = ring_[seq % cap_];
+    if (slot.live) prune_index(slot);
+    slot.live = true;
+    slot.seq = seq;
+    slot.report = r;
+    site_index_[r.current_site].push_back(seq);
+    bucket_index_[r.addr >> kBucketShift].push_back(seq);
+    retention_.admit(r, seq);
+  }
+
+  /// All live reports whose current-site label starts with `prefix`
+  /// (empty prefix = everything), in admission order.
+  std::vector<RaceReport> query_site_prefix(const std::string& prefix) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::uint64_t> seqs;
+    for (const auto& [site, list] : site_index_) {
+      if (site.compare(0, prefix.size(), prefix) != 0) continue;
+      for (const std::uint64_t s : list)
+        if (is_live(s)) seqs.push_back(s);
+    }
+    return collect(seqs);
+  }
+
+  /// All live reports in the same 64-byte bucket as `addr`, in admission
+  /// order.
+  std::vector<RaceReport> query_near(Addr addr) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::uint64_t> seqs;
+    const auto it = bucket_index_.find(addr >> kBucketShift);
+    if (it != bucket_index_.end())
+      for (const std::uint64_t s : it->second)
+        if (is_live(s)) seqs.push_back(s);
+    return collect(seqs);
+  }
+
+  /// Cursor read over the ring, same contract as ReportSink::snapshot:
+  /// live reports with seq >= since_seq plus the next cursor.
+  ReportSnapshot snapshot(std::uint64_t since_seq = 0) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    ReportSnapshot out;
+    out.next_seq = next_seq_;
+    out.total_recorded = next_seq_;
+    std::vector<std::uint64_t> seqs;
+    for (const Entry& e : ring_)
+      if (e.live && e.seq >= since_seq) seqs.push_back(e.seq);
+    std::sort(seqs.begin(), seqs.end());
+    for (const std::uint64_t s : seqs) {
+      out.reports.push_back(ring_[s % cap_].report);
+      out.seqs.push_back(s);
+    }
+    return out;
+  }
+
+  /// Grouped recorded-report counts (same keying as ReportSink).
+  std::vector<std::pair<std::string, std::uint64_t>> group_counts() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return retention_.group_counts();
+  }
+
+  std::uint64_t total_recorded() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_seq_;
+  }
+  std::uint64_t evicted() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_seq_ > cap_ ? next_seq_ - cap_ : 0;
+  }
+  std::size_t capacity() const noexcept { return cap_; }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Entry& e : ring_) e = Entry{};
+    site_index_.clear();
+    bucket_index_.clear();
+    retention_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kBucketShift = 6;  // 64-byte buckets
+
+  struct Entry {
+    bool live = false;
+    std::uint64_t seq = 0;
+    RaceReport report;
+  };
+
+  bool is_live(std::uint64_t seq) const {
+    const Entry& e = ring_[seq % cap_];
+    return e.live && e.seq == seq;
+  }
+
+  std::vector<RaceReport> collect(std::vector<std::uint64_t>& seqs) const {
+    std::sort(seqs.begin(), seqs.end());
+    std::vector<RaceReport> out;
+    out.reserve(seqs.size());
+    for (const std::uint64_t s : seqs) out.push_back(ring_[s % cap_].report);
+    return out;
+  }
+
+  /// Remove an overwritten entry's sequence number from its index slots;
+  /// drops a label's slot entirely when its last report dies.
+  void prune_index(const Entry& e) {
+    const auto prune = [&](auto& index, const auto& key) {
+      const auto it = index.find(key);
+      if (it == index.end()) return;
+      auto& list = it->second;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i] == e.seq) {
+          list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      if (list.empty()) index.erase(it);
+    };
+    prune(site_index_, e.report.current_site);
+    prune(bucket_index_, e.report.addr >> kBucketShift);
+  }
+
+  mutable std::mutex mu_;
+  std::size_t cap_;
+  std::vector<Entry> ring_;
+  GroupedRetention retention_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::string, std::vector<std::uint64_t>> site_index_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> bucket_index_;
+};
+
+}  // namespace dg

@@ -1,0 +1,140 @@
+// GroupedRetention — group-aware bounded retention of race reports,
+// shared by ReportSink (grouped keep-window, PR 7) and ReportStore (the
+// service's online report store, DESIGN.md §5.5) so the bookkeeping lives
+// in exactly one place.
+//
+// Reports are grouped by (current site, previous site, 64-byte address
+// bucket). Up to max_kept full reports are retained; once the cap is hit,
+// a report from a group with no kept representative evicts the newest kept
+// report of the most over-represented group, so a burst of one racy memset
+// cannot crowd every later distinct race out of the kept window.
+//
+// Every admitted report carries a caller-assigned monotone sequence
+// number; snapshot_into() filters the kept window by it, which gives
+// ReportSink::snapshot(since_seq) its stable cursor.
+//
+// Not internally synchronized: callers serialize (ReportSink under its
+// mutex, ReportStore under its own).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "report/race_report.hpp"
+
+namespace dg {
+
+/// Result of a cursor read over the kept window. `next_seq` is the cursor
+/// to pass as `since_seq` next time: every report admitted before this
+/// snapshot has seq < next_seq, so nothing recorded in between is skipped
+/// (it may have been *evicted*, but never silently renumbered).
+struct ReportSnapshot {
+  std::uint64_t next_seq = 0;        ///< cursor for the following call
+  std::uint64_t total_recorded = 0;  ///< reports ever admitted (== next_seq)
+  std::vector<RaceReport> reports;   ///< kept reports with seq >= since_seq
+  std::vector<std::uint64_t> seqs;   ///< their sequence numbers (parallel)
+};
+
+class GroupedRetention {
+ public:
+  explicit GroupedRetention(std::size_t max_kept) : max_kept_(max_kept) {}
+
+  /// Group key: "cur_site|prev_site|addr>>6" (64-byte proximity bucket).
+  static std::string group_key(const RaceReport& r) {
+    std::string k = r.current_site;
+    k += '|';
+    k += r.previous_site;
+    k += '|';
+    k += std::to_string(r.addr >> 6);
+    return k;
+  }
+
+  /// Record a report under sequence number `seq` (caller-assigned,
+  /// strictly increasing). Keeps it while under the cap, otherwise applies
+  /// the group-eviction policy.
+  void admit(const RaceReport& r, std::uint64_t seq) {
+    const std::string key = group_key(r);
+    Group& g = groups_[key];
+    ++g.count;
+    if (reports_.size() < max_kept_) {
+      reports_.push_back(r);
+      kept_keys_.push_back(key);
+      kept_seqs_.push_back(seq);
+      ++g.kept;
+    } else if (g.kept == 0 && max_kept_ > 0) {
+      keep_by_eviction(r, key, seq, g);
+    }
+  }
+
+  const std::vector<RaceReport>& reports() const noexcept { return reports_; }
+  const std::vector<std::uint64_t>& kept_seqs() const noexcept {
+    return kept_seqs_;
+  }
+
+  std::vector<std::pair<std::string, std::uint64_t>> group_counts() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(groups_.size());
+    for (const auto& [k, g] : groups_) out.emplace_back(k, g.count);
+    return out;
+  }
+
+  /// Append every kept report with seq >= since_seq (in admission order)
+  /// to `out.reports`/`out.seqs`.
+  void snapshot_into(std::uint64_t since_seq, ReportSnapshot& out) const {
+    for (std::size_t i = 0; i < kept_seqs_.size(); ++i) {
+      if (kept_seqs_[i] < since_seq) continue;
+      out.reports.push_back(reports_[i]);
+      out.seqs.push_back(kept_seqs_[i]);
+    }
+  }
+
+  void clear() {
+    reports_.clear();
+    kept_keys_.clear();
+    kept_seqs_.clear();
+    groups_.clear();
+  }
+
+ private:
+  struct Group {
+    std::uint64_t count = 0;  // recorded reports in this group
+    std::size_t kept = 0;     // of which currently kept in reports_
+  };
+
+  /// Cap reached and `key`'s group has no kept representative: evict the
+  /// newest kept report of the group holding the most kept slots (if it
+  /// holds at least two — groups are never evicted down to zero).
+  void keep_by_eviction(const RaceReport& r, const std::string& key,
+                        std::uint64_t seq, Group& g) {
+    const std::string* victim_key = nullptr;
+    std::size_t victim_kept = 1;
+    for (const auto& [k, grp] : groups_) {
+      if (grp.kept > victim_kept) {
+        victim_kept = grp.kept;
+        victim_key = &k;
+      }
+    }
+    if (victim_key == nullptr) return;  // all kept groups are singletons
+    for (std::size_t i = kept_keys_.size(); i-- > 0;) {
+      if (kept_keys_[i] == *victim_key) {
+        --groups_[*victim_key].kept;
+        reports_[i] = r;
+        kept_keys_[i] = key;
+        kept_seqs_[i] = seq;
+        ++g.kept;
+        return;
+      }
+    }
+  }
+
+  std::size_t max_kept_;
+  std::vector<RaceReport> reports_;
+  std::vector<std::string> kept_keys_;   // group key of reports_[i]
+  std::vector<std::uint64_t> kept_seqs_;  // sequence number of reports_[i]
+  std::unordered_map<std::string, Group> groups_;
+};
+
+}  // namespace dg

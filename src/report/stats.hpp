@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/assert.hpp"
 
@@ -163,6 +164,33 @@ struct RuntimeStats {
   // detector. Zero when no sampler is attached.
   std::uint64_t sampler_total = 0;
   std::uint64_t sampler_analyzed = 0;
+
+  // Per-ring backpressure visibility: one entry per registered thread's
+  // event ring. depth is the pending-event count at the snapshot;
+  // depth_hwm the peak observed at enqueue. A ring whose hwm rides near
+  // EventRing capacity while its drain latency grows is the producer the
+  // backpressure watchdog will eventually shed from — these counters make
+  // that visible *before* dropped_events does.
+  struct RingStats {
+    std::uint32_t tid = 0;
+    std::uint64_t depth = 0;         // events pending at snapshot time
+    std::uint64_t depth_hwm = 0;     // peak pending events seen at enqueue
+    std::uint64_t drains = 0;        // non-empty drains of this ring
+    std::uint64_t drain_ns = 0;      // total wall time spent draining
+    std::uint64_t max_drain_ns = 0;  // slowest single drain
+  };
+  std::vector<RingStats> rings;
+
+  // Drain-latency aggregates over all rings (sum / max of rings[]).
+  std::uint64_t drain_ns = 0;
+  std::uint64_t max_drain_ns = 0;
+
+  double avg_drain_ns() const {
+    std::uint64_t n = 0;
+    for (const RingStats& r : rings) n += r.drains;
+    return n == 0 ? 0.0
+                  : static_cast<double>(drain_ns) / static_cast<double>(n);
+  }
 
   double fast_path_pct() const {
     return events_seen == 0

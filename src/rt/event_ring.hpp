@@ -6,60 +6,20 @@
 // its own sync events), but at Runtime::finish() the finishing thread
 // drains every ring. Drains are serialized by the analysis lock, so the
 // SPSC protocol only needs release/acquire pairs on head_ and tail_.
+//
+// The ring protocol itself lives in SpscRing (rt/spsc_ring.hpp), shared
+// with the shared-memory producer rings of the dgtraced service
+// (DESIGN.md §5.5); this alias pins the in-process deployment's record
+// type and capacity.
 #pragma once
 
-#include <atomic>
-#include <cstddef>
-#include <cstdint>
-
 #include "detect/detector.hpp"
+#include "rt/spsc_ring.hpp"
 
 namespace dg::rt {
 
-class EventRing {
- public:
-  // Power of two; 2048 * 32B = 64 KiB per thread. Large enough that a
-  // read-heavy workload flushes on sync boundaries, not capacity.
-  static constexpr std::size_t kCapacity = 2048;
-
-  /// Producer side. Returns false when full (caller must drain first).
-  bool try_push(const BatchedEvent& e) noexcept {
-    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
-    if (t - head_.load(std::memory_order_acquire) == kCapacity) return false;
-    slots_[t & kMask] = e;
-    tail_.store(t + 1, std::memory_order_release);
-    return true;
-  }
-
-  /// Consumer side; caller holds the analysis lock. Delivers the pending
-  /// events as at most two contiguous segments, then frees the slots.
-  /// Returns the number of events delivered.
-  template <typename Deliver>
-  std::size_t drain(Deliver&& deliver) {
-    const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    const std::uint64_t t = tail_.load(std::memory_order_acquire);
-    const std::size_t n = static_cast<std::size_t>(t - h);
-    if (n == 0) return 0;
-    const std::size_t lo = static_cast<std::size_t>(h & kMask);
-    const std::size_t first = lo + n > kCapacity ? kCapacity - lo : n;
-    deliver(&slots_[lo], first);
-    if (first < n) deliver(&slots_[0], n - first);
-    head_.store(t, std::memory_order_release);
-    return n;
-  }
-
-  std::size_t size() const noexcept {
-    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
-                                    head_.load(std::memory_order_acquire));
-  }
-
- private:
-  static constexpr std::uint64_t kMask = kCapacity - 1;
-  static_assert((kCapacity & kMask) == 0, "capacity must be a power of two");
-
-  alignas(64) std::atomic<std::uint64_t> head_{0};
-  alignas(64) std::atomic<std::uint64_t> tail_{0};
-  BatchedEvent slots_[kCapacity];
-};
+// Power of two; 2048 * 32B = 64 KiB per thread. Large enough that a
+// read-heavy workload flushes on sync boundaries, not capacity.
+using EventRing = SpscRing<BatchedEvent, 2048>;
 
 }  // namespace dg::rt

@@ -55,8 +55,29 @@ struct ThreadState {
   std::atomic<std::uint64_t> fast_filtered{0};
   std::atomic<std::uint64_t> batched{0};
 
+  // Ring depth/drain telemetry (RuntimeStats::RingStats). Same
+  // single-writer discipline as the counters above: the owner (or
+  // finish() at quiescence) writes, stats() reads.
+  std::atomic<std::uint64_t> ring_hwm{0};
+  std::atomic<std::uint64_t> drains{0};
+  std::atomic<std::uint64_t> drain_ns{0};
+  std::atomic<std::uint64_t> max_drain_ns{0};
+
   static void bump(std::atomic<std::uint64_t>& c) noexcept {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  void note_depth(std::uint64_t depth) noexcept {
+    if (depth > ring_hwm.load(std::memory_order_relaxed))
+      ring_hwm.store(depth, std::memory_order_relaxed);
+  }
+
+  void note_drain(std::uint64_t ns) noexcept {
+    bump(drains);
+    drain_ns.store(drain_ns.load(std::memory_order_relaxed) + ns,
+                   std::memory_order_relaxed);
+    if (ns > max_drain_ns.load(std::memory_order_relaxed))
+      max_drain_ns.store(ns, std::memory_order_relaxed);
   }
 
   // fast_filtered already folded into the detector's stats; guarded by mu_.
@@ -72,6 +93,13 @@ thread_local ThreadState* tls_state = nullptr;
 
 Addr to_addr(const void* p) {
   return reinterpret_cast<Addr>(p);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 // Detector read/write sizes are uint32; larger accesses are split so no
@@ -265,9 +293,13 @@ void Runtime::fold_filtered(ThreadState& ts) {
 }
 
 void Runtime::flush_locked(ThreadState& ts) {
+  const std::uint64_t t0 = now_ns();
   const std::size_t n = ts.ring.drain(
       [&](const BatchedEvent* ev, std::size_t k) { det_->on_batch(ev, k); });
-  if (n > 0) ++flushes_;
+  if (n > 0) {
+    ++flushes_;
+    ts.note_drain(now_ns() - t0);
+  }
   fold_filtered(ts);
 }
 
@@ -300,6 +332,7 @@ std::size_t Runtime::partition_ring(ThreadState& ts) {
 // kSharded blocking drain: stage, then deliver one shard-confined
 // sub-batch per non-empty shard. The detector locks internally.
 void Runtime::flush_sharded(ThreadState& ts) {
+  const std::uint64_t t0 = now_ns();
   const std::size_t n = partition_ring(ts);
   // Residual staged events from a backpressure episode must flush even
   // when the ring itself drained empty (flush-before-sync depends on it).
@@ -322,6 +355,7 @@ void Runtime::flush_sharded(ThreadState& ts) {
     shard_progress_[s].fetch_add(1, std::memory_order_relaxed);
     buf.clear();
   }
+  ts.note_drain(now_ns() - t0);
   fold_filtered(ts);
 }
 
@@ -329,6 +363,7 @@ void Runtime::flush_sharded(ThreadState& ts) {
 // via try_on_batch_shard. Buffers whose shard is busy stay staged for the
 // next attempt. Returns true when every buffer delivered.
 bool Runtime::try_flush_sharded(ThreadState& ts) {
+  const std::uint64_t t0 = now_ns();
   partition_ring(ts);
   bool all = true;
   bool any = false;
@@ -346,6 +381,7 @@ bool Runtime::try_flush_sharded(ThreadState& ts) {
   }
   if (any) {
     ++flushes_;
+    ts.note_drain(now_ns() - t0);
     fold_filtered(ts);
   }
   return all;
@@ -443,7 +479,11 @@ void Runtime::relieve_sharded(ThreadState& ts) {
 
 void Runtime::enqueue(ThreadState& ts, const BatchedEvent& e) {
   ThreadState::bump(ts.batched);
-  if (ts.ring.try_push(e)) return;
+  if (ts.ring.try_push(e)) {
+    ts.note_depth(ts.ring.size());
+    return;
+  }
+  ts.note_depth(EventRing::kCapacity);
   if (sharded_) {
     // Ring full: stage into the per-shard buffers (never blocks) and offer
     // them; escalation triggers only when the staged backlog itself
@@ -709,6 +749,17 @@ RuntimeStats Runtime::stats() const {
     // stack publishes one and the tier-1 bitmap can engage. A decorator
     // that swallowed same_epoch_serial shows up here as false.
     if (ts->serial != Detector::kNoSameEpochSerial) rs.fast_path_enabled = true;
+    RuntimeStats::RingStats ring;
+    ring.tid = ts->tid;
+    ring.depth = ts->ring.size();
+    ring.depth_hwm = ts->ring_hwm.load(std::memory_order_relaxed);
+    ring.drains = ts->drains.load(std::memory_order_relaxed);
+    ring.drain_ns = ts->drain_ns.load(std::memory_order_relaxed);
+    ring.max_drain_ns = ts->max_drain_ns.load(std::memory_order_relaxed);
+    rs.drain_ns += ring.drain_ns;
+    if (ring.max_drain_ns > rs.max_drain_ns)
+      rs.max_drain_ns = ring.max_drain_ns;
+    rs.rings.push_back(ring);
   }
   if (sampler_ != nullptr) {
     rs.sampler_total = sampler_->total_accesses();

@@ -1,0 +1,97 @@
+// SpscRing<T, Cap> — the transport abstraction under every event ring
+// (DESIGN.md §5.5): a fixed-capacity single-producer/single-consumer ring
+// of trivially copyable records.
+//
+// Two deployments share this template:
+//   * rt::EventRing — in-process, one ring per application thread, drained
+//     under the analysis lock (DESIGN.md §5.1).
+//   * service::ProducerRing — placed inside a shared-memory segment so a
+//     *different process* produces while the dgtraced service consumes
+//     (§5.5). That placement drives the layout constraints below.
+//
+// Layout constraints (static-asserted): T must be trivially copyable and
+// the ring standard-layout so it can be constructed by placement-new into
+// an mmap'ed segment and read from another mapping of the same pages.
+// std::atomic<u64> is address-free on every supported target (lock-free,
+// same representation in both processes), so the release/acquire protocol
+// works unchanged across the process boundary.
+//
+// The protocol needs only release/acquire pairs on head_/tail_: the
+// producer is a single thread, and drains are serialized by the consumer
+// side (the analysis lock in-process; the owning drainer thread in the
+// service).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace dg::rt {
+
+template <typename T, std::size_t Cap>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring records must be trivially copyable (they may cross a "
+                "process boundary)");
+  static_assert(Cap > 0 && (Cap & (Cap - 1)) == 0,
+                "capacity must be a power of two");
+
+ public:
+  static constexpr std::size_t kCapacity = Cap;
+
+  SpscRing() = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full (caller must drain first).
+  bool try_push(const T& e) noexcept {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == kCapacity) return false;
+    slots_[t & kMask] = e;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side, bulk: push up to n records, returns how many fit.
+  std::size_t try_push_n(const T* e, std::size_t n) noexcept {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::size_t room = kCapacity - static_cast<std::size_t>(t - h);
+    const std::size_t k = n < room ? n : room;
+    for (std::size_t i = 0; i < k; ++i) slots_[(t + i) & kMask] = e[i];
+    tail_.store(t + k, std::memory_order_release);
+    return k;
+  }
+
+  /// Consumer side; drains are serialized by the caller. Delivers the
+  /// pending records as at most two contiguous segments, then frees the
+  /// slots. Returns the number of records delivered.
+  template <typename Deliver>
+  std::size_t drain(Deliver&& deliver) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    const std::size_t n = static_cast<std::size_t>(t - h);
+    if (n == 0) return 0;
+    const std::size_t lo = static_cast<std::size_t>(h & kMask);
+    const std::size_t first = lo + n > kCapacity ? kCapacity - lo : n;
+    deliver(&slots_[lo], first);
+    if (first < n) deliver(&slots_[0], n - first);
+    head_.store(t, std::memory_order_release);
+    return n;
+  }
+
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  static constexpr std::uint64_t kMask = kCapacity - 1;
+
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  T slots_[kCapacity];
+};
+
+}  // namespace dg::rt

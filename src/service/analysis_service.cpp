@@ -1,0 +1,414 @@
+#include "service/analysis_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "report/crash_flush.hpp"
+
+namespace dg::service {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SlotState slot_state(const ProducerSlot& s) {
+  return static_cast<SlotState>(s.state.load(std::memory_order_acquire));
+}
+}  // namespace
+
+AnalysisService::AnalysisService(Detector& det, ServiceOptions opts)
+    : det_(&det), opts_(opts) {
+  const std::uint32_t cap = std::min(kMaxDrainers, kMaxCombinerPublishers);
+  opts_.drainers = std::clamp<std::uint32_t>(opts_.drainers, 1, cap);
+  // A detector without internal locking is a single-threaded consumer:
+  // one drainer delivers everything (the combiner degenerates to a
+  // pass-through on one publisher).
+  if (!det_->supports_concurrent_delivery()) opts_.drainers = 1;
+  if (opts_.stage_flush_threshold == 0) opts_.stage_flush_threshold = 1;
+}
+
+AnalysisService::~AnalysisService() {
+  stop();
+  seg_.close();
+}
+
+bool AnalysisService::start(const std::string& path, std::string* error) {
+  if (started_) {
+    if (error != nullptr) *error = "service already started";
+    return false;
+  }
+  if (!seg_.create(path, error)) return false;
+
+  if (det_->supports_concurrent_delivery() && opts_.drainers > 1) {
+    det_->set_concurrent_delivery(true);
+    concurrent_set_ = true;
+  }
+  smap_ = det_->shard_map();
+  if (smap_.count == 0) smap_.count = 1;
+  combiner_ = std::make_unique<FlatCombiner>(*det_, smap_.count,
+                                             opts_.drainers);
+
+  slot_ctx_ = std::make_unique<SlotCtx[]>(kMaxProducers);
+  for (std::uint32_t s = 0; s < kMaxProducers; ++s) {
+    slot_ctx_[s].slot = s;
+    slot_ctx_[s].staged.resize(smap_.count);
+  }
+
+  if (opts_.mem_budget_bytes != 0) {
+    govern::GovernorConfig gcfg;
+    gcfg.mem_budget_bytes = opts_.mem_budget_bytes;
+    gov_ = std::make_unique<govern::Governor>(det_->accountant(), gcfg);
+    det_->set_governor(gov_.get());
+  }
+
+  // Crash-safe reporting, same wiring as the in-process runtime: a fatal
+  // signal in the daemon still publishes every race found so far.
+  det_->sink().enable_crash_capture();
+  CrashReporter::instance().arm();
+
+  seg_.header().num_drainers.store(opts_.drainers, std::memory_order_release);
+  stopping_.store(false, std::memory_order_relaxed);
+  drainers_.reserve(opts_.drainers);
+  for (std::uint32_t d = 0; d < opts_.drainers; ++d)
+    drainers_.emplace_back([this, d] { drainer_loop(d); });
+  started_ = true;
+  running_ = true;
+  return true;
+}
+
+bool AnalysisService::wait_producers(std::uint32_t n,
+                                     std::uint32_t timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  SegmentLayout& l = seg_.layout();
+  while (true) {
+    std::uint32_t attached = 0;
+    for (std::uint32_t s = 0; s < kMaxProducers; ++s)
+      if (slot_state(l.slots[s]) != SlotState::kFree) ++attached;
+    if (attached >= n) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void AnalysisService::open_gate() {
+  seg_.header().go.store(1, std::memory_order_release);
+}
+
+void AnalysisService::stop(std::uint32_t timeout_ms) {
+  if (!running_) return;
+  SegmentHeader& h = seg_.header();
+  // Ensure no producer stays blocked in wait_go() forever.
+  open_gate();
+
+  // Phase 1: give attached producers until the deadline to finish their
+  // streams; the drainers retire each slot as it empties.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  SegmentLayout& l = seg_.layout();
+  stopping_.store(true, std::memory_order_release);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool outstanding = false;
+    for (std::uint32_t s = 0; s < kMaxProducers; ++s) {
+      const SlotState st = slot_state(l.slots[s]);
+      if (st == SlotState::kAttached || st == SlotState::kFinished)
+        outstanding = true;
+    }
+    if (!outstanding) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Phase 2: hard stop. Producers' push() starts failing; drainers run one
+  // final pass over every ring, then exit.
+  h.shutdown.store(1, std::memory_order_release);
+  for (std::uint32_t d = 0; d < kMaxDrainers; ++d) {
+    h.parked[d].store(0, std::memory_order_relaxed);
+    doorbell_wake(h.parked[d]);
+  }
+  for (std::thread& t : drainers_) t.join();
+  drainers_.clear();
+
+  det_->on_finish();
+  publish_telemetry();
+  CrashReporter::instance().disarm();
+  if (gov_ != nullptr) det_->set_governor(nullptr);
+  if (concurrent_set_) det_->set_concurrent_delivery(false);
+  running_ = false;
+}
+
+ServiceStats AnalysisService::stats() const {
+  ServiceStats out;
+  if (!seg_.valid()) return out;
+  const SegmentLayout& l = seg_.layout();
+  for (std::uint32_t s = 0; s < kMaxProducers; ++s) {
+    const ProducerSlot& c = l.slots[s];
+    if (slot_state(c) != SlotState::kFree) ++out.producers_seen;
+    out.events_total += c.drained.load(std::memory_order_relaxed);
+    out.filtered += c.filtered.load(std::memory_order_relaxed);
+    out.drains += c.drains.load(std::memory_order_relaxed);
+    out.drain_ns += c.drain_ns.load(std::memory_order_relaxed);
+    out.max_drain_ns = std::max(
+        out.max_drain_ns, c.max_drain_ns.load(std::memory_order_relaxed));
+  }
+  if (combiner_ != nullptr) {
+    out.combines = combiner_->combines();
+    out.combined_batches = combiner_->combined_batches();
+    out.piggybacked = combiner_->piggybacked();
+  }
+  const SegmentHeader& h = l.header;
+  out.gc_runs = h.gc_runs.load(std::memory_order_relaxed);
+  out.gc_shed_bytes = h.gc_shed_bytes.load(std::memory_order_relaxed);
+  out.threads_mapped = next_tid_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void AnalysisService::publish_telemetry() {
+  if (!seg_.valid()) return;
+  SegmentLayout& l = seg_.layout();
+  SegmentHeader& h = l.header;
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < kMaxProducers; ++s)
+    total += l.slots[s].drained.load(std::memory_order_relaxed);
+  h.events_total.store(total, std::memory_order_relaxed);
+  h.races_unique.store(det_->sink().unique_races(), std::memory_order_relaxed);
+  const MemoryAccountant& acct = det_->accountant();
+  h.shadow_bytes.store(acct.current_total(), std::memory_order_relaxed);
+  h.shadow_peak.store(acct.peak_total(), std::memory_order_relaxed);
+}
+
+AnalysisService::ThreadCtx& AnalysisService::ensure_thread(std::uint32_t d,
+                                                           SlotCtx& ctx,
+                                                           ThreadId local) {
+  auto it = ctx.threads.find(local);
+  if (it != ctx.threads.end()) return it->second;
+  // First sighting without an explicit kThreadStart (defensive: a trace
+  // should always announce its threads): synthesize a parentless start.
+  ThreadCtx& tc = ctx.threads[local];
+  tc.global = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.filter_same_epoch)
+    tc.bitmap = std::make_unique<EpochBitmap>(bitmap_acct_);
+  flush_staged(d, ctx);
+  det_->on_thread_start(tc.global, kInvalidThread);
+  refresh_serial(tc);
+  return tc;
+}
+
+void AnalysisService::refresh_serial(ThreadCtx& tc) {
+  tc.serial = opts_.filter_same_epoch
+                  ? det_->same_epoch_serial(tc.global)
+                  : AccessEventSink::kNoSameEpochSerial;
+}
+
+void AnalysisService::flush_staged(std::uint32_t d, SlotCtx& ctx) {
+  for (std::uint32_t shard = 0; shard < smap_.count; ++shard) {
+    std::vector<BatchedEvent>& buf = ctx.staged[shard];
+    if (buf.empty()) continue;
+    combiner_->apply(d, shard, buf.data(), buf.size());
+    buf.clear();
+  }
+}
+
+void AnalysisService::stage_access(SlotCtx& ctx, BatchedEvent::Kind kind,
+                                   ThreadId gtid, Addr addr,
+                                   std::uint64_t size, std::uint32_t d) {
+  // Mirror the runtime's partitioner: split at stripe boundaries so every
+  // staged event is confined to one shard (deliver_shard_batch DCHECKs it).
+  Addr a = addr;
+  const Addr end = addr + size;
+  while (a < end) {
+    const std::uint32_t shard = smap_.shard_of(a);
+    const Addr hi = smap_.stripe_hi(a);
+    const Addr stop = end < hi ? end : hi;
+    std::vector<BatchedEvent>& buf = ctx.staged[shard];
+    buf.push_back(BatchedEvent{kind, gtid, a, stop - a, nullptr});
+    if (buf.size() >= opts_.stage_flush_threshold) {
+      combiner_->apply(d, shard, buf.data(), buf.size());
+      buf.clear();
+    }
+    a = stop;
+  }
+}
+
+void AnalysisService::process(std::uint32_t d, SlotCtx& ctx,
+                              const rt::TraceEvent* ev, std::size_t n) {
+  const std::uint32_t slot = ctx.slot;
+  ProducerSlot& ctl = seg_.layout().slots[slot];
+  for (std::size_t i = 0; i < n; ++i) {
+    const rt::TraceEvent& e = ev[i];
+    switch (e.kind) {
+      case rt::EventKind::kRead:
+      case rt::EventKind::kWrite: {
+        if (e.size == 0) break;
+        ThreadCtx& tc = ensure_thread(d, ctx, e.tid);
+        const Addr addr = namespaced(slot, e.addr);
+        const AccessType type = e.kind == rt::EventKind::kRead
+                                    ? AccessType::kRead
+                                    : AccessType::kWrite;
+        if (tc.bitmap != nullptr &&
+            tc.serial != AccessEventSink::kNoSameEpochSerial &&
+            tc.bitmap->test_and_set(addr, e.size, type, tc.serial)) {
+          ctl.filtered.fetch_add(1, std::memory_order_relaxed);
+          filtered_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        stage_access(ctx, type == AccessType::kRead
+                              ? BatchedEvent::Kind::kRead
+                              : BatchedEvent::Kind::kWrite,
+                     tc.global, addr, e.size, d);
+        break;
+      }
+      case rt::EventKind::kThreadStart: {
+        if (ctx.threads.find(e.tid) != ctx.threads.end()) break;  // dup
+        ThreadId parent_g = kInvalidThread;
+        if (e.aux != kInvalidThread)
+          parent_g =
+              ensure_thread(d, ctx, static_cast<ThreadId>(e.aux)).global;
+        ThreadCtx& tc = ctx.threads[e.tid];
+        tc.global = next_tid_.fetch_add(1, std::memory_order_relaxed);
+        if (opts_.filter_same_epoch)
+          tc.bitmap = std::make_unique<EpochBitmap>(bitmap_acct_);
+        flush_staged(d, ctx);
+        det_->on_thread_start(tc.global, parent_g);
+        refresh_serial(tc);
+        // The fork also bumped the parent's clock.
+        if (parent_g != kInvalidThread)
+          refresh_serial(ctx.threads[static_cast<ThreadId>(e.aux)]);
+        break;
+      }
+      case rt::EventKind::kThreadJoin: {
+        ThreadCtx& joiner = ensure_thread(d, ctx, e.tid);
+        ThreadCtx& joined =
+            ensure_thread(d, ctx, static_cast<ThreadId>(e.aux));
+        flush_staged(d, ctx);
+        det_->on_thread_join(joiner.global, joined.global);
+        refresh_serial(joiner);
+        break;
+      }
+      case rt::EventKind::kAcquire: {
+        ThreadCtx& tc = ensure_thread(d, ctx, e.tid);
+        flush_staged(d, ctx);
+        det_->on_acquire(tc.global, namespaced(slot, e.addr));
+        refresh_serial(tc);
+        break;
+      }
+      case rt::EventKind::kRelease: {
+        ThreadCtx& tc = ensure_thread(d, ctx, e.tid);
+        flush_staged(d, ctx);
+        det_->on_release(tc.global, namespaced(slot, e.addr));
+        refresh_serial(tc);
+        break;
+      }
+      case rt::EventKind::kAlloc: {
+        ThreadCtx& tc = ensure_thread(d, ctx, e.tid);
+        flush_staged(d, ctx);
+        det_->on_alloc(tc.global, namespaced(slot, e.addr), e.aux);
+        break;
+      }
+      case rt::EventKind::kFree: {
+        ThreadCtx& tc = ensure_thread(d, ctx, e.tid);
+        flush_staged(d, ctx);
+        det_->on_free(tc.global, namespaced(slot, e.addr), e.aux);
+        break;
+      }
+      case rt::EventKind::kFinish:
+        // Per-producer end-of-stream marker; the single detector-level
+        // on_finish is emitted once, at stop().
+        flush_staged(d, ctx);
+        ctx.finished_seen = true;
+        break;
+    }
+  }
+}
+
+void AnalysisService::maybe_gc() {
+  if (opts_.gc_every_events == 0) return;
+  std::uint64_t cur = events_since_gc_.load(std::memory_order_relaxed);
+  if (cur < opts_.gc_every_events) return;
+  // CAS claims the GC turn for exactly one drainer.
+  if (!events_since_gc_.compare_exchange_strong(cur, 0,
+                                                std::memory_order_relaxed))
+    return;
+  const std::size_t shed = det_->gc_clocks(opts_.gc_cold_generations);
+  SegmentHeader& h = seg_.header();
+  h.gc_runs.fetch_add(1, std::memory_order_relaxed);
+  h.gc_shed_bytes.fetch_add(shed, std::memory_order_relaxed);
+}
+
+void AnalysisService::drainer_loop(std::uint32_t d) {
+  SegmentLayout& l = seg_.layout();
+  SegmentHeader& h = l.header;
+  const std::uint32_t nd = opts_.drainers;
+  while (true) {
+    bool progress = false;
+    for (std::uint32_t s = d; s < kMaxProducers; s += nd) {
+      ProducerSlot& ctl = l.slots[s];
+      const SlotState st = slot_state(ctl);
+      if (st != SlotState::kAttached && st != SlotState::kFinished) continue;
+      SlotCtx& ctx = slot_ctx_[s];
+      const std::uint64_t t0 = now_ns();
+      const std::size_t got = l.rings[s].drain(
+          [&](const rt::TraceEvent* ev, std::size_t k) {
+            process(d, ctx, ev, k);
+          });
+      if (got > 0) {
+        flush_staged(d, ctx);
+        const std::uint64_t ns = now_ns() - t0;
+        ctl.drained.fetch_add(got, std::memory_order_relaxed);
+        ctl.drains.fetch_add(1, std::memory_order_relaxed);
+        ctl.drain_ns.fetch_add(ns, std::memory_order_relaxed);
+        if (ns > ctl.max_drain_ns.load(std::memory_order_relaxed))
+          ctl.max_drain_ns.store(ns, std::memory_order_relaxed);
+        events_since_gc_.fetch_add(got, std::memory_order_relaxed);
+        progress = true;
+      }
+      // Retire the slot once its producer finished and the ring is empty.
+      if (slot_state(ctl) == SlotState::kFinished && l.rings[s].size() == 0) {
+        flush_staged(d, ctx);
+        ctl.state.store(static_cast<std::uint32_t>(SlotState::kDrained),
+                        std::memory_order_release);
+        progress = true;
+      }
+    }
+    maybe_gc();
+    if (h.shutdown.load(std::memory_order_acquire) != 0) {
+      if (progress) continue;  // drain until dry, then exit
+      for (std::uint32_t s = d; s < kMaxProducers; s += nd) {
+        ProducerSlot& ctl = l.slots[s];
+        const SlotState st = slot_state(ctl);
+        if (st == SlotState::kAttached || st == SlotState::kFinished) {
+          flush_staged(d, slot_ctx_[s]);
+          ctl.state.store(static_cast<std::uint32_t>(SlotState::kDrained),
+                          std::memory_order_release);
+        }
+      }
+      break;
+    }
+    if (!progress) {
+      if (d == 0) publish_telemetry();
+      std::atomic<std::uint32_t>& bell = h.parked[d];
+      bell.store(1, std::memory_order_seq_cst);
+      // Re-check after publishing the parked flag so a push that raced
+      // with it cannot be lost (the producer reads parked==1 after its
+      // release store of tail).
+      bool pending = h.shutdown.load(std::memory_order_acquire) != 0;
+      for (std::uint32_t s = d; !pending && s < kMaxProducers; s += nd) {
+        const SlotState st = slot_state(l.slots[s]);
+        if ((st == SlotState::kAttached || st == SlotState::kFinished) &&
+            l.rings[s].size() > 0)
+          pending = true;
+      }
+      if (pending) {
+        bell.store(0, std::memory_order_relaxed);
+        continue;
+      }
+      doorbell_wait(bell, 1, /*timeout_ms=*/10);
+      bell.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace dg::service

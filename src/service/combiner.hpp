@@ -1,0 +1,126 @@
+// FlatCombiner — combining delivery of shard batches (DESIGN.md §5.5).
+//
+// Multiple drainer threads want to apply batches to the same detector
+// shard. Instead of contending on the detector's per-shard mutex, each
+// drainer *publishes* its batch into a per-shard slot and one of them — the
+// first to win the shard's combining flag — applies every published batch
+// through Detector::on_batch_shard. Losers spin until their slot is
+// consumed: the shard mutex inside the detector is then taken by exactly
+// one thread at a time and is never contended, turning N lock handoffs
+// into one combined drain.
+//
+// Protocol per (shard, publisher) slot:
+//   publisher:  slot.n = n; slot.ev.store(batch, release);
+//               loop { consumed? return;
+//                      CAS combining 0->1 ? combine(); return; : relax }
+//   combiner:   for each slot: ev = slot.ev.load(acquire);
+//               if ev { det.on_batch_shard(...); slot.ev.store(null, release) }
+//
+// The batch memory belongs to the publisher and is guaranteed stable until
+// its slot is consumed (the publisher blocks in apply() until then). The
+// release store of `ev` publishes `n`; the combiner's acquire load pairs
+// with it. Batches from different publishers carry events of different
+// producer processes, so application order within one combine is
+// irrelevant to detection results.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "detect/detector.hpp"
+
+namespace dg::service {
+
+inline constexpr std::uint32_t kMaxCombinerPublishers = 8;
+
+class FlatCombiner {
+ public:
+  FlatCombiner(Detector& det, std::uint32_t shards, std::uint32_t publishers)
+      : det_(&det),
+        shards_(shards == 0 ? 1 : shards),
+        publishers_(publishers == 0 ? 1 : publishers),
+        lanes_(std::make_unique<Lane[]>(shards_)) {
+    DG_CHECK(publishers_ <= kMaxCombinerPublishers);
+  }
+
+  FlatCombiner(const FlatCombiner&) = delete;
+  FlatCombiner& operator=(const FlatCombiner&) = delete;
+
+  /// Deliver `events[0..n)` (all mapping to `shard`) on behalf of
+  /// `publisher`. Returns once the batch has been applied — by this thread
+  /// (which may also apply other publishers' pending batches) or by a
+  /// concurrent combiner that picked it up.
+  void apply(std::uint32_t publisher, std::uint32_t shard,
+             const BatchedEvent* events, std::size_t n) {
+    if (n == 0) return;
+    DG_DCHECK(publisher < publishers_ && shard < shards_);
+    Lane& lane = lanes_[shard];
+    Slot& my = lane.slots[publisher];
+    my.n = n;
+    my.ev.store(events, std::memory_order_release);
+    for (int spins = 0;; ++spins) {
+      if (my.ev.load(std::memory_order_acquire) == nullptr) {
+        piggybacked_.fetch_add(1, std::memory_order_relaxed);
+        return;  // a concurrent combiner applied it for us
+      }
+      std::uint32_t expect = 0;
+      if (lane.combining.compare_exchange_weak(expect, 1,
+                                               std::memory_order_acquire,
+                                               std::memory_order_relaxed)) {
+        combine(lane, shard);
+        lane.combining.store(0, std::memory_order_release);
+        DG_DCHECK(my.ev.load(std::memory_order_relaxed) == nullptr);
+        return;
+      }
+      if (spins >= 256) std::this_thread::yield();
+    }
+  }
+
+  std::uint64_t combines() const noexcept {
+    return combines_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t combined_batches() const noexcept {
+    return combined_batches_.load(std::memory_order_relaxed);
+  }
+  /// Batches applied by a combiner other than their publisher — the lock
+  /// handoffs the combining protocol saved.
+  std::uint64_t piggybacked() const noexcept {
+    return piggybacked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<const BatchedEvent*> ev{nullptr};
+    std::size_t n = 0;
+  };
+  struct alignas(64) Lane {
+    std::atomic<std::uint32_t> combining{0};
+    Slot slots[kMaxCombinerPublishers];
+  };
+
+  void combine(Lane& lane, std::uint32_t shard) {
+    combines_.fetch_add(1, std::memory_order_relaxed);
+    for (std::uint32_t p = 0; p < publishers_; ++p) {
+      Slot& s = lane.slots[p];
+      const BatchedEvent* ev = s.ev.load(std::memory_order_acquire);
+      if (ev == nullptr) continue;
+      det_->on_batch_shard(shard, ev, s.n);
+      combined_batches_.fetch_add(1, std::memory_order_relaxed);
+      s.ev.store(nullptr, std::memory_order_release);
+    }
+  }
+
+  Detector* det_;
+  std::uint32_t shards_;
+  std::uint32_t publishers_;
+  std::unique_ptr<Lane[]> lanes_;
+  std::atomic<std::uint64_t> combines_{0};
+  std::atomic<std::uint64_t> combined_batches_{0};
+  std::atomic<std::uint64_t> piggybacked_{0};
+};
+
+}  // namespace dg::service

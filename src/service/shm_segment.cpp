@@ -1,0 +1,232 @@
+#include "service/shm_segment.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <ctime>
+#endif
+
+namespace dg::service {
+
+namespace {
+void set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg + ": " + std::strerror(errno);
+}
+}  // namespace
+
+// Plain (non-PRIVATE) futex ops: the word lives in a MAP_SHARED mapping
+// and the waiter/waker are different processes. A bounded timeout keeps
+// the service robust against a producer that dies between its last push
+// and the wake (the drainer re-scans on timeout).
+void doorbell_wait(std::atomic<std::uint32_t>& word, std::uint32_t parked_val,
+                   std::uint32_t timeout_ms) {
+#if defined(__linux__)
+  timespec ts;
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1000000L;
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAIT,
+          parked_val, &ts, nullptr, 0);
+#else
+  (void)parked_val;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(timeout_ms < 2 ? timeout_ms : 2));
+#endif
+}
+
+void doorbell_wake(std::atomic<std::uint32_t>& word) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAKE, 1,
+          nullptr, nullptr, 0);
+#else
+  (void)word;
+#endif
+}
+
+ShmSegment::~ShmSegment() { close(); }
+
+bool ShmSegment::map_file(int fd, bool create, std::string* error) {
+  if (create && ::ftruncate(fd, sizeof(SegmentLayout)) != 0) {
+    set_error(error, "ftruncate segment");
+    return false;
+  }
+  void* p = ::mmap(nullptr, sizeof(SegmentLayout), PROT_READ | PROT_WRITE,
+                   MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) {
+    set_error(error, "mmap segment");
+    return false;
+  }
+  layout_ = static_cast<SegmentLayout*>(p);
+  return true;
+}
+
+bool ShmSegment::create(const std::string& path, std::string* error) {
+  close();
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) {
+    set_error(error, "open segment '" + path + "'");
+    return false;
+  }
+  const bool ok = map_file(fd, /*create=*/true, error);
+  ::close(fd);  // the mapping keeps the pages; the fd is not needed
+  if (!ok) return false;
+  path_ = path;
+  auto* l = new (layout_) SegmentLayout{};
+  l->header.version = kSegmentVersion;
+  l->header.max_producers = kMaxProducers;
+  l->header.ring_capacity = kShmRingCapacity;
+  // Publish last: an attacher that sees the magic sees the initialized
+  // segment (the release pairs with the attacher's acquire fence).
+  std::atomic_thread_fence(std::memory_order_release);
+  l->header.magic = kSegmentMagic;
+  l->header.ready.store(1, std::memory_order_release);
+  return true;
+}
+
+bool ShmSegment::attach(const std::string& path, std::uint32_t timeout_ms,
+                        std::string* error) {
+  close();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd >= 0) {
+      struct stat st {};
+      const bool sized =
+          ::fstat(fd, &st) == 0 &&
+          st.st_size >= static_cast<off_t>(sizeof(SegmentLayout));
+      if (sized && map_file(fd, /*create=*/false, error)) {
+        ::close(fd);
+        if (layout_->header.ready.load(std::memory_order_acquire) == 1 &&
+            layout_->header.magic == kSegmentMagic &&
+            layout_->header.version == kSegmentVersion) {
+          path_ = path;
+          return true;
+        }
+        // Mapped too early (creator still initializing) or wrong format:
+        // unmap and retry until the deadline.
+        ::munmap(layout_, sizeof(SegmentLayout));
+        layout_ = nullptr;
+      } else {
+        ::close(fd);
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      if (error != nullptr && error->empty())
+        *error = "segment '" + path + "' not published within timeout";
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void ShmSegment::close() {
+  if (layout_ != nullptr) {
+    ::munmap(layout_, sizeof(SegmentLayout));
+    layout_ = nullptr;
+  }
+  path_.clear();
+}
+
+bool ShmProducer::connect(const std::string& path, const std::string& spec,
+                          std::uint32_t timeout_ms, std::string* error) {
+  if (!seg_.attach(path, timeout_ms, error)) return false;
+  SegmentLayout& l = seg_.layout();
+  for (std::uint32_t s = 0; s < kMaxProducers; ++s) {
+    std::uint32_t expect = static_cast<std::uint32_t>(SlotState::kFree);
+    ProducerSlot& ctl = l.slots[s];
+    // Claim first, describe after: writing pid/spec before the CAS would
+    // scribble over the current occupant's fields whenever the CAS loses.
+    // The descriptive fields are only read at exit (telemetry, --parity),
+    // long after the gate opens, so the post-claim fill is not racy in
+    // any way that matters.
+    if (ctl.state.compare_exchange_strong(
+            expect, static_cast<std::uint32_t>(SlotState::kAttached),
+            std::memory_order_acq_rel)) {
+      ctl.pid = static_cast<std::uint32_t>(::getpid());
+      std::strncpy(ctl.spec, spec.c_str(), kSpecBytes - 1);
+      ctl.spec[kSpecBytes - 1] = '\0';
+      slot_ = s;
+      ctl_ = &ctl;
+      ring_ = &l.rings[s];
+      return true;
+    }
+  }
+  if (error != nullptr) *error = "segment full: no free producer slot";
+  seg_.close();
+  return false;
+}
+
+bool ShmProducer::wait_go(std::uint32_t timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  SegmentHeader& h = seg_.header();
+  while (h.go.load(std::memory_order_acquire) == 0) {
+    if (h.shutdown.load(std::memory_order_acquire) != 0) return false;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+void ShmProducer::wake_drainer() {
+  SegmentHeader& h = seg_.header();
+  const std::uint32_t nd = h.num_drainers.load(std::memory_order_relaxed);
+  std::atomic<std::uint32_t>& bell =
+      h.parked[slot_ % (nd == 0 ? 1 : nd)];
+  if (bell.load(std::memory_order_relaxed) == 1) {
+    bell.store(0, std::memory_order_relaxed);
+    doorbell_wake(bell);
+  }
+}
+
+bool ShmProducer::push(const rt::TraceEvent& e) { return push_n(&e, 1); }
+
+bool ShmProducer::push_n(const rt::TraceEvent* e, std::size_t n) {
+  SegmentHeader& h = seg_.header();
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t k = ring_->try_push_n(e + done, n - done);
+    if (k > 0) {
+      done += k;
+      ProducerSlot& c = *ctl_;
+      c.pushed.store(c.pushed.load(std::memory_order_relaxed) + k,
+                     std::memory_order_relaxed);
+      const std::uint64_t depth = ring_->size();
+      if (depth > c.push_hwm.load(std::memory_order_relaxed))
+        c.push_hwm.store(depth, std::memory_order_relaxed);
+      wake_drainer();
+      continue;
+    }
+    // Ring full: account the stall, nudge the drainer, back off briefly.
+    ctl_->full_stalls.fetch_add(1, std::memory_order_relaxed);
+    wake_drainer();
+    for (int spin = 0; spin < 64 && ring_->size() == ProducerRing::kCapacity;
+         ++spin)
+      std::this_thread::yield();
+    if (ring_->size() == ProducerRing::kCapacity) {
+      if (h.shutdown.load(std::memory_order_acquire) != 0) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  return true;
+}
+
+void ShmProducer::finish() {
+  if (ctl_ == nullptr) return;
+  ctl_->state.store(static_cast<std::uint32_t>(SlotState::kFinished),
+                    std::memory_order_release);
+  wake_drainer();
+}
+
+}  // namespace dg::service

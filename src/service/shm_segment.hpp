@@ -1,0 +1,181 @@
+// Shared-memory ingestion segment (DESIGN.md §5.5).
+//
+// A resident dgtraced service creates one file-backed segment; up to
+// kMaxProducers external processes attach, claim a producer slot, and
+// stream fixed-layout 24-byte rt::TraceEvent records through their slot's
+// SpscRing. The ring protocol is the same release/acquire SPSC code the
+// in-process runtime uses (rt/spsc_ring.hpp) — std::atomic is address-free
+// on the supported targets, so the pairing works across two mappings of
+// the same pages.
+//
+// Segment layout (all standard-layout, placement-new'ed by the creator):
+//
+//   SegmentHeader          magic/version/geometry, go + shutdown flags,
+//                          drainer doorbells, service-level telemetry
+//   ProducerSlot[N]        per-producer control block: claim state, spec
+//                          string, producer- and drainer-side counters
+//   ProducerRing[N]        SpscRing<rt::TraceEvent, 16384> per producer
+//
+// Doorbells: a drainer that finds all its rings empty parks on a futex
+// word in the header; a producer's push wakes it (plain FUTEX_WAIT/WAKE —
+// not the PRIVATE variants, which do not cross processes). Non-Linux
+// builds fall back to a short sleep, preserving behaviour at a latency
+// cost.
+//
+// The wire format carries no pointers: site labels cannot cross an
+// address-space boundary, so service-side reports attribute races by
+// address + thread only (site fields stay empty).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "rt/spsc_ring.hpp"
+#include "rt/trace.hpp"
+
+namespace dg::service {
+
+inline constexpr std::uint64_t kSegmentMagic = 0x44474e5345473031ULL;  // DGNSEG01
+
+inline constexpr std::uint32_t kSegmentVersion = 1;
+inline constexpr std::uint32_t kMaxProducers = 16;
+inline constexpr std::uint32_t kMaxDrainers = 8;
+inline constexpr std::size_t kShmRingCapacity = 16384;
+inline constexpr std::size_t kSpecBytes = 96;
+
+using ProducerRing = rt::SpscRing<rt::TraceEvent, kShmRingCapacity>;
+
+/// Producer slot lifecycle: claimed by a CAS on `state`.
+enum class SlotState : std::uint32_t {
+  kFree = 0,
+  kAttached = 1,  // producer streaming
+  kFinished = 2,  // producer pushed its last event
+  kDrained = 3,   // service consumed everything (terminal)
+};
+
+struct ProducerSlot {
+  std::atomic<std::uint32_t> state{0};  // SlotState
+  std::uint32_t pid = 0;
+  // Self-description written by the producer before it sets kAttached
+  // (workload spec, used by dgtraced --parity to rebuild the stream).
+  char spec[kSpecBytes] = {};
+
+  // Producer-side counters (single writer: the producer).
+  std::atomic<std::uint64_t> pushed{0};
+  std::atomic<std::uint64_t> push_hwm{0};     // max ring depth seen at push
+  std::atomic<std::uint64_t> full_stalls{0};  // pushes that found it full
+
+  // Drainer-side counters (single writer: the owning drainer).
+  std::atomic<std::uint64_t> drained{0};    // events consumed from the ring
+  std::atomic<std::uint64_t> filtered{0};   // dropped by the same-epoch tier
+  std::atomic<std::uint64_t> drains{0};     // non-empty ring drains
+  std::atomic<std::uint64_t> drain_ns{0};   // total time inside drains
+  std::atomic<std::uint64_t> max_drain_ns{0};
+};
+
+struct SegmentHeader {
+  std::uint64_t magic = 0;  // written last by the creator (release)
+  std::uint32_t version = 0;
+  std::uint32_t max_producers = 0;
+  std::uint64_t ring_capacity = 0;
+  std::atomic<std::uint32_t> ready{0};     // creator finished initializing
+  std::atomic<std::uint32_t> go{0};        // producers may start streaming
+  std::atomic<std::uint32_t> shutdown{0};  // service asks producers to stop
+  std::atomic<std::uint32_t> num_drainers{1};
+
+  // One doorbell per drainer: 1 = parked (producers wake it after a push).
+  std::atomic<std::uint32_t> parked[kMaxDrainers] = {};
+
+  // Service-level telemetry, refreshed by the service (dgtrace connect
+  // --stats and the daemon's exit banner read it).
+  std::atomic<std::uint64_t> events_total{0};
+  std::atomic<std::uint64_t> races_unique{0};
+  std::atomic<std::uint64_t> shadow_bytes{0};
+  std::atomic<std::uint64_t> shadow_peak{0};
+  std::atomic<std::uint64_t> gc_runs{0};
+  std::atomic<std::uint64_t> gc_shed_bytes{0};
+};
+
+/// The whole mapped segment. Placement-new'ed into the mapping by the
+/// creator; attachers only validate and use it.
+struct SegmentLayout {
+  SegmentHeader header;
+  ProducerSlot slots[kMaxProducers];
+  ProducerRing rings[kMaxProducers];
+};
+static_assert(std::is_standard_layout_v<SegmentLayout>,
+              "segment must be placement-constructible into shared memory");
+
+/// Futex-backed doorbell helpers (spin/sleep fallback off Linux).
+void doorbell_wait(std::atomic<std::uint32_t>& word, std::uint32_t parked_val,
+                   std::uint32_t timeout_ms);
+void doorbell_wake(std::atomic<std::uint32_t>& word);
+
+/// One mapped segment, creator or attacher side.
+class ShmSegment {
+ public:
+  ShmSegment() = default;
+  ~ShmSegment();
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  /// Create + initialize a segment file (truncates an existing one).
+  bool create(const std::string& path, std::string* error = nullptr);
+
+  /// Attach to an existing segment, retrying until the creator published
+  /// it or `timeout_ms` elapsed.
+  bool attach(const std::string& path, std::uint32_t timeout_ms,
+              std::string* error = nullptr);
+
+  void close();
+
+  bool valid() const noexcept { return layout_ != nullptr; }
+  SegmentLayout& layout() noexcept { return *layout_; }
+  const SegmentLayout& layout() const noexcept { return *layout_; }
+  SegmentHeader& header() noexcept { return layout_->header; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  bool map_file(int fd, bool create, std::string* error);
+
+  SegmentLayout* layout_ = nullptr;
+  std::string path_;
+};
+
+/// Producer-side handle: claims a slot and streams events.
+class ShmProducer {
+ public:
+  /// Attach to `path` and claim a free slot. `spec` is the self-description
+  /// published in the slot (truncated to kSpecBytes-1).
+  bool connect(const std::string& path, const std::string& spec,
+               std::uint32_t timeout_ms, std::string* error = nullptr);
+
+  /// Block until the service opens the gate (header.go), or shutdown.
+  /// Returns false on shutdown/timeout.
+  bool wait_go(std::uint32_t timeout_ms);
+
+  /// Push one event, spinning/sleeping while the ring is full. Returns
+  /// false if the service signalled shutdown before space appeared.
+  bool push(const rt::TraceEvent& e);
+
+  /// Bulk push; same blocking/shutdown contract.
+  bool push_n(const rt::TraceEvent* e, std::size_t n);
+
+  /// Mark this producer's stream complete (slot -> kFinished).
+  void finish();
+
+  std::uint32_t slot_index() const noexcept { return slot_; }
+  ShmSegment& segment() noexcept { return seg_; }
+
+ private:
+  void wake_drainer();
+
+  ShmSegment seg_;
+  std::uint32_t slot_ = kMaxProducers;
+  ProducerSlot* ctl_ = nullptr;
+  ProducerRing* ring_ = nullptr;
+};
+
+}  // namespace dg::service

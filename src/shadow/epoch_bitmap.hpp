@@ -11,17 +11,32 @@
 // thread's epoch serial; entries from older epochs are treated as empty and
 // recycled in place, which gives O(1) resets.
 //
+// Storage is struct-of-arrays in groups of 8 lanes: a group's 8 block keys
+// share one cache line, so the probe — the operation on the filter's hot
+// path, run once per instrumented access — compares all 8 against the
+// needle with two-lane SIMD equality (SSE2 on x86-64, NEON on AArch64, a
+// scalar loop elsewhere; compile-time dispatch). One vector scan replaces
+// up to 8 dependent scalar probes of the old AoS layout.
+//
 // Filter soundness (DESIGN.md §5.6): a read may be skipped when every byte
 // already has a read *or* write bit this epoch (a same-epoch write by the
 // same thread subsumes the read's happens-before obligations); a write may
 // be skipped only when every byte has a write bit.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <new>
 
 #include "common/assert.hpp"
 #include "common/memtrack.hpp"
 #include "common/types.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
 
 namespace dg {
 
@@ -32,8 +47,8 @@ class EpochBitmap {
   }
 
   ~EpochBitmap() {
-    ::operator delete(slots_);
-    acct_->sub(MemCategory::kBitmap, capacity_ * sizeof(Slot));
+    ::operator delete(groups_, std::align_val_t{alignof(Group)});
+    acct_->sub(MemCategory::kBitmap, capacity_ * kLaneBytes);
   }
 
   EpochBitmap(const EpochBitmap&) = delete;
@@ -58,13 +73,13 @@ class EpochBitmap {
               ? kBlockSize
               : end - (block << kBlockShift));
       const std::uint64_t bits = mask(lo, hi);
-      Slot& s = find(block, epoch_serial);
+      const Ref s = find(block, epoch_serial);
       if (type == AccessType::kRead) {
-        if (((s.read | s.write) & bits) != bits) covered = false;
-        s.read |= bits;
+        if (((*s.read | *s.write) & bits) != bits) covered = false;
+        *s.read |= bits;
       } else {
-        if ((s.write & bits) != bits) covered = false;
-        s.write |= bits;
+        if ((*s.write & bits) != bits) covered = false;
+        *s.write |= bits;
       }
       a = (block + 1) << kBlockShift;
     }
@@ -72,20 +87,31 @@ class EpochBitmap {
   }
 
   std::size_t capacity_bytes() const noexcept {
-    return capacity_ * sizeof(Slot);
+    return capacity_ * kLaneBytes;
   }
 
  private:
   static constexpr std::uint32_t kBlockShift = 6;  // 64-byte blocks
   static constexpr std::uint32_t kBlockSize = 1u << kBlockShift;
   static constexpr Addr kBlockMask = kBlockSize - 1;
-  static constexpr std::size_t kInitialSlots = 256;
+  static constexpr std::size_t kInitialSlots = 256;  // lanes
+  static constexpr std::uint32_t kLanes = 8;         // lanes per group
+  static constexpr std::size_t kMaxProbeGroups = 4;  // = 32 lanes, as before
+  /// Accounted bytes per lane (block key + serial + read + write masks).
+  static constexpr std::size_t kLaneBytes = 4 * sizeof(std::uint64_t);
 
-  struct Slot {
-    Addr block = kInvalidAddr;
-    std::uint64_t serial = 0;
-    std::uint64_t read = 0;
-    std::uint64_t write = 0;
+  /// One probe group: 8 entries, keys packed into one 64-byte line.
+  struct alignas(64) Group {
+    Addr blocks[kLanes];
+    std::uint64_t serials[kLanes];
+    std::uint64_t reads[kLanes];
+    std::uint64_t writes[kLanes];
+  };
+
+  /// View of one entry's mask pair, valid until the next find()/grow().
+  struct Ref {
+    std::uint64_t* read;
+    std::uint64_t* write;
   };
 
   /// Bit i set for lo <= i < hi.
@@ -103,76 +129,146 @@ class EpochBitmap {
     return static_cast<std::size_t>(k);
   }
 
-  Slot& find(Addr block, std::uint64_t serial) {
+  /// Lane mask (bit i = lane i) of keys equal to `needle`.
+  static std::uint32_t eq_mask(const Addr* keys, Addr needle) noexcept {
+#if defined(__SSE2__)
+    // SSE2 has no 64-bit compare (_mm_cmpeq_epi64 is SSE4.1): compare the
+    // 32-bit halves and AND each half with its partner, so a 64-bit lane
+    // reads all-ones iff both halves matched; the doubles' sign bits then
+    // give one bit per 64-bit lane.
+    const __m128i n = _mm_set1_epi64x(static_cast<long long>(needle));
+    std::uint32_t out = 0;
+    for (std::uint32_t i = 0; i < kLanes; i += 2) {
+      const __m128i k =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(keys + i));
+      const __m128i eq32 = _mm_cmpeq_epi32(k, n);
+      const __m128i eq64 = _mm_and_si128(
+          eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+      out |= static_cast<std::uint32_t>(
+                 _mm_movemask_pd(_mm_castsi128_pd(eq64)))
+             << i;
+    }
+    return out;
+#elif defined(__aarch64__)
+    const uint64x2_t n = vdupq_n_u64(needle);
+    std::uint32_t out = 0;
+    for (std::uint32_t i = 0; i < kLanes; i += 2) {
+      const uint64x2_t eq = vceqq_u64(vld1q_u64(keys + i), n);
+      out |= static_cast<std::uint32_t>(vgetq_lane_u64(eq, 0) >> 63) << i;
+      out |= static_cast<std::uint32_t>(vgetq_lane_u64(eq, 1) >> 63) << (i + 1);
+    }
+    return out;
+#else
+    std::uint32_t out = 0;
+    for (std::uint32_t i = 0; i < kLanes; ++i)
+      if (keys[i] == needle) out |= 1u << i;
+    return out;
+#endif
+  }
+
+  static Ref claim(Group& g, std::uint32_t lane, Addr block,
+                   std::uint64_t serial) noexcept {
+    g.blocks[lane] = block;
+    g.serials[lane] = serial;
+    g.reads[lane] = 0;
+    g.writes[lane] = 0;
+    return {&g.reads[lane], &g.writes[lane]};
+  }
+
+  Ref find(Addr block, std::uint64_t serial) {
     while (true) {
       if (live_ * 2 >= capacity_) grow(capacity_ * 2);
-      std::size_t idx = hash_block(block) & (capacity_ - 1);
-      Slot* recycle = nullptr;
-      for (std::size_t probes = 0; probes < kMaxProbes; ++probes) {
-        Slot& s = slots_[idx];
-        if (s.block == block) {
-          if (s.serial != serial) {  // stale entry for this block: reuse
-            s.serial = serial;
-            s.read = 0;
-            s.write = 0;
+      const std::size_t ngroups = capacity_ / kLanes;
+      std::size_t gi = hash_block(block) & (ngroups - 1);
+      Group* stale_g = nullptr;
+      std::uint32_t stale_lane = 0;
+      for (std::size_t probes = 0; probes < kMaxProbeGroups; ++probes) {
+        Group& g = groups_[gi];
+        const std::uint32_t hit = eq_mask(g.blocks, block);
+        if (hit != 0) {
+          const auto lane = static_cast<std::uint32_t>(std::countr_zero(hit));
+          if (g.serials[lane] != serial) {  // stale entry for this block
+            g.serials[lane] = serial;
+            g.reads[lane] = 0;
+            g.writes[lane] = 0;
           }
-          return s;
+          return {&g.reads[lane], &g.writes[lane]};
         }
-        if (s.block == kInvalidAddr) {
-          // Prefer recycling a stale slot seen earlier in the chain; it
-          // keeps chains short. Claiming this empty slot is also fine:
-          // chains terminate only at empty slots, and we never create one.
-          Slot& t = recycle != nullptr ? *recycle : s;
-          if (&t == &s) ++live_;
-          t.block = block;
-          t.serial = serial;
-          t.read = 0;
-          t.write = 0;
-          return t;
+        // Remember the first stale lane along the probe path: recycling it
+        // keeps chains short, and is preferred over claiming a fresh lane.
+        if (stale_g == nullptr) {
+          for (std::uint32_t l = 0; l < kLanes; ++l) {
+            if (g.blocks[l] != kInvalidAddr && g.serials[l] != serial) {
+              stale_g = &g;
+              stale_lane = l;
+              break;
+            }
+          }
         }
-        if (recycle == nullptr && s.serial != serial) recycle = &s;
-        idx = (idx + 1) & (capacity_ - 1);
+        const std::uint32_t empty = eq_mask(g.blocks, kInvalidAddr);
+        if (empty != 0) {
+          // Probe chains terminate at the first group holding an empty
+          // lane, and we never create one: recycle the stale lane if we
+          // saw one, else occupy the empty lane.
+          if (stale_g != nullptr)
+            return claim(*stale_g, stale_lane, block, serial);
+          ++live_;
+          const auto lane =
+              static_cast<std::uint32_t>(std::countr_zero(empty));
+          return claim(g, lane, block, serial);
+        }
+        gi = (gi + 1) & (ngroups - 1);
       }
-      if (recycle != nullptr) {
-        recycle->block = block;
-        recycle->serial = serial;
-        recycle->read = 0;
-        recycle->write = 0;
-        return *recycle;
-      }
+      if (stale_g != nullptr) return claim(*stale_g, stale_lane, block, serial);
       grow(capacity_ * 2);
     }
   }
 
-  void grow(std::size_t new_cap) {
-    auto* ns = static_cast<Slot*>(::operator new(new_cap * sizeof(Slot)));
-    for (std::size_t i = 0; i < new_cap; ++i) ns[i] = Slot{};
-    std::size_t live = 0;
-    if (slots_ != nullptr) {
-      // Re-insert only current entries; stale epochs are dropped.
-      for (std::size_t i = 0; i < capacity_; ++i) {
-        const Slot& s = slots_[i];
-        if (s.block == kInvalidAddr) continue;
-        std::size_t idx = hash_block(s.block) & (new_cap - 1);
-        while (ns[idx].block != kInvalidAddr) idx = (idx + 1) & (new_cap - 1);
-        ns[idx] = s;
-        ++live;
-      }
-      ::operator delete(slots_);
-      acct_->sub(MemCategory::kBitmap, capacity_ * sizeof(Slot));
+  void grow(std::size_t new_lanes) {
+    const std::size_t ngroups = new_lanes / kLanes;
+    auto* ng = static_cast<Group*>(::operator new(
+        ngroups * sizeof(Group), std::align_val_t{alignof(Group)}));
+    for (std::size_t g = 0; g < ngroups; ++g) {
+      for (std::uint32_t l = 0; l < kLanes; ++l) ng[g].blocks[l] = kInvalidAddr;
     }
-    slots_ = ns;
-    capacity_ = new_cap;
+    std::size_t live = 0;
+    if (groups_ != nullptr) {
+      const std::size_t old_groups = capacity_ / kLanes;
+      for (std::size_t g = 0; g < old_groups; ++g) {
+        for (std::uint32_t l = 0; l < kLanes; ++l) {
+          if (groups_[g].blocks[l] == kInvalidAddr) continue;
+          // Re-insert at the first free lane along the new probe path
+          // (load stays under 1/2, so one always exists).
+          std::size_t gi = hash_block(groups_[g].blocks[l]) & (ngroups - 1);
+          while (true) {
+            const std::uint32_t empty = eq_mask(ng[gi].blocks, kInvalidAddr);
+            if (empty != 0) {
+              const auto lane =
+                  static_cast<std::uint32_t>(std::countr_zero(empty));
+              ng[gi].blocks[lane] = groups_[g].blocks[l];
+              ng[gi].serials[lane] = groups_[g].serials[l];
+              ng[gi].reads[lane] = groups_[g].reads[l];
+              ng[gi].writes[lane] = groups_[g].writes[l];
+              break;
+            }
+            gi = (gi + 1) & (ngroups - 1);
+          }
+          ++live;
+        }
+      }
+      ::operator delete(groups_, std::align_val_t{alignof(Group)});
+      acct_->sub(MemCategory::kBitmap, capacity_ * kLaneBytes);
+    }
+    groups_ = ng;
+    capacity_ = new_lanes;
     live_ = live;
-    acct_->add(MemCategory::kBitmap, new_cap * sizeof(Slot));
+    acct_->add(MemCategory::kBitmap, new_lanes * kLaneBytes);
   }
 
-  static constexpr std::size_t kMaxProbes = 32;
-
   MemoryAccountant* acct_;
-  Slot* slots_ = nullptr;
-  std::size_t capacity_ = 0;
-  std::size_t live_ = 0;
+  Group* groups_ = nullptr;
+  std::size_t capacity_ = 0;  // lanes
+  std::size_t live_ = 0;      // occupied lanes (including stale epochs)
 };
 
 }  // namespace dg

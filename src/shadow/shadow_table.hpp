@@ -245,6 +245,27 @@ class ShadowTable {
     }
   }
 
+  /// Like for_each, but visits only cells of *cold* blocks: blocks whose
+  /// last mutating access is at least `min_age` generations old. The epoch
+  /// GC (DESIGN.md §5.5) compacts clock storage behind these cells without
+  /// touching anything the workload is actively using. fn must not add or
+  /// remove blocks.
+  template <typename Fn>
+  void for_each_cold(std::uint64_t min_age, Fn&& fn) {
+    for (std::size_t b = 0; b < num_buckets_; ++b) {
+      for (Block* blk = buckets_[b]; blk != nullptr; blk = blk->next) {
+        if (blk->last_gen + min_age > gen_) continue;
+        const std::uint32_t w = blk->byte_mode ? 1 : kWordSize;
+        const std::uint32_t n = blk->byte_mode ? kBlockBytes : kWordCells;
+        const Addr base = blk->key << kBlockShift;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (!(blk->cells[i] == Cell{}))
+            fn(base + static_cast<Addr>(i) * w, w, blk->cells[i]);
+        }
+      }
+    }
+  }
+
   // -- cold-block eviction (overload governor, DESIGN.md §5.3) -----------
 
   /// Open a new access generation. Blocks touched (created or re-found via

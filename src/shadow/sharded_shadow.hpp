@@ -132,6 +132,10 @@ class ShardedShadow {
   void for_each(Fn&& fn) {
     for (auto& sh : shards_) sh->table.for_each(fn);
   }
+  template <typename Fn>
+  void for_each_cold(std::uint64_t min_age, Fn&& fn) {
+    for (auto& sh : shards_) sh->table.for_each_cold(min_age, fn);
+  }
   void clear_all() {
     for (auto& sh : shards_) sh->table.clear_all();
   }

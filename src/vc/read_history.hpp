@@ -129,6 +129,35 @@ class ReadHistory {
     return shed;
   }
 
+  /// Epoch-GC compaction (DESIGN.md §5.5) — lossless, unlike
+  /// collapse_to_epoch: a shared history whose vector holds at most one
+  /// non-zero entry is demoted to exactly that epoch (same happens-before
+  /// answers from every query above), and a genuinely multi-reader vector
+  /// is compacted in place (trailing zeros trimmed, surplus heap capacity
+  /// returned). Returns the accounted bytes shed.
+  ///
+  /// Caveat for callers: demotion changes is_shared() and therefore the
+  /// *structural* equality used in sharing decisions, so only run this on
+  /// shadow state cold enough that those decisions are behind it.
+  std::size_t compact(MemoryAccountant& acct) {
+    if (vc_ == nullptr) return 0;
+    const std::size_t live = vc_->live_entries();
+    if (live <= 1) {
+      const std::size_t shed = sizeof(VectorClock) + vc_->heap_bytes();
+      Epoch kept = Epoch::bottom();
+      for (std::size_t t = 0; t < vc_->size(); ++t) {
+        const ClockVal c = vc_->get(static_cast<ThreadId>(t));
+        if (c != 0) kept = Epoch(c, static_cast<ThreadId>(t));
+      }
+      demote(acct);
+      epoch_ = kept;
+      return shed;
+    }
+    const std::size_t shed = vc_->compact();
+    acct.sub(MemCategory::kVectorClock, shed);
+    return shed;
+  }
+
   std::size_t footprint_bytes() const noexcept {
     return vc_ != nullptr ? sizeof(VectorClock) + vc_->heap_bytes() : 0;
   }

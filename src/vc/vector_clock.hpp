@@ -89,6 +89,24 @@ class VectorClock {
   /// Bytes of heap memory owned (0 when the clock fits inline).
   std::size_t heap_bytes() const noexcept { return clocks_.heap_bytes(); }
 
+  /// Lossless compaction for cold clocks (epoch GC, DESIGN.md §5.5): drop
+  /// trailing zero entries — semantically padding, see operator== — and
+  /// release surplus heap capacity. Returns heap bytes freed.
+  std::size_t compact() {
+    std::size_t n = clocks_.size();
+    while (n > 0 && clocks_[n - 1] == 0) --n;
+    clocks_.resize(n, 0);
+    return clocks_.shrink_to_fit();
+  }
+
+  /// Number of non-zero entries (single-entry clocks demote to epochs).
+  std::size_t live_entries() const noexcept {
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < clocks_.size(); ++i)
+      if (clocks_[i] != 0) ++live;
+    return live;
+  }
+
   /// Logical footprint in bytes of the stored entries, used by memory
   /// accounting to charge clocks at their size regardless of inlining
   /// (mirrors the paper's object-size-based measurement).

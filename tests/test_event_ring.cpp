@@ -1,0 +1,249 @@
+// SpscRing / EventRing edge cases (DESIGN.md §5.1/§5.5): wraparound at
+// the capacity boundary, batches split across the wrap, partial bulk
+// pushes at the rim, and a cross-variant conformance suite run against
+// both deployments of the shared template — the in-process rt::EventRing
+// (BatchedEvent records) and the shared-memory service::ProducerRing
+// (rt::TraceEvent wire records). The two variants must behave identically
+// because the service relies on the exact protocol the runtime was
+// validated against.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "rt/event_ring.hpp"
+#include "rt/trace.hpp"
+#include "service/shm_segment.hpp"
+
+namespace dg {
+namespace {
+
+// Each variant pins one deployment's record type plus a way to stamp and
+// recover a sequence id, so the conformance suite below can check FIFO
+// order without caring about the payload layout.
+struct InProcessVariant {
+  using Ring = rt::EventRing;
+  using Elem = BatchedEvent;
+  static Elem make(std::uint64_t i) {
+    Elem e;
+    e.kind = BatchedEvent::Kind::kRead;
+    e.tid = 1;
+    e.addr = i;
+    e.size = 4;
+    return e;
+  }
+  static std::uint64_t id(const Elem& e) { return e.addr; }
+};
+
+struct SharedMemoryVariant {
+  using Ring = service::ProducerRing;
+  using Elem = rt::TraceEvent;
+  static Elem make(std::uint64_t i) {
+    return {rt::EventKind::kRead, 0, 4, 1, i, 0};
+  }
+  static std::uint64_t id(const Elem& e) { return e.addr; }
+};
+
+template <typename V>
+class SpscRingConformance : public ::testing::Test {
+ protected:
+  using Ring = typename V::Ring;
+  using Elem = typename V::Elem;
+  static constexpr std::size_t kCap = Ring::kCapacity;
+
+  // Rings are page-scale arrays; keep them off the test stack.
+  std::unique_ptr<Ring> ring_ = std::make_unique<Ring>();
+
+  void push_ok(std::uint64_t i) { ASSERT_TRUE(ring_->try_push(V::make(i))); }
+
+  // Drain everything, returning the ids in delivery order and (optionally)
+  // how many contiguous segments the drain used.
+  std::vector<std::uint64_t> drain_ids(std::size_t* segments = nullptr) {
+    std::vector<std::uint64_t> out;
+    std::size_t segs = 0;
+    ring_->drain([&](const Elem* e, std::size_t n) {
+      ++segs;
+      for (std::size_t i = 0; i < n; ++i) out.push_back(V::id(e[i]));
+    });
+    if (segments != nullptr) *segments = segs;
+    return out;
+  }
+
+  // Advance head and tail together by `n` so the next push lands at
+  // physical slot n & mask without leaving anything pending.
+  void offset_by(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) push_ok(0);
+    (void)drain_ids();
+  }
+};
+
+using Variants = ::testing::Types<InProcessVariant, SharedMemoryVariant>;
+TYPED_TEST_SUITE(SpscRingConformance, Variants);
+
+TYPED_TEST(SpscRingConformance, FillToCapacityThenPushFails) {
+  const std::size_t cap = TestFixture::kCap;
+  for (std::uint64_t i = 0; i < cap; ++i) this->push_ok(i);
+  EXPECT_EQ(this->ring_->size(), cap);
+  EXPECT_FALSE(this->ring_->try_push(TypeParam::make(cap)));
+  const auto extra = TypeParam::make(cap);
+  EXPECT_EQ(this->ring_->try_push_n(&extra, 1), 0u);
+
+  const auto ids = this->drain_ids();
+  ASSERT_EQ(ids.size(), cap);
+  for (std::uint64_t i = 0; i < cap; ++i) EXPECT_EQ(ids[i], i);
+  EXPECT_EQ(this->ring_->size(), 0u);
+  // The freed slots are immediately reusable.
+  EXPECT_TRUE(this->ring_->try_push(TypeParam::make(cap)));
+}
+
+TYPED_TEST(SpscRingConformance, DrainSplitsBatchAcrossWrap) {
+  const std::size_t cap = TestFixture::kCap;
+  this->offset_by(cap - 5);  // next push lands 5 slots before the rim
+  for (std::uint64_t i = 0; i < 10; ++i) this->push_ok(i);
+
+  std::vector<std::size_t> seg_sizes;
+  std::vector<std::uint64_t> ids;
+  this->ring_->drain(
+      [&](const typename TestFixture::Elem* e, std::size_t n) {
+        seg_sizes.push_back(n);
+        for (std::size_t i = 0; i < n; ++i) ids.push_back(TypeParam::id(e[i]));
+      });
+  // 5 records up to the rim, 5 from slot 0 — exactly two segments whose
+  // concatenation preserves FIFO order.
+  ASSERT_EQ(seg_sizes.size(), 2u);
+  EXPECT_EQ(seg_sizes[0], 5u);
+  EXPECT_EQ(seg_sizes[1], 5u);
+  ASSERT_EQ(ids.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TYPED_TEST(SpscRingConformance, BatchEndingExactlyAtBoundaryIsOneSegment) {
+  const std::size_t cap = TestFixture::kCap;
+  this->offset_by(cap - 7);
+  for (std::uint64_t i = 0; i < 7; ++i) this->push_ok(i);
+
+  std::size_t segments = 0;
+  const auto ids = this->drain_ids(&segments);
+  EXPECT_EQ(segments, 1u);  // lo + n == capacity: no split needed
+  ASSERT_EQ(ids.size(), 7u);
+  for (std::uint64_t i = 0; i < 7; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TYPED_TEST(SpscRingConformance, FullRingDrainWrapsInTwoSegments) {
+  const std::size_t cap = TestFixture::kCap;
+  this->offset_by(3);
+  for (std::uint64_t i = 0; i < cap; ++i) this->push_ok(i);
+  EXPECT_FALSE(this->ring_->try_push(TypeParam::make(cap)));
+
+  std::size_t segments = 0;
+  const auto ids = this->drain_ids(&segments);
+  ASSERT_EQ(ids.size(), cap);
+  EXPECT_EQ(segments, 2u);
+  for (std::uint64_t i = 0; i < cap; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TYPED_TEST(SpscRingConformance, BulkPushIsPartialAtCapacity) {
+  const std::size_t cap = TestFixture::kCap;
+  using Elem = typename TestFixture::Elem;
+  std::vector<Elem> batch;
+  for (std::uint64_t i = 0; i < cap + 10; ++i) batch.push_back(TypeParam::make(i));
+
+  // Asked for cap+10, only cap fit.
+  EXPECT_EQ(this->ring_->try_push_n(batch.data(), batch.size()), cap);
+  EXPECT_EQ(this->ring_->size(), cap);
+
+  // Empty it, then stop 3 short of full: a retry of an oversized remainder
+  // accepts exactly the 3 free slots.
+  this->ring_->drain([](const Elem*, std::size_t) {});
+  ASSERT_EQ(this->ring_->try_push_n(batch.data(), cap - 3), cap - 3);
+  EXPECT_EQ(this->ring_->try_push_n(batch.data() + (cap - 3), 10), 3u);
+  EXPECT_EQ(this->ring_->size(), cap);
+}
+
+TYPED_TEST(SpscRingConformance, EmptyDrainDeliversNothing) {
+  std::size_t segments = 0;
+  EXPECT_TRUE(this->drain_ids(&segments).empty());
+  EXPECT_EQ(segments, 0u);
+  EXPECT_EQ(this->ring_->size(), 0u);
+}
+
+TYPED_TEST(SpscRingConformance, FifoPreservedAcrossManyWraps) {
+  // Deterministic interleave of variable-size bulk pushes and drains that
+  // cycles the ring through dozens of wraps.
+  std::uint64_t lcg = 0x2545F4914F6CDD1DULL;
+  const auto rnd = [&lcg](std::uint64_t mod) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (lcg >> 33) % mod;
+  };
+  const std::size_t cap = TestFixture::kCap;
+  using Elem = typename TestFixture::Elem;
+  std::uint64_t next_push = 0, next_pop = 0;
+  const std::uint64_t total = cap * 20;
+  while (next_pop < total) {
+    const std::size_t want =
+        static_cast<std::size_t>(rnd(cap)) + 1;  // may exceed free space
+    std::vector<Elem> batch;
+    for (std::size_t i = 0; i < want && next_push + i < total; ++i)
+      batch.push_back(TypeParam::make(next_push + i));
+    const std::size_t took = this->ring_->try_push_n(batch.data(), batch.size());
+    next_push += took;
+    if (rnd(3) != 0 || took < batch.size()) {
+      this->ring_->drain([&](const Elem* e, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(TypeParam::id(e[i]), next_pop);
+          ++next_pop;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(next_pop, total);
+  EXPECT_EQ(this->ring_->size(), 0u);
+}
+
+TYPED_TEST(SpscRingConformance, ConcurrentProducerConsumerKeepsOrder) {
+  using Elem = typename TestFixture::Elem;
+  constexpr std::uint64_t kTotal = 200000;
+  auto* ring = this->ring_.get();
+
+  std::thread producer([ring] {
+    for (std::uint64_t i = 0; i < kTotal;) {
+      if (ring->try_push(TypeParam::make(i)))
+        ++i;
+      else
+        std::this_thread::yield();
+    }
+  });
+
+  std::uint64_t next = 0;
+  while (next < kTotal) {
+    const std::size_t got = ring->drain([&](const Elem* e, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(TypeParam::id(e[i]), next);
+        ++next;
+      }
+    });
+    if (got == 0) std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(next, kTotal);
+  EXPECT_EQ(ring->size(), 0u);
+}
+
+// Layout contracts the shared-memory deployment depends on: the wire
+// record is a fixed 24-byte POD and the ring itself can be placement-new'd
+// into an mmap'ed segment and read from another mapping.
+TEST(RingLayout, WireFormatAndPlacementContracts) {
+  static_assert(sizeof(rt::TraceEvent) == 24);
+  static_assert(std::is_trivially_copyable_v<rt::TraceEvent>);
+  static_assert(std::is_trivially_copyable_v<BatchedEvent>);
+  static_assert(std::is_standard_layout_v<service::ProducerRing>);
+  static_assert(std::is_standard_layout_v<rt::EventRing>);
+  static_assert(service::ProducerRing::kCapacity == service::kShmRingCapacity);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dg

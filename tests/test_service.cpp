@@ -1,0 +1,363 @@
+// AnalysisService / ReportStore coverage (DESIGN.md §5.5): in-process
+// end-to-end runs of the shared-memory ingestion path (producer thread +
+// drainer pool over a real mmap'ed segment file), parity against a direct
+// rt::replay_trace of the same stream, clock-GC shedding, and the
+// queryable report store / sink snapshot cursors.
+//
+// Producers here are std::threads, not forked processes: ShmProducer maps
+// the same segment file, so the cross-process protocol is exercised
+// through a second mapping either way (micro_service and service_demo
+// cover the genuine multi-process deployment).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "detect/dyngran.hpp"
+#include "report/report_sink.hpp"
+#include "report/report_store.hpp"
+#include "rt/runtime.hpp"
+#include "rt/trace.hpp"
+#include "service/analysis_service.hpp"
+#include "service/shm_segment.hpp"
+
+namespace dg {
+namespace {
+
+constexpr std::uint64_t kLow48 = (std::uint64_t{1} << 48) - 1;
+
+std::string temp_segment(const char* name) {
+  return ::testing::TempDir() + "dg_test_service_" + name + "_" +
+         std::to_string(::getpid()) + ".dgs";
+}
+
+// Two worker threads; `racy` locations written by both with no
+// synchronization, `safe` locations only touched under lock 0x10.
+std::vector<rt::TraceEvent> racy_trace(unsigned racy, unsigned safe) {
+  using rt::EventKind;
+  std::vector<rt::TraceEvent> ev;
+  ev.push_back({EventKind::kThreadStart, 0, 0, 0, 0, kInvalidThread});
+  ev.push_back({EventKind::kThreadStart, 0, 0, 1, 0, 0});
+  ev.push_back({EventKind::kThreadStart, 0, 0, 2, 0, 0});
+  for (unsigned i = 0; i < racy; ++i) {
+    const Addr a = 0x10000 + static_cast<Addr>(i) * 0x1000;
+    ev.push_back({EventKind::kWrite, 0, 4, 1, a, 0});
+    ev.push_back({EventKind::kWrite, 0, 4, 2, a, 0});
+  }
+  for (unsigned i = 0; i < safe; ++i) {
+    const Addr a = 0x900000 + static_cast<Addr>(i) * 0x1000;
+    for (ThreadId t : {ThreadId{1}, ThreadId{2}}) {
+      ev.push_back({EventKind::kAcquire, 0, 0, t, 0x10, 0});
+      ev.push_back({EventKind::kRead, 0, 4, t, a, 0});
+      ev.push_back({EventKind::kWrite, 0, 4, t, a, 0});
+      ev.push_back({EventKind::kRelease, 0, 0, t, 0x10, 0});
+    }
+  }
+  ev.push_back({EventKind::kThreadJoin, 0, 0, 0, 0, 1});
+  ev.push_back({EventKind::kThreadJoin, 0, 0, 0, 0, 2});
+  ev.push_back({EventKind::kFinish, 0, 0, 0, 0, 0});
+  return ev;
+}
+
+void produce(const std::string& path, const std::vector<rt::TraceEvent>& ev,
+             const char* spec) {
+  service::ShmProducer p;
+  std::string err;
+  ASSERT_TRUE(p.connect(path, spec, 10000, &err)) << err;
+  ASSERT_TRUE(p.wait_go(20000));
+  ASSERT_TRUE(p.push_n(ev.data(), ev.size()));
+  p.finish();
+}
+
+// Run `streams.size()` producer threads against a fresh service over a
+// fresh segment and return when everything is drained and stopped.
+void run_service(DynGranDetector& det, service::ServiceOptions opts,
+                 const std::string& path,
+                 const std::vector<std::vector<rt::TraceEvent>>& streams,
+                 service::ServiceStats* stats_out = nullptr) {
+  ::unlink(path.c_str());
+  service::AnalysisService svc(det, opts);
+  std::string err;
+  ASSERT_TRUE(svc.start(path, &err)) << err;
+  std::vector<std::thread> producers;
+  for (std::size_t i = 0; i < streams.size(); ++i)
+    producers.emplace_back([&, i] {
+      produce(path, streams[i], ("test:" + std::to_string(i)).c_str());
+    });
+  ASSERT_TRUE(
+      svc.wait_producers(static_cast<std::uint32_t>(streams.size()), 20000));
+  svc.open_gate();
+  svc.stop(60000);
+  for (auto& t : producers) t.join();
+  if (stats_out != nullptr) *stats_out = svc.stats();
+  ::unlink(path.c_str());
+}
+
+TEST(AnalysisServiceTest, SingleProducerMatchesInProcessReplay) {
+  const auto tr = racy_trace(4, 4);
+
+  DynGranDetector reference;
+  rt::replay_trace(tr, reference);
+  const std::uint64_t expected = reference.sink().unique_races();
+  ASSERT_GT(expected, 0u);
+  std::unordered_set<Addr> expected_addrs;
+  for (const auto& r : reference.sink().reports())
+    expected_addrs.insert(r.addr);
+
+  DynGranDetector det;
+  service::ServiceStats st;
+  run_service(det, {}, temp_segment("single"), {tr}, &st);
+
+  EXPECT_EQ(det.sink().unique_races(), expected);
+  for (const auto& r : det.sink().reports()) {
+    EXPECT_EQ(r.addr >> 48, 1u) << "slot-0 namespace tag";
+    EXPECT_TRUE(expected_addrs.count(r.addr & kLow48) != 0)
+        << "unexpected race at " << std::hex << r.addr;
+  }
+  EXPECT_EQ(st.events_total, tr.size());
+  EXPECT_EQ(st.producers_seen, 1u);
+  EXPECT_GT(st.threads_mapped, 0u);
+}
+
+TEST(AnalysisServiceTest, TwoProducersAnalyzeInDisjointNamespaces) {
+  const auto tr = racy_trace(3, 2);
+  DynGranDetector reference;
+  rt::replay_trace(tr, reference);
+  const std::uint64_t expected = reference.sink().unique_races();
+  ASSERT_GT(expected, 0u);
+
+  DynGranDetector det;
+  service::ServiceOptions opts;
+  opts.drainers = 2;
+  service::ServiceStats st;
+  run_service(det, opts, temp_segment("two"), {tr, tr}, &st);
+
+  // Identical streams in different slots must not alias: the union holds
+  // one full copy of the result per producer.
+  EXPECT_EQ(det.sink().unique_races(), 2 * expected);
+  std::unordered_set<std::uint64_t> tags;
+  for (const auto& r : det.sink().reports()) tags.insert(r.addr >> 48);
+  EXPECT_EQ(tags.size(), 2u);
+  EXPECT_EQ(st.producers_seen, 2u);
+  EXPECT_EQ(st.events_total, 2 * tr.size());
+}
+
+TEST(AnalysisServiceTest, ConsumerSideSameEpochFilterPreservesRaces) {
+  using rt::EventKind;
+  // Thread 1 re-reads one word many times inside a single epoch; the
+  // drainer-side bitmap must drop the repeats without losing the race.
+  std::vector<rt::TraceEvent> ev;
+  ev.push_back({EventKind::kThreadStart, 0, 0, 0, 0, kInvalidThread});
+  ev.push_back({EventKind::kThreadStart, 0, 0, 1, 0, 0});
+  ev.push_back({EventKind::kThreadStart, 0, 0, 2, 0, 0});
+  for (int i = 0; i < 200; ++i)
+    ev.push_back({EventKind::kRead, 0, 4, 1, 0x5000, 0});
+  ev.push_back({EventKind::kWrite, 0, 4, 1, 0x8000, 0});
+  ev.push_back({EventKind::kWrite, 0, 4, 2, 0x8000, 0});
+  ev.push_back({EventKind::kThreadJoin, 0, 0, 0, 0, 1});
+  ev.push_back({EventKind::kThreadJoin, 0, 0, 0, 0, 2});
+  ev.push_back({EventKind::kFinish, 0, 0, 0, 0, 0});
+
+  DynGranDetector reference;
+  rt::replay_trace(ev, reference);
+
+  DynGranDetector det;
+  service::ServiceStats st;
+  run_service(det, {}, temp_segment("filter"), {ev}, &st);
+
+  EXPECT_GT(st.filtered, 0u);
+  EXPECT_EQ(det.sink().unique_races(), reference.sink().unique_races());
+}
+
+TEST(AnalysisServiceTest, ClockGcShedsColdReadClocksAndKeepsRaces) {
+  using rt::EventKind;
+  // Shed requires heap-backed read clocks on cold shadow: every 64-byte
+  // block is read once by 10 distinct threads (more than the clock's
+  // inline capacity) and never touched again. A long single-thread tail
+  // with epoch churn keeps the drainer ingesting so several GC passes run
+  // after the blocks went cold.
+  constexpr unsigned kThreads = 10;
+  constexpr unsigned kBlocks = 192;
+  std::vector<rt::TraceEvent> ev;
+  ev.push_back({EventKind::kThreadStart, 0, 0, 0, 0, kInvalidThread});
+  for (ThreadId t = 1; t <= kThreads; ++t)
+    ev.push_back({EventKind::kThreadStart, 0, 0, t, 0, 0});
+  for (unsigned b = 0; b < kBlocks; ++b) {
+    const Addr a = 0x100000 + static_cast<Addr>(b) * 64;
+    for (ThreadId t = 1; t <= kThreads; ++t)
+      ev.push_back({EventKind::kRead, 0, 8, t, a, 0});
+    if (b % 48 == 47) {
+      for (ThreadId t = 1; t <= kThreads; ++t) {
+        ev.push_back({EventKind::kAcquire, 0, 0, t, 0x10, 0});
+        ev.push_back({EventKind::kRelease, 0, 0, t, 0x10, 0});
+      }
+    }
+  }
+  ev.push_back({EventKind::kWrite, 0, 4, 1, 0x9000, 0});
+  ev.push_back({EventKind::kWrite, 0, 4, 2, 0x9000, 0});
+  for (unsigned i = 0; i < 40000; ++i) {
+    ev.push_back(
+        {EventKind::kRead, 0, 8, 1, 0x800000 + (i % 64) * 64, 0});
+    if (i % 16 == 15) {
+      ev.push_back({EventKind::kAcquire, 0, 0, 1, 0x20, 0});
+      ev.push_back({EventKind::kRelease, 0, 0, 1, 0x20, 0});
+    }
+  }
+  for (ThreadId t = 1; t <= kThreads; ++t)
+    ev.push_back({EventKind::kThreadJoin, 0, 0, 0, 0, t});
+  ev.push_back({EventKind::kFinish, 0, 0, 0, 0, 0});
+
+  DynGranDetector det;
+  service::ServiceOptions opts;
+  opts.drainers = 1;
+  opts.gc_every_events = 1000;
+  opts.gc_cold_generations = 1;
+  service::ServiceStats st;
+  run_service(det, opts, temp_segment("gc"), {ev}, &st);
+
+  EXPECT_GT(st.gc_runs, 0u);
+  EXPECT_GT(st.gc_shed_bytes, 0u);
+  // GC is lossless: the planted race is still reported.
+  bool found = false;
+  for (const auto& r : det.sink().reports())
+    if ((r.addr & kLow48) == 0x9000) found = true;
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// ReportStore / ReportSink query and cursor semantics.
+
+RaceReport make_report(Addr addr, const char* site) {
+  RaceReport r;
+  r.addr = addr;
+  r.size = 4;
+  r.current_tid = 1;
+  r.previous_tid = 2;
+  r.current_site = site;
+  r.previous_site = "prev";
+  return r;
+}
+
+TEST(ReportStoreTest, SiteAndProximityQueries) {
+  ReportStore store(8);
+  store.record(make_report(0x1000, "alpha/load"));
+  store.record(make_report(0x1008, "alpha/store"));
+  store.record(make_report(0x2000, "beta/load"));
+
+  EXPECT_EQ(store.query_site_prefix("alpha/").size(), 2u);
+  EXPECT_EQ(store.query_site_prefix("beta/").size(), 1u);
+  EXPECT_EQ(store.query_site_prefix("").size(), 3u);
+  EXPECT_TRUE(store.query_site_prefix("gamma").empty());
+
+  // 0x1000 and 0x1008 share a 64-byte bucket; 0x2000 does not.
+  EXPECT_EQ(store.query_near(0x1004).size(), 2u);
+  EXPECT_EQ(store.query_near(0x2030).size(), 1u);
+  EXPECT_TRUE(store.query_near(0x3000).empty());
+}
+
+TEST(ReportStoreTest, EvictionPrunesIndices) {
+  ReportStore store(2);
+  store.record(make_report(0x1000, "a"));
+  store.record(make_report(0x2000, "b"));
+  store.record(make_report(0x3000, "c"));  // overwrites the oldest entry
+
+  EXPECT_EQ(store.total_recorded(), 3u);
+  EXPECT_EQ(store.evicted(), 1u);
+  // The evicted report is gone from every index — never resurrected.
+  EXPECT_TRUE(store.query_site_prefix("a").empty());
+  EXPECT_TRUE(store.query_near(0x1000).empty());
+
+  const auto snap = store.snapshot(0);
+  ASSERT_EQ(snap.reports.size(), 2u);
+  EXPECT_EQ(snap.reports[0].addr, 0x2000u);
+  EXPECT_EQ(snap.reports[1].addr, 0x3000u);
+}
+
+TEST(ReportStoreTest, SnapshotCursorNeverRereads) {
+  ReportStore store(16);
+  for (int i = 0; i < 3; ++i)
+    store.record(make_report(0x1000 + static_cast<Addr>(i) * 0x100, "s"));
+  const auto s1 = store.snapshot(0);
+  EXPECT_EQ(s1.reports.size(), 3u);
+  EXPECT_EQ(s1.next_seq, 3u);
+
+  store.record(make_report(0x5000, "s"));
+  store.record(make_report(0x6000, "s"));
+  const auto s2 = store.snapshot(s1.next_seq);
+  ASSERT_EQ(s2.reports.size(), 2u);
+  EXPECT_EQ(s2.reports[0].addr, 0x5000u);
+  EXPECT_EQ(s2.reports[1].addr, 0x6000u);
+  EXPECT_TRUE(store.snapshot(s2.next_seq).reports.empty());
+}
+
+TEST(ReportStoreTest, AttachMirrorsSinkAndSharesDedup) {
+  ReportSink sink;
+  ReportStore store(8);
+  store.attach(sink);
+
+  const RaceReport r = make_report(0x1000, "site");
+  EXPECT_TRUE(sink.report(r));
+  EXPECT_FALSE(sink.report(r));  // same location: deduped by the sink
+  EXPECT_EQ(store.total_recorded(), 1u);
+  EXPECT_EQ(store.query_near(0x1000).size(), 1u);
+
+  // Grouped bookkeeping counts recorded reports per group key.
+  std::uint64_t grouped = 0;
+  for (const auto& [key, n] : store.group_counts()) grouped += n;
+  EXPECT_EQ(grouped, 1u);
+}
+
+TEST(ReportSinkTest, SnapshotCursorSemantics) {
+  ReportSink sink;
+  sink.report(make_report(0x1000, "a"));
+  sink.report(make_report(0x2000, "b"));
+  const auto s1 = sink.snapshot(0);
+  EXPECT_EQ(s1.reports.size(), 2u);
+  EXPECT_EQ(s1.next_seq, 2u);
+  EXPECT_EQ(s1.total_recorded, 2u);
+  EXPECT_TRUE(sink.snapshot(s1.next_seq).reports.empty());
+
+  sink.report(make_report(0x3000, "c"));
+  const auto s2 = sink.snapshot(s1.next_seq);
+  ASSERT_EQ(s2.reports.size(), 1u);
+  EXPECT_EQ(s2.reports[0].addr, 0x3000u);
+  EXPECT_EQ(s2.next_seq, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime ring telemetry (per-thread depth high-water marks and drain
+// latency, surfaced through RuntimeStats).
+
+TEST(RuntimeStatsTest, RingTelemetryIsPopulated) {
+  DynGranDetector det;
+  rt::RuntimeOptions opts;
+  opts.mode = rt::RuntimeOptions::Mode::kTwoTier;
+  rt::Runtime runtime(det, opts);
+  runtime.register_current_thread(kInvalidThread);
+
+  // Distinct addresses so the tier-1 same-epoch filter does not swallow
+  // the accesses before they reach the ring.
+  std::vector<int> buf(512);
+  for (int& v : buf) runtime.read(&v, sizeof(int));
+  runtime.finish();
+
+  const RuntimeStats st = runtime.stats();
+  ASSERT_FALSE(st.rings.empty());
+  std::uint64_t drains = 0, hwm = 0;
+  for (const auto& r : st.rings) {
+    drains += r.drains;
+    if (r.depth_hwm > hwm) hwm = r.depth_hwm;
+  }
+  EXPECT_GT(drains, 0u);
+  EXPECT_GT(hwm, 0u);
+  EXPECT_GT(st.drain_ns, 0u);
+  EXPECT_GE(st.max_drain_ns, st.drain_ns / (drains == 0 ? 1 : drains));
+  EXPECT_GT(st.avg_drain_ns(), 0.0);
+}
+
+}  // namespace
+}  // namespace dg

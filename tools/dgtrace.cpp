@@ -31,6 +31,11 @@
 //       every trace; minimized reproducers for any divergence are written
 //       to DIR (inject F in {drop-read, skip-join, skip-release} plants a
 //       detector bug the fuzzer must catch)
+//   dgtrace connect <segment> <workload|trace> [threads] [scale] [seed]
+//       attach to a dgtraced segment as a producer and stream the
+//       workload's (or saved trace's) events through shared memory
+//   dgtrace svc-stats <segment>
+//       attach read-only and print the daemon's live telemetry
 #include <algorithm>
 #include <array>
 #include <cinttypes>
@@ -49,7 +54,9 @@
 #include "detect/sampling.hpp"
 #include "govern/governor.hpp"
 #include "rt/trace.hpp"
+#include "service/shm_segment.hpp"
 #include "sim/sim.hpp"
+#include "trace_spec.hpp"
 #include "verify/diff_runner.hpp"
 #include "verify/shrink.hpp"
 #include "workloads/workloads.hpp"
@@ -87,6 +94,9 @@ int usage() {
       "  dgtrace diff <a.trace> <b.trace>\n"
       "  dgtrace verify <trace> [--adhoc] [--repro <out.trace>]\n"
       "  dgtrace fuzz [--seeds N] [--schedules M] [--out DIR] [--inject F]\n"
+      "  dgtrace connect <segment> <workload|trace> [threads] [scale] "
+      "[seed]\n"
+      "  dgtrace svc-stats <segment>\n"
       "detectors: byte word dynamic dynamic-noshare1 dynamic-noinit djit\n"
       "           lockset drd inspector\n"
       "sampling specs: literace | pacer,0.05 | budget,window=4096,budget=64\n"
@@ -646,6 +656,95 @@ int cmd_fuzz(int argc, char** argv) {
   return res.findings.empty() && res.deadlocks == 0 ? 0 : 1;
 }
 
+// Producer side of the detection service (DESIGN.md §5.5): claim a slot
+// in a dgtraced segment and stream a deterministic event stream through
+// it. The stream is either a saved trace or a sim-recorded workload; the
+// published spec lets the daemon's --parity mode rebuild it.
+int cmd_connect(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string segment = argv[2];
+  const std::string source = argv[3];
+  std::vector<TraceEvent> ev;
+  std::string spec;
+  std::string err;
+  if (rt::load_trace(source, ev, &err)) {
+    spec = dgtool::make_trace_spec(source);
+  } else {
+    const std::uint32_t threads =
+        argc > 4 ? static_cast<std::uint32_t>(std::atoi(argv[4])) : 4;
+    const std::uint32_t scale =
+        argc > 5 ? static_cast<std::uint32_t>(std::atoi(argv[5])) : 100;
+    const std::uint64_t seed =
+        argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 7;
+    spec = dgtool::make_workload_spec(source, threads, scale, seed);
+    if (!dgtool::spec_to_events(spec, ev, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+  }
+  service::ShmProducer prod;
+  if (!prod.connect(segment, spec, 30000, &err)) {
+    std::fprintf(stderr, "connect: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("connected to %s as slot %u (%zu events to stream)\n",
+              segment.c_str(), prod.slot_index(), ev.size());
+  std::fflush(stdout);
+  if (!prod.wait_go(60000)) {
+    std::fprintf(stderr, "connect: service never opened the gate\n");
+    return 1;
+  }
+  if (!prod.push_n(ev.data(), ev.size())) {
+    std::fprintf(stderr, "connect: service shut down mid-stream\n");
+    return 1;
+  }
+  prod.finish();
+  const auto& ctl = prod.segment().layout().slots[prod.slot_index()];
+  std::printf("streamed %" PRIu64 " events (ring hwm %" PRIu64
+              ", %" PRIu64 " full-ring stalls)\n",
+              ctl.pushed.load(std::memory_order_relaxed),
+              ctl.push_hwm.load(std::memory_order_relaxed),
+              ctl.full_stalls.load(std::memory_order_relaxed));
+  return 0;
+}
+
+int cmd_svc_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  service::ShmSegment seg;
+  std::string err;
+  if (!seg.attach(argv[2], 2000, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  const auto& h = seg.layout().header;
+  std::printf("%s: gate %s, shutdown %u, %u drainer(s)\n", argv[2],
+              h.go.load(std::memory_order_relaxed) != 0 ? "open" : "closed",
+              h.shutdown.load(std::memory_order_relaxed),
+              h.num_drainers.load(std::memory_order_relaxed));
+  std::printf("events drained: %" PRIu64 ", unique races: %" PRIu64 "\n",
+              h.events_total.load(std::memory_order_relaxed),
+              h.races_unique.load(std::memory_order_relaxed));
+  std::printf("shadow bytes: %" PRIu64 " current, %" PRIu64 " peak; "
+              "clock GC: %" PRIu64 " runs, %" PRIu64 " bytes shed\n",
+              h.shadow_bytes.load(std::memory_order_relaxed),
+              h.shadow_peak.load(std::memory_order_relaxed),
+              h.gc_runs.load(std::memory_order_relaxed),
+              h.gc_shed_bytes.load(std::memory_order_relaxed));
+  for (std::uint32_t s = 0; s < h.max_producers; ++s) {
+    const auto& slot = seg.layout().slots[s];
+    const auto state = slot.state.load(std::memory_order_relaxed);
+    if (state == static_cast<std::uint32_t>(service::SlotState::kFree))
+      continue;
+    std::printf("  slot %u (pid %u, state %u, '%s'): %" PRIu64 " pushed, "
+                "%" PRIu64 " drained, %" PRIu64 " filtered\n",
+                s, slot.pid, state, slot.spec,
+                slot.pushed.load(std::memory_order_relaxed),
+                slot.drained.load(std::memory_order_relaxed),
+                slot.filtered.load(std::memory_order_relaxed));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -660,5 +759,7 @@ int main(int argc, char** argv) {
   if (cmd == "diff") return cmd_diff(argc, argv);
   if (cmd == "verify") return cmd_verify(argc, argv);
   if (cmd == "fuzz") return cmd_fuzz(argc, argv);
+  if (cmd == "connect") return cmd_connect(argc, argv);
+  if (cmd == "svc-stats") return cmd_svc_stats(argc, argv);
   return usage();
 }

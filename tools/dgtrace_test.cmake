@@ -192,7 +192,8 @@ if(DEFINED MICRO_RUNTIME)
   file(READ ${bench_json} bench_out)
   foreach(want "two_tier_events_per_sec" "serialized_events_per_sec"
           "sharded_events_per_sec" "speedup_at_8_threads"
-          "sharded_speedup_at_8_threads" "\"race_report_parity\": true")
+          "sharded_speedup_at_8_threads" "\"race_report_parity\": true"
+          "bitmap_dispatch" "bitmap_probes_per_sec")
     string(FIND "${bench_out}" "${want}" pos)
     if(pos EQUAL -1)
       message(FATAL_ERROR "BENCH_runtime.json lacks '${want}':\n${bench_out}")
@@ -209,4 +210,67 @@ if(DEFINED MICRO_RUNTIME)
   endforeach()
   file(REMOVE ${bench_json})
   file(REMOVE ${shard_json})
+endif()
+
+# Smoke the detection-as-a-service bench (DESIGN.md §5.5): real forked
+# producer processes stream into the shared-memory segment; the binary
+# itself asserts race-report parity against per-producer in-process replay
+# and that the clock GC bounds shadow memory, and exits nonzero otherwise.
+if(DEFINED MICRO_SERVICE)
+  set(service_json ${WORKDIR}/BENCH_service.json)
+  run_expect(${MICRO_SERVICE} --smoke --segment ${WORKDIR}/micro_service_ci.dgs
+    --out ${service_json} EXPECT
+    "multi-process ingestion vs in-process kSharded"
+    "parity: expected" "-> OK"
+    "clock GC" "-> bounded")
+  file(READ ${service_json} service_out)
+  foreach(want "service_events_per_sec" "inprocess_sharded_events_per_sec"
+          "\"race_report_parity\": true" "\"gc_runs\"" "\"gc_shed_bytes\""
+          "\"gc_bounded\": true")
+    string(FIND "${service_out}" "${want}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "BENCH_service.json lacks '${want}':\n${service_out}")
+    endif()
+  endforeach()
+  file(REMOVE ${service_json})
+endif()
+
+# Daemon round trip: dgtraced plus two `dgtrace connect` producer
+# processes over one segment. --parity makes the daemon rebuild each
+# producer's stream from its recorded slot spec, replay it in-process and
+# compare race reports — a mismatch or unclean shutdown fails the daemon.
+if(DEFINED DGTRACED AND UNIX)
+  set(seg ${WORKDIR}/dgtraced_ci.dgs)
+  set(daemon_log ${WORKDIR}/dgtraced_ci.log)
+  file(REMOVE ${seg})
+  file(WRITE ${WORKDIR}/dgtraced_smoke.sh
+"set -e
+'${DGTRACED}' '${seg}' --producers 2 --timeout 30000 --parity > '${daemon_log}' 2>&1 &
+dpid=$!
+'${DGTRACE}' connect '${seg}' hmmsearch 3 1 7 &
+c1=$!
+'${DGTRACE}' connect '${seg}' pbzip2 3 1 9 &
+c2=$!
+wait $c1
+wait $c2
+wait $dpid
+")
+  execute_process(COMMAND bash ${WORKDIR}/dgtraced_smoke.sh
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(EXISTS ${daemon_log})
+    file(READ ${daemon_log} daemon_out)
+  else()
+    set(daemon_out "")
+  endif()
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "dgtraced round trip failed (${rc}):\n${out}\n${err}\n${daemon_out}")
+  endif()
+  foreach(want "drained" "producer(s)" "parity: OK")
+    string(FIND "${daemon_out}" "${want}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "dgtraced output lacks '${want}':\n${daemon_out}")
+    endif()
+  endforeach()
+  file(REMOVE ${seg} ${daemon_log} ${WORKDIR}/dgtraced_smoke.sh)
 endif()

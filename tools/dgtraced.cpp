@@ -1,0 +1,262 @@
+// dgtraced — the resident detection daemon (DESIGN.md §5.5).
+//
+//   dgtraced <segment> [options]
+//
+// Creates a shared-memory ingestion segment, waits for N producers
+// (dgtrace connect), opens the streaming gate, drains every stream into
+// one detector through the analysis service, and prints the combined race
+// summary, per-producer telemetry, the online report store's view, and
+// the clock-GC / governor ledgers on exit.
+//
+// Options:
+//   --producers N   producers to wait for before opening the gate (1)
+//   --drainers N    drainer threads (2)
+//   --detector D    detector config, as in dgtrace replay (dynamic)
+//   --gc-every N    epoch-GC pass every N ingested events (0 = off)
+//   --gc-cold K     GC clocks untouched for K generations (2)
+//   --budget B      detector memory budget in bytes for the governor (0)
+//   --no-filter     disable the consumer-side same-epoch filter
+//   --timeout MS    producer wait / drain deadline (30000)
+//   --store CAP     online report store ring capacity (1024)
+//   --parity        after draining, rebuild every producer's stream from
+//                   its published spec, replay in-process under the same
+//                   detector config, and assert the race sets match
+//                   (exit 1 on mismatch). Meaningless with --gc-every:
+//                   clock compaction can change dyngran sharing decisions,
+//                   so parity runs should leave GC off.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "report/report_store.hpp"
+#include "rt/trace.hpp"
+#include "service/analysis_service.hpp"
+#include "service/shm_segment.hpp"
+#include "trace_spec.hpp"
+
+namespace {
+
+using namespace dg;
+
+int usage() {
+  std::puts(
+      "usage: dgtraced <segment> [--producers N] [--drainers N]\n"
+      "                [--detector D] [--gc-every N] [--gc-cold K]\n"
+      "                [--budget BYTES] [--no-filter] [--timeout MS]\n"
+      "                [--store CAP] [--parity]");
+  return 2;
+}
+
+void print_producers(const service::ShmSegment& seg) {
+  const auto& lay = seg.layout();
+  std::puts("producers:");
+  std::printf("  %-4s %-8s %-28s %10s %6s %7s %10s %9s %9s\n", "slot", "pid",
+              "spec", "pushed", "hwm", "stalls", "drained", "filtered",
+              "avg-us");
+  for (std::uint32_t s = 0; s < lay.header.max_producers; ++s) {
+    const auto& slot = lay.slots[s];
+    if (slot.state.load(std::memory_order_relaxed) ==
+        static_cast<std::uint32_t>(service::SlotState::kFree))
+      continue;
+    const std::uint64_t drains = slot.drains.load(std::memory_order_relaxed);
+    const std::uint64_t drain_ns =
+        slot.drain_ns.load(std::memory_order_relaxed);
+    std::printf("  %-4u %-8u %-28.28s %10" PRIu64 " %6" PRIu64 " %7" PRIu64
+                " %10" PRIu64 " %9" PRIu64 " %9.1f\n",
+                s, slot.pid, slot.spec,
+                slot.pushed.load(std::memory_order_relaxed),
+                slot.push_hwm.load(std::memory_order_relaxed),
+                slot.full_stalls.load(std::memory_order_relaxed),
+                slot.drained.load(std::memory_order_relaxed),
+                slot.filtered.load(std::memory_order_relaxed),
+                drains == 0 ? 0.0
+                            : static_cast<double>(drain_ns) / 1e3 /
+                                  static_cast<double>(drains));
+  }
+}
+
+/// Rebuild each drained producer's stream from its spec and replay it
+/// in-process under a fresh detector of the same config; the service's
+/// race set must equal the union of the per-slot sets (namespaced).
+/// Returns true on parity.
+bool check_parity(service::AnalysisService& svc, const std::string& detector) {
+  const auto& lay = svc.segment().layout();
+  std::set<Addr> expected;
+  std::uint64_t expected_unique = 0;
+  for (std::uint32_t s = 0; s < lay.header.max_producers; ++s) {
+    const auto& slot = lay.slots[s];
+    if (slot.state.load(std::memory_order_relaxed) ==
+        static_cast<std::uint32_t>(service::SlotState::kFree))
+      continue;
+    std::vector<rt::TraceEvent> ev;
+    std::string err;
+    if (!dgtool::spec_to_events(slot.spec, ev, &err)) {
+      std::fprintf(stderr, "parity: slot %u spec unusable: %s\n", s,
+                   err.c_str());
+      return false;
+    }
+    auto det = bench::detector_factory(detector)();
+    rt::replay_trace(ev, *det);
+    expected_unique += det->sink().unique_races();
+    for (const auto& r : det->sink().reports())
+      expected.insert(service::AnalysisService::namespaced(s, r.addr));
+  }
+  const ReportSink& sink = svc.detector().sink();
+  const std::uint64_t actual_unique = sink.unique_races();
+  std::set<Addr> actual;
+  for (const auto& r : sink.reports()) actual.insert(r.addr);
+  std::printf("parity: expected %" PRIu64 " unique race locations, service "
+              "found %" PRIu64 "\n",
+              expected_unique, actual_unique);
+  if (expected_unique != actual_unique) return false;
+  // Sets are exact only while nothing fell out of the kept windows.
+  if (expected.size() == expected_unique && actual.size() == actual_unique &&
+      expected != actual) {
+    for (const Addr a : expected)
+      if (actual.count(a) == 0)
+        std::printf("parity: missing race at 0x%llx\n",
+                    static_cast<unsigned long long>(a));
+    for (const Addr a : actual)
+      if (expected.count(a) == 0)
+        std::printf("parity: unexpected race at 0x%llx\n",
+                    static_cast<unsigned long long>(a));
+    return false;
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string path = argv[1];
+  std::uint32_t producers = 1;
+  std::uint32_t timeout_ms = 30000;
+  std::string detector = "dynamic";
+  std::size_t store_cap = 1024;
+  bool parity = false;
+  service::ServiceOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--producers") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      producers = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--drainers") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opts.drainers = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--detector") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      detector = v;
+    } else if (std::strcmp(argv[i], "--gc-every") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opts.gc_every_events = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--gc-cold") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opts.gc_cold_generations = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opts.mem_budget_bytes =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-filter") == 0) {
+      opts.filter_same_epoch = false;
+    } else if (std::strcmp(argv[i], "--timeout") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      timeout_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      store_cap = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--parity") == 0) {
+      parity = true;
+    } else {
+      return usage();
+    }
+  }
+  if (parity && opts.gc_every_events != 0)
+    std::fprintf(stderr, "dgtraced: warning: --parity with --gc-every can "
+                         "diverge (GC changes sharing decisions)\n");
+
+  auto det = bench::detector_factory(detector)();
+  ReportStore store(store_cap);
+  store.attach(det->sink());
+
+  service::AnalysisService svc(*det, opts);
+  std::string err;
+  if (!svc.start(path, &err)) {
+    std::fprintf(stderr, "dgtraced: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("dgtraced: segment %s, detector %s, waiting for %u "
+              "producer(s)...\n",
+              path.c_str(), det->name(), producers);
+  std::fflush(stdout);
+  if (!svc.wait_producers(producers, timeout_ms)) {
+    std::fprintf(stderr, "dgtraced: timed out waiting for producers\n");
+    svc.stop(1000);
+    return 1;
+  }
+  svc.open_gate();
+  svc.stop(timeout_ms);
+
+  const service::ServiceStats st = svc.stats();
+  std::printf("drained %" PRIu64 " events from %" PRIu64 " producer(s), "
+              "%" PRIu64 " threads mapped\n",
+              st.events_total, st.producers_seen, st.threads_mapped);
+  std::printf("  filter: %" PRIu64 " same-epoch drops; combiner: %" PRIu64
+              " turns, %" PRIu64 " batches, %" PRIu64 " piggybacked\n",
+              st.filtered, st.combines, st.combined_batches, st.piggybacked);
+  std::printf("  drains: %" PRIu64 ", %.1f us avg, %.1f us max\n", st.drains,
+              st.drains == 0 ? 0.0
+                             : static_cast<double>(st.drain_ns) / 1e3 /
+                                   static_cast<double>(st.drains),
+              static_cast<double>(st.max_drain_ns) / 1e3);
+  print_producers(svc.segment());
+
+  std::printf("races: %" PRIu64 " unique locations (%" PRIu64
+              " raw reports)\n",
+              det->sink().unique_races(), det->sink().raw_reports());
+  std::size_t shown = 0;
+  for (const auto& r : det->sink().reports()) {
+    if (++shown > 10) {
+      std::puts("  ...");
+      break;
+    }
+    std::printf("  %s\n", r.str().c_str());
+  }
+  std::printf("store: %" PRIu64 " recorded, %" PRIu64 " evicted, %zu "
+              "groups\n",
+              store.total_recorded(), store.evicted(),
+              store.group_counts().size());
+
+  const MemoryAccountant& acct = det->accountant();
+  std::printf("shadow memory: %zu bytes current, %zu peak\n",
+              acct.current_total(), acct.peak_total());
+  if (opts.gc_every_events != 0)
+    std::printf("clock GC: %" PRIu64 " runs, %" PRIu64 " bytes shed "
+                "(cold after %u generations)\n",
+                st.gc_runs, st.gc_shed_bytes, opts.gc_cold_generations);
+
+  if (parity) {
+    const bool ok = check_parity(svc, detector);
+    std::printf("parity: %s\n", ok ? "OK" : "MISMATCH");
+    if (!ok) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(argc, argv);
+}

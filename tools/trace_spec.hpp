@@ -1,0 +1,77 @@
+// Producer spec strings — the self-description a dgtrace connect client
+// publishes in its ProducerSlot (shm_segment.hpp), small enough for the
+// slot's 96-byte field and sufficient for dgtraced --parity to rebuild the
+// exact event stream in-process:
+//
+//   wl:<name>,<threads>,<scale>,<seed>   deterministic sim-recorded workload
+//   trace:<path>                         a saved trace file (path as given,
+//                                        so daemon and client must agree on
+//                                        the working directory)
+//
+// Shared by dgtrace.cpp (encode + stream) and dgtraced.cpp (decode +
+// replay); header-only to keep the tools self-contained.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rt/trace.hpp"
+#include "sim/sim.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dgtool {
+
+inline std::string make_workload_spec(const std::string& name,
+                                      std::uint32_t threads,
+                                      std::uint32_t scale,
+                                      std::uint64_t seed) {
+  return "wl:" + name + "," + std::to_string(threads) + "," +
+         std::to_string(scale) + "," + std::to_string(seed);
+}
+
+inline std::string make_trace_spec(const std::string& path) {
+  return "trace:" + path;
+}
+
+/// Materialize the event stream a spec describes. Workload specs re-record
+/// through the deterministic sim scheduler, so every decode of the same
+/// spec yields the same events.
+inline bool spec_to_events(const std::string& spec,
+                           std::vector<dg::rt::TraceEvent>& out,
+                           std::string* err = nullptr) {
+  const auto fail = [&](const std::string& m) {
+    if (err != nullptr) *err = m;
+    return false;
+  };
+  if (spec.rfind("trace:", 0) == 0) {
+    std::string load_err;
+    if (!dg::rt::load_trace(spec.substr(6), out, &load_err))
+      return fail(load_err);
+    return true;
+  }
+  if (spec.rfind("wl:", 0) != 0) return fail("bad spec '" + spec + "'");
+  const std::string body = spec.substr(3);
+  const std::size_t c1 = body.find(',');
+  const std::size_t c2 = c1 == std::string::npos ? c1 : body.find(',', c1 + 1);
+  const std::size_t c3 = c2 == std::string::npos ? c2 : body.find(',', c2 + 1);
+  if (c3 == std::string::npos) return fail("bad workload spec '" + spec + "'");
+  dg::wl::WlParams p;
+  const std::string name = body.substr(0, c1);
+  p.threads = static_cast<std::uint32_t>(
+      std::strtoul(body.substr(c1 + 1, c2 - c1 - 1).c_str(), nullptr, 10));
+  p.scale = static_cast<std::uint32_t>(
+      std::strtoul(body.substr(c2 + 1, c3 - c2 - 1).c_str(), nullptr, 10));
+  const std::uint64_t seed =
+      std::strtoull(body.substr(c3 + 1).c_str(), nullptr, 10);
+  auto prog = dg::wl::make_workload(name, p);
+  if (prog == nullptr) return fail("unknown workload '" + name + "'");
+  dg::rt::TraceRecorder rec;
+  dg::sim::SimScheduler sched(*prog, rec, seed);
+  sched.run();
+  out = rec.events();
+  return true;
+}
+
+}  // namespace dgtool
