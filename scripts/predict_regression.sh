@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Predictive-tier regression gate (docs/PREDICT.md): record the hidden_*
+# ground-truth family at a pinned seed, run `dgtrace predict --json` with a
+# pinned schedule budget over each, and diff the concatenated reports
+# against the checked-in baseline. On top of the textual diff the script
+# hard-asserts the ground truth (racy variants realize at least one
+# candidate, race-free variants realize none) and finishes with a fuzz
+# sweep running the realizability contract on 100 random programs:
+#
+#   scripts/predict_regression.sh update    # regenerate the baseline
+#   scripts/predict_regression.sh           # check against it (CI mode)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+DGTRACE="$BUILD/tools/dgtrace"
+BASELINE=tests/baselines/predict_baseline.json
+FUZZ_SEEDS=${FUZZ_SEEDS:-100}
+
+if [[ ! -x "$DGTRACE" ]]; then
+  echo "error: $DGTRACE not built (cmake --build $BUILD --target dgtrace)" >&2
+  exit 1
+fi
+
+WORKLOADS=(
+  hidden_lock hidden_lock_racy
+  hidden_forkjoin hidden_forkjoin_racy
+  hidden_condvar hidden_condvar_racy
+)
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+report="$tmpdir/predict_report.json"
+
+for w in "${WORKLOADS[@]}"; do
+  trace="$tmpdir/$w.trace"
+  "$DGTRACE" record "$w" "$trace" 3 1 7 >/dev/null
+  echo "=== $w"
+  # --parity reruns the analysis and byte-compares before printing, so a
+  # baseline match also certifies determinism. Strip the temp path so the
+  # report is machine-independent.
+  "$DGTRACE" predict "$trace" --json --parity --schedules 24 --seed 1 \
+    | grep -v '"file":'
+
+  # Ground-truth hard assertions, independent of the baseline file.
+  realized=$("$DGTRACE" predict "$trace" --schedules 24 --seed 1 \
+    | sed -n 's/^realized \([0-9]*\),.*/\1/p')
+  case "$w" in
+    *_racy)
+      if [[ "$realized" -eq 0 ]]; then
+        echo "error: $w: hidden race not realized" >&2
+        exit 1
+      fi ;;
+    *)
+      if [[ "$realized" -ne 0 ]]; then
+        echo "error: $w: $realized realized candidates on a race-free variant" >&2
+        exit 1
+      fi ;;
+  esac
+done > "$report"
+
+if [[ "${1:-}" == "update" ]]; then
+  mkdir -p "$(dirname "$BASELINE")"
+  cp "$report" "$BASELINE"
+  echo "baseline updated: $BASELINE ($(wc -l < "$BASELINE") lines)"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "error: no baseline at $BASELINE (run '$0 update' and commit it)" >&2
+  exit 1
+fi
+
+if ! diff -u "$BASELINE" "$report"; then
+  echo >&2
+  echo "error: predictive reports drifted from $BASELINE." >&2
+  echo "If the change is intentional, run 'scripts/predict_regression.sh" \
+       "update' and commit the new baseline with an explanation." >&2
+  exit 1
+fi
+echo "predict regression: ${#WORKLOADS[@]} workloads match the baseline"
+
+# Realizability contract over random programs: the predict-extended matrix
+# must report zero divergences (superset-of-HB + witness precision).
+"$DGTRACE" fuzz --predict --seeds "$FUZZ_SEEDS" --schedules 6 \
+  --out "$tmpdir" | tail -1

@@ -26,7 +26,7 @@ for b in table1_overall table2_memory table3_vcs table4_same_epoch \
 done
 
 echo "== studies"
-for b in ablation_extensions sampling_study scaling_study; do
+for b in ablation_extensions sampling_study scaling_study predict_study; do
   echo "  -> $b"
   "$BUILD/bench/$b" $ARGS > "$OUT/$b.txt" 2>/dev/null
 done

@@ -1,0 +1,676 @@
+#include "predict/predict.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/script_program.hpp"
+#include "vc/vector_clock.hpp"
+#include "verify/hb_oracle.hpp"
+#include "verify/schedule_explorer.hpp"
+#include "verify/shrink.hpp"
+
+namespace dg::predict {
+
+namespace {
+
+constexpr std::size_t kNoCs = static_cast<std::size_t>(-1);
+/// Lift guard: a trace claiming more logical threads than this is not a
+/// simulator product and is rejected rather than materialized.
+constexpr ThreadId kMaxLiftThreads = 4096;
+
+std::string hex(Addr a) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, a);
+  return buf;
+}
+
+/// The thread that executed a trace event: kThreadStart is executed by the
+/// parent (the forking thread); the root start and kFinish come from the
+/// scheduler itself, not from any lifted op.
+ThreadId executor_of(const rt::TraceEvent& ev) {
+  if (ev.kind == rt::EventKind::kFinish) return kInvalidThread;
+  if (ev.kind == rt::EventKind::kThreadStart)
+    return static_cast<ThreadId>(ev.aux);
+  return ev.tid;
+}
+
+/// Byte footprint of one mutex critical section.
+struct CsFootprint {
+  std::set<Addr> reads;
+  std::set<Addr> writes;
+};
+
+bool sets_intersect(const std::set<Addr>& a, const std::set<Addr>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib)
+      ++ia;
+    else if (*ib < *ia)
+      ++ib;
+    else
+      return true;
+  }
+  return false;
+}
+
+/// Two critical sections conflict iff their footprints overlap with at
+/// least one write on the overlap — the SHB edge-keeping condition.
+bool cs_conflict(const CsFootprint& a, const CsFootprint& b) {
+  return sets_intersect(a.writes, b.writes) ||
+         sets_intersect(a.writes, b.reads) ||
+         sets_intersect(a.reads, b.writes);
+}
+
+/// Critical-section structure of a trace: one CsFootprint per lock-like
+/// critical section, and per acquire/release event the section it opens or
+/// closes (kNoCs for non-lock-like sync events).
+struct CsIndex {
+  std::set<SyncId> lock_like;
+  std::vector<CsFootprint> cs;
+  std::vector<std::size_t> cs_of;  // parallel to the trace
+};
+
+CsIndex build_cs_index(const std::vector<rt::TraceEvent>& events) {
+  CsIndex idx;
+  idx.lock_like = lock_like_syncs(events);
+  idx.cs_of.assign(events.size(), kNoCs);
+  // (tid, sync) -> open section. A thread can hold several locks at once;
+  // an access inside nested sections belongs to every enclosing one.
+  std::map<std::pair<ThreadId, SyncId>, std::size_t> open;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const rt::TraceEvent& ev = events[i];
+    switch (ev.kind) {
+      case rt::EventKind::kAcquire:
+        if (idx.lock_like.count(ev.addr) != 0) {
+          idx.cs_of[i] = idx.cs.size();
+          open[{ev.tid, ev.addr}] = idx.cs.size();
+          idx.cs.emplace_back();
+        }
+        break;
+      case rt::EventKind::kRelease:
+        if (idx.lock_like.count(ev.addr) != 0) {
+          auto it = open.find({ev.tid, ev.addr});
+          if (it != open.end()) {
+            idx.cs_of[i] = it->second;
+            open.erase(it);
+          }
+        }
+        break;
+      case rt::EventKind::kRead:
+      case rt::EventKind::kWrite:
+        for (auto& [key, cs_id] : open) {
+          if (key.first != ev.tid) continue;
+          auto& fp = idx.cs[cs_id];
+          auto& side =
+              ev.kind == rt::EventKind::kWrite ? fp.writes : fp.reads;
+          for (Addr a = ev.addr; a < ev.addr + std::max<std::uint16_t>(
+                                                  ev.size, 1);
+               ++a)
+            side.insert(a);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return idx;
+}
+
+/// The weakened happens-before substrate. Own-clock components evolve
+/// exactly as in HbEngine (every release opens a new epoch), so the weak
+/// order is pointwise ⊑ HB and the candidate set is a superset of the HB
+/// races by construction.
+class WeakEngine {
+ public:
+  explicit WeakEngine(const CsIndex& cs) : cs_(&cs) {}
+
+  void on_thread_start(ThreadId t, ThreadId parent) {
+    ensure(t);
+    if (parent != kInvalidThread && parent < clock_.size()) {
+      clock_[t].join(clock_[parent]);
+      new_epoch(parent);
+    }
+    clock_[t].set(t, 1);
+  }
+  void on_thread_join(ThreadId joiner, ThreadId joined) {
+    ensure(std::max(joiner, joined));
+    clock_[joiner].join(clock_[joined]);
+  }
+  void on_acquire(ThreadId t, SyncId s, std::size_t event_idx) {
+    ensure(t);
+    if (cs_->lock_like.count(s) != 0) {
+      // Join only the prior releases of this lock whose critical section
+      // conflicts with the one this acquire opens.
+      const std::size_t my_cs = cs_->cs_of[event_idx];
+      if (my_cs == kNoCs) return;
+      for (const auto& rel : lock_rel_[s])
+        if (cs_conflict(cs_->cs[rel.second], cs_->cs[my_cs]))
+          clock_[t].join(rel.first);
+    } else {
+      clock_[t].join(plain_sync_[s]);
+    }
+  }
+  void on_release(ThreadId t, SyncId s, std::size_t event_idx) {
+    ensure(t);
+    if (cs_->lock_like.count(s) != 0) {
+      const std::size_t my_cs = cs_->cs_of[event_idx];
+      if (my_cs != kNoCs) lock_rel_[s].emplace_back(clock_[t], my_cs);
+    } else {
+      plain_sync_[s].join(clock_[t]);
+    }
+    new_epoch(t);
+  }
+
+  const VectorClock& clock(ThreadId t) {
+    ensure(t);
+    return clock_[t];
+  }
+
+ private:
+  void ensure(ThreadId t) {
+    if (t >= clock_.size()) clock_.resize(t + 1);
+  }
+  void new_epoch(ThreadId t) { clock_[t].set(t, clock_[t].get(t) + 1); }
+
+  const CsIndex* cs_;
+  std::vector<VectorClock> clock_;
+  std::unordered_map<SyncId, VectorClock> plain_sync_;
+  // Per lock: (thread clock at release, critical section) of every release
+  // so far, in trace order.
+  std::unordered_map<SyncId,
+                     std::vector<std::pair<VectorClock, std::size_t>>>
+      lock_rel_;
+};
+
+/// Weak-order race scan (the HbOracle access protocol over weak clocks,
+/// byte units), producing the first candidate pair per unit. `events` must
+/// already be sanitized.
+std::vector<PredictCandidate> scan_candidates(
+    const std::vector<rt::TraceEvent>& events) {
+  const CsIndex cs = build_cs_index(events);
+  WeakEngine weak(cs);
+
+  struct UnitState {
+    VectorClock last_write;  // component j = j's own clock at last write
+    VectorClock last_read;
+    std::unordered_map<ThreadId, std::size_t> write_idx;
+    std::unordered_map<ThreadId, std::size_t> read_idx;
+  };
+  std::unordered_map<Addr, UnitState> units;
+  std::map<Addr, PredictCandidate> found;
+
+  auto access = [&](std::size_t i, ThreadId t, Addr addr, std::uint32_t size,
+                    AccessType type) {
+    const VectorClock& now = weak.clock(t);
+    for (Addr a = addr; a < addr + std::max<std::uint32_t>(size, 1); ++a) {
+      UnitState& u = units[a];
+      if (found.count(a) == 0) {
+        // Racing prior access: some other thread's last write (or, for a
+        // write, last read) is not ordered before this access.
+        ThreadId prev = kInvalidThread;
+        AccessType prev_type = AccessType::kWrite;
+        for (std::size_t j = 0; j < u.last_write.size(); ++j) {
+          const auto jt = static_cast<ThreadId>(j);
+          if (jt != t && u.last_write.get(jt) > now.get(jt)) {
+            prev = jt;
+            break;
+          }
+        }
+        if (prev == kInvalidThread && type == AccessType::kWrite) {
+          for (std::size_t j = 0; j < u.last_read.size(); ++j) {
+            const auto jt = static_cast<ThreadId>(j);
+            if (jt != t && u.last_read.get(jt) > now.get(jt)) {
+              prev = jt;
+              prev_type = AccessType::kRead;
+              break;
+            }
+          }
+        }
+        if (prev != kInvalidThread) {
+          PredictCandidate c;
+          c.unit = a;
+          c.first_idx = prev_type == AccessType::kWrite ? u.write_idx[prev]
+                                                        : u.read_idx[prev];
+          c.second_idx = i;
+          c.first_tid = prev;
+          c.second_tid = t;
+          c.first_type = prev_type;
+          c.second_type = type;
+          found.emplace(a, std::move(c));
+        }
+      }
+      if (type == AccessType::kWrite) {
+        u.last_write.set(t, now.get(t));
+        u.write_idx[t] = i;
+      } else {
+        u.last_read.set(t, now.get(t));
+        u.read_idx[t] = i;
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const rt::TraceEvent& ev = events[i];
+    switch (ev.kind) {
+      case rt::EventKind::kThreadStart:
+        weak.on_thread_start(ev.tid, static_cast<ThreadId>(ev.aux));
+        break;
+      case rt::EventKind::kThreadJoin:
+        weak.on_thread_join(ev.tid, static_cast<ThreadId>(ev.aux));
+        break;
+      case rt::EventKind::kAcquire:
+        weak.on_acquire(ev.tid, ev.addr, i);
+        break;
+      case rt::EventKind::kRelease:
+        weak.on_release(ev.tid, ev.addr, i);
+        break;
+      case rt::EventKind::kRead:
+        access(i, ev.tid, ev.addr, ev.size, AccessType::kRead);
+        break;
+      case rt::EventKind::kWrite:
+        access(i, ev.tid, ev.addr, ev.size, AccessType::kWrite);
+        break;
+      case rt::EventKind::kFree:
+        // Shadow teardown, as in the oracle: racy verdicts persist, unit
+        // history in the freed range does not.
+        for (auto it = units.begin(); it != units.end();) {
+          if (it->first >= ev.addr && it->first < ev.addr + ev.aux)
+            it = units.erase(it);
+          else
+            ++it;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<PredictCandidate> out;
+  out.reserve(found.size());
+  for (auto& [unit, c] : found) out.push_back(std::move(c));
+  return out;
+}
+
+/// Executor ordinal of every event: event i is the ord_of[i]-th event
+/// executed by executor_of(events[i]).
+std::vector<std::size_t> executor_ordinals(
+    const std::vector<rt::TraceEvent>& events) {
+  std::vector<std::size_t> ord(events.size(), 0);
+  std::unordered_map<ThreadId, std::size_t> count;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ThreadId ex = executor_of(events[i]);
+    if (ex == kInvalidThread) continue;
+    ord[i] = count[ex]++;
+  }
+  return ord;
+}
+
+bool unit_racy_in(const std::vector<rt::TraceEvent>& trace, Addr unit) {
+  verify::HbOracle oracle(verify::HbOracle::Unit::kByte);
+  rt::replay_trace(trace, oracle);
+  return oracle.is_racy(unit);
+}
+
+}  // namespace
+
+const char* to_string(CandidateStatus s) {
+  switch (s) {
+    case CandidateStatus::kRealized: return "realized";
+    case CandidateStatus::kWitnessOnly: return "witness-only";
+    case CandidateStatus::kRefuted: return "refuted";
+  }
+  return "?";
+}
+
+const char* to_string(WitnessKind k) {
+  switch (k) {
+    case WitnessKind::kNone: return "none";
+    case WitnessKind::kRecorded: return "recorded";
+    case WitnessKind::kTargeted: return "targeted";
+    case WitnessKind::kExplored: return "explored";
+  }
+  return "?";
+}
+
+CandidateStatus classify(bool realized, bool exhaustive) {
+  if (realized) return CandidateStatus::kRealized;
+  return exhaustive ? CandidateStatus::kRefuted
+                    : CandidateStatus::kWitnessOnly;
+}
+
+std::set<SyncId> lock_like_syncs(const std::vector<rt::TraceEvent>& events) {
+  struct State {
+    bool held = false;
+    ThreadId owner = kInvalidThread;
+    bool bad = false;
+  };
+  std::unordered_map<SyncId, State> sync;
+  for (const rt::TraceEvent& ev : events) {
+    if (ev.kind == rt::EventKind::kAcquire) {
+      State& st = sync[ev.addr];
+      if (st.held)
+        st.bad = true;  // re-entry / multi-grant: not a plain mutex
+      st.held = true;
+      st.owner = ev.tid;
+    } else if (ev.kind == rt::EventKind::kRelease) {
+      State& st = sync[ev.addr];
+      if (!st.held || st.owner != ev.tid)
+        st.bad = true;  // release-first (barrier/condvar) or foreign release
+      st.held = false;
+    }
+  }
+  std::set<SyncId> out;
+  for (const auto& [id, st] : sync)
+    if (!st.bad) out.insert(id);
+  return out;
+}
+
+std::vector<PredictCandidate> weak_candidates(
+    const std::vector<rt::TraceEvent>& events) {
+  const std::vector<rt::TraceEvent> clean = verify::sanitize_trace(events);
+  std::vector<PredictCandidate> cands = scan_candidates(clean);
+  verify::HbOracle oracle;
+  rt::replay_trace(clean, oracle);
+  for (PredictCandidate& c : cands)
+    c.hb_racy = oracle.is_racy(c.unit);
+  return cands;
+}
+
+namespace {
+
+bool lift_impl(const std::vector<rt::TraceEvent>& events,
+               std::vector<std::vector<sim::Op>>& ops) {
+  const std::set<SyncId> lock_like = lock_like_syncs(events);
+  std::unordered_map<SyncId, std::uint64_t> releases_seen;
+  std::vector<bool> started;
+  bool have_root = false;
+
+  auto ensure_tid = [&](ThreadId t) -> bool {
+    if (t >= kMaxLiftThreads) return false;
+    if (t >= ops.size()) {
+      ops.resize(t + 1);
+      started.resize(t + 1, false);
+    }
+    return true;
+  };
+
+  for (const rt::TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case rt::EventKind::kThreadStart: {
+        const auto parent = static_cast<ThreadId>(ev.aux);
+        if (!ensure_tid(ev.tid)) return false;
+        if (started[ev.tid]) return false;
+        if (parent == kInvalidThread) {
+          // The scheduler auto-starts exactly one root thread, tid 0.
+          if (ev.tid != 0 || have_root) return false;
+          have_root = true;
+        } else {
+          if (parent >= started.size() || !started[parent]) return false;
+          ops[parent].push_back(sim::Op::fork(ev.tid));
+        }
+        started[ev.tid] = true;
+        break;
+      }
+      case rt::EventKind::kThreadJoin:
+        if (!ensure_tid(ev.tid)) return false;
+        ops[ev.tid].push_back(
+            sim::Op::join(static_cast<ThreadId>(ev.aux)));
+        break;
+      case rt::EventKind::kAcquire:
+        if (!ensure_tid(ev.tid)) return false;
+        if (lock_like.count(ev.addr) != 0)
+          // A real mutex: the explorer is free to reorder whole critical
+          // sections — this is exactly the reordering power the
+          // predictive tier exercises.
+          ops[ev.tid].push_back(sim::Op::acquire(ev.addr));
+        else
+          // Non-lock sync keeps the base trace's release→acquire
+          // ordering conservatively: wait for as many signals as had been
+          // posted before this acquire in the recorded schedule.
+          ops[ev.tid].push_back(
+              sim::Op::await(ev.addr, releases_seen[ev.addr]));
+        break;
+      case rt::EventKind::kRelease:
+        if (!ensure_tid(ev.tid)) return false;
+        ops[ev.tid].push_back(lock_like.count(ev.addr) != 0
+                                  ? sim::Op::release(ev.addr)
+                                  : sim::Op::signal(ev.addr));
+        ++releases_seen[ev.addr];
+        break;
+      case rt::EventKind::kRead:
+        if (!ensure_tid(ev.tid)) return false;
+        ops[ev.tid].push_back(sim::Op::read(ev.addr, ev.size));
+        break;
+      case rt::EventKind::kWrite:
+        if (!ensure_tid(ev.tid)) return false;
+        ops[ev.tid].push_back(sim::Op::write(ev.addr, ev.size));
+        break;
+      case rt::EventKind::kAlloc:
+        if (!ensure_tid(ev.tid)) return false;
+        ops[ev.tid].push_back(sim::Op::alloc(ev.addr, ev.aux));
+        break;
+      case rt::EventKind::kFree:
+        if (!ensure_tid(ev.tid)) return false;
+        ops[ev.tid].push_back(sim::Op::free_(ev.addr, ev.aux));
+        break;
+      case rt::EventKind::kFinish:
+        break;  // emitted by the scheduler, not by any op
+      default:
+        return false;
+    }
+  }
+  return have_root;
+}
+
+}  // namespace
+
+bool lift_trace(const std::vector<rt::TraceEvent>& events,
+                std::vector<std::vector<sim::Op>>& ops) {
+  ops.clear();
+  if (lift_impl(events, ops)) return true;
+  ops.clear();
+  return false;
+}
+
+PredictReport predict_races(const std::vector<rt::TraceEvent>& events,
+                            const PredictOptions& opts,
+                            const std::vector<std::string>* sites) {
+  PredictReport rep;
+  const std::vector<rt::TraceEvent> clean = verify::sanitize_trace(events);
+  const bool sites_usable = sites != nullptr &&
+                            sites->size() == events.size() &&
+                            clean.size() == events.size();
+
+  std::vector<PredictCandidate> cands = scan_candidates(clean);
+
+  verify::HbOracle oracle(verify::HbOracle::Unit::kByte);
+  rt::replay_trace(clean, oracle);
+  rep.hb_racy_units = oracle.racy_units();
+
+  std::vector<PredictCandidate*> pending;
+  for (PredictCandidate& c : cands) {
+    if (sites_usable) {
+      c.first_site = (*sites)[c.first_idx];
+      c.second_site = (*sites)[c.second_idx];
+    }
+    c.hb_racy = rep.hb_racy_units.count(c.unit) != 0;
+    if (c.hb_racy) {
+      // The recorded schedule is its own witness.
+      c.status = CandidateStatus::kRealized;
+      c.witness = WitnessKind::kRecorded;
+    } else {
+      pending.push_back(&c);
+    }
+  }
+
+  std::vector<std::vector<sim::Op>> ops;
+  rep.liftable = lift_trace(clean, ops);
+
+  if (!pending.empty() && rep.liftable) {
+    const verify::ProgramFactory factory = [&ops] {
+      return std::make_unique<sim::ScriptProgram>(ops);
+    };
+
+    if (opts.targeted_replay) {
+      const std::vector<std::size_t> ord = executor_ordinals(clean);
+      for (PredictCandidate* c : pending) {
+        verify::WitnessTarget target;
+        target.hold_tid = c->first_tid;
+        target.hold_ord = ord[c->first_idx];
+        target.wait_tid = c->second_tid;
+        target.wait_ord = ord[c->second_idx];
+        verify::WitnessOutcome wit =
+            verify::replay_witness(factory, clean, target);
+        // A stalled replay still yields a valid prefix schedule; a race
+        // found in it counts.
+        if (unit_racy_in(wit.trace, c->unit)) {
+          c->status = CandidateStatus::kRealized;
+          c->witness = WitnessKind::kTargeted;
+          c->witness_trace = std::move(wit.trace);
+        }
+      }
+      pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                   [](const PredictCandidate* c) {
+                                     return c->status ==
+                                            CandidateStatus::kRealized;
+                                   }),
+                    pending.end());
+    }
+
+    if (!pending.empty() && opts.max_witness_schedules > 0) {
+      verify::ExploreOptions eo;
+      eo.max_schedules = opts.max_witness_schedules;
+      eo.seed = opts.seed;
+      const verify::ExploreResult er = verify::explore_schedules(
+          factory, eo,
+          [&](const std::vector<rt::TraceEvent>& trace, std::size_t index) {
+            verify::HbOracle o(verify::HbOracle::Unit::kByte);
+            rt::replay_trace(trace, o);
+            bool any_left = false;
+            for (PredictCandidate* c : pending) {
+              if (c->status == CandidateStatus::kRealized) continue;
+              if (o.is_racy(c->unit)) {
+                c->status = CandidateStatus::kRealized;
+                c->witness = WitnessKind::kExplored;
+                c->witness_seed = eo.seed;
+                c->witness_schedule = index;
+                c->witness_trace = trace;
+              } else {
+                any_left = true;
+              }
+            }
+            return any_left;  // stop once every candidate has a witness
+          });
+      rep.schedules_explored = er.schedules;
+      rep.exploration_exhaustive = er.exhaustive;
+    }
+
+    for (PredictCandidate* c : pending)
+      if (c->status != CandidateStatus::kRealized)
+        c->status = classify(false, rep.exploration_exhaustive);
+  } else {
+    // Unliftable trace (or nothing pending): no witness machinery ran, so
+    // nothing can be refuted.
+    for (PredictCandidate* c : pending)
+      c->status = classify(false, false);
+  }
+
+  for (const PredictCandidate& c : cands) {
+    switch (c.status) {
+      case CandidateStatus::kRealized: ++rep.realized; break;
+      case CandidateStatus::kWitnessOnly: ++rep.witness_only; break;
+      case CandidateStatus::kRefuted: ++rep.refuted; break;
+    }
+  }
+  rep.candidates = std::move(cands);
+  return rep;
+}
+
+void PredictDetector::ensure_analyzed() {
+  if (analyzed_) return;
+  analyzed_ = true;
+  report_ = predict_races(events_, opts_, &event_sites_);
+  for (const PredictCandidate& c : report_.candidates) {
+    if (c.status != CandidateStatus::kRealized) continue;
+    RaceReport r;
+    r.addr = c.unit;
+    r.size = 1;
+    r.current = c.second_type;
+    r.previous = c.first_type;
+    r.current_tid = c.second_tid;
+    r.previous_tid = c.first_tid;
+    r.current_site = c.second_site;
+    r.previous_site = c.first_site;
+    sink().report(r);
+  }
+}
+
+void PredictDetector::push(rt::TraceEvent e, ThreadId site_of) {
+  events_.push_back(e);
+  event_sites_.push_back(site_of == kInvalidThread
+                             ? std::string()
+                             : std::string(sites_.get(site_of)));
+}
+
+namespace {
+
+std::string predict_check(const std::vector<rt::TraceEvent>& /*events*/,
+                          Detector& det, const std::set<Addr>& oracle_bytes,
+                          const std::set<Addr>& /*oracle_words*/) {
+  auto* pd = dynamic_cast<PredictDetector*>(&det);
+  if (pd == nullptr)
+    return "predict matrix entry did not produce a PredictDetector";
+  pd->ensure_analyzed();  // shrink candidates may have lost their finish
+  const PredictReport& rep = pd->report();
+
+  // Superset-of-HB: every byte the exact oracle flags on the recorded
+  // trace must be a kRealized prediction.
+  for (Addr a : oracle_bytes) {
+    const auto it = std::find_if(
+        rep.candidates.begin(), rep.candidates.end(),
+        [a](const PredictCandidate& c) { return c.unit == a; });
+    if (it == rep.candidates.end())
+      return "HB-racy byte " + hex(a) +
+             " is not a predict candidate (superset-of-HB violated)";
+    if (it->status != CandidateStatus::kRealized)
+      return "HB-racy byte " + hex(a) + " is " + to_string(it->status) +
+             ", expected realized";
+  }
+
+  // Precision: a prediction beyond HB is only kRealized if it carries a
+  // witness schedule on which the exact oracle reproduces the race.
+  for (const PredictCandidate& c : rep.candidates) {
+    if (c.status != CandidateStatus::kRealized || c.hb_racy) continue;
+    if (c.witness == WitnessKind::kNone || c.witness_trace.empty())
+      return "realized candidate " + hex(c.unit) +
+             " beyond HB carries no witness provenance";
+    if (!unit_racy_in(c.witness_trace, c.unit))
+      return "witness schedule for " + hex(c.unit) +
+             " does not expose the race under the exact oracle";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<verify::MatrixEntry> predict_matrix(verify::Fault fault,
+                                                const PredictOptions& opts) {
+  std::vector<verify::MatrixEntry> m = verify::default_matrix(fault);
+  for (verify::DeliveryMode mode :
+       {verify::DeliveryMode::kSerialized, verify::DeliveryMode::kTwoTier}) {
+    verify::MatrixEntry e;
+    e.label = std::string("predict/") + verify::to_string(mode);
+    e.make = [opts] { return std::make_unique<PredictDetector>(opts); };
+    e.mode = mode;
+    e.check = predict_check;
+    m.push_back(std::move(e));
+  }
+  return m;
+}
+
+}  // namespace dg::predict

@@ -1,0 +1,215 @@
+// Predictive detection tier (DESIGN.md §5.6, docs/PREDICT.md) — find races
+// the recorded schedule hid.
+//
+// Every epoch detector in this repo is *schedule-bound*: it reports only
+// the races the observed interleaving happened to expose. This tier
+// analyses a recorded trace under a weakened, SHB-style partial order and
+// then proves each extra candidate by *constructing* a witness reordering:
+//
+//   1. Weak-order pass: identical to happens-before except that the
+//      release→acquire edge of a mutex is kept only when the two critical
+//      sections it connects have conflicting data footprints (overlap
+//      with at least one write). Program order, fork/join, and every
+//      non-lock edge (barriers, condvars, message handoffs) are kept, so
+//      lock *semantics* survive — only the accidental ordering a lock
+//      imposed on unrelated data is dropped. The weak order is pointwise
+//      weaker than HB, so the candidate set is a superset of the HB races
+//      on the same trace by construction.
+//   2. Realizability: each candidate that HB itself missed is validated
+//      by lifting the trace back into a SimProgram and replaying it with
+//      the verify-tier schedule explorer — first a deterministic targeted
+//      reordering (hold the earlier access until the later one has run),
+//      then a bounded schedule exploration. The exact HB oracle re-checks
+//      the candidate on every witness trace, so a kRealized verdict is
+//      backed by a concrete schedule on which an exact detector reports
+//      the race.
+//
+// Statuses: kRealized (witness found), kRefuted (the explorer enumerated
+// the full schedule space and no schedule exposes the pair), kWitnessOnly
+// (budget exhausted before a witness or a refutation — never silently
+// dropped).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "rt/trace.hpp"
+#include "sim/op.hpp"
+#include "verify/diff_runner.hpp"
+
+namespace dg::predict {
+
+enum class CandidateStatus : std::uint8_t {
+  kRealized,     // a witness schedule exposes the pair (HB-racy on it)
+  kWitnessOnly,  // weak-order racy, but the witness budget ran out
+  kRefuted,      // exhaustive exploration found no schedule exposing it
+};
+
+enum class WitnessKind : std::uint8_t {
+  kNone,      // no witness (kWitnessOnly / kRefuted)
+  kRecorded,  // the recorded schedule itself is HB-racy on the unit
+  kTargeted,  // deterministic hold-until reordering (replay_witness)
+  kExplored,  // found by the bounded schedule exploration
+};
+
+const char* to_string(CandidateStatus s);
+const char* to_string(WitnessKind k);
+
+struct PredictCandidate {
+  Addr unit = 0;  // racing byte
+  // The discovering pair, as indices into the (sanitized) base trace.
+  std::size_t first_idx = 0;
+  std::size_t second_idx = 0;
+  ThreadId first_tid = kInvalidThread;
+  ThreadId second_tid = kInvalidThread;
+  AccessType first_type = AccessType::kWrite;
+  AccessType second_type = AccessType::kWrite;
+  std::string first_site;
+  std::string second_site;
+  bool hb_racy = false;  // HB itself flags the unit on the recorded trace
+  CandidateStatus status = CandidateStatus::kWitnessOnly;
+  // Witness provenance — everything needed to reproduce the verdict.
+  WitnessKind witness = WitnessKind::kNone;
+  std::uint64_t witness_seed = 0;      // explorer seed (kExplored)
+  std::size_t witness_schedule = 0;    // schedule index (kExplored)
+  // The witness event trace for reordering witnesses (kTargeted /
+  // kExplored); empty for kRecorded, whose witness is the input trace.
+  std::vector<rt::TraceEvent> witness_trace;
+};
+
+struct PredictOptions {
+  /// Schedule budget for the shared exploration phase (per trace, not per
+  /// candidate). 0 disables exploration: unwitnessed candidates stay
+  /// kWitnessOnly.
+  std::size_t max_witness_schedules = 24;
+  std::uint64_t seed = 1;
+  /// Try the deterministic hold-until reordering per candidate before
+  /// spending the shared exploration budget.
+  bool targeted_replay = true;
+};
+
+struct PredictReport {
+  std::vector<PredictCandidate> candidates;  // sorted by unit
+  std::set<Addr> hb_racy_units;              // exact HB on the base trace
+  std::size_t realized = 0;
+  std::size_t witness_only = 0;
+  std::size_t refuted = 0;
+  std::size_t schedules_explored = 0;  // shared exploration phase
+  bool exploration_exhaustive = false;
+  /// False when the trace could not be lifted back into a program (it
+  /// then carries no witness machinery; weak-only candidates that HB
+  /// missed stay kWitnessOnly).
+  bool liftable = false;
+};
+
+/// Status for a candidate the witness machinery finished with: realized ⇒
+/// kRealized; otherwise an exhaustive exploration refutes, a truncated one
+/// only withholds judgement (ISSUE 9 satellite: budget exhaustion must
+/// surface as kWitnessOnly, never drop the candidate).
+CandidateStatus classify(bool realized, bool exhaustive);
+
+/// Sync ids that behave as mutexes throughout `events`: strictly
+/// alternating acquire/release with matching owners. Barriers, condvars
+/// and message queues (release-first or multi-acquire) do not qualify —
+/// their edges are never dropped by the weak order.
+std::set<SyncId> lock_like_syncs(const std::vector<rt::TraceEvent>& events);
+
+/// Weak-order pass only: the candidate pairs (first per unit), with
+/// hb_racy filled in but no realizability statuses. Exposed for tests.
+std::vector<PredictCandidate> weak_candidates(
+    const std::vector<rt::TraceEvent>& events);
+
+/// Lift a (sanitized) trace back into per-thread op vectors such that
+/// replaying the resulting ScriptProgram in base-trace order reproduces
+/// the base trace. Mutex critical sections become real acquire/release
+/// ops (their order is the freedom the explorer reorders); non-lock sync
+/// conservatively becomes signal/await pairs that preserve the base
+/// trace's release→acquire ordering. Returns false (and clears `ops`)
+/// when the trace cannot be lifted.
+bool lift_trace(const std::vector<rt::TraceEvent>& events,
+                std::vector<std::vector<sim::Op>>& ops);
+
+/// The full predictive analysis. `sites` optionally carries one label per
+/// event of `events` for report attribution (ignored when sanitization
+/// changes the event count).
+PredictReport predict_races(const std::vector<rt::TraceEvent>& events,
+                            const PredictOptions& opts = {},
+                            const std::vector<std::string>* sites = nullptr);
+
+/// Detector adaptor: records the delivered event stream, runs the
+/// predictive analysis at finish, and emits each kRealized candidate to
+/// the standard ReportSink (grouped retention, suppression rules and
+/// ReportStore attachment all apply unchanged).
+class PredictDetector final : public Detector {
+ public:
+  explicit PredictDetector(PredictOptions opts = {}) : opts_(opts) {}
+
+  const char* name() const override { return "predict"; }
+
+  void on_thread_start(ThreadId t, ThreadId parent) override {
+    push({rt::EventKind::kThreadStart, 0, 0, t, 0, parent}, t);
+  }
+  void on_thread_join(ThreadId joiner, ThreadId joined) override {
+    push({rt::EventKind::kThreadJoin, 0, 0, joiner, 0, joined}, joiner);
+  }
+  void on_acquire(ThreadId t, SyncId s) override {
+    push({rt::EventKind::kAcquire, 0, 0, t, s, 0}, t);
+  }
+  void on_release(ThreadId t, SyncId s) override {
+    push({rt::EventKind::kRelease, 0, 0, t, s, 0}, t);
+  }
+  void on_read(ThreadId t, Addr a, std::uint32_t n) override {
+    push({rt::EventKind::kRead, 0, static_cast<std::uint16_t>(n), t, a, 0}, t);
+  }
+  void on_write(ThreadId t, Addr a, std::uint32_t n) override {
+    push({rt::EventKind::kWrite, 0, static_cast<std::uint16_t>(n), t, a, 0},
+         t);
+  }
+  void on_alloc(ThreadId t, Addr a, std::uint64_t n) override {
+    push({rt::EventKind::kAlloc, 0, 0, t, a, n}, t);
+  }
+  void on_free(ThreadId t, Addr a, std::uint64_t n) override {
+    push({rt::EventKind::kFree, 0, 0, t, a, n}, t);
+  }
+  void on_finish() override {
+    push({rt::EventKind::kFinish, 0, 0, 0, 0, 0}, kInvalidThread);
+    ensure_analyzed();
+  }
+  void set_site(ThreadId t, const char* site) override { sites_.set(t, site); }
+
+  /// Run the analysis if it has not run yet (idempotent). The diff_runner
+  /// contract check calls this for shrink candidates that lost their
+  /// finish event.
+  void ensure_analyzed();
+
+  const PredictReport& report() const noexcept { return report_; }
+  const std::vector<rt::TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  void push(rt::TraceEvent e, ThreadId site_of);
+
+  PredictOptions opts_;
+  bool analyzed_ = false;
+  std::vector<rt::TraceEvent> events_;
+  std::vector<std::string> event_sites_;  // site label per event
+  SiteTracker sites_;
+  PredictReport report_;
+};
+
+/// The differential matrix extended with the predictive tier: the default
+/// matrix plus PredictDetector entries (serialized + two-tier) whose
+/// custom check enforces the precision contract — predicted ∧ realized ⇒
+/// the witness trace exists and the exact HB oracle confirms the unit on
+/// it; realized candidates must cover every HB-racy byte of the recorded
+/// trace (superset-of-HB). Predict entries are never fault-wrapped: the
+/// injected-fault demo targets the production detectors.
+std::vector<verify::MatrixEntry> predict_matrix(
+    verify::Fault fault = verify::Fault::kNone,
+    const PredictOptions& opts = {});
+
+}  // namespace dg::predict

@@ -51,6 +51,16 @@ class SimScheduler {
                                 std::uint64_t decision)>;
   void set_choice_hook(ChoiceHook hook) { choice_hook_ = std::move(hook); }
 
+  /// True while thread t carries a wake-up action (lock grant, join
+  /// completion) whose detector event will be emitted at t's next step,
+  /// *before* the op the step itself executes. Witness replay
+  /// (verify/schedule_explorer) needs this to know a single step of t may
+  /// emit two events and account for the deferred one when lining a thread
+  /// up against a target event ordinal.
+  bool has_deferred_wake(ThreadId t) const {
+    return t < threads_.size() && threads_[t].wake != Wake::kNone;
+  }
+
   Result run();
 
  private:

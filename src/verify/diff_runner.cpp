@@ -129,7 +129,7 @@ std::vector<MatrixEntry> default_matrix(Fault fault) {
                  std::initializer_list<DeliveryMode> modes) {
     Factory f = with_fault(std::move(mk), fault);
     for (DeliveryMode mode : modes)
-      m.push_back({name + "/" + to_string(mode), f, c, mode});
+      m.push_back({name + "/" + to_string(mode), f, c, mode, {}});
   };
 
   add("ft-byte",
@@ -216,8 +216,12 @@ DiffResult diff_trace(const std::vector<rt::TraceEvent>& events,
     }
     if (gov != nullptr) det->set_governor(nullptr);
     std::string detail =
-        check_contract(events, entry.contract, det->sink(),
-                       byte_oracle.racy_units(), word_oracle.racy_units());
+        entry.check
+            ? entry.check(events, *det, byte_oracle.racy_units(),
+                          word_oracle.racy_units())
+            : check_contract(events, entry.contract, det->sink(),
+                             byte_oracle.racy_units(),
+                             word_oracle.racy_units());
     if (!detail.empty())
       res.divergences.push_back({entry.label, std::move(detail)});
   }
@@ -246,7 +250,9 @@ AdhocDiff diff_trace_adhoc(const std::vector<rt::TraceEvent>& events) {
 
 FuzzResult fuzz(const FuzzOptions& opts) {
   FuzzResult res;
-  const std::vector<MatrixEntry> matrix = default_matrix(opts.fault);
+  const std::vector<MatrixEntry> matrix = opts.matrix_factory
+                                              ? opts.matrix_factory(opts.fault)
+                                              : default_matrix(opts.fault);
   bool stop = false;
 
   for (std::uint64_t i = 0; i < opts.seeds && !stop; ++i) {

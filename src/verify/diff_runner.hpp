@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,15 @@ struct MatrixEntry {
   std::function<std::unique_ptr<Detector>()> make;
   Contract contract = Contract::kExactByte;
   DeliveryMode mode = DeliveryMode::kSerialized;
+  /// When set, replaces the built-in contract check: called after the
+  /// replay with the trace, the replayed detector, and both oracle unit
+  /// sets; returns "" when the entry's contract holds, else a description
+  /// of the violation. This is how out-of-library tiers (src/predict/)
+  /// join the matrix without verify/ depending on them.
+  std::function<std::string(const std::vector<rt::TraceEvent>& events,
+                            Detector& det, const std::set<Addr>& oracle_bytes,
+                            const std::set<Addr>& oracle_words)>
+      check;
 };
 
 /// The default verification matrix: FastTrack byte/word, DJIT+, segment,
@@ -107,6 +117,9 @@ struct FuzzOptions {
   std::string out_dir;              // where minimized repros are written
   bool stop_after_first = false;    // stop at the first divergence
   std::function<void(const std::string&)> log;  // progress lines (optional)
+  /// When set, builds the verification matrix instead of default_matrix —
+  /// `dgtrace fuzz --predict` injects the predictive-tier entries here.
+  std::function<std::vector<MatrixEntry>(Fault)> matrix_factory;
 };
 
 struct FuzzFinding {

@@ -1,6 +1,7 @@
 #include "verify/schedule_explorer.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 #include "common/prng.hpp"
@@ -137,6 +138,110 @@ ExploreResult explore_schedules(const ProgramFactory& make_program,
     if (!emit(run)) return res;
   }
   return res;
+}
+
+// --- witness replay ------------------------------------------------------
+
+namespace {
+
+/// The thread that *executed* a base-trace event, or kInvalidThread for
+/// scheduler-emitted records (root thread start, kFinish) that no lifted
+/// op produces.
+ThreadId executor_of(const rt::TraceEvent& ev) {
+  if (ev.kind == rt::EventKind::kFinish) return kInvalidThread;
+  if (ev.kind == rt::EventKind::kThreadStart) {
+    const auto parent = static_cast<ThreadId>(ev.aux);
+    return parent;  // kInvalidThread for the root start
+  }
+  return ev.tid;
+}
+
+WitnessOutcome replay_ordered(const ProgramFactory& make_program,
+                              const std::vector<rt::TraceEvent>& base,
+                              const WitnessTarget* target) {
+  WitnessOutcome out;
+  auto prog = make_program();
+  const std::size_t n = prog->num_threads();
+
+  // exec_seq[t] = base positions of the events thread t executed, in
+  // order. Position = index into the *executed* subsequence, so the
+  // preference below reproduces base order exactly when nothing is held.
+  std::vector<std::vector<std::size_t>> exec_seq(n);
+  std::size_t pos = 0;
+  for (const rt::TraceEvent& ev : base) {
+    const ThreadId ex = executor_of(ev);
+    if (ex != kInvalidThread && ex < n) exec_seq[ex].push_back(pos++);
+  }
+
+  rt::TraceRecorder rec;
+  sim::SimScheduler sched(*prog, rec, /*seed=*/1);
+
+  std::vector<std::size_t> executed(n, 0);  // events emitted per executor
+  std::size_t cursor = 0;                   // rec.events() consumed so far
+  bool wait_satisfied = target == nullptr;
+
+  sched.set_choice_hook([&](const std::vector<ThreadId>& runnable,
+                            std::uint64_t) -> std::size_t {
+    // Account for events emitted since the last decision.
+    const auto& evs = rec.events();
+    for (; cursor < evs.size(); ++cursor) {
+      const ThreadId ex = executor_of(evs[cursor]);
+      if (ex != kInvalidThread && ex < n) ++executed[ex];
+    }
+    if (!wait_satisfied && target->wait_tid < n &&
+        executed[target->wait_tid] > target->wait_ord)
+      wait_satisfied = true;
+
+    // Prefer the runnable thread whose next event sits earliest in the
+    // base trace; a held thread is pushed to the back until the wait
+    // target has been emitted. (The hook only fires with two or more
+    // runnable threads, so a hold that starves everything else simply
+    // dissolves: the scheduler runs the sole runnable thread directly.)
+    std::size_t best = 0;
+    std::size_t best_pos = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < runnable.size(); ++i) {
+      const ThreadId t = runnable[i];
+      // A thread with no base events left has only silent steps remaining
+      // (finishing, gate ops); run those FIRST (p = 0) so e.g. a join on a
+      // just-completed thread unblocks exactly as early as it could in the
+      // base run. max() marks the held thread, so anything not held
+      // strictly outranks the hold target.
+      std::size_t p = 0;
+      if (t < n && executed[t] < exec_seq[t].size())
+        p = exec_seq[t][executed[t]];
+      if (!wait_satisfied && t == target->hold_tid) {
+        // One step can emit two events when a wake action (lock grant,
+        // join) was deferred: the deferred event *and* the op's own. Hold
+        // in that case too, or the target access slips through.
+        const bool at_target =
+            executed[t] == target->hold_ord ||
+            (executed[t] + 1 == target->hold_ord &&
+             sched.has_deferred_wake(t));
+        if (at_target) p = std::numeric_limits<std::size_t>::max();
+      }
+      if (p < best_pos) {
+        best_pos = p;
+        best = i;
+      }
+    }
+    return best;
+  });
+  out.deadlocked = sched.run().deadlocked;
+  out.trace = rec.events();
+  return out;
+}
+
+}  // namespace
+
+WitnessOutcome replay_trace_order(const ProgramFactory& make_program,
+                                  const std::vector<rt::TraceEvent>& base) {
+  return replay_ordered(make_program, base, nullptr);
+}
+
+WitnessOutcome replay_witness(const ProgramFactory& make_program,
+                              const std::vector<rt::TraceEvent>& base,
+                              const WitnessTarget& target) {
+  return replay_ordered(make_program, base, &target);
 }
 
 }  // namespace dg::verify

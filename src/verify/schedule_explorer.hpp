@@ -61,4 +61,43 @@ ExploreResult explore_schedules(const ProgramFactory& make_program,
                                 const ExploreOptions& opts,
                                 const TraceCallback& on_trace);
 
+// --- witness replay ------------------------------------------------------
+//
+// The predictive tier (src/predict/) lifts a recorded trace back into a
+// SimProgram and asks for one *specific* reordering: run the program in
+// base-trace order, except hold one thread just before a chosen event
+// until another thread has emitted its own chosen event. If the two
+// events were a candidate race pair, the resulting trace is the witness
+// schedule on which the exact HB oracle re-checks the pair.
+//
+// Event positions are *executor ordinals*: event k of thread t counted
+// over the base-trace events t executed (a kThreadStart is executed by
+// the parent; the root thread's start and the trailing kFinish are
+// emitted by the scheduler itself and are not counted).
+
+struct WitnessTarget {
+  ThreadId hold_tid = kInvalidThread;
+  std::size_t hold_ord = 0;  // hold just before this executor ordinal
+  ThreadId wait_tid = kInvalidThread;
+  std::size_t wait_ord = 0;  // ... until this ordinal has been emitted
+};
+
+struct WitnessOutcome {
+  std::vector<rt::TraceEvent> trace;
+  bool deadlocked = false;  // replay stalled; trace is the valid prefix
+};
+
+/// Re-execute `make_program()` following the executor order of `base`
+/// exactly (the lifted-program self-check: the result must equal `base`
+/// minus any events the lift dropped).
+WitnessOutcome replay_trace_order(const ProgramFactory& make_program,
+                                  const std::vector<rt::TraceEvent>& base);
+
+/// Trace-order replay with the hold-until rule above. Fully deterministic:
+/// no PRNG, no wall clock — the same program, base trace, and target
+/// always produce the same witness trace (the --parity guarantee).
+WitnessOutcome replay_witness(const ProgramFactory& make_program,
+                              const std::vector<rt::TraceEvent>& base,
+                              const WitnessTarget& target);
+
 }  // namespace dg::verify

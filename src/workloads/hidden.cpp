@@ -1,0 +1,305 @@
+// hidden — the hidden-race workload family (docs/PREDICT.md): real data
+// races that the *recorded* schedule always masks behind an accidental
+// happens-before chain, so every epoch detector (and the exact HB oracle)
+// stays silent on any observed execution. Silent scheduling gates pin the
+// masking order into every schedule; the gates emit no detector events,
+// which is exactly why the predictive tier's lifted program is free to
+// reorder what the original program pinned. Three masking idioms:
+//
+//   hidden_lock      two unlocked writes to X on either side of two
+//                    *unrelated* critical sections of one mutex. The
+//                    accidental lock ordering (T1's section always
+//                    completes before T2's) chains the writes through
+//                    release→acquire; the sections touch disjoint data,
+//                    so the SHB weak order drops the edge and a
+//                    reordering putting T2's section first exposes the
+//                    race.
+//                    race-free: both X writes move *inside* the critical
+//                    sections — now the sections conflict on X, the edge
+//                    is load-bearing, and no schedule races.
+//   hidden_forkjoin  main writes X after joining only T1, while T2's
+//                    pre-section write of X reaches main through
+//                    T2 → mutex → T1 → join(T1) timing. Delaying T2's
+//                    section past main's write exposes the race.
+//                    race-free: main joins T2 as well before writing X.
+//   hidden_condvar   consumer reads X after awaiting two signals; the
+//                    producer P2 signals *before* writing X, but the wake
+//                    order (P2's signal relayed through P1 via an
+//                    unrelated critical section) always delivers P2's
+//                    write first. Waking the consumer off P1's signal
+//                    before P2's write exposes the race.
+//                    race-free: P2 writes X before signalling — the
+//                    condvar edge itself (never dropped) orders the pair.
+//
+// expected_races() is the *predictive* ground truth: the number of racy
+// units some legal reordering exposes (1 for racy variants, 0 for
+// race-free) — not what any schedule-bound detector sees (always 0).
+#include "workloads/workloads.hpp"
+
+#include "common/assert.hpp"
+
+namespace dg::wl {
+namespace {
+
+constexpr std::uint32_t kHiddenNs = 14;
+
+// --- hidden_lock -------------------------------------------------------
+
+class HiddenLock final : public sim::SimProgram {
+ public:
+  HiddenLock(WlParams p, bool racy) : p_(p), racy_(racy) {
+    DG_CHECK(p_.threads >= 2);
+  }
+
+  const char* name() const override {
+    return racy_ ? "hidden_lock_racy" : "hidden_lock";
+  }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override { return 1 << 12; }
+  std::uint64_t expected_races() const override { return racy_ ? 1 : 0; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid);
+  }
+
+ private:
+  static constexpr SyncId kLock = sync_id(kHiddenNs, 0);
+  static constexpr SyncId kGateA = sync_id(kHiddenNs, 10);
+
+  static Addr x() { return region(0); }
+  static Addr filler(ThreadId w) { return region(0) + 64 * (w + 1); }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("hidden_lock/init");
+    co_yield Op::write(x(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::read(x(), 4);
+  }
+
+  sim::OpGen worker_body(ThreadId tid) {
+    using sim::Op;
+    if (tid == 1) {
+      co_yield Op::site("hidden_lock/first");
+      if (racy_) co_yield Op::write(x(), 4);  // BUG: outside the section
+      co_yield Op::acquire(kLock);
+      if (!racy_) co_yield Op::write(x(), 4);
+      co_yield Op::write(filler(tid), 4);
+      co_yield Op::release(kLock);
+      co_yield Op::gate_post(kGateA);  // pins: T1's section first, always
+    } else if (tid == 2) {
+      co_yield Op::site("hidden_lock/second");
+      co_yield Op::gate_wait(kGateA, 1);
+      co_yield Op::acquire(kLock);
+      co_yield Op::write(filler(tid), 4);
+      if (!racy_) co_yield Op::write(x(), 4);
+      co_yield Op::release(kLock);
+      if (racy_) co_yield Op::write(x(), 4);  // BUG: outside the section
+    } else {
+      co_yield Op::site("hidden_lock/filler");
+      co_yield Op::acquire(kLock);
+      co_yield Op::write(filler(tid), 4);
+      co_yield Op::release(kLock);
+    }
+  }
+
+  WlParams p_;
+  bool racy_;
+};
+
+// --- hidden_forkjoin ---------------------------------------------------
+
+class HiddenForkJoin final : public sim::SimProgram {
+ public:
+  HiddenForkJoin(WlParams p, bool racy) : p_(p), racy_(racy) {
+    DG_CHECK(p_.threads >= 2);
+  }
+
+  const char* name() const override {
+    return racy_ ? "hidden_forkjoin_racy" : "hidden_forkjoin";
+  }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override { return 1 << 12; }
+  std::uint64_t expected_races() const override { return racy_ ? 1 : 0; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    return tid == 0 ? main_body() : worker_body(tid);
+  }
+
+ private:
+  static constexpr SyncId kLock = sync_id(kHiddenNs, 1);
+  static constexpr SyncId kGateB = sync_id(kHiddenNs, 11);
+
+  static Addr x() { return region(1); }
+  static Addr scratch(ThreadId w) { return region(1) + 64 * (w + 1); }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("hidden_forkjoin/init");
+    co_yield Op::write(x(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    co_yield Op::join(1);
+    if (racy_) {
+      // BUG: only T1 was joined, yet T2's write of X reaches this point
+      // through T2's section → T1's section → join(T1) — an accidental
+      // fork/join timing chain, broken by delaying T2's section.
+      co_yield Op::site("hidden_forkjoin/early-write");
+      co_yield Op::write(x(), 4);
+      co_yield Op::join(2);
+    } else {
+      co_yield Op::join(2);
+      co_yield Op::site("hidden_forkjoin/late-write");
+      co_yield Op::write(x(), 4);
+    }
+    for (ThreadId w = 3; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::read(x(), 4);
+  }
+
+  sim::OpGen worker_body(ThreadId tid) {
+    using sim::Op;
+    if (tid == 1) {
+      co_yield Op::site("hidden_forkjoin/relay");
+      co_yield Op::gate_wait(kGateB, 1);  // pins: T2's section first
+      co_yield Op::acquire(kLock);
+      co_yield Op::write(scratch(tid), 4);
+      co_yield Op::release(kLock);
+    } else if (tid == 2) {
+      co_yield Op::site("hidden_forkjoin/writer");
+      co_yield Op::write(x(), 4);
+      co_yield Op::acquire(kLock);
+      co_yield Op::write(scratch(tid), 4);
+      co_yield Op::release(kLock);
+      co_yield Op::gate_post(kGateB);
+    } else {
+      co_yield Op::site("hidden_forkjoin/filler");
+      co_yield Op::acquire(kLock);
+      co_yield Op::write(scratch(tid), 4);
+      co_yield Op::release(kLock);
+    }
+  }
+
+  WlParams p_;
+  bool racy_;
+};
+
+// --- hidden_condvar ----------------------------------------------------
+
+class HiddenCondvar final : public sim::SimProgram {
+ public:
+  HiddenCondvar(WlParams p, bool racy) : p_(p), racy_(racy) {
+    DG_CHECK(p_.threads >= 3);
+  }
+
+  const char* name() const override {
+    return racy_ ? "hidden_condvar_racy" : "hidden_condvar";
+  }
+  ThreadId num_threads() const override { return p_.threads + 1; }
+  std::uint64_t base_memory_bytes() const override { return 1 << 12; }
+  std::uint64_t expected_races() const override { return racy_ ? 1 : 0; }
+
+  sim::OpGen thread_body(ThreadId tid) override {
+    if (tid == 0) return main_body();
+    if (tid == 1) return relay_body();
+    if (tid == 2) return producer_body();
+    if (tid == 3) return consumer_body();
+    return filler_body(tid);
+  }
+
+ private:
+  static constexpr SyncId kLock = sync_id(kHiddenNs, 2);
+  static constexpr SyncId kQueue = sync_id(kHiddenNs, 3);  // condvar/queue
+  static constexpr SyncId kGateC = sync_id(kHiddenNs, 12);
+
+  static Addr x() { return region(2); }
+  static Addr scratch(ThreadId w) { return region(2) + 64 * (w + 1); }
+
+  sim::OpGen main_body() {
+    using sim::Op;
+    co_yield Op::site("hidden_condvar/init");
+    co_yield Op::write(x(), 4);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::fork(w);
+    for (ThreadId w = 1; w <= p_.threads; ++w) co_yield Op::join(w);
+    co_yield Op::read(x(), 4);
+  }
+
+  // P2: posts its signal first, then writes X. The recorded wake order
+  // relays P2's section to P1 (unrelated lock data), and only then does
+  // P1 post the second signal the consumer waits for — so the consumer's
+  // read always lands after P2's write. Waking off P1's signal before
+  // P2's write is the hidden schedule.
+  sim::OpGen producer_body() {
+    using sim::Op;
+    co_yield Op::site("hidden_condvar/producer");
+    if (racy_) {
+      co_yield Op::signal(kQueue);  // BUG: signalled before the write
+      co_yield Op::write(x(), 4);
+    } else {
+      co_yield Op::write(x(), 4);
+      co_yield Op::signal(kQueue);  // the condvar edge orders the pair
+    }
+    co_yield Op::acquire(kLock);
+    co_yield Op::write(scratch(2), 4);
+    co_yield Op::release(kLock);
+    co_yield Op::gate_post(kGateC);  // pins: P2's section before P1's
+  }
+
+  sim::OpGen relay_body() {
+    using sim::Op;
+    co_yield Op::site("hidden_condvar/relay");
+    co_yield Op::gate_wait(kGateC, 1);
+    co_yield Op::acquire(kLock);
+    co_yield Op::write(scratch(1), 4);
+    co_yield Op::release(kLock);
+    co_yield Op::signal(kQueue);
+  }
+
+  sim::OpGen consumer_body() {
+    using sim::Op;
+    co_yield Op::site("hidden_condvar/consumer");
+    co_yield Op::await(kQueue, 2);  // both producer and relay signals
+    co_yield Op::read(x(), 4);
+  }
+
+  sim::OpGen filler_body(ThreadId tid) {
+    using sim::Op;
+    co_yield Op::site("hidden_condvar/filler");
+    co_yield Op::acquire(kLock);
+    co_yield Op::write(scratch(tid), 4);
+    co_yield Op::release(kLock);
+  }
+
+  WlParams p_;
+  bool racy_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SimProgram> make_hidden_lock(WlParams p, bool racy) {
+  return std::make_unique<HiddenLock>(p, racy);
+}
+std::unique_ptr<sim::SimProgram> make_hidden_forkjoin(WlParams p, bool racy) {
+  return std::make_unique<HiddenForkJoin>(p, racy);
+}
+std::unique_ptr<sim::SimProgram> make_hidden_condvar(WlParams p, bool racy) {
+  return std::make_unique<HiddenCondvar>(p, racy);
+}
+
+const std::vector<WorkloadInfo>& hidden_workloads() {
+  static const std::vector<WorkloadInfo> kHidden = {
+      {"hidden_lock", [](WlParams p) { return make_hidden_lock(p, false); }},
+      {"hidden_lock_racy",
+       [](WlParams p) { return make_hidden_lock(p, true); }},
+      {"hidden_forkjoin",
+       [](WlParams p) { return make_hidden_forkjoin(p, false); }},
+      {"hidden_forkjoin_racy",
+       [](WlParams p) { return make_hidden_forkjoin(p, true); }},
+      {"hidden_condvar",
+       [](WlParams p) { return make_hidden_condvar(p, false); }},
+      {"hidden_condvar_racy",
+       [](WlParams p) { return make_hidden_condvar(p, true); }},
+  };
+  return kHidden;
+}
+
+}  // namespace dg::wl

@@ -27,6 +27,8 @@ std::unique_ptr<sim::SimProgram> make_workload(const std::string& name,
   if (name == "lint_fixture") return make_lint_fixture(p);
   for (const auto& w : adhoc_workloads())
     if (w.name == name) return w.make(p);
+  for (const auto& w : hidden_workloads())
+    if (w.name == name) return w.make(p);
   return nullptr;
 }
 

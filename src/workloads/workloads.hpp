@@ -53,6 +53,17 @@ std::unique_ptr<sim::SimProgram> make_adhoc_seqlock(WlParams p, bool racy);
 std::unique_ptr<sim::SimProgram> make_adhoc_spsc(WlParams p, bool racy);
 std::unique_ptr<sim::SimProgram> make_adhoc_dcl(WlParams p, bool racy);
 
+/// Hidden-race family (docs/PREDICT.md): real races every *recorded*
+/// schedule masks behind accidental lock ordering, fork/join timing, or
+/// condvar wake order — ground truth for the predictive tier. Epoch
+/// detectors report 0 on any observed schedule; expected_races() counts
+/// the races a legal reordering exposes. Not part of the paper suite:
+/// reachable via make_workload() / hidden_workloads(), absent from
+/// all_workloads().
+std::unique_ptr<sim::SimProgram> make_hidden_lock(WlParams p, bool racy);
+std::unique_ptr<sim::SimProgram> make_hidden_forkjoin(WlParams p, bool racy);
+std::unique_ptr<sim::SimProgram> make_hidden_condvar(WlParams p, bool racy);
+
 struct WorkloadInfo {
   std::string name;
   std::function<std::unique_ptr<sim::SimProgram>(WlParams)> make;
@@ -63,6 +74,9 @@ const std::vector<WorkloadInfo>& all_workloads();
 
 /// The 8 ad-hoc sync workloads (4 idioms x race-free/racy), in fixed order.
 const std::vector<WorkloadInfo>& adhoc_workloads();
+
+/// The 6 hidden-race workloads (3 idioms x race-free/racy), in fixed order.
+const std::vector<WorkloadInfo>& hidden_workloads();
 
 /// Factory by name; returns nullptr for unknown names.
 std::unique_ptr<sim::SimProgram> make_workload(const std::string& name,

@@ -180,6 +180,50 @@ CORPUS = {
         rd(2, 0x200030, 4),                        # racy only at 0x200030
         finish(),
     ],
+    # --- Predictive-tier witnesses (docs/PREDICT.md), ddmin-shrunk to
+    # --- their irreducible cores (tests/test_predict.cpp asserts the
+    # --- shrinker reproduces the 8-event shape). Replayed both by the
+    # --- full matrix (clean: the recorded schedule is race-free) and by
+    # --- test_predict's corpus block (predictive verdicts pinned).
+    #
+    # Two unlocked writes chained only through two *empty* critical
+    # sections of one mutex: HB is silent, the weak order drops the
+    # non-conflicting release->acquire edge, and the targeted reordering
+    # realizes the write-write race.
+    "predict_hidden_ww": [
+        start(0), start(1, 0),
+        wr(0, X, 4),
+        acq(0, L), rel(0, L),
+        acq(1, L), rel(1, L),
+        wr(1, X, 4),
+    ],
+    # Same accidental lock ordering hiding a read-write pair.
+    "predict_hidden_rw": [
+        start(0), start(1, 0),
+        rd(0, X, 4),
+        acq(0, L), rel(0, L),
+        acq(1, L), rel(1, L),
+        wr(1, X, 4),
+    ],
+    # The same shape ordered by a *join* edge: fork/join is never dropped,
+    # so the predictive tier must produce zero candidates.
+    "predict_join_safe": [
+        start(0), start(1, 0),
+        wr(1, X, 4),
+        join(0, 1),
+        wr(0, X, 4),
+        finish(),
+    ],
+    # Message-style handoff: the release is not lock-like (never paired
+    # with an acquire by the releaser), so its edge is kept — no candidate
+    # despite the disjoint critical-section footprints.
+    "predict_msg_safe": [
+        start(0), start(1, 0),
+        wr(0, X, 4),
+        rel(0, 9),
+        acq(1, 9),
+        rd(1, X, 4),
+    ],
     # A firm-Shared write node [0x200076,0x20007e) whose clock is polluted
     # by a partial write (Table 1 extras, by design). The later racing read
     # spills onto a fresh read node past the genuine overlap; its extra

@@ -45,7 +45,10 @@
 #include "detect/lockset.hpp"
 #include "detect/sampling.hpp"
 #include "detect/segment.hpp"
+#include "predict/predict.hpp"
+#include "rt/trace.hpp"
 #include "support/driver.hpp"
+#include "verify/hb_oracle.hpp"
 #include "verify/mode_delivery.hpp"
 
 namespace dg {
@@ -265,6 +268,33 @@ TEST_P(RandomPrograms, DynamicResplitIsExact) {
   DynGranDetector dyn(cfg);
   run_through(dyn);
   EXPECT_EQ(reported_addrs(dyn), prog_.racy_addrs);
+}
+
+TEST_P(RandomPrograms, PredictRealizesASupersetOfHbRaces) {
+  // The predictive tier's superset-of-HB contract (docs/PREDICT.md) under
+  // every delivery source: each byte the exact HB oracle flags on the
+  // delivered stream must be a kRealized predictive candidate, and every
+  // realized verdict must carry a witness the oracle confirms.
+  predict::PredictDetector det;
+  run_through(det);
+  det.ensure_analyzed();
+  verify::HbOracle oracle;
+  rt::replay_trace(det.events(), oracle);
+  std::set<Addr> realized;
+  for (const auto& c : det.report().candidates) {
+    if (c.status != predict::CandidateStatus::kRealized) continue;
+    realized.insert(c.unit);
+    if (!c.hb_racy) {
+      ASSERT_FALSE(c.witness_trace.empty());
+      verify::HbOracle w;
+      rt::replay_trace(c.witness_trace, w);
+      EXPECT_TRUE(w.is_racy(c.unit))
+          << "unconfirmed witness for 0x" << std::hex << c.unit;
+    }
+  }
+  for (Addr a : oracle.racy_units())
+    EXPECT_TRUE(realized.count(a))
+        << "HB-racy byte 0x" << std::hex << a << " not realized";
 }
 
 TEST_P(RandomPrograms, WordFastTrackMatchesWithSpacedVars) {

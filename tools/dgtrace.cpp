@@ -27,10 +27,17 @@
 //       delivery mode, check each against the exact HB oracle; on
 //       divergence, shrink to a minimal reproducer
 //   dgtrace fuzz [--seeds N] [--schedules M] [--out DIR] [--inject F]
+//               [--predict]
 //       generate random programs, explore their interleavings, verify
 //       every trace; minimized reproducers for any divergence are written
 //       to DIR (inject F in {drop-read, skip-join, skip-release} plants a
-//       detector bug the fuzzer must catch)
+//       detector bug the fuzzer must catch); --predict adds the predictive
+//       tier to the matrix and checks its realizability contract per seed
+//   dgtrace predict <trace> [--schedules N] [--seed S] [--json] [--parity]
+//       predictive tier (docs/PREDICT.md): weak-order candidate pass plus
+//       explorer-backed realizability; prints each candidate's status and
+//       witness provenance (--json for a machine-readable report,
+//       --parity to run the analysis twice and byte-compare the output)
 //   dgtrace connect <segment> <workload|trace> [threads] [scale] [seed]
 //       attach to a dgtraced segment as a producer and stream the
 //       workload's (or saved trace's) events through shared memory
@@ -53,6 +60,7 @@
 #include "detect/fasttrack.hpp"
 #include "detect/sampling.hpp"
 #include "govern/governor.hpp"
+#include "predict/predict.hpp"
 #include "rt/trace.hpp"
 #include "service/shm_segment.hpp"
 #include "sim/sim.hpp"
@@ -94,6 +102,9 @@ int usage() {
       "  dgtrace diff <a.trace> <b.trace>\n"
       "  dgtrace verify <trace> [--adhoc] [--repro <out.trace>]\n"
       "  dgtrace fuzz [--seeds N] [--schedules M] [--out DIR] [--inject F]\n"
+      "          [--predict]\n"
+      "  dgtrace predict <trace> [--schedules N] [--seed S] [--json] "
+      "[--parity]\n"
       "  dgtrace connect <segment> <workload|trace> [threads] [scale] "
       "[seed]\n"
       "  dgtrace svc-stats <segment>\n"
@@ -609,16 +620,22 @@ int cmd_verify(int argc, char** argv) {
 
 int cmd_fuzz(int argc, char** argv) {
   verify::FuzzOptions opts;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  bool predict = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--predict") == 0) {
+      predict = true;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();  // the remaining flags take a value
     if (std::strcmp(argv[i], "--seeds") == 0)
-      opts.seeds = std::strtoull(argv[i + 1], nullptr, 10);
+      opts.seeds = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--schedules") == 0)
       opts.schedules =
-          static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     else if (std::strcmp(argv[i], "--out") == 0)
-      opts.out_dir = argv[i + 1];
+      opts.out_dir = argv[++i];
     else if (std::strcmp(argv[i], "--inject") == 0) {
-      const std::string f = argv[i + 1];
+      const std::string f = argv[++i];
       if (f == "drop-read")
         opts.fault = verify::Fault::kDropEveryThirdRead;
       else if (f == "skip-join")
@@ -633,6 +650,10 @@ int cmd_fuzz(int argc, char** argv) {
       return usage();
     }
   }
+  if (predict)
+    opts.matrix_factory = [](verify::Fault f) {
+      return predict::predict_matrix(f);
+    };
   if (opts.out_dir.empty()) opts.out_dir = ".";
   opts.log = [](const std::string& line) {
     std::printf("%s\n", line.c_str());
@@ -654,6 +675,117 @@ int cmd_fuzz(int argc, char** argv) {
     std::printf("injected fault '%s' %s\n", verify::to_string(opts.fault),
                 res.findings.empty() ? "was NOT caught" : "caught");
   return res.findings.empty() && res.deadlocks == 0 ? 0 : 1;
+}
+
+/// Deterministic rendering of a predictive report: pure function of the
+/// input trace and options (no wall clock, no pointers, no host state) —
+/// the artifact `--parity` byte-compares and predict_regression.sh diffs.
+std::string render_predict_json(const char* file,
+                                const predict::PredictReport& rep) {
+  std::string out = "{\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "  \"file\": \"%s\",\n",
+                json_escape(file).c_str());
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"liftable\": %s,\n  \"hb_racy_units\": %zu,\n"
+      "  \"realized\": %zu,\n  \"witness_only\": %zu,\n  \"refuted\": %zu,\n"
+      "  \"schedules_explored\": %zu,\n  \"exhaustive\": %s,\n",
+      rep.liftable ? "true" : "false", rep.hb_racy_units.size(), rep.realized,
+      rep.witness_only, rep.refuted, rep.schedules_explored,
+      rep.exploration_exhaustive ? "true" : "false");
+  out += buf;
+  out += "  \"candidates\": [\n";
+  for (std::size_t i = 0; i < rep.candidates.size(); ++i) {
+    const auto& c = rep.candidates[i];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"unit\": \"0x%llx\", \"first\": [%zu, %u, \"%s\"], "
+        "\"second\": [%zu, %u, \"%s\"], \"hb_racy\": %s, \"status\": "
+        "\"%s\", \"witness\": \"%s\", \"witness_events\": %zu}%s\n",
+        static_cast<unsigned long long>(c.unit), c.first_idx, c.first_tid,
+        to_string(c.first_type), c.second_idx, c.second_tid,
+        to_string(c.second_type), c.hb_racy ? "true" : "false",
+        predict::to_string(c.status), predict::to_string(c.witness),
+        c.witness_trace.size(), i + 1 < rep.candidates.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+int cmd_predict(int argc, char** argv) {
+  if (argc < 3) return usage();
+  predict::PredictOptions popts;
+  bool json = false;
+  bool parity = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0)
+      json = true;
+    else if (std::strcmp(argv[i], "--parity") == 0)
+      parity = true;
+    else if (std::strcmp(argv[i], "--schedules") == 0 && i + 1 < argc)
+      popts.max_witness_schedules =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      popts.seed = std::strtoull(argv[++i], nullptr, 10);
+    else
+      return usage();
+  }
+  std::vector<TraceEvent> ev;
+  std::string err;
+  if (!rt::load_trace(argv[2], ev, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  // Drive the full detector surface (sink retention included) rather than
+  // calling predict_races directly, so the CLI exercises the same path the
+  // differential matrix does.
+  predict::PredictDetector det(popts);
+  rt::replay_trace(ev, det);
+  det.ensure_analyzed();
+  const predict::PredictReport& rep = det.report();
+  const std::string rendered = render_predict_json(argv[2], rep);
+  if (parity) {
+    predict::PredictDetector again(popts);
+    rt::replay_trace(ev, again);
+    again.ensure_analyzed();
+    if (render_predict_json(argv[2], again.report()) != rendered) {
+      std::fprintf(stderr, "parity FAILED: reruns disagree\n");
+      return 1;
+    }
+    if (!json) std::puts("parity: two runs byte-identical");
+  }
+  if (json) {
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  std::printf("%s: %zu events, %zu weak-order candidates "
+              "(%zu HB-racy bytes on the recorded schedule)\n",
+              argv[2], ev.size(), rep.candidates.size(),
+              rep.hb_racy_units.size());
+  std::printf("realized %zu, witness-only %zu, refuted %zu "
+              "(%zu schedules explored%s%s)\n",
+              rep.realized, rep.witness_only, rep.refuted,
+              rep.schedules_explored,
+              rep.exploration_exhaustive ? ", exhaustive" : "",
+              rep.liftable ? "" : "; trace not liftable");
+  for (const auto& c : rep.candidates) {
+    std::printf("  0x%-10llx %-12s witness=%-8s %s@%zu(T%u) vs %s@%zu(T%u)",
+                static_cast<unsigned long long>(c.unit),
+                predict::to_string(c.status), predict::to_string(c.witness),
+                to_string(c.first_type), c.first_idx, c.first_tid,
+                to_string(c.second_type), c.second_idx, c.second_tid);
+    if (!c.first_site.empty() || !c.second_site.empty())
+      std::printf("  [%s vs %s]", c.first_site.c_str(),
+                  c.second_site.c_str());
+    std::puts("");
+  }
+  std::printf("report sink: %" PRIu64 " unique locations (%" PRIu64
+              " raw reports) after grouped retention\n",
+              det.sink().unique_races(), det.sink().raw_reports());
+  return 0;
 }
 
 // Producer side of the detection service (DESIGN.md §5.5): claim a slot
@@ -759,6 +891,7 @@ int main(int argc, char** argv) {
   if (cmd == "diff") return cmd_diff(argc, argv);
   if (cmd == "verify") return cmd_verify(argc, argv);
   if (cmd == "fuzz") return cmd_fuzz(argc, argv);
+  if (cmd == "predict") return cmd_predict(argc, argv);
   if (cmd == "connect") return cmd_connect(argc, argv);
   if (cmd == "svc-stats") return cmd_svc_stats(argc, argv);
   return usage();

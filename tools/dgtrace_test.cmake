@@ -150,6 +150,32 @@ if(DEFINED CORPUS_DIR)
     "8 racy bytes per the exact HB oracle" "verify: no divergence")
 endif()
 
+# Predictive tier smoke (docs/PREDICT.md): the hidden lock-ordering race
+# is invisible to every recorded-schedule detector but must come back
+# realized (with an explorer-built witness) from `dgtrace predict`; the
+# race-free sibling must produce no candidates at all. --parity reruns
+# the analysis and byte-compares, so this also pins determinism.
+set(hidden_trace ${WORKDIR}/hidden_ci.trace)
+run(${DGTRACE} record hidden_lock_racy ${hidden_trace} 3 1 7)
+run_expect(${DGTRACE} replay ${hidden_trace} byte EXPECT
+  "races: 0 unique locations")
+run_expect(${DGTRACE} predict ${hidden_trace} --parity EXPECT
+  "parity: two runs byte-identical"
+  "realized 4, witness-only 0, refuted 0"
+  "witness=targeted")
+file(REMOVE ${hidden_trace})
+run(${DGTRACE} record hidden_lock ${hidden_trace} 3 1 7)
+run_expect(${DGTRACE} predict ${hidden_trace} EXPECT
+  "0 weak-order candidates"
+  "realized 0, witness-only 0, refuted 0")
+file(REMOVE ${hidden_trace})
+if(DEFINED CORPUS_DIR)
+  run_expect(${DGTRACE} predict ${CORPUS_DIR}/predict_hidden_ww.trace
+    --json EXPECT
+    "\"realized\": 4" "\"witness_only\": 0" "\"refuted\": 0"
+    "\"status\": \"realized\"")
+endif()
+
 # 4. A small clean fuzz run exits 0 with zero divergences...
 run_expect(${DGTRACE} fuzz --seeds 3 --schedules 8 --out ${WORKDIR} EXPECT
   "0 deadlocks, 0 degraded, 0 divergences")
