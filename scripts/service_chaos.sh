@@ -1,0 +1,245 @@
+#!/usr/bin/env bash
+# Chaos campaign for the detection service (docs/ROBUSTNESS.md §6).
+#
+# Drives dgtraced + dgtrace connect through every injected fault class the
+# service claims to survive, across multiple seeds:
+#
+#   S1  producer SIGKILL mid-batch   -> slot reclaimed, residue salvaged,
+#                                       parity holds for the survivor
+#   S2  corrupted event stream       -> malformed records quarantined,
+#                                       none reach the detectors
+#   S3  daemon SIGKILL under load    -> producers degrade to accounted
+#                                       drops (no hang), stale segment is
+#                                       refused, --recover takes it over
+#   S4  segment corruption           -> attach/connect fail fast with a
+#                                       clear diagnostic (no retry storm)
+#
+# Every scenario runs under `timeout`: a hang is a failure, not a stall.
+#
+# Usage: service_chaos.sh [build-dir] [seed...]
+#   default build-dir: build; default seeds: 1..10
+set -u
+
+BUILD=${1:-build}
+[ $# -gt 0 ] && shift
+SEEDS=("$@")
+[ ${#SEEDS[@]} -eq 0 ] && SEEDS=(1 2 3 4 5 6 7 8 9 10)
+
+DGTRACED=$BUILD/tools/dgtraced
+DGTRACE=$BUILD/tools/dgtrace
+for bin in "$DGTRACED" "$DGTRACE"; do
+  if [ ! -x "$bin" ]; then
+    echo "service_chaos: missing binary $bin (build first)" >&2
+    exit 2
+  fi
+done
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/dg_chaos.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+FAILURES=0
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# jget <key> <json-file>: value of a top-level "key": N line.
+jget() {
+  sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "$2" | head -1
+}
+
+# ---------------------------------------------------------------------------
+# S1: SIGKILL one of two producers mid-batch. The daemon must reclaim the
+# slot, salvage the ring residue, keep byte-exact parity for the survivor,
+# and exit cleanly on its own.
+scenario_producer_kill() {
+  local seed=$1
+  local seg=$WORK/s1_$seed.dgs log=$WORK/s1_$seed.log
+  local kill_after=$((20000 + seed * 7001))
+  rm -f "$seg"
+  timeout 90 "$DGTRACED" "$seg" --producers 2 --liveness 50 \
+    --timeout 60000 --parity >"$log" 2>&1 &
+  local dpid=$!
+  timeout 90 "$DGTRACE" connect "$seg" hmmsearch 3 1 "$seed" \
+    --fault "kill-after=$kill_after" >"$WORK/s1_p1.log" 2>&1 &
+  local p1=$!
+  timeout 90 "$DGTRACE" connect "$seg" pbzip2 3 1 "$((seed + 1))" \
+    >"$WORK/s1_p2.log" 2>&1 &
+  local p2=$!
+  wait $p1; local rc1=$?
+  wait $p2; local rc2=$?
+  wait $dpid; local rcd=$?
+  [ $rc1 -eq 137 ] || fail "S1($seed): killed producer exited $rc1, want 137"
+  [ $rc2 -eq 0 ] || fail "S1($seed): surviving producer exited $rc2 ($(cat "$WORK/s1_p2.log"))"
+  [ $rcd -eq 0 ] || fail "S1($seed): daemon exited $rcd:
+$(cat "$log")"
+  grep -q "1 producer(s) crashed, 1 slot(s) reclaimed" "$log" ||
+    fail "S1($seed): daemon banner lacks the crash/reclaim line:
+$(cat "$log")"
+  grep -q "parity: OK" "$log" ||
+    fail "S1($seed): parity did not hold for the surviving producer"
+  # Post-mortem: the counters survive in the segment file.
+  local json=$WORK/s1_$seed.json
+  timeout 30 "$DGTRACE" svc-stats "$seg" --json >"$json" 2>&1 ||
+    fail "S1($seed): post-mortem svc-stats failed"
+  [ "$(jget slots_reclaimed "$json")" = 1 ] ||
+    fail "S1($seed): svc-stats slots_reclaimed != 1"
+  [ "$(jget producers_crashed "$json")" = 1 ] ||
+    fail "S1($seed): svc-stats producers_crashed != 1"
+  [ "$(jget crash_count "$json")" = 1 ] ||
+    fail "S1($seed): svc-stats crash_count != 1"
+}
+
+# ---------------------------------------------------------------------------
+# S2: a producer streams a deterministically corrupted stream. Every
+# malformed record must be quarantined; none may reach the detectors; the
+# daemon exits cleanly.
+scenario_corrupt_stream() {
+  local seed=$1
+  local seg=$WORK/s2_$seed.dgs log=$WORK/s2_$seed.log
+  local every=$((500 + seed * 37))
+  rm -f "$seg"
+  timeout 90 "$DGTRACED" "$seg" --producers 1 --timeout 60000 \
+    >"$log" 2>&1 &
+  local dpid=$!
+  timeout 90 "$DGTRACE" connect "$seg" hmmsearch 3 1 "$seed" \
+    --fault "corrupt-every=$every,seed=$seed" >"$WORK/s2_p.log" 2>&1
+  local rcp=$?
+  wait $dpid; local rcd=$?
+  [ $rcp -eq 0 ] || fail "S2($seed): producer exited $rcp"
+  [ $rcd -eq 0 ] || fail "S2($seed): daemon exited $rcd:
+$(cat "$log")"
+  local json=$WORK/s2_$seed.json
+  timeout 30 "$DGTRACE" svc-stats "$seg" --json >"$json" 2>&1 ||
+    fail "S2($seed): post-mortem svc-stats failed"
+  local corrupted quarantined
+  corrupted=$(sed -n 's/fault: corrupted \([0-9]*\) of.*/\1/p' "$WORK/s2_p.log")
+  quarantined=$(jget quarantined_total "$json")
+  [ -n "$corrupted" ] && [ "$corrupted" -gt 0 ] ||
+    fail "S2($seed): corruption pass injected nothing"
+  [ "$quarantined" = "$corrupted" ] ||
+    fail "S2($seed): quarantined $quarantined != corrupted $corrupted"
+  grep -q "$corrupted event(s) quarantined" "$log" ||
+    fail "S2($seed): daemon banner lacks the quarantine count"
+}
+
+# ---------------------------------------------------------------------------
+# S3: SIGKILL the daemon mid-ingestion (its own fault plan pulls the
+# trigger). Producers must degrade to accounted local drops instead of
+# hanging; the stale segment must refuse new producers and a plain daemon
+# restart, and --recover must take it over and finish a clean run.
+scenario_daemon_kill() {
+  local seed=$1
+  local seg=$WORK/s3_$seed.dgs log=$WORK/s3_$seed.log
+  local die_after=$((40000 + seed * 3001))
+  rm -f "$seg"
+  timeout 90 "$DGTRACED" "$seg" --producers 2 --timeout 60000 \
+    --fault "die-after=$die_after" >"$log" 2>&1 &
+  local dpid=$!
+  timeout 90 "$DGTRACE" connect "$seg" hmmsearch 3 1 "$seed" \
+    >"$WORK/s3_p1.log" 2>&1 &
+  local p1=$!
+  timeout 90 "$DGTRACE" connect "$seg" pbzip2 3 1 "$((seed + 2))" \
+    >"$WORK/s3_p2.log" 2>&1 &
+  local p2=$!
+  wait $dpid; local rcd=$?
+  wait $p1; local rc1=$?
+  wait $p2; local rc2=$?
+  [ $rcd -eq 137 ] || fail "S3($seed): daemon exited $rcd, want SIGKILL 137"
+  # Producers must have *exited* (timeout would return 124 on a hang) with
+  # the degraded-stream status and accounted drops.
+  for rc in $rc1 $rc2; do
+    [ $rc -eq 3 ] || fail "S3($seed): producer exited $rc, want 3 (degraded)"
+  done
+  grep -q "dropped locally" "$WORK/s3_p1.log" "$WORK/s3_p2.log" ||
+    fail "S3($seed): producers did not account their local drops"
+  # The corpse refuses new producers, fast and with a diagnosis.
+  timeout 30 "$DGTRACE" connect "$seg" hmmsearch 3 1 5 \
+    >"$WORK/s3_stale.log" 2>&1
+  [ $? -eq 1 ] && grep -q "stale" "$WORK/s3_stale.log" ||
+    fail "S3($seed): stale segment did not refuse a new producer:
+$(cat "$WORK/s3_stale.log")"
+  # A plain daemon restart refuses the dirty corpse...
+  timeout 30 "$DGTRACED" "$seg" --producers 1 --timeout 5000 \
+    >"$WORK/s3_norec.log" 2>&1
+  [ $? -eq 1 ] && grep -q -- "--recover" "$WORK/s3_norec.log" ||
+    fail "S3($seed): daemon took over a dirty segment without --recover"
+  # ...and --recover takes it over for a full clean run.
+  local rlog=$WORK/s3_recover_$seed.log
+  timeout 90 "$DGTRACED" "$seg" --recover --producers 1 --timeout 60000 \
+    --parity >"$rlog" 2>&1 &
+  dpid=$!
+  timeout 90 "$DGTRACE" connect "$seg" hmmsearch 3 1 "$seed" \
+    >"$WORK/s3_p3.log" 2>&1
+  local rcp=$?
+  wait $dpid; rcd=$?
+  [ $rcp -eq 0 ] || fail "S3($seed): post-recovery producer exited $rcp"
+  [ $rcd -eq 0 ] && grep -q "recovering segment" "$rlog" &&
+    grep -q "parity: OK" "$rlog" ||
+    fail "S3($seed): --recover run failed:
+$(cat "$rlog")"
+}
+
+# ---------------------------------------------------------------------------
+# S4: corrupt the segment file itself (magic, version, geometry,
+# truncation). Attach and connect must fail fast — seconds, not the full
+# retry window — naming the problem. Runs once per campaign: the
+# corruptions are deterministic.
+scenario_segment_corruption() {
+  local master=$WORK/s4_master.dgs
+  rm -f "$master"
+  # A daemon that times out waiting for producers leaves a published,
+  # stale segment behind — the corpus for the corruption modes.
+  timeout 30 "$DGTRACED" "$master" --producers 1 --timeout 300 \
+    >/dev/null 2>&1
+  [ -f "$master" ] || { fail "S4: could not stage a segment file"; return; }
+  local mode want
+  for mode in magic version geometry truncate; do
+    case $mode in
+      magic) want="bad magic" ;;
+      version) want="builds disagree" ;;
+      geometry) want="geometry mismatch" ;;
+      truncate) want="truncated" ;;
+    esac
+    local seg=$WORK/s4_$mode.dgs
+    cp "$master" "$seg"
+    timeout 30 "$DGTRACE" svc-fault "$seg" "$mode" >/dev/null 2>&1 ||
+      { fail "S4($mode): svc-fault failed"; continue; }
+    local t0 t1 rc
+    t0=$(date +%s)
+    timeout 30 "$DGTRACE" connect "$seg" hmmsearch 3 1 7 \
+      >"$WORK/s4_$mode.log" 2>&1
+    rc=$?
+    t1=$(date +%s)
+    [ $rc -eq 1 ] || fail "S4($mode): connect exited $rc, want 1"
+    [ $((t1 - t0)) -le 5 ] ||
+      fail "S4($mode): connect took $((t1 - t0))s — not fail-fast"
+    grep -q "$want" "$WORK/s4_$mode.log" ||
+      fail "S4($mode): diagnostic lacks '$want':
+$(cat "$WORK/s4_$mode.log")"
+  done
+  # And the simplest fault of all: the segment does not exist.
+  timeout 30 "$DGTRACE" connect "$WORK/s4_nosuch.dgs" hmmsearch 3 1 7 \
+    >"$WORK/s4_missing.log" 2>&1
+  [ $? -eq 1 ] && grep -q "does not exist" "$WORK/s4_missing.log" ||
+    fail "S4(missing): connect did not fail fast on a missing segment"
+}
+
+# ---------------------------------------------------------------------------
+echo "service chaos campaign: seeds ${SEEDS[*]}"
+for seed in "${SEEDS[@]}"; do
+  echo "--- seed $seed: S1 producer SIGKILL mid-batch"
+  scenario_producer_kill "$seed"
+  echo "--- seed $seed: S2 corrupted event stream"
+  scenario_corrupt_stream "$seed"
+  echo "--- seed $seed: S3 daemon SIGKILL under load + recovery"
+  scenario_daemon_kill "$seed"
+done
+echo "--- S4 segment corruption fail-fast"
+scenario_segment_corruption
+
+if [ $FAILURES -ne 0 ]; then
+  echo "service chaos campaign: $FAILURES failure(s)" >&2
+  exit 1
+fi
+echo "service chaos campaign: all scenarios green (${#SEEDS[@]} seed(s))"

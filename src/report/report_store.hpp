@@ -67,6 +67,22 @@ class ReportStore {
     retention_.admit(r, seq);
   }
 
+  /// Operational-note convenience for service lifecycle events (producer
+  /// crashes, recovery actions): stores a synthetic report whose
+  /// current-site label is `note_tag` (e.g. "svc:crash") and whose
+  /// previous-site field carries the human-readable detail. Notes ride the
+  /// same ring and indices as real races, so `query_site_prefix("svc:")`
+  /// and snapshots surface them with zero extra machinery.
+  void record_note(const std::string& note_tag, const std::string& detail,
+                   Addr addr = 0) {
+    RaceReport r;
+    r.addr = addr;
+    r.size = 0;
+    r.current_site = note_tag;
+    r.previous_site = detail;
+    record(r);
+  }
+
   /// All live reports whose current-site label starts with `prefix`
   /// (empty prefix = everything), in admission order.
   std::vector<RaceReport> query_site_prefix(const std::string& prefix) const {

@@ -44,6 +44,39 @@ struct TraceEvent {
 };
 static_assert(sizeof(TraceEvent) == 24);
 
+/// Structural validity of one wire event, for consumers that ingest
+/// records across a trust boundary (the dgtraced drainers): enum kind in
+/// range, reserved pad byte zero, a real thread id, and access sizes in
+/// (0, max_access_size]. load_trace enforces the same kind range on disk
+/// traces; the service additionally quarantines per event instead of
+/// rejecting the stream.
+inline bool wire_valid(const TraceEvent& e,
+                       std::uint32_t max_access_size = 4096) noexcept {
+  const auto k = static_cast<std::uint8_t>(e.kind);
+  if (k < static_cast<std::uint8_t>(EventKind::kThreadStart) ||
+      k > static_cast<std::uint8_t>(EventKind::kFinish))
+    return false;
+  if (e.pad != 0) return false;
+  switch (e.kind) {
+    case EventKind::kRead:
+    case EventKind::kWrite:
+      return e.tid != kInvalidThread && e.size != 0 &&
+             e.size <= max_access_size;
+    case EventKind::kThreadJoin:
+      return e.tid != kInvalidThread && e.size == 0 &&
+             e.aux != kInvalidThread;
+    case EventKind::kThreadStart:  // aux may be kInvalidThread (root)
+    case EventKind::kAcquire:
+    case EventKind::kRelease:
+    case EventKind::kAlloc:
+    case EventKind::kFree:
+      return e.tid != kInvalidThread && e.size == 0;
+    case EventKind::kFinish:
+      return e.size == 0;
+  }
+  return false;
+}
+
 inline constexpr std::uint64_t kTraceMagic = 0x44474e5452433031ULL;  // DGNTRC01
 
 /// Detector adaptor that records the event stream.

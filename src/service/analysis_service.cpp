@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
+
+#include <signal.h>
+#include <unistd.h>
 
 #include "report/crash_flush.hpp"
+#include "report/report_store.hpp"
 
 namespace dg::service {
 
@@ -11,6 +16,13 @@ namespace {
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
@@ -71,6 +83,11 @@ bool AnalysisService::start(const std::string& path, std::string* error) {
   CrashReporter::instance().arm();
 
   seg_.header().num_drainers.store(opts_.drainers, std::memory_order_release);
+  // Register daemon liveness before any producer can attach: wait_go and
+  // push_n bound their waits on this pid + heartbeat.
+  seg_.header().daemon_pid.store(static_cast<std::uint32_t>(::getpid()),
+                                 std::memory_order_release);
+  seg_.header().daemon_heartbeat.fetch_add(1, std::memory_order_relaxed);
   stopping_.store(false, std::memory_order_relaxed);
   drainers_.reserve(opts_.drainers);
   for (std::uint32_t d = 0; d < opts_.drainers; ++d)
@@ -115,7 +132,8 @@ void AnalysisService::stop(std::uint32_t timeout_ms) {
     bool outstanding = false;
     for (std::uint32_t s = 0; s < kMaxProducers; ++s) {
       const SlotState st = slot_state(l.slots[s]);
-      if (st == SlotState::kAttached || st == SlotState::kFinished)
+      if (st == SlotState::kAttached || st == SlotState::kFinished ||
+          st == SlotState::kCrashed)
         outstanding = true;
     }
     if (!outstanding) break;
@@ -149,10 +167,24 @@ ServiceStats AnalysisService::stats() const {
     if (slot_state(c) != SlotState::kFree) ++out.producers_seen;
     out.events_total += c.drained.load(std::memory_order_relaxed);
     out.filtered += c.filtered.load(std::memory_order_relaxed);
+    out.quarantined += c.quarantined.load(std::memory_order_relaxed);
+    out.dropped += c.dropped.load(std::memory_order_relaxed);
     out.drains += c.drains.load(std::memory_order_relaxed);
     out.drain_ns += c.drain_ns.load(std::memory_order_relaxed);
     out.max_drain_ns = std::max(
         out.max_drain_ns, c.max_drain_ns.load(std::memory_order_relaxed));
+  }
+  // Reclaimed slots were zeroed for reuse; their final tallies live in the
+  // crash log. Fold them back in so aggregates never go backwards.
+  {
+    std::lock_guard<std::mutex> lk(crash_mu_);
+    const SegmentHeader& hc = l.header;
+    const std::uint32_t n = std::min(
+        hc.crash_count.load(std::memory_order_acquire), kCrashLogCapacity);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out.events_total += hc.crash_log[i].drained;
+      out.producers_seen += 1;
+    }
   }
   if (combiner_ != nullptr) {
     out.combines = combiner_->combines();
@@ -163,7 +195,22 @@ ServiceStats AnalysisService::stats() const {
   out.gc_runs = h.gc_runs.load(std::memory_order_relaxed);
   out.gc_shed_bytes = h.gc_shed_bytes.load(std::memory_order_relaxed);
   out.threads_mapped = next_tid_.load(std::memory_order_relaxed);
+  out.producers_crashed = h.producers_crashed.load(std::memory_order_relaxed);
+  out.slots_reclaimed = h.slots_reclaimed.load(std::memory_order_relaxed);
   return out;
+}
+
+std::uint32_t AnalysisService::active_producers() const {
+  if (!seg_.valid()) return 0;
+  const SegmentLayout& l = seg_.layout();
+  std::uint32_t n = 0;
+  for (std::uint32_t s = 0; s < kMaxProducers; ++s) {
+    const SlotState st = slot_state(l.slots[s]);
+    if (st == SlotState::kAttached || st == SlotState::kFinished ||
+        st == SlotState::kCrashed)
+      ++n;
+  }
+  return n;
 }
 
 void AnalysisService::publish_telemetry() {
@@ -173,6 +220,12 @@ void AnalysisService::publish_telemetry() {
   std::uint64_t total = 0;
   for (std::uint32_t s = 0; s < kMaxProducers; ++s)
     total += l.slots[s].drained.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(crash_mu_);
+    const std::uint32_t n = std::min(
+        h.crash_count.load(std::memory_order_acquire), kCrashLogCapacity);
+    for (std::uint32_t i = 0; i < n; ++i) total += h.crash_log[i].drained;
+  }
   h.events_total.store(total, std::memory_order_relaxed);
   h.races_unique.store(det_->sink().unique_races(), std::memory_order_relaxed);
   const MemoryAccountant& acct = det_->accountant();
@@ -237,14 +290,25 @@ void AnalysisService::process(std::uint32_t d, SlotCtx& ctx,
                               const rt::TraceEvent* ev, std::size_t n) {
   const std::uint32_t slot = ctx.slot;
   ProducerSlot& ctl = seg_.layout().slots[slot];
+  // Namespace by the slot's *incarnation* tag, not its index: a reclaimed
+  // slot's new producer must never alias its dead predecessor's memory.
+  const std::uint32_t tag = ctl.ns_tag.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < n; ++i) {
     const rt::TraceEvent& e = ev[i];
+    // Trust boundary: the producer is an arbitrary external process. A
+    // malformed record is quarantined (counted, skipped) instead of being
+    // delivered into detector shadow state.
+    if (!rt::wire_valid(e, opts_.max_access_size)) {
+      ctl.quarantined.fetch_add(1, std::memory_order_relaxed);
+      seg_.header().quarantined_total.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     switch (e.kind) {
       case rt::EventKind::kRead:
       case rt::EventKind::kWrite: {
         if (e.size == 0) break;
         ThreadCtx& tc = ensure_thread(d, ctx, e.tid);
-        const Addr addr = namespaced(slot, e.addr);
+        const Addr addr = namespaced(tag, e.addr);
         const AccessType type = e.kind == rt::EventKind::kRead
                                     ? AccessType::kRead
                                     : AccessType::kWrite;
@@ -291,27 +355,27 @@ void AnalysisService::process(std::uint32_t d, SlotCtx& ctx,
       case rt::EventKind::kAcquire: {
         ThreadCtx& tc = ensure_thread(d, ctx, e.tid);
         flush_staged(d, ctx);
-        det_->on_acquire(tc.global, namespaced(slot, e.addr));
+        det_->on_acquire(tc.global, namespaced(tag, e.addr));
         refresh_serial(tc);
         break;
       }
       case rt::EventKind::kRelease: {
         ThreadCtx& tc = ensure_thread(d, ctx, e.tid);
         flush_staged(d, ctx);
-        det_->on_release(tc.global, namespaced(slot, e.addr));
+        det_->on_release(tc.global, namespaced(tag, e.addr));
         refresh_serial(tc);
         break;
       }
       case rt::EventKind::kAlloc: {
         ThreadCtx& tc = ensure_thread(d, ctx, e.tid);
         flush_staged(d, ctx);
-        det_->on_alloc(tc.global, namespaced(slot, e.addr), e.aux);
+        det_->on_alloc(tc.global, namespaced(tag, e.addr), e.aux);
         break;
       }
       case rt::EventKind::kFree: {
         ThreadCtx& tc = ensure_thread(d, ctx, e.tid);
         flush_staged(d, ctx);
-        det_->on_free(tc.global, namespaced(slot, e.addr), e.aux);
+        det_->on_free(tc.global, namespaced(tag, e.addr), e.aux);
         break;
       }
       case rt::EventKind::kFinish:
@@ -338,11 +402,122 @@ void AnalysisService::maybe_gc() {
   h.gc_shed_bytes.fetch_add(shed, std::memory_order_relaxed);
 }
 
+bool AnalysisService::check_liveness(std::uint32_t d, std::uint64_t now) {
+  SegmentLayout& l = seg_.layout();
+  const std::uint32_t nd = opts_.drainers;
+  bool reclaimed = false;
+  for (std::uint32_t s = d; s < kMaxProducers; s += nd) {
+    ProducerSlot& ctl = l.slots[s];
+    SlotCtx& ctx = slot_ctx_[s];
+    if (slot_state(ctl) != SlotState::kAttached) {
+      ctx.hb_valid = false;
+      continue;
+    }
+    // A moving heartbeat is proof of life; believe the pid probe only
+    // after the beat has been flat across a full poll interval, so a
+    // producer observed mid-claim (state set, pid not yet stored) is
+    // never declared dead.
+    const std::uint64_t hb = ctl.heartbeat.load(std::memory_order_acquire);
+    if (!ctx.hb_valid || hb != ctx.hb_seen) {
+      ctx.hb_seen = hb;
+      ctx.hb_changed_ms = now;
+      ctx.hb_valid = true;
+      continue;
+    }
+    if (now - ctx.hb_changed_ms < opts_.liveness_poll_ms) continue;
+    const std::uint32_t pid = ctl.pid.load(std::memory_order_acquire);
+    if (pid == 0 || pid_alive(pid)) continue;
+    reclaim_crashed(d, ctx);
+    reclaimed = true;
+  }
+  return reclaimed;
+}
+
+void AnalysisService::reclaim_crashed(std::uint32_t d, SlotCtx& ctx) {
+  SegmentLayout& l = seg_.layout();
+  SegmentHeader& h = l.header;
+  ProducerSlot& ctl = l.slots[ctx.slot];
+  ctl.state.store(static_cast<std::uint32_t>(SlotState::kCrashed),
+                  std::memory_order_release);
+  // Salvage the residue the dead producer already made visible — those
+  // events are complete records (the ring publishes with a release store
+  // of tail) and belong in the analysis.
+  const std::size_t residue = l.rings[ctx.slot].drain(
+      [&](const rt::TraceEvent* ev, std::size_t k) { process(d, ctx, ev, k); });
+  flush_staged(d, ctx);
+  if (residue > 0) {
+    ctl.drained.fetch_add(residue, std::memory_order_relaxed);
+    events_since_gc_.fetch_add(residue, std::memory_order_relaxed);
+    ingested_.fetch_add(residue, std::memory_order_relaxed);
+  }
+
+  const std::uint32_t pid = ctl.pid.load(std::memory_order_relaxed);
+  const std::uint32_t tag = ctl.ns_tag.load(std::memory_order_relaxed);
+  const std::uint32_t gen = ctl.generation.load(std::memory_order_relaxed);
+  const std::uint64_t pushed = ctl.pushed.load(std::memory_order_relaxed);
+  const std::uint64_t drained = ctl.drained.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(crash_mu_);
+    const std::uint32_t n = h.crash_count.load(std::memory_order_relaxed);
+    CrashRecord& cr = h.crash_log[n % kCrashLogCapacity];
+    cr.slot = ctx.slot;
+    cr.pid = pid;
+    cr.ns_tag = tag;
+    cr.generation = gen;
+    cr.pushed = pushed;
+    cr.drained = drained;
+    cr.residue = residue;
+    std::memcpy(cr.spec, ctl.spec, kSpecBytes);
+    h.crash_count.store(n + 1, std::memory_order_release);
+  }
+  h.producers_crashed.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.crash_store != nullptr) {
+    std::string spec(ctl.spec,
+                     ::strnlen(ctl.spec, kSpecBytes));
+    opts_.crash_store->record_note(
+        "svc:crash",
+        "producer pid " + std::to_string(pid) + " (spec '" + spec +
+            "') died on slot " + std::to_string(ctx.slot) + " gen " +
+            std::to_string(gen) + ": pushed " + std::to_string(pushed) +
+            ", drained " + std::to_string(drained) + " (residue " +
+            std::to_string(residue) + " salvaged)");
+  }
+
+  // Recycle: zero every counter, clear drainer-side ingestion state, and
+  // hand the slot a fresh namespace tag so the next occupant can never
+  // alias the dead incarnation's memory. kFree is published last.
+  ctx.threads.clear();
+  for (auto& buf : ctx.staged) buf.clear();
+  ctx.finished_seen = false;
+  ctx.hb_valid = false;
+  ctl.pushed.store(0, std::memory_order_relaxed);
+  ctl.push_hwm.store(0, std::memory_order_relaxed);
+  ctl.full_stalls.store(0, std::memory_order_relaxed);
+  ctl.heartbeat.store(0, std::memory_order_relaxed);
+  ctl.dropped.store(0, std::memory_order_relaxed);
+  ctl.drained.store(0, std::memory_order_relaxed);
+  ctl.filtered.store(0, std::memory_order_relaxed);
+  ctl.quarantined.store(0, std::memory_order_relaxed);
+  ctl.drains.store(0, std::memory_order_relaxed);
+  ctl.drain_ns.store(0, std::memory_order_relaxed);
+  ctl.max_drain_ns.store(0, std::memory_order_relaxed);
+  std::memset(ctl.spec, 0, kSpecBytes);
+  ctl.pid.store(0, std::memory_order_relaxed);
+  ctl.ns_tag.store(h.next_ns_tag.fetch_add(1, std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  ctl.generation.fetch_add(1, std::memory_order_relaxed);
+  h.slots_reclaimed.fetch_add(1, std::memory_order_relaxed);
+  ctl.state.store(static_cast<std::uint32_t>(SlotState::kFree),
+                  std::memory_order_release);
+}
+
 void AnalysisService::drainer_loop(std::uint32_t d) {
   SegmentLayout& l = seg_.layout();
   SegmentHeader& h = l.header;
   const std::uint32_t nd = opts_.drainers;
+  std::uint64_t last_poll_ms = now_ms();
   while (true) {
+    h.daemon_heartbeat.fetch_add(1, std::memory_order_relaxed);
     bool progress = false;
     for (std::uint32_t s = d; s < kMaxProducers; s += nd) {
       ProducerSlot& ctl = l.slots[s];
@@ -363,6 +538,7 @@ void AnalysisService::drainer_loop(std::uint32_t d) {
         if (ns > ctl.max_drain_ns.load(std::memory_order_relaxed))
           ctl.max_drain_ns.store(ns, std::memory_order_relaxed);
         events_since_gc_.fetch_add(got, std::memory_order_relaxed);
+        ingested_.fetch_add(got, std::memory_order_relaxed);
         progress = true;
       }
       // Retire the slot once its producer finished and the ring is empty.
@@ -371,6 +547,18 @@ void AnalysisService::drainer_loop(std::uint32_t d) {
         ctl.state.store(static_cast<std::uint32_t>(SlotState::kDrained),
                         std::memory_order_release);
         progress = true;
+      }
+    }
+    // Fault injection: the chaos harness asks the daemon to die under
+    // load, exactly as if the OOM killer had picked it.
+    if (opts_.die_after_events != 0 &&
+        ingested_.load(std::memory_order_relaxed) >= opts_.die_after_events)
+      ::kill(::getpid(), SIGKILL);
+    if (opts_.liveness_poll_ms != 0) {
+      const std::uint64_t now = now_ms();
+      if (now - last_poll_ms >= opts_.liveness_poll_ms) {
+        last_poll_ms = now;
+        if (check_liveness(d, now)) progress = true;
       }
     }
     maybe_gc();

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -42,6 +43,10 @@
 #include "service/combiner.hpp"
 #include "service/shm_segment.hpp"
 #include "shadow/epoch_bitmap.hpp"
+
+namespace dg {
+class ReportStore;
+}  // namespace dg
 
 namespace dg::service {
 
@@ -60,6 +65,18 @@ struct ServiceOptions {
   std::size_t mem_budget_bytes = 0;
   /// Staged accesses per shard before an early combiner flush.
   std::size_t stage_flush_threshold = 4096;
+  /// How often each drainer probes its slots' producer liveness
+  /// (heartbeat + pid); 0 disables crash detection and reclamation.
+  std::uint32_t liveness_poll_ms = 200;
+  /// Consumer-side validation bound: read/write events larger than this
+  /// are quarantined (rt::wire_valid).
+  std::uint32_t max_access_size = 4096;
+  /// Fault injection (FaultPlan `die-after`): SIGKILL the daemon process
+  /// once this many events have been ingested. 0 = never.
+  std::uint64_t die_after_events = 0;
+  /// Optional store receiving one operational note per reclaimed producer
+  /// (site label "svc:crash"); must outlive the service.
+  ReportStore* crash_store = nullptr;
 };
 
 /// Aggregated service-side telemetry (per-producer detail lives in the
@@ -77,6 +94,10 @@ struct ServiceStats {
   std::uint64_t gc_shed_bytes = 0;
   std::uint64_t producers_seen = 0;  ///< slots that ever attached
   std::uint64_t threads_mapped = 0;  ///< global thread ids handed out
+  std::uint64_t producers_crashed = 0;  ///< dead incarnations detected
+  std::uint64_t slots_reclaimed = 0;    ///< slots recycled after a crash
+  std::uint64_t quarantined = 0;  ///< malformed events kept from detectors
+  std::uint64_t dropped = 0;      ///< producer-side accounted local drops
 };
 
 class AnalysisService {
@@ -112,11 +133,17 @@ class AnalysisService {
 
   ServiceStats stats() const;
 
-  /// Per-slot address/sync-id namespace tag (slot+1 so tag 0 never
-  /// collides with in-process addresses when comparing traces).
-  static Addr namespaced(std::uint32_t slot, std::uint64_t raw) noexcept {
+  /// Producer slots with undrained work: kAttached, kFinished, or mid-
+  /// reclamation (kCrashed).
+  std::uint32_t active_producers() const;
+
+  /// Address/sync-id namespacing by incarnation tag (tag+1 so tag 0 never
+  /// collides with in-process addresses when comparing traces). A slot's
+  /// first incarnation has tag == slot index; reclaimed slots get fresh
+  /// tags from SegmentHeader::next_ns_tag.
+  static Addr namespaced(std::uint32_t tag, std::uint64_t raw) noexcept {
     constexpr std::uint64_t kLowMask = (std::uint64_t{1} << 48) - 1;
-    return ((static_cast<std::uint64_t>(slot) + 1) << 48) | (raw & kLowMask);
+    return ((static_cast<std::uint64_t>(tag) + 1) << 48) | (raw & kLowMask);
   }
 
  private:
@@ -134,9 +161,20 @@ class AnalysisService {
     std::unordered_map<ThreadId, ThreadCtx> threads;  // local tid -> ctx
     std::vector<std::vector<BatchedEvent>> staged;    // one per shard
     bool finished_seen = false;
+    // Producer-liveness tracking (crash detection needs the heartbeat to
+    // be flat across two polls before the pid probe is believed — a
+    // producer observed mid-claim must not be declared dead).
+    std::uint64_t hb_seen = 0;
+    std::uint64_t hb_changed_ms = 0;
+    bool hb_valid = false;
   };
 
   void drainer_loop(std::uint32_t d);
+  /// Probe this drainer's kAttached slots; reclaim any whose producer
+  /// died. Returns true if a slot was reclaimed (progress).
+  bool check_liveness(std::uint32_t d, std::uint64_t now);
+  /// kCrashed -> drain residue -> crash record -> reset -> kFree.
+  void reclaim_crashed(std::uint32_t d, SlotCtx& ctx);
   void process(std::uint32_t d, SlotCtx& ctx, const rt::TraceEvent* ev,
                std::size_t n);
   void flush_staged(std::uint32_t d, SlotCtx& ctx);
@@ -162,7 +200,12 @@ class AnalysisService {
 
   std::atomic<std::uint32_t> next_tid_{0};
   std::atomic<std::uint64_t> events_since_gc_{0};
+  std::atomic<std::uint64_t> ingested_{0};
   std::atomic<std::uint64_t> filtered_{0};
+  /// Serializes writers of the segment's crash log (drainers of different
+  /// slots can crash-reclaim concurrently) and in-process readers; cross-
+  /// process readers stay lock-free on the acquire-published crash_count.
+  mutable std::mutex crash_mu_;
   std::atomic<bool> stopping_{false};
   bool concurrent_set_ = false;
   bool running_ = false;

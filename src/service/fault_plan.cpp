@@ -1,0 +1,128 @@
+#include "service/fault_plan.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace dg::service {
+namespace {
+
+// SplitMix64 — tiny, stateless, and good enough to pick which field to
+// scramble. Seeded per event so corruption is reproducible across runs.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+void FaultPlan::corrupt(rt::TraceEvent& e, std::uint64_t index) const noexcept {
+  const std::uint64_t r = mix64(seed * 0x100000001b3ULL + index);
+  CorruptField f = corrupt_field;
+  if (f == CorruptField::kMixed) {
+    switch (r & 3) {
+      case 0: f = CorruptField::kKind; break;
+      case 1: f = CorruptField::kPad; break;
+      case 2: f = CorruptField::kTid; break;
+      default: f = CorruptField::kSize; break;
+    }
+  }
+  switch (f) {
+    case CorruptField::kKind:
+      // 0 and 10.. are both out of the enum's 1..9 range.
+      e.kind = static_cast<rt::EventKind>((r >> 8) % 2 == 0
+                                              ? 0
+                                              : 10 + ((r >> 16) & 0x3f));
+      break;
+    case CorruptField::kPad:
+      e.pad = static_cast<std::uint8_t>(1 + ((r >> 8) & 0x7f));
+      break;
+    case CorruptField::kTid:
+      e.tid = kInvalidThread;
+      break;
+    case CorruptField::kSize:
+      // Reads/writes with size 0 or > max_access_size are invalid; for
+      // non-access kinds any nonzero size is invalid.
+      e.size = (r >> 8) % 2 == 0 ? 0 : static_cast<std::uint16_t>(0xffff);
+      if (e.kind != rt::EventKind::kRead && e.kind != rt::EventKind::kWrite)
+        e.size = static_cast<std::uint16_t>(1 + ((r >> 16) & 0xff));
+      break;
+    case CorruptField::kMixed:
+      break;  // unreachable
+  }
+}
+
+bool FaultPlan::parse(const std::string& spec, FaultPlan& out,
+                      std::string* error) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    const std::string key = item.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? std::string() : item.substr(eq + 1);
+    bool ok = true;
+    if (key == "kill-after") {
+      ok = parse_u64(val, plan.kill_after);
+    } else if (key == "corrupt-every") {
+      ok = parse_u64(val, plan.corrupt_every);
+    } else if (key == "die-after") {
+      ok = parse_u64(val, plan.die_after);
+    } else if (key == "seed") {
+      ok = parse_u64(val, plan.seed);
+    } else if (key == "corrupt-field") {
+      if (val == "mixed") {
+        plan.corrupt_field = CorruptField::kMixed;
+      } else if (val == "kind") {
+        plan.corrupt_field = CorruptField::kKind;
+      } else if (val == "pad") {
+        plan.corrupt_field = CorruptField::kPad;
+      } else if (val == "tid") {
+        plan.corrupt_field = CorruptField::kTid;
+      } else if (val == "size") {
+        plan.corrupt_field = CorruptField::kSize;
+      } else {
+        ok = false;
+      }
+    } else {
+      if (error != nullptr) *error = "unknown fault key '" + key + "'";
+      return false;
+    }
+    if (!ok) {
+      if (error != nullptr)
+        *error = "bad value '" + val + "' for fault key '" + key + "'";
+      return false;
+    }
+  }
+  out = plan;
+  return true;
+}
+
+bool FaultPlan::from_flag_or_env(const char* flag_spec, FaultPlan& out,
+                                 std::string* error) {
+  const char* spec = flag_spec;
+  if (spec == nullptr) spec = std::getenv("DGSVC_FAULT");
+  if (spec == nullptr) {
+    out = FaultPlan{};
+    return true;
+  }
+  return parse(spec, out, error);
+}
+
+}  // namespace dg::service

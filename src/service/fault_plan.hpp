@@ -1,0 +1,73 @@
+// FaultPlan — deterministic fault injection for the detection-service
+// protocol (docs/ROBUSTNESS.md §6), in the spirit of the verify tier's
+// trace fault injector: the faults the chaos campaign injects are parsed
+// from one spec string so every scenario is reproducible from its seed.
+//
+// Spec grammar (comma-separated key[=value] pairs, all optional):
+//
+//   kill-after=N      producer: SIGKILL own process after N events pushed
+//                     (mid-batch — the push loop chunks around the mark)
+//   corrupt-every=K   producer: scramble every Kth event before pushing it
+//   corrupt-field=F   what the scrambler damages: kind|pad|tid|size|mixed
+//                     (default mixed — field chosen per event by the seed)
+//   die-after=N       daemon: SIGKILL own process after N ingested events
+//   seed=S            deterministic scramble stream (default 1)
+//
+// Producers read the spec from --fault or the DGSVC_FAULT environment
+// variable (flag wins); dgtraced from --fault only. An empty/absent spec
+// is the none() plan: every probe answers "no fault".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/trace.hpp"
+
+namespace dg::service {
+
+struct FaultPlan {
+  enum class CorruptField : std::uint32_t {
+    kMixed = 0,
+    kKind,
+    kPad,
+    kTid,
+    kSize,
+  };
+
+  std::uint64_t kill_after = 0;     ///< 0 = never
+  std::uint64_t corrupt_every = 0;  ///< 0 = never
+  CorruptField corrupt_field = CorruptField::kMixed;
+  std::uint64_t die_after = 0;  ///< 0 = never
+  std::uint64_t seed = 1;
+
+  bool any() const noexcept {
+    return kill_after != 0 || corrupt_every != 0 || die_after != 0;
+  }
+
+  /// Should the producer kill itself once `pushed` events are out?
+  bool should_kill(std::uint64_t pushed) const noexcept {
+    return kill_after != 0 && pushed >= kill_after;
+  }
+
+  /// Should event number `index` (0-based) be corrupted before pushing?
+  bool should_corrupt(std::uint64_t index) const noexcept {
+    return corrupt_every != 0 && (index + 1) % corrupt_every == 0;
+  }
+
+  /// Deterministically damage `e` (SplitMix64 over (seed, index)) so the
+  /// consumer-side validator must quarantine it.
+  void corrupt(rt::TraceEvent& e, std::uint64_t index) const noexcept;
+
+  /// Parse `spec`; returns false and fills `error` on an unknown key or
+  /// unparsable value. An empty spec parses to none().
+  static bool parse(const std::string& spec, FaultPlan& out,
+                    std::string* error = nullptr);
+
+  /// Flag value if non-null, else the DGSVC_FAULT environment variable,
+  /// else none(). Exits nonzero semantics are the caller's business;
+  /// parse errors are reported through `error`.
+  static bool from_flag_or_env(const char* flag_spec, FaultPlan& out,
+                               std::string* error = nullptr);
+};
+
+}  // namespace dg::service

@@ -1,5 +1,6 @@
 #include "service/shm_segment.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -7,6 +8,7 @@
 #include <thread>
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -23,7 +25,45 @@ namespace {
 void set_error(std::string* error, const std::string& msg) {
   if (error != nullptr) *error = msg + ": " + std::strerror(errno);
 }
+
+void set_plain_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
+
+const char* to_string(SlotState s) noexcept {
+  switch (s) {
+    case SlotState::kFree: return "free";
+    case SlotState::kAttached: return "attached";
+    case SlotState::kFinished: return "finished";
+    case SlotState::kDrained: return "drained";
+    case SlotState::kCrashed: return "crashed";
+  }
+  return "?";
+}
+
+const char* to_string(ProducerStatus s) noexcept {
+  switch (s) {
+    case ProducerStatus::kOk: return "ok";
+    case ProducerStatus::kShutdown: return "shutdown";
+    case ProducerStatus::kDaemonDead: return "daemon-dead";
+    case ProducerStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+bool pid_alive(std::uint32_t pid) noexcept {
+  if (pid == 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno == EPERM;  // exists, not signalable by us
+}
 
 // Plain (non-PRIVATE) futex ops: the word lives in a MAP_SHARED mapping
 // and the waiter/waker are different processes. A bounded timeout keeps
@@ -85,6 +125,8 @@ bool ShmSegment::create(const std::string& path, std::string* error) {
   l->header.version = kSegmentVersion;
   l->header.max_producers = kMaxProducers;
   l->header.ring_capacity = kShmRingCapacity;
+  for (std::uint32_t s = 0; s < kMaxProducers; ++s)
+    l->slots[s].ns_tag.store(s, std::memory_order_relaxed);
   // Publish last: an attacher that sees the magic sees the initialized
   // segment (the release pairs with the attacher's acquire fence).
   std::atomic_thread_fence(std::memory_order_release);
@@ -95,30 +137,97 @@ bool ShmSegment::create(const std::string& path, std::string* error) {
 
 bool ShmSegment::attach(const std::string& path, std::uint32_t timeout_ms,
                         std::string* error) {
+  // Legacy behaviour: wait out the full timeout for transient states, but
+  // (since v2) still reject malformed segments immediately.
+  AttachOptions opts;
+  opts.timeout_ms = timeout_ms;
+  opts.missing_grace_ms = 0;
+  opts.publish_grace_ms = 0;
+  return attach(path, opts, error);
+}
+
+bool ShmSegment::attach(const std::string& path, const AttachOptions& opts,
+                        std::string* error) {
   close();
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::milliseconds(opts.timeout_ms);
+  const auto grace_over = [&](std::uint32_t grace_ms) {
+    if (grace_ms == 0) return false;  // transient until the main deadline
+    return std::chrono::steady_clock::now() >=
+           t0 + std::chrono::milliseconds(grace_ms);
+  };
   while (true) {
     const int fd = ::open(path.c_str(), O_RDWR);
-    if (fd >= 0) {
+    if (fd < 0) {
+      if (errno == ENOENT && grace_over(opts.missing_grace_ms)) {
+        set_plain_error(error, "segment file '" + path +
+                                   "' does not exist (is dgtraced running?)");
+        return false;
+      }
+    } else {
       struct stat st {};
+      const bool stat_ok = ::fstat(fd, &st) == 0;
       const bool sized =
-          ::fstat(fd, &st) == 0 &&
-          st.st_size >= static_cast<off_t>(sizeof(SegmentLayout));
+          stat_ok && st.st_size >= static_cast<off_t>(sizeof(SegmentLayout));
       if (sized && map_file(fd, /*create=*/false, error)) {
         ::close(fd);
-        if (layout_->header.ready.load(std::memory_order_acquire) == 1 &&
-            layout_->header.magic == kSegmentMagic &&
-            layout_->header.version == kSegmentVersion) {
-          path_ = path;
-          return true;
+        if (layout_->header.ready.load(std::memory_order_acquire) == 1) {
+          // Published: the format fields are final — any mismatch is a
+          // permanent error, reported immediately.
+          SegmentHeader& h = layout_->header;
+          if (h.magic != kSegmentMagic) {
+            set_plain_error(error, "segment '" + path +
+                                       "' has bad magic — corrupt file or "
+                                       "not a dgtraced segment");
+          } else if (h.version != kSegmentVersion) {
+            set_plain_error(
+                error, "segment '" + path + "' is format v" +
+                           std::to_string(h.version) +
+                           " but this build speaks v" +
+                           std::to_string(kSegmentVersion) +
+                           " — daemon and client builds disagree");
+          } else if (h.max_producers != kMaxProducers ||
+                     h.ring_capacity != kShmRingCapacity) {
+            set_plain_error(
+                error,
+                "segment '" + path + "' geometry mismatch: declares " +
+                    std::to_string(h.max_producers) + " producers x " +
+                    std::to_string(h.ring_capacity) +
+                    " ring slots, this build compiled " +
+                    std::to_string(kMaxProducers) + " x " +
+                    std::to_string(kShmRingCapacity));
+          } else {
+            path_ = path;
+            return true;
+          }
+          ::munmap(layout_, sizeof(SegmentLayout));
+          layout_ = nullptr;
+          return false;
         }
-        // Mapped too early (creator still initializing) or wrong format:
-        // unmap and retry until the deadline.
+        // Mapped but not yet published: creator still initializing — or
+        // dead before `ready`.
         ::munmap(layout_, sizeof(SegmentLayout));
         layout_ = nullptr;
+        if (grace_over(opts.publish_grace_ms)) {
+          set_plain_error(error,
+                          "segment '" + path +
+                              "' exists but was never published — its "
+                              "creator likely died before initialization "
+                              "finished (recreate it or use --recover)");
+          return false;
+        }
       } else {
         ::close(fd);
+        // A published segment can never legitimately shrink: a stable
+        // too-small file is a truncation, not a startup transient.
+        if (stat_ok && grace_over(opts.publish_grace_ms)) {
+          set_plain_error(
+              error, "segment '" + path + "' is truncated (" +
+                         std::to_string(st.st_size) + " bytes, expected >= " +
+                         std::to_string(sizeof(SegmentLayout)) +
+                         ") — creator died during initialization?");
+          return false;
+        }
       }
     }
     if (std::chrono::steady_clock::now() >= deadline) {
@@ -128,6 +237,76 @@ bool ShmSegment::attach(const std::string& path, std::uint32_t timeout_ms,
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
+}
+
+bool ShmSegment::attach_raw(const std::string& path, std::string* error) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    set_error(error, "open segment '" + path + "'");
+    return false;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 ||
+      st.st_size < static_cast<off_t>(sizeof(SegmentLayout))) {
+    ::close(fd);
+    set_plain_error(error, "segment '" + path + "' too small to map (" +
+                               std::to_string(st.st_size) + " bytes)");
+    return false;
+  }
+  const bool ok = map_file(fd, /*create=*/false, error);
+  ::close(fd);
+  if (ok) path_ = path;
+  return ok;
+}
+
+SegmentAutopsy inspect_segment(const std::string& path) {
+  SegmentAutopsy a;
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    a.detail = "no segment file";
+    return a;
+  }
+  a.exists = true;
+  ShmSegment seg;
+  if (!seg.attach_raw(path, nullptr)) {
+    a.detail = "file too small to interpret — creator died during "
+               "initialization";
+    return a;
+  }
+  a.mapped = true;
+  const SegmentLayout& l = seg.layout();
+  const SegmentHeader& h = l.header;
+  a.published = h.ready.load(std::memory_order_acquire) == 1 &&
+                h.magic == kSegmentMagic;
+  a.version_ok = a.published && h.version == kSegmentVersion;
+  a.daemon_pid = h.daemon_pid.load(std::memory_order_relaxed);
+  a.daemon_alive = pid_alive(a.daemon_pid);
+  a.shutdown = h.shutdown.load(std::memory_order_relaxed) != 0;
+  a.producers_crashed = h.producers_crashed.load(std::memory_order_relaxed);
+  if (a.published && a.version_ok) {
+    for (std::uint32_t s = 0; s < kMaxProducers; ++s) {
+      const auto state = static_cast<SlotState>(
+          l.slots[s].state.load(std::memory_order_acquire));
+      if (state == SlotState::kAttached) ++a.slots_attached;
+      if (state == SlotState::kFinished) ++a.slots_finished;
+      if (state == SlotState::kAttached || state == SlotState::kFinished)
+        a.undrained_events += l.rings[s].size();
+    }
+  }
+  if (!a.published) {
+    a.detail = "never published (creator died before ready?)";
+  } else if (!a.version_ok) {
+    a.detail = "published by format v" + std::to_string(h.version);
+  } else if (a.daemon_alive) {
+    a.detail = "owned by live daemon pid " + std::to_string(a.daemon_pid);
+  } else {
+    a.detail = "stale: daemon pid " + std::to_string(a.daemon_pid) +
+               " is gone, " + std::to_string(a.slots_attached) +
+               " slot(s) attached, " + std::to_string(a.undrained_events) +
+               " undrained event(s)";
+  }
+  return a;
 }
 
 void ShmSegment::close() {
@@ -140,8 +319,24 @@ void ShmSegment::close() {
 
 bool ShmProducer::connect(const std::string& path, const std::string& spec,
                           std::uint32_t timeout_ms, std::string* error) {
-  if (!seg_.attach(path, timeout_ms, error)) return false;
+  AttachOptions aopts;
+  aopts.timeout_ms = timeout_ms;
+  // A producer connects to a daemon that is supposed to be up already (or
+  // starting concurrently): bound the transient states instead of burning
+  // the whole attach timeout in silence.
+  aopts.missing_grace_ms = std::min<std::uint32_t>(timeout_ms, 2000);
+  aopts.publish_grace_ms = std::min<std::uint32_t>(timeout_ms, 2000);
+  if (!seg_.attach(path, aopts, error)) return false;
   SegmentLayout& l = seg_.layout();
+  const std::uint32_t dpid =
+      l.header.daemon_pid.load(std::memory_order_relaxed);
+  if (dpid != 0 && !pid_alive(dpid)) {
+    if (error != nullptr)
+      *error = "segment '" + path + "' is stale: daemon (pid " +
+               std::to_string(dpid) + ") is gone";
+    seg_.close();
+    return false;
+  }
   for (std::uint32_t s = 0; s < kMaxProducers; ++s) {
     std::uint32_t expect = static_cast<std::uint32_t>(SlotState::kFree);
     ProducerSlot& ctl = l.slots[s];
@@ -153,12 +348,14 @@ bool ShmProducer::connect(const std::string& path, const std::string& spec,
     if (ctl.state.compare_exchange_strong(
             expect, static_cast<std::uint32_t>(SlotState::kAttached),
             std::memory_order_acq_rel)) {
-      ctl.pid = static_cast<std::uint32_t>(::getpid());
+      ctl.pid.store(static_cast<std::uint32_t>(::getpid()),
+                    std::memory_order_relaxed);
       std::strncpy(ctl.spec, spec.c_str(), kSpecBytes - 1);
       ctl.spec[kSpecBytes - 1] = '\0';
       slot_ = s;
       ctl_ = &ctl;
       ring_ = &l.rings[s];
+      beat();
       return true;
     }
   }
@@ -167,13 +364,47 @@ bool ShmProducer::connect(const std::string& path, const std::string& spec,
   return false;
 }
 
+void ShmProducer::beat() noexcept {
+  if (ctl_ != nullptr)
+    ctl_->heartbeat.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ShmProducer::daemon_unresponsive() {
+  SegmentHeader& h = seg_.header();
+  const std::uint32_t dpid = h.daemon_pid.load(std::memory_order_relaxed);
+  if (dpid == 0) return false;  // no daemon registered (bare segment)
+  if (!pid_alive(dpid)) return true;
+  // Pid probes cannot see a wedged-but-alive daemon (or a recycled pid):
+  // the heartbeat counter must keep moving too.
+  const std::uint64_t hb = h.daemon_heartbeat.load(std::memory_order_relaxed);
+  const std::uint64_t now = now_ms();
+  if (hb != last_daemon_hb_ || last_daemon_hb_change_ms_ == 0) {
+    last_daemon_hb_ = hb;
+    last_daemon_hb_change_ms_ = now;
+    return false;
+  }
+  return now - last_daemon_hb_change_ms_ > daemon_stall_ms_;
+}
+
 bool ShmProducer::wait_go(std::uint32_t timeout_ms) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   SegmentHeader& h = seg_.header();
+  status_ = ProducerStatus::kOk;
   while (h.go.load(std::memory_order_acquire) == 0) {
-    if (h.shutdown.load(std::memory_order_acquire) != 0) return false;
-    if (std::chrono::steady_clock::now() >= deadline) return false;
+    if (h.shutdown.load(std::memory_order_acquire) != 0) {
+      status_ = ProducerStatus::kShutdown;
+      return false;
+    }
+    if (daemon_unresponsive()) {
+      status_ = ProducerStatus::kDaemonDead;
+      return false;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      status_ = ProducerStatus::kTimeout;
+      return false;
+    }
+    beat();
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   return true;
@@ -195,7 +426,20 @@ bool ShmProducer::push(const rt::TraceEvent& e) { return push_n(&e, 1); }
 bool ShmProducer::push_n(const rt::TraceEvent* e, std::size_t n) {
   SegmentHeader& h = seg_.header();
   std::size_t done = 0;
+  status_ = ProducerStatus::kOk;
+  const auto degrade = [&](ProducerStatus why) {
+    // Bounded degradation instead of an unbounded hang: the undelivered
+    // tail becomes accounted local drops (PR 5's backpressure discipline,
+    // applied across the process boundary).
+    const std::uint64_t lost = static_cast<std::uint64_t>(n - done);
+    dropped_ += lost;
+    ctl_->dropped.fetch_add(lost, std::memory_order_relaxed);
+    h.dropped_total.fetch_add(lost, std::memory_order_relaxed);
+    status_ = why;
+    return false;
+  };
   while (done < n) {
+    beat();
     const std::size_t k = ring_->try_push_n(e + done, n - done);
     if (k > 0) {
       done += k;
@@ -215,7 +459,9 @@ bool ShmProducer::push_n(const rt::TraceEvent* e, std::size_t n) {
          ++spin)
       std::this_thread::yield();
     if (ring_->size() == ProducerRing::kCapacity) {
-      if (h.shutdown.load(std::memory_order_acquire) != 0) return false;
+      if (h.shutdown.load(std::memory_order_acquire) != 0)
+        return degrade(ProducerStatus::kShutdown);
+      if (daemon_unresponsive()) return degrade(ProducerStatus::kDaemonDead);
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
@@ -224,6 +470,7 @@ bool ShmProducer::push_n(const rt::TraceEvent* e, std::size_t n) {
 
 void ShmProducer::finish() {
   if (ctl_ == nullptr) return;
+  beat();
   ctl_->state.store(static_cast<std::uint32_t>(SlotState::kFinished),
                     std::memory_order_release);
   wake_drainer();

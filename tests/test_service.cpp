@@ -8,10 +8,14 @@
 // the same segment file, so the cross-process protocol is exercised
 // through a second mapping either way (micro_service and service_demo
 // cover the genuine multi-process deployment).
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -23,10 +27,43 @@
 #include "rt/runtime.hpp"
 #include "rt/trace.hpp"
 #include "service/analysis_service.hpp"
+#include "service/fault_plan.hpp"
 #include "service/shm_segment.hpp"
+
+// fork() inside a ThreadSanitizer'd multithreaded test is unsupported;
+// the fork-based crash simulations skip themselves under tsan.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DG_TEST_TSAN 1
+#endif
+#endif
+#ifndef DG_TEST_TSAN
+#define DG_TEST_TSAN 0
+#endif
 
 namespace dg {
 namespace {
+
+/// A pid guaranteed to be dead: fork a child that exits immediately and
+/// reap it. (The pid is not recycled while the test still runs — Linux
+/// allocates pids monotonically until wraparound.)
+std::uint32_t make_dead_pid() {
+  const pid_t c = ::fork();
+  if (c == 0) ::_exit(0);
+  int status = 0;
+  ::waitpid(c, &status, 0);
+  return static_cast<std::uint32_t>(c);
+}
+
+bool wait_for(const std::function<bool()>& pred, std::uint32_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
 
 constexpr std::uint64_t kLow48 = (std::uint64_t{1} << 48) - 1;
 
@@ -226,6 +263,427 @@ TEST(AnalysisServiceTest, ClockGcShedsColdReadClocksAndKeepsRaces) {
   for (const auto& r : det.sink().reports())
     if ((r.addr & kLow48) == 0x9000) found = true;
   EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: attach validation, liveness, reclamation, quarantine.
+
+TEST(AttachFailFastTest, MissingSegmentNamesPathAndFailsFast) {
+  service::ShmSegment seg;
+  std::string err;
+  service::AttachOptions opts;
+  opts.timeout_ms = 10000;
+  opts.missing_grace_ms = 50;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string path = temp_segment("nosuch");
+  EXPECT_FALSE(seg.attach(path, opts, &err));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 5000) << "must not burn the whole timeout";
+  EXPECT_NE(err.find(path), std::string::npos) << err;
+  EXPECT_NE(err.find("does not exist"), std::string::npos) << err;
+}
+
+TEST(AttachFailFastTest, NeverPublishedSegmentIsDiagnosed) {
+  // A correctly sized file whose creator died before setting `ready`.
+  const std::string path = temp_segment("unpub");
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::ftruncate(fd, sizeof(service::SegmentLayout)), 0);
+  ::close(fd);
+  service::ShmSegment seg;
+  std::string err;
+  service::AttachOptions opts;
+  opts.timeout_ms = 10000;
+  opts.publish_grace_ms = 50;
+  EXPECT_FALSE(seg.attach(path, opts, &err));
+  EXPECT_NE(err.find("never published"), std::string::npos) << err;
+
+  const service::SegmentAutopsy a = service::inspect_segment(path);
+  EXPECT_TRUE(a.exists);
+  EXPECT_TRUE(a.mapped);
+  EXPECT_FALSE(a.published);
+  EXPECT_TRUE(a.stale());
+  ::unlink(path.c_str());
+}
+
+TEST(AttachFailFastTest, TruncatedSegmentIsDiagnosed) {
+  const std::string path = temp_segment("trunc");
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::ftruncate(fd, 100), 0);
+  ::close(fd);
+  service::ShmSegment seg;
+  std::string err;
+  service::AttachOptions opts;
+  opts.timeout_ms = 10000;
+  opts.publish_grace_ms = 50;
+  EXPECT_FALSE(seg.attach(path, opts, &err));
+  EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+  ::unlink(path.c_str());
+}
+
+TEST(AttachFailFastTest, GeometryMismatchIsAPermanentError) {
+  const std::string path = temp_segment("geom");
+  {
+    service::ShmSegment creator;
+    ASSERT_TRUE(creator.create(path, nullptr));
+    creator.header().max_producers = 5;  // version-skewed build
+  }
+  service::ShmSegment seg;
+  std::string err;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(seg.attach(path, 10000, &err));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 2000) << "malformed segments fail immediately";
+  EXPECT_NE(err.find("geometry mismatch"), std::string::npos) << err;
+  ::unlink(path.c_str());
+}
+
+TEST(AttachFailFastTest, VersionSkewIsAPermanentError) {
+  const std::string path = temp_segment("ver");
+  {
+    service::ShmSegment creator;
+    ASSERT_TRUE(creator.create(path, nullptr));
+    creator.header().version = service::kSegmentVersion + 7;
+  }
+  service::ShmSegment seg;
+  std::string err;
+  EXPECT_FALSE(seg.attach(path, 10000, &err));
+  EXPECT_NE(err.find("daemon and client builds disagree"), std::string::npos)
+      << err;
+  ::unlink(path.c_str());
+}
+
+TEST(SegmentAutopsyTest, ClassifiesLiveStaleAndRecreated) {
+  const std::string path = temp_segment("autopsy");
+  EXPECT_FALSE(service::inspect_segment(path).exists);
+  {
+    service::ShmSegment creator;
+    ASSERT_TRUE(creator.create(path, nullptr));
+    // Bare segment: no daemon registered -> stale (safe to recreate).
+    service::SegmentAutopsy a = service::inspect_segment(path);
+    EXPECT_TRUE(a.exists && a.published && a.version_ok);
+    EXPECT_TRUE(a.stale());
+    // A live daemon pins it.
+    creator.header().daemon_pid.store(static_cast<std::uint32_t>(::getpid()),
+                                      std::memory_order_relaxed);
+    a = service::inspect_segment(path);
+    EXPECT_TRUE(a.daemon_alive);
+    EXPECT_FALSE(a.stale());
+    EXPECT_NE(a.detail.find("live daemon"), std::string::npos) << a.detail;
+  }
+  if (!DG_TEST_TSAN) {
+    // Daemon gone: stale again, and the --recover path (recreate over the
+    // stale file) yields a fresh, owned segment.
+    service::ShmSegment reopen;
+    ASSERT_TRUE(reopen.attach_raw(path, nullptr));
+    reopen.header().daemon_pid.store(make_dead_pid(),
+                                     std::memory_order_relaxed);
+    reopen.close();
+    service::SegmentAutopsy a = service::inspect_segment(path);
+    EXPECT_TRUE(a.stale());
+    EXPECT_NE(a.detail.find("stale"), std::string::npos) << a.detail;
+    service::ShmSegment fresh;
+    ASSERT_TRUE(fresh.create(path, nullptr));
+    EXPECT_EQ(service::inspect_segment(path).producers_crashed, 0u);
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(ProducerLivenessTest, CrashedProducerIsReclaimedAndSlotReused) {
+  if (DG_TEST_TSAN) GTEST_SKIP() << "fork-based crash simulation";
+  const std::string path = temp_segment("reclaim");
+  ::unlink(path.c_str());
+  DynGranDetector det;
+  ReportStore crash_store(64);
+  service::ServiceOptions opts;
+  opts.drainers = 1;
+  opts.liveness_poll_ms = 20;
+  opts.crash_store = &crash_store;
+  service::AnalysisService svc(det, opts);
+  std::string err;
+  ASSERT_TRUE(svc.start(path, &err)) << err;
+  svc.open_gate();
+
+  // Producer 1 streams half a racy trace, then "dies" (its pid is swapped
+  // for a reaped child's and its heartbeat goes flat).
+  const auto tr = racy_trace(4, 2);
+  {
+    service::ShmProducer p;
+    ASSERT_TRUE(p.connect(path, "crashing", 10000, &err)) << err;
+    ASSERT_TRUE(p.wait_go(10000));
+    ASSERT_TRUE(p.push_n(tr.data(), tr.size() / 2));
+    // no finish(): the slot stays kAttached, exactly like a SIGKILL.
+  }
+  auto& slot0 = svc.segment().layout().slots[0];
+  slot0.pid.store(make_dead_pid(), std::memory_order_release);
+
+  ASSERT_TRUE(wait_for(
+      [&] {
+        return slot0.state.load(std::memory_order_acquire) ==
+               static_cast<std::uint32_t>(service::SlotState::kFree);
+      },
+      10000))
+      << "crashed slot was never reclaimed";
+
+  const auto& h = svc.segment().layout().header;
+  EXPECT_EQ(h.producers_crashed.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(h.slots_reclaimed.load(std::memory_order_relaxed), 1u);
+  ASSERT_EQ(h.crash_count.load(std::memory_order_acquire), 1u);
+  EXPECT_EQ(h.crash_log[0].slot, 0u);
+  EXPECT_EQ(h.crash_log[0].pushed, tr.size() / 2);
+  EXPECT_EQ(h.crash_log[0].drained, tr.size() / 2)
+      << "every pushed event must be salvaged";
+  EXPECT_EQ(h.crash_log[0].ns_tag, 0u);
+  // The crash note reached the operational store.
+  EXPECT_EQ(crash_store.query_site_prefix("svc:crash").size(), 1u);
+
+  // The reclaimed slot is reusable — and namespaced afresh, so the new
+  // incarnation can never alias the dead one.
+  EXPECT_EQ(slot0.generation.load(std::memory_order_relaxed), 1u);
+  const std::uint32_t new_tag = slot0.ns_tag.load(std::memory_order_relaxed);
+  EXPECT_EQ(new_tag, service::kMaxProducers);
+  {
+    service::ShmProducer p2;
+    ASSERT_TRUE(p2.connect(path, "fresh", 10000, &err)) << err;
+    EXPECT_EQ(p2.slot_index(), 0u);
+    ASSERT_TRUE(p2.wait_go(10000));
+    ASSERT_TRUE(p2.push_n(tr.data(), tr.size()));
+    p2.finish();
+  }
+  svc.stop(20000);
+
+  std::unordered_set<std::uint64_t> tags;
+  for (const auto& r : det.sink().reports()) tags.insert(r.addr >> 48);
+  // Races from the survivor carry the fresh tag; whatever the crashed
+  // incarnation's salvaged prefix produced carries tag 0+1.
+  EXPECT_TRUE(tags.count(new_tag + 1) != 0)
+      << "surviving producer's races must use the fresh namespace tag";
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.producers_crashed, 1u);
+  EXPECT_EQ(st.slots_reclaimed, 1u);
+  EXPECT_EQ(st.events_total, tr.size() / 2 + tr.size());
+  ::unlink(path.c_str());
+}
+
+TEST(ProducerLivenessTest, FinishedProducerDeathIsNotACrash) {
+  if (DG_TEST_TSAN) GTEST_SKIP() << "fork-based crash simulation";
+  const std::string path = temp_segment("finished_death");
+  ::unlink(path.c_str());
+  DynGranDetector det;
+  service::ServiceOptions opts;
+  opts.drainers = 1;
+  opts.liveness_poll_ms = 20;
+  service::AnalysisService svc(det, opts);
+  std::string err;
+  ASSERT_TRUE(svc.start(path, &err)) << err;
+  svc.open_gate();
+  const auto tr = racy_trace(2, 1);
+  {
+    service::ShmProducer p;
+    ASSERT_TRUE(p.connect(path, "finisher", 10000, &err)) << err;
+    ASSERT_TRUE(p.wait_go(10000));
+    ASSERT_TRUE(p.push_n(tr.data(), tr.size()));
+    p.finish();
+  }
+  auto& slot0 = svc.segment().layout().slots[0];
+  slot0.pid.store(make_dead_pid(), std::memory_order_release);
+  ASSERT_TRUE(wait_for(
+      [&] {
+        return slot0.state.load(std::memory_order_acquire) ==
+               static_cast<std::uint32_t>(service::SlotState::kDrained);
+      },
+      10000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto& h = svc.segment().layout().header;
+  EXPECT_EQ(h.producers_crashed.load(std::memory_order_relaxed), 0u)
+      << "a finished producer retiring normally is not a crash";
+  svc.stop(10000);
+  ::unlink(path.c_str());
+}
+
+TEST(DaemonLivenessTest, ConnectRefusesStaleDaemonSegment) {
+  if (DG_TEST_TSAN) GTEST_SKIP() << "fork-based crash simulation";
+  const std::string path = temp_segment("stale_connect");
+  {
+    service::ShmSegment creator;
+    ASSERT_TRUE(creator.create(path, nullptr));
+    creator.header().daemon_pid.store(make_dead_pid(),
+                                      std::memory_order_relaxed);
+  }
+  service::ShmProducer p;
+  std::string err;
+  EXPECT_FALSE(p.connect(path, "w", 5000, &err));
+  EXPECT_NE(err.find("stale"), std::string::npos) << err;
+  ::unlink(path.c_str());
+}
+
+TEST(DaemonLivenessTest, WaitGoIsBoundedByDaemonDeath) {
+  if (DG_TEST_TSAN) GTEST_SKIP() << "fork-based crash simulation";
+  const std::string path = temp_segment("waitgo_death");
+  service::ShmSegment creator;
+  ASSERT_TRUE(creator.create(path, nullptr));
+  service::ShmProducer p;
+  std::string err;
+  ASSERT_TRUE(p.connect(path, "w", 5000, &err)) << err;
+  // The daemon dies after the producer connected; the gate never opens.
+  creator.header().daemon_pid.store(make_dead_pid(),
+                                    std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(p.wait_go(60000));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 5000) << "wait_go must not outlive the daemon";
+  EXPECT_EQ(p.last_status(), service::ProducerStatus::kDaemonDead);
+  ::unlink(path.c_str());
+}
+
+TEST(DaemonLivenessTest, FullRingPushDegradesToAccountedDrops) {
+  if (DG_TEST_TSAN) GTEST_SKIP() << "fork-based crash simulation";
+  const std::string path = temp_segment("push_death");
+  service::ShmSegment creator;
+  ASSERT_TRUE(creator.create(path, nullptr));
+  creator.header().go.store(1, std::memory_order_release);
+  service::ShmProducer p;
+  std::string err;
+  ASSERT_TRUE(p.connect(path, "w", 5000, &err)) << err;
+  creator.header().daemon_pid.store(make_dead_pid(),
+                                    std::memory_order_relaxed);
+  // No drainer exists: the ring fills, then the dead-daemon probe turns
+  // the tail into accounted local drops instead of an unbounded hang.
+  const std::size_t n = service::kShmRingCapacity + 4000;
+  std::vector<rt::TraceEvent> ev(
+      n, {rt::EventKind::kWrite, 0, 4, 1, 0x1000, 0});
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(p.push_n(ev.data(), ev.size()));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 10000);
+  EXPECT_EQ(p.last_status(), service::ProducerStatus::kDaemonDead);
+  EXPECT_EQ(p.dropped(), n - service::kShmRingCapacity);
+  const auto& lay = creator.layout();
+  EXPECT_EQ(lay.slots[0].dropped.load(std::memory_order_relaxed),
+            n - service::kShmRingCapacity);
+  EXPECT_EQ(lay.header.dropped_total.load(std::memory_order_relaxed),
+            n - service::kShmRingCapacity);
+  ::unlink(path.c_str());
+}
+
+TEST(DaemonLivenessTest, HeartbeatStallAloneDeclaresDaemonDead) {
+  // The daemon pid stays alive (it is this test) but its heartbeat never
+  // moves: a wedged daemon is as dead as a killed one.
+  const std::string path = temp_segment("hb_stall");
+  service::ShmSegment creator;
+  ASSERT_TRUE(creator.create(path, nullptr));
+  creator.header().go.store(1, std::memory_order_release);
+  service::ShmProducer p;
+  std::string err;
+  ASSERT_TRUE(p.connect(path, "w", 5000, &err)) << err;
+  creator.header().daemon_pid.store(static_cast<std::uint32_t>(::getpid()),
+                                    std::memory_order_relaxed);
+  p.set_daemon_stall_ms(50);
+  const std::size_t n = service::kShmRingCapacity + 100;
+  std::vector<rt::TraceEvent> ev(
+      n, {rt::EventKind::kWrite, 0, 4, 1, 0x1000, 0});
+  EXPECT_FALSE(p.push_n(ev.data(), ev.size()));
+  EXPECT_EQ(p.last_status(), service::ProducerStatus::kDaemonDead);
+  EXPECT_EQ(p.dropped(), 100u);
+  ::unlink(path.c_str());
+}
+
+TEST(QuarantineTest, MalformedEventsNeverReachTheDetector) {
+  using rt::EventKind;
+  const auto clean = racy_trace(3, 2);
+  DynGranDetector reference;
+  rt::replay_trace(clean, reference);
+
+  // Interleave malformed records through the clean stream: every flavour
+  // the validator rejects.
+  std::vector<rt::TraceEvent> dirty;
+  const std::vector<rt::TraceEvent> bad = {
+      {static_cast<EventKind>(0), 0, 4, 1, 0x9990, 0},    // kind 0
+      {static_cast<EventKind>(42), 0, 0, 1, 0x9991, 0},   // kind > kFinish
+      {EventKind::kWrite, 7, 4, 1, 0x9992, 0},            // reserved pad
+      {EventKind::kRead, 0, 0, 1, 0x9993, 0},             // size 0 access
+      {EventKind::kWrite, 0, 0xffff, 1, 0x9994, 0},       // oversized access
+      {EventKind::kRead, 0, 4, kInvalidThread, 0x9995, 0},  // invalid tid
+      {EventKind::kAcquire, 0, 9, 1, 0x9996, 0},          // sized sync event
+  };
+  std::size_t bi = 0;
+  for (const auto& e : clean) {
+    dirty.push_back(e);
+    if (bi < bad.size()) dirty.push_back(bad[bi++]);
+  }
+  ASSERT_EQ(bi, bad.size()) << "stream too short to place all bad records";
+
+  DynGranDetector det;
+  service::ServiceStats st;
+  run_service(det, {}, temp_segment("quarantine"), {dirty}, &st);
+
+  EXPECT_EQ(st.quarantined, bad.size());
+  EXPECT_EQ(st.events_total, dirty.size());
+  // Containment: analysis equals the clean stream's — the malformed
+  // records changed nothing but the quarantine counter.
+  EXPECT_EQ(det.sink().unique_races(), reference.sink().unique_races());
+}
+
+TEST(WireValidTest, AcceptsRealTracesRejectsGarbage) {
+  for (const auto& e : racy_trace(2, 2)) EXPECT_TRUE(rt::wire_valid(e));
+  rt::TraceEvent e{rt::EventKind::kRead, 0, 4, 1, 0x1000, 0};
+  EXPECT_TRUE(rt::wire_valid(e));
+  e.size = 8192;
+  EXPECT_FALSE(rt::wire_valid(e, 4096));
+  EXPECT_TRUE(rt::wire_valid(e, 16384));
+  e = {rt::EventKind::kThreadJoin, 0, 0, 0, 0, kInvalidThread};
+  EXPECT_FALSE(rt::wire_valid(e)) << "join of nobody";
+  e = {rt::EventKind::kFinish, 0, 0, 0, 0, 0};
+  EXPECT_TRUE(rt::wire_valid(e));
+}
+
+TEST(FaultPlanTest, ParsesSpecsAndRejectsGarbage) {
+  service::FaultPlan plan;
+  std::string err;
+  EXPECT_TRUE(service::FaultPlan::parse("", plan, &err));
+  EXPECT_FALSE(plan.any());
+  EXPECT_TRUE(service::FaultPlan::parse(
+      "kill-after=100,corrupt-every=7,seed=42,die-after=5000", plan, &err));
+  EXPECT_EQ(plan.kill_after, 100u);
+  EXPECT_EQ(plan.corrupt_every, 7u);
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_EQ(plan.die_after, 5000u);
+  EXPECT_TRUE(plan.should_kill(100));
+  EXPECT_FALSE(plan.should_kill(99));
+  EXPECT_TRUE(plan.should_corrupt(6));   // 7th event, 0-based
+  EXPECT_FALSE(plan.should_corrupt(7));
+  EXPECT_FALSE(service::FaultPlan::parse("warp-core=1", plan, &err));
+  EXPECT_NE(err.find("warp-core"), std::string::npos) << err;
+  EXPECT_FALSE(service::FaultPlan::parse("kill-after=banana", plan, &err));
+}
+
+TEST(FaultPlanTest, CorruptionIsDeterministicAndInvalidates) {
+  service::FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(service::FaultPlan::parse("corrupt-every=1,seed=3", plan, &err));
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    rt::TraceEvent a{rt::EventKind::kWrite, 0, 4, 1, 0x1000, 0};
+    rt::TraceEvent b = a;
+    plan.corrupt(a, i);
+    plan.corrupt(b, i);
+    EXPECT_EQ(a, b) << "same (seed, index) must corrupt identically";
+    EXPECT_FALSE(rt::wire_valid(a)) << "corrupted event " << i
+                                    << " still validates";
+  }
+}
+
+TEST(ReportStoreTest, OperationalNotesAreQueryable) {
+  ReportStore store(8);
+  store.record_note("svc:crash", "producer pid 123 died on slot 0");
+  store.record_note("svc:crash", "producer pid 456 died on slot 3");
+  const auto notes = store.query_site_prefix("svc:crash");
+  ASSERT_EQ(notes.size(), 2u);
+  EXPECT_NE(notes[0].previous_site.find("pid 123"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

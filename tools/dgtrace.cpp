@@ -39,10 +39,20 @@
 //       witness provenance (--json for a machine-readable report,
 //       --parity to run the analysis twice and byte-compare the output)
 //   dgtrace connect <segment> <workload|trace> [threads] [scale] [seed]
+//               [--fault SPEC]
 //       attach to a dgtraced segment as a producer and stream the
-//       workload's (or saved trace's) events through shared memory
-//   dgtrace svc-stats <segment>
-//       attach read-only and print the daemon's live telemetry
+//       workload's (or saved trace's) events through shared memory.
+//       --fault (or DGSVC_FAULT) injects producer-side faults: kill-after=N
+//       SIGKILLs this process mid-stream, corrupt-every=K scrambles every
+//       Kth event. Exits 0 on success, 3 when the stream degraded to
+//       accounted local drops (daemon died / shut down mid-stream), 1 on
+//       hard errors.
+//   dgtrace svc-stats <segment> [--json]
+//       attach read-only and print the daemon's telemetry (works on live
+//       and post-mortem segments alike)
+//   dgtrace svc-fault <segment> <magic|version|geometry|truncate>
+//       deliberately damage a segment file (fault-injection harness for
+//       the attach validation paths)
 #include <algorithm>
 #include <array>
 #include <cinttypes>
@@ -53,6 +63,9 @@
 #include <string>
 #include <vector>
 
+#include <csignal>
+#include <unistd.h>
+
 #include "analyze/adhoc_sync.hpp"
 #include "analyze/trace_analyzer.hpp"
 #include "bench/harness.hpp"
@@ -62,6 +75,7 @@
 #include "govern/governor.hpp"
 #include "predict/predict.hpp"
 #include "rt/trace.hpp"
+#include "service/fault_plan.hpp"
 #include "service/shm_segment.hpp"
 #include "sim/sim.hpp"
 #include "trace_spec.hpp"
@@ -106,8 +120,9 @@ int usage() {
       "  dgtrace predict <trace> [--schedules N] [--seed S] [--json] "
       "[--parity]\n"
       "  dgtrace connect <segment> <workload|trace> [threads] [scale] "
-      "[seed]\n"
-      "  dgtrace svc-stats <segment>\n"
+      "[seed] [--fault SPEC]\n"
+      "  dgtrace svc-stats <segment> [--json]\n"
+      "  dgtrace svc-fault <segment> <magic|version|geometry|truncate>\n"
       "detectors: byte word dynamic dynamic-noshare1 dynamic-noinit djit\n"
       "           lockset drd inspector\n"
       "sampling specs: literace | pacer,0.05 | budget,window=4096,budget=64\n"
@@ -793,26 +808,52 @@ int cmd_predict(int argc, char** argv) {
 // it. The stream is either a saved trace or a sim-recorded workload; the
 // published spec lets the daemon's --parity mode rebuild it.
 int cmd_connect(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const std::string segment = argv[2];
-  const std::string source = argv[3];
+  const char* fault_flag = nullptr;
+  std::vector<const char*> pos;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault") == 0) {
+      if (i + 1 >= argc) return usage();
+      fault_flag = argv[++i];
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 2) return usage();
+  const std::string segment = pos[0];
+  const std::string source = pos[1];
+  service::FaultPlan plan;
+  std::string err;
+  if (!service::FaultPlan::from_flag_or_env(fault_flag, plan, &err)) {
+    std::fprintf(stderr, "connect: %s\n", err.c_str());
+    return 2;
+  }
   std::vector<TraceEvent> ev;
   std::string spec;
-  std::string err;
   if (rt::load_trace(source, ev, &err)) {
     spec = dgtool::make_trace_spec(source);
   } else {
     const std::uint32_t threads =
-        argc > 4 ? static_cast<std::uint32_t>(std::atoi(argv[4])) : 4;
+        pos.size() > 2 ? static_cast<std::uint32_t>(std::atoi(pos[2])) : 4;
     const std::uint32_t scale =
-        argc > 5 ? static_cast<std::uint32_t>(std::atoi(argv[5])) : 100;
+        pos.size() > 3 ? static_cast<std::uint32_t>(std::atoi(pos[3])) : 100;
     const std::uint64_t seed =
-        argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 7;
+        pos.size() > 4 ? std::strtoull(pos[4], nullptr, 10) : 7;
     spec = dgtool::make_workload_spec(source, threads, scale, seed);
     if (!dgtool::spec_to_events(spec, ev, &err)) {
       std::fprintf(stderr, "%s\n", err.c_str());
       return 1;
     }
+  }
+  if (plan.corrupt_every != 0) {
+    std::uint64_t corrupted = 0;
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+      if (!plan.should_corrupt(i)) continue;
+      plan.corrupt(ev[i], i);
+      ++corrupted;
+    }
+    std::printf("fault: corrupted %" PRIu64 " of %zu events (every %" PRIu64
+                "th, seed %" PRIu64 ")\n",
+                corrupted, ev.size(), plan.corrupt_every, plan.seed);
   }
   service::ShmProducer prod;
   if (!prod.connect(segment, spec, 30000, &err)) {
@@ -823,12 +864,36 @@ int cmd_connect(int argc, char** argv) {
               segment.c_str(), prod.slot_index(), ev.size());
   std::fflush(stdout);
   if (!prod.wait_go(60000)) {
-    std::fprintf(stderr, "connect: service never opened the gate\n");
-    return 1;
+    std::fprintf(stderr, "connect: gate never opened (%s)\n",
+                 service::to_string(prod.last_status()));
+    return prod.last_status() == service::ProducerStatus::kDaemonDead ? 3 : 1;
   }
-  if (!prod.push_n(ev.data(), ev.size())) {
-    std::fprintf(stderr, "connect: service shut down mid-stream\n");
-    return 1;
+  // Chunked pushes so an injected kill-after lands mid-stream with live
+  // residue in the ring (the slot reclamation path must salvage it).
+  constexpr std::size_t kChunk = 512;
+  std::size_t done = 0;
+  bool ok = true;
+  while (done < ev.size()) {
+    if (plan.should_kill(done)) {
+      std::printf("fault: SIGKILL self after %zu events\n", done);
+      std::fflush(stdout);
+      ::raise(SIGKILL);
+    }
+    std::size_t k = std::min(kChunk, ev.size() - done);
+    if (plan.kill_after > done && plan.kill_after - done < k)
+      k = static_cast<std::size_t>(plan.kill_after - done);
+    ok = prod.push_n(ev.data() + done, k);
+    done += k;
+    if (!ok) break;
+  }
+  if (!ok) {
+    // Accounted degradation, not a hang: the undelivered tail became
+    // local drops (PR 5's backpressure discipline across the boundary).
+    std::fprintf(stderr,
+                 "connect: stream degraded (%s): %" PRIu64
+                 " event(s) dropped locally\n",
+                 service::to_string(prod.last_status()), prod.dropped());
+    return 3;
   }
   prod.finish();
   const auto& ctl = prod.segment().layout().slots[prod.slot_index()];
@@ -842,20 +907,98 @@ int cmd_connect(int argc, char** argv) {
 
 int cmd_svc_stats(int argc, char** argv) {
   if (argc < 3) return usage();
+  bool json = false;
+  for (int i = 3; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
   service::ShmSegment seg;
   std::string err;
   if (!seg.attach(argv[2], 2000, &err)) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
-  const auto& h = seg.layout().header;
-  std::printf("%s: gate %s, shutdown %u, %u drainer(s)\n", argv[2],
+  const auto& lay = seg.layout();
+  const auto& h = lay.header;
+  const std::uint32_t daemon_pid = h.daemon_pid.load(std::memory_order_relaxed);
+  const bool daemon_alive = service::pid_alive(daemon_pid);
+  const std::uint32_t crash_count =
+      h.crash_count.load(std::memory_order_acquire);
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"segment\": \"%s\",\n", argv[2]);
+    std::printf("  \"daemon_pid\": %u,\n", daemon_pid);
+    std::printf("  \"daemon_alive\": %s,\n", daemon_alive ? "true" : "false");
+    std::printf("  \"gate_open\": %s,\n",
+                h.go.load(std::memory_order_relaxed) != 0 ? "true" : "false");
+    std::printf("  \"shutdown\": %s,\n",
+                h.shutdown.load(std::memory_order_relaxed) != 0 ? "true"
+                                                                : "false");
+    std::printf("  \"drainers\": %u,\n",
+                h.num_drainers.load(std::memory_order_relaxed));
+    std::printf("  \"events_total\": %" PRIu64 ",\n",
+                h.events_total.load(std::memory_order_relaxed));
+    std::printf("  \"races_unique\": %" PRIu64 ",\n",
+                h.races_unique.load(std::memory_order_relaxed));
+    std::printf("  \"producers_crashed\": %" PRIu64 ",\n",
+                h.producers_crashed.load(std::memory_order_relaxed));
+    std::printf("  \"slots_reclaimed\": %" PRIu64 ",\n",
+                h.slots_reclaimed.load(std::memory_order_relaxed));
+    std::printf("  \"quarantined_total\": %" PRIu64 ",\n",
+                h.quarantined_total.load(std::memory_order_relaxed));
+    std::printf("  \"dropped_total\": %" PRIu64 ",\n",
+                h.dropped_total.load(std::memory_order_relaxed));
+    std::printf("  \"crash_count\": %u,\n", crash_count);
+    std::printf("  \"crashes\": [");
+    const std::uint32_t n = std::min(crash_count, service::kCrashLogCapacity);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const service::CrashRecord& cr = h.crash_log[i];
+      std::printf("%s\n    {\"slot\": %u, \"pid\": %u, \"generation\": %u, "
+                  "\"pushed\": %" PRIu64 ", \"drained\": %" PRIu64
+                  ", \"residue\": %" PRIu64 "}",
+                  i == 0 ? "" : ",", cr.slot, cr.pid, cr.generation,
+                  cr.pushed, cr.drained, cr.residue);
+    }
+    std::printf("%s],\n", n == 0 ? "" : "\n  ");
+    std::printf("  \"slots\": [");
+    bool first = true;
+    for (std::uint32_t s = 0; s < h.max_producers; ++s) {
+      const auto& slot = lay.slots[s];
+      const auto state = static_cast<service::SlotState>(
+          slot.state.load(std::memory_order_relaxed));
+      if (state == service::SlotState::kFree) continue;
+      std::printf("%s\n    {\"slot\": %u, \"pid\": %u, \"state\": \"%s\", "
+                  "\"ns_tag\": %u, \"generation\": %u, \"pushed\": %" PRIu64
+                  ", \"drained\": %" PRIu64 ", \"filtered\": %" PRIu64
+                  ", \"quarantined\": %" PRIu64 ", \"dropped\": %" PRIu64 "}",
+                  first ? "" : ",", s,
+                  slot.pid.load(std::memory_order_relaxed),
+                  service::to_string(state),
+                  slot.ns_tag.load(std::memory_order_relaxed),
+                  slot.generation.load(std::memory_order_relaxed),
+                  slot.pushed.load(std::memory_order_relaxed),
+                  slot.drained.load(std::memory_order_relaxed),
+                  slot.filtered.load(std::memory_order_relaxed),
+                  slot.quarantined.load(std::memory_order_relaxed),
+                  slot.dropped.load(std::memory_order_relaxed));
+      first = false;
+    }
+    std::printf("%s]\n}\n", first ? "" : "\n  ");
+    return 0;
+  }
+  std::printf("%s: gate %s, shutdown %u, %u drainer(s), daemon pid %u (%s)\n",
+              argv[2],
               h.go.load(std::memory_order_relaxed) != 0 ? "open" : "closed",
               h.shutdown.load(std::memory_order_relaxed),
-              h.num_drainers.load(std::memory_order_relaxed));
+              h.num_drainers.load(std::memory_order_relaxed), daemon_pid,
+              daemon_alive ? "alive" : "gone");
   std::printf("events drained: %" PRIu64 ", unique races: %" PRIu64 "\n",
               h.events_total.load(std::memory_order_relaxed),
               h.races_unique.load(std::memory_order_relaxed));
+  std::printf("fault tolerance: %" PRIu64 " crashed, %" PRIu64
+              " reclaimed, %" PRIu64 " quarantined, %" PRIu64 " dropped\n",
+              h.producers_crashed.load(std::memory_order_relaxed),
+              h.slots_reclaimed.load(std::memory_order_relaxed),
+              h.quarantined_total.load(std::memory_order_relaxed),
+              h.dropped_total.load(std::memory_order_relaxed));
   std::printf("shadow bytes: %" PRIu64 " current, %" PRIu64 " peak; "
               "clock GC: %" PRIu64 " runs, %" PRIu64 " bytes shed\n",
               h.shadow_bytes.load(std::memory_order_relaxed),
@@ -863,17 +1006,65 @@ int cmd_svc_stats(int argc, char** argv) {
               h.gc_runs.load(std::memory_order_relaxed),
               h.gc_shed_bytes.load(std::memory_order_relaxed));
   for (std::uint32_t s = 0; s < h.max_producers; ++s) {
-    const auto& slot = seg.layout().slots[s];
-    const auto state = slot.state.load(std::memory_order_relaxed);
-    if (state == static_cast<std::uint32_t>(service::SlotState::kFree))
-      continue;
-    std::printf("  slot %u (pid %u, state %u, '%s'): %" PRIu64 " pushed, "
-                "%" PRIu64 " drained, %" PRIu64 " filtered\n",
-                s, slot.pid, state, slot.spec,
+    const auto& slot = lay.slots[s];
+    const auto state = static_cast<service::SlotState>(
+        slot.state.load(std::memory_order_relaxed));
+    if (state == service::SlotState::kFree) continue;
+    std::printf("  slot %u (pid %u, %s, gen %u, tag %u, '%s'): %" PRIu64
+                " pushed, %" PRIu64 " drained, %" PRIu64 " filtered, "
+                "%" PRIu64 " quarantined, %" PRIu64 " dropped\n",
+                s, slot.pid.load(std::memory_order_relaxed),
+                service::to_string(state),
+                slot.generation.load(std::memory_order_relaxed),
+                slot.ns_tag.load(std::memory_order_relaxed), slot.spec,
                 slot.pushed.load(std::memory_order_relaxed),
                 slot.drained.load(std::memory_order_relaxed),
-                slot.filtered.load(std::memory_order_relaxed));
+                slot.filtered.load(std::memory_order_relaxed),
+                slot.quarantined.load(std::memory_order_relaxed),
+                slot.dropped.load(std::memory_order_relaxed));
   }
+  const std::uint32_t n = std::min(crash_count, service::kCrashLogCapacity);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const service::CrashRecord& cr = h.crash_log[i];
+    std::printf("  crash %u: slot %u gen %u pid %u — pushed %" PRIu64
+                ", drained %" PRIu64 " (%" PRIu64 " salvaged)\n",
+                i, cr.slot, cr.generation, cr.pid, cr.pushed, cr.drained,
+                cr.residue);
+  }
+  return 0;
+}
+
+// Deliberate segment damage for the fault-injection harness: each mode
+// exercises one permanent-error branch of ShmSegment::attach.
+int cmd_svc_fault(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string path = argv[2];
+  const std::string mode = argv[3];
+  if (mode == "truncate") {
+    if (::truncate(path.c_str(), 512) != 0) {
+      std::perror("svc-fault: truncate");
+      return 1;
+    }
+    std::printf("svc-fault: truncated %s to 512 bytes\n", path.c_str());
+    return 0;
+  }
+  service::ShmSegment seg;
+  std::string err;
+  if (!seg.attach_raw(path, &err)) {
+    std::fprintf(stderr, "svc-fault: %s\n", err.c_str());
+    return 1;
+  }
+  auto& h = seg.layout().header;
+  if (mode == "magic") {
+    h.magic ^= 0xdeadbeefULL;
+  } else if (mode == "version") {
+    h.version = 0x7eadbeef;
+  } else if (mode == "geometry") {
+    h.max_producers = 999;
+  } else {
+    return usage();
+  }
+  std::printf("svc-fault: corrupted %s of %s\n", mode.c_str(), path.c_str());
   return 0;
 }
 
@@ -894,5 +1085,6 @@ int main(int argc, char** argv) {
   if (cmd == "predict") return cmd_predict(argc, argv);
   if (cmd == "connect") return cmd_connect(argc, argv);
   if (cmd == "svc-stats") return cmd_svc_stats(argc, argv);
+  if (cmd == "svc-fault") return cmd_svc_fault(argc, argv);
   return usage();
 }

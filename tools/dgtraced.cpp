@@ -8,6 +8,12 @@
 // summary, per-producer telemetry, the online report store's view, and
 // the clock-GC / governor ledgers on exit.
 //
+// Fault tolerance (docs/ROBUSTNESS.md §6): producers that die mid-stream
+// are detected by heartbeat + pid probe, their ring residue is salvaged,
+// and the slot is reclaimed; SIGTERM/SIGINT trigger a graceful
+// drain-then-exit; a segment left behind by a dead daemon is refused
+// unless it is verifiably clean or --recover is passed.
+//
 // Options:
 //   --producers N   producers to wait for before opening the gate (1)
 //   --drainers N    drainer threads (2)
@@ -18,23 +24,36 @@
 //   --no-filter     disable the consumer-side same-epoch filter
 //   --timeout MS    producer wait / drain deadline (30000)
 //   --store CAP     online report store ring capacity (1024)
+//   --liveness MS   producer crash-detection poll interval (200, 0 = off)
+//   --recover       take over a stale segment (dead daemon) after printing
+//                   its autopsy; without this flag only clean leftovers
+//                   are recreated silently
+//   --fault SPEC    fault injection (service::FaultPlan): die-after=N
+//                   SIGKILLs this daemon after N ingested events
 //   --parity        after draining, rebuild every producer's stream from
 //                   its published spec, replay in-process under the same
 //                   detector config, and assert the race sets match
-//                   (exit 1 on mismatch). Meaningless with --gc-every:
-//                   clock compaction can change dyngran sharing decisions,
-//                   so parity runs should leave GC off.
+//                   (exit 1 on mismatch). Slots with quarantined events
+//                   and reclaimed (crashed) slots are excluded: parity is
+//                   asserted for the surviving, well-formed producers.
+//                   Meaningless with --gc-every: clock compaction can
+//                   change dyngran sharing decisions, so parity runs
+//                   should leave GC off.
+#include <chrono>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.hpp"
 #include "report/report_store.hpp"
 #include "rt/trace.hpp"
 #include "service/analysis_service.hpp"
+#include "service/fault_plan.hpp"
 #include "service/shm_segment.hpp"
 #include "trace_spec.hpp"
 
@@ -42,56 +61,86 @@ namespace {
 
 using namespace dg;
 
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
 int usage() {
   std::puts(
       "usage: dgtraced <segment> [--producers N] [--drainers N]\n"
       "                [--detector D] [--gc-every N] [--gc-cold K]\n"
       "                [--budget BYTES] [--no-filter] [--timeout MS]\n"
-      "                [--store CAP] [--parity]");
+      "                [--store CAP] [--liveness MS] [--recover]\n"
+      "                [--fault SPEC] [--parity]");
   return 2;
 }
 
 void print_producers(const service::ShmSegment& seg) {
   const auto& lay = seg.layout();
   std::puts("producers:");
-  std::printf("  %-4s %-8s %-28s %10s %6s %7s %10s %9s %9s\n", "slot", "pid",
-              "spec", "pushed", "hwm", "stalls", "drained", "filtered",
-              "avg-us");
+  std::printf("  %-4s %-8s %-9s %-20s %10s %7s %10s %9s %7s %7s\n", "slot",
+              "pid", "state", "spec", "pushed", "stalls", "drained",
+              "filtered", "q'tined", "dropped");
   for (std::uint32_t s = 0; s < lay.header.max_producers; ++s) {
     const auto& slot = lay.slots[s];
-    if (slot.state.load(std::memory_order_relaxed) ==
-        static_cast<std::uint32_t>(service::SlotState::kFree))
-      continue;
-    const std::uint64_t drains = slot.drains.load(std::memory_order_relaxed);
-    const std::uint64_t drain_ns =
-        slot.drain_ns.load(std::memory_order_relaxed);
-    std::printf("  %-4u %-8u %-28.28s %10" PRIu64 " %6" PRIu64 " %7" PRIu64
-                " %10" PRIu64 " %9" PRIu64 " %9.1f\n",
-                s, slot.pid, slot.spec,
+    const auto state = static_cast<service::SlotState>(
+        slot.state.load(std::memory_order_relaxed));
+    if (state == service::SlotState::kFree) continue;
+    std::printf("  %-4u %-8u %-9s %-20.20s %10" PRIu64 " %7" PRIu64
+                " %10" PRIu64 " %9" PRIu64 " %7" PRIu64 " %7" PRIu64 "\n",
+                s, slot.pid.load(std::memory_order_relaxed),
+                service::to_string(state), slot.spec,
                 slot.pushed.load(std::memory_order_relaxed),
-                slot.push_hwm.load(std::memory_order_relaxed),
                 slot.full_stalls.load(std::memory_order_relaxed),
                 slot.drained.load(std::memory_order_relaxed),
                 slot.filtered.load(std::memory_order_relaxed),
-                drains == 0 ? 0.0
-                            : static_cast<double>(drain_ns) / 1e3 /
-                                  static_cast<double>(drains));
+                slot.quarantined.load(std::memory_order_relaxed),
+                slot.dropped.load(std::memory_order_relaxed));
+  }
+}
+
+void print_crash_log(const service::ShmSegment& seg) {
+  const auto& h = seg.layout().header;
+  const std::uint32_t count = h.crash_count.load(std::memory_order_acquire);
+  if (count == 0) return;
+  std::printf("crash log (%u producer crash(es)):\n", count);
+  const std::uint32_t n = std::min(count, service::kCrashLogCapacity);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const service::CrashRecord& cr = h.crash_log[i];
+    std::printf("  slot %u gen %u pid %u (spec '%.*s'): pushed %" PRIu64
+                ", drained %" PRIu64 " (%" PRIu64 " salvaged post-mortem)\n",
+                cr.slot, cr.generation, cr.pid,
+                static_cast<int>(service::kSpecBytes), cr.spec, cr.pushed,
+                cr.drained, cr.residue);
   }
 }
 
 /// Rebuild each drained producer's stream from its spec and replay it
 /// in-process under a fresh detector of the same config; the service's
-/// race set must equal the union of the per-slot sets (namespaced).
-/// Returns true on parity.
+/// race set must equal the union of the per-slot sets (namespaced by each
+/// slot's incarnation tag). Crashed (reclaimed) producers and slots with
+/// quarantined events are excluded — parity is a statement about the
+/// surviving, well-formed streams.
 bool check_parity(service::AnalysisService& svc, const std::string& detector) {
   const auto& lay = svc.segment().layout();
+  const std::uint64_t crashes =
+      lay.header.producers_crashed.load(std::memory_order_relaxed);
   std::set<Addr> expected;
+  std::set<std::uint64_t> included_tags;
   std::uint64_t expected_unique = 0;
+  bool excluded_any = crashes != 0;
   for (std::uint32_t s = 0; s < lay.header.max_producers; ++s) {
     const auto& slot = lay.slots[s];
     if (slot.state.load(std::memory_order_relaxed) ==
         static_cast<std::uint32_t>(service::SlotState::kFree))
       continue;
+    if (slot.quarantined.load(std::memory_order_relaxed) != 0) {
+      std::printf("parity: slot %u excluded (%" PRIu64
+                  " quarantined event(s))\n",
+                  s, slot.quarantined.load(std::memory_order_relaxed));
+      excluded_any = true;
+      continue;
+    }
     std::vector<rt::TraceEvent> ev;
     std::string err;
     if (!dgtool::spec_to_events(slot.spec, ev, &err)) {
@@ -102,20 +151,42 @@ bool check_parity(service::AnalysisService& svc, const std::string& detector) {
     auto det = bench::detector_factory(detector)();
     rt::replay_trace(ev, *det);
     expected_unique += det->sink().unique_races();
+    const std::uint64_t tag = slot.ns_tag.load(std::memory_order_relaxed);
+    included_tags.insert(tag);
     for (const auto& r : det->sink().reports())
-      expected.insert(service::AnalysisService::namespaced(s, r.addr));
+      expected.insert(service::AnalysisService::namespaced(
+          static_cast<std::uint32_t>(tag), r.addr));
   }
   const ReportSink& sink = svc.detector().sink();
-  const std::uint64_t actual_unique = sink.unique_races();
   std::set<Addr> actual;
-  for (const auto& r : sink.reports()) actual.insert(r.addr);
-  std::printf("parity: expected %" PRIu64 " unique race locations, service "
-              "found %" PRIu64 "\n",
-              expected_unique, actual_unique);
-  if (expected_unique != actual_unique) return false;
-  // Sets are exact only while nothing fell out of the kept windows.
-  if (expected.size() == expected_unique && actual.size() == actual_unique &&
-      expected != actual) {
+  std::uint64_t actual_excluded = 0;
+  for (const auto& r : sink.reports()) {
+    // Reports from excluded incarnations (crashed producers' salvaged
+    // residue, quarantine-tainted slots) carry a tag outside the included
+    // set; they are real findings, just not parity material.
+    const std::uint64_t tag = (r.addr >> 48) - 1;
+    if (included_tags.count(tag) == 0) {
+      ++actual_excluded;
+      continue;
+    }
+    actual.insert(r.addr);
+  }
+  if (!excluded_any) {
+    const std::uint64_t actual_unique = sink.unique_races();
+    std::printf("parity: expected %" PRIu64 " unique race locations, "
+                "service found %" PRIu64 "\n",
+                expected_unique, actual_unique);
+    if (expected_unique != actual_unique) return false;
+    // Sets are exact only while nothing fell out of the kept windows.
+    if (expected.size() != expected_unique || actual.size() != actual_unique)
+      return true;
+  } else {
+    std::printf("parity: surviving producers expected %zu race location(s), "
+                "service matched %zu (%" PRIu64 " report(s) from excluded "
+                "incarnations set aside)\n",
+                expected.size(), actual.size(), actual_excluded);
+  }
+  if (expected != actual) {
     for (const Addr a : expected)
       if (actual.count(a) == 0)
         std::printf("parity: missing race at 0x%llx\n",
@@ -129,6 +200,45 @@ bool check_parity(service::AnalysisService& svc, const std::string& detector) {
   return true;
 }
 
+/// Startup policy over a pre-existing segment file. Returns 0 to proceed
+/// with creation, nonzero to exit with that code.
+int preflight_segment(const std::string& path, bool recover) {
+  const service::SegmentAutopsy a = service::inspect_segment(path);
+  if (!a.exists) return 0;  // fresh start
+  if (a.daemon_alive) {
+    std::fprintf(stderr,
+                 "dgtraced: segment '%s' is owned by live daemon pid %u — "
+                 "refusing to take it over\n",
+                 path.c_str(), a.daemon_pid);
+    return 1;
+  }
+  // Stale: the previous daemon is gone. A verifiably clean leftover (shut
+  // down, nothing attached, nothing undrained) is recreated silently; any
+  // doubt requires an explicit --recover.
+  const bool clean = a.published && a.version_ok && a.shutdown &&
+                     a.slots_attached == 0 && a.slots_finished == 0 &&
+                     a.undrained_events == 0;
+  if (clean) {
+    std::printf("dgtraced: recreating cleanly shut-down segment '%s'\n",
+                path.c_str());
+    return 0;
+  }
+  if (!recover) {
+    std::fprintf(stderr,
+                 "dgtraced: segment '%s' is %s — pass --recover to diagnose "
+                 "and recreate it\n",
+                 path.c_str(), a.detail.c_str());
+    return 1;
+  }
+  std::printf("dgtraced: recovering segment '%s': %s\n", path.c_str(),
+              a.detail.c_str());
+  if (a.undrained_events > 0)
+    std::printf("dgtraced: %" PRIu64 " undrained event(s) from the dead "
+                "daemon's tenure are lost (they lived in its rings)\n",
+                a.undrained_events);
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string path = argv[1];
@@ -137,6 +247,8 @@ int run(int argc, char** argv) {
   std::string detector = "dynamic";
   std::size_t store_cap = 1024;
   bool parity = false;
+  bool recover = false;
+  const char* fault_spec = nullptr;
   service::ServiceOptions opts;
   for (int i = 2; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -177,6 +289,15 @@ int run(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       store_cap = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--liveness") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opts.liveness_poll_ms = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else if (std::strcmp(argv[i], "--fault") == 0) {
+      fault_spec = next();
+      if (fault_spec == nullptr) return usage();
     } else if (std::strcmp(argv[i], "--parity") == 0) {
       parity = true;
     } else {
@@ -186,10 +307,26 @@ int run(int argc, char** argv) {
   if (parity && opts.gc_every_events != 0)
     std::fprintf(stderr, "dgtraced: warning: --parity with --gc-every can "
                          "diverge (GC changes sharing decisions)\n");
+  if (fault_spec != nullptr) {
+    service::FaultPlan plan;
+    std::string ferr;
+    if (!service::FaultPlan::parse(fault_spec, plan, &ferr)) {
+      std::fprintf(stderr, "dgtraced: --fault: %s\n", ferr.c_str());
+      return 2;
+    }
+    opts.die_after_events = plan.die_after;
+  }
+
+  const int pre = preflight_segment(path, recover);
+  if (pre != 0) return pre;
 
   auto det = bench::detector_factory(detector)();
   ReportStore store(store_cap);
   store.attach(det->sink());
+  opts.crash_store = &store;
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
 
   service::AnalysisService svc(*det, opts);
   std::string err;
@@ -201,13 +338,36 @@ int run(int argc, char** argv) {
               "producer(s)...\n",
               path.c_str(), det->name(), producers);
   std::fflush(stdout);
-  if (!svc.wait_producers(producers, timeout_ms)) {
-    std::fprintf(stderr, "dgtraced: timed out waiting for producers\n");
-    svc.stop(1000);
-    return 1;
+  bool signalled = false;
+  std::uint32_t waited = 0;
+  while (!svc.wait_producers(producers, 100)) {
+    if (g_signal != 0) {
+      signalled = true;
+      break;
+    }
+    waited += 100;
+    if (waited >= timeout_ms) {
+      std::fprintf(stderr, "dgtraced: timed out waiting for producers\n");
+      svc.stop(1000);
+      return 1;
+    }
   }
   svc.open_gate();
-  svc.stop(timeout_ms);
+  // Supervise: run until every producer retired (finished slots drain to
+  // kDrained, crashed slots are reclaimed to kFree), the deadline passed,
+  // or a shutdown signal arrived. stop() then performs the final drain.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!signalled && g_signal == 0 && svc.active_producers() > 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  if (g_signal != 0 || signalled) {
+    std::printf("dgtraced: signal %d — draining and exiting\n",
+                g_signal != 0 ? static_cast<int>(g_signal) : SIGTERM);
+    svc.stop(2000);
+  } else {
+    svc.stop(timeout_ms);
+  }
 
   const service::ServiceStats st = svc.stats();
   std::printf("drained %" PRIu64 " events from %" PRIu64 " producer(s), "
@@ -221,7 +381,13 @@ int run(int argc, char** argv) {
                              : static_cast<double>(st.drain_ns) / 1e3 /
                                    static_cast<double>(st.drains),
               static_cast<double>(st.max_drain_ns) / 1e3);
+  std::printf("  fault tolerance: %" PRIu64 " producer(s) crashed, %" PRIu64
+              " slot(s) reclaimed, %" PRIu64 " event(s) quarantined, "
+              "%" PRIu64 " producer-side drop(s)\n",
+              st.producers_crashed, st.slots_reclaimed, st.quarantined,
+              st.dropped);
   print_producers(svc.segment());
+  print_crash_log(svc.segment());
 
   std::printf("races: %" PRIu64 " unique locations (%" PRIu64
               " raw reports)\n",
